@@ -1,0 +1,177 @@
+//! Cross-version handler comparison.
+//!
+//! "The memory operations executed by the driver for each ioctl command
+//! rarely change across driver updates because any such changes can break
+//! application compatibility. … Our investigation of Radeon drivers of Linux
+//! kernel 2.6.35 and 3.2.0 confirms this argument as the memory operations of
+//! common ioctl commands are identical in both drivers, while the latter has
+//! four new ioctl commands" (paper §4.1).
+//!
+//! [`diff_handlers`] reproduces that investigation: analyze two handler
+//! versions and classify every command as identical, changed, added or
+//! removed — so the frontend's static entries carry over across driver
+//! updates and only new commands need re-analysis.
+
+use crate::extract::{analyze_handler, Extraction, ExtractionError};
+use crate::ir::Handler;
+
+/// Classification of a single command across two driver versions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommandDelta {
+    /// Same memory operations in both versions — frontend entries carry over.
+    Identical,
+    /// The operations changed — the entry must be regenerated.
+    Changed,
+    /// Only in the new version — needs fresh analysis.
+    Added,
+    /// Only in the old version.
+    Removed,
+}
+
+/// The result of comparing two handler versions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HandlerDiff {
+    /// `(command, classification)` for every command in either version.
+    pub deltas: Vec<(u32, CommandDelta)>,
+}
+
+impl HandlerDiff {
+    /// Commands with the given classification.
+    pub fn with_delta(&self, delta: CommandDelta) -> Vec<u32> {
+        self.deltas
+            .iter()
+            .filter(|(_, d)| *d == delta)
+            .map(|(cmd, _)| *cmd)
+            .collect()
+    }
+
+    /// Count of commands with the given classification.
+    pub fn count(&self, delta: CommandDelta) -> usize {
+        self.deltas.iter().filter(|(_, d)| *d == delta).count()
+    }
+}
+
+fn extraction_equivalent(a: &Extraction, b: &Extraction) -> bool {
+    match (a, b) {
+        (Extraction::Static(ops_a), Extraction::Static(ops_b)) => ops_a == ops_b,
+        (
+            Extraction::Jit { slice: slice_a, .. },
+            Extraction::Jit { slice: slice_b, .. },
+        ) => slice_a == slice_b,
+        _ => false,
+    }
+}
+
+/// Compares two versions of a driver's ioctl handler.
+///
+/// # Errors
+///
+/// Propagates extraction failures from either version.
+pub fn diff_handlers(old: &Handler, new: &Handler) -> Result<HandlerDiff, ExtractionError> {
+    let old_report = analyze_handler(old)?;
+    let new_report = analyze_handler(new)?;
+    let mut deltas = Vec::new();
+    for (cmd, old_extraction) in &old_report.commands {
+        match new_report.commands.get(cmd) {
+            Some(new_extraction) => {
+                let delta = if extraction_equivalent(old_extraction, new_extraction) {
+                    CommandDelta::Identical
+                } else {
+                    CommandDelta::Changed
+                };
+                deltas.push((*cmd, delta));
+            }
+            None => deltas.push((*cmd, CommandDelta::Removed)),
+        }
+    }
+    for cmd in new_report.commands.keys() {
+        if !old_report.commands.contains_key(cmd) {
+            deltas.push((*cmd, CommandDelta::Added));
+        }
+    }
+    deltas.sort_by_key(|(cmd, _)| *cmd);
+    Ok(HandlerDiff { deltas })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Expr, Stmt, VarId};
+
+    fn copy_in_arm(cmd: u32, len: u64) -> (u32, Vec<Stmt>) {
+        (
+            cmd,
+            vec![Stmt::CopyFromUser {
+                dst: VarId(0),
+                src: Expr::Arg,
+                len: Expr::Const(len),
+            }],
+        )
+    }
+
+    fn handler(arms: Vec<(u32, Vec<Stmt>)>) -> Handler {
+        Handler::single(vec![Stmt::SwitchCmd {
+            arms,
+            default: vec![Stmt::Return],
+        }])
+    }
+
+    #[test]
+    fn identical_commands_detected() {
+        let old = handler(vec![copy_in_arm(1, 16), copy_in_arm(2, 32)]);
+        let new = handler(vec![copy_in_arm(1, 16), copy_in_arm(2, 32)]);
+        let diff = diff_handlers(&old, &new).unwrap();
+        assert_eq!(diff.count(CommandDelta::Identical), 2);
+        assert_eq!(diff.count(CommandDelta::Changed), 0);
+    }
+
+    #[test]
+    fn new_commands_flagged_as_added() {
+        // The paper's 2.6.35 → 3.2.0 scenario: common commands identical,
+        // four new ones.
+        let old = handler(vec![copy_in_arm(1, 16)]);
+        let new = handler(vec![
+            copy_in_arm(1, 16),
+            copy_in_arm(10, 8),
+            copy_in_arm(11, 8),
+            copy_in_arm(12, 8),
+            copy_in_arm(13, 8),
+        ]);
+        let diff = diff_handlers(&old, &new).unwrap();
+        assert_eq!(diff.count(CommandDelta::Identical), 1);
+        assert_eq!(diff.count(CommandDelta::Added), 4);
+        assert_eq!(diff.with_delta(CommandDelta::Added), vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn changed_and_removed_commands() {
+        let old = handler(vec![copy_in_arm(1, 16), copy_in_arm(2, 32)]);
+        let new = handler(vec![copy_in_arm(1, 24)]);
+        let diff = diff_handlers(&old, &new).unwrap();
+        assert_eq!(diff.with_delta(CommandDelta::Changed), vec![1]);
+        assert_eq!(diff.with_delta(CommandDelta::Removed), vec![2]);
+    }
+
+    #[test]
+    fn static_vs_jit_counts_as_changed() {
+        let old = handler(vec![copy_in_arm(1, 16)]);
+        // New version makes command 1 a nested copy.
+        let new = handler(vec![(
+            1,
+            vec![
+                Stmt::CopyFromUser {
+                    dst: VarId(0),
+                    src: Expr::Arg,
+                    len: Expr::Const(16),
+                },
+                Stmt::CopyFromUser {
+                    dst: VarId(1),
+                    src: Expr::field(VarId(0), 0, 8),
+                    len: Expr::Const(8),
+                },
+            ],
+        )]);
+        let diff = diff_handlers(&old, &new).unwrap();
+        assert_eq!(diff.with_delta(CommandDelta::Changed), vec![1]);
+    }
+}

@@ -1,0 +1,463 @@
+//! Just-in-time evaluation of extracted slices.
+//!
+//! "Offline execution is impossible for some memory operations, such as the
+//! nested copies mentioned above. In this case, the CVD frontend identifies
+//! the memory operation arguments just-in-time by executing the extracted
+//! code at runtime" (paper §4.1).
+//!
+//! [`evaluate_slice`] interprets a specialized slice with the concrete ioctl
+//! argument. Reads of user memory go through a [`UserReader`] — the frontend
+//! reads the *calling process's own* memory, so this step needs no special
+//! privileges — and produce the concrete operation list the frontend then
+//! declares in the grant table.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::ir::{Cond, Expr, OpKind, Stmt, VarId};
+
+/// Iteration safety valve for runtime loops (a malicious process could claim
+/// a huge chunk count; the frontend refuses rather than spins).
+const MAX_JIT_ITERATIONS: u64 = 1 << 20;
+
+/// How the JIT reads the calling process's memory.
+pub trait UserReader {
+    /// Reads `buf.len()` bytes of user memory at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(())` for unmapped addresses; the JIT surfaces it as
+    /// [`JitError::BadUserRead`] and the ioctl will fail with `EFAULT`
+    /// before ever reaching the driver.
+    #[allow(clippy::result_unit_err)] // the only failure is EFAULT; callers map it
+    fn read_user(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), ()>;
+}
+
+/// Errors during JIT evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JitError {
+    /// A user-memory read failed.
+    BadUserRead {
+        /// The faulting address.
+        addr: u64,
+        /// The length requested.
+        len: u64,
+    },
+    /// An expression referenced a variable that was never assigned.
+    UnboundVariable {
+        /// The variable.
+        var: VarId,
+    },
+    /// A field read targeted a variable that is not a copied buffer, or ran
+    /// past its end.
+    BadFieldRead {
+        /// The buffer variable.
+        var: VarId,
+    },
+    /// A loop exceeded the iteration safety valve.
+    IterationLimit,
+    /// A `SwitchCmd` or `Call` survived specialization — slice corrupt.
+    UnspecializedStatement,
+}
+
+impl fmt::Display for JitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JitError::BadUserRead { addr, len } => {
+                write!(f, "user read of {len} bytes at {addr:#x} failed")
+            }
+            JitError::UnboundVariable { var } => write!(f, "unbound variable {var}"),
+            JitError::BadFieldRead { var } => write!(f, "bad field read from {var}"),
+            JitError::IterationLimit => f.write_str("JIT iteration limit exceeded"),
+            JitError::UnspecializedStatement => {
+                f.write_str("slice contains unspecialized dispatch")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JitError {}
+
+/// A fully concrete memory operation produced by JIT evaluation (or by
+/// resolving a static template).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ResolvedOp {
+    /// Copy direction.
+    pub kind: OpKind,
+    /// User-space address.
+    pub addr: u64,
+    /// Byte length.
+    pub len: u64,
+}
+
+#[derive(Debug, Clone)]
+enum RtVal {
+    Scalar(u64),
+    Buffer(Vec<u8>),
+}
+
+struct JitState<'a> {
+    arg: u64,
+    cmd: u32,
+    env: BTreeMap<VarId, RtVal>,
+    ops: Vec<ResolvedOp>,
+    reader: &'a mut dyn UserReader,
+    iterations: u64,
+}
+
+fn eval(state: &JitState<'_>, expr: &Expr) -> Result<u64, JitError> {
+    match expr {
+        Expr::Const(value) => Ok(*value),
+        Expr::Arg => Ok(state.arg),
+        Expr::Cmd => Ok(u64::from(state.cmd)),
+        Expr::Var(var) => match state.env.get(var) {
+            Some(RtVal::Scalar(value)) => Ok(*value),
+            Some(RtVal::Buffer(_)) => Err(JitError::BadFieldRead { var: *var }),
+            None => Err(JitError::UnboundVariable { var: *var }),
+        },
+        Expr::Field {
+            base,
+            offset,
+            width,
+        } => {
+            let bytes = match state.env.get(base) {
+                Some(RtVal::Buffer(bytes)) => bytes,
+                _ => return Err(JitError::BadFieldRead { var: *base }),
+            };
+            let start = *offset as usize;
+            let end = start + *width as usize;
+            let slice = bytes
+                .get(start..end)
+                .ok_or(JitError::BadFieldRead { var: *base })?;
+            let mut raw = [0u8; 8];
+            raw[..slice.len()].copy_from_slice(slice);
+            Ok(u64::from_le_bytes(raw))
+        }
+        Expr::Add(a, b) => Ok(eval(state, a)?.wrapping_add(eval(state, b)?)),
+        Expr::Mul(a, b) => Ok(eval(state, a)?.wrapping_mul(eval(state, b)?)),
+    }
+}
+
+fn eval_cond(state: &JitState<'_>, cond: &Cond) -> Result<bool, JitError> {
+    Ok(match cond {
+        Cond::Eq(a, b) => eval(state, a)? == eval(state, b)?,
+        Cond::Ne(a, b) => eval(state, a)? != eval(state, b)?,
+        Cond::Lt(a, b) => eval(state, a)? < eval(state, b)?,
+        Cond::Gt(a, b) => eval(state, a)? > eval(state, b)?,
+    })
+}
+
+enum Flow {
+    Continue,
+    Return,
+}
+
+fn exec(stmts: &[Stmt], state: &mut JitState<'_>) -> Result<Flow, JitError> {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Assign { var, value } => {
+                let value = eval(state, value)?;
+                state.env.insert(*var, RtVal::Scalar(value));
+            }
+            Stmt::CopyFromUser { dst, src, len } => {
+                let addr = eval(state, src)?;
+                let len = eval(state, len)?;
+                let mut bytes = vec![0u8; len as usize];
+                state
+                    .reader
+                    .read_user(addr, &mut bytes)
+                    .map_err(|()| JitError::BadUserRead { addr, len })?;
+                state.ops.push(ResolvedOp {
+                    kind: OpKind::CopyFromUser,
+                    addr,
+                    len,
+                });
+                state.env.insert(*dst, RtVal::Buffer(bytes));
+            }
+            Stmt::CopyToUser { dst, len } => {
+                let addr = eval(state, dst)?;
+                let len = eval(state, len)?;
+                state.ops.push(ResolvedOp {
+                    kind: OpKind::CopyToUser,
+                    addr,
+                    len,
+                });
+            }
+            Stmt::If { cond, then, els } => {
+                let taken = eval_cond(state, cond)?;
+                let body = if taken { then } else { els };
+                match exec(body, state)? {
+                    Flow::Continue => {}
+                    Flow::Return => return Ok(Flow::Return),
+                }
+            }
+            Stmt::ForRange { var, count, body } => {
+                let count = eval(state, count)?;
+                for i in 0..count {
+                    state.iterations += 1;
+                    if state.iterations > MAX_JIT_ITERATIONS {
+                        return Err(JitError::IterationLimit);
+                    }
+                    state.env.insert(*var, RtVal::Scalar(i));
+                    match exec(body, state)? {
+                        Flow::Continue => {}
+                        Flow::Return => return Ok(Flow::Return),
+                    }
+                }
+            }
+            Stmt::Return => return Ok(Flow::Return),
+            Stmt::SwitchCmd { .. } | Stmt::Call(_) => {
+                return Err(JitError::UnspecializedStatement)
+            }
+        }
+    }
+    Ok(Flow::Continue)
+}
+
+/// Evaluates a specialized slice against the concrete ioctl `arg`, reading
+/// the caller's memory through `reader`, and returns the concrete operation
+/// list to declare as grants.
+///
+/// # Errors
+///
+/// Propagates bad user reads, malformed slices and runaway loops.
+pub fn evaluate_slice(
+    slice: &[Stmt],
+    cmd: u32,
+    arg: u64,
+    reader: &mut dyn UserReader,
+) -> Result<Vec<ResolvedOp>, JitError> {
+    let mut state = JitState {
+        arg,
+        cmd,
+        env: BTreeMap::new(),
+        ops: Vec::new(),
+        reader,
+        iterations: 0,
+    };
+    exec(slice, &mut state)?;
+    Ok(state.ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::{extract_command, Extraction};
+    use crate::ir::{Expr, Handler, VarId};
+
+    /// User memory backed by a flat buffer starting at address 0x1000.
+    struct FlatUser {
+        base: u64,
+        bytes: Vec<u8>,
+    }
+
+    impl UserReader for FlatUser {
+        fn read_user(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), ()> {
+            let start = addr.checked_sub(self.base).ok_or(())? as usize;
+            let end = start.checked_add(buf.len()).ok_or(())?;
+            let slice = self.bytes.get(start..end).ok_or(())?;
+            buf.copy_from_slice(slice);
+            Ok(())
+        }
+    }
+
+    fn v(n: u32) -> VarId {
+        VarId(n)
+    }
+
+    #[test]
+    fn nested_copy_resolves_against_user_data() {
+        // Header at arg: { u64 buf_ptr; u32 buf_len; }. The JIT must read
+        // the header to learn the second copy's arguments.
+        let handler = Handler::single(vec![Stmt::SwitchCmd {
+            arms: vec![(
+                0x66,
+                vec![
+                    Stmt::CopyFromUser {
+                        dst: v(0),
+                        src: Expr::Arg,
+                        len: Expr::Const(12),
+                    },
+                    Stmt::CopyFromUser {
+                        dst: v(1),
+                        src: Expr::field(v(0), 0, 8),
+                        len: Expr::field(v(0), 8, 4),
+                    },
+                ],
+            )],
+            default: vec![Stmt::Return],
+        }]);
+        let slice = match extract_command(&handler, 0x66).unwrap() {
+            Extraction::Jit { slice, .. } => slice,
+            Extraction::Static(_) => panic!("nested command must be JIT"),
+        };
+        // User memory: header at 0x1000 pointing at 0x2000 with length 40.
+        let mut header = Vec::new();
+        header.extend_from_slice(&0x2000u64.to_le_bytes());
+        header.extend_from_slice(&40u32.to_le_bytes());
+        let mut user = FlatUser {
+            base: 0x1000,
+            bytes: {
+                let mut bytes = vec![0u8; 0x2000];
+                bytes[..12].copy_from_slice(&header);
+                bytes
+            },
+        };
+        let ops = evaluate_slice(&slice, 0x66, 0x1000, &mut user).unwrap();
+        assert_eq!(
+            ops,
+            vec![
+                ResolvedOp {
+                    kind: OpKind::CopyFromUser,
+                    addr: 0x1000,
+                    len: 12,
+                },
+                ResolvedOp {
+                    kind: OpKind::CopyFromUser,
+                    addr: 0x2000,
+                    len: 40,
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn data_dependent_branch_resolves_concretely() {
+        // if (hdr.flag != 0) copy_to_user(arg+8, 64) else nothing.
+        let slice = vec![
+            Stmt::CopyFromUser {
+                dst: v(0),
+                src: Expr::Arg,
+                len: Expr::Const(4),
+            },
+            Stmt::If {
+                cond: Cond::Ne(Expr::field(v(0), 0, 4), Expr::Const(0)),
+                then: vec![Stmt::CopyToUser {
+                    dst: Expr::add(Expr::Arg, Expr::Const(8)),
+                    len: Expr::Const(64),
+                }],
+                els: vec![],
+            },
+        ];
+        let mut on = FlatUser {
+            base: 0,
+            bytes: vec![1, 0, 0, 0],
+        };
+        let ops = evaluate_slice(&slice, 0, 0, &mut on).unwrap();
+        assert_eq!(ops.len(), 2);
+        let mut off = FlatUser {
+            base: 0,
+            bytes: vec![0, 0, 0, 0],
+        };
+        let ops = evaluate_slice(&slice, 0, 0, &mut off).unwrap();
+        assert_eq!(ops.len(), 1);
+    }
+
+    #[test]
+    fn data_dependent_loop_generates_per_chunk_ops() {
+        // count at arg; then per-chunk copies at arg+8+i*16.
+        let slice = vec![
+            Stmt::CopyFromUser {
+                dst: v(0),
+                src: Expr::Arg,
+                len: Expr::Const(4),
+            },
+            Stmt::ForRange {
+                var: v(1),
+                count: Expr::field(v(0), 0, 4),
+                body: vec![Stmt::CopyFromUser {
+                    dst: v(2),
+                    src: Expr::add(
+                        Expr::Arg,
+                        Expr::add(Expr::Const(8), Expr::mul(Expr::Var(v(1)), Expr::Const(16))),
+                    ),
+                    len: Expr::Const(16),
+                }],
+            },
+        ];
+        let mut user = FlatUser {
+            base: 0x100,
+            bytes: {
+                let mut bytes = vec![0u8; 256];
+                bytes[..4].copy_from_slice(&3u32.to_le_bytes());
+                bytes
+            },
+        };
+        let ops = evaluate_slice(&slice, 0, 0x100, &mut user).unwrap();
+        assert_eq!(ops.len(), 4); // header + 3 chunks
+        assert_eq!(ops[3].addr, 0x100 + 8 + 2 * 16);
+    }
+
+    #[test]
+    fn bad_user_read_surfaces() {
+        let slice = vec![Stmt::CopyFromUser {
+            dst: v(0),
+            src: Expr::Arg,
+            len: Expr::Const(64),
+        }];
+        let mut tiny = FlatUser {
+            base: 0,
+            bytes: vec![0u8; 8],
+        };
+        assert_eq!(
+            evaluate_slice(&slice, 0, 0, &mut tiny),
+            Err(JitError::BadUserRead { addr: 0, len: 64 })
+        );
+    }
+
+    #[test]
+    fn runaway_loop_capped() {
+        let slice = vec![
+            Stmt::CopyFromUser {
+                dst: v(0),
+                src: Expr::Arg,
+                len: Expr::Const(8),
+            },
+            Stmt::ForRange {
+                var: v(1),
+                count: Expr::field(v(0), 0, 8),
+                body: vec![Stmt::Assign {
+                    var: v(2),
+                    value: Expr::Const(0),
+                }],
+            },
+        ];
+        let mut user = FlatUser {
+            base: 0,
+            bytes: u64::MAX.to_le_bytes().to_vec(),
+        };
+        assert_eq!(
+            evaluate_slice(&slice, 0, 0, &mut user),
+            Err(JitError::IterationLimit)
+        );
+    }
+
+    #[test]
+    fn unspecialized_slice_rejected() {
+        let slice = vec![Stmt::Call("helper".to_owned())];
+        let mut user = FlatUser {
+            base: 0,
+            bytes: vec![],
+        };
+        assert_eq!(
+            evaluate_slice(&slice, 0, 0, &mut user),
+            Err(JitError::UnspecializedStatement)
+        );
+    }
+
+    #[test]
+    fn unbound_variable_rejected() {
+        let slice = vec![Stmt::CopyToUser {
+            dst: Expr::Var(v(42)),
+            len: Expr::Const(1),
+        }];
+        let mut user = FlatUser {
+            base: 0,
+            bytes: vec![],
+        };
+        assert_eq!(
+            evaluate_slice(&slice, 0, 0, &mut user),
+            Err(JitError::UnboundVariable { var: v(42) })
+        );
+    }
+}

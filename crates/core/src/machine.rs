@@ -1,0 +1,1481 @@
+//! The machine: VMs, devices, processes, and the three execution modes.
+//!
+//! A [`Machine`] is the whole physical box of the paper's evaluation (§6):
+//! the hypervisor, a driver VM (or, natively, "the host OS"), guest VMs,
+//! the attached devices with their drivers, and the processes that issue
+//! file operations. The same application code runs in every
+//! [`ExecMode`] — that is precisely the device-file boundary's promise.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+use paradice_analyzer::extract::analyze_handler;
+use paradice_cvd::backend::{Backend, SharedBackend, DEFAULT_QUEUE_CAP};
+use paradice_cvd::frontend::{Frontend, IoctlKnowledge};
+use paradice_cvd::info::{DeviceInfoModule, VirtualPciBus};
+use paradice_cvd::proto::WireResponse;
+use paradice_cvd::sharing::{SharingPolicy, VirtualTerminals};
+pub use paradice_cvd::OsPersonality;
+use paradice_devfs::fileops::{FileOps, MmapRange, OpenContext, PollEvents, TaskId, UserBuffer};
+use paradice_devfs::ioc::IoctlCmd;
+use paradice_devfs::registry::{DevFs, FileHandleId, OpenPolicy};
+use paradice_devfs::sysinfo::{known, DeviceClass};
+use paradice_devfs::{Errno, MemOps, OpenFlags};
+use paradice_drivers::audio::PcmDriver;
+use paradice_drivers::camera::UvcDriver;
+use paradice_drivers::env::KernelEnv;
+use paradice_drivers::evdev::{EvdevDriver, EventKind, InputEvent};
+use paradice_drivers::gpu::driver::{DriverVersion, RadeonDriver};
+use paradice_drivers::gpu::i915::{i915_handler_ir, I915Driver};
+use paradice_drivers::gpu::ir::radeon_handler_3_2_0;
+use paradice_drivers::gpu::isolation::IsolationState;
+use paradice_drivers::gpu::model::RadeonGpu;
+use paradice_drivers::netmap::NetmapDriver;
+use paradice_hypervisor::hv::{DataIsolation, HvError, Hypervisor};
+use paradice_hypervisor::vm::VmRole;
+use paradice_hypervisor::{
+    Channel, CostModel, SharedHypervisor, SimClock, TransportMode, VmId,
+};
+use paradice_mem::pagetable::GuestPageTables;
+use paradice_mem::{Access, GuestPhysAddr, GuestVirtAddr, PAGE_SIZE};
+
+/// How the machine virtualizes I/O.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// No virtualization: applications and drivers share the host kernel.
+    Native,
+    /// Direct device assignment: applications run inside the VM that owns
+    /// the device (§7.1 — high performance, no sharing).
+    DeviceAssignment,
+    /// Paradice (§3): guests forward file operations to the driver VM.
+    Paradice {
+        /// Channel signaling: interrupts or shared-page polling (§5.1).
+        transport: TransportMode,
+        /// Whether hypervisor-enforced device data isolation is on (§4.2).
+        data_isolation: bool,
+    },
+}
+
+/// A device to attach at build time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceSpec {
+    /// The Radeon HD 6450 (Table 1).
+    Gpu {
+        /// Simulated VRAM pages (scaled down from the card's 1 GiB; see
+        /// DESIGN.md on scaling).
+        vram_pages: u64,
+        /// Driver generation.
+        version: DriverVersion,
+    },
+    /// Dell USB mouse.
+    Mouse,
+    /// Dell USB keyboard.
+    Keyboard,
+    /// Logitech C920 camera.
+    Camera,
+    /// Intel HDA speaker.
+    Audio,
+    /// Intel Gigabit adapter in netmap mode.
+    Netmap,
+    /// The integrated Intel GM965 GPU (Table 1's second GPU make), behind
+    /// the very same class-agnostic CVD as the Radeon.
+    IntelGpu {
+        /// Simulated aperture ("stolen memory") pages.
+        vram_pages: u64,
+    },
+}
+
+impl DeviceSpec {
+    /// The default GPU: 1024 pages (4 MiB) of simulated VRAM, 3.2.0 driver.
+    pub fn gpu() -> DeviceSpec {
+        DeviceSpec::Gpu {
+            vram_pages: 1024,
+            version: DriverVersion::V3_2_0,
+        }
+    }
+
+    /// The default Intel GPU: 512 pages of aperture.
+    pub fn intel_gpu() -> DeviceSpec {
+        DeviceSpec::IntelGpu { vram_pages: 512 }
+    }
+
+    /// The device-file path the device registers at.
+    pub fn path(&self) -> &'static str {
+        match self {
+            DeviceSpec::Gpu { .. } => "/dev/dri/card0",
+            DeviceSpec::IntelGpu { .. } => "/dev/dri/card1",
+            DeviceSpec::Mouse => "/dev/input/event0",
+            DeviceSpec::Keyboard => "/dev/input/event1",
+            DeviceSpec::Camera => "/dev/video0",
+            DeviceSpec::Audio => "/dev/snd/pcmC0D0p",
+            DeviceSpec::Netmap => "/dev/netmap",
+        }
+    }
+
+    fn class(&self) -> DeviceClass {
+        match self {
+            DeviceSpec::Gpu { .. } | DeviceSpec::IntelGpu { .. } => DeviceClass::Gpu,
+            DeviceSpec::Mouse | DeviceSpec::Keyboard => DeviceClass::Input,
+            DeviceSpec::Camera => DeviceClass::Camera,
+            DeviceSpec::Audio => DeviceClass::Audio,
+            DeviceSpec::Netmap => DeviceClass::Net,
+        }
+    }
+
+    fn open_policy(&self) -> OpenPolicy {
+        match self {
+            // Camera and netmap drivers are single-open (§5.1).
+            DeviceSpec::Camera | DeviceSpec::Netmap => OpenPolicy::Exclusive,
+            _ => OpenPolicy::Shared,
+        }
+    }
+
+    fn sharing(&self) -> SharingPolicy {
+        match self {
+            DeviceSpec::Gpu { .. } | DeviceSpec::IntelGpu { .. } => {
+                SharingPolicy::ForegroundBackground
+            }
+            DeviceSpec::Mouse | DeviceSpec::Keyboard => SharingPolicy::ForegroundInput,
+            DeviceSpec::Camera | DeviceSpec::Netmap => SharingPolicy::Exclusive,
+            DeviceSpec::Audio => SharingPolicy::Concurrent,
+        }
+    }
+
+    fn pci_info(&self) -> paradice_devfs::PciDeviceInfo {
+        match self {
+            DeviceSpec::Gpu { .. } => known::radeon_hd6450(),
+            DeviceSpec::IntelGpu { .. } => known::intel_gm965(),
+            DeviceSpec::Mouse => known::dell_usb_mouse(),
+            DeviceSpec::Keyboard => known::dell_usb_keyboard(),
+            DeviceSpec::Camera => known::logitech_c920(),
+            DeviceSpec::Audio => known::intel_hda(),
+            DeviceSpec::Netmap => known::intel_gigabit(),
+        }
+    }
+}
+
+/// A guest VM to create at build time (Paradice mode only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuestSpec {
+    /// The guest's OS.
+    pub personality: OsPersonality,
+    /// Guest RAM in bytes.
+    pub ram_bytes: u64,
+}
+
+impl GuestSpec {
+    /// A Linux 3.2.0 guest with 4 MiB of simulated RAM (scaled from the
+    /// paper's 1 GiB VMs; only the working set matters to the simulation).
+    pub fn linux() -> GuestSpec {
+        GuestSpec {
+            personality: OsPersonality::LINUX_3_2_0,
+            ram_bytes: 1024 * PAGE_SIZE,
+        }
+    }
+
+    /// A Linux 2.6.35 guest (the paper's cross-version deployment, §5.1).
+    pub fn linux_2_6_35() -> GuestSpec {
+        GuestSpec {
+            personality: OsPersonality::LINUX_2_6_35,
+            ram_bytes: 1024 * PAGE_SIZE,
+        }
+    }
+
+    /// A FreeBSD guest (§5.1).
+    pub fn freebsd() -> GuestSpec {
+        GuestSpec {
+            personality: OsPersonality::FreeBsd,
+            ram_bytes: 1024 * PAGE_SIZE,
+        }
+    }
+}
+
+/// Errors from machine construction and operation.
+#[derive(Debug)]
+pub enum MachineError {
+    /// A configuration contradiction (e.g. guests in native mode).
+    Config(String),
+    /// The hypervisor refused an operation.
+    Hv(HvError),
+    /// A file-operation-level error.
+    Errno(Errno),
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::Config(msg) => write!(f, "machine configuration: {msg}"),
+            MachineError::Hv(e) => write!(f, "hypervisor: {e}"),
+            MachineError::Errno(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+impl From<HvError> for MachineError {
+    fn from(e: HvError) -> Self {
+        MachineError::Hv(e)
+    }
+}
+
+impl From<Errno> for MachineError {
+    fn from(e: Errno) -> Self {
+        MachineError::Errno(e)
+    }
+}
+
+/// Typed handles to attached drivers (device models need poking from
+/// workloads: injecting events, reading NIC counters, …).
+#[derive(Clone)]
+pub enum DriverHandle {
+    /// The Radeon GPU.
+    Gpu(Rc<RefCell<RadeonDriver>>),
+    /// The Intel GPU.
+    IntelGpu(Rc<RefCell<I915Driver>>),
+    /// An input device.
+    Input(Rc<RefCell<EvdevDriver>>),
+    /// The camera.
+    Camera(Rc<RefCell<UvcDriver>>),
+    /// The speaker.
+    Audio(Rc<RefCell<PcmDriver>>),
+    /// The NIC.
+    Netmap(Rc<RefCell<NetmapDriver>>),
+}
+
+impl fmt::Debug for DriverHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            DriverHandle::Gpu(_) => "Gpu",
+            DriverHandle::IntelGpu(_) => "IntelGpu",
+            DriverHandle::Input(_) => "Input",
+            DriverHandle::Camera(_) => "Camera",
+            DriverHandle::Audio(_) => "Audio",
+            DriverHandle::Netmap(_) => "Netmap",
+        };
+        write!(f, "DriverHandle::{name}")
+    }
+}
+
+struct AttachedDevice {
+    spec: DeviceSpec,
+    handle: DriverHandle,
+    env: Rc<KernelEnv>,
+    /// devfs id when registered on the host (native/assignment).
+    host_id: Option<paradice_devfs::DeviceId>,
+    /// devfs id in the backend (Paradice).
+    backend_id: Option<paradice_devfs::DeviceId>,
+}
+
+impl AttachedDevice {
+    fn fileops(&self) -> Rc<RefCell<dyn FileOps>> {
+        match &self.handle {
+            DriverHandle::Gpu(d) => d.clone(),
+            DriverHandle::IntelGpu(d) => d.clone(),
+            DriverHandle::Input(d) => d.clone(),
+            DriverHandle::Camera(d) => d.clone(),
+            DriverHandle::Audio(d) => d.clone(),
+            DriverHandle::Netmap(d) => d.clone(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FdInner {
+    Host(FileHandleId),
+    Guest(u64),
+}
+
+struct Process {
+    vm: VmId,
+    guest_index: Option<usize>,
+    pt: GuestPageTables,
+    next_va: u64,
+    fds: BTreeMap<u64, (FdInner, String)>,
+    next_fd: u64,
+    pending_events: Vec<u64>, // fds with pending notifications (host path)
+}
+
+/// Builds a [`Machine`].
+#[derive(Debug)]
+pub struct MachineBuilder {
+    mode: ExecMode,
+    devices: Vec<DeviceSpec>,
+    guests: Vec<GuestSpec>,
+    driver_ram_pages: u64,
+    cost: CostModel,
+    queue_cap: usize,
+}
+
+impl Default for MachineBuilder {
+    fn default() -> Self {
+        MachineBuilder {
+            mode: ExecMode::Native,
+            devices: Vec::new(),
+            guests: Vec::new(),
+            driver_ram_pages: 8192, // 32 MiB of simulated driver-VM RAM
+            cost: CostModel::default(),
+            queue_cap: DEFAULT_QUEUE_CAP,
+        }
+    }
+}
+
+impl MachineBuilder {
+    /// Selects the execution mode.
+    pub fn mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Attaches a device.
+    pub fn device(mut self, spec: DeviceSpec) -> Self {
+        self.devices.push(spec);
+        self
+    }
+
+    /// Adds a guest VM (Paradice mode).
+    pub fn guest(mut self, spec: GuestSpec) -> Self {
+        self.guests.push(spec);
+        self
+    }
+
+    /// Overrides the cost model (experiments with ablated constants).
+    pub fn cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Overrides the per-guest wait-queue cap.
+    pub fn queue_cap(mut self, cap: usize) -> Self {
+        self.queue_cap = cap;
+        self
+    }
+
+    /// Constructs the machine.
+    ///
+    /// # Errors
+    ///
+    /// Configuration contradictions and resource exhaustion.
+    pub fn build(self) -> Result<Machine, MachineError> {
+        let paradice = matches!(self.mode, ExecMode::Paradice { .. });
+        if paradice && self.guests.is_empty() {
+            return Err(MachineError::Config(
+                "Paradice mode needs at least one guest VM".into(),
+            ));
+        }
+        if !paradice && !self.guests.is_empty() {
+            return Err(MachineError::Config(
+                "guest VMs only exist in Paradice mode".into(),
+            ));
+        }
+        let (transport, data_isolation) = match self.mode {
+            ExecMode::Paradice {
+                transport,
+                data_isolation,
+            } => (transport, data_isolation),
+            _ => (TransportMode::Interrupts, false),
+        };
+
+        // Size physical memory: driver RAM + guests + VRAM + slack.
+        let vram_pages: u64 = self
+            .devices
+            .iter()
+            .map(|d| match d {
+                DeviceSpec::Gpu { vram_pages, .. }
+                | DeviceSpec::IntelGpu { vram_pages } => *vram_pages,
+                _ => 0,
+            })
+            .sum();
+        let guest_pages: u64 = self.guests.iter().map(|g| g.ram_bytes / PAGE_SIZE).sum();
+        let total_frames =
+            (self.driver_ram_pages + guest_pages + vram_pages + 4096) as usize;
+
+        let clock = SimClock::new();
+        let mut hv = Hypervisor::new(total_frames, clock.clone(), self.cost.clone());
+
+        // Guest VMs first (Paradice), then the driver VM / host.
+        let mut guest_vms = Vec::new();
+        for guest in &self.guests {
+            guest_vms.push(hv.create_vm(VmRole::Guest, guest.ram_bytes)?);
+        }
+        let driver_vm = hv.create_vm(VmRole::Driver, self.driver_ram_pages * PAGE_SIZE)?;
+        let hv: SharedHypervisor = Rc::new(RefCell::new(hv));
+
+        let mut machine = Machine {
+            hv: hv.clone(),
+            clock,
+            mode: self.mode,
+            driver_vm,
+            guest_vms: guest_vms.clone(),
+            guest_specs: self.guests.clone(),
+            devices: Vec::new(),
+            host_devfs: DevFs::new(),
+            backend: None,
+            frontends: Vec::new(),
+            terminals: None,
+            buses: Vec::new(),
+            processes: BTreeMap::new(),
+            next_task: 1,
+            next_user_page: BTreeMap::new(),
+            queue_cap: self.queue_cap,
+        };
+
+        // CVD plumbing (Paradice).
+        if paradice {
+            let backend = Backend::new(hv.clone(), driver_vm);
+            let terminals = Rc::new(RefCell::new(VirtualTerminals::new(guest_vms.clone())));
+            backend.borrow_mut().set_terminals(terminals.clone());
+            let mut frontends = Vec::new();
+            for (i, &guest) in guest_vms.iter().enumerate() {
+                let channel = Rc::new(RefCell::new(Channel::new(
+                    transport,
+                    machine.clock.clone(),
+                    self.cost.clone(),
+                )));
+                backend
+                    .borrow_mut()
+                    .attach_guest(guest, channel.clone(), self.queue_cap);
+                frontends.push(Rc::new(RefCell::new(Frontend::new(
+                    hv.clone(),
+                    guest,
+                    self.guests[i].personality,
+                    channel,
+                    backend.clone(),
+                ))));
+            }
+            machine.backend = Some(backend);
+            machine.frontends = frontends;
+            machine.terminals = Some(terminals);
+            machine.buses = (0..guest_vms.len()).map(|_| VirtualPciBus::new()).collect();
+        }
+
+        // Attach devices.
+        for spec in &self.devices {
+            machine.attach_device(*spec, data_isolation)?;
+        }
+        Ok(machine)
+    }
+}
+
+/// The assembled machine.
+pub struct Machine {
+    hv: SharedHypervisor,
+    clock: SimClock,
+    mode: ExecMode,
+    driver_vm: VmId,
+    guest_vms: Vec<VmId>,
+    guest_specs: Vec<GuestSpec>,
+    devices: Vec<AttachedDevice>,
+    host_devfs: DevFs,
+    backend: Option<SharedBackend>,
+    frontends: Vec<Rc<RefCell<Frontend>>>,
+    terminals: Option<Rc<RefCell<VirtualTerminals>>>,
+    buses: Vec<VirtualPciBus>,
+    processes: BTreeMap<u64, Process>,
+    next_task: u64,
+    /// Per-VM cursor for user-page allocation (bottom-up; kernel pages come
+    /// top-down from [`paradice_hypervisor::Vm::alloc_kernel_page`]).
+    next_user_page: BTreeMap<u32, u64>,
+    queue_cap: usize,
+}
+
+impl fmt::Debug for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Machine")
+            .field("mode", &self.mode)
+            .field("guests", &self.guest_vms.len())
+            .field("devices", &self.devices.len())
+            .field("processes", &self.processes.len())
+            .finish()
+    }
+}
+
+/// The native/assignment [`MemOps`]: direct kernel access to the local
+/// process (the paper's unmodified `copy_to_user`/`vm_insert_pfn`).
+struct DirectMemOps {
+    hv: SharedHypervisor,
+    vm: VmId,
+    pt_root: GuestPhysAddr,
+}
+
+impl MemOps for DirectMemOps {
+    fn copy_from_user(&mut self, src: GuestVirtAddr, buf: &mut [u8]) -> Result<(), Errno> {
+        self.hv
+            .borrow_mut()
+            .process_read(self.vm, self.pt_root, src, buf)
+            .map_err(|_| Errno::Efault)
+    }
+
+    fn copy_to_user(&mut self, dst: GuestVirtAddr, buf: &[u8]) -> Result<(), Errno> {
+        self.hv
+            .borrow_mut()
+            .process_write(self.vm, self.pt_root, dst, buf)
+            .map_err(|_| Errno::Efault)
+    }
+
+    fn insert_pfn(&mut self, va: GuestVirtAddr, pfn: u64, access: Access) -> Result<(), Errno> {
+        self.hv
+            .borrow_mut()
+            .kernel_map_into_process(self.vm, self.pt_root, va, pfn, access)
+            .map_err(|_| Errno::Efault)
+    }
+
+    fn zap_pfn(&mut self, va: GuestVirtAddr) -> Result<(), Errno> {
+        self.hv
+            .borrow_mut()
+            .kernel_unmap_from_process(self.vm, self.pt_root, va)
+            .map_err(|_| Errno::Efault)
+    }
+}
+
+impl Machine {
+    /// Starts building a machine.
+    pub fn builder() -> MachineBuilder {
+        MachineBuilder::default()
+    }
+
+    fn attach_device(
+        &mut self,
+        spec: DeviceSpec,
+        data_isolation: bool,
+    ) -> Result<(), MachineError> {
+        // GPU is the only device with data-isolation support (§5.3); other
+        // devices are assigned without it.
+        let di = data_isolation && matches!(spec, DeviceSpec::Gpu { .. });
+        let isolation_mode = if di {
+            DataIsolation::Enabled
+        } else {
+            DataIsolation::Disabled
+        };
+        let domain = self
+            .hv
+            .borrow_mut()
+            .assign_device(self.driver_vm, isolation_mode)?;
+        let env = KernelEnv::new(self.hv.clone(), self.driver_vm, domain, di);
+
+        let handle = match spec {
+            DeviceSpec::Gpu { vram_pages, version } => {
+                let bar = self.hv.borrow_mut().map_device_bar(domain, vram_pages)?;
+                let mut gpu = RadeonGpu::new(env.clone(), bar, vram_pages * PAGE_SIZE);
+                let driver = if di {
+                    let isolation =
+                        IsolationState::setup(&env, &gpu, &self.guest_vms, 64)
+                            .map_err(MachineError::Errno)?;
+                    RadeonDriver::new_isolated(env.clone(), gpu, version, isolation)
+                } else {
+                    // Without isolation the driver allocates and reads the
+                    // interrupt status ring in system memory (the §5.3
+                    // behaviour that data isolation forbids).
+                    let irq_page = env.alloc_kernel_page()?;
+                    gpu.set_irq_status_page(irq_page);
+                    RadeonDriver::new(env.clone(), gpu, version)
+                };
+                DriverHandle::Gpu(Rc::new(RefCell::new(driver)))
+            }
+            DeviceSpec::IntelGpu { vram_pages } => {
+                let bar = self.hv.borrow_mut().map_device_bar(domain, vram_pages)?;
+                let gpu = RadeonGpu::new(env.clone(), bar, vram_pages * PAGE_SIZE);
+                DriverHandle::IntelGpu(Rc::new(RefCell::new(I915Driver::new(
+                    env.clone(),
+                    gpu,
+                ))))
+            }
+            DeviceSpec::Mouse => {
+                DriverHandle::Input(Rc::new(RefCell::new(EvdevDriver::usb_mouse(env.clone()))))
+            }
+            DeviceSpec::Keyboard => DriverHandle::Input(Rc::new(RefCell::new(
+                EvdevDriver::usb_keyboard(env.clone()),
+            ))),
+            DeviceSpec::Camera => {
+                DriverHandle::Camera(Rc::new(RefCell::new(UvcDriver::new(env.clone()))))
+            }
+            DeviceSpec::Audio => {
+                DriverHandle::Audio(Rc::new(RefCell::new(PcmDriver::new(env.clone()))))
+            }
+            DeviceSpec::Netmap => {
+                DriverHandle::Netmap(Rc::new(RefCell::new(NetmapDriver::new(env.clone()))))
+            }
+        };
+
+        let mut attached = AttachedDevice {
+            spec,
+            handle,
+            env,
+            host_id: None,
+            backend_id: None,
+        };
+
+        if let Some(backend) = &self.backend {
+            let id = backend.borrow_mut().register_device(
+                spec.path(),
+                spec.class(),
+                spec.open_policy(),
+                spec.sharing(),
+                attached.fileops(),
+                attached.env.clone(),
+            )?;
+            attached.backend_id = Some(id);
+            // Install analyzer knowledge and plug the device info module
+            // into every guest (§5.1).
+            for (i, frontend) in self.frontends.iter().enumerate() {
+                if matches!(spec, DeviceSpec::Gpu { .. }) {
+                    let report = analyze_handler(&radeon_handler_3_2_0())
+                        .map_err(|e| MachineError::Config(e.to_string()))?;
+                    frontend
+                        .borrow_mut()
+                        .install_knowledge(spec.path(), IoctlKnowledge::from_report(report));
+                }
+                if matches!(spec, DeviceSpec::IntelGpu { .. }) {
+                    let report = analyze_handler(&i915_handler_ir())
+                        .map_err(|e| MachineError::Config(e.to_string()))?;
+                    frontend
+                        .borrow_mut()
+                        .install_knowledge(spec.path(), IoctlKnowledge::from_report(report));
+                }
+                self.buses[i].plug(DeviceInfoModule::new(spec.pci_info(), spec.path()));
+            }
+        } else {
+            let id =
+                self.host_devfs
+                    .register(spec.path(), spec.class(), spec.open_policy())?;
+            attached.host_id = Some(id);
+        }
+        self.devices.push(attached);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// The shared hypervisor (attack harness, experiments).
+    pub fn hv(&self) -> &SharedHypervisor {
+        &self.hv
+    }
+
+    /// Current virtual time, ns.
+    pub fn now_ns(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    /// The virtual clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// The execution mode.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// The guest VMs (empty outside Paradice mode).
+    pub fn guest_vms(&self) -> &[VmId] {
+        &self.guest_vms
+    }
+
+    /// The driver VM (or host kernel's VM container).
+    pub fn driver_vm(&self) -> VmId {
+        self.driver_vm
+    }
+
+    /// The kernel environment of an attached device (its IOMMU domain,
+    /// data-isolation flag, thread mark) — used by the attack harness and
+    /// experiments.
+    pub fn device_env(&self, path: &str) -> Option<Rc<KernelEnv>> {
+        self.devices
+            .iter()
+            .find(|d| d.spec.path() == path)
+            .map(|d| d.env.clone())
+    }
+
+    /// Typed access to an attached driver by path.
+    pub fn driver(&self, path: &str) -> Option<DriverHandle> {
+        self.devices
+            .iter()
+            .find(|d| d.spec.path() == path)
+            .map(|d| d.handle.clone())
+    }
+
+    /// The virtual PCI bus exported into guest `index` (Paradice).
+    pub fn bus(&self, index: usize) -> Option<&VirtualPciBus> {
+        self.buses.get(index)
+    }
+
+    /// The frontend of guest `index` (tests and experiments).
+    pub fn frontend(&self, index: usize) -> Option<Rc<RefCell<Frontend>>> {
+        self.frontends.get(index).cloned()
+    }
+
+    /// The CVD backend (Paradice).
+    pub fn backend(&self) -> Option<SharedBackend> {
+        self.backend.clone()
+    }
+
+    fn charge_syscall(&self) {
+        self.clock
+            .advance(self.hv.borrow().cost().syscall_ns);
+    }
+
+    // ------------------------------------------------------------------
+    // Processes and memory
+    // ------------------------------------------------------------------
+
+    /// Spawns a process: in guest `index` under Paradice, or on the host
+    /// (`None`) in native/assignment modes.
+    ///
+    /// # Errors
+    ///
+    /// Configuration mismatches and memory exhaustion.
+    pub fn spawn_process(&mut self, guest: Option<usize>) -> Result<TaskId, MachineError> {
+        let (vm, guest_index) = match (self.mode, guest) {
+            (ExecMode::Paradice { .. }, Some(i)) => {
+                let vm = *self
+                    .guest_vms
+                    .get(i)
+                    .ok_or_else(|| MachineError::Config(format!("no guest {i}")))?;
+                (vm, Some(i))
+            }
+            (ExecMode::Paradice { .. }, None) => {
+                return Err(MachineError::Config(
+                    "Paradice processes live in guest VMs".into(),
+                ))
+            }
+            (_, Some(_)) => {
+                return Err(MachineError::Config(
+                    "native/assignment processes live on the host".into(),
+                ))
+            }
+            (_, None) => (self.driver_vm, None),
+        };
+        let pt = {
+            let mut hv = self.hv.borrow_mut();
+            let mut space = hv.gpa_space(vm);
+            GuestPageTables::new(&mut space).map_err(|_| MachineError::Errno(Errno::Enomem))?
+        };
+        let task = TaskId(self.next_task);
+        self.next_task += 1;
+        self.processes.insert(
+            task.0,
+            Process {
+                vm,
+                guest_index,
+                pt,
+                next_va: 0x0001_0000,
+                fds: BTreeMap::new(),
+                next_fd: 3,
+                pending_events: Vec::new(),
+            },
+        );
+        if let (Some(backend), Some(_)) = (&self.backend, guest_index) {
+            backend.borrow_mut().register_task(task, vm);
+        }
+        Ok(task)
+    }
+
+    fn process(&self, task: TaskId) -> Result<&Process, Errno> {
+        self.processes.get(&task.0).ok_or(Errno::Einval)
+    }
+
+    fn process_mut(&mut self, task: TaskId) -> Result<&mut Process, Errno> {
+        self.processes.get_mut(&task.0).ok_or(Errno::Einval)
+    }
+
+    /// Allocates and maps `len` bytes of anonymous process memory; returns
+    /// the virtual address (page-aligned, with a guard page after).
+    ///
+    /// # Errors
+    ///
+    /// `ENOMEM` when the VM's RAM is exhausted.
+    pub fn alloc_buffer(&mut self, task: TaskId, len: u64) -> Result<GuestVirtAddr, Errno> {
+        let (vm, pt_root, va) = {
+            let process = self.process_mut(task)?;
+            let va = process.next_va;
+            let pages = len.div_ceil(PAGE_SIZE).max(1);
+            process.next_va += (pages + 1) * PAGE_SIZE;
+            (process.vm, process.pt, GuestVirtAddr::new(va))
+        };
+        let pages = len.div_ceil(PAGE_SIZE).max(1);
+        let cursor = self.next_user_page.entry(vm.0).or_insert(16);
+        let ram_pages = self.hv.borrow().vm(vm).map_err(|_| Errno::Einval)?.ram_pages();
+        let mut pt = pt_root;
+        for i in 0..pages {
+            if *cursor >= ram_pages {
+                return Err(Errno::Enomem);
+            }
+            let gpa = GuestPhysAddr::new(*cursor * PAGE_SIZE);
+            *cursor += 1;
+            let mut hv = self.hv.borrow_mut();
+            let mut space = hv.gpa_space(vm);
+            pt.map(&mut space, va.add(i * PAGE_SIZE), gpa, Access::RW)
+                .map_err(|_| Errno::Enomem)?;
+        }
+        // Persist the (possibly updated) root.
+        self.process_mut(task)?.pt = pt;
+        Ok(va)
+    }
+
+    /// Writes into process memory (simulating the application's own store).
+    ///
+    /// # Errors
+    ///
+    /// `EFAULT` for unmapped ranges.
+    pub fn write_mem(&mut self, task: TaskId, va: GuestVirtAddr, bytes: &[u8]) -> Result<(), Errno> {
+        let (vm, root) = {
+            let p = self.process(task)?;
+            (p.vm, p.pt.root())
+        };
+        self.hv
+            .borrow_mut()
+            .process_write(vm, root, va, bytes)
+            .map_err(|_| Errno::Efault)
+    }
+
+    /// Reads process memory (the application's own load).
+    ///
+    /// # Errors
+    ///
+    /// `EFAULT` for unmapped ranges.
+    pub fn read_mem(&mut self, task: TaskId, va: GuestVirtAddr, buf: &mut [u8]) -> Result<(), Errno> {
+        let (vm, root) = {
+            let p = self.process(task)?;
+            (p.vm, p.pt.root())
+        };
+        self.hv
+            .borrow_mut()
+            .process_read(vm, root, va, buf)
+            .map_err(|_| Errno::Efault)
+    }
+
+    // ------------------------------------------------------------------
+    // File operations (mode-dispatched)
+    // ------------------------------------------------------------------
+
+    fn host_device(&self, path: &str) -> Result<&AttachedDevice, Errno> {
+        self.devices
+            .iter()
+            .find(|d| d.spec.path() == path)
+            .ok_or(Errno::Enoent)
+    }
+
+    /// Opens a device file for `task` (read-write).
+    ///
+    /// # Errors
+    ///
+    /// `ENOENT`/`EBUSY`/driver errors.
+    pub fn open(&mut self, task: TaskId, path: &str) -> Result<u64, Errno> {
+        self.open_with(task, path, OpenFlags::RDWR)
+    }
+
+    /// Opens a device file with explicit flags.
+    ///
+    /// # Errors
+    ///
+    /// `ENOENT`/`EBUSY`/driver errors.
+    pub fn open_with(
+        &mut self,
+        task: TaskId,
+        path: &str,
+        flags: OpenFlags,
+    ) -> Result<u64, Errno> {
+        self.charge_syscall();
+        let guest_index = self.process(task)?.guest_index;
+        let inner = match guest_index {
+            None => {
+                let (handle, _) = self.host_devfs.open(path, task, flags)?;
+                let device = self.host_device(path)?;
+                let ctx = OpenContext {
+                    handle,
+                    task,
+                    flags,
+                };
+                let result = device.fileops().borrow_mut().open(ctx);
+                if let Err(errno) = result {
+                    let _ = self.host_devfs.close(handle);
+                    return Err(errno);
+                }
+                FdInner::Host(handle)
+            }
+            Some(i) => {
+                let frontend = self.frontends[i].clone();
+                let fd = frontend.borrow_mut().open(task, path, flags)?;
+                FdInner::Guest(fd)
+            }
+        };
+        let process = self.process_mut(task)?;
+        let fd = process.next_fd;
+        process.next_fd += 1;
+        process.fds.insert(fd, (inner, path.to_owned()));
+        Ok(fd)
+    }
+
+    fn fd_of(&self, task: TaskId, fd: u64) -> Result<(FdInner, String), Errno> {
+        self.process(task)?
+            .fds
+            .get(&fd)
+            .cloned()
+            .ok_or(Errno::Ebadf)
+    }
+
+    fn host_ctx(&self, task: TaskId, handle: FileHandleId) -> Result<OpenContext, Errno> {
+        let open = self.host_devfs.resolve(handle)?;
+        Ok(OpenContext {
+            handle,
+            task,
+            flags: open.flags,
+        })
+    }
+
+    fn direct_memops(&self, task: TaskId) -> Result<DirectMemOps, Errno> {
+        let process = self.process(task)?;
+        Ok(DirectMemOps {
+            hv: self.hv.clone(),
+            vm: process.vm,
+            pt_root: process.pt.root(),
+        })
+    }
+
+    /// Closes a descriptor.
+    ///
+    /// # Errors
+    ///
+    /// `EBADF` for unknown descriptors.
+    pub fn close(&mut self, task: TaskId, fd: u64) -> Result<(), Errno> {
+        self.charge_syscall();
+        let (inner, path) = self.fd_of(task, fd)?;
+        match inner {
+            FdInner::Host(handle) => {
+                let ctx = self.host_ctx(task, handle)?;
+                let device = self.host_device(&path)?;
+                device.fileops().borrow_mut().release(ctx)?;
+                self.host_devfs.close(handle)?;
+            }
+            FdInner::Guest(gfd) => {
+                let i = self.process(task)?.guest_index.ok_or(Errno::Ebadf)?;
+                self.frontends[i].borrow_mut().release(task, gfd)?;
+            }
+        }
+        self.process_mut(task)?.fds.remove(&fd);
+        Ok(())
+    }
+
+    /// `read(fd, buf, len)`.
+    ///
+    /// # Errors
+    ///
+    /// Driver errors.
+    pub fn read(
+        &mut self,
+        task: TaskId,
+        fd: u64,
+        addr: GuestVirtAddr,
+        len: u64,
+    ) -> Result<u64, Errno> {
+        self.charge_syscall();
+        let (inner, path) = self.fd_of(task, fd)?;
+        match inner {
+            FdInner::Host(handle) => {
+                let ctx = self.host_ctx(task, handle)?;
+                let mut mem = self.direct_memops(task)?;
+                let device = self.host_device(&path)?;
+                device
+                    .fileops()
+                    .borrow_mut()
+                    .read(ctx, &mut mem, UserBuffer::new(addr, len))
+            }
+            FdInner::Guest(gfd) => {
+                let p = self.process(task)?;
+                let (i, pt) = (p.guest_index.ok_or(Errno::Ebadf)?, p.pt);
+                self.frontends[i]
+                    .borrow_mut()
+                    .read(task, pt, gfd, addr, len)
+            }
+        }
+    }
+
+    /// `write(fd, buf, len)`.
+    ///
+    /// # Errors
+    ///
+    /// Driver errors.
+    pub fn write(
+        &mut self,
+        task: TaskId,
+        fd: u64,
+        addr: GuestVirtAddr,
+        len: u64,
+    ) -> Result<u64, Errno> {
+        self.charge_syscall();
+        let (inner, path) = self.fd_of(task, fd)?;
+        match inner {
+            FdInner::Host(handle) => {
+                let ctx = self.host_ctx(task, handle)?;
+                let mut mem = self.direct_memops(task)?;
+                let device = self.host_device(&path)?;
+                device
+                    .fileops()
+                    .borrow_mut()
+                    .write(ctx, &mut mem, UserBuffer::new(addr, len))
+            }
+            FdInner::Guest(gfd) => {
+                let p = self.process(task)?;
+                let (i, pt) = (p.guest_index.ok_or(Errno::Ebadf)?, p.pt);
+                self.frontends[i]
+                    .borrow_mut()
+                    .write(task, pt, gfd, addr, len)
+            }
+        }
+    }
+
+    /// `ioctl(fd, cmd, arg)`.
+    ///
+    /// # Errors
+    ///
+    /// Driver errors.
+    pub fn ioctl(
+        &mut self,
+        task: TaskId,
+        fd: u64,
+        cmd: IoctlCmd,
+        arg: u64,
+    ) -> Result<i64, Errno> {
+        self.charge_syscall();
+        let (inner, path) = self.fd_of(task, fd)?;
+        match inner {
+            FdInner::Host(handle) => {
+                let ctx = self.host_ctx(task, handle)?;
+                let mut mem = self.direct_memops(task)?;
+                let device = self.host_device(&path)?;
+                device.fileops().borrow_mut().ioctl(ctx, &mut mem, cmd, arg)
+            }
+            FdInner::Guest(gfd) => {
+                let p = self.process(task)?;
+                let (i, pt) = (p.guest_index.ok_or(Errno::Ebadf)?, p.pt);
+                self.frontends[i]
+                    .borrow_mut()
+                    .ioctl(task, pt, gfd, cmd, arg)
+            }
+        }
+    }
+
+    /// `mmap(fd, len, offset)`: the machine picks the process VA.
+    ///
+    /// # Errors
+    ///
+    /// Driver errors; `EINVAL` for zero-length maps.
+    pub fn mmap(
+        &mut self,
+        task: TaskId,
+        fd: u64,
+        len: u64,
+        offset: u64,
+        access: Access,
+    ) -> Result<GuestVirtAddr, Errno> {
+        self.charge_syscall();
+        if len == 0 {
+            return Err(Errno::Einval);
+        }
+        let va = {
+            let process = self.process_mut(task)?;
+            let va = process.next_va;
+            let pages = len.div_ceil(PAGE_SIZE);
+            process.next_va += (pages + 1) * PAGE_SIZE;
+            GuestVirtAddr::new(va)
+        };
+        let (inner, path) = self.fd_of(task, fd)?;
+        match inner {
+            FdInner::Host(handle) => {
+                let (vm, mut pt) = {
+                    let p = self.process(task)?;
+                    (p.vm, p.pt)
+                };
+                // The host kernel creates the intermediate levels, as the
+                // guest kernel does under Paradice (§5.2).
+                {
+                    let mut hv = self.hv.borrow_mut();
+                    let mut space = hv.gpa_space(vm);
+                    for i in 0..len.div_ceil(PAGE_SIZE) {
+                        pt.ensure_intermediate(&mut space, va.add(i * PAGE_SIZE))
+                            .map_err(|_| Errno::Enomem)?;
+                    }
+                }
+                self.process_mut(task)?.pt = pt;
+                let ctx = self.host_ctx(task, handle)?;
+                let mut mem = self.direct_memops(task)?;
+                let device = self.host_device(&path)?;
+                device.fileops().borrow_mut().mmap(
+                    ctx,
+                    &mut mem,
+                    MmapRange {
+                        va,
+                        len,
+                        offset,
+                        access,
+                    },
+                )?;
+            }
+            FdInner::Guest(gfd) => {
+                let p = self.process(task)?;
+                let (i, pt, personality) = (
+                    p.guest_index.ok_or(Errno::Ebadf)?,
+                    p.pt,
+                    self.guest_specs[p.guest_index.unwrap_or(0)].personality,
+                );
+                let frontend = self.frontends[i].clone();
+                if personality.needs_mmap_hook() {
+                    // The 12-LoC FreeBSD kernel hook (§5.1), invoked by the
+                    // guest kernel on the process's behalf.
+                    frontend.borrow_mut().freebsd_set_mmap_range(va, len);
+                }
+                frontend
+                    .borrow_mut()
+                    .mmap(task, pt, gfd, va, len, offset, access)?;
+            }
+        }
+        Ok(va)
+    }
+
+    /// `munmap(va, len)` on a device mapping.
+    ///
+    /// # Errors
+    ///
+    /// Driver errors.
+    pub fn munmap(
+        &mut self,
+        task: TaskId,
+        fd: u64,
+        va: GuestVirtAddr,
+        len: u64,
+    ) -> Result<(), Errno> {
+        self.charge_syscall();
+        let (inner, path) = self.fd_of(task, fd)?;
+        match inner {
+            FdInner::Host(handle) => {
+                let (vm, pt) = {
+                    let p = self.process(task)?;
+                    (p.vm, p.pt)
+                };
+                // Kernel clears the leaf entries first (§5.2)…
+                {
+                    let mut hv = self.hv.borrow_mut();
+                    let mut space = hv.gpa_space(vm);
+                    for i in 0..len.div_ceil(PAGE_SIZE) {
+                        pt.unmap(&mut space, va.add(i * PAGE_SIZE))
+                            .map_err(|_| Errno::Efault)?;
+                    }
+                }
+                let ctx = self.host_ctx(task, handle)?;
+                let mut mem = self.direct_memops(task)?;
+                let device = self.host_device(&path)?;
+                device.fileops().borrow_mut().munmap(ctx, &mut mem, va, len)
+            }
+            FdInner::Guest(gfd) => {
+                let p = self.process(task)?;
+                let (i, pt) = (p.guest_index.ok_or(Errno::Ebadf)?, p.pt);
+                self.frontends[i]
+                    .borrow_mut()
+                    .munmap(task, pt, gfd, va, len)
+            }
+        }
+    }
+
+    /// A page fault in a lazily-populated device mapping: the kernel's
+    /// fault handler routes it to the driver's `fault` file operation
+    /// (§2.1), which installs exactly the faulting page.
+    ///
+    /// # Errors
+    ///
+    /// `EFAULT` outside any device mapping; driver errors otherwise.
+    pub fn fault_page(&mut self, task: TaskId, fd: u64, va: GuestVirtAddr) -> Result<(), Errno> {
+        let (inner, path) = self.fd_of(task, fd)?;
+        match inner {
+            FdInner::Host(handle) => {
+                // The host kernel creates the intermediates for the faulting
+                // page before asking the driver to fill the leaf.
+                let (vm, mut pt) = {
+                    let p = self.process(task)?;
+                    (p.vm, p.pt)
+                };
+                {
+                    let mut hv = self.hv.borrow_mut();
+                    let mut space = hv.gpa_space(vm);
+                    pt.ensure_intermediate(&mut space, va.page_base())
+                        .map_err(|_| Errno::Enomem)?;
+                }
+                self.process_mut(task)?.pt = pt;
+                let ctx = self.host_ctx(task, handle)?;
+                let mut mem = self.direct_memops(task)?;
+                let device = self.host_device(&path)?;
+                device.fileops().borrow_mut().fault(ctx, &mut mem, va)
+            }
+            FdInner::Guest(gfd) => {
+                let p = self.process(task)?;
+                let (i, pt) = (p.guest_index.ok_or(Errno::Ebadf)?, p.pt);
+                self.frontends[i].borrow_mut().fault(task, pt, gfd, va)
+            }
+        }
+    }
+
+    /// `poll(fd)`.
+    ///
+    /// # Errors
+    ///
+    /// Driver errors.
+    pub fn poll(&mut self, task: TaskId, fd: u64) -> Result<PollEvents, Errno> {
+        self.charge_syscall();
+        let (inner, path) = self.fd_of(task, fd)?;
+        match inner {
+            FdInner::Host(handle) => {
+                let ctx = self.host_ctx(task, handle)?;
+                let device = self.host_device(&path)?;
+                let events = device.fileops().borrow_mut().poll(ctx)?;
+                Ok(events)
+            }
+            FdInner::Guest(gfd) => {
+                let i = self.process(task)?.guest_index.ok_or(Errno::Ebadf)?;
+                self.frontends[i].borrow_mut().poll(task, gfd)
+            }
+        }
+    }
+
+    /// `fasync(fd, on)`.
+    ///
+    /// # Errors
+    ///
+    /// Driver errors.
+    pub fn fasync(&mut self, task: TaskId, fd: u64, on: bool) -> Result<(), Errno> {
+        self.charge_syscall();
+        let (inner, path) = self.fd_of(task, fd)?;
+        match inner {
+            FdInner::Host(handle) => {
+                let ctx = self.host_ctx(task, handle)?;
+                let device = self.host_device(&path)?;
+                device.fileops().borrow_mut().fasync(ctx, on)
+            }
+            FdInner::Guest(gfd) => {
+                let i = self.process(task)?.guest_index.ok_or(Errno::Ebadf)?;
+                self.frontends[i].borrow_mut().fasync(task, gfd, on)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Events, signals, sharing
+    // ------------------------------------------------------------------
+
+    /// Injects a mouse movement; routes `fasync` notifications per mode.
+    pub fn mouse_move(&mut self, dx: i32, dy: i32) {
+        self.inject_input("/dev/input/event0", EventKind::Relative, 0, dx);
+        if dy != 0 {
+            self.inject_input("/dev/input/event0", EventKind::Relative, 1, dy);
+        }
+    }
+
+    /// Injects a key press on the keyboard.
+    pub fn key_press(&mut self, code: u16) {
+        self.inject_input("/dev/input/event1", EventKind::Key, code, 1);
+    }
+
+    fn inject_input(&mut self, path: &str, kind: EventKind, code: u16, value: i32) {
+        let Some(device) = self.devices.iter().find(|d| d.spec.path() == path) else {
+            return;
+        };
+        let DriverHandle::Input(driver) = &device.handle else {
+            return;
+        };
+        let event = InputEvent {
+            time_us: self.clock.now_ns() / 1_000,
+            kind,
+            code,
+            value,
+        };
+        let signals = driver.borrow_mut().report_event(event);
+        match (&self.backend, device.backend_id) {
+            (Some(backend), Some(id)) => {
+                backend.borrow_mut().deliver_signals(id, &signals);
+            }
+            _ => {
+                // Host path: queue signals on the subscribing processes.
+                for signal in signals {
+                    if let Some(process) = self.processes.get_mut(&signal.task.0) {
+                        // Host fds map 1:1 onto devfs handles; find the fd.
+                        let fd = process
+                            .fds
+                            .iter()
+                            .find(|(_, (inner, _))| {
+                                matches!(inner, FdInner::Host(h) if *h == signal.handle)
+                            })
+                            .map(|(&fd, _)| fd);
+                        if let Some(fd) = fd {
+                            process.pending_events.push(fd);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Blocks the process until an asynchronous notification arrives;
+    /// returns the fd it was for. Charges the wakeup path (the §6.1.5
+    /// scheduling latency: native wakeup plus, inside a VM, the
+    /// virtualization scheduling penalty).
+    pub fn wait_event(&mut self, task: TaskId) -> Option<u64> {
+        let cost = {
+            let hv = self.hv.borrow();
+            let cost = hv.cost();
+            cost.process_wakeup_ns
+                + if self.mode == ExecMode::Native {
+                    0
+                } else {
+                    cost.vm_sched_penalty_ns
+                }
+        };
+        let guest_index = self.processes.get(&task.0)?.guest_index;
+        match guest_index {
+            None => {
+                let process = self.processes.get_mut(&task.0)?;
+                if process.pending_events.is_empty() {
+                    return None;
+                }
+                let fd = process.pending_events.remove(0);
+                self.clock.advance(cost);
+                Some(fd)
+            }
+            Some(i) => {
+                let notifications = self.frontends[i].borrow_mut().drain_notifications();
+                let (sig_task, gfd) = notifications.into_iter().find(|(t, _)| *t == task)?;
+                debug_assert_eq!(sig_task, task);
+                // Translate the guest-frontend fd to the process fd.
+                let process = self.processes.get(&task.0)?;
+                let fd = process
+                    .fds
+                    .iter()
+                    .find(|(_, (inner, _))| matches!(inner, FdInner::Guest(g) if *g == gfd))
+                    .map(|(&fd, _)| fd)?;
+                self.clock.advance(cost);
+                Some(fd)
+            }
+        }
+    }
+
+    /// Switches the foreground virtual terminal to guest `index` (§5.1).
+    pub fn switch_foreground(&mut self, index: usize) -> bool {
+        match (&self.terminals, self.guest_vms.get(index)) {
+            (Some(terminals), Some(&guest)) => terminals.borrow_mut().switch_to(guest),
+            _ => false,
+        }
+    }
+
+    /// Whether guest `index` holds the foreground (renders to the GPU).
+    pub fn is_foreground(&self, index: usize) -> bool {
+        match (&self.terminals, self.guest_vms.get(index)) {
+            (Some(terminals), Some(&guest)) => terminals.borrow().is_foreground(guest),
+            (None, _) => true, // no terminals: single tenant
+            _ => false,
+        }
+    }
+
+    /// Paces the caller to the next 60-Hz vertical blank — the paper's
+    /// proposed *software VSync emulation* for data-isolated GPUs (§5.3).
+    pub fn vblank_pace(&self) {
+        let period = paradice_drivers::gpu::model::VSYNC_PERIOD_NS;
+        let now = self.clock.now_ns();
+        let next = now.div_ceil(period) * period;
+        self.clock.advance_to(next.max(now + 1));
+    }
+
+    /// Restarts the driver VM: every driver is re-instantiated and all open
+    /// handles die — the paper's proposed remedy for a wedged device (§8,
+    /// via shadow-driver-style recovery).
+    ///
+    /// # Errors
+    ///
+    /// `ENOTSUP` outside Paradice mode or with data isolation enabled
+    /// (region state re-creation is future work, as in the paper).
+    pub fn recover_driver_vm(&mut self) -> Result<(), MachineError> {
+        let ExecMode::Paradice { data_isolation, .. } = self.mode else {
+            return Err(MachineError::Errno(Errno::Enotsup));
+        };
+        if data_isolation {
+            return Err(MachineError::Errno(Errno::Enotsup));
+        }
+        for device in &self.devices {
+            match &device.handle {
+                DriverHandle::Gpu(cell) => {
+                    let (env, bar, vram, version) = {
+                        let driver = cell.borrow();
+                        let gpu = driver.gpu();
+                        (
+                            device.env.clone(),
+                            gpu.bar_base(),
+                            gpu.vram_bytes(),
+                            driver.version(),
+                        )
+                    };
+                    let gpu = RadeonGpu::new(env.clone(), bar, vram);
+                    *cell.borrow_mut() = RadeonDriver::new(env, gpu, version);
+                }
+                DriverHandle::IntelGpu(cell) => {
+                    let (env, bar, vram) = {
+                        let driver = cell.borrow();
+                        let gpu = driver.gpu();
+                        (device.env.clone(), gpu.bar_base(), gpu.vram_bytes())
+                    };
+                    let gpu = RadeonGpu::new(env.clone(), bar, vram);
+                    *cell.borrow_mut() = I915Driver::new(env, gpu);
+                }
+                DriverHandle::Input(cell) => {
+                    let name_is_mouse = device.spec == DeviceSpec::Mouse;
+                    let env = device.env.clone();
+                    *cell.borrow_mut() = if name_is_mouse {
+                        EvdevDriver::usb_mouse(env)
+                    } else {
+                        EvdevDriver::usb_keyboard(env)
+                    };
+                }
+                DriverHandle::Camera(cell) => {
+                    *cell.borrow_mut() = UvcDriver::new(device.env.clone());
+                }
+                DriverHandle::Audio(cell) => {
+                    *cell.borrow_mut() = PcmDriver::new(device.env.clone());
+                }
+                DriverHandle::Netmap(cell) => {
+                    *cell.borrow_mut() = NetmapDriver::new(device.env.clone());
+                }
+            }
+        }
+        // All guest descriptors are now dangling; drop them so subsequent
+        // use fails with EBADF, and reset frontends' handle maps by
+        // clearing process fd tables pointing at guests.
+        for process in self.processes.values_mut() {
+            process
+                .fds
+                .retain(|_, (inner, _)| !matches!(inner, FdInner::Guest(_)));
+        }
+        Ok(())
+    }
+
+    /// Disables grant validation: the machine degenerates to the paper's
+    /// *devirtualization* predecessor (Figure 1(b)), in which a compromised
+    /// driver can reach arbitrary guest memory. Exists purely as the
+    /// security ablation demonstrating why Paradice's strict runtime checks
+    /// matter (§3.1: "this important flaw led us to the design of
+    /// Paradice").
+    pub fn enable_devirtualization_ablation(&mut self) {
+        self.hv.borrow_mut().set_grant_validation(false);
+    }
+
+    /// Drains a paused backend queue (test/diagnostic pass-through).
+    pub fn resume_backend(&mut self, guest_index: usize) -> Vec<WireResponse> {
+        match (&self.backend, self.guest_vms.get(guest_index)) {
+            (Some(backend), Some(&guest)) => backend.borrow_mut().resume(guest),
+            _ => Vec::new(),
+        }
+    }
+
+    /// The configured queue cap (experiments).
+    pub fn queue_cap(&self) -> usize {
+        self.queue_cap
+    }
+}

@@ -1,0 +1,84 @@
+//! OS personalities and cross-version compatibility.
+//!
+//! "The device file interface is compatible across various Unix-like OSes;
+//! therefore Paradice can support guest VMs running different versions of
+//! Unix-like OSes in one physical machine, all sharing the same driver VM"
+//! (paper §3.2.2). The machinery lives in the CVD frontend
+//! ([`OsPersonality`]); this module adds the compatibility *analysis* the
+//! paper reports: which file operations each kernel knows, and how small the
+//! delta is between versions (the famous "14 LoC").
+
+pub use paradice_cvd::frontend::OsPersonality;
+use paradice_devfs::fileops::FileOpKind;
+
+/// The file operations device drivers actually use (paper §2.1): these must
+/// exist with compatible semantics in every supported kernel.
+pub const DRIVER_CRITICAL_OPS: [FileOpKind; 8] = [
+    FileOpKind::Open,
+    FileOpKind::Release,
+    FileOpKind::Read,
+    FileOpKind::Write,
+    FileOpKind::Ioctl,
+    FileOpKind::Mmap,
+    FileOpKind::Poll,
+    FileOpKind::Fasync,
+];
+
+/// The op-list delta between two kernels: what the CVD's per-kernel
+/// operation table needs added or removed (§5.1's 14-LoC update).
+pub fn op_list_delta(from: OsPersonality, to: OsPersonality) -> (Vec<FileOpKind>, Vec<FileOpKind>) {
+    let old = from.supported_ops();
+    let new = to.supported_ops();
+    let added = new
+        .iter()
+        .copied()
+        .filter(|op| !old.contains(op))
+        .collect();
+    let removed = old
+        .iter()
+        .copied()
+        .filter(|op| !new.contains(op))
+        .collect();
+    (added, removed)
+}
+
+/// Checks that a personality supports everything drivers require — the
+/// §3.2.2 compatibility claim, as an executable assertion.
+pub fn supports_driver_critical_ops(personality: OsPersonality) -> bool {
+    let ops = personality.supported_ops();
+    DRIVER_CRITICAL_OPS.iter().all(|op| ops.contains(op))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_personality_supports_the_critical_ops() {
+        for personality in [
+            OsPersonality::LINUX_2_6_35,
+            OsPersonality::LINUX_3_2_0,
+            OsPersonality::FreeBsd,
+        ] {
+            assert!(
+                supports_driver_critical_ops(personality),
+                "{personality:?} must support the driver-critical ops"
+            );
+        }
+    }
+
+    #[test]
+    fn linux_version_delta_is_small() {
+        // §5.1: supporting a new Linux version is a tiny op-list update.
+        let (added, removed) =
+            op_list_delta(OsPersonality::LINUX_2_6_35, OsPersonality::LINUX_3_2_0);
+        assert_eq!(added, vec![FileOpKind::Fallocate]);
+        assert!(removed.is_empty());
+    }
+
+    #[test]
+    fn freebsd_needs_the_mmap_hook() {
+        assert!(OsPersonality::FreeBsd.needs_mmap_hook());
+        assert!(!OsPersonality::LINUX_3_2_0.needs_mmap_hook());
+    }
+}

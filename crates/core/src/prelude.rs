@@ -1,0 +1,11 @@
+//! One-stop imports for examples and application code.
+
+pub use crate::machine::{
+    DeviceSpec, ExecMode, GuestSpec, Machine, MachineBuilder, MachineError, OsPersonality,
+};
+pub use paradice_devfs::fileops::{OpenFlags, PollEvents, TaskId};
+pub use paradice_devfs::ioc::{io, ior, iow, iowr, IoctlCmd};
+pub use paradice_devfs::Errno;
+pub use paradice_drivers::gpu::driver::DriverVersion;
+pub use paradice_hypervisor::{CostModel, TransportMode};
+pub use paradice_mem::{Access, GuestVirtAddr, PAGE_SIZE};

@@ -1,0 +1,432 @@
+//! The CVD backend: the driver-VM half of the paravirtual pair.
+//!
+//! "The CVD backend puts new file operations on a wait-queue to be executed.
+//! We use separate wait-queues for each guest VM. We also set the maximum
+//! number of queued operations for each wait-queue to 100 to prevent
+//! malicious guest VMs from causing denial-of-service problems … We can
+//! modify this cap for different queues for better load balancing or
+//! enforcing priorities between guest VMs" (paper §5.1).
+//!
+//! Dispatch marks the executing "thread" with the calling guest (the
+//! `task_struct` flag of §5.2) so the driver's wrapper stubs — our
+//! [`HypercallMemOps`] — and the data-isolation code know whose memory and
+//! region to use. Asynchronous notifications flow backend → frontend over
+//! the same channels, filtered by the input-sharing policy (§5.1: "for
+//! input devices, we only send notifications to the foreground guest VM").
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::rc::Rc;
+
+use paradice_devfs::fasync::Signal;
+use paradice_devfs::fileops::{FileOps, MmapRange, OpenContext, TaskId, UserBuffer};
+use paradice_devfs::registry::{DevFs, DeviceId, FileHandleId, OpenPolicy};
+use paradice_devfs::sysinfo::DeviceClass;
+use paradice_devfs::Errno;
+use paradice_drivers::env::KernelEnv;
+use paradice_hypervisor::audit::AuditEvent;
+use paradice_hypervisor::{Channel, GrantRef, SharedHypervisor, VmId};
+use paradice_mem::GuestVirtAddr;
+
+use crate::memops::HypercallMemOps;
+use crate::proto::{WireOp, WireRequest, WireResponse, WireSignal};
+use crate::sharing::{SharingPolicy, VirtualTerminals};
+
+/// The paper's per-guest wait-queue cap.
+pub const DEFAULT_QUEUE_CAP: usize = 100;
+
+/// A shared handle to the backend (one backend serves every guest, §3.2.3).
+pub type SharedBackend = Rc<RefCell<Backend>>;
+
+struct DeviceSlot {
+    ops: Rc<RefCell<dyn FileOps>>,
+    env: Rc<KernelEnv>,
+    class: DeviceClass,
+    policy: SharingPolicy,
+}
+
+struct GuestState {
+    channel: Rc<RefCell<Channel>>,
+    queue: VecDeque<Vec<u8>>,
+    cap: usize,
+}
+
+/// Per-open-file bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct OpenState {
+    device: DeviceId,
+    guest: VmId,
+    flags: paradice_devfs::OpenFlags,
+}
+
+/// The CVD backend.
+pub struct Backend {
+    hv: SharedHypervisor,
+    driver_vm: VmId,
+    devfs: DevFs,
+    devices: BTreeMap<u32, DeviceSlot>,
+    guests: BTreeMap<u32, GuestState>,
+    opens: BTreeMap<u64, OpenState>,
+    task_origin: BTreeMap<u64, VmId>,
+    terminals: Option<Rc<RefCell<VirtualTerminals>>>,
+    /// When paused, requests queue without executing (lets tests exercise
+    /// the DoS cap; in the live system the queue only backs up when the
+    /// driver is slow).
+    paused: bool,
+    ops_executed: u64,
+}
+
+impl std::fmt::Debug for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Backend")
+            .field("driver_vm", &self.driver_vm)
+            .field("devices", &self.devices.len())
+            .field("guests", &self.guests.len())
+            .field("ops_executed", &self.ops_executed)
+            .finish()
+    }
+}
+
+impl Backend {
+    /// Creates a backend hosted in `driver_vm`.
+    pub fn new(hv: SharedHypervisor, driver_vm: VmId) -> SharedBackend {
+        Rc::new(RefCell::new(Backend {
+            hv,
+            driver_vm,
+            devfs: DevFs::new(),
+            devices: BTreeMap::new(),
+            guests: BTreeMap::new(),
+            opens: BTreeMap::new(),
+            task_origin: BTreeMap::new(),
+            terminals: None,
+            paused: false,
+            ops_executed: 0,
+        }))
+    }
+
+    /// The driver VM hosting this backend.
+    pub fn driver_vm(&self) -> VmId {
+        self.driver_vm
+    }
+
+    /// Total file operations executed.
+    pub fn ops_executed(&self) -> u64 {
+        self.ops_executed
+    }
+
+    /// Registers a device driver at `path` in the driver VM's devfs.
+    ///
+    /// # Errors
+    ///
+    /// `EBUSY` for duplicate paths.
+    pub fn register_device(
+        &mut self,
+        path: &str,
+        class: DeviceClass,
+        open_policy: OpenPolicy,
+        sharing: SharingPolicy,
+        ops: Rc<RefCell<dyn FileOps>>,
+        env: Rc<KernelEnv>,
+    ) -> Result<DeviceId, Errno> {
+        let id = self.devfs.register(path, class, open_policy)?;
+        self.devices.insert(
+            id.0,
+            DeviceSlot {
+                ops,
+                env,
+                class,
+                policy: sharing,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Attaches a guest VM with its shared-page channel and queue cap.
+    pub fn attach_guest(&mut self, guest: VmId, channel: Rc<RefCell<Channel>>, cap: usize) {
+        self.guests.insert(
+            guest.0,
+            GuestState {
+                channel,
+                queue: VecDeque::new(),
+                cap,
+            },
+        );
+    }
+
+    /// Adjusts a guest's wait-queue cap ("for better load balancing or
+    /// enforcing priorities", §5.1).
+    ///
+    /// # Errors
+    ///
+    /// `EINVAL` for unknown guests.
+    pub fn set_queue_cap(&mut self, guest: VmId, cap: usize) -> Result<(), Errno> {
+        self.guests
+            .get_mut(&guest.0)
+            .map(|state| state.cap = cap)
+            .ok_or(Errno::Einval)
+    }
+
+    /// Records which guest a task belongs to (set when the machine spawns a
+    /// guest process; used for notification routing).
+    pub fn register_task(&mut self, task: TaskId, guest: VmId) {
+        self.task_origin.insert(task.0, guest);
+    }
+
+    /// Installs the virtual-terminal tracker used for foreground filtering.
+    pub fn set_terminals(&mut self, terminals: Rc<RefCell<VirtualTerminals>>) {
+        self.terminals = Some(terminals);
+    }
+
+    /// Stops executing requests (they queue instead). Test/diagnostic knob.
+    pub fn pause(&mut self) {
+        self.paused = true;
+    }
+
+    /// Depth of a guest's wait queue.
+    pub fn queue_depth(&self, guest: VmId) -> usize {
+        self.guests.get(&guest.0).map_or(0, |s| s.queue.len())
+    }
+
+    /// Accepts one request from `guest`'s channel: enqueue (subject to the
+    /// cap), then — unless paused — execute it and post the response.
+    ///
+    /// # Errors
+    ///
+    /// `EINVAL` for unattached guests or an empty channel. A full wait
+    /// queue is *not* an error here: the EDQUOT response is posted on the
+    /// channel (and the flood audited), exactly as the guest would see it.
+    pub fn handle_request(&mut self, guest: VmId) -> Result<(), Errno> {
+        let state = self.guests.get_mut(&guest.0).ok_or(Errno::Einval)?;
+        let bytes = state
+            .channel
+            .borrow_mut()
+            .take_request()
+            .map_err(|_| Errno::Einval)?;
+        if state.queue.len() >= state.cap {
+            let depth = state.queue.len();
+            let response = WireResponse(Err(Errno::Edquot)).encode();
+            let _ = state.channel.borrow_mut().send_response(response);
+            self.hv
+                .borrow_mut()
+                .record_audit(AuditEvent::WaitQueueOverflow { guest, depth });
+            return Ok(());
+        }
+        state.queue.push_back(bytes);
+        if !self.paused {
+            if let Some(response) = self.execute_next(guest) {
+                let state = self.guests.get_mut(&guest.0).expect("attached above");
+                let _ = state.channel.borrow_mut().send_response(response.encode());
+            }
+        }
+        Ok(())
+    }
+
+    /// Resumes a paused backend, draining `guest`'s backlog and returning
+    /// the responses in order (the live system would post them as the
+    /// response slot frees up).
+    pub fn resume(&mut self, guest: VmId) -> Vec<WireResponse> {
+        self.paused = false;
+        let mut responses = Vec::new();
+        while self.queue_depth(guest) > 0 {
+            if let Some(response) = self.execute_next(guest) {
+                responses.push(response);
+            }
+        }
+        responses
+    }
+
+    fn execute_next(&mut self, guest: VmId) -> Option<WireResponse> {
+        let bytes = self.guests.get_mut(&guest.0)?.queue.pop_front()?;
+        let Ok(request) = WireRequest::decode(&bytes) else {
+            return Some(WireResponse(Err(Errno::Einval)));
+        };
+        self.hv.borrow().clock().advance(
+            self.hv.borrow().cost().backend_dispatch_ns,
+        );
+        self.ops_executed += 1;
+        Some(WireResponse(self.dispatch(guest, request)))
+    }
+
+    fn dispatch(&mut self, guest: VmId, request: WireRequest) -> Result<i64, Errno> {
+        let task = TaskId(request.task);
+        match &request.op {
+            WireOp::Open { path, flags } => {
+                let (handle, device) = self.devfs.open(path, task, *flags)?;
+                let slot = self.devices.get(&device.0).ok_or(Errno::Enodev)?;
+                let ctx = OpenContext {
+                    handle,
+                    task,
+                    flags: *flags,
+                };
+                slot.env.set_current_guest(Some(guest));
+                let result = slot.ops.borrow_mut().open(ctx);
+                slot.env.set_current_guest(None);
+                if let Err(errno) = result {
+                    let _ = self.devfs.close(handle);
+                    return Err(errno);
+                }
+                self.opens.insert(
+                    handle.0,
+                    OpenState {
+                        device,
+                        guest,
+                        flags: *flags,
+                    },
+                );
+                Ok(handle.0 as i64)
+            }
+            op => {
+                let handle = FileHandleId(request.handle);
+                let open = *self.opens.get(&request.handle).ok_or(Errno::Ebadf)?;
+                if open.guest != guest {
+                    // A guest may only drive its own open files.
+                    return Err(Errno::Eperm);
+                }
+                let slot = self.devices.get(&open.device.0).ok_or(Errno::Enodev)?;
+                let ctx = OpenContext {
+                    handle,
+                    task,
+                    flags: open.flags,
+                };
+                // The wrapper-stub binding: every memory operation the
+                // driver performs for this request is a grant-checked
+                // hypercall. A missing grant fails closed (no declaration
+                // can ever match).
+                let grant = request.grant.unwrap_or(GrantRef(u32::MAX));
+                let mut mem = HypercallMemOps::new(
+                    self.hv.clone(),
+                    self.driver_vm,
+                    guest,
+                    request.pt_root,
+                    grant,
+                    Some(slot.env.domain()),
+                );
+                // Thread marking (§5.2).
+                slot.env.set_current_guest(Some(guest));
+                let result = match op {
+                    WireOp::Read { addr, len } => slot.ops.borrow_mut().read(
+                        ctx,
+                        &mut mem,
+                        UserBuffer::new(*addr, *len),
+                    ).map(|n| n as i64),
+                    WireOp::Write { addr, len } => slot.ops.borrow_mut().write(
+                        ctx,
+                        &mut mem,
+                        UserBuffer::new(*addr, *len),
+                    ).map(|n| n as i64),
+                    WireOp::Ioctl { cmd, arg } => {
+                        slot.ops.borrow_mut().ioctl(ctx, &mut mem, *cmd, *arg)
+                    }
+                    WireOp::Mmap {
+                        va,
+                        len,
+                        offset,
+                        access,
+                    } => slot
+                        .ops
+                        .borrow_mut()
+                        .mmap(
+                            ctx,
+                            &mut mem,
+                            MmapRange {
+                                va: *va,
+                                len: *len,
+                                offset: *offset,
+                                access: *access,
+                            },
+                        )
+                        .map(|()| 0),
+                    WireOp::Munmap { va, len } => slot
+                        .ops
+                        .borrow_mut()
+                        .munmap(ctx, &mut mem, *va, *len)
+                        .map(|()| 0),
+                    WireOp::Fault { va } => slot
+                        .ops
+                        .borrow_mut()
+                        .fault(ctx, &mut mem, *va)
+                        .map(|()| 0),
+                    WireOp::Poll => slot
+                        .ops
+                        .borrow_mut()
+                        .poll(ctx)
+                        .map(|events| i64::from(events.bits())),
+                    WireOp::Fasync { on } => {
+                        slot.ops.borrow_mut().fasync(ctx, *on).map(|()| 0)
+                    }
+                    WireOp::Release => {
+                        let result = slot.ops.borrow_mut().release(ctx);
+                        let _ = self.devfs.close(handle);
+                        self.opens.remove(&request.handle);
+                        result.map(|()| 0)
+                    }
+                    WireOp::Open { .. } => unreachable!("handled above"),
+                };
+                slot.env.set_current_guest(None);
+                result
+            }
+        }
+    }
+
+    /// Routes asynchronous notifications from a driver to the guests whose
+    /// tasks subscribed (§5.1). Input-class notifications only reach the
+    /// foreground guest. Returns how many were forwarded.
+    pub fn deliver_signals(&mut self, device: DeviceId, signals: &[Signal]) -> usize {
+        let Some(slot) = self.devices.get(&device.0) else {
+            return 0;
+        };
+        let input_filtered =
+            slot.class == DeviceClass::Input || slot.policy == SharingPolicy::ForegroundInput;
+        let foreground = self
+            .terminals
+            .as_ref()
+            .map(|t| t.borrow().foreground());
+        let mut forwarded = 0;
+        for signal in signals {
+            let Some(&guest) = self.task_origin.get(&signal.task.0) else {
+                continue; // host-local subscriber; the kernel signals it directly
+            };
+            if input_filtered {
+                if let Some(fg) = foreground {
+                    if fg != guest {
+                        continue;
+                    }
+                }
+            }
+            if let Some(state) = self.guests.get(&guest.0) {
+                let wire = WireSignal {
+                    task: signal.task.0,
+                    handle: signal.handle.0,
+                };
+                if state
+                    .channel
+                    .borrow_mut()
+                    .send_notification(wire.encode())
+                    .is_ok()
+                {
+                    forwarded += 1;
+                }
+            }
+        }
+        forwarded
+    }
+
+    /// Resolves the device behind a backend handle (machine plumbing).
+    pub fn device_of_handle(&self, handle: u64) -> Option<DeviceId> {
+        self.opens.get(&handle).map(|open| open.device)
+    }
+
+    /// The kernel environment of a device (machine plumbing for device
+    /// models that need the thread mark, e.g. injecting input events).
+    pub fn env_of_device(&self, device: DeviceId) -> Option<Rc<KernelEnv>> {
+        self.devices.get(&device.0).map(|slot| slot.env.clone())
+    }
+
+    /// Validates `va` for map targets as a defence-in-depth check and
+    /// records suspicious addresses.
+    pub fn audit_bad_map_target(&mut self, guest: VmId, va: GuestVirtAddr) {
+        self.hv
+            .borrow_mut()
+            .record_audit(AuditEvent::BadMapTarget { guest, va });
+    }
+}

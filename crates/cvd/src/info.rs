@@ -1,0 +1,162 @@
+//! Device info modules and the virtual PCI bus.
+//!
+//! "Applications may need some information about the device before they can
+//! use it. In Paradice, we extract device information and export it to the
+//! guest VM by providing a small kernel module for the guest OS to load.
+//! Developing these modules is easy because they are small, simple, and not
+//! performance-sensitive. For example, the device info module for GPU has
+//! about 100 LoC, and mainly provides the device PCI configuration
+//! information … We also developed modules to create or reuse a virtual PCI
+//! bus in the guest for Paradice devices" (paper §5.1).
+
+use paradice_devfs::sysinfo::{DeviceClass, PciDeviceInfo};
+
+/// A device info module: the per-class ~100-LoC guest kernel module that
+/// exports the real device's identity into the guest (Table 1's
+/// "class-specific code").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceInfoModule {
+    /// The device identity exported.
+    pub pci: PciDeviceInfo,
+    /// The virtual device file the guest should open.
+    pub dev_path: String,
+}
+
+impl DeviceInfoModule {
+    /// Creates the module for a device at `dev_path`.
+    pub fn new(pci: PciDeviceInfo, dev_path: &str) -> Self {
+        DeviceInfoModule {
+            pci,
+            dev_path: dev_path.to_owned(),
+        }
+    }
+
+    /// The device class.
+    pub fn class(&self) -> DeviceClass {
+        self.pci.class
+    }
+
+    /// The `/sys`-style attribute files the module exports in the guest,
+    /// as `(relative path, contents)` pairs — what the X server reads to
+    /// pick its libraries (§2.1).
+    pub fn sysfs_entries(&self) -> Vec<(String, String)> {
+        vec![
+            ("vendor".to_owned(), format!("{:#06x}", self.pci.vendor_id)),
+            ("device".to_owned(), format!("{:#06x}", self.pci.device_id)),
+            ("class".to_owned(), format!("{:#06x}", self.pci.class_code)),
+            (
+                "subsystem_vendor".to_owned(),
+                format!("{:#06x}", self.pci.subsystem_vendor),
+            ),
+            (
+                "subsystem_device".to_owned(),
+                format!("{:#06x}", self.pci.subsystem_device),
+            ),
+            ("revision".to_owned(), format!("{:#04x}", self.pci.revision)),
+            ("model".to_owned(), self.pci.model_name.clone()),
+            ("paradice_dev".to_owned(), self.dev_path.clone()),
+        ]
+    }
+}
+
+/// The virtual PCI bus exported into a guest: one slot per Paradice device.
+#[derive(Debug, Default)]
+pub struct VirtualPciBus {
+    slots: Vec<DeviceInfoModule>,
+}
+
+impl VirtualPciBus {
+    /// Creates an empty bus.
+    pub fn new() -> Self {
+        VirtualPciBus::default()
+    }
+
+    /// Plugs a device info module into the next slot; returns the slot
+    /// number (the guest sees it as `00:<slot>.0`).
+    pub fn plug(&mut self, module: DeviceInfoModule) -> usize {
+        self.slots.push(module);
+        self.slots.len() - 1
+    }
+
+    /// Number of populated slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the bus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The module in `slot`.
+    pub fn slot(&self, slot: usize) -> Option<&DeviceInfoModule> {
+        self.slots.get(slot)
+    }
+
+    /// Finds the first device of a class (how a guest's X server locates
+    /// "the" GPU).
+    pub fn find_class(&self, class: DeviceClass) -> Option<(usize, &DeviceInfoModule)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .find(|(_, m)| m.class() == class)
+    }
+
+    /// An `lspci`-style listing of the bus.
+    pub fn scan(&self) -> Vec<String> {
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(slot, m)| {
+                format!(
+                    "00:{slot:02x}.0 {}: {} [{}]",
+                    m.class(),
+                    m.pci.model_name,
+                    m.pci.pci_id()
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paradice_devfs::sysinfo::known;
+
+    #[test]
+    fn info_module_exports_identity() {
+        let module = DeviceInfoModule::new(known::radeon_hd6450(), "/dev/dri/card0");
+        let entries = module.sysfs_entries();
+        let get = |k: &str| {
+            entries
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.clone())
+                .unwrap()
+        };
+        assert_eq!(get("vendor"), "0x1002");
+        assert_eq!(get("device"), "0x6779");
+        assert_eq!(get("paradice_dev"), "/dev/dri/card0");
+        assert_eq!(module.class(), DeviceClass::Gpu);
+    }
+
+    #[test]
+    fn bus_scan_and_lookup() {
+        let mut bus = VirtualPciBus::new();
+        assert!(bus.is_empty());
+        bus.plug(DeviceInfoModule::new(known::radeon_hd6450(), "/dev/dri/card0"));
+        bus.plug(DeviceInfoModule::new(known::intel_gigabit(), "/dev/netmap"));
+        assert_eq!(bus.len(), 2);
+        let (slot, module) = bus.find_class(DeviceClass::Net).unwrap();
+        assert_eq!(slot, 1);
+        assert_eq!(module.dev_path, "/dev/netmap");
+        assert!(bus.find_class(DeviceClass::Camera).is_none());
+        let listing = bus.scan();
+        assert_eq!(listing.len(), 2);
+        assert!(listing[0].contains("1002:6779"));
+        assert!(listing[1].starts_with("00:01.0"));
+        assert!(bus.slot(0).is_some());
+        assert!(bus.slot(5).is_none());
+    }
+}

@@ -1,0 +1,39 @@
+//! The Common Virtual Driver (CVD): Paradice's class-agnostic paravirtual
+//! driver pair.
+//!
+//! "The paravirtual drivers, i.e., the CVD frontend and backend, deliver
+//! these operations to the actual device file to be executed by the device
+//! driver" (paper §3.1). One frontend/backend pair supports *every* device
+//! class — that is the paper's headline engineering-effort result (Table 2:
+//! the CVD is ~3900 LoC of the ~7700 total, shared by all five classes).
+//!
+//! * [`proto`] — the shared-page wire format for file operations and their
+//!   results (operation descriptors only: bulk data never crosses the
+//!   channel; the driver reaches guest memory through hypervisor calls).
+//! * [`memops`] — the backend's [`MemOps`](paradice_devfs::MemOps) binding:
+//!   every driver memory operation becomes a grant-checked hypercall.
+//! * [`frontend`] — the guest-side virtual device file: derives the
+//!   legitimate memory operations of each file operation (from arguments,
+//!   `_IOC` encodings, or the analyzer's static/JIT extraction, §4.1),
+//!   declares them as grants, and forwards the operation.
+//! * [`backend`] — the driver-VM side: per-guest wait queues capped at 100
+//!   operations (DoS guard, §5.1), thread marking, driver dispatch, and
+//!   asynchronous-notification forwarding.
+//! * [`info`] — device info modules and the virtual PCI bus (§5.1).
+//! * [`sharing`] — device-sharing policies: foreground/background graphics,
+//!   concurrent GPGPU, foreground-only input, exclusive camera/netmap
+//!   (§3.2.3, §5.1).
+
+pub mod backend;
+pub mod frontend;
+pub mod info;
+pub mod memops;
+pub mod proto;
+pub mod sharing;
+
+pub use backend::{Backend, SharedBackend};
+pub use frontend::{Frontend, IoctlKnowledge, OsPersonality};
+pub use info::{DeviceInfoModule, VirtualPciBus};
+pub use memops::HypercallMemOps;
+pub use proto::{WireOp, WireRequest, WireResponse};
+pub use sharing::{SharingPolicy, VirtualTerminals};

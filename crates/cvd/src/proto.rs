@@ -1,0 +1,553 @@
+//! Wire format for file operations on the shared page.
+//!
+//! "The frontend puts the file operation arguments in a shared page, and
+//! uses an interrupt to inform the backend to read them. The backend
+//! communicates the return values of the file operation in a similar way"
+//! (paper §5.1). Only *descriptors* travel: buffer contents move through
+//! hypervisor-executed memory operations, never through the channel.
+//!
+//! Every request carries the calling task, the process page-table root (the
+//! CR3 the hypervisor walks, §5.2), the open-file handle, and the grant
+//! reference covering the operation's declared memory operations (§4.1).
+
+use paradice_devfs::ioc::IoctlCmd;
+use paradice_devfs::{Errno, OpenFlags, PollEvents};
+use paradice_hypervisor::GrantRef;
+use paradice_mem::{Access, GuestPhysAddr, GuestVirtAddr};
+
+/// Maximum device path length on the wire.
+pub const MAX_PATH: usize = 256;
+
+/// A file operation as transmitted frontend → backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireOp {
+    /// Open the device file at `path`.
+    Open {
+        /// Device path in the driver VM's devfs.
+        path: String,
+        /// Open flags.
+        flags: OpenFlags,
+    },
+    /// Close the (backend) handle.
+    Release,
+    /// `read(buf, len)`.
+    Read {
+        /// User buffer start.
+        addr: GuestVirtAddr,
+        /// Buffer length.
+        len: u64,
+    },
+    /// `write(buf, len)`.
+    Write {
+        /// User buffer start.
+        addr: GuestVirtAddr,
+        /// Buffer length.
+        len: u64,
+    },
+    /// `ioctl(cmd, arg)`.
+    Ioctl {
+        /// Command number.
+        cmd: IoctlCmd,
+        /// Untyped argument.
+        arg: u64,
+    },
+    /// `mmap(va, len, offset, access)`.
+    Mmap {
+        /// Target process address (page-aligned).
+        va: GuestVirtAddr,
+        /// Mapping length.
+        len: u64,
+        /// Device offset cookie.
+        offset: u64,
+        /// Requested access.
+        access: Access,
+    },
+    /// `munmap(va, len)` notification.
+    Munmap {
+        /// Mapped range start.
+        va: GuestVirtAddr,
+        /// Range length.
+        len: u64,
+    },
+    /// A page fault in a lazily-populated device mapping: the supporting
+    /// page-fault handler of `mmap` (paper §2.1).
+    Fault {
+        /// The faulting address.
+        va: GuestVirtAddr,
+    },
+    /// `poll()`.
+    Poll,
+    /// `fasync(on)`.
+    Fasync {
+        /// Subscribe or unsubscribe.
+        on: bool,
+    },
+}
+
+impl WireOp {
+    const fn opcode(&self) -> u8 {
+        match self {
+            WireOp::Open { .. } => 1,
+            WireOp::Release => 2,
+            WireOp::Read { .. } => 3,
+            WireOp::Write { .. } => 4,
+            WireOp::Ioctl { .. } => 5,
+            WireOp::Mmap { .. } => 6,
+            WireOp::Munmap { .. } => 7,
+            WireOp::Poll => 8,
+            WireOp::Fasync { .. } => 9,
+            WireOp::Fault { .. } => 10,
+        }
+    }
+}
+
+/// A full request: header plus operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireRequest {
+    /// Calling task (globally unique in the machine).
+    pub task: u64,
+    /// Root of the calling process's page tables.
+    pub pt_root: GuestPhysAddr,
+    /// Backend file handle (0 for `Open`).
+    pub handle: u64,
+    /// Grant reference covering this operation's memory operations, if any.
+    pub grant: Option<GrantRef>,
+    /// The operation.
+    pub op: WireOp,
+}
+
+/// Decoding errors: a malformed shared page (a buggy or malicious frontend).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireError;
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("malformed shared-page message")
+    }
+}
+
+impl std::error::Error for WireError {}
+
+struct Writer(Vec<u8>);
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn u8(&mut self) -> Result<u8, WireError> {
+        let v = *self.bytes.get(self.at).ok_or(WireError)?;
+        self.at += 1;
+        Ok(v)
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let slice = self.bytes.get(self.at..self.at + 4).ok_or(WireError)?;
+        self.at += 4;
+        Ok(u32::from_le_bytes(slice.try_into().expect("len 4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let slice = self.bytes.get(self.at..self.at + 8).ok_or(WireError)?;
+        self.at += 8;
+        Ok(u64::from_le_bytes(slice.try_into().expect("len 8")))
+    }
+
+    fn bytes(&mut self, len: usize) -> Result<&'a [u8], WireError> {
+        let slice = self.bytes.get(self.at..self.at + len).ok_or(WireError)?;
+        self.at += len;
+        Ok(slice)
+    }
+
+    fn done(&self) -> Result<(), WireError> {
+        if self.at == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(WireError)
+        }
+    }
+}
+
+fn encode_flags(flags: OpenFlags) -> u8 {
+    u8::from(flags.read) | (u8::from(flags.write) << 1) | (u8::from(flags.nonblock) << 2)
+}
+
+fn decode_flags(raw: u8) -> OpenFlags {
+    OpenFlags {
+        read: raw & 1 != 0,
+        write: raw & 2 != 0,
+        nonblock: raw & 4 != 0,
+    }
+}
+
+impl WireRequest {
+    /// Serializes the request for the shared page.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer(Vec::with_capacity(64));
+        w.u8(self.op.opcode());
+        w.u64(self.task);
+        w.u64(self.pt_root.raw());
+        w.u64(self.handle);
+        match self.grant {
+            Some(grant) => {
+                w.u8(1);
+                w.u32(grant.0);
+            }
+            None => w.u8(0),
+        }
+        match &self.op {
+            WireOp::Open { path, flags } => {
+                w.u8(encode_flags(*flags));
+                let bytes = path.as_bytes();
+                w.u32(bytes.len() as u32);
+                w.0.extend_from_slice(bytes);
+            }
+            WireOp::Release | WireOp::Poll => {}
+            WireOp::Read { addr, len } | WireOp::Write { addr, len } => {
+                w.u64(addr.raw());
+                w.u64(*len);
+            }
+            WireOp::Ioctl { cmd, arg } => {
+                w.u32(cmd.raw());
+                w.u64(*arg);
+            }
+            WireOp::Mmap {
+                va,
+                len,
+                offset,
+                access,
+            } => {
+                w.u64(va.raw());
+                w.u64(*len);
+                w.u64(*offset);
+                w.u8(access.bits());
+            }
+            WireOp::Munmap { va, len } => {
+                w.u64(va.raw());
+                w.u64(*len);
+            }
+            WireOp::Fault { va } => w.u64(va.raw()),
+            WireOp::Fasync { on } => w.u8(u8::from(*on)),
+        }
+        w.0
+    }
+
+    /// Parses a request from the shared page.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] for truncated, oversized or trailing-garbage messages.
+    pub fn decode(bytes: &[u8]) -> Result<WireRequest, WireError> {
+        let mut r = Reader { bytes, at: 0 };
+        let opcode = r.u8()?;
+        let task = r.u64()?;
+        let pt_root = GuestPhysAddr::new(r.u64()?);
+        let handle = r.u64()?;
+        let grant = if r.u8()? == 1 {
+            Some(GrantRef(r.u32()?))
+        } else {
+            None
+        };
+        let op = match opcode {
+            1 => {
+                let flags = decode_flags(r.u8()?);
+                let len = r.u32()? as usize;
+                if len > MAX_PATH {
+                    return Err(WireError);
+                }
+                let path =
+                    String::from_utf8(r.bytes(len)?.to_vec()).map_err(|_| WireError)?;
+                WireOp::Open { path, flags }
+            }
+            2 => WireOp::Release,
+            3 => WireOp::Read {
+                addr: GuestVirtAddr::new(r.u64()?),
+                len: r.u64()?,
+            },
+            4 => WireOp::Write {
+                addr: GuestVirtAddr::new(r.u64()?),
+                len: r.u64()?,
+            },
+            5 => WireOp::Ioctl {
+                cmd: IoctlCmd(r.u32()?),
+                arg: r.u64()?,
+            },
+            6 => WireOp::Mmap {
+                va: GuestVirtAddr::new(r.u64()?),
+                len: r.u64()?,
+                offset: r.u64()?,
+                access: Access::from_bits(r.u8()?),
+            },
+            7 => WireOp::Munmap {
+                va: GuestVirtAddr::new(r.u64()?),
+                len: r.u64()?,
+            },
+            8 => WireOp::Poll,
+            9 => WireOp::Fasync { on: r.u8()? == 1 },
+            10 => WireOp::Fault {
+                va: GuestVirtAddr::new(r.u64()?),
+            },
+            _ => return Err(WireError),
+        };
+        r.done()?;
+        Ok(WireRequest {
+            task,
+            pt_root,
+            handle,
+            grant,
+            op,
+        })
+    }
+}
+
+/// A response: either a non-negative result value or an errno.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireResponse(pub Result<i64, Errno>);
+
+impl WireResponse {
+    /// Serializes the response.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer(Vec::with_capacity(9));
+        match self.0 {
+            Ok(value) => {
+                w.u8(0);
+                w.u64(value as u64);
+            }
+            Err(errno) => {
+                w.u8(1);
+                w.u32(errno.code() as u32);
+            }
+        }
+        w.0
+    }
+
+    /// Parses a response.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] for malformed bytes or unknown errno codes.
+    pub fn decode(bytes: &[u8]) -> Result<WireResponse, WireError> {
+        let mut r = Reader { bytes, at: 0 };
+        let tag = r.u8()?;
+        let result = match tag {
+            0 => Ok(r.u64()? as i64),
+            1 => Err(Errno::from_code(r.u32()? as i32).ok_or(WireError)?),
+            _ => return Err(WireError),
+        };
+        r.done()?;
+        Ok(WireResponse(result))
+    }
+
+    /// Encodes poll readiness as a response value.
+    pub fn from_poll(events: PollEvents) -> WireResponse {
+        WireResponse(Ok(i64::from(events.bits())))
+    }
+
+    /// Decodes poll readiness from a response value.
+    pub fn to_poll(self) -> Result<PollEvents, Errno> {
+        self.0.map(|v| PollEvents::from_bits(v as u16))
+    }
+}
+
+/// A forwarded asynchronous notification (backend → frontend, §5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireSignal {
+    /// The task to notify.
+    pub task: u64,
+    /// The guest-local handle the notification is for.
+    pub handle: u64,
+}
+
+impl WireSignal {
+    /// Serializes the signal.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer(Vec::with_capacity(16));
+        w.u64(self.task);
+        w.u64(self.handle);
+        w.0
+    }
+
+    /// Parses a signal.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on truncation.
+    pub fn decode(bytes: &[u8]) -> Result<WireSignal, WireError> {
+        let mut r = Reader { bytes, at: 0 };
+        let signal = WireSignal {
+            task: r.u64()?,
+            handle: r.u64()?,
+        };
+        r.done()?;
+        Ok(signal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paradice_devfs::ioc::iowr;
+
+    fn roundtrip(req: WireRequest) {
+        let bytes = req.encode();
+        assert_eq!(WireRequest::decode(&bytes).unwrap(), req);
+    }
+
+    #[test]
+    fn all_ops_roundtrip() {
+        let header = |op| WireRequest {
+            task: 42,
+            pt_root: GuestPhysAddr::new(0x7000),
+            handle: 9,
+            grant: Some(GrantRef(17)),
+            op,
+        };
+        roundtrip(header(WireOp::Open {
+            path: "/dev/dri/card0".to_owned(),
+            flags: OpenFlags::RDWR.nonblocking(),
+        }));
+        roundtrip(header(WireOp::Release));
+        roundtrip(header(WireOp::Read {
+            addr: GuestVirtAddr::new(0x1234),
+            len: 4096,
+        }));
+        roundtrip(header(WireOp::Write {
+            addr: GuestVirtAddr::new(0x1234),
+            len: 16,
+        }));
+        roundtrip(header(WireOp::Ioctl {
+            cmd: iowr(b'd', 0x26, 16),
+            arg: 0xdead_beef,
+        }));
+        roundtrip(header(WireOp::Mmap {
+            va: GuestVirtAddr::new(0x10000),
+            len: 8192,
+            offset: 1 << 28,
+            access: Access::RW,
+        }));
+        roundtrip(header(WireOp::Munmap {
+            va: GuestVirtAddr::new(0x10000),
+            len: 8192,
+        }));
+        roundtrip(header(WireOp::Poll));
+        roundtrip(header(WireOp::Fasync { on: true }));
+        roundtrip(header(WireOp::Fault {
+            va: GuestVirtAddr::new(0x7fff_0000),
+        }));
+    }
+
+    #[test]
+    fn grantless_request_roundtrips() {
+        roundtrip(WireRequest {
+            task: 1,
+            pt_root: GuestPhysAddr::new(0),
+            handle: 0,
+            grant: None,
+            op: WireOp::Poll,
+        });
+    }
+
+    #[test]
+    fn truncated_request_rejected() {
+        let req = WireRequest {
+            task: 1,
+            pt_root: GuestPhysAddr::new(0),
+            handle: 0,
+            grant: None,
+            op: WireOp::Read {
+                addr: GuestVirtAddr::new(0),
+                len: 10,
+            },
+        };
+        let bytes = req.encode();
+        assert_eq!(WireRequest::decode(&bytes[..bytes.len() - 1]), Err(WireError));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = WireRequest {
+            task: 1,
+            pt_root: GuestPhysAddr::new(0),
+            handle: 0,
+            grant: None,
+            op: WireOp::Poll,
+        }
+        .encode();
+        bytes.push(0xff);
+        assert_eq!(WireRequest::decode(&bytes), Err(WireError));
+    }
+
+    #[test]
+    fn bogus_opcode_rejected() {
+        let mut bytes = WireRequest {
+            task: 1,
+            pt_root: GuestPhysAddr::new(0),
+            handle: 0,
+            grant: None,
+            op: WireOp::Poll,
+        }
+        .encode();
+        bytes[0] = 0x7f;
+        assert_eq!(WireRequest::decode(&bytes), Err(WireError));
+    }
+
+    #[test]
+    fn oversized_path_rejected() {
+        let req = WireRequest {
+            task: 1,
+            pt_root: GuestPhysAddr::new(0),
+            handle: 0,
+            grant: None,
+            op: WireOp::Open {
+                path: "x".repeat(MAX_PATH + 1),
+                flags: OpenFlags::RDWR,
+            },
+        };
+        assert_eq!(WireRequest::decode(&req.encode()), Err(WireError));
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for resp in [
+            WireResponse(Ok(0)),
+            WireResponse(Ok(i64::MAX)),
+            WireResponse(Ok(-1)),
+            WireResponse(Err(Errno::Efault)),
+            WireResponse(Err(Errno::Edquot)),
+        ] {
+            assert_eq!(WireResponse::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn poll_events_roundtrip_through_response() {
+        let events = PollEvents::IN | PollEvents::ERR;
+        let resp = WireResponse::from_poll(events);
+        assert_eq!(
+            WireResponse::decode(&resp.encode()).unwrap().to_poll().unwrap(),
+            events
+        );
+    }
+
+    #[test]
+    fn signals_roundtrip() {
+        let signal = WireSignal { task: 7, handle: 3 };
+        assert_eq!(WireSignal::decode(&signal.encode()).unwrap(), signal);
+        assert_eq!(WireSignal::decode(&[1, 2, 3]), Err(WireError));
+    }
+}

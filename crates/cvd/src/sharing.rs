@@ -1,0 +1,132 @@
+//! Device-sharing policies between guest VMs.
+//!
+//! "We define the policies for how each device is shared. For GPU for
+//! graphics, we adopt a foreground-background model … We assign each guest
+//! VM to one of the virtual terminals of the driver VM, and the user can
+//! easily navigate between them using simple key combinations. For input
+//! devices, we only send notifications to the foreground guest VM. For GPU
+//! for computation (GPGPU), we allow concurrent access from multiple guest
+//! VMs. For camera and Ethernet card for netmap, we only allow access from
+//! one guest VM at a time" (paper §5.1).
+
+use paradice_hypervisor::VmId;
+
+/// How a device is shared between guests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SharingPolicy {
+    /// Only the foreground guest renders; others pause (GPU graphics).
+    ForegroundBackground,
+    /// All guests may use the device concurrently (GPGPU).
+    Concurrent,
+    /// One guest at a time (camera, netmap) — also enforced by the devfs
+    /// exclusive-open policy.
+    Exclusive,
+    /// Events go to the foreground guest only (input devices).
+    ForegroundInput,
+}
+
+/// The driver VM's virtual terminals: which guest is "on screen".
+#[derive(Debug)]
+pub struct VirtualTerminals {
+    guests: Vec<VmId>,
+    foreground: usize,
+    switches: u64,
+}
+
+impl VirtualTerminals {
+    /// Creates the terminal set; the first guest starts in the foreground.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty guest list — a configuration error.
+    pub fn new(guests: Vec<VmId>) -> Self {
+        assert!(!guests.is_empty(), "need at least one guest terminal");
+        VirtualTerminals {
+            guests,
+            foreground: 0,
+            switches: 0,
+        }
+    }
+
+    /// The guest currently in the foreground.
+    pub fn foreground(&self) -> VmId {
+        self.guests[self.foreground]
+    }
+
+    /// Whether `guest` is in the foreground (GPU graphics gate: background
+    /// guests pause rendering).
+    pub fn is_foreground(&self, guest: VmId) -> bool {
+        self.foreground() == guest
+    }
+
+    /// Switches the foreground to `guest` (the user's key combination).
+    ///
+    /// Returns `false` if the guest has no terminal.
+    pub fn switch_to(&mut self, guest: VmId) -> bool {
+        match self.guests.iter().position(|&g| g == guest) {
+            Some(index) => {
+                if index != self.foreground {
+                    self.foreground = index;
+                    self.switches += 1;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Cycles to the next terminal (Ctrl-Alt-Fn style).
+    pub fn cycle(&mut self) -> VmId {
+        self.foreground = (self.foreground + 1) % self.guests.len();
+        self.switches += 1;
+        self.foreground()
+    }
+
+    /// Number of terminal switches so far.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// All guests with terminals.
+    pub fn guests(&self) -> &[VmId] {
+        &self.guests
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_guest_starts_foreground() {
+        let vt = VirtualTerminals::new(vec![VmId(1), VmId(2)]);
+        assert_eq!(vt.foreground(), VmId(1));
+        assert!(vt.is_foreground(VmId(1)));
+        assert!(!vt.is_foreground(VmId(2)));
+    }
+
+    #[test]
+    fn switching_and_cycling() {
+        let mut vt = VirtualTerminals::new(vec![VmId(1), VmId(2), VmId(3)]);
+        assert!(vt.switch_to(VmId(3)));
+        assert_eq!(vt.foreground(), VmId(3));
+        assert_eq!(vt.cycle(), VmId(1));
+        assert_eq!(vt.cycle(), VmId(2));
+        assert_eq!(vt.switches(), 3);
+        assert!(!vt.switch_to(VmId(9)));
+        assert_eq!(vt.foreground(), VmId(2));
+    }
+
+    #[test]
+    fn switch_to_current_is_not_counted() {
+        let mut vt = VirtualTerminals::new(vec![VmId(1), VmId(2)]);
+        assert!(vt.switch_to(VmId(1)));
+        assert_eq!(vt.switches(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one guest")]
+    fn empty_terminals_panic() {
+        let _ = VirtualTerminals::new(vec![]);
+    }
+}

@@ -1,0 +1,168 @@
+//! Unix error numbers.
+//!
+//! File operations in both Linux and FreeBSD report failures as negative
+//! errno values; the CVD forwards them verbatim between VMs, which is part of
+//! why the device-file boundary is OS-version stable (paper §3.2.2). Only the
+//! errnos our drivers and infrastructure actually produce are modelled.
+
+use std::fmt;
+
+/// A Unix error number, as returned by failed file operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Errno {
+    /// Operation not permitted.
+    Eperm,
+    /// No such file or directory (unknown device path).
+    Enoent,
+    /// Interrupted system call.
+    Eintr,
+    /// I/O error (device wedged or DMA fault surfaced to the driver).
+    Eio,
+    /// Bad file handle.
+    Ebadf,
+    /// Try again (wait queue full, nonblocking read with no data).
+    Eagain,
+    /// Out of memory.
+    Enomem,
+    /// Bad address (memory-operation validation failed — the grant check).
+    Efault,
+    /// Device or resource busy (exclusive-open violation).
+    Ebusy,
+    /// No such device.
+    Enodev,
+    /// Invalid argument.
+    Einval,
+    /// Inappropriate ioctl for device (unknown command).
+    Enotty,
+    /// No space left (ring or queue full).
+    Enospc,
+    /// Function not implemented (file operation the driver lacks).
+    Enosys,
+    /// Operation not supported.
+    Enotsup,
+    /// Quota exceeded (per-guest wait-queue cap, paper §5.1).
+    Edquot,
+}
+
+impl Errno {
+    /// The conventional positive error code (Linux x86 numbering).
+    pub const fn code(self) -> i32 {
+        match self {
+            Errno::Eperm => 1,
+            Errno::Enoent => 2,
+            Errno::Eintr => 4,
+            Errno::Eio => 5,
+            Errno::Ebadf => 9,
+            Errno::Eagain => 11,
+            Errno::Enomem => 12,
+            Errno::Efault => 14,
+            Errno::Ebusy => 16,
+            Errno::Enodev => 19,
+            Errno::Einval => 22,
+            Errno::Enotty => 25,
+            Errno::Enospc => 28,
+            Errno::Enosys => 38,
+            Errno::Enotsup => 95,
+            Errno::Edquot => 122,
+        }
+    }
+
+    /// Parses a positive error code back into an `Errno` (wire decoding in
+    /// the CVD, which forwards errnos verbatim between VMs).
+    pub const fn from_code(code: i32) -> Option<Errno> {
+        Some(match code {
+            1 => Errno::Eperm,
+            2 => Errno::Enoent,
+            4 => Errno::Eintr,
+            5 => Errno::Eio,
+            9 => Errno::Ebadf,
+            11 => Errno::Eagain,
+            12 => Errno::Enomem,
+            14 => Errno::Efault,
+            16 => Errno::Ebusy,
+            19 => Errno::Enodev,
+            22 => Errno::Einval,
+            25 => Errno::Enotty,
+            28 => Errno::Enospc,
+            38 => Errno::Enosys,
+            95 => Errno::Enotsup,
+            122 => Errno::Edquot,
+            _ => return None,
+        })
+    }
+
+    /// The conventional symbolic name (`"EFAULT"`, …).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Errno::Eperm => "EPERM",
+            Errno::Enoent => "ENOENT",
+            Errno::Eintr => "EINTR",
+            Errno::Eio => "EIO",
+            Errno::Ebadf => "EBADF",
+            Errno::Eagain => "EAGAIN",
+            Errno::Enomem => "ENOMEM",
+            Errno::Efault => "EFAULT",
+            Errno::Ebusy => "EBUSY",
+            Errno::Enodev => "ENODEV",
+            Errno::Einval => "EINVAL",
+            Errno::Enotty => "ENOTTY",
+            Errno::Enospc => "ENOSPC",
+            Errno::Enosys => "ENOSYS",
+            Errno::Enotsup => "ENOTSUP",
+            Errno::Edquot => "EDQUOT",
+        }
+    }
+}
+
+impl fmt::Display for Errno {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name(), self.code())
+    }
+}
+
+impl std::error::Error for Errno {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_match_linux_numbering() {
+        assert_eq!(Errno::Eperm.code(), 1);
+        assert_eq!(Errno::Efault.code(), 14);
+        assert_eq!(Errno::Einval.code(), 22);
+        assert_eq!(Errno::Enotty.code(), 25);
+    }
+
+    #[test]
+    fn display_includes_name_and_code() {
+        assert_eq!(Errno::Efault.to_string(), "EFAULT (14)");
+    }
+
+    #[test]
+    fn codes_are_distinct() {
+        let all = [
+            Errno::Eperm,
+            Errno::Enoent,
+            Errno::Eintr,
+            Errno::Eio,
+            Errno::Ebadf,
+            Errno::Eagain,
+            Errno::Enomem,
+            Errno::Efault,
+            Errno::Ebusy,
+            Errno::Enodev,
+            Errno::Einval,
+            Errno::Enotty,
+            Errno::Enospc,
+            Errno::Enosys,
+            Errno::Enotsup,
+            Errno::Edquot,
+        ];
+        let mut codes: Vec<i32> = all.iter().map(|e| e.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), all.len());
+    }
+}

@@ -1,0 +1,171 @@
+//! Asynchronous notification: the `fasync` mechanism.
+//!
+//! "Instead of using the poll file operation, a process can request to be
+//! notified when events happen, e.g., when there is a mouse movement. Linux
+//! employs the fasync file operation for setting up the asynchronous
+//! notification. When there is an event, the process is notified with a
+//! signal" (paper §2.1). Under Paradice the CVD backend forwards these
+//! notifications to the frontend over the same shared-page channel used for
+//! file operations (§5.1).
+//!
+//! [`FasyncRegistry`] is the driver-side subscription list (the kernel's
+//! `fasync_struct` chain); [`SignalQueue`] is the per-process pending-signal
+//! queue the notifications land in.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use crate::fileops::TaskId;
+use crate::registry::FileHandleId;
+
+/// A delivered asynchronous notification (SIGIO-like).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signal {
+    /// The process being notified.
+    pub task: TaskId,
+    /// The open file the notification originated from.
+    pub handle: FileHandleId,
+}
+
+/// The subscription list one driver keeps for asynchronous notification.
+#[derive(Debug, Default)]
+pub struct FasyncRegistry {
+    subscribers: BTreeSet<(TaskId, FileHandleId)>,
+}
+
+impl FasyncRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        FasyncRegistry::default()
+    }
+
+    /// Subscribes (`on = true`) or unsubscribes an opener. Duplicate
+    /// subscribe/unsubscribe calls are no-ops, as in the kernel.
+    pub fn set(&mut self, task: TaskId, handle: FileHandleId, on: bool) {
+        if on {
+            self.subscribers.insert((task, handle));
+        } else {
+            self.subscribers.remove(&(task, handle));
+        }
+    }
+
+    /// Returns `true` if the opener is subscribed.
+    pub fn is_subscribed(&self, task: TaskId, handle: FileHandleId) -> bool {
+        self.subscribers.contains(&(task, handle))
+    }
+
+    /// Number of subscribers.
+    pub fn len(&self) -> usize {
+        self.subscribers.len()
+    }
+
+    /// Returns `true` if nobody is subscribed.
+    pub fn is_empty(&self) -> bool {
+        self.subscribers.is_empty()
+    }
+
+    /// Produces the signals a `kill_fasync` on this registry would raise.
+    pub fn signals(&self) -> Vec<Signal> {
+        self.subscribers
+            .iter()
+            .map(|&(task, handle)| Signal { task, handle })
+            .collect()
+    }
+
+    /// Drops every subscription held by `handle` (called from `release`).
+    pub fn drop_handle(&mut self, handle: FileHandleId) {
+        self.subscribers.retain(|&(_, h)| h != handle);
+    }
+}
+
+/// A per-process queue of pending signals.
+#[derive(Debug, Default)]
+pub struct SignalQueue {
+    pending: VecDeque<Signal>,
+}
+
+impl SignalQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        SignalQueue::default()
+    }
+
+    /// Enqueues a signal.
+    pub fn push(&mut self, signal: Signal) {
+        self.pending.push_back(signal);
+    }
+
+    /// Dequeues the oldest pending signal.
+    pub fn pop(&mut self) -> Option<Signal> {
+        self.pending.pop_front()
+    }
+
+    /// Number of pending signals.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Returns `true` if no signals are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subscribe_and_signal() {
+        let mut reg = FasyncRegistry::new();
+        reg.set(TaskId(1), FileHandleId(10), true);
+        reg.set(TaskId(2), FileHandleId(20), true);
+        assert!(reg.is_subscribed(TaskId(1), FileHandleId(10)));
+        let signals = reg.signals();
+        assert_eq!(signals.len(), 2);
+        assert!(signals.contains(&Signal {
+            task: TaskId(2),
+            handle: FileHandleId(20)
+        }));
+    }
+
+    #[test]
+    fn unsubscribe_is_idempotent() {
+        let mut reg = FasyncRegistry::new();
+        reg.set(TaskId(1), FileHandleId(10), true);
+        reg.set(TaskId(1), FileHandleId(10), true);
+        assert_eq!(reg.len(), 1);
+        reg.set(TaskId(1), FileHandleId(10), false);
+        reg.set(TaskId(1), FileHandleId(10), false);
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn release_drops_handle_subscriptions() {
+        let mut reg = FasyncRegistry::new();
+        reg.set(TaskId(1), FileHandleId(10), true);
+        reg.set(TaskId(1), FileHandleId(11), true);
+        reg.drop_handle(FileHandleId(10));
+        assert_eq!(reg.len(), 1);
+        assert!(reg.is_subscribed(TaskId(1), FileHandleId(11)));
+    }
+
+    #[test]
+    fn signal_queue_is_fifo() {
+        let mut q = SignalQueue::new();
+        let a = Signal {
+            task: TaskId(1),
+            handle: FileHandleId(1),
+        };
+        let b = Signal {
+            task: TaskId(1),
+            handle: FileHandleId(2),
+        };
+        q.push(a);
+        q.push(b);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(a));
+        assert_eq!(q.pop(), Some(b));
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+}

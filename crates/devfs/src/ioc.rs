@@ -1,0 +1,228 @@
+//! The Linux `_IOC` ioctl command encoding.
+//!
+//! Device drivers generate ioctl command numbers with the `_IO`, `_IOR`,
+//! `_IOW` and `_IOWR` macros, which pack four fields into 32 bits:
+//!
+//! ```text
+//!  31 30 | 29 .. 16 | 15 .. 8 | 7 .. 0
+//!   dir  |   size   |  type   |   nr
+//! ```
+//!
+//! The *direction* says whether the driver copies a parameter struct from
+//! user space (`_IOW`), to user space (`_IOR`), or both (`_IOWR`), and *size*
+//! is the struct's size. Paradice's fault isolation leans on this: "device
+//! drivers often use OS-provided macros to generate ioctl command numbers,
+//! which embed the size of these data structures and the direction of the
+//! copy" — so the CVD frontend can *parse the command number* and declare the
+//! legitimate copy operations without knowing the driver (paper §4.1).
+
+use std::fmt;
+
+const NR_BITS: u32 = 8;
+const TYPE_BITS: u32 = 8;
+const SIZE_BITS: u32 = 14;
+
+const NR_SHIFT: u32 = 0;
+const TYPE_SHIFT: u32 = NR_SHIFT + NR_BITS;
+const SIZE_SHIFT: u32 = TYPE_SHIFT + TYPE_BITS;
+const DIR_SHIFT: u32 = SIZE_SHIFT + SIZE_BITS;
+
+const DIR_NONE: u32 = 0;
+const DIR_WRITE: u32 = 1; // user → kernel (_IOW)
+const DIR_READ: u32 = 2; // kernel → user (_IOR)
+
+/// Maximum parameter-struct size encodable in a command (14 bits).
+pub const MAX_IOC_SIZE: u32 = (1 << SIZE_BITS) - 1;
+
+/// Data direction of an ioctl parameter, from the command encoding.
+///
+/// Directions are named from *user space's* perspective, as in Linux:
+/// `Read` means the application reads (driver copies **to** user).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoctlDir {
+    /// No parameter struct (`_IO`).
+    None,
+    /// Driver copies the struct to user space (`_IOR`).
+    Read,
+    /// Driver copies the struct from user space (`_IOW`).
+    Write,
+    /// Both directions (`_IOWR`).
+    ReadWrite,
+}
+
+impl IoctlDir {
+    /// Whether the driver copies from user memory.
+    pub const fn copies_from_user(self) -> bool {
+        matches!(self, IoctlDir::Write | IoctlDir::ReadWrite)
+    }
+
+    /// Whether the driver copies to user memory.
+    pub const fn copies_to_user(self) -> bool {
+        matches!(self, IoctlDir::Read | IoctlDir::ReadWrite)
+    }
+}
+
+/// A 32-bit ioctl command number.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IoctlCmd(pub u32);
+
+impl IoctlCmd {
+    /// Builds a command from its four fields.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` exceeds [`MAX_IOC_SIZE`]; such commands cannot be
+    /// encoded and indicate a driver bug.
+    pub const fn new(dir: IoctlDir, ty: u8, nr: u8, size: u32) -> Self {
+        assert!(size <= MAX_IOC_SIZE, "ioctl size field overflow");
+        let dir_bits = match dir {
+            IoctlDir::None => DIR_NONE,
+            IoctlDir::Write => DIR_WRITE,
+            IoctlDir::Read => DIR_READ,
+            IoctlDir::ReadWrite => DIR_READ | DIR_WRITE,
+        };
+        IoctlCmd(
+            (dir_bits << DIR_SHIFT)
+                | (size << SIZE_SHIFT)
+                | ((ty as u32) << TYPE_SHIFT)
+                | ((nr as u32) << NR_SHIFT),
+        )
+    }
+
+    /// The raw 32-bit command number.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The data direction field.
+    pub const fn dir(self) -> IoctlDir {
+        match (self.0 >> DIR_SHIFT) & 0x3 {
+            DIR_NONE => IoctlDir::None,
+            DIR_WRITE => IoctlDir::Write,
+            DIR_READ => IoctlDir::Read,
+            _ => IoctlDir::ReadWrite,
+        }
+    }
+
+    /// The parameter-struct size field.
+    pub const fn size(self) -> u32 {
+        (self.0 >> SIZE_SHIFT) & MAX_IOC_SIZE
+    }
+
+    /// The type (magic) field identifying the driver.
+    pub const fn ty(self) -> u8 {
+        ((self.0 >> TYPE_SHIFT) & 0xff) as u8
+    }
+
+    /// The command number within the driver.
+    pub const fn nr(self) -> u8 {
+        ((self.0 >> NR_SHIFT) & 0xff) as u8
+    }
+}
+
+impl fmt::Debug for IoctlCmd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "IoctlCmd({:?}, ty={:#x}, nr={:#x}, size={})",
+            self.dir(),
+            self.ty(),
+            self.nr(),
+            self.size()
+        )
+    }
+}
+
+impl fmt::Display for IoctlCmd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#010x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for IoctlCmd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// `_IO(ty, nr)` — a command with no parameter struct.
+pub const fn io(ty: u8, nr: u8) -> IoctlCmd {
+    IoctlCmd::new(IoctlDir::None, ty, nr, 0)
+}
+
+/// `_IOR(ty, nr, size)` — driver copies `size` bytes **to** user space.
+pub const fn ior(ty: u8, nr: u8, size: u32) -> IoctlCmd {
+    IoctlCmd::new(IoctlDir::Read, ty, nr, size)
+}
+
+/// `_IOW(ty, nr, size)` — driver copies `size` bytes **from** user space.
+pub const fn iow(ty: u8, nr: u8, size: u32) -> IoctlCmd {
+    IoctlCmd::new(IoctlDir::Write, ty, nr, size)
+}
+
+/// `_IOWR(ty, nr, size)` — both directions.
+pub const fn iowr(ty: u8, nr: u8, size: u32) -> IoctlCmd {
+    IoctlCmd::new(IoctlDir::ReadWrite, ty, nr, size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_fields() {
+        let cmd = iowr(b'd', 0x66, 152);
+        assert_eq!(cmd.dir(), IoctlDir::ReadWrite);
+        assert_eq!(cmd.ty(), b'd');
+        assert_eq!(cmd.nr(), 0x66);
+        assert_eq!(cmd.size(), 152);
+    }
+
+    #[test]
+    fn matches_linux_encoding() {
+        // DRM_IOCTL_VERSION = _IOWR('d', 0x00, struct drm_version /* 36B on
+        // 32-bit */): dir=3, size=36, type=0x64, nr=0.
+        let cmd = iowr(0x64, 0x00, 36);
+        assert_eq!(cmd.raw(), (3 << 30) | (36 << 16) | (0x64 << 8));
+    }
+
+    #[test]
+    fn io_has_no_copies() {
+        let cmd = io(b'V', 1);
+        assert_eq!(cmd.dir(), IoctlDir::None);
+        assert_eq!(cmd.size(), 0);
+        assert!(!cmd.dir().copies_from_user());
+        assert!(!cmd.dir().copies_to_user());
+    }
+
+    #[test]
+    fn direction_predicates() {
+        assert!(iow(1, 1, 8).dir().copies_from_user());
+        assert!(!iow(1, 1, 8).dir().copies_to_user());
+        assert!(ior(1, 1, 8).dir().copies_to_user());
+        assert!(!ior(1, 1, 8).dir().copies_from_user());
+        assert!(iowr(1, 1, 8).dir().copies_from_user());
+        assert!(iowr(1, 1, 8).dir().copies_to_user());
+    }
+
+    #[test]
+    fn max_size_is_encodable() {
+        let cmd = iow(0xff, 0xff, MAX_IOC_SIZE);
+        assert_eq!(cmd.size(), MAX_IOC_SIZE);
+    }
+
+    #[test]
+    fn distinct_commands_distinct_numbers() {
+        assert_ne!(ior(b'd', 1, 8), iow(b'd', 1, 8));
+        assert_ne!(iow(b'd', 1, 8), iow(b'd', 2, 8));
+        assert_ne!(iow(b'd', 1, 8), iow(b'e', 1, 8));
+        assert_ne!(iow(b'd', 1, 8), iow(b'd', 1, 16));
+    }
+
+    #[test]
+    fn debug_is_informative() {
+        let s = format!("{:?}", ior(b'd', 0x27, 24));
+        assert!(s.contains("Read"));
+        assert!(s.contains("size=24"));
+    }
+}

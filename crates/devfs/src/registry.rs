@@ -1,0 +1,309 @@
+//! The `/dev` namespace: device registration and open-file accounting.
+//!
+//! The kernel "exports device files to the user space through a special
+//! filesystem, devfs" (paper §2.1). [`DevFs`] models that namespace. It does
+//! *not* own driver objects — those belong to the kernel that hosts them
+//! (the machine or driver VM in the core crate) — it resolves paths to
+//! [`DeviceId`]s and enforces open semantics, including the exclusive-open
+//! behaviour of drivers that "only allow one process at a time" such as the
+//! camera and netmap drivers (paper §3.2.3, §5.1).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::errno::Errno;
+use crate::fileops::{OpenFlags, TaskId};
+use crate::sysinfo::DeviceClass;
+
+/// Identifies a registered device within a kernel's devfs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DeviceId(pub u32);
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dev{}", self.0)
+    }
+}
+
+/// Identifies one open file description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FileHandleId(pub u64);
+
+impl fmt::Display for FileHandleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fd{}", self.0)
+    }
+}
+
+/// Concurrency policy of a device file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpenPolicy {
+    /// Any number of concurrent openers (GPU, input, audio).
+    Shared,
+    /// One opener at a time (camera, netmap — their drivers "do not support
+    /// concurrent access", paper §5.1).
+    Exclusive,
+}
+
+#[derive(Debug)]
+struct DevEntry {
+    device: DeviceId,
+    class: DeviceClass,
+    policy: OpenPolicy,
+    open_handles: Vec<FileHandleId>,
+}
+
+/// An open file description as tracked by the registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenFile {
+    /// The device the handle refers to.
+    pub device: DeviceId,
+    /// The opener.
+    pub task: TaskId,
+    /// Open flags.
+    pub flags: OpenFlags,
+}
+
+/// The device-file namespace of one kernel.
+#[derive(Debug, Default)]
+pub struct DevFs {
+    entries: BTreeMap<String, DevEntry>,
+    handles: BTreeMap<FileHandleId, (String, OpenFile)>,
+    next_device: u32,
+    next_handle: u64,
+}
+
+impl DevFs {
+    /// Creates an empty namespace.
+    pub fn new() -> Self {
+        DevFs::default()
+    }
+
+    /// Registers a device file at `path` (e.g. `/dev/dri/card0`).
+    ///
+    /// # Errors
+    ///
+    /// `EBUSY` if the path is already taken.
+    pub fn register(
+        &mut self,
+        path: &str,
+        class: DeviceClass,
+        policy: OpenPolicy,
+    ) -> Result<DeviceId, Errno> {
+        if self.entries.contains_key(path) {
+            return Err(Errno::Ebusy);
+        }
+        let device = DeviceId(self.next_device);
+        self.next_device += 1;
+        self.entries.insert(
+            path.to_owned(),
+            DevEntry {
+                device,
+                class,
+                policy,
+                open_handles: Vec::new(),
+            },
+        );
+        Ok(device)
+    }
+
+    /// Removes a device file; outstanding handles become dangling and fail
+    /// with `ENODEV` on lookup.
+    ///
+    /// # Errors
+    ///
+    /// `ENOENT` if the path is not registered.
+    pub fn unregister(&mut self, path: &str) -> Result<(), Errno> {
+        self.entries.remove(path).map(|_| ()).ok_or(Errno::Enoent)
+    }
+
+    /// Resolves a path to its device without opening it.
+    ///
+    /// # Errors
+    ///
+    /// `ENOENT` for unknown paths.
+    pub fn lookup(&self, path: &str) -> Result<DeviceId, Errno> {
+        self.entries
+            .get(path)
+            .map(|e| e.device)
+            .ok_or(Errno::Enoent)
+    }
+
+    /// The class of the device at `path`.
+    ///
+    /// # Errors
+    ///
+    /// `ENOENT` for unknown paths.
+    pub fn class_of(&self, path: &str) -> Result<DeviceClass, Errno> {
+        self.entries.get(path).map(|e| e.class).ok_or(Errno::Enoent)
+    }
+
+    /// Opens the device file at `path` for `task`.
+    ///
+    /// # Errors
+    ///
+    /// `ENOENT` for unknown paths; `EBUSY` when an exclusive device is
+    /// already open.
+    pub fn open(
+        &mut self,
+        path: &str,
+        task: TaskId,
+        flags: OpenFlags,
+    ) -> Result<(FileHandleId, DeviceId), Errno> {
+        let entry = self.entries.get_mut(path).ok_or(Errno::Enoent)?;
+        if entry.policy == OpenPolicy::Exclusive && !entry.open_handles.is_empty() {
+            return Err(Errno::Ebusy);
+        }
+        let handle = FileHandleId(self.next_handle);
+        self.next_handle += 1;
+        entry.open_handles.push(handle);
+        let open = OpenFile {
+            device: entry.device,
+            task,
+            flags,
+        };
+        self.handles.insert(handle, (path.to_owned(), open));
+        Ok((handle, entry.device))
+    }
+
+    /// Closes an open handle.
+    ///
+    /// # Errors
+    ///
+    /// `EBADF` for unknown handles.
+    pub fn close(&mut self, handle: FileHandleId) -> Result<OpenFile, Errno> {
+        let (path, open) = self.handles.remove(&handle).ok_or(Errno::Ebadf)?;
+        if let Some(entry) = self.entries.get_mut(&path) {
+            entry.open_handles.retain(|&h| h != handle);
+        }
+        Ok(open)
+    }
+
+    /// Resolves an open handle to its description.
+    ///
+    /// # Errors
+    ///
+    /// `EBADF` for unknown handles, `ENODEV` if the device vanished.
+    pub fn resolve(&self, handle: FileHandleId) -> Result<OpenFile, Errno> {
+        let (path, open) = self.handles.get(&handle).ok_or(Errno::Ebadf)?;
+        if !self.entries.contains_key(path) {
+            return Err(Errno::Enodev);
+        }
+        Ok(*open)
+    }
+
+    /// Number of open handles on the device at `path`.
+    ///
+    /// # Errors
+    ///
+    /// `ENOENT` for unknown paths.
+    pub fn open_count(&self, path: &str) -> Result<usize, Errno> {
+        self.entries
+            .get(path)
+            .map(|e| e.open_handles.len())
+            .ok_or(Errno::Enoent)
+    }
+
+    /// Iterates over registered `(path, device, class)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, DeviceId, DeviceClass)> + '_ {
+        self.entries
+            .iter()
+            .map(|(path, e)| (path.as_str(), e.device, e.class))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn devfs_with_gpu() -> (DevFs, DeviceId) {
+        let mut fs = DevFs::new();
+        let id = fs
+            .register("/dev/dri/card0", DeviceClass::Gpu, OpenPolicy::Shared)
+            .unwrap();
+        (fs, id)
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let (fs, id) = devfs_with_gpu();
+        assert_eq!(fs.lookup("/dev/dri/card0").unwrap(), id);
+        assert_eq!(fs.class_of("/dev/dri/card0").unwrap(), DeviceClass::Gpu);
+        assert_eq!(fs.lookup("/dev/video0"), Err(Errno::Enoent));
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let (mut fs, _) = devfs_with_gpu();
+        assert_eq!(
+            fs.register("/dev/dri/card0", DeviceClass::Gpu, OpenPolicy::Shared),
+            Err(Errno::Ebusy)
+        );
+    }
+
+    #[test]
+    fn shared_device_allows_concurrent_opens() {
+        let (mut fs, id) = devfs_with_gpu();
+        let (h1, d1) = fs
+            .open("/dev/dri/card0", TaskId(1), OpenFlags::RDWR)
+            .unwrap();
+        let (h2, d2) = fs
+            .open("/dev/dri/card0", TaskId(2), OpenFlags::RDWR)
+            .unwrap();
+        assert_eq!(d1, id);
+        assert_eq!(d2, id);
+        assert_ne!(h1, h2);
+        assert_eq!(fs.open_count("/dev/dri/card0").unwrap(), 2);
+    }
+
+    #[test]
+    fn exclusive_device_rejects_second_open() {
+        let mut fs = DevFs::new();
+        fs.register("/dev/video0", DeviceClass::Camera, OpenPolicy::Exclusive)
+            .unwrap();
+        let (h1, _) = fs.open("/dev/video0", TaskId(1), OpenFlags::RDWR).unwrap();
+        assert_eq!(
+            fs.open("/dev/video0", TaskId(2), OpenFlags::RDWR),
+            Err(Errno::Ebusy)
+        );
+        fs.close(h1).unwrap();
+        assert!(fs.open("/dev/video0", TaskId(2), OpenFlags::RDWR).is_ok());
+    }
+
+    #[test]
+    fn close_and_resolve() {
+        let (mut fs, id) = devfs_with_gpu();
+        let (h, _) = fs
+            .open("/dev/dri/card0", TaskId(7), OpenFlags::RDONLY)
+            .unwrap();
+        let open = fs.resolve(h).unwrap();
+        assert_eq!(open.device, id);
+        assert_eq!(open.task, TaskId(7));
+        let closed = fs.close(h).unwrap();
+        assert_eq!(closed.task, TaskId(7));
+        assert_eq!(fs.resolve(h), Err(Errno::Ebadf));
+        assert_eq!(fs.close(h), Err(Errno::Ebadf));
+    }
+
+    #[test]
+    fn unregister_dangles_handles() {
+        let (mut fs, _) = devfs_with_gpu();
+        let (h, _) = fs
+            .open("/dev/dri/card0", TaskId(1), OpenFlags::RDWR)
+            .unwrap();
+        fs.unregister("/dev/dri/card0").unwrap();
+        assert_eq!(fs.resolve(h), Err(Errno::Enodev));
+        assert_eq!(fs.unregister("/dev/dri/card0"), Err(Errno::Enoent));
+    }
+
+    #[test]
+    fn iteration_lists_devices() {
+        let mut fs = DevFs::new();
+        fs.register("/dev/input/event0", DeviceClass::Input, OpenPolicy::Shared)
+            .unwrap();
+        fs.register("/dev/video0", DeviceClass::Camera, OpenPolicy::Exclusive)
+            .unwrap();
+        let paths: Vec<&str> = fs.iter().map(|(p, _, _)| p).collect();
+        assert_eq!(paths, vec!["/dev/input/event0", "/dev/video0"]);
+    }
+}

@@ -1,0 +1,245 @@
+//! Device information exported to user space.
+//!
+//! "To correctly access an I/O device, an application may need to know the
+//! exact make, model or functional capabilities of the device. For example,
+//! the X Server needs to know the GPU make in order to load the correct
+//! libraries. As such, the kernel collects this information and exports it to
+//! the user space, e.g., through the /sys directory in Linux, and through the
+//! /dev/pci file in FreeBSD" (paper §2.1).
+//!
+//! Paradice re-exports this information into guests with tiny *device info
+//! modules* (~100 LoC each, §5.1); the CVD crate builds those modules out of
+//! the [`PciDeviceInfo`] records defined here.
+
+use std::fmt;
+
+/// The I/O device classes our Paradice reproduction supports (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
+pub enum DeviceClass {
+    /// Graphics processing unit (DRM).
+    Gpu,
+    /// Input device: mouse, keyboard (evdev).
+    Input,
+    /// Camera (V4L2/UVC).
+    Camera,
+    /// Audio device (PCM).
+    Audio,
+    /// Ethernet for the netmap framework.
+    Net,
+}
+
+impl DeviceClass {
+    /// All supported classes, in Table 1 order.
+    pub const ALL: [DeviceClass; 5] = [
+        DeviceClass::Gpu,
+        DeviceClass::Input,
+        DeviceClass::Camera,
+        DeviceClass::Audio,
+        DeviceClass::Net,
+    ];
+
+    /// Conventional device-file directory for the class.
+    pub const fn dev_path_prefix(self) -> &'static str {
+        match self {
+            DeviceClass::Gpu => "/dev/dri",
+            DeviceClass::Input => "/dev/input",
+            DeviceClass::Camera => "/dev",
+            DeviceClass::Audio => "/dev/snd",
+            DeviceClass::Net => "/dev",
+        }
+    }
+}
+
+impl fmt::Display for DeviceClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            DeviceClass::Gpu => "GPU",
+            DeviceClass::Input => "Input",
+            DeviceClass::Camera => "Camera",
+            DeviceClass::Audio => "Audio",
+            DeviceClass::Net => "Ethernet",
+        };
+        f.write_str(name)
+    }
+}
+
+/// PCI configuration identity of a device, the minimum applications need to
+/// pick libraries and drivers.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PciDeviceInfo {
+    /// PCI vendor ID (e.g. `0x1002` = AMD/ATI).
+    pub vendor_id: u16,
+    /// PCI device ID (e.g. `0x6779` = Radeon HD 6450).
+    pub device_id: u16,
+    /// PCI class code (`0x0300` display, `0x0200` network, …).
+    pub class_code: u16,
+    /// Subsystem vendor ID.
+    pub subsystem_vendor: u16,
+    /// Subsystem device ID.
+    pub subsystem_device: u16,
+    /// Revision.
+    pub revision: u8,
+    /// Marketing name, as `/sys` would reveal via the driver.
+    pub model_name: String,
+    /// The device class this info belongs to.
+    pub class: DeviceClass,
+}
+
+impl PciDeviceInfo {
+    /// The `vendor:device` string in lspci style (`"1002:6779"`).
+    pub fn pci_id(&self) -> String {
+        format!("{:04x}:{:04x}", self.vendor_id, self.device_id)
+    }
+}
+
+impl fmt::Display for PciDeviceInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}] ({})", self.model_name, self.pci_id(), self.class)
+    }
+}
+
+/// Well-known identities used throughout the tests and benchmarks, matching
+/// the paper's evaluation hardware (Table 1).
+pub mod known {
+    use super::{DeviceClass, PciDeviceInfo};
+
+    /// Discrete ATI Radeon HD 6450 (Evergreen/Caicos).
+    pub fn radeon_hd6450() -> PciDeviceInfo {
+        PciDeviceInfo {
+            vendor_id: 0x1002,
+            device_id: 0x6779,
+            class_code: 0x0300,
+            subsystem_vendor: 0x1028,
+            subsystem_device: 0x2120,
+            revision: 0,
+            model_name: "ATI Radeon HD 6450".to_owned(),
+            class: DeviceClass::Gpu,
+        }
+    }
+
+    /// Integrated Intel Mobile GM965/GL960 (Table 1's second GPU make).
+    pub fn intel_gm965() -> PciDeviceInfo {
+        PciDeviceInfo {
+            vendor_id: 0x8086,
+            device_id: 0x2a02,
+            class_code: 0x0300,
+            subsystem_vendor: 0x17aa,
+            subsystem_device: 0x20b5,
+            revision: 0x0c,
+            model_name: "Intel Mobile GM965/GL960".to_owned(),
+            class: DeviceClass::Gpu,
+        }
+    }
+
+    /// Dell USB mouse.
+    pub fn dell_usb_mouse() -> PciDeviceInfo {
+        PciDeviceInfo {
+            vendor_id: 0x413c,
+            device_id: 0x3012,
+            class_code: 0x0900,
+            subsystem_vendor: 0,
+            subsystem_device: 0,
+            revision: 0,
+            model_name: "Dell USB Mouse".to_owned(),
+            class: DeviceClass::Input,
+        }
+    }
+
+    /// Dell USB keyboard.
+    pub fn dell_usb_keyboard() -> PciDeviceInfo {
+        PciDeviceInfo {
+            vendor_id: 0x413c,
+            device_id: 0x2107,
+            class_code: 0x0900,
+            subsystem_vendor: 0,
+            subsystem_device: 0,
+            revision: 0,
+            model_name: "Dell USB Keyboard".to_owned(),
+            class: DeviceClass::Input,
+        }
+    }
+
+    /// Logitech HD Pro Webcam C920.
+    pub fn logitech_c920() -> PciDeviceInfo {
+        PciDeviceInfo {
+            vendor_id: 0x046d,
+            device_id: 0x082d,
+            class_code: 0x0e00,
+            subsystem_vendor: 0,
+            subsystem_device: 0,
+            revision: 0,
+            model_name: "Logitech HD Pro Webcam C920".to_owned(),
+            class: DeviceClass::Camera,
+        }
+    }
+
+    /// Intel Panther Point HD Audio Controller.
+    pub fn intel_hda() -> PciDeviceInfo {
+        PciDeviceInfo {
+            vendor_id: 0x8086,
+            device_id: 0x1e20,
+            class_code: 0x0403,
+            subsystem_vendor: 0x1849,
+            subsystem_device: 0x1898,
+            revision: 4,
+            model_name: "Intel Panther Point HD Audio Controller".to_owned(),
+            class: DeviceClass::Audio,
+        }
+    }
+
+    /// Intel Gigabit Network Adapter (e1000e class).
+    pub fn intel_gigabit() -> PciDeviceInfo {
+        PciDeviceInfo {
+            vendor_id: 0x8086,
+            device_id: 0x10d3,
+            class_code: 0x0200,
+            subsystem_vendor: 0x8086,
+            subsystem_device: 0xa01f,
+            revision: 0,
+            model_name: "Intel Gigabit Network Adapter".to_owned(),
+            class: DeviceClass::Net,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pci_id_formatting() {
+        let gpu = known::radeon_hd6450();
+        assert_eq!(gpu.pci_id(), "1002:6779");
+        assert_eq!(gpu.class, DeviceClass::Gpu);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = known::intel_gigabit().to_string();
+        assert!(s.contains("Intel Gigabit"));
+        assert!(s.contains("8086:10d3"));
+        assert!(s.contains("Ethernet"));
+    }
+
+    #[test]
+    fn all_classes_enumerated() {
+        assert_eq!(DeviceClass::ALL.len(), 5);
+        assert_eq!(DeviceClass::Gpu.dev_path_prefix(), "/dev/dri");
+    }
+
+    #[test]
+    fn known_devices_cover_every_class() {
+        let infos = [
+            known::radeon_hd6450(),
+            known::dell_usb_mouse(),
+            known::logitech_c920(),
+            known::intel_hda(),
+            known::intel_gigabit(),
+        ];
+        let mut classes: Vec<DeviceClass> = infos.iter().map(|i| i.class).collect();
+        classes.sort();
+        classes.dedup();
+        assert_eq!(classes.len(), 5);
+    }
+}

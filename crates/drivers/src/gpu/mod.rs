@@ -1,0 +1,34 @@
+//! The Radeon GPU: Evergreen-class device model + DRM-style driver.
+//!
+//! The GPU is the paper's showcase device — "GPU has not previously been
+//! amenable to virtualization due to its functional and implementation
+//! complexity. Yet, Paradice easily virtualizes GPUs of various makes and
+//! models with full functionality and close-to-native performance" (§1) —
+//! and the only device needing driver changes for device data isolation
+//! (~400 LoC, §5.3).
+//!
+//! * [`model`] — the `RadeonGpu` hardware model: execution engine with
+//!   fences, VRAM behind the memory-controller aperture, the
+//!   interrupt-status ring *in system memory* (the §5.3 interrupt problem),
+//!   and software VSync.
+//! * [`bo`] — GEM buffer objects and the VRAM allocator (per-region under
+//!   data isolation).
+//! * [`driver`] — the `RadeonDriver` file operations: `INFO`, `GEM_CREATE`,
+//!   `GEM_MMAP`, `GEM_PREAD`/`GEM_PWRITE`, `CS` (command submission with
+//!   netsed chunk copies), `GEM_WAIT_IDLE`, `GEM_CLOSE`, plus the 3.2.0-era
+//!   additions used by the analyzer's cross-version experiment.
+//! * [`ir`] — the driver's ioctl-handler IR for the static analyzer, in two
+//!   versions mirroring the paper's Linux 2.6.35 vs 3.2.0 comparison.
+//! * [`isolation`] — the data-isolation patch set (§5.3(i)–(iv)).
+
+pub mod bo;
+pub mod i915;
+pub mod driver;
+pub mod ir;
+pub mod isolation;
+pub mod model;
+
+pub use bo::{BoDomain, BufferObject, VramAllocator};
+pub use i915::I915Driver;
+pub use driver::{RadeonDriver, RadeonInfo};
+pub use model::{GpuCommand, RadeonGpu, COMPUTE_NS_PER_ELEMENT_OP};

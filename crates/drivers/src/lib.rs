@@ -1,0 +1,32 @@
+//! Device models and device drivers for the Paradice reproduction.
+//!
+//! Each module pairs a *device model* (hardware behaviour plus a virtual-time
+//! cost model) with a *device driver* implementing
+//! [`FileOps`](paradice_devfs::FileOps). The drivers touch process memory
+//! **only** through the [`MemOps`](paradice_devfs::MemOps) seam, which is
+//! what lets the same driver code run natively, under device assignment, and
+//! under Paradice with hypervisor-validated memory operations — the paper's
+//! unmodified-driver property (§3.1).
+//!
+//! The device roster mirrors the paper's Table 1:
+//!
+//! | Module | Device | Driver |
+//! |---|---|---|
+//! | [`gpu`] | ATI Radeon HD 6450 (Evergreen) | DRM/Radeon |
+//! | [`evdev`] | Dell USB mouse & keyboard | evdev |
+//! | [`camera`] | Logitech HD Pro Webcam C920 | V4L2/UVC |
+//! | [`audio`] | Intel Panther Point HD Audio | PCM/snd-hda-intel |
+//! | [`netmap`] | Intel Gigabit Adapter | netmap/e1000e |
+//!
+//! The GPU driver additionally carries the paper's device-data-isolation
+//! patch set (§5.3) behind [`gpu::isolation`], and ships its ioctl-handler
+//! IR ([`gpu::ir`]) for the static analyzer.
+
+pub mod audio;
+pub mod camera;
+pub mod env;
+pub mod evdev;
+pub mod gpu;
+pub mod netmap;
+
+pub use env::{DmaPool, KernelEnv};

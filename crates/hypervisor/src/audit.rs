@@ -1,0 +1,223 @@
+//! The isolation audit log.
+//!
+//! Every attack the isolation machinery blocks — an ungranted memory
+//! operation, a driver-VM read of a protected region, a device DMA outside
+//! its active region, a GPU access outside its aperture — is recorded here
+//! with *which mechanism stopped it*. The paper's isolation claims (§4, §6)
+//! become directly testable assertions over this log.
+
+use std::fmt;
+
+use paradice_mem::{DmaAddr, GuestPhysAddr, GuestVirtAddr, RegionId};
+
+use crate::grants::GrantRef;
+use crate::vm::VmId;
+
+/// The isolation mechanism that blocked an attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockedBy {
+    /// Grant-table validation of driver-VM memory operations (§4.1).
+    GrantCheck,
+    /// EPT permission stripping on protected regions (§4.2).
+    EptProtection,
+    /// IOMMU region gating of device DMA (§4.2).
+    IommuRegion,
+    /// Device-memory aperture bounds (GPU memory controller, §4.2).
+    DeviceAperture,
+    /// The per-guest wait-queue cap in the CVD backend (§5.1).
+    WaitQueueCap,
+    /// Protected-MMIO interposition: the register page is unmapped from the
+    /// driver VM (§5.3(iii)).
+    ProtectedMmio,
+}
+
+impl fmt::Display for BlockedBy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            BlockedBy::GrantCheck => "grant-table validation",
+            BlockedBy::EptProtection => "EPT permission stripping",
+            BlockedBy::IommuRegion => "IOMMU region gating",
+            BlockedBy::DeviceAperture => "device-memory aperture bounds",
+            BlockedBy::WaitQueueCap => "per-guest wait-queue cap",
+            BlockedBy::ProtectedMmio => "protected-MMIO interposition",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One blocked (or notable) event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuditEvent {
+    /// A driver-VM memory operation failed grant validation.
+    UngrantedMemOp {
+        /// The driver VM that issued the hypercall.
+        caller: VmId,
+        /// The guest the operation targeted.
+        target: VmId,
+        /// The grant reference presented (if any).
+        grant: Option<GrantRef>,
+        /// Human-readable description of the request.
+        description: String,
+    },
+    /// The driver VM touched a protected region through its EPT.
+    ProtectedRegionAccess {
+        /// The driver VM.
+        caller: VmId,
+        /// The protected guest-physical page (driver-VM space).
+        gpa: GuestPhysAddr,
+    },
+    /// A device DMA was blocked by the IOMMU.
+    DmaBlocked {
+        /// The faulting bus address.
+        dma: DmaAddr,
+        /// Region the mapping belonged to, if any.
+        region: Option<RegionId>,
+    },
+    /// A device access fell outside its permitted memory aperture.
+    ApertureViolation {
+        /// The device-memory offset of the access.
+        offset: u64,
+    },
+    /// The driver VM wrote a protected MMIO register directly.
+    ProtectedMmioWrite {
+        /// The register offset.
+        offset: u64,
+    },
+    /// A guest flooded its wait queue past the DoS cap.
+    WaitQueueOverflow {
+        /// The flooding guest.
+        guest: VmId,
+        /// Queue length at the time.
+        depth: usize,
+    },
+    /// A hypervisor `mmap` fix-up targeted an address outside the guest's
+    /// declared window (defence-in-depth check).
+    BadMapTarget {
+        /// Target guest.
+        guest: VmId,
+        /// The suspicious virtual address.
+        va: GuestVirtAddr,
+    },
+}
+
+impl AuditEvent {
+    /// The mechanism that blocked this event.
+    pub fn blocked_by(&self) -> BlockedBy {
+        match self {
+            AuditEvent::UngrantedMemOp { .. } | AuditEvent::BadMapTarget { .. } => {
+                BlockedBy::GrantCheck
+            }
+            AuditEvent::ProtectedRegionAccess { .. } => BlockedBy::EptProtection,
+            AuditEvent::DmaBlocked { .. } => BlockedBy::IommuRegion,
+            AuditEvent::ApertureViolation { .. } => BlockedBy::DeviceAperture,
+            AuditEvent::ProtectedMmioWrite { .. } => BlockedBy::ProtectedMmio,
+            AuditEvent::WaitQueueOverflow { .. } => BlockedBy::WaitQueueCap,
+        }
+    }
+}
+
+/// A timestamped audit record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditRecord {
+    /// Virtual time of the event, ns.
+    pub at_ns: u64,
+    /// The event.
+    pub event: AuditEvent,
+}
+
+/// The append-only audit log.
+#[derive(Debug, Default)]
+pub struct AuditLog {
+    records: Vec<AuditRecord>,
+}
+
+impl AuditLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        AuditLog::default()
+    }
+
+    /// Appends an event at virtual time `at_ns`.
+    pub fn record(&mut self, at_ns: u64, event: AuditEvent) {
+        self.records.push(AuditRecord { at_ns, event });
+    }
+
+    /// All records, oldest first.
+    pub fn records(&self) -> &[AuditRecord] {
+        &self.records
+    }
+
+    /// Number of records blocked by a given mechanism.
+    pub fn count_blocked_by(&self, by: BlockedBy) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.event.blocked_by() == by)
+            .count()
+    }
+
+    /// Returns `true` if no attack was ever blocked — i.e. a clean run.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total record count.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Clears the log (between experiment repetitions).
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate_with_mechanism_attribution() {
+        let mut log = AuditLog::new();
+        log.record(
+            100,
+            AuditEvent::UngrantedMemOp {
+                caller: VmId(1),
+                target: VmId(2),
+                grant: Some(GrantRef(7)),
+                description: "copy_to_guest 0xc0000000+8".to_owned(),
+            },
+        );
+        log.record(
+            200,
+            AuditEvent::DmaBlocked {
+                dma: DmaAddr::new(0x1000),
+                region: Some(RegionId(1)),
+            },
+        );
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.count_blocked_by(BlockedBy::GrantCheck), 1);
+        assert_eq!(log.count_blocked_by(BlockedBy::IommuRegion), 1);
+        assert_eq!(log.count_blocked_by(BlockedBy::DeviceAperture), 0);
+        assert_eq!(log.records()[0].at_ns, 100);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut log = AuditLog::new();
+        log.record(
+            1,
+            AuditEvent::ApertureViolation { offset: 0xdead },
+        );
+        assert!(!log.is_empty());
+        log.clear();
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn blocked_by_display() {
+        assert_eq!(
+            BlockedBy::EptProtection.to_string(),
+            "EPT permission stripping"
+        );
+    }
+}

@@ -1,0 +1,460 @@
+//! Grant tables: declared-legitimate memory operations.
+//!
+//! Fault isolation's second technique (paper §4.1): the hypervisor performs
+//! "strict runtime checks … to validate the memory operations requested by
+//! the driver VM, making sure that they cannot be abused by the compromised
+//! driver VM to compromise other guest VMs, e.g., by asking the hypervisor to
+//! copy data to some sensitive memory location inside a guest VM kernel."
+//!
+//! Before forwarding a file operation, the CVD frontend *declares* the
+//! operation's legitimate memory operations in a grant table (one shared page
+//! between the frontend VM and the hypervisor, §5.1), obtaining a
+//! [`GrantRef`] that the backend must attach to every hypercall for that file
+//! operation. The reference "acts as an index and helps the hypervisor
+//! validate the operation with minimal overhead."
+//!
+//! Validation is *subset* matching: a requested operation must lie entirely
+//! within a declared grant of the same kind.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use paradice_mem::{Access, GuestVirtAddr};
+
+/// Index of a declaration in a guest's grant table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GrantRef(pub u32);
+
+impl fmt::Display for GrantRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "grant#{}", self.0)
+    }
+}
+
+/// One legitimate memory operation declared by the CVD frontend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemOpGrant {
+    /// The driver may read `[addr, addr+len)` of process memory
+    /// (`copy_from_user`).
+    CopyFromGuest {
+        /// Start of the readable range.
+        addr: GuestVirtAddr,
+        /// Length in bytes.
+        len: u64,
+    },
+    /// The driver may write `[addr, addr+len)` of process memory
+    /// (`copy_to_user`).
+    CopyToGuest {
+        /// Start of the writable range.
+        addr: GuestVirtAddr,
+        /// Length in bytes.
+        len: u64,
+    },
+    /// The driver may map pages into `[va, va + pages·4K)` with at most
+    /// `access` rights (`mmap`/fault path).
+    MapPages {
+        /// Page-aligned start of the mappable window.
+        va: GuestVirtAddr,
+        /// Number of pages.
+        pages: u64,
+        /// Maximum access the mapping may carry.
+        access: Access,
+    },
+    /// The driver may tear down mappings in `[va, va + pages·4K)`.
+    UnmapPages {
+        /// Page-aligned start of the window.
+        va: GuestVirtAddr,
+        /// Number of pages.
+        pages: u64,
+    },
+}
+
+/// A memory operation the driver VM is requesting via hypercall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemOpRequest {
+    /// Read `len` bytes of process memory at `addr`.
+    CopyFromGuest {
+        /// Start address.
+        addr: GuestVirtAddr,
+        /// Byte length.
+        len: u64,
+    },
+    /// Write `len` bytes of process memory at `addr`.
+    CopyToGuest {
+        /// Start address.
+        addr: GuestVirtAddr,
+        /// Byte length.
+        len: u64,
+    },
+    /// Map one page at `va` with `access`.
+    MapPage {
+        /// Page-aligned target address.
+        va: GuestVirtAddr,
+        /// Requested rights.
+        access: Access,
+    },
+    /// Unmap one page at `va`.
+    UnmapPage {
+        /// Page-aligned target address.
+        va: GuestVirtAddr,
+    },
+}
+
+fn range_within(addr: u64, len: u64, start: u64, grant_len: u64) -> bool {
+    // Empty requests are trivially within any grant starting at or before.
+    match addr.checked_add(len) {
+        Some(end) => addr >= start && end <= start.saturating_add(grant_len),
+        None => false,
+    }
+}
+
+impl MemOpGrant {
+    /// Returns `true` if `request` lies entirely within this grant.
+    pub fn covers(&self, request: &MemOpRequest) -> bool {
+        match (self, request) {
+            (
+                MemOpGrant::CopyFromGuest { addr, len },
+                MemOpRequest::CopyFromGuest {
+                    addr: req_addr,
+                    len: req_len,
+                },
+            ) => range_within(req_addr.raw(), *req_len, addr.raw(), *len),
+            (
+                MemOpGrant::CopyToGuest { addr, len },
+                MemOpRequest::CopyToGuest {
+                    addr: req_addr,
+                    len: req_len,
+                },
+            ) => range_within(req_addr.raw(), *req_len, addr.raw(), *len),
+            (
+                MemOpGrant::MapPages { va, pages, access },
+                MemOpRequest::MapPage {
+                    va: req_va,
+                    access: req_access,
+                },
+            ) => {
+                range_within(
+                    req_va.raw(),
+                    paradice_mem::PAGE_SIZE,
+                    va.raw(),
+                    pages * paradice_mem::PAGE_SIZE,
+                ) && access.contains(*req_access)
+            }
+            (
+                MemOpGrant::UnmapPages { va, pages },
+                MemOpRequest::UnmapPage { va: req_va },
+            ) => range_within(
+                req_va.raw(),
+                paradice_mem::PAGE_SIZE,
+                va.raw(),
+                pages * paradice_mem::PAGE_SIZE,
+            ),
+            _ => false,
+        }
+    }
+}
+
+/// Why a grant check rejected a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GrantError {
+    /// The reference does not name a live declaration.
+    UnknownRef {
+        /// The offending reference.
+        grant: GrantRef,
+    },
+    /// No declared operation covers the request.
+    NotCovered {
+        /// The reference whose declarations were consulted.
+        grant: GrantRef,
+    },
+    /// The table page is full (fixed capacity, one shared page).
+    TableFull,
+}
+
+impl fmt::Display for GrantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GrantError::UnknownRef { grant } => write!(f, "unknown grant reference {grant}"),
+            GrantError::NotCovered { grant } => {
+                write!(f, "memory operation not covered by {grant}")
+            }
+            GrantError::TableFull => f.write_str("grant table full"),
+        }
+    }
+}
+
+impl std::error::Error for GrantError {}
+
+/// Maximum simultaneous declarations: the table is one shared 4-KiB page
+/// (paper §5.1); with a few dozen bytes per operation entry and a handful of
+/// operations per file operation, 128 in-flight declarations is a faithful
+/// capacity.
+pub const GRANT_TABLE_CAPACITY: usize = 128;
+
+/// One guest VM's grant table.
+#[derive(Debug, Default)]
+pub struct GrantTable {
+    entries: BTreeMap<u32, Vec<MemOpGrant>>,
+    next_ref: u32,
+}
+
+impl GrantTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        GrantTable::default()
+    }
+
+    /// Declares the legitimate operations of one file operation, returning
+    /// the reference the backend must attach to its hypercalls.
+    ///
+    /// # Errors
+    ///
+    /// [`GrantError::TableFull`] when [`GRANT_TABLE_CAPACITY`] declarations
+    /// are already outstanding.
+    pub fn declare(&mut self, ops: Vec<MemOpGrant>) -> Result<GrantRef, GrantError> {
+        if self.entries.len() >= GRANT_TABLE_CAPACITY {
+            return Err(GrantError::TableFull);
+        }
+        let reference = GrantRef(self.next_ref);
+        self.next_ref = self.next_ref.wrapping_add(1);
+        self.entries.insert(reference.0, ops);
+        Ok(reference)
+    }
+
+    /// Validates `request` against the declarations of `grant`.
+    ///
+    /// # Errors
+    ///
+    /// [`GrantError::UnknownRef`] or [`GrantError::NotCovered`].
+    pub fn validate(
+        &self,
+        grant: GrantRef,
+        request: &MemOpRequest,
+    ) -> Result<(), GrantError> {
+        let ops = self
+            .entries
+            .get(&grant.0)
+            .ok_or(GrantError::UnknownRef { grant })?;
+        if ops.iter().any(|op| op.covers(request)) {
+            Ok(())
+        } else {
+            Err(GrantError::NotCovered { grant })
+        }
+    }
+
+    /// Revokes a declaration once its file operation completes.
+    ///
+    /// Returns `true` if the reference was live.
+    pub fn revoke(&mut self, grant: GrantRef) -> bool {
+        self.entries.remove(&grant.0).is_some()
+    }
+
+    /// Number of outstanding declarations.
+    pub fn outstanding(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The declarations behind a reference (for tests and audit dumps).
+    pub fn declarations(&self, grant: GrantRef) -> Option<&[MemOpGrant]> {
+        self.entries.get(&grant.0).map(|v| v.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paradice_mem::PAGE_SIZE;
+
+    fn va(x: u64) -> GuestVirtAddr {
+        GuestVirtAddr::new(x)
+    }
+
+    #[test]
+    fn declare_validate_revoke_lifecycle() {
+        let mut table = GrantTable::new();
+        let grant = table
+            .declare(vec![MemOpGrant::CopyToGuest {
+                addr: va(0x1000),
+                len: 256,
+            }])
+            .unwrap();
+        let ok = MemOpRequest::CopyToGuest {
+            addr: va(0x1000),
+            len: 256,
+        };
+        assert!(table.validate(grant, &ok).is_ok());
+        assert!(table.revoke(grant));
+        assert_eq!(
+            table.validate(grant, &ok),
+            Err(GrantError::UnknownRef { grant })
+        );
+        assert!(!table.revoke(grant));
+    }
+
+    #[test]
+    fn subset_requests_allowed() {
+        let grant = MemOpGrant::CopyFromGuest {
+            addr: va(0x2000),
+            len: 1024,
+        };
+        assert!(grant.covers(&MemOpRequest::CopyFromGuest {
+            addr: va(0x2100),
+            len: 128,
+        }));
+        assert!(grant.covers(&MemOpRequest::CopyFromGuest {
+            addr: va(0x2000),
+            len: 1024,
+        }));
+    }
+
+    #[test]
+    fn escaping_requests_rejected() {
+        let grant = MemOpGrant::CopyToGuest {
+            addr: va(0x2000),
+            len: 1024,
+        };
+        // Before the range.
+        assert!(!grant.covers(&MemOpRequest::CopyToGuest {
+            addr: va(0x1fff),
+            len: 8,
+        }));
+        // Runs past the end.
+        assert!(!grant.covers(&MemOpRequest::CopyToGuest {
+            addr: va(0x23ff),
+            len: 8,
+        }));
+        // The classic attack: copy into a kernel address far away.
+        assert!(!grant.covers(&MemOpRequest::CopyToGuest {
+            addr: va(0xc000_0000),
+            len: 8,
+        }));
+    }
+
+    #[test]
+    fn direction_is_part_of_the_grant() {
+        // A read grant must not authorize writes, else a compromised driver
+        // VM could corrupt guest memory it was only allowed to read.
+        let grant = MemOpGrant::CopyFromGuest {
+            addr: va(0x3000),
+            len: 64,
+        };
+        assert!(!grant.covers(&MemOpRequest::CopyToGuest {
+            addr: va(0x3000),
+            len: 64,
+        }));
+    }
+
+    #[test]
+    fn map_grants_check_access_and_range() {
+        let grant = MemOpGrant::MapPages {
+            va: va(0x10000),
+            pages: 4,
+            access: Access::RW,
+        };
+        assert!(grant.covers(&MemOpRequest::MapPage {
+            va: va(0x12000),
+            access: Access::READ,
+        }));
+        assert!(grant.covers(&MemOpRequest::MapPage {
+            va: va(0x13000),
+            access: Access::RW,
+        }));
+        // Fifth page is outside.
+        assert!(!grant.covers(&MemOpRequest::MapPage {
+            va: va(0x14000),
+            access: Access::READ,
+        }));
+        // Escalating to executable is refused.
+        assert!(!grant.covers(&MemOpRequest::MapPage {
+            va: va(0x10000),
+            access: Access::RWX,
+        }));
+    }
+
+    #[test]
+    fn unmap_grants() {
+        let grant = MemOpGrant::UnmapPages {
+            va: va(0x10000),
+            pages: 2,
+        };
+        assert!(grant.covers(&MemOpRequest::UnmapPage { va: va(0x11000) }));
+        assert!(!grant.covers(&MemOpRequest::UnmapPage { va: va(0x12000) }));
+    }
+
+    #[test]
+    fn multiple_ops_per_declaration() {
+        let mut table = GrantTable::new();
+        let grant = table
+            .declare(vec![
+                MemOpGrant::CopyFromGuest {
+                    addr: va(0x1000),
+                    len: 64,
+                },
+                MemOpGrant::CopyToGuest {
+                    addr: va(0x1000),
+                    len: 64,
+                },
+            ])
+            .unwrap();
+        assert!(table
+            .validate(
+                grant,
+                &MemOpRequest::CopyFromGuest {
+                    addr: va(0x1000),
+                    len: 64
+                }
+            )
+            .is_ok());
+        assert!(table
+            .validate(
+                grant,
+                &MemOpRequest::CopyToGuest {
+                    addr: va(0x1020),
+                    len: 32
+                }
+            )
+            .is_ok());
+        assert_eq!(table.declarations(grant).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn table_capacity_enforced() {
+        let mut table = GrantTable::new();
+        for _ in 0..GRANT_TABLE_CAPACITY {
+            table.declare(vec![]).unwrap();
+        }
+        assert_eq!(table.declare(vec![]), Err(GrantError::TableFull));
+        assert_eq!(table.outstanding(), GRANT_TABLE_CAPACITY);
+    }
+
+    #[test]
+    fn overflow_addresses_never_covered() {
+        let grant = MemOpGrant::CopyToGuest {
+            addr: va(0x1000),
+            len: u64::MAX,
+        };
+        assert!(!grant.covers(&MemOpRequest::CopyToGuest {
+            addr: va(u64::MAX - 4),
+            len: 8,
+        }));
+    }
+
+    #[test]
+    fn map_page_size_constant_consistency() {
+        // MapPages windows are measured in pages; make sure the constant
+        // used for coverage matches the mem crate.
+        let grant = MemOpGrant::MapPages {
+            va: va(0),
+            pages: 1,
+            access: Access::RW,
+        };
+        assert!(grant.covers(&MemOpRequest::MapPage {
+            va: va(0),
+            access: Access::RW,
+        }));
+        assert!(!grant.covers(&MemOpRequest::MapPage {
+            va: va(PAGE_SIZE),
+            access: Access::RW,
+        }));
+    }
+}

@@ -1,0 +1,2121 @@
+//! The [`Hypervisor`]: VM lifecycle, device assignment, and the hypercall API.
+//!
+//! This is Paradice's trusted computing base. It implements:
+//!
+//! * **VM creation** with identity-mapped RAM behind per-VM EPTs;
+//! * **device assignment** (§3.1): device BARs mapped into the driver VM,
+//!   DMA confined to driver-VM memory by the IOMMU;
+//! * the **hypercall API for driver memory operations** (§5.2): cross-VM
+//!   copies via two-stage software page-table walks, and `mmap` fix-ups that
+//!   pick an unused guest-physical page, edit the guest's EPT, and fix the
+//!   last level of the guest's page tables;
+//! * **strict runtime checks**: every memory operation requested by the
+//!   (untrusted) driver VM is validated against the grant table of the
+//!   target guest (§4.1) — violations are refused and audited;
+//! * **device data isolation** (§4.2, §5.3): protected regions, EPT
+//!   permission stripping, region-tagged IOMMU mappings with one active
+//!   region, device-memory aperture bounds behind protected MMIO.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use paradice_mem::ept::EptMapError;
+use paradice_mem::iommu::DomainId;
+use paradice_mem::layout::GpaExhausted;
+use paradice_mem::pagetable::{GpaSpace, GuestPageTables, PtWalkError};
+use paradice_mem::{
+    Access, DmaAddr, EptViolation, GuestPhysAddr, GuestVirtAddr, Iommu, IommuFault, MemError,
+    PhysAddr, RegionId, SystemMemory, PAGE_SIZE,
+};
+
+use crate::audit::{AuditEvent, AuditLog};
+use crate::clock::{CostModel, SimClock};
+use crate::grants::{GrantError, GrantRef, GrantTable, MemOpGrant, MemOpRequest};
+use crate::regions::{DevMemRange, RegionError, RegionManager};
+use crate::vm::{Vm, VmId, VmRole};
+
+/// Errors surfaced by hypervisor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HvError {
+    /// The caller is not the driver VM but invoked a driver-only hypercall.
+    NotDriverVm {
+        /// The offending caller.
+        caller: VmId,
+    },
+    /// Unknown VM id.
+    UnknownVm {
+        /// The offending id.
+        vm: VmId,
+    },
+    /// Grant validation failed — the request was refused and audited.
+    Grant(GrantError),
+    /// A guest page-table walk failed.
+    Pt(PtWalkError),
+    /// An EPT permission check failed.
+    Ept(EptViolation),
+    /// An EPT edit was malformed (e.g. write-only permissions).
+    EptMap(EptMapError),
+    /// Physical memory access failed.
+    Mem(MemError),
+    /// The IOMMU blocked a DMA or mapping operation.
+    Iommu(IommuFault),
+    /// Region bookkeeping failed.
+    Region(RegionError),
+    /// The guest's unused-GPA window is exhausted.
+    GpaWindowExhausted,
+    /// Data isolation is enabled but the driver omitted a region tag.
+    RegionRequired,
+    /// The page belongs to another guest's protected region.
+    ForeignRegionPage {
+        /// The region that owns the page.
+        owner: RegionId,
+    },
+    /// A device access fell outside the active device-memory aperture.
+    ApertureViolation {
+        /// The device-memory offset of the access.
+        offset: u64,
+    },
+    /// The driver VM touched a hypervisor-protected MMIO register.
+    ProtectedMmio {
+        /// The register offset.
+        offset: u64,
+    },
+    /// The guest's page permissions forbid the access (its own mapping).
+    GuestPagePerms {
+        /// The faulting virtual address.
+        va: GuestVirtAddr,
+    },
+    /// No such IOMMU mapping to unmap.
+    NoSuchMapping {
+        /// The bus address.
+        dma: DmaAddr,
+    },
+}
+
+impl fmt::Display for HvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HvError::NotDriverVm { caller } => {
+                write!(f, "{caller} is not the driver VM")
+            }
+            HvError::UnknownVm { vm } => write!(f, "unknown {vm}"),
+            HvError::Grant(e) => write!(f, "grant check failed: {e}"),
+            HvError::Pt(e) => write!(f, "guest page-table walk failed: {e}"),
+            HvError::Ept(e) => write!(f, "{e}"),
+            HvError::EptMap(e) => write!(f, "{e}"),
+            HvError::Mem(e) => write!(f, "{e}"),
+            HvError::Iommu(e) => write!(f, "{e}"),
+            HvError::Region(e) => write!(f, "{e}"),
+            HvError::GpaWindowExhausted => f.write_str("guest unused-GPA window exhausted"),
+            HvError::RegionRequired => {
+                f.write_str("data isolation enabled: IOMMU mappings require a region tag")
+            }
+            HvError::ForeignRegionPage { owner } => {
+                write!(f, "page belongs to foreign protected {owner}")
+            }
+            HvError::ApertureViolation { offset } => {
+                write!(f, "device access at offset {offset:#x} outside aperture")
+            }
+            HvError::ProtectedMmio { offset } => {
+                write!(f, "protected MMIO register {offset:#x}")
+            }
+            HvError::GuestPagePerms { va } => {
+                write!(f, "guest page permissions forbid access at {va}")
+            }
+            HvError::NoSuchMapping { dma } => write!(f, "no IOMMU mapping at {dma}"),
+        }
+    }
+}
+
+impl std::error::Error for HvError {}
+
+impl From<GrantError> for HvError {
+    fn from(e: GrantError) -> Self {
+        HvError::Grant(e)
+    }
+}
+
+impl From<PtWalkError> for HvError {
+    fn from(e: PtWalkError) -> Self {
+        HvError::Pt(e)
+    }
+}
+
+impl From<EptViolation> for HvError {
+    fn from(e: EptViolation) -> Self {
+        HvError::Ept(e)
+    }
+}
+
+impl From<EptMapError> for HvError {
+    fn from(e: EptMapError) -> Self {
+        HvError::EptMap(e)
+    }
+}
+
+impl From<MemError> for HvError {
+    fn from(e: MemError) -> Self {
+        HvError::Mem(e)
+    }
+}
+
+impl From<IommuFault> for HvError {
+    fn from(e: IommuFault) -> Self {
+        HvError::Iommu(e)
+    }
+}
+
+impl From<RegionError> for HvError {
+    fn from(e: RegionError) -> Self {
+        HvError::Region(e)
+    }
+}
+
+impl From<GpaExhausted> for HvError {
+    fn from(_: GpaExhausted) -> Self {
+        HvError::GpaWindowExhausted
+    }
+}
+
+/// Data-isolation configuration of an assigned device (paper §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataIsolation {
+    /// Plain device assignment: DMA may reach all driver-VM memory.
+    Disabled,
+    /// Hypervisor-enforced protected regions; IOMMU starts empty.
+    Enabled,
+}
+
+/// Per-assigned-device hypervisor state.
+#[derive(Debug)]
+struct DomainState {
+    driver_vm: VmId,
+    isolation: DataIsolation,
+    regions: RegionManager,
+    /// Active device-memory aperture (hypervisor-owned MC bound registers).
+    aperture: Option<DevMemRange>,
+    /// Whether the MC register page has been unmapped from the driver VM
+    /// (§5.3(iii)); set during trusted driver initialization.
+    mmio_protected: bool,
+    /// Non-protected MMIO registers reachable via hypercall, by offset.
+    misc_regs: BTreeMap<u64, u64>,
+    /// Device BAR: VRAM frames exposed in driver-VM guest-physical space at
+    /// `bar_base`.
+    bar_base: Option<GuestPhysAddr>,
+    bar_pages: u64,
+}
+
+/// Register offsets of the GPU memory-controller aperture bounds within the
+/// protected MMIO page (modeled after Evergreen's `MC_VM_*` pair, §4.2).
+pub const MC_APERTURE_LO: u64 = 0x00;
+/// Upper-bound register offset.
+pub const MC_APERTURE_HI: u64 = 0x08;
+
+/// Key identifying one hypervisor-installed `mmap` fix-up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct FixupKey {
+    guest: VmId,
+    pt_root: u64,
+    va_page: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Fixup {
+    claimed_gpa: GuestPhysAddr,
+}
+
+/// The simulated hypervisor.
+pub struct Hypervisor {
+    clock: SimClock,
+    cost: CostModel,
+    mem: SystemMemory,
+    vms: Vec<Vm>,
+    iommu: Iommu,
+    grants: BTreeMap<u32, GrantTable>,
+    domains: BTreeMap<usize, DomainState>,
+    fixups: BTreeMap<FixupKey, Fixup>,
+    audit: AuditLog,
+    /// When false, driver memory operations skip grant validation — the
+    /// *devirtualization* predecessor design (paper Figure 1(b)), kept as a
+    /// security ablation. Never disable outside experiments.
+    grant_validation: bool,
+}
+
+impl fmt::Debug for Hypervisor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Hypervisor")
+            .field("vms", &self.vms.len())
+            .field("domains", &self.domains.len())
+            .field("clock", &self.clock)
+            .finish()
+    }
+}
+
+/// A [`GpaSpace`] view of one VM: reads and writes go through the VM's EPT
+/// into system memory; table pages come from the VM's kernel allocator.
+pub struct VmGpaSpace<'a> {
+    vm: &'a mut Vm,
+    mem: &'a mut SystemMemory,
+}
+
+impl GpaSpace for VmGpaSpace<'_> {
+    fn read_u64(&self, gpa: GuestPhysAddr) -> Result<u64, PtWalkError> {
+        let pa = self
+            .vm
+            .ept()
+            .translate_unchecked(gpa)
+            .ok_or(PtWalkError::Backing { gpa })?;
+        self.mem
+            .read_u64(pa)
+            .map_err(|_| PtWalkError::Backing { gpa })
+    }
+
+    fn write_u64(&mut self, gpa: GuestPhysAddr, value: u64) -> Result<(), PtWalkError> {
+        let pa = self
+            .vm
+            .ept()
+            .translate_unchecked(gpa)
+            .ok_or(PtWalkError::Backing { gpa })?;
+        self.mem
+            .write_u64(pa, value)
+            .map_err(|_| PtWalkError::Backing { gpa })
+    }
+
+    fn alloc_table_page(&mut self) -> Result<GuestPhysAddr, PtWalkError> {
+        self.vm.alloc_kernel_page().ok_or(PtWalkError::NoTablePages)
+    }
+}
+
+impl Hypervisor {
+    /// Boots a hypervisor managing `total_frames` frames of physical memory.
+    pub fn new(total_frames: usize, clock: SimClock, cost: CostModel) -> Self {
+        Hypervisor {
+            clock,
+            cost,
+            mem: SystemMemory::new(total_frames),
+            vms: Vec::new(),
+            iommu: Iommu::new(),
+            grants: BTreeMap::new(),
+            domains: BTreeMap::new(),
+            fixups: BTreeMap::new(),
+            audit: AuditLog::new(),
+            grant_validation: true,
+        }
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// The cost model in effect.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The isolation audit log.
+    pub fn audit(&self) -> &AuditLog {
+        &self.audit
+    }
+
+    /// Clears the audit log (between experiment repetitions).
+    pub fn clear_audit(&mut self) {
+        self.audit.clear();
+    }
+
+    /// Direct access to system memory (device models and tests).
+    pub fn mem(&self) -> &SystemMemory {
+        &self.mem
+    }
+
+    /// Mutable access to system memory (device models and tests).
+    pub fn mem_mut(&mut self) -> &mut SystemMemory {
+        &mut self.mem
+    }
+
+    // ------------------------------------------------------------------
+    // VM lifecycle
+    // ------------------------------------------------------------------
+
+    /// Creates a VM with `ram_bytes` of identity-mapped RAM.
+    ///
+    /// # Errors
+    ///
+    /// Fails if physical memory is exhausted.
+    pub fn create_vm(&mut self, role: VmRole, ram_bytes: u64) -> Result<VmId, HvError> {
+        let id = VmId(self.vms.len() as u32);
+        let mut vm = Vm::new(id, role, ram_bytes);
+        for page in 0..vm.ram_pages() {
+            let frame = self.mem.alloc_frame()?;
+            vm.ept_mut().map(
+                GuestPhysAddr::new(page * PAGE_SIZE),
+                frame.base(),
+                Vm::ram_access(),
+            )?;
+        }
+        self.grants.insert(id.0, GrantTable::new());
+        self.vms.push(vm);
+        Ok(id)
+    }
+
+    /// Shared access to a VM.
+    ///
+    /// # Errors
+    ///
+    /// [`HvError::UnknownVm`].
+    pub fn vm(&self, id: VmId) -> Result<&Vm, HvError> {
+        self.vms
+            .get(id.0 as usize)
+            .ok_or(HvError::UnknownVm { vm: id })
+    }
+
+    /// Mutable access to a VM.
+    ///
+    /// # Errors
+    ///
+    /// [`HvError::UnknownVm`].
+    pub fn vm_mut(&mut self, id: VmId) -> Result<&mut Vm, HvError> {
+        self.vms
+            .get_mut(id.0 as usize)
+            .ok_or(HvError::UnknownVm { vm: id })
+    }
+
+    /// A [`GpaSpace`] view of `vm` for page-table construction and walks.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown VM id — a simulation bug.
+    pub fn gpa_space(&mut self, vm: VmId) -> VmGpaSpace<'_> {
+        let Hypervisor { vms, mem, .. } = self;
+        VmGpaSpace {
+            vm: vms.get_mut(vm.0 as usize).expect("unknown VM"),
+            mem,
+        }
+    }
+
+    fn is_driver_vm(&self, vm: VmId) -> bool {
+        matches!(self.vm(vm), Ok(v) if v.role() == VmRole::Driver)
+    }
+
+    fn require_driver(&self, caller: VmId) -> Result<(), HvError> {
+        if self.is_driver_vm(caller) {
+            Ok(())
+        } else {
+            Err(HvError::NotDriverVm { caller })
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Grant management (called by the guest-side CVD frontend)
+    // ------------------------------------------------------------------
+
+    /// Declares the legitimate memory operations of a file operation for
+    /// `guest` (the frontend writes them into its grant table, §4.1/§5.1).
+    ///
+    /// # Errors
+    ///
+    /// Unknown VM or full grant table.
+    pub fn declare_grants(
+        &mut self,
+        guest: VmId,
+        ops: Vec<MemOpGrant>,
+    ) -> Result<GrantRef, HvError> {
+        self.vm(guest)?;
+        let table = self.grants.get_mut(&guest.0).expect("grants track VMs");
+        Ok(table.declare(ops)?)
+    }
+
+    /// Revokes a grant after the file operation completes.
+    ///
+    /// # Errors
+    ///
+    /// Unknown VM.
+    pub fn revoke_grant(&mut self, guest: VmId, grant: GrantRef) -> Result<bool, HvError> {
+        self.vm(guest)?;
+        Ok(self
+            .grants
+            .get_mut(&guest.0)
+            .expect("grants track VMs")
+            .revoke(grant))
+    }
+
+    /// Outstanding declarations for a guest (tests and overhead accounting).
+    pub fn outstanding_grants(&self, guest: VmId) -> usize {
+        self.grants.get(&guest.0).map_or(0, |t| t.outstanding())
+    }
+
+    /// Disables or re-enables grant validation: the devirtualization
+    /// ablation (Figure 1(b)), in which driver memory operations execute
+    /// unchecked. Exists so experiments can demonstrate *why* the checks
+    /// matter; isolation guarantees are void while disabled.
+    pub fn set_grant_validation(&mut self, enabled: bool) {
+        self.grant_validation = enabled;
+    }
+
+    /// Whether grant validation is active (it is, except in the ablation).
+    pub fn grant_validation(&self) -> bool {
+        self.grant_validation
+    }
+
+    fn validate_grant(
+        &mut self,
+        caller: VmId,
+        guest: VmId,
+        grant: GrantRef,
+        request: &MemOpRequest,
+    ) -> Result<(), HvError> {
+        if !self.grant_validation {
+            return Ok(());
+        }
+        let table = self
+            .grants
+            .get(&guest.0)
+            .ok_or(HvError::UnknownVm { vm: guest })?;
+        match table.validate(grant, request) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.audit.record(
+                    self.clock.now_ns(),
+                    AuditEvent::UngrantedMemOp {
+                        caller,
+                        target: guest,
+                        grant: Some(grant),
+                        description: format!("{request:?}"),
+                    },
+                );
+                Err(e.into())
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Two-stage translation and process memory access
+    // ------------------------------------------------------------------
+
+    /// Translates a guest-virtual address to system-physical by walking the
+    /// process page tables in software and then the VM's EPT (paper §5.2).
+    ///
+    /// `need` is checked against the *leaf* guest page permissions: the
+    /// hypervisor must not write through read-only guest mappings.
+    ///
+    /// # Errors
+    ///
+    /// Walk failures and permission mismatches.
+    pub fn translate_gva(
+        &mut self,
+        vm: VmId,
+        pt_root: GuestPhysAddr,
+        va: GuestVirtAddr,
+        need: Access,
+    ) -> Result<PhysAddr, HvError> {
+        // No clock charge here: ordinary process accesses ride the hardware
+        // MMU. The hypervisor's *software* walks during cross-VM copies are
+        // charged by the hypercalls via `CostModel::copy_cost_ns`.
+        let tables = GuestPageTables::from_root(pt_root);
+        let space = self.gpa_space(vm);
+        let mapping = tables.walk(&space, va.page_base())?;
+        if !mapping.access.contains(need) {
+            return Err(HvError::GuestPagePerms { va });
+        }
+        let gpa = mapping.gpa.add(va.page_offset());
+        let pa = self
+            .vm(vm)?
+            .ept()
+            .translate_unchecked(gpa)
+            .ok_or(EptViolation {
+                gpa,
+                attempted: need,
+                allowed: Access::NONE,
+                mapped: false,
+            })?;
+        Ok(pa)
+    }
+
+    /// Reads `buf.len()` bytes of process memory (the process's own access
+    /// path; not grant-checked — the MMU enforces the process's own page
+    /// permissions).
+    ///
+    /// # Errors
+    ///
+    /// Walk or permission failures.
+    pub fn process_read(
+        &mut self,
+        vm: VmId,
+        pt_root: GuestPhysAddr,
+        va: GuestVirtAddr,
+        buf: &mut [u8],
+    ) -> Result<(), HvError> {
+        let mut done = 0usize;
+        for (chunk_va, len) in paradice_mem::addr::page_chunks(va, buf.len() as u64) {
+            let pa = self.translate_gva(vm, pt_root, chunk_va, Access::READ)?;
+            self.mem.read(pa, &mut buf[done..done + len as usize])?;
+            done += len as usize;
+        }
+        Ok(())
+    }
+
+    /// Writes `buf` into process memory (the process's own access path).
+    ///
+    /// # Errors
+    ///
+    /// Walk or permission failures.
+    pub fn process_write(
+        &mut self,
+        vm: VmId,
+        pt_root: GuestPhysAddr,
+        va: GuestVirtAddr,
+        buf: &[u8],
+    ) -> Result<(), HvError> {
+        let mut done = 0usize;
+        for (chunk_va, len) in paradice_mem::addr::page_chunks(va, buf.len() as u64) {
+            let pa = self.translate_gva(vm, pt_root, chunk_va, Access::WRITE)?;
+            self.mem.write(pa, &buf[done..done + len as usize])?;
+            done += len as usize;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Hypercall API: driver memory operations (paper §5.2)
+    // ------------------------------------------------------------------
+
+    /// A no-op hypercall (overhead microbenchmarks).
+    pub fn hc_noop(&mut self, _caller: VmId) {
+        self.clock.advance(self.cost.hypercall_ns);
+    }
+
+    /// Hypercall: copy `buf.len()` bytes *from* guest process memory into the
+    /// driver's kernel buffer. Grant-checked (§4.1).
+    ///
+    /// # Errors
+    ///
+    /// Grant violations (audited), walk failures, role violations.
+    pub fn hc_copy_from_guest(
+        &mut self,
+        caller: VmId,
+        guest: VmId,
+        pt_root: GuestPhysAddr,
+        src: GuestVirtAddr,
+        buf: &mut [u8],
+        grant: GrantRef,
+    ) -> Result<(), HvError> {
+        self.require_driver(caller)?;
+        self.validate_grant(
+            caller,
+            guest,
+            grant,
+            &MemOpRequest::CopyFromGuest {
+                addr: src,
+                len: buf.len() as u64,
+            },
+        )?;
+        let pages = paradice_mem::addr::page_chunks(src, buf.len() as u64).count() as u64;
+        self.clock
+            .advance(self.cost.copy_cost_ns(buf.len() as u64, pages));
+        self.process_read(guest, pt_root, src, buf)
+    }
+
+    /// Hypercall: copy the driver's kernel buffer *to* guest process memory.
+    /// Grant-checked (§4.1).
+    ///
+    /// # Errors
+    ///
+    /// Grant violations (audited), walk failures, role violations.
+    pub fn hc_copy_to_guest(
+        &mut self,
+        caller: VmId,
+        guest: VmId,
+        pt_root: GuestPhysAddr,
+        dst: GuestVirtAddr,
+        buf: &[u8],
+        grant: GrantRef,
+    ) -> Result<(), HvError> {
+        self.require_driver(caller)?;
+        self.validate_grant(
+            caller,
+            guest,
+            grant,
+            &MemOpRequest::CopyToGuest {
+                addr: dst,
+                len: buf.len() as u64,
+            },
+        )?;
+        let pages = paradice_mem::addr::page_chunks(dst, buf.len() as u64).count() as u64;
+        self.clock
+            .advance(self.cost.copy_cost_ns(buf.len() as u64, pages));
+        self.process_write(guest, pt_root, dst, buf)
+    }
+
+    /// Hypercall: map driver-physical page `driver_pfn` into the guest
+    /// process at `va` — the `vm_insert_pfn` wrapper-stub path (§5.2).
+    ///
+    /// The hypervisor claims an unused guest-physical page, edits the guest's
+    /// EPT to point it at the backing frame, and fixes the *last level* of
+    /// the guest page tables (intermediate levels must already exist, created
+    /// by the frontend). With data isolation, `domain` gates protected pages
+    /// to the owning guest's region.
+    ///
+    /// # Errors
+    ///
+    /// Grant violations (audited), missing intermediates, foreign-region
+    /// pages (audited), exhausted GPA window.
+    #[allow(clippy::too_many_arguments)]
+    pub fn hc_insert_pfn(
+        &mut self,
+        caller: VmId,
+        guest: VmId,
+        pt_root: GuestPhysAddr,
+        va: GuestVirtAddr,
+        driver_pfn: u64,
+        access: Access,
+        grant: GrantRef,
+        domain: Option<DomainId>,
+    ) -> Result<(), HvError> {
+        self.require_driver(caller)?;
+        self.validate_grant(caller, guest, grant, &MemOpRequest::MapPage { va, access })?;
+        self.clock.advance(self.cost.map_page_ns);
+
+        // Resolve the backing frame through the driver VM's EPT.
+        let driver_gpa = GuestPhysAddr::new(driver_pfn * PAGE_SIZE);
+        let pa = self
+            .vm(caller)?
+            .ept()
+            .frame_of(driver_gpa)
+            .ok_or(EptViolation {
+                gpa: driver_gpa,
+                attempted: Access::READ,
+                allowed: Access::NONE,
+                mapped: false,
+            })?;
+
+        // Data isolation: a protected page may only be mapped into the guest
+        // whose region owns it (§4.2 — "each guest VM has access to its own
+        // memory region only").
+        if let Some(domain) = domain {
+            if let Some(state) = self.domains.get(&domain.index()) {
+                if let Some(owner) = state.regions.owner_of_page(driver_gpa) {
+                    let owner_guest = state.regions.guest_of(owner)?;
+                    if owner_guest != guest {
+                        self.audit.record(
+                            self.clock.now_ns(),
+                            AuditEvent::UngrantedMemOp {
+                                caller,
+                                target: guest,
+                                grant: Some(grant),
+                                description: format!(
+                                    "map foreign region page {driver_gpa} into {guest}"
+                                ),
+                            },
+                        );
+                        return Err(HvError::ForeignRegionPage { owner });
+                    }
+                }
+            }
+        }
+
+        // Claim an unused guest-physical page and wire up both translations.
+        let claimed = self.vm_mut(guest)?.gpa_window_mut().claim()?;
+        self.vm_mut(guest)?.ept_mut().map(claimed, pa, access)?;
+        let tables = GuestPageTables::from_root(pt_root);
+        let mut space = self.gpa_space(guest);
+        if let Err(e) = tables.set_leaf(&mut space, va, claimed, access) {
+            // Roll back the claim so a frontend bug cannot leak window pages.
+            self.vm_mut(guest)?.ept_mut().unmap(claimed);
+            self.vm_mut(guest)?.gpa_window_mut().release(claimed);
+            return Err(e.into());
+        }
+        self.fixups.insert(
+            FixupKey {
+                guest,
+                pt_root: pt_root.raw(),
+                va_page: va.page_number(),
+            },
+            Fixup {
+                claimed_gpa: claimed,
+            },
+        );
+        Ok(())
+    }
+
+    /// Hypercall: tear down a mapping previously installed by
+    /// [`Hypervisor::hc_insert_pfn`]. The guest kernel has already destroyed
+    /// its own leaf entry, so "the hypervisor only needs to destroy the
+    /// mappings in the EPTs" (§5.2).
+    ///
+    /// # Errors
+    ///
+    /// Grant violations (audited) and unknown mappings.
+    pub fn hc_zap_page(
+        &mut self,
+        caller: VmId,
+        guest: VmId,
+        pt_root: GuestPhysAddr,
+        va: GuestVirtAddr,
+        grant: GrantRef,
+    ) -> Result<(), HvError> {
+        self.require_driver(caller)?;
+        self.validate_grant(caller, guest, grant, &MemOpRequest::UnmapPage { va })?;
+        self.clock.advance(self.cost.map_page_ns);
+        let key = FixupKey {
+            guest,
+            pt_root: pt_root.raw(),
+            va_page: va.page_number(),
+        };
+        let fixup = self
+            .fixups
+            .remove(&key)
+            .ok_or(HvError::NoSuchMapping {
+                dma: DmaAddr::new(va.raw()),
+            })?;
+        self.vm_mut(guest)?.ept_mut().unmap(fixup.claimed_gpa);
+        self.vm_mut(guest)?
+            .gpa_window_mut()
+            .release(fixup.claimed_gpa);
+        Ok(())
+    }
+
+    /// Number of live `mmap` fix-ups (tests).
+    pub fn live_fixups(&self) -> usize {
+        self.fixups.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Device assignment and data isolation
+    // ------------------------------------------------------------------
+
+    /// Assigns a device to `driver_vm` (§3.1): creates its IOMMU domain and,
+    /// without data isolation, lets DMA reach all of the driver VM's RAM.
+    /// With [`DataIsolation::Enabled`] the IOMMU starts empty (§4.2).
+    ///
+    /// # Errors
+    ///
+    /// Unknown VM.
+    pub fn assign_device(
+        &mut self,
+        driver_vm: VmId,
+        isolation: DataIsolation,
+    ) -> Result<DomainId, HvError> {
+        let ram_pages = self.vm(driver_vm)?.ram_pages();
+        let domain = self.iommu.create_domain();
+        if isolation == DataIsolation::Disabled {
+            // DMA address space mirrors driver-VM guest-physical space.
+            for page in 0..ram_pages {
+                let gpa = GuestPhysAddr::new(page * PAGE_SIZE);
+                let pa = self
+                    .vm(driver_vm)?
+                    .ept()
+                    .frame_of(gpa)
+                    .expect("RAM is identity-mapped");
+                self.iommu.domain_mut(domain).map(
+                    DmaAddr::new(gpa.raw()),
+                    pa,
+                    Access::RW,
+                    RegionId::GLOBAL,
+                );
+            }
+        }
+        self.domains.insert(
+            domain.index(),
+            DomainState {
+                driver_vm,
+                isolation,
+                regions: RegionManager::new(),
+                aperture: None,
+                mmio_protected: false,
+                misc_regs: BTreeMap::new(),
+                bar_base: None,
+                bar_pages: 0,
+            },
+        );
+        Ok(domain)
+    }
+
+    fn domain_state(&self, domain: DomainId) -> &DomainState {
+        self.domains.get(&domain.index()).expect("unknown domain")
+    }
+
+    fn domain_state_mut(&mut self, domain: DomainId) -> &mut DomainState {
+        self.domains
+            .get_mut(&domain.index())
+            .expect("unknown domain")
+    }
+
+    /// Whether data isolation is enabled for this device.
+    pub fn data_isolation(&self, domain: DomainId) -> bool {
+        self.domain_state(domain).isolation == DataIsolation::Enabled
+    }
+
+    /// The driver VM a device is assigned to.
+    pub fn driver_vm_of(&self, domain: DomainId) -> VmId {
+        self.domain_state(domain).driver_vm
+    }
+
+    /// Allocates `pages` frames of *device memory* (VRAM) and maps them as a
+    /// BAR into the driver VM's guest-physical space above its RAM + `mmap`
+    /// window. Returns the BAR base. Device memory lives in system physical
+    /// address space, exactly like a real BAR-mapped aperture.
+    ///
+    /// # Errors
+    ///
+    /// Out of frames.
+    pub fn map_device_bar(
+        &mut self,
+        domain: DomainId,
+        pages: u64,
+    ) -> Result<GuestPhysAddr, HvError> {
+        let driver_vm = self.domain_state(domain).driver_vm;
+        let ram_pages = self.vm(driver_vm)?.ram_pages();
+        // Place the BAR well above RAM and the unused-GPA window.
+        let base_page = ram_pages + 2 * (crate::vm::GPA_WINDOW_BYTES / PAGE_SIZE);
+        let bar_base = GuestPhysAddr::new(base_page * PAGE_SIZE);
+        for i in 0..pages {
+            let frame = self.mem.alloc_frame()?;
+            self.vm_mut(driver_vm)?.ept_mut().map(
+                bar_base.add(i * PAGE_SIZE),
+                frame.base(),
+                Access::RW,
+            )?;
+        }
+        let state = self.domain_state_mut(domain);
+        state.bar_base = Some(bar_base);
+        state.bar_pages = pages;
+        Ok(bar_base)
+    }
+
+    /// The BAR placement of a device, if one was mapped.
+    pub fn device_bar(&self, domain: DomainId) -> Option<(GuestPhysAddr, u64)> {
+        let state = self.domain_state(domain);
+        state.bar_base.map(|base| (base, state.bar_pages))
+    }
+
+    /// Creates a protected region for `guest` (driver initialization phase,
+    /// which the paper trusts: "we assume that the driver is not malicious in
+    /// this phase", §5.3).
+    ///
+    /// # Errors
+    ///
+    /// Role and overlap violations.
+    pub fn hc_create_region(
+        &mut self,
+        caller: VmId,
+        domain: DomainId,
+        guest: VmId,
+        dev_mem: Option<DevMemRange>,
+    ) -> Result<RegionId, HvError> {
+        self.require_driver(caller)?;
+        self.vm(guest)?;
+        self.clock.advance(self.cost.hypercall_ns);
+        Ok(self
+            .domain_state_mut(domain)
+            .regions
+            .create_region(guest, dev_mem)?)
+    }
+
+    /// Hypercall: add `driver_gpa` to `region`'s protected pool and map it in
+    /// the IOMMU at `dma` (§5.3(i)). The hypervisor strips the driver VM's
+    /// EPT permissions for the page — the driver can no longer read it.
+    ///
+    /// Without data isolation, `region` is ignored and the page is mapped
+    /// globally.
+    ///
+    /// # Errors
+    ///
+    /// Role violations, missing region tag under isolation, bookkeeping
+    /// failures.
+    #[allow(clippy::too_many_arguments)]
+    pub fn hc_iommu_map(
+        &mut self,
+        caller: VmId,
+        domain: DomainId,
+        dma: DmaAddr,
+        driver_gpa: GuestPhysAddr,
+        access: Access,
+        region: Option<RegionId>,
+    ) -> Result<(), HvError> {
+        self.require_driver(caller)?;
+        self.clock
+            .advance(self.cost.hypercall_ns + self.cost.iommu_map_ns);
+        let driver_vm = self.domain_state(domain).driver_vm;
+        let pa = self
+            .vm(driver_vm)?
+            .ept()
+            .frame_of(driver_gpa)
+            .ok_or(EptViolation {
+                gpa: driver_gpa,
+                attempted: Access::READ,
+                allowed: Access::NONE,
+                mapped: false,
+            })?;
+        if self.data_isolation(domain) {
+            let region = region.ok_or(HvError::RegionRequired)?;
+            self.domain_state_mut(domain)
+                .regions
+                .add_sys_page(region, driver_gpa)?;
+            // x86 cannot express write-only: protected pages lose both read
+            // and write from the driver VM (§5.3(iv)).
+            self.vm_mut(driver_vm)?
+                .ept_mut()
+                .set_access(driver_gpa, Access::NONE)?;
+            self.iommu.domain_mut(domain).map(dma, pa, access, region);
+        } else {
+            self.iommu
+                .domain_mut(domain)
+                .map(dma, pa, access, RegionId::GLOBAL);
+        }
+        Ok(())
+    }
+
+    /// Hypercall: unmap `dma` from the IOMMU. "The hypervisor zeros out the
+    /// pages before unmapping" (§5.3(i)) and restores the driver VM's EPT
+    /// permissions.
+    ///
+    /// # Errors
+    ///
+    /// Role violations or unknown mappings.
+    pub fn hc_iommu_unmap(
+        &mut self,
+        caller: VmId,
+        domain: DomainId,
+        dma: DmaAddr,
+    ) -> Result<(), HvError> {
+        self.require_driver(caller)?;
+        self.clock
+            .advance(self.cost.hypercall_ns + self.cost.iommu_map_ns);
+        let pa = self
+            .iommu
+            .domain_mut(domain)
+            .unmap(dma)
+            .ok_or(HvError::NoSuchMapping { dma })?;
+        self.mem.fill(pa, PAGE_SIZE, 0)?;
+        // If the page was protected, restore driver-VM access. The DMA
+        // address mirrors driver-VM guest-physical space in our topology.
+        let driver_vm = self.domain_state(domain).driver_vm;
+        let driver_gpa = GuestPhysAddr::new(dma.raw());
+        if self
+            .domain_state_mut(domain)
+            .regions
+            .remove_sys_page(driver_gpa)
+            .is_some()
+        {
+            self.vm_mut(driver_vm)?
+                .ept_mut()
+                .set_access(driver_gpa, Access::RW)?;
+        }
+        Ok(())
+    }
+
+    /// Hypercall: make the device work with `region`'s data — switch the
+    /// IOMMU's active region and reprogram the device-memory aperture
+    /// (§4.2). Charges per-page remap cost.
+    ///
+    /// # Errors
+    ///
+    /// Role violations or unknown regions.
+    pub fn hc_switch_region(
+        &mut self,
+        caller: VmId,
+        domain: DomainId,
+        region: Option<RegionId>,
+    ) -> Result<(), HvError> {
+        self.require_driver(caller)?;
+        let aperture = match region {
+            Some(r) => self.domain_state(domain).regions.dev_mem_of(r)?,
+            None => None,
+        };
+        let pages = self.iommu.domain_mut(domain).switch_region(region);
+        self.clock.advance(
+            self.cost.hypercall_ns + pages as u64 * self.cost.region_switch_page_ns,
+        );
+        self.domain_state_mut(domain).aperture = aperture;
+        Ok(())
+    }
+
+    /// The active region of a device's IOMMU domain.
+    pub fn active_region(&self, domain: DomainId) -> Option<RegionId> {
+        self.iommu.domain(domain).active_region()
+    }
+
+    /// The region belonging to `guest` on this device, if any.
+    pub fn region_of_guest(&self, domain: DomainId, guest: VmId) -> Option<RegionId> {
+        self.domain_state(domain).regions.region_of_guest(guest)
+    }
+
+    /// Emulates write-only access for a driver-writable buffer (§5.3(iv)):
+    /// the page stays readable+writable to the driver VM but becomes
+    /// read-only to the *device* through the IOMMU.
+    ///
+    /// # Errors
+    ///
+    /// Role violations or unknown mappings.
+    pub fn hc_emulate_write_only(
+        &mut self,
+        caller: VmId,
+        domain: DomainId,
+        dma: DmaAddr,
+    ) -> Result<(), HvError> {
+        self.require_driver(caller)?;
+        self.clock.advance(self.cost.hypercall_ns);
+        let driver_vm = self.domain_state(domain).driver_vm;
+        if !self.iommu.domain_mut(domain).set_access(dma, Access::READ) {
+            return Err(HvError::NoSuchMapping { dma });
+        }
+        let driver_gpa = GuestPhysAddr::new(dma.raw());
+        self.vm_mut(driver_vm)?
+            .ept_mut()
+            .set_access(driver_gpa, Access::RW)?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Protected MMIO (the GPU memory controller, §4.2/§5.3(iii))
+    // ------------------------------------------------------------------
+
+    /// Unmaps the MC register page from the driver VM (trusted driver
+    /// initialization). After this, direct driver writes to the page are
+    /// blocked and audited; other registers in the page go through
+    /// [`Hypervisor::hc_mmio_write`].
+    ///
+    /// # Errors
+    ///
+    /// Role violations.
+    pub fn hc_protect_mmio(&mut self, caller: VmId, domain: DomainId) -> Result<(), HvError> {
+        self.require_driver(caller)?;
+        self.clock.advance(self.cost.hypercall_ns);
+        self.domain_state_mut(domain).mmio_protected = true;
+        Ok(())
+    }
+
+    /// Whether the MC register page is hypervisor-protected.
+    pub fn mmio_protected(&self, domain: DomainId) -> bool {
+        self.domain_state(domain).mmio_protected
+    }
+
+    /// A *direct* driver-VM write to the MC register page — the attack path.
+    /// Succeeds only while the page is still mapped (no protection); once
+    /// protected it is blocked and audited.
+    ///
+    /// # Errors
+    ///
+    /// [`HvError::ProtectedMmio`] after protection.
+    pub fn mc_write_direct(
+        &mut self,
+        caller: VmId,
+        domain: DomainId,
+        offset: u64,
+        value: u64,
+    ) -> Result<(), HvError> {
+        self.require_driver(caller)?;
+        if self.domain_state(domain).mmio_protected {
+            self.audit.record(
+                self.clock.now_ns(),
+                AuditEvent::ProtectedMmioWrite { offset },
+            );
+            return Err(HvError::ProtectedMmio { offset });
+        }
+        match offset {
+            MC_APERTURE_LO => {
+                let hi = self
+                    .domain_state(domain)
+                    .aperture
+                    .map_or(u64::MAX, |a| a.hi);
+                self.domain_state_mut(domain).aperture = Some(DevMemRange::new(value, hi));
+            }
+            MC_APERTURE_HI => {
+                let lo = self.domain_state(domain).aperture.map_or(0, |a| a.lo);
+                self.domain_state_mut(domain).aperture = Some(DevMemRange::new(lo, value));
+            }
+            _ => {
+                self.domain_state_mut(domain).misc_regs.insert(offset, value);
+            }
+        }
+        Ok(())
+    }
+
+    /// Hypercall: write a *non-protected* register that shares the MC MMIO
+    /// page (§5.3(iii): "if the driver needs to read/write to other registers
+    /// in the same MMIO page, it issues a hypercall"). Writes to the aperture
+    /// bound registers themselves are refused and audited.
+    ///
+    /// # Errors
+    ///
+    /// [`HvError::ProtectedMmio`] for the bound registers.
+    pub fn hc_mmio_write(
+        &mut self,
+        caller: VmId,
+        domain: DomainId,
+        offset: u64,
+        value: u64,
+    ) -> Result<(), HvError> {
+        self.require_driver(caller)?;
+        self.clock.advance(self.cost.hypercall_ns);
+        if offset == MC_APERTURE_LO || offset == MC_APERTURE_HI {
+            self.audit.record(
+                self.clock.now_ns(),
+                AuditEvent::ProtectedMmioWrite { offset },
+            );
+            return Err(HvError::ProtectedMmio { offset });
+        }
+        self.domain_state_mut(domain).misc_regs.insert(offset, value);
+        Ok(())
+    }
+
+    /// Hypercall: read a register in the MC MMIO page.
+    ///
+    /// # Errors
+    ///
+    /// Role violations.
+    pub fn hc_mmio_read(
+        &mut self,
+        caller: VmId,
+        domain: DomainId,
+        offset: u64,
+    ) -> Result<u64, HvError> {
+        self.require_driver(caller)?;
+        self.clock.advance(self.cost.hypercall_ns);
+        let state = self.domain_state(domain);
+        Ok(match offset {
+            MC_APERTURE_LO => state.aperture.map_or(0, |a| a.lo),
+            MC_APERTURE_HI => state.aperture.map_or(u64::MAX, |a| a.hi),
+            other => state.misc_regs.get(&other).copied().unwrap_or(0),
+        })
+    }
+
+    /// Checks a device-memory access against the active aperture, recording
+    /// violations (§4.2: "if the GPU tries to access memory outside these
+    /// bounds, it will not succeed").
+    ///
+    /// # Errors
+    ///
+    /// [`HvError::ApertureViolation`].
+    pub fn check_aperture(&mut self, domain: DomainId, offset: u64, len: u64) -> Result<(), HvError> {
+        let Some(aperture) = self.domain_state(domain).aperture else {
+            return Ok(());
+        };
+        let end = offset.saturating_add(len.saturating_sub(1));
+        if aperture.contains(offset) && aperture.contains(end) {
+            Ok(())
+        } else {
+            self.audit
+                .record(self.clock.now_ns(), AuditEvent::ApertureViolation { offset });
+            Err(HvError::ApertureViolation { offset })
+        }
+    }
+
+    /// The currently programmed device-memory aperture, if any.
+    pub fn aperture(&self, domain: DomainId) -> Option<DevMemRange> {
+        self.domain_state(domain).aperture
+    }
+
+    // ------------------------------------------------------------------
+    // CPU accesses from inside a VM (EPT-checked) and device DMA
+    // ------------------------------------------------------------------
+
+    /// A CPU read from inside `vm` at guest-physical `gpa`, subject to the
+    /// VM's EPT permissions. This is how the (possibly compromised) driver VM
+    /// touches its own memory; reads of protected regions are blocked and
+    /// audited (§4.2).
+    ///
+    /// # Errors
+    ///
+    /// EPT violations.
+    pub fn vm_mem_read(
+        &mut self,
+        vm: VmId,
+        gpa: GuestPhysAddr,
+        buf: &mut [u8],
+    ) -> Result<(), HvError> {
+        let mut done = 0usize;
+        for (chunk, len) in paradice_mem::addr::page_chunks(gpa, buf.len() as u64) {
+            match self.vm(vm)?.ept().translate(chunk, Access::READ) {
+                Ok(pa) => {
+                    self.mem.read(pa, &mut buf[done..done + len as usize])?;
+                }
+                Err(violation) => {
+                    self.audit.record(
+                        self.clock.now_ns(),
+                        AuditEvent::ProtectedRegionAccess {
+                            caller: vm,
+                            gpa: chunk.page_base(),
+                        },
+                    );
+                    return Err(violation.into());
+                }
+            }
+            done += len as usize;
+        }
+        Ok(())
+    }
+
+    /// A CPU write from inside `vm`, subject to EPT permissions.
+    ///
+    /// # Errors
+    ///
+    /// EPT violations (audited).
+    pub fn vm_mem_write(
+        &mut self,
+        vm: VmId,
+        gpa: GuestPhysAddr,
+        buf: &[u8],
+    ) -> Result<(), HvError> {
+        let mut done = 0usize;
+        for (chunk, len) in paradice_mem::addr::page_chunks(gpa, buf.len() as u64) {
+            match self.vm(vm)?.ept().translate(chunk, Access::WRITE) {
+                Ok(pa) => {
+                    self.mem.write(pa, &buf[done..done + len as usize])?;
+                }
+                Err(violation) => {
+                    self.audit.record(
+                        self.clock.now_ns(),
+                        AuditEvent::ProtectedRegionAccess {
+                            caller: vm,
+                            gpa: chunk.page_base(),
+                        },
+                    );
+                    return Err(violation.into());
+                }
+            }
+            done += len as usize;
+        }
+        Ok(())
+    }
+
+    /// Device DMA read through the IOMMU (region-gated under isolation).
+    ///
+    /// # Errors
+    ///
+    /// IOMMU faults (audited).
+    pub fn device_dma_read(
+        &mut self,
+        domain: DomainId,
+        dma: DmaAddr,
+        buf: &mut [u8],
+    ) -> Result<(), HvError> {
+        let mut done = 0usize;
+        for (chunk, len) in paradice_mem::addr::page_chunks(dma, buf.len() as u64) {
+            match self.iommu.domain(domain).translate(chunk, Access::READ) {
+                Ok(pa) => {
+                    self.mem.read(pa, &mut buf[done..done + len as usize])?;
+                }
+                Err(fault) => {
+                    let region = match fault {
+                        IommuFault::RegionInactive { region, .. } => Some(region),
+                        _ => None,
+                    };
+                    self.audit.record(
+                        self.clock.now_ns(),
+                        AuditEvent::DmaBlocked { dma: chunk, region },
+                    );
+                    return Err(fault.into());
+                }
+            }
+            done += len as usize;
+        }
+        Ok(())
+    }
+
+    /// Device DMA write through the IOMMU.
+    ///
+    /// # Errors
+    ///
+    /// IOMMU faults (audited).
+    pub fn device_dma_write(
+        &mut self,
+        domain: DomainId,
+        dma: DmaAddr,
+        buf: &[u8],
+    ) -> Result<(), HvError> {
+        let mut done = 0usize;
+        for (chunk, len) in paradice_mem::addr::page_chunks(dma, buf.len() as u64) {
+            match self.iommu.domain(domain).translate(chunk, Access::WRITE) {
+                Ok(pa) => {
+                    self.mem.write(pa, &buf[done..done + len as usize])?;
+                }
+                Err(fault) => {
+                    let region = match fault {
+                        IommuFault::RegionInactive { region, .. } => Some(region),
+                        _ => None,
+                    };
+                    self.audit.record(
+                        self.clock.now_ns(),
+                        AuditEvent::DmaBlocked { dma: chunk, region },
+                    );
+                    return Err(fault.into());
+                }
+            }
+            done += len as usize;
+        }
+        Ok(())
+    }
+
+    /// A device-facing port bundling the hypervisor with one IOMMU domain;
+    /// device models use it for DMA and aperture checks.
+    pub fn dma_port(&mut self, domain: DomainId) -> DmaPort<'_> {
+        DmaPort { hv: self, domain }
+    }
+
+    /// Records an externally detected audit event (wait-queue overflows from
+    /// the CVD backend, etc.).
+    pub fn record_audit(&mut self, event: AuditEvent) {
+        self.audit.record(self.clock.now_ns(), event);
+    }
+
+    /// Privileged read of a VM's guest-physical memory, bypassing EPT
+    /// permissions. This is the *device-side* path to its own BAR-backed
+    /// memory (a device is not subject to the CPU's EPT) and the attack
+    /// harness's ground-truth probe. Regular VM code must use
+    /// [`Hypervisor::vm_mem_read`].
+    ///
+    /// # Errors
+    ///
+    /// Fails only for unmapped guest-physical pages.
+    pub fn gpa_read_privileged(
+        &mut self,
+        vm: VmId,
+        gpa: GuestPhysAddr,
+        buf: &mut [u8],
+    ) -> Result<(), HvError> {
+        let mut done = 0usize;
+        for (chunk, len) in paradice_mem::addr::page_chunks(gpa, buf.len() as u64) {
+            let pa = self
+                .vm(vm)?
+                .ept()
+                .translate_unchecked(chunk)
+                .ok_or(EptViolation {
+                    gpa: chunk,
+                    attempted: Access::READ,
+                    allowed: Access::NONE,
+                    mapped: false,
+                })?;
+            self.mem.read(pa, &mut buf[done..done + len as usize])?;
+            done += len as usize;
+        }
+        Ok(())
+    }
+
+    /// Privileged write counterpart of [`Hypervisor::gpa_read_privileged`].
+    ///
+    /// # Errors
+    ///
+    /// Fails only for unmapped guest-physical pages.
+    pub fn gpa_write_privileged(
+        &mut self,
+        vm: VmId,
+        gpa: GuestPhysAddr,
+        buf: &[u8],
+    ) -> Result<(), HvError> {
+        let mut done = 0usize;
+        for (chunk, len) in paradice_mem::addr::page_chunks(gpa, buf.len() as u64) {
+            let pa = self
+                .vm(vm)?
+                .ept()
+                .translate_unchecked(chunk)
+                .ok_or(EptViolation {
+                    gpa: chunk,
+                    attempted: Access::WRITE,
+                    allowed: Access::NONE,
+                    mapped: false,
+                })?;
+            self.mem.write(pa, &buf[done..done + len as usize])?;
+            done += len as usize;
+        }
+        Ok(())
+    }
+
+    /// The *native/assignment* mapping path: the kernel maps a local frame
+    /// into one of its own processes — same mechanics as
+    /// [`Hypervisor::hc_insert_pfn`] but trusted (no grant check), since
+    /// driver and process share a kernel. Used by the machine's native and
+    /// device-assignment modes.
+    ///
+    /// # Errors
+    ///
+    /// Missing intermediates, unmapped frames, exhausted GPA window.
+    pub fn kernel_map_into_process(
+        &mut self,
+        vm: VmId,
+        pt_root: GuestPhysAddr,
+        va: GuestVirtAddr,
+        pfn: u64,
+        access: Access,
+    ) -> Result<(), HvError> {
+        self.clock.advance(self.cost.map_page_ns);
+        let gpa_src = GuestPhysAddr::new(pfn * PAGE_SIZE);
+        let pa = self
+            .vm(vm)?
+            .ept()
+            .frame_of(gpa_src)
+            .ok_or(EptViolation {
+                gpa: gpa_src,
+                attempted: Access::READ,
+                allowed: Access::NONE,
+                mapped: false,
+            })?;
+        let claimed = self.vm_mut(vm)?.gpa_window_mut().claim()?;
+        self.vm_mut(vm)?.ept_mut().map(claimed, pa, access)?;
+        let tables = GuestPageTables::from_root(pt_root);
+        let mut space = self.gpa_space(vm);
+        if let Err(e) = tables.set_leaf(&mut space, va, claimed, access) {
+            self.vm_mut(vm)?.ept_mut().unmap(claimed);
+            self.vm_mut(vm)?.gpa_window_mut().release(claimed);
+            return Err(e.into());
+        }
+        self.fixups.insert(
+            FixupKey {
+                guest: vm,
+                pt_root: pt_root.raw(),
+                va_page: va.page_number(),
+            },
+            Fixup {
+                claimed_gpa: claimed,
+            },
+        );
+        Ok(())
+    }
+
+    /// Trusted unmap counterpart of
+    /// [`Hypervisor::kernel_map_into_process`].
+    ///
+    /// # Errors
+    ///
+    /// Unknown mappings.
+    pub fn kernel_unmap_from_process(
+        &mut self,
+        vm: VmId,
+        pt_root: GuestPhysAddr,
+        va: GuestVirtAddr,
+    ) -> Result<(), HvError> {
+        self.clock.advance(self.cost.map_page_ns);
+        let key = FixupKey {
+            guest: vm,
+            pt_root: pt_root.raw(),
+            va_page: va.page_number(),
+        };
+        let fixup = self.fixups.remove(&key).ok_or(HvError::NoSuchMapping {
+            dma: DmaAddr::new(va.raw()),
+        })?;
+        self.vm_mut(vm)?.ept_mut().unmap(fixup.claimed_gpa);
+        self.vm_mut(vm)?.gpa_window_mut().release(fixup.claimed_gpa);
+        Ok(())
+    }
+
+    /// Hypercall (trusted driver initialization): place a range of the
+    /// device BAR under `region`'s protection — the driver VM loses EPT
+    /// access to those VRAM pages, and mapping them into any other guest is
+    /// refused (§4.2: protected regions span driver-VM system memory *and*
+    /// device memory).
+    ///
+    /// # Errors
+    ///
+    /// Role violations, missing BAR, or pages already owned by a region.
+    pub fn hc_protect_bar_range(
+        &mut self,
+        caller: VmId,
+        domain: DomainId,
+        region: RegionId,
+        bar_offset: u64,
+        len: u64,
+    ) -> Result<(), HvError> {
+        self.require_driver(caller)?;
+        self.clock.advance(self.cost.hypercall_ns);
+        let (bar_base, bar_pages) = self
+            .device_bar(domain)
+            .ok_or(HvError::NoSuchMapping {
+                dma: DmaAddr::new(bar_offset),
+            })?;
+        let first = bar_offset / PAGE_SIZE;
+        let pages = len.div_ceil(PAGE_SIZE);
+        if first + pages > bar_pages {
+            return Err(HvError::NoSuchMapping {
+                dma: DmaAddr::new(bar_offset + len),
+            });
+        }
+        let driver_vm = self.domain_state(domain).driver_vm;
+        for page in first..first + pages {
+            let gpa = bar_base.add(page * PAGE_SIZE);
+            self.domain_state_mut(domain)
+                .regions
+                .add_sys_page(region, gpa)?;
+            self.vm_mut(driver_vm)?
+                .ept_mut()
+                .set_access(gpa, Access::NONE)?;
+        }
+        Ok(())
+    }
+}
+
+/// A device model's window onto the hypervisor: DMA plus aperture checks for
+/// one assigned device.
+pub struct DmaPort<'a> {
+    hv: &'a mut Hypervisor,
+    domain: DomainId,
+}
+
+impl DmaPort<'_> {
+    /// The device's IOMMU domain.
+    pub fn domain(&self) -> DomainId {
+        self.domain
+    }
+
+    /// DMA read (IOMMU-translated).
+    ///
+    /// # Errors
+    ///
+    /// IOMMU faults (audited).
+    pub fn read(&mut self, dma: DmaAddr, buf: &mut [u8]) -> Result<(), HvError> {
+        self.hv.device_dma_read(self.domain, dma, buf)
+    }
+
+    /// DMA write (IOMMU-translated).
+    ///
+    /// # Errors
+    ///
+    /// IOMMU faults (audited).
+    pub fn write(&mut self, dma: DmaAddr, buf: &[u8]) -> Result<(), HvError> {
+        self.hv.device_dma_write(self.domain, dma, buf)
+    }
+
+    /// Checks a device-memory access against the active aperture.
+    ///
+    /// # Errors
+    ///
+    /// [`HvError::ApertureViolation`] (audited).
+    pub fn check_aperture(&mut self, offset: u64, len: u64) -> Result<(), HvError> {
+        self.hv.check_aperture(self.domain, offset, len)
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &SimClock {
+        self.hv.clock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::VmRole;
+
+    fn boot() -> Hypervisor {
+        Hypervisor::new(4096, SimClock::new(), CostModel::default())
+    }
+
+    fn guest_with_process(hv: &mut Hypervisor) -> (VmId, GuestPageTables) {
+        let guest = hv.create_vm(VmRole::Guest, 64 * PAGE_SIZE).unwrap();
+        let mut space = hv.gpa_space(guest);
+        let mut pt = GuestPageTables::new(&mut space).unwrap();
+        // Map a small user heap: VA 0x10000..0x18000 → GPA 0x1000..0x9000.
+        for i in 0..8u64 {
+            pt.map(
+                &mut space,
+                GuestVirtAddr::new(0x10000 + i * PAGE_SIZE),
+                GuestPhysAddr::new(0x1000 + i * PAGE_SIZE),
+                Access::RW,
+            )
+            .unwrap();
+        }
+        (guest, pt)
+    }
+
+    #[test]
+    fn vm_creation_maps_ram() {
+        let mut hv = boot();
+        let vm = hv.create_vm(VmRole::Guest, 16 * PAGE_SIZE).unwrap();
+        assert_eq!(hv.vm(vm).unwrap().ept().len(), 16);
+        assert_eq!(hv.mem().allocated_frames(), 16);
+    }
+
+    #[test]
+    fn process_rw_roundtrip_through_two_stage_walk() {
+        let mut hv = boot();
+        let (guest, pt) = guest_with_process(&mut hv);
+        let va = GuestVirtAddr::new(0x10010);
+        hv.process_write(guest, pt.root(), va, b"paradice").unwrap();
+        let mut buf = [0u8; 8];
+        hv.process_read(guest, pt.root(), va, &mut buf).unwrap();
+        assert_eq!(&buf, b"paradice");
+    }
+
+    #[test]
+    fn granted_copy_executes() {
+        let mut hv = boot();
+        let (guest, pt) = guest_with_process(&mut hv);
+        let driver = hv.create_vm(VmRole::Driver, 16 * PAGE_SIZE).unwrap();
+        let dst = GuestVirtAddr::new(0x10100);
+        let grant = hv
+            .declare_grants(
+                guest,
+                vec![MemOpGrant::CopyToGuest {
+                    addr: dst,
+                    len: 64,
+                }],
+            )
+            .unwrap();
+        hv.hc_copy_to_guest(driver, guest, pt.root(), dst, b"result!", grant)
+            .unwrap();
+        let mut buf = [0u8; 7];
+        hv.process_read(guest, pt.root(), dst, &mut buf).unwrap();
+        assert_eq!(&buf, b"result!");
+        assert!(hv.audit().is_empty());
+    }
+
+    #[test]
+    fn ungranted_copy_blocked_and_audited() {
+        let mut hv = boot();
+        let (guest, pt) = guest_with_process(&mut hv);
+        let driver = hv.create_vm(VmRole::Driver, 16 * PAGE_SIZE).unwrap();
+        let grant = hv
+            .declare_grants(
+                guest,
+                vec![MemOpGrant::CopyToGuest {
+                    addr: GuestVirtAddr::new(0x10100),
+                    len: 64,
+                }],
+            )
+            .unwrap();
+        // The attack: write outside the granted range ("some sensitive
+        // memory location inside a guest VM kernel", §4.1).
+        let err = hv
+            .hc_copy_to_guest(
+                driver,
+                guest,
+                pt.root(),
+                GuestVirtAddr::new(0x17000),
+                b"evil",
+                grant,
+            )
+            .unwrap_err();
+        assert!(matches!(err, HvError::Grant(_)));
+        assert_eq!(
+            hv.audit()
+                .count_blocked_by(crate::audit::BlockedBy::GrantCheck),
+            1
+        );
+    }
+
+    #[test]
+    fn guest_cannot_pose_as_driver() {
+        let mut hv = boot();
+        let (guest, pt) = guest_with_process(&mut hv);
+        let other = hv.create_vm(VmRole::Guest, 16 * PAGE_SIZE).unwrap();
+        let grant = hv
+            .declare_grants(
+                guest,
+                vec![MemOpGrant::CopyToGuest {
+                    addr: GuestVirtAddr::new(0x10000),
+                    len: 16,
+                }],
+            )
+            .unwrap();
+        let err = hv
+            .hc_copy_to_guest(
+                other,
+                guest,
+                pt.root(),
+                GuestVirtAddr::new(0x10000),
+                b"x",
+                grant,
+            )
+            .unwrap_err();
+        assert_eq!(err, HvError::NotDriverVm { caller: other });
+    }
+
+    #[test]
+    fn insert_pfn_full_protocol() {
+        let mut hv = boot();
+        let (guest, mut pt) = guest_with_process(&mut hv);
+        let driver = hv.create_vm(VmRole::Driver, 32 * PAGE_SIZE).unwrap();
+        // Driver writes a recognizable pattern into one of its own pages.
+        let driver_page = GuestPhysAddr::new(5 * PAGE_SIZE);
+        hv.vm_mem_write(driver, driver_page, b"device-frame").unwrap();
+
+        let map_va = GuestVirtAddr::new(0x4000_0000);
+        // Frontend half: pre-create intermediate levels + declare the grant.
+        {
+            let mut space = hv.gpa_space(guest);
+            pt.ensure_intermediate(&mut space, map_va).unwrap();
+        }
+        let grant = hv
+            .declare_grants(
+                guest,
+                vec![
+                    MemOpGrant::MapPages {
+                        va: map_va,
+                        pages: 1,
+                        access: Access::RW,
+                    },
+                    MemOpGrant::UnmapPages {
+                        va: map_va,
+                        pages: 1,
+                    },
+                ],
+            )
+            .unwrap();
+        // Backend half: the driver's insert_pfn redirected to the hypervisor.
+        hv.hc_insert_pfn(
+            driver,
+            guest,
+            pt.root(),
+            map_va,
+            driver_page.page_number(),
+            Access::RW,
+            grant,
+            None,
+        )
+        .unwrap();
+        assert_eq!(hv.live_fixups(), 1);
+
+        // The guest process can now read the device frame through its own
+        // address space.
+        let mut buf = [0u8; 12];
+        hv.process_read(guest, pt.root(), map_va, &mut buf).unwrap();
+        assert_eq!(&buf, b"device-frame");
+
+        // Unmap: guest kernel clears its leaf, then the driver zaps.
+        {
+            let mut space = hv.gpa_space(guest);
+            pt.unmap(&mut space, map_va).unwrap();
+        }
+        hv.hc_zap_page(driver, guest, pt.root(), map_va, grant)
+            .unwrap();
+        assert_eq!(hv.live_fixups(), 0);
+        assert!(hv.process_read(guest, pt.root(), map_va, &mut buf).is_err());
+    }
+
+    #[test]
+    fn insert_pfn_requires_grant_and_intermediates() {
+        let mut hv = boot();
+        let (guest, pt) = guest_with_process(&mut hv);
+        let driver = hv.create_vm(VmRole::Driver, 16 * PAGE_SIZE).unwrap();
+        let va = GuestVirtAddr::new(0x5000_0000);
+        let grant = hv.declare_grants(guest, vec![]).unwrap();
+        // No grant coverage.
+        let err = hv
+            .hc_insert_pfn(driver, guest, pt.root(), va, 1, Access::RW, grant, None)
+            .unwrap_err();
+        assert!(matches!(err, HvError::Grant(_)));
+        // Grant but missing intermediates: hypervisor refuses to create them.
+        let grant = hv
+            .declare_grants(
+                guest,
+                vec![MemOpGrant::MapPages {
+                    va,
+                    pages: 1,
+                    access: Access::RW,
+                }],
+            )
+            .unwrap();
+        let err = hv
+            .hc_insert_pfn(driver, guest, pt.root(), va, 1, Access::RW, grant, None)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            HvError::Pt(PtWalkError::MissingIntermediate { .. })
+        ));
+        // The failed fix-up must not leak window pages.
+        assert_eq!(hv.vm(guest).unwrap().ept().len(), 64);
+    }
+
+    #[test]
+    fn device_assignment_restricts_dma_to_driver_vm() {
+        let mut hv = boot();
+        let driver = hv.create_vm(VmRole::Driver, 8 * PAGE_SIZE).unwrap();
+        let domain = hv.assign_device(driver, DataIsolation::Disabled).unwrap();
+        // DMA within driver RAM works.
+        hv.device_dma_write(domain, DmaAddr::new(0x2000), b"pkt")
+            .unwrap();
+        let mut buf = [0u8; 3];
+        hv.device_dma_read(domain, DmaAddr::new(0x2000), &mut buf)
+            .unwrap();
+        assert_eq!(&buf, b"pkt");
+        // DMA outside driver RAM faults and is audited.
+        let err = hv
+            .device_dma_read(domain, DmaAddr::new(64 * PAGE_SIZE), &mut buf)
+            .unwrap_err();
+        assert!(matches!(err, HvError::Iommu(IommuFault::Unmapped { .. })));
+        assert_eq!(
+            hv.audit()
+                .count_blocked_by(crate::audit::BlockedBy::IommuRegion),
+            1
+        );
+    }
+
+    #[test]
+    fn data_isolation_protects_pages_from_driver_and_gates_dma() {
+        let mut hv = boot();
+        let guest1 = hv.create_vm(VmRole::Guest, 8 * PAGE_SIZE).unwrap();
+        let guest2 = hv.create_vm(VmRole::Guest, 8 * PAGE_SIZE).unwrap();
+        let driver = hv.create_vm(VmRole::Driver, 32 * PAGE_SIZE).unwrap();
+        let domain = hv.assign_device(driver, DataIsolation::Enabled).unwrap();
+
+        let r1 = hv
+            .hc_create_region(driver, domain, guest1, Some(DevMemRange::new(0, 512)))
+            .unwrap();
+        let r2 = hv
+            .hc_create_region(driver, domain, guest2, Some(DevMemRange::new(512, 1024)))
+            .unwrap();
+
+        // Driver maps one pool page per region.
+        let page1 = GuestPhysAddr::new(10 * PAGE_SIZE);
+        let page2 = GuestPhysAddr::new(11 * PAGE_SIZE);
+        hv.hc_iommu_map(
+            driver,
+            domain,
+            DmaAddr::new(page1.raw()),
+            page1,
+            Access::RW,
+            Some(r1),
+        )
+        .unwrap();
+        hv.hc_iommu_map(
+            driver,
+            domain,
+            DmaAddr::new(page2.raw()),
+            page2,
+            Access::RW,
+            Some(r2),
+        )
+        .unwrap();
+
+        // The driver VM can no longer read the protected pages.
+        let mut buf = [0u8; 4];
+        let err = hv.vm_mem_read(driver, page1, &mut buf).unwrap_err();
+        assert!(matches!(err, HvError::Ept(_)));
+        assert_eq!(
+            hv.audit()
+                .count_blocked_by(crate::audit::BlockedBy::EptProtection),
+            1
+        );
+
+        // With region 1 active, DMA to region 2's page is blocked.
+        hv.hc_switch_region(driver, domain, Some(r1)).unwrap();
+        hv.device_dma_write(domain, DmaAddr::new(page1.raw()), b"ok!!")
+            .unwrap();
+        let err = hv
+            .device_dma_write(domain, DmaAddr::new(page2.raw()), b"evil")
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            HvError::Iommu(IommuFault::RegionInactive { .. })
+        ));
+
+        // Aperture follows the active region.
+        assert_eq!(hv.aperture(domain), Some(DevMemRange::new(0, 512)));
+        assert!(hv.check_aperture(domain, 100, 16).is_ok());
+        let err = hv.check_aperture(domain, 600, 16).unwrap_err();
+        assert!(matches!(err, HvError::ApertureViolation { .. }));
+
+        // Switching regions flips everything.
+        hv.hc_switch_region(driver, domain, Some(r2)).unwrap();
+        assert!(hv
+            .device_dma_write(domain, DmaAddr::new(page2.raw()), b"ok!!")
+            .is_ok());
+        assert!(hv.check_aperture(domain, 600, 16).is_ok());
+    }
+
+    #[test]
+    fn iommu_unmap_zeroes_and_restores() {
+        let mut hv = boot();
+        let guest = hv.create_vm(VmRole::Guest, 8 * PAGE_SIZE).unwrap();
+        let driver = hv.create_vm(VmRole::Driver, 32 * PAGE_SIZE).unwrap();
+        let domain = hv.assign_device(driver, DataIsolation::Enabled).unwrap();
+        let region = hv.hc_create_region(driver, domain, guest, None).unwrap();
+        let page = GuestPhysAddr::new(9 * PAGE_SIZE);
+        hv.vm_mem_write(driver, page, b"guest-secret").unwrap();
+        hv.hc_iommu_map(
+            driver,
+            domain,
+            DmaAddr::new(page.raw()),
+            page,
+            Access::RW,
+            Some(region),
+        )
+        .unwrap();
+        // Unmap: page is zeroed, driver regains access.
+        hv.hc_iommu_unmap(driver, domain, DmaAddr::new(page.raw()))
+            .unwrap();
+        let mut buf = [0u8; 12];
+        hv.vm_mem_read(driver, page, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 12], "page must be zeroed before release");
+    }
+
+    #[test]
+    fn foreign_region_page_cannot_be_mapped_into_other_guest() {
+        let mut hv = boot();
+        let (guest1, _pt1) = guest_with_process(&mut hv);
+        let guest2 = hv.create_vm(VmRole::Guest, 64 * PAGE_SIZE).unwrap();
+        let mut pt2 = {
+            let mut space = hv.gpa_space(guest2);
+            GuestPageTables::new(&mut space).unwrap()
+        };
+        let driver = hv.create_vm(VmRole::Driver, 32 * PAGE_SIZE).unwrap();
+        let domain = hv.assign_device(driver, DataIsolation::Enabled).unwrap();
+        let r1 = hv.hc_create_region(driver, domain, guest1, None).unwrap();
+        let page = GuestPhysAddr::new(12 * PAGE_SIZE);
+        hv.hc_iommu_map(
+            driver,
+            domain,
+            DmaAddr::new(page.raw()),
+            page,
+            Access::RW,
+            Some(r1),
+        )
+        .unwrap();
+
+        // The compromised driver tries to map guest1's protected page into
+        // guest2 (with guest2's cooperation — it granted the window).
+        let va = GuestVirtAddr::new(0x4000_0000);
+        {
+            let mut space = hv.gpa_space(guest2);
+            pt2.ensure_intermediate(&mut space, va).unwrap();
+        }
+        let grant = hv
+            .declare_grants(
+                guest2,
+                vec![MemOpGrant::MapPages {
+                    va,
+                    pages: 1,
+                    access: Access::RW,
+                }],
+            )
+            .unwrap();
+        let err = hv
+            .hc_insert_pfn(
+                driver,
+                guest2,
+                pt2.root(),
+                va,
+                page.page_number(),
+                Access::RW,
+                grant,
+                Some(domain),
+            )
+            .unwrap_err();
+        assert_eq!(err, HvError::ForeignRegionPage { owner: r1 });
+    }
+
+    #[test]
+    fn protected_mmio_blocks_direct_aperture_writes() {
+        let mut hv = boot();
+        let driver = hv.create_vm(VmRole::Driver, 8 * PAGE_SIZE).unwrap();
+        let domain = hv.assign_device(driver, DataIsolation::Enabled).unwrap();
+        // Before protection (trusted init), direct writes work.
+        hv.mc_write_direct(driver, domain, MC_APERTURE_LO, 0).unwrap();
+        hv.mc_write_direct(driver, domain, MC_APERTURE_HI, 4096)
+            .unwrap();
+        assert_eq!(hv.aperture(domain), Some(DevMemRange::new(0, 4096)));
+        // Init done: MMIO page unmapped from the driver VM.
+        hv.hc_protect_mmio(driver, domain).unwrap();
+        let err = hv
+            .mc_write_direct(driver, domain, MC_APERTURE_LO, u64::MAX)
+            .unwrap_err();
+        assert!(matches!(err, HvError::ProtectedMmio { .. }));
+        // Hypercall path still rejects the bound registers…
+        assert!(hv
+            .hc_mmio_write(driver, domain, MC_APERTURE_HI, u64::MAX)
+            .is_err());
+        // …but allows other registers in the page.
+        hv.hc_mmio_write(driver, domain, 0x100, 7).unwrap();
+        assert_eq!(hv.hc_mmio_read(driver, domain, 0x100).unwrap(), 7);
+        // Aperture unchanged by the attacks.
+        assert_eq!(hv.aperture(domain), Some(DevMemRange::new(0, 4096)));
+        assert_eq!(
+            hv.audit()
+                .count_blocked_by(crate::audit::BlockedBy::ProtectedMmio),
+            2
+        );
+    }
+
+    #[test]
+    fn write_only_emulation() {
+        let mut hv = boot();
+        let guest = hv.create_vm(VmRole::Guest, 8 * PAGE_SIZE).unwrap();
+        let driver = hv.create_vm(VmRole::Driver, 32 * PAGE_SIZE).unwrap();
+        let domain = hv.assign_device(driver, DataIsolation::Enabled).unwrap();
+        let region = hv.hc_create_region(driver, domain, guest, None).unwrap();
+        let page = GuestPhysAddr::new(15 * PAGE_SIZE);
+        hv.hc_iommu_map(
+            driver,
+            domain,
+            DmaAddr::new(page.raw()),
+            page,
+            Access::RW,
+            Some(region),
+        )
+        .unwrap();
+        hv.hc_switch_region(driver, domain, Some(region)).unwrap();
+        // Emulate write-only: device read-only via IOMMU, driver RW via EPT
+        // (§5.3(iv) — e.g. the GPU address-translation buffer).
+        hv.hc_emulate_write_only(driver, domain, DmaAddr::new(page.raw()))
+            .unwrap();
+        // Driver can write the buffer again.
+        hv.vm_mem_write(driver, page, b"gart-entry").unwrap();
+        // Device can read…
+        let mut buf = [0u8; 10];
+        hv.device_dma_read(domain, DmaAddr::new(page.raw()), &mut buf)
+            .unwrap();
+        assert_eq!(&buf, b"gart-entry");
+        // …but not write.
+        assert!(hv
+            .device_dma_write(domain, DmaAddr::new(page.raw()), b"x")
+            .is_err());
+    }
+
+    #[test]
+    fn device_bar_mapping() {
+        let mut hv = boot();
+        let driver = hv.create_vm(VmRole::Driver, 8 * PAGE_SIZE).unwrap();
+        let domain = hv.assign_device(driver, DataIsolation::Disabled).unwrap();
+        let bar = hv.map_device_bar(domain, 4).unwrap();
+        assert!(bar.page_number() >= 8);
+        assert_eq!(hv.device_bar(domain), Some((bar, 4)));
+        // The driver VM can access VRAM through the BAR.
+        hv.vm_mem_write(driver, bar, b"vram").unwrap();
+        let mut buf = [0u8; 4];
+        hv.vm_mem_read(driver, bar, &mut buf).unwrap();
+        assert_eq!(&buf, b"vram");
+    }
+
+    #[test]
+    fn kernel_map_path_mirrors_the_hypercall_path_without_grants() {
+        // The native/assignment mapping route: same mechanics, trusted
+        // caller, no grant table involved.
+        let mut hv = boot();
+        let (vm, mut pt) = guest_with_process(&mut hv);
+        let va = GuestVirtAddr::new(0x6000_0000);
+        {
+            let mut space = hv.gpa_space(vm);
+            pt.ensure_intermediate(&mut space, va).unwrap();
+        }
+        // Map the VM's own page 3 into the process.
+        hv.vm_mem_write(vm, GuestPhysAddr::new(3 * PAGE_SIZE), b"local-frame")
+            .unwrap();
+        hv.kernel_map_into_process(vm, pt.root(), va, 3, Access::RW)
+            .unwrap();
+        let mut buf = [0u8; 11];
+        hv.process_read(vm, pt.root(), va, &mut buf).unwrap();
+        assert_eq!(&buf, b"local-frame");
+        // Teardown mirrors the hypercall path: guest PT leaf first, then
+        // the kernel unmap.
+        {
+            let mut space = hv.gpa_space(vm);
+            pt.unmap(&mut space, va).unwrap();
+        }
+        hv.kernel_unmap_from_process(vm, pt.root(), va).unwrap();
+        assert_eq!(hv.live_fixups(), 0);
+        assert!(hv
+            .kernel_unmap_from_process(vm, pt.root(), va)
+            .is_err());
+    }
+
+    #[test]
+    fn clock_charges_for_hypercalls() {
+        let mut hv = boot();
+        let driver = hv.create_vm(VmRole::Driver, 8 * PAGE_SIZE).unwrap();
+        let before = hv.clock().now_ns();
+        hv.hc_noop(driver);
+        assert_eq!(
+            hv.clock().now_ns() - before,
+            hv.cost().hypercall_ns
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! The simulated Type-I hypervisor at the center of Paradice.
+//!
+//! Paradice's design (paper §3.1, Figure 1(c)) sandboxes each device and its
+//! driver in a *driver VM* via device assignment, and has the hypervisor
+//! execute the driver's memory operations on guest processes through a small
+//! API, validating every request against grants the guest's CVD frontend
+//! declared in advance (§4.1). Device data isolation adds hypervisor-enforced
+//! protected memory regions (§4.2). This crate implements all of it:
+//!
+//! * [`clock`] — the deterministic virtual clock and the documented cost
+//!   model every simulated action charges against.
+//! * [`vm`] — VM containers: RAM, EPT, kernel page allocator, the unused-GPA
+//!   window used for `mmap` fix-ups.
+//! * [`grants`] — the grant table: legitimate memory operations declared by
+//!   the frontend, validated on every hypercall from the driver VM.
+//! * [`hv`] — the [`Hypervisor`] itself: VM lifecycle, device assignment,
+//!   the hypercall API (cross-VM copies, `mmap` fix-ups, IOMMU control,
+//!   protected-MMIO proxying), and device DMA service.
+//! * [`regions`] — protected memory regions for device data isolation.
+//! * [`channel`] — shared-page inter-VM communication in interrupt and
+//!   polling modes, with the paper's measured latencies as cost anchors.
+//! * [`audit`] — the isolation audit log: every blocked attack is recorded
+//!   with what stopped it.
+
+pub mod audit;
+pub mod channel;
+pub mod clock;
+pub mod grants;
+pub mod hv;
+pub mod regions;
+pub mod vm;
+
+/// A shared handle to the hypervisor.
+///
+/// The simulation is single-threaded and deterministic; components (CVD
+/// backend, device models, the machine facade) share the hypervisor through
+/// interior mutability with strictly transient borrows.
+pub type SharedHypervisor = std::rc::Rc<std::cell::RefCell<hv::Hypervisor>>;
+
+pub use audit::{AuditEvent, AuditLog, BlockedBy};
+pub use channel::{Channel, TransportMode};
+pub use clock::{ms, us, CostModel, SimClock};
+pub use grants::{GrantRef, GrantTable, MemOpGrant, MemOpRequest};
+pub use hv::{DmaPort, HvError, Hypervisor};
+pub use regions::RegionManager;
+pub use vm::{Vm, VmId};

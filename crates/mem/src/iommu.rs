@@ -1,0 +1,456 @@
+//! IOMMU model: region-tagged DMA translation.
+//!
+//! Paradice uses the IOMMU twice (paper §3.1, §4.2):
+//!
+//! 1. **Device assignment** — the device's DMA is restricted to the driver
+//!    VM's memory. We model this as a *global* bulk mapping installed by the
+//!    hypervisor at assignment time.
+//! 2. **Device data isolation** — the hypervisor installs *no* initial
+//!    mappings; the driver must ask for every page, attaching a
+//!    [`RegionId`]. Only one region is active at a time, so the device can
+//!    never DMA another guest's data. Switching regions remaps the active
+//!    page set (a cost the hypervisor's cost model charges).
+//!
+//! We keep all mappings resident and gate translation on the active region;
+//! this is observationally identical to the paper's unmap-all/remap-all
+//! switch and lets [`IommuDomain::switch_region`] report how many pages a
+//! real switch would touch.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::addr::{DmaAddr, PhysAddr, PAGE_SIZE};
+use crate::perms::Access;
+
+/// Identifier of a protected memory region (one per guest VM, paper §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegionId(pub u32);
+
+impl RegionId {
+    /// The pseudo-region for global mappings (device assignment without data
+    /// isolation): always active.
+    pub const GLOBAL: RegionId = RegionId(u32::MAX);
+}
+
+impl fmt::Display for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == RegionId::GLOBAL {
+            f.write_str("region(global)")
+        } else {
+            write!(f, "region({})", self.0)
+        }
+    }
+}
+
+/// A blocked or failed DMA access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IommuFault {
+    /// No mapping exists for the bus address.
+    Unmapped {
+        /// The faulting bus address.
+        dma: DmaAddr,
+    },
+    /// A mapping exists but belongs to a region that is not active.
+    RegionInactive {
+        /// The faulting bus address.
+        dma: DmaAddr,
+        /// The region the mapping belongs to.
+        region: RegionId,
+        /// The currently active region, if any.
+        active: Option<RegionId>,
+    },
+    /// The mapping lacks the attempted rights (e.g. device write to a
+    /// read-only page used for write-only emulation, paper §5.3(iv)).
+    InsufficientRights {
+        /// The faulting bus address.
+        dma: DmaAddr,
+        /// Rights the access needed.
+        attempted: Access,
+        /// Rights the mapping grants.
+        allowed: Access,
+    },
+}
+
+impl fmt::Display for IommuFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IommuFault::Unmapped { dma } => write!(f, "IOMMU fault: {dma} not mapped"),
+            IommuFault::RegionInactive {
+                dma,
+                region,
+                active,
+            } => write!(
+                f,
+                "IOMMU fault: {dma} belongs to {region} but active region is {}",
+                match active {
+                    Some(r) => r.to_string(),
+                    None => "none".to_owned(),
+                }
+            ),
+            IommuFault::InsufficientRights {
+                dma,
+                attempted,
+                allowed,
+            } => write!(
+                f,
+                "IOMMU fault: {dma} attempted {attempted}, mapping allows {allowed}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IommuFault {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DmaEntry {
+    frame: PhysAddr,
+    access: Access,
+    region: RegionId,
+}
+
+/// The translation domain of one assigned device.
+#[derive(Debug, Default)]
+pub struct IommuDomain {
+    entries: BTreeMap<u64, DmaEntry>,
+    active: Option<RegionId>,
+}
+
+impl IommuDomain {
+    /// Creates an empty domain with no active region.
+    pub fn new() -> Self {
+        IommuDomain::default()
+    }
+
+    /// Maps the page containing `dma` to the frame containing `pa`, tagged
+    /// with `region`. Pass [`RegionId::GLOBAL`] for always-active mappings.
+    pub fn map(&mut self, dma: DmaAddr, pa: PhysAddr, access: Access, region: RegionId) {
+        self.entries.insert(
+            dma.page_number(),
+            DmaEntry {
+                frame: pa.page_base(),
+                access,
+                region,
+            },
+        );
+    }
+
+    /// Removes a mapping, returning the frame it pointed at.
+    pub fn unmap(&mut self, dma: DmaAddr) -> Option<PhysAddr> {
+        self.entries.remove(&dma.page_number()).map(|e| e.frame)
+    }
+
+    /// Bulk identity-style mapping used for plain device assignment: maps
+    /// `pages` consecutive pages starting at `(dma_base, pa_base)` as global.
+    pub fn map_contiguous(
+        &mut self,
+        dma_base: DmaAddr,
+        pa_base: PhysAddr,
+        pages: u64,
+        access: Access,
+    ) {
+        for i in 0..pages {
+            self.map(
+                dma_base.add(i * PAGE_SIZE),
+                pa_base.add(i * PAGE_SIZE),
+                access,
+                RegionId::GLOBAL,
+            );
+        }
+    }
+
+    /// The currently active protected region, if any.
+    pub fn active_region(&self) -> Option<RegionId> {
+        self.active
+    }
+
+    /// Activates `region`, deactivating any previous one.
+    ///
+    /// Returns the number of page mappings a hardware IOMMU would have had to
+    /// unmap + map for this switch (pages of the old region plus pages of the
+    /// new), which the hypervisor uses for cost accounting.
+    pub fn switch_region(&mut self, region: Option<RegionId>) -> usize {
+        let count_of = |r: Option<RegionId>| -> usize {
+            match r {
+                Some(r) if r != RegionId::GLOBAL => {
+                    self.entries.values().filter(|e| e.region == r).count()
+                }
+                _ => 0,
+            }
+        };
+        let work = count_of(self.active) + count_of(region);
+        self.active = region;
+        work
+    }
+
+    /// Number of pages currently mapped for `region`.
+    pub fn pages_in_region(&self, region: RegionId) -> usize {
+        self.entries.values().filter(|e| e.region == region).count()
+    }
+
+    /// Total mapped pages across all regions.
+    pub fn mapped_pages(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Translates a device access at `dma` needing `attempted` rights.
+    ///
+    /// # Errors
+    ///
+    /// Faults if the page is unmapped, tagged with an inactive region, or
+    /// mapped with insufficient rights.
+    pub fn translate(&self, dma: DmaAddr, attempted: Access) -> Result<PhysAddr, IommuFault> {
+        let entry = self
+            .entries
+            .get(&dma.page_number())
+            .ok_or(IommuFault::Unmapped { dma })?;
+        if entry.region != RegionId::GLOBAL && Some(entry.region) != self.active {
+            return Err(IommuFault::RegionInactive {
+                dma,
+                region: entry.region,
+                active: self.active,
+            });
+        }
+        if !entry.access.contains(attempted) {
+            return Err(IommuFault::InsufficientRights {
+                dma,
+                attempted,
+                allowed: entry.access,
+            });
+        }
+        Ok(entry.frame.add(dma.page_offset()))
+    }
+
+    /// Downgrades the rights of an existing mapping (write-only emulation
+    /// makes a buffer read-only to the device, paper §5.3(iv)).
+    ///
+    /// Returns `false` if the page was not mapped.
+    pub fn set_access(&mut self, dma: DmaAddr, access: Access) -> bool {
+        match self.entries.get_mut(&dma.page_number()) {
+            Some(entry) => {
+                entry.access = access;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Iterates over `(dma page base, frame, access, region)`.
+    pub fn iter(&self) -> impl Iterator<Item = (DmaAddr, PhysAddr, Access, RegionId)> + '_ {
+        self.entries.iter().map(|(&pn, e)| {
+            (DmaAddr::new(pn * PAGE_SIZE), e.frame, e.access, e.region)
+        })
+    }
+}
+
+/// The machine's IOMMU: one translation domain per assigned device.
+#[derive(Debug, Default)]
+pub struct Iommu {
+    domains: Vec<IommuDomain>,
+}
+
+/// Handle to a device's translation domain within the [`Iommu`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DomainId(usize);
+
+impl DomainId {
+    /// The domain's index, usable as a map key by higher layers.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl Iommu {
+    /// Creates an IOMMU with no domains.
+    pub fn new() -> Self {
+        Iommu::default()
+    }
+
+    /// Allocates a fresh, empty domain (done at device assignment).
+    pub fn create_domain(&mut self) -> DomainId {
+        self.domains.push(IommuDomain::new());
+        DomainId(self.domains.len() - 1)
+    }
+
+    /// Shared access to a domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this IOMMU — a simulation bug.
+    pub fn domain(&self, id: DomainId) -> &IommuDomain {
+        &self.domains[id.0]
+    }
+
+    /// Exclusive access to a domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this IOMMU — a simulation bug.
+    pub fn domain_mut(&mut self, id: DomainId) -> &mut IommuDomain {
+        &mut self.domains[id.0]
+    }
+
+    /// Number of domains.
+    pub fn domain_count(&self) -> usize {
+        self.domains.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_mapping_translates_without_active_region() {
+        let mut dom = IommuDomain::new();
+        dom.map(
+            DmaAddr::new(0x1000),
+            PhysAddr::new(0x8000),
+            Access::RW,
+            RegionId::GLOBAL,
+        );
+        assert_eq!(
+            dom.translate(DmaAddr::new(0x1004), Access::WRITE).unwrap(),
+            PhysAddr::new(0x8004)
+        );
+    }
+
+    #[test]
+    fn unmapped_dma_faults() {
+        let dom = IommuDomain::new();
+        assert_eq!(
+            dom.translate(DmaAddr::new(0x2000), Access::READ),
+            Err(IommuFault::Unmapped {
+                dma: DmaAddr::new(0x2000)
+            })
+        );
+    }
+
+    #[test]
+    fn region_gating_blocks_inactive_regions() {
+        let mut dom = IommuDomain::new();
+        let r1 = RegionId(1);
+        let r2 = RegionId(2);
+        dom.map(DmaAddr::new(0x1000), PhysAddr::new(0xa000), Access::RW, r1);
+        dom.map(DmaAddr::new(0x2000), PhysAddr::new(0xb000), Access::RW, r2);
+
+        dom.switch_region(Some(r1));
+        assert!(dom.translate(DmaAddr::new(0x1000), Access::READ).is_ok());
+        assert_eq!(
+            dom.translate(DmaAddr::new(0x2000), Access::READ),
+            Err(IommuFault::RegionInactive {
+                dma: DmaAddr::new(0x2000),
+                region: r2,
+                active: Some(r1),
+            })
+        );
+
+        dom.switch_region(Some(r2));
+        assert!(dom.translate(DmaAddr::new(0x2000), Access::READ).is_ok());
+        assert!(dom.translate(DmaAddr::new(0x1000), Access::READ).is_err());
+    }
+
+    #[test]
+    fn switch_cost_counts_both_regions() {
+        let mut dom = IommuDomain::new();
+        let r1 = RegionId(1);
+        let r2 = RegionId(2);
+        for i in 0..3 {
+            dom.map(
+                DmaAddr::new(i * PAGE_SIZE),
+                PhysAddr::new(i * PAGE_SIZE),
+                Access::RW,
+                r1,
+            );
+        }
+        for i in 3..8 {
+            dom.map(
+                DmaAddr::new(i * PAGE_SIZE),
+                PhysAddr::new(i * PAGE_SIZE),
+                Access::RW,
+                r2,
+            );
+        }
+        assert_eq!(dom.switch_region(Some(r1)), 3); // map r1
+        assert_eq!(dom.switch_region(Some(r2)), 8); // unmap r1 + map r2
+        assert_eq!(dom.switch_region(None), 5); // unmap r2
+    }
+
+    #[test]
+    fn rights_are_enforced_for_write_only_emulation() {
+        // Write-only emulation: buffer read-only to the *device*, RW to the
+        // driver VM (paper §5.3(iv)). Device writes must fault.
+        let mut dom = IommuDomain::new();
+        dom.map(
+            DmaAddr::new(0x3000),
+            PhysAddr::new(0xc000),
+            Access::READ,
+            RegionId::GLOBAL,
+        );
+        assert!(dom.translate(DmaAddr::new(0x3000), Access::READ).is_ok());
+        assert_eq!(
+            dom.translate(DmaAddr::new(0x3000), Access::WRITE),
+            Err(IommuFault::InsufficientRights {
+                dma: DmaAddr::new(0x3000),
+                attempted: Access::WRITE,
+                allowed: Access::READ,
+            })
+        );
+    }
+
+    #[test]
+    fn downgrade_rights_in_place() {
+        let mut dom = IommuDomain::new();
+        dom.map(
+            DmaAddr::new(0x1000),
+            PhysAddr::new(0x2000),
+            Access::RW,
+            RegionId::GLOBAL,
+        );
+        assert!(dom.set_access(DmaAddr::new(0x1000), Access::READ));
+        assert!(dom.translate(DmaAddr::new(0x1000), Access::WRITE).is_err());
+        assert!(!dom.set_access(DmaAddr::new(0x9000), Access::READ));
+    }
+
+    #[test]
+    fn contiguous_bulk_map() {
+        let mut dom = IommuDomain::new();
+        dom.map_contiguous(DmaAddr::new(0), PhysAddr::new(0x10000), 4, Access::RW);
+        assert_eq!(dom.mapped_pages(), 4);
+        assert_eq!(
+            dom.translate(DmaAddr::new(3 * PAGE_SIZE + 5), Access::READ)
+                .unwrap(),
+            PhysAddr::new(0x10000 + 3 * PAGE_SIZE + 5)
+        );
+    }
+
+    #[test]
+    fn unmap_returns_frame_and_forgets() {
+        let mut dom = IommuDomain::new();
+        dom.map(
+            DmaAddr::new(0x4000),
+            PhysAddr::new(0x5000),
+            Access::RW,
+            RegionId(7),
+        );
+        assert_eq!(dom.unmap(DmaAddr::new(0x4000)), Some(PhysAddr::new(0x5000)));
+        assert_eq!(dom.unmap(DmaAddr::new(0x4000)), None);
+        assert_eq!(dom.pages_in_region(RegionId(7)), 0);
+    }
+
+    #[test]
+    fn iommu_manages_multiple_domains() {
+        let mut iommu = Iommu::new();
+        let gpu = iommu.create_domain();
+        let nic = iommu.create_domain();
+        assert_ne!(gpu, nic);
+        iommu.domain_mut(gpu).map(
+            DmaAddr::new(0),
+            PhysAddr::new(0x1000),
+            Access::RW,
+            RegionId::GLOBAL,
+        );
+        assert_eq!(iommu.domain(gpu).mapped_pages(), 1);
+        assert_eq!(iommu.domain(nic).mapped_pages(), 0);
+        assert_eq!(iommu.domain_count(), 2);
+    }
+}

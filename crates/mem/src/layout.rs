@@ -1,0 +1,154 @@
+//! Guest-physical address-space layout helpers.
+//!
+//! When the hypervisor services `mmap`, it needs "an (arbitrary) physical
+//! page in the guest physical address space … as long as it is not used by
+//! the guest OS. The hypervisor finds unused page addresses in the guest and
+//! uses them" (paper §5.2). [`GpaAllocator`] models exactly that: it tracks
+//! which guest-physical page numbers are claimed (by RAM, by device-info
+//! BARs, by previous `mmap` fix-ups) and hands out unused ones from a window
+//! above the guest's RAM.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::addr::{GuestPhysAddr, PAGE_SIZE};
+
+/// Error when the unused-GPA window is exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GpaExhausted;
+
+impl fmt::Display for GpaExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("no unused guest-physical pages remain in the mmap window")
+    }
+}
+
+impl std::error::Error for GpaExhausted {}
+
+/// Tracks unused guest-physical pages for hypervisor `mmap` fix-ups.
+#[derive(Debug)]
+pub struct GpaAllocator {
+    /// First page number of the unused window (just above guest RAM).
+    window_start: u64,
+    /// One past the last page number of the window.
+    window_end: u64,
+    /// Pages inside the window currently handed out.
+    claimed: BTreeSet<u64>,
+    /// Rotating search cursor so frees are reused late (helps catch
+    /// use-after-unmap bugs in tests).
+    cursor: u64,
+}
+
+impl GpaAllocator {
+    /// Creates an allocator for the window `[ram_bytes, ram_bytes + window_bytes)`
+    /// of the guest-physical space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_bytes` is zero; an empty window is a configuration
+    /// error.
+    pub fn new(ram_bytes: u64, window_bytes: u64) -> Self {
+        assert!(window_bytes >= PAGE_SIZE, "mmap window must hold a page");
+        let window_start = ram_bytes.div_ceil(PAGE_SIZE);
+        let window_end = (ram_bytes + window_bytes) / PAGE_SIZE;
+        GpaAllocator {
+            window_start,
+            window_end,
+            claimed: BTreeSet::new(),
+            cursor: window_start,
+        }
+    }
+
+    /// Claims one unused guest-physical page.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpaExhausted`] when every page in the window is claimed.
+    pub fn claim(&mut self) -> Result<GuestPhysAddr, GpaExhausted> {
+        let span = self.window_end - self.window_start;
+        for step in 0..span {
+            let page = self.window_start + (self.cursor - self.window_start + step) % span;
+            if self.claimed.insert(page) {
+                self.cursor = page + 1;
+                if self.cursor >= self.window_end {
+                    self.cursor = self.window_start;
+                }
+                return Ok(GuestPhysAddr::new(page * PAGE_SIZE));
+            }
+        }
+        Err(GpaExhausted)
+    }
+
+    /// Releases a previously claimed page. Returns `false` if the page was
+    /// not claimed (harmless, but callers may want to log it).
+    pub fn release(&mut self, gpa: GuestPhysAddr) -> bool {
+        self.claimed.remove(&gpa.page_number())
+    }
+
+    /// Whether `gpa` lies inside the unused window at all.
+    pub fn in_window(&self, gpa: GuestPhysAddr) -> bool {
+        (self.window_start..self.window_end).contains(&gpa.page_number())
+    }
+
+    /// Number of pages currently claimed.
+    pub fn claimed_pages(&self) -> usize {
+        self.claimed.len()
+    }
+
+    /// Total pages in the window.
+    pub fn window_pages(&self) -> u64 {
+        self.window_end - self.window_start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claims_come_from_window_above_ram() {
+        let mut alloc = GpaAllocator::new(8 * PAGE_SIZE, 4 * PAGE_SIZE);
+        let gpa = alloc.claim().unwrap();
+        assert!(gpa.page_number() >= 8);
+        assert!(alloc.in_window(gpa));
+        assert!(!alloc.in_window(GuestPhysAddr::new(0)));
+    }
+
+    #[test]
+    fn claims_are_distinct_until_exhausted() {
+        let mut alloc = GpaAllocator::new(0, 3 * PAGE_SIZE);
+        let a = alloc.claim().unwrap();
+        let b = alloc.claim().unwrap();
+        let c = alloc.claim().unwrap();
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_eq!(alloc.claim(), Err(GpaExhausted));
+    }
+
+    #[test]
+    fn release_enables_reuse() {
+        let mut alloc = GpaAllocator::new(0, 2 * PAGE_SIZE);
+        let a = alloc.claim().unwrap();
+        let _b = alloc.claim().unwrap();
+        assert!(alloc.release(a));
+        assert!(!alloc.release(a));
+        let c = alloc.claim().unwrap();
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn ram_size_rounding() {
+        // RAM ending mid-page: window starts at the next whole page.
+        let mut alloc = GpaAllocator::new(PAGE_SIZE + 1, 2 * PAGE_SIZE);
+        let gpa = alloc.claim().unwrap();
+        assert_eq!(gpa.page_number(), 2);
+    }
+
+    #[test]
+    fn counters() {
+        let mut alloc = GpaAllocator::new(0, 4 * PAGE_SIZE);
+        assert_eq!(alloc.window_pages(), 4);
+        let _ = alloc.claim().unwrap();
+        assert_eq!(alloc.claimed_pages(), 1);
+    }
+}

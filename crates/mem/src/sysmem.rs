@@ -1,0 +1,444 @@
+//! The machine's physical memory: a frame arena plus a frame allocator.
+//!
+//! Everything that "exists in RAM" in the simulation — guest memory, guest
+//! page tables, shared communication pages, netmap rings, DMA buffers — lives
+//! in one [`SystemMemory`] instance, addressed by [`PhysAddr`]. The
+//! hypervisor's copy API, the IOMMU-translated device DMA and the guest
+//! page-table walker all bottom out here, exactly as all of them bottom out
+//! in host DRAM on the real system.
+
+use std::fmt;
+
+use crate::addr::{page_chunks, Frame, PhysAddr, PAGE_SIZE};
+
+/// Errors reported by [`SystemMemory`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemError {
+    /// An access touched a frame that was never allocated.
+    Unallocated {
+        /// The physical address of the offending access.
+        addr: PhysAddr,
+    },
+    /// An access ran past the end of physical memory.
+    OutOfBounds {
+        /// The physical address of the offending access.
+        addr: PhysAddr,
+    },
+    /// The frame allocator has no free frames left.
+    OutOfFrames,
+    /// A frame was freed twice or freed without being allocated.
+    BadFree {
+        /// Base address of the offending frame.
+        addr: PhysAddr,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::Unallocated { addr } => {
+                write!(f, "access to unallocated physical frame at {addr}")
+            }
+            MemError::OutOfBounds { addr } => {
+                write!(f, "physical access out of bounds at {addr}")
+            }
+            MemError::OutOfFrames => f.write_str("physical frame allocator exhausted"),
+            MemError::BadFree { addr } => write!(f, "double or foreign free of frame {addr}"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// State of one physical frame.
+#[derive(Debug)]
+enum FrameSlot {
+    Free,
+    Allocated(Box<[u8]>),
+}
+
+/// The simulated physical memory of the whole machine.
+///
+/// Frames are 4 KiB and allocated through [`SystemMemory::alloc_frame`].
+/// Freed frames are zeroed, mirroring the paper's hypervisor, which zeroes
+/// pages before unmapping them from an IOMMU region (§5.3(i)) so stale guest
+/// data can never leak through reallocation.
+///
+/// # Example
+///
+/// ```
+/// use paradice_mem::{SystemMemory, PhysAddr};
+///
+/// # fn main() -> Result<(), paradice_mem::MemError> {
+/// let mut mem = SystemMemory::new(16);
+/// let f = mem.alloc_frame()?;
+/// mem.write_u64(f.base(), 0xdead_beef)?;
+/// assert_eq!(mem.read_u64(f.base())?, 0xdead_beef);
+/// # Ok(())
+/// # }
+/// ```
+pub struct SystemMemory {
+    frames: Vec<FrameSlot>,
+    free_list: Vec<u64>,
+    allocated: usize,
+}
+
+impl fmt::Debug for SystemMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SystemMemory")
+            .field("total_frames", &self.frames.len())
+            .field("allocated_frames", &self.allocated)
+            .finish()
+    }
+}
+
+impl SystemMemory {
+    /// Creates a machine memory of `total_frames` 4-KiB frames.
+    pub fn new(total_frames: usize) -> Self {
+        let mut frames = Vec::with_capacity(total_frames);
+        frames.resize_with(total_frames, || FrameSlot::Free);
+        // Hand out low frame numbers first so dumps are easy to read.
+        let free_list = (0..total_frames as u64).rev().collect();
+        SystemMemory {
+            frames,
+            free_list,
+            allocated: 0,
+        }
+    }
+
+    /// Creates a machine memory of the given size in bytes (rounded down to
+    /// whole frames).
+    pub fn with_bytes(bytes: u64) -> Self {
+        SystemMemory::new((bytes / PAGE_SIZE) as usize)
+    }
+
+    /// Total capacity in frames.
+    pub fn total_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Number of currently allocated frames.
+    pub fn allocated_frames(&self) -> usize {
+        self.allocated
+    }
+
+    /// Number of frames still available.
+    pub fn free_frames(&self) -> usize {
+        self.free_list.len()
+    }
+
+    /// Allocates one zeroed frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfFrames`] when physical memory is exhausted.
+    pub fn alloc_frame(&mut self) -> Result<Frame, MemError> {
+        let number = self.free_list.pop().ok_or(MemError::OutOfFrames)?;
+        self.frames[number as usize] =
+            FrameSlot::Allocated(vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
+        self.allocated += 1;
+        Ok(Frame::from_base(PhysAddr::new(number * PAGE_SIZE)))
+    }
+
+    /// Allocates `n` zeroed frames.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfFrames`] if fewer than `n` frames remain; in
+    /// that case no frames are allocated.
+    pub fn alloc_frames(&mut self, n: usize) -> Result<Vec<Frame>, MemError> {
+        if self.free_list.len() < n {
+            return Err(MemError::OutOfFrames);
+        }
+        (0..n).map(|_| self.alloc_frame()).collect()
+    }
+
+    /// Frees a frame, zeroing its contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::BadFree`] if the frame is not currently allocated.
+    pub fn free_frame(&mut self, frame: Frame) -> Result<(), MemError> {
+        let number = frame.number() as usize;
+        match self.frames.get_mut(number) {
+            Some(slot @ FrameSlot::Allocated(_)) => {
+                *slot = FrameSlot::Free;
+                self.free_list.push(number as u64);
+                self.allocated -= 1;
+                Ok(())
+            }
+            Some(FrameSlot::Free) => Err(MemError::BadFree { addr: frame.base() }),
+            None => Err(MemError::OutOfBounds { addr: frame.base() }),
+        }
+    }
+
+    fn frame_bytes(&self, addr: PhysAddr) -> Result<&[u8], MemError> {
+        match self.frames.get(addr.page_number() as usize) {
+            Some(FrameSlot::Allocated(bytes)) => Ok(bytes),
+            Some(FrameSlot::Free) => Err(MemError::Unallocated { addr }),
+            None => Err(MemError::OutOfBounds { addr }),
+        }
+    }
+
+    fn frame_bytes_mut(&mut self, addr: PhysAddr) -> Result<&mut [u8], MemError> {
+        match self.frames.get_mut(addr.page_number() as usize) {
+            Some(FrameSlot::Allocated(bytes)) => Ok(bytes),
+            Some(FrameSlot::Free) => Err(MemError::Unallocated { addr }),
+            None => Err(MemError::OutOfBounds { addr }),
+        }
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`, crossing frame boundaries
+    /// as needed.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any touched frame is unallocated or out of bounds.
+    pub fn read(&self, addr: PhysAddr, buf: &mut [u8]) -> Result<(), MemError> {
+        let mut done = 0usize;
+        for (chunk_addr, len) in page_chunks(addr, buf.len() as u64) {
+            let frame = self.frame_bytes(chunk_addr)?;
+            let off = chunk_addr.page_offset() as usize;
+            buf[done..done + len as usize].copy_from_slice(&frame[off..off + len as usize]);
+            done += len as usize;
+        }
+        Ok(())
+    }
+
+    /// Writes `buf` starting at `addr`, crossing frame boundaries as needed.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any touched frame is unallocated or out of bounds.
+    pub fn write(&mut self, addr: PhysAddr, buf: &[u8]) -> Result<(), MemError> {
+        // Validate the whole range first so a failing write is all-or-nothing.
+        for (chunk_addr, _) in page_chunks(addr, buf.len() as u64) {
+            self.frame_bytes(chunk_addr)?;
+        }
+        let mut done = 0usize;
+        for (chunk_addr, len) in page_chunks(addr, buf.len() as u64) {
+            let frame = self.frame_bytes_mut(chunk_addr)?;
+            let off = chunk_addr.page_offset() as usize;
+            frame[off..off + len as usize].copy_from_slice(&buf[done..done + len as usize]);
+            done += len as usize;
+        }
+        Ok(())
+    }
+
+    /// Reads a little-endian `u64` at `addr` (page-table entries, ring
+    /// pointers, registers-in-memory).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the touched frames are unallocated or out of bounds.
+    pub fn read_u64(&self, addr: PhysAddr) -> Result<u64, MemError> {
+        let mut buf = [0u8; 8];
+        self.read(addr, &mut buf)?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Writes a little-endian `u64` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the touched frames are unallocated or out of bounds.
+    pub fn write_u64(&mut self, addr: PhysAddr, value: u64) -> Result<(), MemError> {
+        self.write(addr, &value.to_le_bytes())
+    }
+
+    /// Reads a little-endian `u32` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the touched frames are unallocated or out of bounds.
+    pub fn read_u32(&self, addr: PhysAddr) -> Result<u32, MemError> {
+        let mut buf = [0u8; 4];
+        self.read(addr, &mut buf)?;
+        Ok(u32::from_le_bytes(buf))
+    }
+
+    /// Writes a little-endian `u32` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the touched frames are unallocated or out of bounds.
+    pub fn write_u32(&mut self, addr: PhysAddr, value: u32) -> Result<(), MemError> {
+        self.write(addr, &value.to_le_bytes())
+    }
+
+    /// Fills `len` bytes at `addr` with `byte`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any touched frame is unallocated or out of bounds.
+    pub fn fill(&mut self, addr: PhysAddr, len: u64, byte: u8) -> Result<(), MemError> {
+        for (chunk_addr, chunk_len) in page_chunks(addr, len) {
+            let frame = self.frame_bytes_mut(chunk_addr)?;
+            let off = chunk_addr.page_offset() as usize;
+            frame[off..off + chunk_len as usize].fill(byte);
+        }
+        Ok(())
+    }
+
+    /// Copies `len` bytes from `src` to `dst` within physical memory.
+    ///
+    /// This is the primitive under the hypervisor's cross-VM copy: both sides
+    /// have already been translated to physical addresses.
+    ///
+    /// # Errors
+    ///
+    /// Fails if either range touches unallocated or out-of-bounds frames.
+    pub fn copy(&mut self, src: PhysAddr, dst: PhysAddr, len: u64) -> Result<(), MemError> {
+        let mut buf = vec![0u8; len as usize];
+        self.read(src, &mut buf)?;
+        self.write(dst, &buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_rw_roundtrip() {
+        let mut mem = SystemMemory::new(4);
+        let f = mem.alloc_frame().unwrap();
+        mem.write(f.base().add(100), b"hello").unwrap();
+        let mut buf = [0u8; 5];
+        mem.read(f.base().add(100), &mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+    }
+
+    #[test]
+    fn cross_frame_rw() {
+        let mut mem = SystemMemory::new(4);
+        let a = mem.alloc_frame().unwrap();
+        let b = mem.alloc_frame().unwrap();
+        // Allocation order gives consecutive frames 0 and 1.
+        assert_eq!(b.base().raw(), a.base().raw() + PAGE_SIZE);
+        let addr = a.base().add(PAGE_SIZE - 2);
+        mem.write(addr, &[1, 2, 3, 4]).unwrap();
+        let mut buf = [0u8; 4];
+        mem.read(addr, &mut buf).unwrap();
+        assert_eq!(buf, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn unallocated_access_fails() {
+        let mem = SystemMemory::new(4);
+        let mut buf = [0u8; 1];
+        assert_eq!(
+            mem.read(PhysAddr::new(0), &mut buf),
+            Err(MemError::Unallocated {
+                addr: PhysAddr::new(0)
+            })
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_access_fails() {
+        let mut mem = SystemMemory::new(1);
+        let _ = mem.alloc_frame().unwrap();
+        let far = PhysAddr::new(10 * PAGE_SIZE);
+        assert_eq!(
+            mem.write(far, &[0]),
+            Err(MemError::OutOfBounds { addr: far })
+        );
+    }
+
+    #[test]
+    fn partial_write_does_not_happen() {
+        let mut mem = SystemMemory::new(4);
+        let f = mem.alloc_frame().unwrap();
+        // Frame after `f` (frame 1) is unallocated, so the cross-frame write
+        // must fail without mutating frame 0.
+        let addr = f.base().add(PAGE_SIZE - 2);
+        mem.write(addr, b"XX").unwrap();
+        assert!(mem.write(addr, &[9, 9, 9, 9]).is_err());
+        let mut buf = [0u8; 2];
+        mem.read(addr, &mut buf).unwrap();
+        assert_eq!(&buf, b"XX");
+    }
+
+    #[test]
+    fn exhaustion_and_free() {
+        let mut mem = SystemMemory::new(2);
+        let a = mem.alloc_frame().unwrap();
+        let _b = mem.alloc_frame().unwrap();
+        assert_eq!(mem.alloc_frame(), Err(MemError::OutOfFrames));
+        mem.free_frame(a).unwrap();
+        assert_eq!(mem.free_frames(), 1);
+        let c = mem.alloc_frame().unwrap();
+        assert_eq!(c.number(), 0);
+    }
+
+    #[test]
+    fn freed_frames_are_zeroed() {
+        let mut mem = SystemMemory::new(1);
+        let f = mem.alloc_frame().unwrap();
+        mem.write(f.base(), b"secret").unwrap();
+        let base = f.base();
+        mem.free_frame(f).unwrap();
+        let f2 = mem.alloc_frame().unwrap();
+        assert_eq!(f2.base(), base);
+        let mut buf = [0u8; 6];
+        mem.read(f2.base(), &mut buf).unwrap();
+        assert_eq!(buf, [0; 6]);
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let mut mem = SystemMemory::new(1);
+        let f = mem.alloc_frame().unwrap();
+        let dup = Frame::from_base(f.base());
+        mem.free_frame(f).unwrap();
+        assert_eq!(
+            mem.free_frame(dup),
+            Err(MemError::BadFree {
+                addr: PhysAddr::new(0)
+            })
+        );
+    }
+
+    #[test]
+    fn bulk_alloc_is_all_or_nothing() {
+        let mut mem = SystemMemory::new(3);
+        assert_eq!(mem.alloc_frames(4), Err(MemError::OutOfFrames));
+        assert_eq!(mem.allocated_frames(), 0);
+        let frames = mem.alloc_frames(3).unwrap();
+        assert_eq!(frames.len(), 3);
+    }
+
+    #[test]
+    fn u64_and_u32_accessors() {
+        let mut mem = SystemMemory::new(1);
+        let f = mem.alloc_frame().unwrap();
+        mem.write_u64(f.base(), 0x0102_0304_0506_0708).unwrap();
+        assert_eq!(mem.read_u64(f.base()).unwrap(), 0x0102_0304_0506_0708);
+        mem.write_u32(f.base().add(8), 0xaabb_ccdd).unwrap();
+        assert_eq!(mem.read_u32(f.base().add(8)).unwrap(), 0xaabb_ccdd);
+    }
+
+    #[test]
+    fn phys_copy() {
+        let mut mem = SystemMemory::new(2);
+        let a = mem.alloc_frame().unwrap();
+        let b = mem.alloc_frame().unwrap();
+        mem.write(a.base(), b"payload").unwrap();
+        mem.copy(a.base(), b.base().add(16), 7).unwrap();
+        let mut buf = [0u8; 7];
+        mem.read(b.base().add(16), &mut buf).unwrap();
+        assert_eq!(&buf, b"payload");
+    }
+
+    #[test]
+    fn fill_range() {
+        let mut mem = SystemMemory::new(2);
+        let a = mem.alloc_frame().unwrap();
+        let _b = mem.alloc_frame().unwrap();
+        mem.fill(a.base().add(PAGE_SIZE - 4), 8, 0x5a).unwrap();
+        let mut buf = [0u8; 8];
+        mem.read(a.base().add(PAGE_SIZE - 4), &mut buf).unwrap();
+        assert_eq!(buf, [0x5a; 8]);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property tests for the memory substrate: the translation and permission
+//! invariants everything above relies on.
+
+use proptest::prelude::*;
+
+use paradice_mem::addr::{page_chunks, pages_for};
+use paradice_mem::iommu::IommuDomain;
+use paradice_mem::{
+    Access, DmaAddr, Ept, GuestPhysAddr, PhysAddr, RegionId, SystemMemory, PAGE_SIZE,
+};
+
+proptest! {
+    /// `page_chunks` covers the range exactly once, in order, without
+    /// crossing page boundaries.
+    #[test]
+    fn page_chunks_partition_the_range(addr in 0u64..1 << 40, len in 0u64..1 << 16) {
+        let chunks: Vec<(PhysAddr, u64)> = page_chunks(PhysAddr::new(addr), len).collect();
+        // Total length matches.
+        let total: u64 = chunks.iter().map(|&(_, l)| l).sum();
+        prop_assert_eq!(total, len);
+        // Contiguous and within-page.
+        let mut cursor = addr;
+        for (start, chunk_len) in chunks {
+            prop_assert_eq!(start.raw(), cursor);
+            prop_assert!(chunk_len > 0);
+            let end = start.raw() + chunk_len - 1;
+            prop_assert_eq!(start.raw() / PAGE_SIZE, end / PAGE_SIZE, "chunk crosses a page");
+            cursor += chunk_len;
+        }
+        prop_assert_eq!(pages_for(len) >= len.div_ceil(PAGE_SIZE), true);
+    }
+
+    /// EPT mappings translate exactly what was mapped, with offsets
+    /// preserved, and permission checks are monotone: granting more rights
+    /// never breaks an access that worked.
+    #[test]
+    fn ept_translation_and_permission_monotonicity(
+        pages in proptest::collection::btree_map(0u64..4096, (0u64..4096, 0u8..3), 1..32),
+        probe_offset in 0u64..4096,
+    ) {
+        let mut ept = Ept::new();
+        for (&gpn, &(pfn, access_pick)) in &pages {
+            let access = match access_pick {
+                0 => Access::READ,
+                1 => Access::RW,
+                _ => Access::RWX,
+            };
+            ept.map(
+                GuestPhysAddr::new(gpn * PAGE_SIZE),
+                PhysAddr::new(pfn * PAGE_SIZE),
+                access,
+            ).unwrap();
+        }
+        for (&gpn, &(pfn, access_pick)) in &pages {
+            let gpa = GuestPhysAddr::new(gpn * PAGE_SIZE + probe_offset);
+            // Reads always work on mapped pages (every pick includes READ).
+            let pa = ept.translate(gpa, Access::READ).unwrap();
+            prop_assert_eq!(pa.raw(), pfn * PAGE_SIZE + probe_offset);
+            // Writes work iff the pick included WRITE.
+            let writable = access_pick >= 1;
+            prop_assert_eq!(ept.translate(gpa, Access::WRITE).is_ok(), writable);
+            // Execute works iff RWX.
+            prop_assert_eq!(ept.translate(gpa, Access::EXEC).is_ok(), access_pick == 2);
+        }
+    }
+
+    /// IOMMU region gating: a mapping translates iff its region is active
+    /// or global, regardless of the history of switches.
+    #[test]
+    fn iommu_region_gating_is_exact(
+        mappings in proptest::collection::vec((0u64..256, 0u64..256, 0u8..3), 1..24),
+        switches in proptest::collection::vec(0u8..3, 0..8),
+    ) {
+        let mut dom = IommuDomain::new();
+        // Three regions: GLOBAL, r1, r2. Last write to a DMA page wins.
+        let r = [RegionId::GLOBAL, RegionId(1), RegionId(2)];
+        let mut last: std::collections::BTreeMap<u64, u8> = Default::default();
+        for &(dma_pn, pfn, region_pick) in &mappings {
+            dom.map(
+                DmaAddr::new(dma_pn * PAGE_SIZE),
+                PhysAddr::new(pfn * PAGE_SIZE),
+                Access::RW,
+                r[region_pick as usize],
+            );
+            last.insert(dma_pn, region_pick);
+        }
+        let mut active: Option<RegionId> = None;
+        for &pick in &switches {
+            active = if pick == 0 { None } else { Some(r[pick as usize]) };
+            dom.switch_region(active);
+        }
+        for (&dma_pn, &region_pick) in &last {
+            let ok = dom
+                .translate(DmaAddr::new(dma_pn * PAGE_SIZE), Access::READ)
+                .is_ok();
+            let expected = region_pick == 0 || Some(r[region_pick as usize]) == active;
+            prop_assert_eq!(ok, expected, "dma page {}", dma_pn);
+        }
+    }
+
+    /// System memory: reads observe the latest write, across arbitrary
+    /// cross-frame offsets.
+    #[test]
+    fn sysmem_read_your_writes(
+        writes in proptest::collection::vec((0u64..31 * 4096, proptest::collection::vec(any::<u8>(), 1..64)), 1..16),
+    ) {
+        let mut mem = SystemMemory::new(32);
+        let frames = mem.alloc_frames(32).unwrap();
+        let base = frames[0].base();
+        // Model: a shadow buffer.
+        let mut shadow = vec![0u8; 32 * 4096];
+        for (offset, bytes) in &writes {
+            let offset = (*offset).min(32 * 4096 - bytes.len() as u64);
+            mem.write(base.add(offset), bytes).unwrap();
+            shadow[offset as usize..offset as usize + bytes.len()].copy_from_slice(bytes);
+        }
+        let mut out = vec![0u8; 32 * 4096];
+        mem.read(base, &mut out).unwrap();
+        prop_assert_eq!(out, shadow);
+    }
+
+    /// Frame allocator: handles are unique, frees are reusable, and the
+    /// free count is conserved.
+    #[test]
+    fn frame_allocator_conservation(ops in proptest::collection::vec(any::<bool>(), 1..64)) {
+        let total = 16usize;
+        let mut mem = SystemMemory::new(total);
+        let mut live = Vec::new();
+        for op in ops {
+            if op || live.is_empty() {
+                match mem.alloc_frame() {
+                    Ok(frame) => {
+                        prop_assert!(
+                            live.iter().all(|f: &paradice_mem::Frame| f.base() != frame.base())
+                        );
+                        live.push(frame);
+                    }
+                    Err(_) => prop_assert_eq!(live.len(), total),
+                }
+            } else {
+                let frame = live.pop().unwrap();
+                mem.free_frame(frame).unwrap();
+            }
+            prop_assert_eq!(mem.allocated_frames() + mem.free_frames(), total);
+            prop_assert_eq!(mem.allocated_frames(), live.len());
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Quickstart: boot a Paradice machine, open the virtualized GPU from a
+//! guest VM, and render a few frames.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use paradice::app::drm::DrmClient;
+use paradice::gpu_ioctl::{gem_domain, info};
+use paradice::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // One guest VM, one GPU, CVD in interrupt mode — the paper's default
+    // configuration (§6).
+    let mut machine = Machine::builder()
+        .mode(ExecMode::Paradice {
+            transport: TransportMode::Interrupts,
+            data_isolation: false,
+        })
+        .guest(GuestSpec::linux())
+        .device(DeviceSpec::gpu())
+        .device(DeviceSpec::Mouse)
+        .build()?;
+
+    // A process inside the guest opens the *virtual* device file. The CVD
+    // frontend forwards every file operation to the Linux driver in the
+    // driver VM.
+    let task = machine.spawn_process(Some(0))?;
+    let drm = DrmClient::open(&mut machine, task)?;
+
+    // The guest sees the real device's identity through the device info
+    // module (§5.1).
+    println!("device id : {:#06x}", drm.info(&mut machine, info::DEVICE_ID)?);
+    println!(
+        "vram      : {} MiB (simulated, scaled)",
+        drm.info(&mut machine, info::VRAM_SIZE)? / (1024 * 1024)
+    );
+    if let Some(bus) = machine.bus(0) {
+        for line in bus.scan() {
+            println!("lspci     : {line}");
+        }
+    }
+
+    // Allocate a framebuffer in VRAM and render 60 frames of a 5 ms/frame
+    // workload; command submission flows through the nested-copy CS ioctl,
+    // whose grants the frontend derives by JIT-evaluating the analyzer's
+    // extracted slice (§4.1).
+    let fb = drm.gem_create(&mut machine, 16 * PAGE_SIZE, gem_domain::VRAM)?;
+    let start = machine.now_ns();
+    for _ in 0..60 {
+        drm.submit_render(&mut machine, 5_000, fb)?;
+        drm.wait_idle(&mut machine, fb)?;
+    }
+    let elapsed = machine.now_ns() - start;
+    println!(
+        "60 frames : {:.1} ms of virtual time ({:.1} FPS)",
+        elapsed as f64 / 1e6,
+        60.0 / (elapsed as f64 / 1e9)
+    );
+
+    // Nothing tripped the isolation machinery in a clean run.
+    println!(
+        "audit log : {} blocked events (expected 0)",
+        machine.hv().borrow().audit().len()
+    );
+    Ok(())
+}

@@ -1,0 +1,139 @@
+//! Cross-OS paravirtualization (paper §3.2.2, §5.1): "we have successfully
+//! deployed Paradice with a Linux driver VM, a FreeBSD guest VM and a Linux
+//! guest VM running a different major version of Linux."
+
+use paradice::app::drm::DrmClient;
+use paradice::gpu_ioctl::{gem_domain, info};
+use paradice::os;
+use paradice::prelude::*;
+
+fn mixed_machine() -> Machine {
+    Machine::builder()
+        .mode(ExecMode::Paradice {
+            transport: TransportMode::Interrupts,
+            data_isolation: false,
+        })
+        .guest(GuestSpec::linux()) // Linux 3.2.0
+        .guest(GuestSpec::linux_2_6_35()) // a different major version
+        .guest(GuestSpec::freebsd()) // FreeBSD
+        .device(DeviceSpec::gpu())
+        .build()
+        .expect("mixed-OS machine builds")
+}
+
+#[test]
+fn three_oses_share_one_linux_driver_vm() {
+    let mut m = mixed_machine();
+    for guest in 0..3 {
+        let task = m.spawn_process(Some(guest)).unwrap();
+        let drm = DrmClient::open(&mut m, task)
+            .unwrap_or_else(|e| panic!("guest {guest} open failed: {e}"));
+        assert_eq!(
+            drm.info(&mut m, info::DEVICE_ID).unwrap(),
+            0x6779,
+            "guest {guest} sees the Linux driver's device"
+        );
+        let fb = drm
+            .gem_create(&mut m, 4 * PAGE_SIZE, gem_domain::VRAM)
+            .unwrap();
+        drm.submit_render(&mut m, 500, fb).unwrap();
+        drm.wait_idle(&mut m, fb).unwrap();
+    }
+}
+
+#[test]
+fn freebsd_mmap_works_through_the_kernel_hook() {
+    // §5.1: "To support mmap and its page fault handler, we added about 12
+    // LoC to the FreeBSD kernel to pass the virtual address range to the CVD
+    // frontend." The machine invokes the hook automatically, so the same
+    // application code maps buffers on FreeBSD.
+    let mut m = mixed_machine();
+    let task = m.spawn_process(Some(2)).unwrap(); // the FreeBSD guest
+    let drm = DrmClient::open(&mut m, task).unwrap();
+    let bo = drm.gem_create(&mut m, PAGE_SIZE, gem_domain::VRAM).unwrap();
+    let data = m.alloc_buffer(task, 64).unwrap();
+    m.write_mem(task, data, b"bsd-bytes").unwrap();
+    drm.gem_pwrite(&mut m, bo, 0, data, 9).unwrap();
+    let map = drm.gem_map(&mut m, bo, PAGE_SIZE).unwrap();
+    let mut seen = [0u8; 9];
+    m.read_mem(task, map, &mut seen).unwrap();
+    assert_eq!(&seen, b"bsd-bytes");
+}
+
+#[test]
+fn freebsd_mmap_without_hook_is_rejected() {
+    // Calling the frontend's mmap directly without the kernel hook (the
+    // 12-LoC patch) must fail — the address range is genuinely needed.
+    let mut m = mixed_machine();
+    let task = m.spawn_process(Some(2)).unwrap();
+    let drm = DrmClient::open(&mut m, task).unwrap();
+    let bo = drm.gem_create(&mut m, PAGE_SIZE, gem_domain::VRAM).unwrap();
+    // Fetch the mmap cookie.
+    let scratch = m.alloc_buffer(task, 64).unwrap();
+    let mut req = [0u8; 16];
+    req[0..4].copy_from_slice(&bo.to_le_bytes());
+    m.write_mem(task, scratch, &req).unwrap();
+    m.ioctl(task, drm.fd, paradice::gpu_ioctl::RADEON_GEM_MMAP, scratch.raw())
+        .unwrap();
+    let frontend = m.frontend(2).unwrap();
+    // Reach the frontend below the machine API: no hook has been recorded.
+    let p_pt = paradice_mem::pagetable::GuestPageTables::from_root(
+        paradice_mem::GuestPhysAddr::new(0),
+    );
+    let result = frontend.borrow_mut().mmap(
+        task,
+        p_pt,
+        3, // the frontend fd for this open
+        GuestVirtAddr::new(0x7000_0000),
+        PAGE_SIZE,
+        u64::from(bo) << 28,
+        Access::RW,
+    );
+    assert_eq!(result, Err(Errno::Einval));
+}
+
+#[test]
+fn op_tables_differ_but_cover_drivers_everywhere() {
+    for personality in [
+        OsPersonality::LINUX_2_6_35,
+        OsPersonality::LINUX_3_2_0,
+        OsPersonality::FreeBsd,
+    ] {
+        assert!(os::supports_driver_critical_ops(personality));
+    }
+    let (added, removed) =
+        os::op_list_delta(OsPersonality::LINUX_2_6_35, OsPersonality::LINUX_3_2_0);
+    assert_eq!(added.len(), 1, "the 3.x delta is tiny (the 14-LoC update)");
+    assert!(removed.is_empty());
+}
+
+#[test]
+fn device_info_modules_export_identity_to_every_guest() {
+    // §5.1: each guest loads small device info modules and sees the real
+    // device's PCI identity on a virtual PCI bus.
+    let m = mixed_machine();
+    for guest in 0..3 {
+        let bus = m.bus(guest).expect("virtual PCI bus");
+        let (_, module) = bus
+            .find_class(paradice_devfs::DeviceClass::Gpu)
+            .expect("GPU info module plugged");
+        assert_eq!(module.pci.pci_id(), "1002:6779");
+        let listing = bus.scan();
+        assert!(listing[0].contains("ATI Radeon HD 6450"));
+    }
+}
+
+#[test]
+fn errnos_cross_the_boundary_verbatim() {
+    let mut m = mixed_machine();
+    let task = m.spawn_process(Some(1)).unwrap();
+    // ENOENT for unknown devices.
+    assert_eq!(m.open(task, "/dev/nope"), Err(Errno::Enoent));
+    // ENOTTY for unknown ioctls, straight from the Linux driver to the
+    // 2.6.35 guest.
+    let drm = DrmClient::open(&mut m, task).unwrap();
+    assert_eq!(
+        m.ioctl(task, drm.fd, paradice_devfs::ioc::io(b'z', 0x77), 0),
+        Err(Errno::Enotty)
+    );
+}

@@ -1,0 +1,297 @@
+//! The isolation evaluation (paper §4, §6): every attack the design claims
+//! to stop is exercised against a live machine and must be blocked, with
+//! the audit log crediting the right mechanism.
+
+use paradice::app::drm::DrmClient;
+use paradice::attack;
+use paradice::gpu_ioctl::gem_domain;
+use paradice::prelude::*;
+use paradice_hypervisor::audit::BlockedBy;
+
+fn isolated_machine() -> Machine {
+    Machine::builder()
+        .mode(ExecMode::Paradice {
+            transport: TransportMode::Interrupts,
+            data_isolation: true,
+        })
+        .guest(GuestSpec::linux())
+        .guest(GuestSpec::linux())
+        .device(DeviceSpec::gpu())
+        .device(DeviceSpec::Mouse)
+        .build()
+        .expect("isolated machine builds")
+}
+
+#[test]
+fn the_full_attack_suite_is_blocked() {
+    let mut m = isolated_machine();
+    let outcomes = attack::run_all(&mut m);
+    assert_eq!(outcomes.len(), 6);
+    for outcome in &outcomes {
+        assert!(
+            outcome.blocked,
+            "attack {:?} was NOT blocked: {}",
+            outcome.name, outcome.detail
+        );
+        assert!(
+            outcome.blocked_by.is_some(),
+            "attack {:?} blocked but not attributed in the audit log",
+            outcome.name
+        );
+    }
+    // Each of the distinct mechanisms fired at least once.
+    let audit = m.hv().borrow();
+    for mechanism in [
+        BlockedBy::GrantCheck,
+        BlockedBy::EptProtection,
+        BlockedBy::IommuRegion,
+        BlockedBy::ProtectedMmio,
+        BlockedBy::WaitQueueCap,
+    ] {
+        assert!(
+            audit.audit().count_blocked_by(mechanism) > 0,
+            "{mechanism} never fired"
+        );
+    }
+}
+
+#[test]
+fn guests_cannot_see_each_others_framebuffers() {
+    let mut m = isolated_machine();
+    // Guest 0 renders a "secret" into its framebuffer.
+    let t0 = m.spawn_process(Some(0)).unwrap();
+    let drm0 = DrmClient::open(&mut m, t0).unwrap();
+    let fb0 = drm0.gem_create(&mut m, PAGE_SIZE, gem_domain::VRAM).unwrap();
+    let secret_va = m.alloc_buffer(t0, 64).unwrap();
+    m.write_mem(t0, secret_va, b"launch-codes").unwrap();
+    drm0.gem_pwrite(&mut m, fb0, 0, secret_va, 12).unwrap();
+
+    // Guest 1 creates its own object and maps it: its pages must be from
+    // its own region, never guest 0's.
+    let t1 = m.spawn_process(Some(1)).unwrap();
+    let drm1 = DrmClient::open(&mut m, t1).unwrap();
+    let fb1 = drm1.gem_create(&mut m, PAGE_SIZE, gem_domain::VRAM).unwrap();
+    let map1 = drm1.gem_map(&mut m, fb1, PAGE_SIZE).unwrap();
+    let mut peek = [0u8; 12];
+    m.read_mem(t1, map1, &mut peek).unwrap();
+    assert_ne!(&peek, b"launch-codes", "guest 1 must not see guest 0's data");
+
+    // Ground truth: the secret IS in guest 0's protected VRAM (device-side
+    // probe) and the driver VM cannot read it.
+    let driver_vm = m.driver_vm();
+    let hv = m.hv().clone();
+    let bar = {
+        let handle = m.driver("/dev/dri/card0").unwrap();
+        match handle {
+            paradice::machine::DriverHandle::Gpu(gpu) => gpu.borrow().gpu().bar_base(),
+            _ => unreachable!("card0 is the GPU"),
+        }
+    };
+    // Guest 0's region starts at VRAM offset 0 and its first allocation is
+    // the region's GART page, so fb0 is the second page of the lower half.
+    let mut found = false;
+    for page in 0..512u64 {
+        let mut probe = [0u8; 12];
+        if hv
+            .borrow_mut()
+            .gpa_read_privileged(driver_vm, bar.add(page * PAGE_SIZE), &mut probe)
+            .is_ok()
+            && &probe == b"launch-codes"
+        {
+            found = true;
+            // The driver VM's own read of that page must fault.
+            let mut blocked = [0u8; 12];
+            assert!(hv
+                .borrow_mut()
+                .vm_mem_read(driver_vm, bar.add(page * PAGE_SIZE), &mut blocked)
+                .is_err());
+            break;
+        }
+    }
+    assert!(found, "the secret should exist in protected VRAM");
+}
+
+#[test]
+fn data_isolation_does_not_break_functionality() {
+    // §6: "data isolation has no noticeable impact on performance" — and
+    // none on correctness: both guests render and compute concurrently.
+    let mut m = isolated_machine();
+    for guest in 0..2 {
+        let task = m.spawn_process(Some(guest)).unwrap();
+        let drm = DrmClient::open(&mut m, task).unwrap();
+        let fb = drm.gem_create(&mut m, 4 * PAGE_SIZE, gem_domain::VRAM).unwrap();
+        drm.submit_render(&mut m, 1_000, fb).unwrap();
+        drm.wait_idle(&mut m, fb).unwrap();
+        drm.submit_compute(&mut m, 50).unwrap();
+        drm.wait_idle(&mut m, fb).unwrap();
+    }
+    // No isolation violations in a clean run: grant checks all passed.
+    assert_eq!(
+        m.hv().borrow().audit().count_blocked_by(BlockedBy::GrantCheck),
+        0
+    );
+}
+
+#[test]
+fn vram_partitioning_limits_each_guest() {
+    // §4.2: "this solution partitions and shares the GPU memory between
+    // guest VMs and can affect … applications that require more memory than
+    // their share." Each guest gets half of the 1024-page VRAM.
+    let mut m = isolated_machine();
+    let task = m.spawn_process(Some(0)).unwrap();
+    let drm = DrmClient::open(&mut m, task).unwrap();
+    // 511 pages fit (one page of the half went to the region's GART buffer)…
+    let big = drm.gem_create(&mut m, 511 * PAGE_SIZE, gem_domain::VRAM);
+    assert!(big.is_ok(), "allocation within the share must work");
+    // …but nothing more.
+    assert_eq!(
+        drm.gem_create(&mut m, PAGE_SIZE, gem_domain::VRAM),
+        Err(Errno::Enomem)
+    );
+    // Without isolation, the same process could take nearly all of VRAM.
+    let mut m2 = Machine::builder()
+        .mode(ExecMode::Paradice {
+            transport: TransportMode::Interrupts,
+            data_isolation: false,
+        })
+        .guest(GuestSpec::linux())
+        .device(DeviceSpec::gpu())
+        .build()
+        .unwrap();
+    let task2 = m2.spawn_process(Some(0)).unwrap();
+    let drm2 = DrmClient::open(&mut m2, task2).unwrap();
+    assert!(drm2
+        .gem_create(&mut m2, 1000 * PAGE_SIZE, gem_domain::VRAM)
+        .is_ok());
+}
+
+#[test]
+fn pread_of_protected_data_is_refused() {
+    let mut m = isolated_machine();
+    let task = m.spawn_process(Some(0)).unwrap();
+    let drm = DrmClient::open(&mut m, task).unwrap();
+    let bo = drm.gem_create(&mut m, PAGE_SIZE, gem_domain::VRAM).unwrap();
+    let va = m.alloc_buffer(task, 64).unwrap();
+    assert_eq!(drm.gem_pread(&mut m, bo, 0, va, 16), Err(Errno::Eperm));
+}
+
+#[test]
+fn hardware_vsync_is_lost_under_isolation_but_emulation_paces() {
+    // §5.3: "we cannot support the VSync interrupts … As a possible
+    // solution, we are thinking of emulating the VSync interrupts in
+    // software." The SET_VSYNC ioctl fails; the software pacer works.
+    let mut m = isolated_machine();
+    let task = m.spawn_process(Some(0)).unwrap();
+    let drm = DrmClient::open(&mut m, task).unwrap();
+    let scratch = m.alloc_buffer(task, 16).unwrap();
+    m.write_mem(task, scratch, &1u32.to_le_bytes()).unwrap();
+    assert_eq!(
+        m.ioctl(task, drm.fd, paradice::gpu_ioctl::RADEON_SET_VSYNC, scratch.raw()),
+        Err(Errno::Enotsup)
+    );
+    // Software emulation: pace 30 frames at 60 Hz.
+    let fb = drm.gem_create(&mut m, PAGE_SIZE, gem_domain::VRAM).unwrap();
+    let t0 = m.now_ns();
+    for _ in 0..30 {
+        drm.submit_render(&mut m, 1_000, fb).unwrap();
+        drm.wait_idle(&mut m, fb).unwrap();
+        m.vblank_pace();
+    }
+    let fps = 30.0 / ((m.now_ns() - t0) as f64 / 1e9);
+    assert!((55.0..62.5).contains(&fps), "paced fps = {fps}");
+}
+
+#[test]
+fn queue_cap_is_tunable_per_guest() {
+    // §5.1: "we can modify this cap for different queues for better load
+    // balancing or enforcing priorities between guest VMs."
+    let mut m = isolated_machine();
+    let backend = m.backend().unwrap();
+    backend
+        .borrow_mut()
+        .set_queue_cap(m.guest_vms()[1], 10)
+        .unwrap();
+    let (outcome, accepted) = attack::wait_queue_flood(&mut m, 1, 50);
+    assert!(outcome.blocked);
+    assert_eq!(accepted, 10);
+}
+
+#[test]
+fn fault_isolation_holds_without_data_isolation() {
+    // Fault isolation needs no driver changes and is always on (§4.1).
+    let mut m = Machine::builder()
+        .mode(ExecMode::Paradice {
+            transport: TransportMode::Interrupts,
+            data_isolation: false,
+        })
+        .guest(GuestSpec::linux())
+        .device(DeviceSpec::gpu())
+        .build()
+        .unwrap();
+    let outcome = attack::ungranted_copy(&mut m, 0);
+    assert!(outcome.blocked);
+    assert_eq!(outcome.blocked_by, Some(BlockedBy::GrantCheck));
+    let outcome = attack::grant_overflow(&mut m, 0);
+    assert!(outcome.blocked);
+}
+
+#[test]
+fn devirtualization_ablation_shows_why_grant_checks_matter() {
+    // Figure 1(b): the predecessor design ran drivers without runtime
+    // checks — "a malicious guest VM application can use the driver bugs to
+    // compromise the whole system." With validation ablated, the attack
+    // Paradice blocks is no longer refused by any security mechanism.
+    let mut m = Machine::builder()
+        .mode(ExecMode::Paradice {
+            transport: TransportMode::Interrupts,
+            data_isolation: false,
+        })
+        .guest(GuestSpec::linux())
+        .device(DeviceSpec::gpu())
+        .build()
+        .unwrap();
+
+    // Under Paradice, the ungranted copy is blocked by the grant check.
+    let outcome = attack::ungranted_copy(&mut m, 0);
+    assert!(outcome.blocked);
+    assert_eq!(outcome.blocked_by, Some(BlockedBy::GrantCheck));
+
+    // Ablate the checks (devirtualization) and replay the attack.
+    m.enable_devirtualization_ablation();
+    let audit_before = m.hv().borrow().audit().len();
+    let driver_vm = m.driver_vm();
+    let guest = m.guest_vms()[0];
+    let bogus_grant = paradice_hypervisor::GrantRef(u32::MAX);
+    let result = m.hv().borrow_mut().hc_copy_to_guest(
+        driver_vm,
+        guest,
+        paradice_mem::GuestPhysAddr::new(0),
+        GuestVirtAddr::new(0xc000_0000),
+        b"rootkit",
+        bogus_grant,
+    );
+    // No grant refusal and no audit record: the only thing that stops the
+    // copy is that the target happens to be unmapped — security by
+    // accident, exactly the flaw that motivated Paradice (§3.1).
+    assert!(
+        !matches!(result, Err(paradice_hypervisor::hv::HvError::Grant(_))),
+        "grant check should be ablated: {result:?}"
+    );
+    assert_eq!(m.hv().borrow().audit().len(), audit_before);
+}
+
+#[test]
+fn guest_recovers_after_a_queue_flood() {
+    // A flooding guest hits EDQUOT; once the backend drains, the same guest
+    // operates normally again — the cap is backpressure, not a ban.
+    let mut m = isolated_machine();
+    let (outcome, accepted) = attack::wait_queue_flood(&mut m, 0, 200);
+    assert!(outcome.blocked);
+    assert_eq!(accepted, m.queue_cap());
+    // resume_backend ran inside the attack; normal service resumes.
+    let task = m.spawn_process(Some(0)).unwrap();
+    let drm = DrmClient::open(&mut m, task).expect("post-flood open");
+    let fb = drm.gem_create(&mut m, PAGE_SIZE, gem_domain::VRAM).unwrap();
+    drm.submit_render(&mut m, 100, fb).unwrap();
+    drm.wait_idle(&mut m, fb).unwrap();
+}
