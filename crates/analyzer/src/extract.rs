@@ -20,11 +20,12 @@ use std::fmt;
 use crate::ir::{Cond, Expr, Handler, OpKind, Stmt, VarId};
 
 /// Maximum loop unrolling during static extraction; larger constant trip
-/// counts fall back to JIT (still correct, just not precomputed).
-const MAX_UNROLL: u64 = 64;
+/// counts fall back to JIT (still correct, just not precomputed). Public so
+/// the lint suite can warn about loops that silently forfeit static entries.
+pub const MAX_UNROLL: u64 = 64;
 
-/// Maximum call-inlining depth (recursion guard).
-const MAX_CALL_DEPTH: usize = 16;
+/// Maximum call-inlining depth (recursion guard). Public for the lint suite.
+pub const MAX_CALL_DEPTH: usize = 16;
 
 /// Errors from extraction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -372,6 +373,21 @@ fn specialize(
         }
     }
     Ok(out)
+}
+
+/// Specializes a whole handler to one command without classifying it:
+/// `switch (cmd)` resolved and helper calls inlined, exactly the slice a
+/// JIT entry would carry. The lint passes walk this linearized form so they
+/// see the same code for static and JIT commands alike.
+///
+/// # Errors
+///
+/// Malformed handlers (unknown helper functions, unbounded call nesting).
+pub fn specialize_command(handler: &Handler, cmd: u32) -> Result<Vec<Stmt>, ExtractionError> {
+    let entry = handler
+        .function(handler.entry())
+        .expect("entry checked at construction");
+    specialize(handler, cmd, &entry.body, 0)
 }
 
 /// Analyzes one command of a handler.

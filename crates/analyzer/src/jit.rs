@@ -10,6 +10,18 @@
 //! reads the *calling process's own* memory, so this step needs no special
 //! privileges — and produce the concrete operation list the frontend then
 //! declares in the grant table.
+//!
+//! # Double-fetch defense
+//!
+//! A malicious (or merely racy) process could change a user buffer between
+//! the JIT's grant-derivation read and a later read of the same address —
+//! the classic double-fetch/TOCTOU hazard at cross-domain copy boundaries.
+//! The evaluator therefore keeps a per-evaluation **byte-granular snapshot**
+//! of everything it has read: re-reading an address yields the bytes of the
+//! *first* fetch, so every value that feeds grant derivation is stable for
+//! the lifetime of the evaluation. (The static half of the defense is the
+//! `DF*` lint passes in [`crate::lint`], which flag handlers whose IR
+//! re-fetches an already-consumed region at all.)
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -103,6 +115,11 @@ struct JitState<'a> {
     ops: Vec<ResolvedOp>,
     reader: &'a mut dyn UserReader,
     iterations: u64,
+    /// First-read-wins byte snapshot of user memory (double-fetch defense):
+    /// any byte fetched once is pinned to its original value for the rest of
+    /// the evaluation, even if the underlying [`UserReader`] would now return
+    /// something else.
+    snapshot: BTreeMap<u64, u8>,
 }
 
 fn eval(state: &JitState<'_>, expr: &Expr) -> Result<u64, JitError> {
@@ -167,6 +184,19 @@ fn exec(stmts: &[Stmt], state: &mut JitState<'_>) -> Result<Flow, JitError> {
                     .reader
                     .read_user(addr, &mut bytes)
                     .map_err(|()| JitError::BadUserRead { addr, len })?;
+                // Double-fetch defense: overlay previously snapshotted bytes
+                // (first read wins), then snapshot anything new. A re-fetch —
+                // even partial/overlapping — can never observe values that
+                // differ from what grant derivation already consumed.
+                for (i, byte) in bytes.iter_mut().enumerate() {
+                    let at = addr.wrapping_add(i as u64);
+                    match state.snapshot.get(&at) {
+                        Some(seen) => *byte = *seen,
+                        None => {
+                            state.snapshot.insert(at, *byte);
+                        }
+                    }
+                }
                 state.ops.push(ResolvedOp {
                     kind: OpKind::CopyFromUser,
                     addr,
@@ -234,6 +264,7 @@ pub fn evaluate_slice(
         ops: Vec::new(),
         reader,
         iterations: 0,
+        snapshot: BTreeMap::new(),
     };
     exec(slice, &mut state)?;
     Ok(state.ops)
@@ -443,6 +474,92 @@ mod tests {
             evaluate_slice(&slice, 0, 0, &mut user),
             Err(JitError::UnspecializedStatement)
         );
+    }
+
+    /// A hostile reader that returns *different* bytes every call — models a
+    /// second thread flipping the buffer between fetches.
+    struct MutatingUser {
+        calls: u8,
+    }
+
+    impl UserReader for MutatingUser {
+        fn read_user(&mut self, _addr: u64, buf: &mut [u8]) -> Result<(), ()> {
+            self.calls = self.calls.wrapping_add(1);
+            for byte in buf.iter_mut() {
+                *byte = self.calls;
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn repeated_reads_are_snapshotted() {
+        // Fetch the same 8 bytes twice; a size field drawn from each copy
+        // sizes a copy_to_user. Without the snapshot cache the second fetch
+        // would observe mutated bytes and the two ops would disagree —
+        // exactly the TOCTOU window the cache closes.
+        let slice = vec![
+            Stmt::CopyFromUser {
+                dst: v(0),
+                src: Expr::Arg,
+                len: Expr::Const(8),
+            },
+            Stmt::CopyFromUser {
+                dst: v(1),
+                src: Expr::Arg,
+                len: Expr::Const(8),
+            },
+            Stmt::CopyToUser {
+                dst: Expr::Arg,
+                len: Expr::field(v(0), 0, 4),
+            },
+            Stmt::CopyToUser {
+                dst: Expr::Arg,
+                len: Expr::field(v(1), 0, 4),
+            },
+        ];
+        let mut user = MutatingUser { calls: 0 };
+        let ops = evaluate_slice(&slice, 0, 0x1000, &mut user).unwrap();
+        assert!(user.calls >= 2, "both fetches must hit the reader");
+        // Both CopyToUser lengths derive from what should be identical data.
+        assert_eq!(
+            ops[2], ops[3],
+            "snapshot cache must pin repeated reads to the first-fetched bytes"
+        );
+        // And the pinned value is the FIRST read's (calls == 1 → 0x01010101).
+        assert_eq!(ops[2].len, 0x0101_0101);
+    }
+
+    #[test]
+    fn overlapping_reads_are_snapshotted_bytewise() {
+        // Second fetch overlaps the first by 4 bytes and extends past it.
+        // The overlap must come from the snapshot; the extension is fresh.
+        let slice = vec![
+            Stmt::CopyFromUser {
+                dst: v(0),
+                src: Expr::Arg,
+                len: Expr::Const(8),
+            },
+            Stmt::CopyFromUser {
+                dst: v(1),
+                src: Expr::add(Expr::Arg, Expr::Const(4)),
+                len: Expr::Const(8),
+            },
+            // Overlapped half: must equal the first fetch's bytes (0x01s).
+            Stmt::CopyToUser {
+                dst: Expr::Arg,
+                len: Expr::field(v(1), 0, 4),
+            },
+            // Fresh half: first read of those addresses (second call → 0x02s).
+            Stmt::CopyToUser {
+                dst: Expr::Arg,
+                len: Expr::field(v(1), 4, 4),
+            },
+        ];
+        let mut user = MutatingUser { calls: 0 };
+        let ops = evaluate_slice(&slice, 0, 0x1000, &mut user).unwrap();
+        assert_eq!(ops[2].len, 0x0101_0101);
+        assert_eq!(ops[3].len, 0x0202_0202);
     }
 
     #[test]

@@ -32,14 +32,32 @@
 //! The drivers crate ships real handler IR (including Radeon-style nested
 //! copies), and integration tests cross-check that the operations the
 //! analyzer predicts are exactly the operations the driver later performs.
+//!
+//! # Static lint suite
+//!
+//! [`lint`] turns the extraction machinery into a safety linter
+//! (`paradice-lint`): the same specialized slices the frontend would JIT
+//! are walked by passes that flag double fetches (`DF001`/`DF002` —
+//! re-reading user memory a decision was already made on), over-grants
+//! (`OG001`–`OG003` — declared `_IOC` envelopes provably wider than, or
+//! disjoint from, what the handler does), structural hazards
+//! (`SH001`–`SH006` — unroll-limit loops, opaque trip counts, recursion,
+//! dead `switch` arms, deep nested-copy chains, unknown helpers), and a
+//! runtime conformance replay (`CF001`–`CF004`) that checks grants and
+//! executed operations from an actual run — plus the hypervisor's audit
+//! log — against the analyzer's predictions. Shipped drivers must lint
+//! clean or carry an explicit, reasoned [`lint::AllowEntry`]; seeded buggy
+//! fixtures ([`lint::fixtures`]) prove every pass actually fires.
 
 pub mod diff;
 pub mod extract;
 pub mod ir;
 pub mod jit;
+pub mod lint;
 pub mod props_support;
 
 pub use diff::{diff_handlers, CommandDelta, HandlerDiff};
 pub use extract::{analyze_handler, extract_command, Extraction, ExtractionError, HandlerReport};
 pub use ir::{Expr, Function, Handler, OpKind, Stmt, VarId};
 pub use jit::{evaluate_slice, JitError, ResolvedOp, UserReader};
+pub use lint::{apply_allowlist, has_errors, lint_handler, AllowEntry, DiagCode, Diagnostic, Severity};

@@ -1,0 +1,339 @@
+//! Runtime conformance replay — `CF001`–`CF004`.
+//!
+//! The static passes reason about what a handler *could* do; this pass
+//! replays what a run *actually did* against the analyzer's predictions.
+//! Inputs come from two places:
+//!
+//! 1. **Observed ioctls**: for each call, the grant set the frontend
+//!    declared and the operation set the driver executed (captured by a
+//!    recording `MemOps`).
+//! 2. **The hypervisor audit log** (exported text, see
+//!    `paradice_hypervisor::audit`): anything the hypervisor blocked at
+//!    runtime.
+//!
+//! * **CF001** (error): an executed operation not covered by the declared
+//!   grants — under Paradice this is exactly the isolation violation the
+//!   grant table exists to stop.
+//! * **CF002** (warning): the grants are much wider than what executed
+//!   (≥4× the bytes and more than 256 bytes of slack), or a grant is not
+//!   justified by the static prediction — runtime over-grant.
+//! * **CF003** (error): a command was observed that the handler IR does not
+//!   dispatch on — the IR and the binary disagree.
+//! * **CF004** (error): the audit log records a blocked operation; the
+//!   frontend's predictions and the driver's behaviour diverged in
+//!   production.
+
+use crate::extract::{extract_command, Extraction};
+use crate::ir::Handler;
+use crate::jit::ResolvedOp;
+use crate::lint::{DiagCode, Diagnostic};
+
+/// Grant slack (in bytes) below which CF002 stays quiet.
+const SLACK_FLOOR: u64 = 256;
+/// Grant/executed byte ratio at which CF002 fires.
+const SLACK_RATIO: u64 = 4;
+
+/// One ioctl call as observed at runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObservedIoctl {
+    /// The command number.
+    pub cmd: u32,
+    /// The concrete pointer argument.
+    pub arg: u64,
+    /// The operations the frontend granted for this call.
+    pub granted: Vec<ResolvedOp>,
+    /// The operations the driver actually performed.
+    pub executed: Vec<ResolvedOp>,
+}
+
+/// One parsed line of a hypervisor audit export.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditEntry {
+    /// Virtual-time timestamp.
+    pub at_ns: u64,
+    /// Stable event kind (e.g. `ungranted_mem_op`).
+    pub kind: String,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// Parses the tab-separated `at_ns\tkind\tdetail` audit export format
+/// produced by `paradice_hypervisor::audit::AuditLog::export_text`.
+/// Malformed lines are skipped.
+pub fn parse_audit_text(text: &str) -> Vec<AuditEntry> {
+    text.lines()
+        .filter_map(|line| {
+            let mut parts = line.splitn(3, '\t');
+            let at_ns = parts.next()?.trim().parse().ok()?;
+            let kind = parts.next()?.trim();
+            if kind.is_empty() {
+                return None;
+            }
+            Some(AuditEntry {
+                at_ns,
+                kind: kind.to_owned(),
+                detail: parts.next().unwrap_or("").trim().to_owned(),
+            })
+        })
+        .collect()
+}
+
+fn covered(op: &ResolvedOp, grants: &[ResolvedOp]) -> bool {
+    grants.iter().any(|g| {
+        g.kind == op.kind && g.addr <= op.addr && op.addr + op.len <= g.addr + g.len
+    })
+}
+
+fn total_bytes(ops: &[ResolvedOp]) -> u64 {
+    ops.iter().map(|op| op.len).sum()
+}
+
+/// Replays observed ioctls against the handler's static predictions.
+pub fn check_replay(
+    driver: &str,
+    handler: &Handler,
+    observed: &[ObservedIoctl],
+    diags: &mut Vec<Diagnostic>,
+) {
+    let known = handler.commands();
+    for obs in observed {
+        if !known.contains(&obs.cmd) {
+            diags.push(Diagnostic::new(
+                DiagCode::Cf003,
+                driver,
+                Some(obs.cmd),
+                format!(
+                    "runtime observed command {:#010x} which the handler IR does not \
+                     dispatch on; the IR and the running driver disagree",
+                    obs.cmd,
+                ),
+            ));
+            continue;
+        }
+        for op in &obs.executed {
+            if !covered(op, &obs.granted) {
+                diags.push(Diagnostic::new(
+                    DiagCode::Cf001,
+                    driver,
+                    Some(obs.cmd),
+                    format!(
+                        "driver executed {:?} of {} bytes at {:#x} outside every \
+                         declared grant; under Paradice the hypervisor blocks this",
+                        op.kind, op.len, op.addr,
+                    ),
+                ));
+            }
+        }
+        // Cross-check grants against the static prediction where one exists.
+        if let Ok(Extraction::Static(templates)) = extract_command(handler, obs.cmd) {
+            let predicted: Vec<ResolvedOp> = templates
+                .iter()
+                .map(|t| ResolvedOp {
+                    kind: t.kind,
+                    addr: t.addr.resolve(obs.arg),
+                    len: t.len,
+                })
+                .collect();
+            for grant in &obs.granted {
+                if !covered(grant, &predicted) {
+                    diags.push(Diagnostic::new(
+                        DiagCode::Cf002,
+                        driver,
+                        Some(obs.cmd),
+                        format!(
+                            "frontend granted {:?} of {} bytes at {:#x} that the static \
+                             prediction does not justify",
+                            grant.kind, grant.len, grant.addr,
+                        ),
+                    ));
+                }
+            }
+        }
+        let granted_bytes = total_bytes(&obs.granted);
+        let executed_bytes = total_bytes(&obs.executed);
+        if granted_bytes > executed_bytes.saturating_mul(SLACK_RATIO)
+            && granted_bytes - executed_bytes > SLACK_FLOOR
+        {
+            diags.push(Diagnostic::new(
+                DiagCode::Cf002,
+                driver,
+                Some(obs.cmd),
+                format!(
+                    "grants cover {granted_bytes} bytes but the driver touched only \
+                     {executed_bytes}; the envelope is far wider than the call needed",
+                ),
+            ));
+        }
+    }
+}
+
+/// Flags hypervisor-blocked operations from an audit export (`CF004`).
+pub fn check_audit(driver: &str, entries: &[AuditEntry], diags: &mut Vec<Diagnostic>) {
+    for entry in entries {
+        diags.push(Diagnostic::new(
+            DiagCode::Cf004,
+            driver,
+            None,
+            format!(
+                "hypervisor audit log records a blocked operation at t={}ns \
+                 ({}): {}",
+                entry.at_ns, entry.kind, entry.detail,
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Expr, OpKind, Stmt, VarId};
+
+    fn handler() -> Handler {
+        Handler::single(vec![Stmt::SwitchCmd {
+            arms: vec![(
+                7,
+                vec![
+                    Stmt::CopyFromUser {
+                        dst: VarId(0),
+                        src: Expr::Arg,
+                        len: Expr::Const(16),
+                    },
+                    Stmt::CopyToUser {
+                        dst: Expr::Arg,
+                        len: Expr::Const(16),
+                    },
+                ],
+            )],
+            default: vec![Stmt::Return],
+        }])
+    }
+
+    fn op(kind: OpKind, addr: u64, len: u64) -> ResolvedOp {
+        ResolvedOp { kind, addr, len }
+    }
+
+    fn run(observed: &[ObservedIoctl]) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        check_replay("test", &handler(), observed, &mut diags);
+        diags
+    }
+
+    #[test]
+    fn conforming_call_is_clean() {
+        let grants = vec![
+            op(OpKind::CopyFromUser, 0x1000, 16),
+            op(OpKind::CopyToUser, 0x1000, 16),
+        ];
+        let obs = ObservedIoctl {
+            cmd: 7,
+            arg: 0x1000,
+            granted: grants.clone(),
+            executed: grants,
+        };
+        assert!(run(&[obs]).is_empty());
+    }
+
+    #[test]
+    fn ungranted_execution_is_cf001() {
+        let obs = ObservedIoctl {
+            cmd: 7,
+            arg: 0x1000,
+            granted: vec![
+                op(OpKind::CopyFromUser, 0x1000, 16),
+                op(OpKind::CopyToUser, 0x1000, 16),
+            ],
+            executed: vec![op(OpKind::CopyFromUser, 0x9000, 64)],
+        };
+        let diags = run(&[obs]);
+        assert!(diags.iter().any(|d| d.code == DiagCode::Cf001));
+    }
+
+    #[test]
+    fn direction_mismatch_is_cf001() {
+        // Write where only a read was granted.
+        let obs = ObservedIoctl {
+            cmd: 7,
+            arg: 0x1000,
+            granted: vec![
+                op(OpKind::CopyFromUser, 0x1000, 16),
+                op(OpKind::CopyToUser, 0x1000, 16),
+            ],
+            executed: vec![op(OpKind::CopyToUser, 0x1000, 16)],
+        };
+        assert!(run(&[obs]).is_empty());
+        let bad = ObservedIoctl {
+            cmd: 7,
+            arg: 0x1000,
+            granted: vec![op(OpKind::CopyFromUser, 0x1000, 16)],
+            executed: vec![op(OpKind::CopyToUser, 0x1000, 16)],
+        };
+        // Note: grant set itself now disagrees with prediction? It's a
+        // subset, which is fine; only the executed write is flagged.
+        let diags = run(&[bad]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::Cf001);
+    }
+
+    #[test]
+    fn unknown_command_is_cf003() {
+        let obs = ObservedIoctl {
+            cmd: 0xdead,
+            arg: 0,
+            granted: vec![],
+            executed: vec![],
+        };
+        let diags = run(&[obs]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::Cf003);
+    }
+
+    #[test]
+    fn unjustified_grant_is_cf002() {
+        let obs = ObservedIoctl {
+            cmd: 7,
+            arg: 0x1000,
+            granted: vec![
+                op(OpKind::CopyFromUser, 0x1000, 16),
+                op(OpKind::CopyToUser, 0x1000, 16),
+                op(OpKind::CopyFromUser, 0x4000, 8),
+            ],
+            executed: vec![
+                op(OpKind::CopyFromUser, 0x1000, 16),
+                op(OpKind::CopyToUser, 0x1000, 16),
+            ],
+        };
+        let diags = run(&[obs]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::Cf002);
+    }
+
+    #[test]
+    fn wide_slack_is_cf002() {
+        let obs = ObservedIoctl {
+            cmd: 7,
+            arg: 0x1000,
+            granted: vec![
+                // Covering grants, but enormously wide.
+                op(OpKind::CopyFromUser, 0x0, 0x10000),
+                op(OpKind::CopyToUser, 0x0, 0x10000),
+            ],
+            executed: vec![op(OpKind::CopyFromUser, 0x1000, 16)],
+        };
+        let diags = run(&[obs]);
+        assert!(diags.iter().any(|d| d.code == DiagCode::Cf002));
+    }
+
+    #[test]
+    fn audit_entries_become_cf004() {
+        let text = "120\tungranted_mem_op\tcaller=frontend write 64B at 0x9000\n\
+                    bogus line without tabs\n\
+                    340\tprotected_region_access\tgpa=0x7000";
+        let entries = parse_audit_text(text);
+        assert_eq!(entries.len(), 2);
+        let mut diags = Vec::new();
+        check_audit("test", &entries, &mut diags);
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().all(|d| d.code == DiagCode::Cf004));
+        assert!(diags[0].message.contains("ungranted_mem_op"));
+    }
+}

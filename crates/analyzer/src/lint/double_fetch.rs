@@ -1,0 +1,352 @@
+//! Double-fetch (TOCTOU) detection — `DF001`/`DF002`.
+//!
+//! A handler that copies the same user region twice gives the process a
+//! race window: flip the bytes between the fetches and the values that were
+//! *validated* (or that sized a grant) differ from the values that are
+//! *used*. The JIT evaluator pins repeated reads to a per-evaluation
+//! snapshot (see [`crate::jit`]), but a handler that re-fetches at all is
+//! still a bug worth surfacing at analysis time — the native (non-Paradice)
+//! driver has no snapshot protecting it.
+//!
+//! * **DF001** (error): a fetch overlaps an earlier fetch whose buffer has
+//!   already been *consumed* (a field of it fed an address, length, branch
+//!   or assignment). This is the exploitable shape: decisions were made on
+//!   bytes that are now being read again.
+//! * **DF002** (warning): overlapping re-fetch with no consumption in
+//!   between — wasteful and fragile, but no decision has been split across
+//!   the two copies yet.
+//!
+//! The pass is deliberately conservative: only fetches whose address and
+//! length are statically concrete (constant or `arg + k`) participate.
+//! Nested-copy fetches at user-data-derived addresses are the JIT's
+//! business and never reported here.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ir::{Stmt, VarId};
+use crate::lint::envelope::{cond_field_bases, eval_expr, field_bases, merge_env, SymScalar};
+use crate::lint::{DiagCode, Diagnostic};
+
+/// Address-space class of a concrete fetch interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Base {
+    /// Absolute user address.
+    Abs,
+    /// Relative to the ioctl argument.
+    Arg,
+}
+
+/// A concrete fetched interval.
+#[derive(Debug, Clone, Copy)]
+struct Fetch {
+    base: Base,
+    start: u64,
+    len: u64,
+    /// The buffer variable the bytes landed in.
+    var: VarId,
+}
+
+impl Fetch {
+    fn overlaps(&self, other: &Fetch) -> bool {
+        self.base == other.base
+            && self.len > 0
+            && other.len > 0
+            && self.start < other.start + other.len
+            && other.start < self.start + self.len
+    }
+
+    fn describe(&self) -> String {
+        match self.base {
+            Base::Abs => format!("[{:#x}, {:#x})", self.start, self.start + self.len),
+            Base::Arg => format!("[arg+{}, arg+{})", self.start, self.start + self.len),
+        }
+    }
+}
+
+#[derive(Clone, Default)]
+struct DfState {
+    env: BTreeMap<VarId, SymScalar>,
+    buffers: BTreeSet<VarId>,
+    fetches: Vec<Fetch>,
+    consumed: BTreeSet<VarId>,
+}
+
+struct DfCtx<'a> {
+    driver: &'a str,
+    cmd: u32,
+    diags: Vec<Diagnostic>,
+}
+
+fn consume(state: &mut DfState, bases: BTreeSet<VarId>) {
+    state.consumed.extend(bases);
+}
+
+fn walk(stmts: &[Stmt], state: &mut DfState, ctx: &mut DfCtx<'_>) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Assign { var, value } => {
+                let mut bases = BTreeSet::new();
+                field_bases(value, &mut bases);
+                consume(state, bases);
+                let value = eval_expr(&state.env, &state.buffers, value);
+                state.env.insert(*var, value);
+            }
+            Stmt::CopyFromUser { dst, src, len } => {
+                let mut bases = BTreeSet::new();
+                field_bases(src, &mut bases);
+                field_bases(len, &mut bases);
+                consume(state, bases);
+                let addr = eval_expr(&state.env, &state.buffers, src);
+                let length = eval_expr(&state.env, &state.buffers, len);
+                if let (Some((base, start)), SymScalar::Const(n)) = (
+                    match addr {
+                        SymScalar::Const(a) => Some((Base::Abs, a)),
+                        SymScalar::ArgPlus(k) => Some((Base::Arg, k)),
+                        _ => None,
+                    },
+                    length,
+                ) {
+                    let fetch = Fetch {
+                        base,
+                        start,
+                        len: n,
+                        var: *dst,
+                    };
+                    let mut worst: Option<(bool, Fetch)> = None;
+                    for prior in &state.fetches {
+                        if prior.overlaps(&fetch) {
+                            let consumed = state.consumed.contains(&prior.var);
+                            if worst.map_or(true, |(was_consumed, _)| consumed && !was_consumed)
+                            {
+                                worst = Some((consumed, *prior));
+                            }
+                        }
+                    }
+                    if let Some((consumed, prior)) = worst {
+                        let (code, verb) = if consumed {
+                            (DiagCode::Df001, "already-consumed")
+                        } else {
+                            (DiagCode::Df002, "previously-fetched")
+                        };
+                        ctx.diags.push(Diagnostic::new(
+                            code,
+                            ctx.driver,
+                            Some(ctx.cmd),
+                            format!(
+                                "re-fetches {} user region {} (first copied into {}); a \
+                                 concurrent thread can change the bytes between the fetches",
+                                verb,
+                                prior.describe(),
+                                prior.var,
+                            ),
+                        ));
+                    }
+                    state.fetches.push(fetch);
+                }
+                state.buffers.insert(*dst);
+                state.env.remove(dst);
+            }
+            Stmt::CopyToUser { dst, len } => {
+                let mut bases = BTreeSet::new();
+                field_bases(dst, &mut bases);
+                field_bases(len, &mut bases);
+                consume(state, bases);
+            }
+            Stmt::If { cond, then, els } => {
+                let mut bases = BTreeSet::new();
+                cond_field_bases(cond, &mut bases);
+                consume(state, bases);
+                let shared = state.fetches.len();
+                let mut then_state = state.clone();
+                walk(then, &mut then_state, ctx);
+                walk(els, state, ctx);
+                // Conflicts across exclusive branches are impossible, so they
+                // were checked per-branch; afterwards, both branches' fetches
+                // and consumption conservatively persist.
+                state.env = merge_env(then_state.env, &state.env);
+                state.buffers.extend(then_state.buffers);
+                state.consumed.extend(then_state.consumed);
+                state
+                    .fetches
+                    .extend(then_state.fetches.iter().skip(shared).copied());
+            }
+            Stmt::ForRange { var, count, body } => {
+                let mut bases = BTreeSet::new();
+                field_bases(count, &mut bases);
+                consume(state, bases);
+                // Two passes: the second sees the first's fetches, so a
+                // loop-invariant concrete fetch conflicts with itself — the
+                // "fetch the same header every iteration" bug. Loop-variant
+                // addresses are opaque and never participate.
+                state.env.insert(*var, SymScalar::Opaque);
+                walk(body, state, ctx);
+                walk(body, state, ctx);
+            }
+            Stmt::Return => return,
+            Stmt::SwitchCmd { .. } | Stmt::Call(_) => {}
+        }
+    }
+}
+
+/// Runs the double-fetch pass over one command's specialized slice.
+pub fn check(driver: &str, cmd: u32, slice: &[Stmt], diags: &mut Vec<Diagnostic>) {
+    let mut ctx = DfCtx {
+        driver,
+        cmd,
+        diags: Vec::new(),
+    };
+    let mut state = DfState::default();
+    walk(slice, &mut state, &mut ctx);
+    // The two-pass loop walk can report one site twice; keep each distinct
+    // finding once.
+    ctx.diags.dedup_by(|a, b| a.code == b.code && a.message == b.message);
+    diags.extend(ctx.diags);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Expr;
+    use crate::lint::Severity;
+
+    fn v(n: u32) -> VarId {
+        VarId(n)
+    }
+
+    fn fetch(dst: u32, len: u64) -> Stmt {
+        Stmt::CopyFromUser {
+            dst: v(dst),
+            src: Expr::Arg,
+            len: Expr::Const(len),
+        }
+    }
+
+    fn run(slice: &[Stmt]) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        check("test", 0x1234, slice, &mut diags);
+        diags
+    }
+
+    #[test]
+    fn consumed_refetch_is_df001() {
+        let slice = vec![
+            fetch(0, 16),
+            Stmt::Assign {
+                var: v(5),
+                value: Expr::field(v(0), 0, 4),
+            },
+            fetch(1, 16),
+        ];
+        let diags = run(&slice);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::Df001);
+        assert_eq!(diags[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn unconsumed_refetch_is_df002() {
+        let diags = run(&[fetch(0, 8), fetch(1, 8)]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::Df002);
+        assert_eq!(diags[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn partial_overlap_detected() {
+        let slice = vec![
+            fetch(0, 16),
+            Stmt::CopyToUser {
+                dst: Expr::field(v(0), 0, 8),
+                len: Expr::Const(4),
+            },
+            Stmt::CopyFromUser {
+                dst: v(1),
+                src: Expr::add(Expr::Arg, Expr::Const(12)),
+                len: Expr::Const(8),
+            },
+        ];
+        let diags = run(&slice);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::Df001);
+    }
+
+    #[test]
+    fn disjoint_fetches_are_clean() {
+        let slice = vec![
+            fetch(0, 8),
+            Stmt::CopyFromUser {
+                dst: v(1),
+                src: Expr::add(Expr::Arg, Expr::Const(8)),
+                len: Expr::Const(8),
+            },
+        ];
+        assert!(run(&slice).is_empty());
+    }
+
+    #[test]
+    fn nested_copy_fetches_are_not_reported() {
+        // The Radeon PWRITE shape: second fetch at a user-data address.
+        let slice = vec![
+            fetch(0, 32),
+            Stmt::CopyFromUser {
+                dst: v(1),
+                src: Expr::field(v(0), 24, 8),
+                len: Expr::field(v(0), 16, 8),
+            },
+        ];
+        assert!(run(&slice).is_empty());
+    }
+
+    #[test]
+    fn exclusive_branches_do_not_conflict() {
+        let both_branches_fetch = vec![Stmt::If {
+            cond: Cond::Eq(Expr::Arg, Expr::Const(0)),
+            then: vec![fetch(0, 16)],
+            els: vec![fetch(1, 16)],
+        }];
+        assert!(run(&both_branches_fetch).is_empty());
+    }
+
+    use crate::ir::Cond;
+
+    #[test]
+    fn branch_fetch_conflicts_with_later_fetch() {
+        let slice = vec![
+            Stmt::If {
+                cond: Cond::Eq(Expr::Arg, Expr::Const(0)),
+                then: vec![fetch(0, 16)],
+                els: vec![],
+            },
+            fetch(1, 16),
+        ];
+        let diags = run(&slice);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::Df002);
+    }
+
+    #[test]
+    fn loop_invariant_fetch_conflicts_with_itself() {
+        let slice = vec![Stmt::ForRange {
+            var: v(9),
+            count: Expr::Const(4),
+            body: vec![fetch(0, 8)],
+        }];
+        let diags = run(&slice);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::Df002);
+    }
+
+    #[test]
+    fn loop_variant_fetch_is_clean() {
+        let slice = vec![Stmt::ForRange {
+            var: v(9),
+            count: Expr::Const(4),
+            body: vec![Stmt::CopyFromUser {
+                dst: v(0),
+                src: Expr::add(Expr::Arg, Expr::mul(Expr::Var(v(9)), Expr::Const(16))),
+                len: Expr::Const(16),
+            }],
+        }];
+        assert!(run(&slice).is_empty());
+    }
+}

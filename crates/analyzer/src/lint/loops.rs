@@ -1,0 +1,173 @@
+//! Structural loop hazards — `SH001`/`SH002`.
+//!
+//! * **SH001** (warning): a constant trip count above
+//!   [`MAX_UNROLL`](crate::extract::MAX_UNROLL). The extractor refuses to
+//!   unroll it, so a command that could have had a static grant-table entry
+//!   silently pays the JIT path on every call.
+//! * **SH002** (warning): an *opaque* trip count — not constant, not the
+//!   argument, not derived from user-copied data. The JIT can still bound
+//!   it at runtime (the iteration valve), but the analyzer can say nothing
+//!   about the command's operations, which usually means the IR lost
+//!   information the real driver had.
+//!
+//! User-data-derived counts (`hdr.count`-style) are the normal nested-copy
+//! shape and are not reported.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::extract::MAX_UNROLL;
+use crate::ir::{Stmt, VarId};
+use crate::lint::envelope::{eval_expr, SymScalar};
+use crate::lint::{DiagCode, Diagnostic};
+
+struct LoopCtx<'a> {
+    driver: &'a str,
+    cmd: u32,
+}
+
+fn walk(
+    stmts: &[Stmt],
+    env: &mut BTreeMap<VarId, SymScalar>,
+    buffers: &mut BTreeSet<VarId>,
+    ctx: &LoopCtx<'_>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Assign { var, value } => {
+                let value = eval_expr(env, buffers, value);
+                env.insert(*var, value);
+            }
+            Stmt::CopyFromUser { dst, .. } => {
+                buffers.insert(*dst);
+                env.remove(dst);
+            }
+            Stmt::If { then, els, .. } => {
+                walk(then, env, buffers, ctx, diags);
+                walk(els, env, buffers, ctx, diags);
+            }
+            Stmt::ForRange { var, count, body } => {
+                match eval_expr(env, buffers, count) {
+                    SymScalar::Const(n) if n > MAX_UNROLL => diags.push(Diagnostic::new(
+                        DiagCode::Sh001,
+                        ctx.driver,
+                        Some(ctx.cmd),
+                        format!(
+                            "loop with constant trip count {n} exceeds the static \
+                             unroll limit ({MAX_UNROLL}); the command forfeits its \
+                             static grant-table entry and JITs on every call",
+                        ),
+                    )),
+                    SymScalar::Opaque => diags.push(Diagnostic::new(
+                        DiagCode::Sh002,
+                        ctx.driver,
+                        Some(ctx.cmd),
+                        "loop trip count is opaque to the analyzer (not constant, not \
+                         argument-derived, not user-copied data); its operations cannot \
+                         be predicted"
+                            .to_owned(),
+                    )),
+                    _ => {}
+                }
+                env.insert(*var, SymScalar::Opaque);
+                walk(body, env, buffers, ctx, diags);
+            }
+            Stmt::Return => return,
+            Stmt::CopyToUser { .. } | Stmt::SwitchCmd { .. } | Stmt::Call(_) => {}
+        }
+    }
+}
+
+/// Runs the loop-hazard pass over one command's specialized slice.
+pub fn check(driver: &str, cmd: u32, slice: &[Stmt], diags: &mut Vec<Diagnostic>) {
+    let ctx = LoopCtx { driver, cmd };
+    walk(
+        slice,
+        &mut BTreeMap::new(),
+        &mut BTreeSet::new(),
+        &ctx,
+        diags,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Expr;
+
+    fn v(n: u32) -> VarId {
+        VarId(n)
+    }
+
+    fn run(slice: &[Stmt]) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        check("test", 0, slice, &mut diags);
+        diags
+    }
+
+    #[test]
+    fn oversized_constant_loop_is_sh001() {
+        let slice = vec![Stmt::ForRange {
+            var: v(0),
+            count: Expr::Const(MAX_UNROLL + 1),
+            body: vec![],
+        }];
+        let diags = run(&slice);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::Sh001);
+    }
+
+    #[test]
+    fn small_constant_loop_is_clean() {
+        let slice = vec![Stmt::ForRange {
+            var: v(0),
+            count: Expr::Const(MAX_UNROLL),
+            body: vec![],
+        }];
+        assert!(run(&slice).is_empty());
+    }
+
+    #[test]
+    fn opaque_count_is_sh002() {
+        let slice = vec![Stmt::ForRange {
+            var: v(0),
+            count: Expr::Var(v(99)),
+            body: vec![],
+        }];
+        let diags = run(&slice);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::Sh002);
+    }
+
+    #[test]
+    fn user_data_count_is_clean() {
+        let slice = vec![
+            Stmt::CopyFromUser {
+                dst: v(0),
+                src: Expr::Arg,
+                len: Expr::Const(16),
+            },
+            Stmt::ForRange {
+                var: v(1),
+                count: Expr::field(v(0), 8, 4),
+                body: vec![],
+            },
+        ];
+        assert!(run(&slice).is_empty());
+    }
+
+    #[test]
+    fn nested_loops_both_checked() {
+        let slice = vec![Stmt::ForRange {
+            var: v(0),
+            count: Expr::Const(MAX_UNROLL + 5),
+            body: vec![Stmt::ForRange {
+                var: v(1),
+                count: Expr::Var(v(98)),
+                body: vec![],
+            }],
+        }];
+        let diags = run(&slice);
+        assert_eq!(diags.len(), 2);
+    }
+}

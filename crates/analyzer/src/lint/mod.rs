@@ -1,0 +1,396 @@
+//! Static lint suite over driver-handler IR (`paradice-lint`).
+//!
+//! The extractor answers "*what* memory operations will this command
+//! perform?"; the lint suite answers "*should it*?". Each pass walks the
+//! same specialized slices the extractor produces and reports
+//! [`Diagnostic`]s with stable codes:
+//!
+//! | Code | Severity | Pass | Meaning |
+//! |---|---|---|---|
+//! | `DF001` | error | [`double_fetch`] | re-fetch of an already-consumed user region (TOCTOU) |
+//! | `DF002` | warning | [`double_fetch`] | overlapping re-fetch, nothing consumed between |
+//! | `OG001` | error | [`over_grant`] | declared envelope provably wider than handler operations |
+//! | `OG002` | error | [`over_grant`] | declared copy direction never performed |
+//! | `OG003` | warning | [`over_grant`] | concrete access outside the declared envelope |
+//! | `SH001` | warning | [`loops`] | constant trip count above the unroll limit |
+//! | `SH002` | warning | [`loops`] | opaque trip count |
+//! | `SH003` | error | orchestrator | recursion reaches the call-depth limit |
+//! | `SH004` | warning | [`dispatch`] | dead/duplicate `switch (cmd)` arm |
+//! | `SH005` | warning | [`dispatch`] | nested-copy chain deeper than the limit |
+//! | `SH006` | error | orchestrator | call to an unknown helper function |
+//! | `CF001` | error | [`conformance`] | executed operation outside every grant |
+//! | `CF002` | warning | [`conformance`] | runtime grants far wider than needed / unjustified |
+//! | `CF003` | error | [`conformance`] | runtime command unknown to the handler IR |
+//! | `CF004` | error | [`conformance`] | hypervisor audit log records a blocked operation |
+//!
+//! Shipped drivers whose ABI genuinely deviates (e.g. a Linux `_IOWR`
+//! command whose scaled driver only uses one direction) carry
+//! [`AllowEntry`]s: the finding still appears, downgraded to
+//! [`Severity::Info`] with the recorded justification — allowlisting is
+//! documentation, not suppression.
+
+pub mod conformance;
+pub mod dispatch;
+pub mod double_fetch;
+pub mod envelope;
+pub mod fixtures;
+pub mod loops;
+pub mod over_grant;
+
+use std::fmt;
+
+use crate::extract::{specialize_command, ExtractionError};
+use crate::ir::Handler;
+
+/// How bad a finding is. `Error`-class findings fail `paradice-lint`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational (allowlisted findings land here).
+    Info,
+    /// Suspicious but not exploitable on its own.
+    Warning,
+    /// An isolation or correctness bug.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase name, as rendered in text and JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// Stable diagnostic codes. See the module docs for the full table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)] // the code table lives in the module docs
+pub enum DiagCode {
+    Df001,
+    Df002,
+    Og001,
+    Og002,
+    Og003,
+    Sh001,
+    Sh002,
+    Sh003,
+    Sh004,
+    Sh005,
+    Sh006,
+    Cf001,
+    Cf002,
+    Cf003,
+    Cf004,
+}
+
+impl DiagCode {
+    /// The canonical code string (`"DF001"`, …).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DiagCode::Df001 => "DF001",
+            DiagCode::Df002 => "DF002",
+            DiagCode::Og001 => "OG001",
+            DiagCode::Og002 => "OG002",
+            DiagCode::Og003 => "OG003",
+            DiagCode::Sh001 => "SH001",
+            DiagCode::Sh002 => "SH002",
+            DiagCode::Sh003 => "SH003",
+            DiagCode::Sh004 => "SH004",
+            DiagCode::Sh005 => "SH005",
+            DiagCode::Sh006 => "SH006",
+            DiagCode::Cf001 => "CF001",
+            DiagCode::Cf002 => "CF002",
+            DiagCode::Cf003 => "CF003",
+            DiagCode::Cf004 => "CF004",
+        }
+    }
+
+    /// The code's intrinsic severity (before allowlisting).
+    pub fn severity(self) -> Severity {
+        match self {
+            DiagCode::Df001
+            | DiagCode::Og001
+            | DiagCode::Og002
+            | DiagCode::Sh003
+            | DiagCode::Sh006
+            | DiagCode::Cf001
+            | DiagCode::Cf003
+            | DiagCode::Cf004 => Severity::Error,
+            DiagCode::Df002
+            | DiagCode::Og003
+            | DiagCode::Sh001
+            | DiagCode::Sh002
+            | DiagCode::Sh004
+            | DiagCode::Sh005
+            | DiagCode::Cf002 => Severity::Warning,
+        }
+    }
+}
+
+impl fmt::Display for DiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code.
+    pub code: DiagCode,
+    /// Effective severity (downgraded to `Info` when allowlisted).
+    pub severity: Severity,
+    /// The driver the handler belongs to.
+    pub driver: String,
+    /// The ioctl command, when the finding is command-scoped.
+    pub command: Option<u32>,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Whether an [`AllowEntry`] matched this finding.
+    pub allowlisted: bool,
+}
+
+impl Diagnostic {
+    /// Creates a finding with the code's intrinsic severity.
+    pub fn new(
+        code: DiagCode,
+        driver: &str,
+        command: Option<u32>,
+        message: String,
+    ) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            driver: driver.to_owned(),
+            command,
+            message,
+            allowlisted: false,
+        }
+    }
+
+    /// One-line human-readable rendering.
+    pub fn render(&self) -> String {
+        let cmd = match self.command {
+            Some(cmd) => format!(" cmd={cmd:#010x}"),
+            None => String::new(),
+        };
+        format!(
+            "{}[{}] driver={}{}: {}",
+            self.severity.as_str(),
+            self.code,
+            self.driver,
+            cmd,
+            self.message,
+        )
+    }
+
+    /// JSON object rendering (hand-rolled; the workspace has no serde).
+    pub fn to_json(&self) -> String {
+        let cmd = match self.command {
+            Some(cmd) => format!("\"{cmd:#010x}\""),
+            None => "null".to_owned(),
+        };
+        format!(
+            "{{\"code\":\"{}\",\"severity\":\"{}\",\"driver\":\"{}\",\"command\":{},\
+             \"allowlisted\":{},\"message\":\"{}\"}}",
+            self.code,
+            self.severity.as_str(),
+            json_escape(&self.driver),
+            cmd,
+            self.allowlisted,
+            json_escape(&self.message),
+        )
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A recorded justification for a known deviation in a shipped driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Driver name the entry applies to.
+    pub driver: String,
+    /// The code being allowlisted.
+    pub code: DiagCode,
+    /// Restrict to one command; `None` matches any.
+    pub command: Option<u32>,
+    /// Why the deviation is acceptable.
+    pub reason: String,
+}
+
+impl AllowEntry {
+    /// Convenience constructor.
+    pub fn new(driver: &str, code: DiagCode, command: Option<u32>, reason: &str) -> AllowEntry {
+        AllowEntry {
+            driver: driver.to_owned(),
+            code,
+            command,
+            reason: reason.to_owned(),
+        }
+    }
+
+    fn matches(&self, diag: &Diagnostic) -> bool {
+        self.driver == diag.driver
+            && self.code == diag.code
+            && (self.command.is_none() || self.command == diag.command)
+    }
+}
+
+/// Downgrades allowlisted findings to [`Severity::Info`], appending the
+/// recorded justification. The finding is kept — allowlisting documents a
+/// deviation, it does not hide it.
+pub fn apply_allowlist(diags: &mut [Diagnostic], allowlist: &[AllowEntry]) {
+    for diag in diags.iter_mut() {
+        if let Some(entry) = allowlist.iter().find(|entry| entry.matches(diag)) {
+            diag.severity = Severity::Info;
+            diag.allowlisted = true;
+            diag.message.push_str(" [allowlisted: ");
+            diag.message.push_str(&entry.reason);
+            diag.message.push(']');
+        }
+    }
+}
+
+/// Whether any finding is still `Error`-class (after allowlisting).
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}
+
+/// Runs every static pass over one handler and returns the findings,
+/// ordered by command.
+pub fn lint_handler(driver: &str, handler: &Handler) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    dispatch::check_handler(driver, handler, &mut diags);
+    for cmd in handler.commands() {
+        match specialize_command(handler, cmd) {
+            Ok(slice) => {
+                double_fetch::check(driver, cmd, &slice, &mut diags);
+                over_grant::check(driver, cmd, &slice, &mut diags);
+                loops::check(driver, cmd, &slice, &mut diags);
+                dispatch::check_chain_depth(driver, cmd, &slice, &mut diags);
+            }
+            Err(ExtractionError::CallDepthExceeded) => diags.push(Diagnostic::new(
+                DiagCode::Sh003,
+                driver,
+                Some(cmd),
+                "call inlining hit the depth limit; the handler recurses and its \
+                 operations cannot be extracted"
+                    .to_owned(),
+            )),
+            Err(ExtractionError::UnknownFunction { name }) => diags.push(Diagnostic::new(
+                DiagCode::Sh006,
+                driver,
+                Some(cmd),
+                format!("handler calls unknown function {name:?}; the IR is incomplete"),
+            )),
+        }
+    }
+    diags
+}
+
+/// Renders a finding list as a JSON array.
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let items: Vec<String> = diags.iter().map(Diagnostic::to_json).collect();
+    format!("[{}]", items.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Expr, Stmt, VarId};
+
+    fn clean_handler() -> Handler {
+        Handler::single(vec![Stmt::SwitchCmd {
+            arms: vec![(
+                paradice_devfs::ioc::iowr(b'T', 1, 16).raw(),
+                vec![
+                    Stmt::CopyFromUser {
+                        dst: VarId(0),
+                        src: Expr::Arg,
+                        len: Expr::Const(16),
+                    },
+                    Stmt::CopyToUser {
+                        dst: Expr::Arg,
+                        len: Expr::Const(16),
+                    },
+                ],
+            )],
+            default: vec![Stmt::Return],
+        }])
+    }
+
+    #[test]
+    fn clean_handler_has_no_findings() {
+        assert!(lint_handler("clean", &clean_handler()).is_empty());
+    }
+
+    #[test]
+    fn allowlist_downgrades_but_keeps() {
+        let mut diags = lint_handler(fixtures::FIXTURE_DRIVER, &fixtures::buggy_handler());
+        let errors_before = diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count();
+        assert!(errors_before > 0);
+        let allow = vec![AllowEntry::new(
+            fixtures::FIXTURE_DRIVER,
+            DiagCode::Og001,
+            Some(fixtures::FIX_OVER_GRANT.raw()),
+            "scaled fixture keeps the wide envelope on purpose",
+        )];
+        apply_allowlist(&mut diags, &allow);
+        let downgraded: Vec<&Diagnostic> =
+            diags.iter().filter(|d| d.allowlisted).collect();
+        assert_eq!(downgraded.len(), 2); // both directions of OG001
+        assert!(downgraded.iter().all(|d| d.severity == Severity::Info));
+        assert!(downgraded.iter().all(|d| d.message.contains("allowlisted")));
+        assert!(has_errors(&diags)); // other seeded errors remain
+    }
+
+    #[test]
+    fn json_rendering_is_wellformed_enough() {
+        let diag = Diagnostic::new(
+            DiagCode::Df001,
+            "radeon \"test\"",
+            Some(0xc0106466),
+            "line1\nline2".to_owned(),
+        );
+        let json = diag.to_json();
+        assert!(json.contains("\"code\":\"DF001\""));
+        assert!(json.contains("\\\"test\\\""));
+        assert!(json.contains("\\n"));
+        assert!(json.contains("\"command\":\"0xc0106466\""));
+        let arr = to_json(&[diag.clone(), diag]);
+        assert!(arr.starts_with('[') && arr.ends_with(']'));
+        assert_eq!(arr.matches("DF001").count(), 2);
+    }
+
+    #[test]
+    fn severity_ordering_supports_max() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+
+    #[test]
+    fn render_mentions_code_and_driver() {
+        let diag = Diagnostic::new(DiagCode::Og002, "camera-uvc", Some(8), "msg".to_owned());
+        let line = diag.render();
+        assert!(line.starts_with("error[OG002]"));
+        assert!(line.contains("driver=camera-uvc"));
+    }
+}

@@ -1,0 +1,268 @@
+//! Over-grant detection — `OG001`/`OG002`/`OG003`.
+//!
+//! The CVD frontend derives the grant envelope for simple commands straight
+//! from the `_IOC` encoding: direction and parameter-struct size "embed the
+//! size of these data structures and the direction of the copy" (paper
+//! §4.1). Least privilege then demands the envelope match what the handler
+//! actually does:
+//!
+//! * **OG001** (error): the declared envelope is *provably wider* than
+//!   every operation the handler can perform in that direction — the grant
+//!   exposes process memory the driver never touches.
+//! * **OG002** (error): a declared direction is never performed at all
+//!   (e.g. `_IOWR` but the handler never copies back). The whole
+//!   direction's grant is dead weight.
+//! * **OG003** (warning): the handler reaches *outside* the declared
+//!   envelope with a statically-concrete access — under Paradice the
+//!   hypervisor would block it at runtime; natively it is an ABI lie.
+//!
+//! Accesses at user-data-derived or opaque addresses (nested copies) are
+//! granted precisely by the JIT path and suppress OG001/OG002 for their
+//! direction — the pass only claims what it can prove.
+
+use paradice_devfs::ioc::IoctlCmd;
+
+use crate::ir::{OpKind, Stmt};
+use crate::lint::envelope::{collect_accesses, Access, SymScalar};
+use crate::lint::{DiagCode, Diagnostic};
+
+fn direction_name(kind: OpKind) -> &'static str {
+    match kind {
+        OpKind::CopyFromUser => "from-user",
+        OpKind::CopyToUser => "to-user",
+    }
+}
+
+fn check_direction(
+    driver: &str,
+    cmd: u32,
+    accesses: &[Access],
+    kind: OpKind,
+    declared: bool,
+    declared_size: u64,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let of_kind: Vec<&Access> = accesses.iter().filter(|a| a.kind == kind).collect();
+    let has_dynamic = of_kind
+        .iter()
+        .any(|a| a.addr.is_dynamic() || a.len.is_none());
+    let arg_intervals: Vec<(u64, u64)> =
+        of_kind.iter().filter_map(|a| a.arg_interval()).collect();
+    let max_extent = arg_intervals.iter().map(|(_, end)| *end).max().unwrap_or(0);
+
+    if declared && declared_size > 0 {
+        if of_kind.is_empty() {
+            diags.push(Diagnostic::new(
+                DiagCode::Og002,
+                driver,
+                Some(cmd),
+                format!(
+                    "command declares a {}-byte {} envelope but the handler never copies \
+                     in that direction; the grant is pure over-exposure",
+                    declared_size,
+                    direction_name(kind),
+                ),
+            ));
+        } else if !has_dynamic && max_extent < declared_size {
+            diags.push(Diagnostic::new(
+                DiagCode::Og001,
+                driver,
+                Some(cmd),
+                format!(
+                    "command declares a {}-byte {} envelope but the handler provably \
+                     touches at most {} bytes of it; the grant should shrink to match",
+                    declared_size,
+                    direction_name(kind),
+                    max_extent,
+                ),
+            ));
+        }
+    }
+
+    // Escapes: concrete accesses beyond the declared envelope (or in an
+    // undeclared direction). Dynamic accesses are the JIT's to grant.
+    for (start, end) in &arg_intervals {
+        if !declared {
+            diags.push(Diagnostic::new(
+                DiagCode::Og003,
+                driver,
+                Some(cmd),
+                format!(
+                    "handler performs a {} copy of [arg+{}, arg+{}) but the command \
+                     number declares no {} direction; the hypervisor would block it",
+                    direction_name(kind),
+                    start,
+                    end,
+                    direction_name(kind),
+                ),
+            ));
+        } else if *end > declared_size {
+            diags.push(Diagnostic::new(
+                DiagCode::Og003,
+                driver,
+                Some(cmd),
+                format!(
+                    "handler {} copy of [arg+{}, arg+{}) runs past the declared \
+                     {}-byte envelope",
+                    direction_name(kind),
+                    start,
+                    end,
+                    declared_size,
+                ),
+            ));
+        }
+    }
+}
+
+/// Runs the over-grant pass over one command's specialized slice.
+pub fn check(driver: &str, cmd: u32, slice: &[Stmt], diags: &mut Vec<Diagnostic>) {
+    let ioc = IoctlCmd(cmd);
+    let accesses = collect_accesses(slice);
+    // Absolute-address accesses don't participate in the arg envelope; they
+    // are rare (fixed mappings) and granted as absolute static templates.
+    let accesses: Vec<Access> = accesses
+        .into_iter()
+        .filter(|a| !matches!(a.addr, SymScalar::Const(_)))
+        .collect();
+    let size = u64::from(ioc.size());
+    check_direction(
+        driver,
+        cmd,
+        &accesses,
+        OpKind::CopyFromUser,
+        ioc.dir().copies_from_user(),
+        size,
+        diags,
+    );
+    check_direction(
+        driver,
+        cmd,
+        &accesses,
+        OpKind::CopyToUser,
+        ioc.dir().copies_to_user(),
+        size,
+        diags,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Expr, VarId};
+    use paradice_devfs::ioc::{io, ior, iow, iowr};
+
+    fn v(n: u32) -> VarId {
+        VarId(n)
+    }
+
+    fn inout(len: u64) -> Vec<Stmt> {
+        vec![
+            Stmt::CopyFromUser {
+                dst: v(0),
+                src: Expr::Arg,
+                len: Expr::Const(len),
+            },
+            Stmt::CopyToUser {
+                dst: Expr::Arg,
+                len: Expr::Const(len),
+            },
+        ]
+    }
+
+    fn run(cmd: u32, slice: &[Stmt]) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        check("test", cmd, slice, &mut diags);
+        diags
+    }
+
+    #[test]
+    fn matching_envelope_is_clean() {
+        assert!(run(iowr(b'X', 1, 16).raw(), &inout(16)).is_empty());
+    }
+
+    #[test]
+    fn wider_declaration_is_og001_per_direction() {
+        let diags = run(iowr(b'X', 2, 64).raw(), &inout(8));
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().all(|d| d.code == DiagCode::Og001));
+    }
+
+    #[test]
+    fn missing_direction_is_og002() {
+        // _IOWR declared, handler only copies in.
+        let slice = vec![Stmt::CopyFromUser {
+            dst: v(0),
+            src: Expr::Arg,
+            len: Expr::Const(4),
+        }];
+        let diags = run(iowr(b'X', 3, 4).raw(), &slice);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::Og002);
+    }
+
+    #[test]
+    fn escape_past_envelope_is_og003() {
+        let slice = vec![Stmt::CopyFromUser {
+            dst: v(0),
+            src: Expr::add(Expr::Arg, Expr::Const(8)),
+            len: Expr::Const(16),
+        }];
+        let diags = run(iow(b'X', 4, 16).raw(), &slice);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::Og003);
+    }
+
+    #[test]
+    fn undeclared_direction_is_og003() {
+        // _IOR declared (to-user only) but the handler also reads.
+        let slice = vec![
+            Stmt::CopyFromUser {
+                dst: v(0),
+                src: Expr::Arg,
+                len: Expr::Const(8),
+            },
+            Stmt::CopyToUser {
+                dst: Expr::Arg,
+                len: Expr::Const(8),
+            },
+        ];
+        let diags = run(ior(b'X', 5, 8).raw(), &slice);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::Og003);
+    }
+
+    #[test]
+    fn nested_copies_suppress_og001() {
+        // PWRITE shape: declared 32, concrete fetch covers 32, second fetch
+        // dynamic. No over-grant provable.
+        let slice = vec![
+            Stmt::CopyFromUser {
+                dst: v(0),
+                src: Expr::Arg,
+                len: Expr::Const(32),
+            },
+            Stmt::CopyFromUser {
+                dst: v(1),
+                src: Expr::field(v(0), 24, 8),
+                len: Expr::field(v(0), 16, 8),
+            },
+        ];
+        assert!(run(iow(b'X', 6, 32).raw(), &slice).is_empty());
+    }
+
+    #[test]
+    fn io_command_with_no_ops_is_clean() {
+        assert!(run(io(b'X', 7).raw(), &[Stmt::Return]).is_empty());
+    }
+
+    #[test]
+    fn io_command_with_ops_is_og003() {
+        let slice = vec![Stmt::CopyToUser {
+            dst: Expr::Arg,
+            len: Expr::Const(4),
+        }];
+        let diags = run(io(b'X', 8).raw(), &slice);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::Og003);
+    }
+}

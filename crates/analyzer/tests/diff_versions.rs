@@ -1,0 +1,148 @@
+//! Cross-version diff over a Radeon-style handler pair (paper §4.1).
+//!
+//! The paper's argument for carrying static entries across driver updates
+//! rests on one observation: "the memory operations of common ioctl
+//! commands are identical in both drivers, while the latter has four new
+//! ioctl commands". This test builds a v1/v2 handler pair shaped like the
+//! Radeon 2.6.35 → 3.2.0 update and checks that [`diff_handlers`]
+//! classifies every command correctly — exercising **all four**
+//! [`CommandDelta`] variants in a single comparison.
+
+use paradice_analyzer::ir::{Expr, Handler, Stmt, VarId};
+use paradice_analyzer::{diff_handlers, CommandDelta};
+use paradice_devfs::ioc::{io, iowr};
+
+// DRM-flavoured command numbers, stable across both versions where shared.
+const CP_IDLE: u32 = 0x4007_6407; // no memory operations
+const GETPARAM: u32 = 0xc010_6411; // inout 16
+const INFO: u32 = 0xc010_6427; // inout, grows between versions
+const GEM_PREAD: u32 = 0xc020_6445; // static in v1, nested copy in v2
+const CP_START: u32 = 0x4004_6406; // dropped in v2
+const CS: u32 = 0xc010_6466; // nested copy in both versions
+
+fn v(n: u32) -> VarId {
+    VarId(n)
+}
+
+fn inout(len: u64) -> Vec<Stmt> {
+    vec![
+        Stmt::CopyFromUser {
+            dst: v(0),
+            src: Expr::Arg,
+            len: Expr::Const(len),
+        },
+        Stmt::CopyToUser {
+            dst: Expr::Arg,
+            len: Expr::Const(len),
+        },
+    ]
+}
+
+fn input_only(len: u64) -> Vec<Stmt> {
+    vec![Stmt::CopyFromUser {
+        dst: v(0),
+        src: Expr::Arg,
+        len: Expr::Const(len),
+    }]
+}
+
+/// A Radeon-CS-style nested copy: the header names a chunk the handler
+/// then fetches.
+fn nested_copy(header_len: u64, chunk_len: u64) -> Vec<Stmt> {
+    vec![
+        Stmt::CopyFromUser {
+            dst: v(0),
+            src: Expr::Arg,
+            len: Expr::Const(header_len),
+        },
+        Stmt::CopyFromUser {
+            dst: v(1),
+            src: Expr::field(v(0), 0, 8),
+            len: Expr::Const(chunk_len),
+        },
+    ]
+}
+
+fn handler(arms: Vec<(u32, Vec<Stmt>)>) -> Handler {
+    Handler::single(vec![Stmt::SwitchCmd {
+        arms,
+        default: vec![Stmt::Return],
+    }])
+}
+
+fn radeon_v1() -> Handler {
+    handler(vec![
+        (CP_IDLE, vec![Stmt::Return]),
+        (GETPARAM, inout(16)),
+        (INFO, inout(8)),
+        (GEM_PREAD, input_only(32)),
+        (CP_START, vec![Stmt::Return]),
+        (CS, nested_copy(16, 64)),
+    ])
+}
+
+fn radeon_v2() -> Handler {
+    // Four new GEM commands, CP_START dropped, INFO's struct grew,
+    // GEM_PREAD became a nested copy; everything else untouched.
+    let gem_wait_idle = io(b'd', 0x60).raw();
+    let gem_busy = iowr(b'd', 0x61, 8).raw();
+    let gem_set_tiling = iowr(b'd', 0x62, 12).raw();
+    let gem_get_tiling = iowr(b'd', 0x63, 12).raw();
+    handler(vec![
+        (CP_IDLE, vec![Stmt::Return]),
+        (GETPARAM, inout(16)),
+        (INFO, inout(16)),
+        (GEM_PREAD, nested_copy(32, 128)),
+        (CS, nested_copy(16, 64)),
+        (gem_wait_idle, vec![Stmt::Return]),
+        (gem_busy, inout(8)),
+        (gem_set_tiling, input_only(12)),
+        (gem_get_tiling, inout(12)),
+    ])
+}
+
+#[test]
+fn radeon_style_update_classifies_every_command() {
+    let diff = diff_handlers(&radeon_v1(), &radeon_v2()).unwrap();
+
+    // Every command in either version is classified exactly once.
+    assert_eq!(diff.deltas.len(), 10);
+
+    // The paper's headline: common commands carry over...
+    let identical = diff.with_delta(CommandDelta::Identical);
+    assert!(identical.contains(&CP_IDLE));
+    assert!(identical.contains(&GETPARAM));
+    assert!(identical.contains(&CS), "JIT slices equal in both versions");
+    assert_eq!(diff.count(CommandDelta::Identical), 3);
+
+    // ...changed commands need re-analysis (one grew its struct, one went
+    // from a static entry to a nested-copy JIT slice)...
+    let changed = diff.with_delta(CommandDelta::Changed);
+    assert!(changed.contains(&INFO));
+    assert!(changed.contains(&GEM_PREAD));
+    assert_eq!(diff.count(CommandDelta::Changed), 2);
+
+    // ...one command disappeared...
+    assert_eq!(diff.with_delta(CommandDelta::Removed), vec![CP_START]);
+
+    // ...and "the latter has four new ioctl commands".
+    assert_eq!(diff.count(CommandDelta::Added), 4);
+}
+
+#[test]
+fn identical_versions_diff_to_all_identical() {
+    let diff = diff_handlers(&radeon_v1(), &radeon_v1()).unwrap();
+    assert_eq!(diff.count(CommandDelta::Identical), diff.deltas.len());
+    assert_eq!(diff.count(CommandDelta::Changed), 0);
+    assert_eq!(diff.count(CommandDelta::Added), 0);
+    assert_eq!(diff.count(CommandDelta::Removed), 0);
+}
+
+#[test]
+fn deltas_are_sorted_by_command() {
+    let diff = diff_handlers(&radeon_v1(), &radeon_v2()).unwrap();
+    let cmds: Vec<u32> = diff.deltas.iter().map(|(cmd, _)| *cmd).collect();
+    let mut sorted = cmds.clone();
+    sorted.sort_unstable();
+    assert_eq!(cmds, sorted);
+}

@@ -1,0 +1,135 @@
+//! `paradice-lint` — the driver-IR safety linter.
+//!
+//! Enumerates every shipped driver handler from the registry
+//! ([`paradice_drivers::all_handlers`]), runs the full static lint suite
+//! over each ([`paradice_analyzer::lint`]), applies the recorded allowlist,
+//! and reports the findings. Exits nonzero when any `Error`-class finding
+//! survives allowlisting.
+//!
+//! ```sh
+//! cargo run -p paradice-bench --bin paradice-lint              # human output
+//! cargo run -p paradice-bench --bin paradice-lint -- --json    # JSON array
+//! cargo run -p paradice-bench --bin paradice-lint -- --fixtures
+//! cargo run -p paradice-bench --bin paradice-lint -- --audit blocked.tsv
+//! ```
+//!
+//! Flags:
+//!
+//! * `--json` — emit one JSON array of findings instead of text lines.
+//! * `--fixtures` — also lint the seeded buggy fixture handler (always
+//!   fails; used to demonstrate every pass firing).
+//! * `--no-allowlist` — skip the registry allowlist; show raw severities.
+//! * `--audit FILE` — parse a hypervisor audit export
+//!   (`AuditLog::export_text` format) and report each blocked operation
+//!   as `CF004`.
+
+use std::process::ExitCode;
+
+use paradice_analyzer::lint::{
+    self, apply_allowlist, conformance, has_errors, lint_handler, Diagnostic, Severity,
+};
+use paradice_drivers::{all_handlers, lint_allowlist};
+
+struct Options {
+    json: bool,
+    fixtures: bool,
+    no_allowlist: bool,
+    audit: Option<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        json: false,
+        fixtures: false,
+        no_allowlist: false,
+        audit: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--fixtures" => opts.fixtures = true,
+            "--no-allowlist" => opts.no_allowlist = true,
+            "--audit" => {
+                opts.audit = Some(
+                    args.next()
+                        .ok_or_else(|| "--audit requires a file path".to_owned())?,
+                );
+            }
+            "--help" | "-h" => {
+                println!(
+                    "paradice-lint: static + conformance lints over shipped driver IR\n\
+                     \n\
+                     usage: paradice-lint [--json] [--fixtures] [--no-allowlist] \
+                     [--audit FILE]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("paradice-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut drivers = 0usize;
+    for (name, handler) in all_handlers() {
+        drivers += 1;
+        diags.extend(lint_handler(name, handler));
+    }
+    if opts.fixtures {
+        drivers += 1;
+        diags.extend(lint_handler(
+            lint::fixtures::FIXTURE_DRIVER,
+            &lint::fixtures::buggy_handler(),
+        ));
+    }
+    if let Some(path) = &opts.audit {
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let entries = conformance::parse_audit_text(&text);
+                conformance::check_audit("hypervisor-audit", &entries, &mut diags);
+            }
+            Err(e) => {
+                eprintln!("paradice-lint: cannot read audit log {path:?}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !opts.no_allowlist {
+        apply_allowlist(&mut diags, &lint_allowlist());
+    }
+
+    if opts.json {
+        println!("{}", lint::to_json(&diags));
+    } else {
+        for diag in &diags {
+            println!("{}", diag.render());
+        }
+        let count = |sev: Severity| diags.iter().filter(|d| d.severity == sev).count();
+        println!(
+            "paradice-lint: {} driver(s), {} finding(s): {} error(s), \
+             {} warning(s), {} info",
+            drivers,
+            diags.len(),
+            count(Severity::Error),
+            count(Severity::Warning),
+            count(Severity::Info),
+        );
+    }
+
+    if has_errors(&diags) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

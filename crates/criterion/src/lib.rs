@@ -1,0 +1,161 @@
+//! A self-contained subset of the `criterion` benchmarking API.
+//!
+//! The build environment has no network access, so the real crates-io
+//! `criterion` cannot be fetched. This crate provides the API surface the
+//! workspace's benches use (`criterion_group!`, `criterion_main!`,
+//! `Criterion::bench_function`, benchmark groups, `Bencher::iter`) with a
+//! simple wall-clock measurement loop: a short warm-up, then a timed run,
+//! reporting mean time per iteration to stdout.
+//!
+//! It intentionally skips criterion's statistical machinery (outlier
+//! analysis, HTML reports, comparisons); the point is that `cargo bench`
+//! runs and prints usable numbers offline.
+
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark.
+const MEASURE: Duration = Duration::from_millis(400);
+/// Warm-up time per benchmark.
+const WARMUP: Duration = Duration::from_millis(100);
+
+/// Re-export kept for compatibility: the real criterion exposes its own
+/// `black_box`; ours forwards to the standard library's.
+pub use std::hint::black_box;
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs a single benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, &mut body);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_owned(),
+            _criterion: self,
+        }
+    }
+}
+
+/// A named benchmark group.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_bench(&full, &mut body);
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it enough times to fill the measurement
+    /// window.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: also calibrates the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = WARMUP.as_nanos() as u64 / warm_iters.max(1);
+        let target_iters = (MEASURE.as_nanos() as u64 / per_iter.max(1)).clamp(1, 10_000_000);
+        let start = Instant::now();
+        for _ in 0..target_iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = target_iters;
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, body: &mut F) {
+    let mut bencher = Bencher {
+        iterations: 0,
+        elapsed: Duration::ZERO,
+    };
+    body(&mut bencher);
+    if bencher.iterations == 0 {
+        println!("{name:<40} (no measurement: Bencher::iter never called)");
+        return;
+    }
+    let nanos = bencher.elapsed.as_nanos() as f64 / bencher.iterations as f64;
+    let (value, unit) = if nanos >= 1_000_000.0 {
+        (nanos / 1_000_000.0, "ms")
+    } else if nanos >= 1_000.0 {
+        (nanos / 1_000.0, "µs")
+    } else {
+        (nanos, "ns")
+    };
+    println!(
+        "{name:<40} {value:>10.3} {unit}/iter ({} iters)",
+        bencher.iterations
+    );
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut criterion = Criterion::default();
+        criterion.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = criterion.benchmark_group("group");
+        group.bench_function("noop", |b| b.iter(|| black_box(2 + 2)));
+        group.finish();
+    }
+}

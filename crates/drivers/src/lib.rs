@@ -21,6 +21,10 @@
 //! The GPU driver additionally carries the paper's device-data-isolation
 //! patch set (§5.3) behind [`gpu::isolation`], and ships its ioctl-handler
 //! IR ([`gpu::ir`]) for the static analyzer.
+//!
+//! [`registry`] enumerates every shipped handler IR for `paradice-lint`
+//! and the conformance tests, together with the recorded allowlist for
+//! known ABI deviations.
 
 pub mod audio;
 pub mod camera;
@@ -28,5 +32,7 @@ pub mod env;
 pub mod evdev;
 pub mod gpu;
 pub mod netmap;
+pub mod registry;
 
 pub use env::{DmaPool, KernelEnv};
+pub use registry::{all_handlers, lint_allowlist};

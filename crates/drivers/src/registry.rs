@@ -1,0 +1,219 @@
+//! The driver-IR registry: every shipped handler IR under one roof.
+//!
+//! `paradice-lint` and the conformance tests need to enumerate "all the
+//! drivers we ship" without knowing each module's constructor.
+//! [`all_handlers`] is that enumeration; [`lint_allowlist`] carries the
+//! recorded justifications for the few places where a scaled driver's
+//! behaviour deviates from its Linux `_IOC` declaration on purpose.
+//!
+//! Handlers that had no IR before (camera, audio, netmap, evdev) declare it
+//! here, mirroring exactly the `MemOps` calls their `ioctl`
+//! implementations make — the same honesty contract the GPU drivers'
+//! integration tests enforce.
+
+use std::sync::OnceLock;
+
+use paradice_analyzer::ir::{Expr, Handler, Stmt, VarId};
+use paradice_analyzer::lint::{AllowEntry, DiagCode};
+
+use crate::audio::PCM_HW_PARAMS;
+use crate::camera::{
+    VIDIOC_DQBUF, VIDIOC_QBUF, VIDIOC_QUERYBUF, VIDIOC_QUERYCAP, VIDIOC_REQBUFS, VIDIOC_S_FMT,
+};
+use crate::gpu::driver::RADEON_GEM_SET_TILING;
+use crate::gpu::i915::i915_handler_ir;
+use crate::gpu::ir::{radeon_handler_2_6_35, radeon_handler_3_2_0};
+use crate::netmap::{NIOCGINFO, NIOCREGIF};
+
+fn v(n: u32) -> VarId {
+    VarId(n)
+}
+
+fn copy_in(len: u64) -> Stmt {
+    Stmt::CopyFromUser {
+        dst: v(0),
+        src: Expr::Arg,
+        len: Expr::Const(len),
+    }
+}
+
+fn copy_out(len: u64) -> Stmt {
+    Stmt::CopyToUser {
+        dst: Expr::Arg,
+        len: Expr::Const(len),
+    }
+}
+
+/// The V4L2/UVC camera driver's handler IR (see [`crate::camera`]).
+pub fn camera_handler_ir() -> Handler {
+    Handler::single(vec![Stmt::SwitchCmd {
+        arms: vec![
+            (VIDIOC_QUERYCAP.raw(), vec![copy_out(32)]),
+            (VIDIOC_S_FMT.raw(), vec![copy_in(16), copy_out(16)]),
+            (VIDIOC_REQBUFS.raw(), vec![copy_in(4), copy_out(4)]),
+            (VIDIOC_QUERYBUF.raw(), vec![copy_in(16), copy_out(16)]),
+            // The scaled driver only reads the buffer index; the writeback
+            // the Linux ABI declares is allowlisted (`OG002`).
+            (VIDIOC_QBUF.raw(), vec![copy_in(4)]),
+            (VIDIOC_DQBUF.raw(), vec![copy_out(16)]),
+        ],
+        default: vec![Stmt::Return],
+    }])
+}
+
+/// The PCM/snd-hda-intel audio driver's handler IR (see [`crate::audio`]).
+pub fn audio_handler_ir() -> Handler {
+    Handler::single(vec![Stmt::SwitchCmd {
+        arms: vec![(PCM_HW_PARAMS.raw(), vec![copy_in(12), copy_out(12)])],
+        default: vec![Stmt::Return],
+    }])
+}
+
+/// The netmap/e1000e NIC driver's handler IR (see [`crate::netmap`]).
+pub fn netmap_handler_ir() -> Handler {
+    Handler::single(vec![Stmt::SwitchCmd {
+        arms: vec![
+            // Both commands fill a struct unconditionally and never read
+            // one; the `_IOWR` declarations' from-user halves are
+            // allowlisted (`OG002`).
+            (NIOCGINFO.raw(), vec![copy_out(8)]),
+            (NIOCREGIF.raw(), vec![copy_out(16)]),
+        ],
+        default: vec![Stmt::Return],
+    }])
+}
+
+/// The evdev input driver's handler IR: the scaled driver has no ioctls
+/// (events flow through `read`), so the handler is a bare return.
+pub fn evdev_handler_ir() -> Handler {
+    Handler::single(vec![Stmt::Return])
+}
+
+/// Every shipped driver's handler IR, as `(name, handler)` pairs. Names are
+/// stable and appear in lint diagnostics and allowlist entries.
+pub fn all_handlers() -> Vec<(&'static str, &'static Handler)> {
+    static HANDLERS: OnceLock<Vec<(&'static str, Handler)>> = OnceLock::new();
+    HANDLERS
+        .get_or_init(|| {
+            vec![
+                ("radeon-2.6.35", radeon_handler_2_6_35()),
+                ("radeon-3.2.0", radeon_handler_3_2_0()),
+                ("i915", i915_handler_ir()),
+                ("camera-uvc", camera_handler_ir()),
+                ("audio-hda", audio_handler_ir()),
+                ("netmap-e1000e", netmap_handler_ir()),
+                ("evdev", evdev_handler_ir()),
+            ]
+        })
+        .iter()
+        .map(|(name, handler)| (*name, handler))
+        .collect()
+}
+
+/// Recorded justifications for shipped drivers' known deviations. Every
+/// entry names a command and explains itself; `paradice-lint` downgrades
+/// the matching finding to info instead of failing.
+pub fn lint_allowlist() -> Vec<AllowEntry> {
+    vec![
+        AllowEntry::new(
+            "radeon-3.2.0",
+            DiagCode::Og002,
+            Some(RADEON_GEM_SET_TILING.raw()),
+            "GEM_SET_TILING keeps the upstream DRM_IOWR number; the scaled driver \
+             applies the tiling parameters without echoing them back",
+        ),
+        AllowEntry::new(
+            "camera-uvc",
+            DiagCode::Og002,
+            Some(VIDIOC_QBUF.raw()),
+            "VIDIOC_QBUF keeps the Linux _IOWR number for ABI fidelity; the scaled \
+             driver only reads the queue index and has no flags to write back",
+        ),
+        AllowEntry::new(
+            "netmap-e1000e",
+            DiagCode::Og002,
+            Some(NIOCGINFO.raw()),
+            "NIOCGINFO is _IOWR upstream (the request names an interface); the scaled \
+             driver has a single port and ignores the request struct",
+        ),
+        AllowEntry::new(
+            "netmap-e1000e",
+            DiagCode::Og002,
+            Some(NIOCREGIF.raw()),
+            "NIOCREGIF is _IOWR upstream; the scaled driver registers its only port \
+             and ignores the request struct",
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paradice_analyzer::lint::{apply_allowlist, has_errors, lint_handler, Severity};
+
+    #[test]
+    fn registry_covers_the_paper_roster() {
+        let names: Vec<&str> = all_handlers().iter().map(|(name, _)| *name).collect();
+        for expected in [
+            "radeon-2.6.35",
+            "radeon-3.2.0",
+            "i915",
+            "camera-uvc",
+            "audio-hda",
+            "netmap-e1000e",
+            "evdev",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn shipped_drivers_lint_clean_or_allowlisted() {
+        let allowlist = lint_allowlist();
+        for (name, handler) in all_handlers() {
+            let mut diags = lint_handler(name, handler);
+            apply_allowlist(&mut diags, &allowlist);
+            assert!(
+                !has_errors(&diags),
+                "driver {name} has lint errors: {:#?}",
+                diags
+                    .iter()
+                    .filter(|d| d.severity == Severity::Error)
+                    .map(|d| d.render())
+                    .collect::<Vec<_>>(),
+            );
+        }
+    }
+
+    #[test]
+    fn allowlist_entries_all_fire() {
+        // A stale allowlist entry is a lie; every entry must match a real
+        // finding on the driver it names.
+        let allowlist = lint_allowlist();
+        for entry in &allowlist {
+            let (_, handler) = all_handlers()
+                .into_iter()
+                .find(|(name, _)| *name == entry.driver)
+                .expect("allowlist names a registered driver");
+            let mut diags = lint_handler(&entry.driver, handler);
+            apply_allowlist(&mut diags, std::slice::from_ref(entry));
+            assert!(
+                diags.iter().any(|d| d.allowlisted),
+                "allowlist entry for {} / {} matched nothing",
+                entry.driver,
+                entry.code,
+            );
+        }
+    }
+
+    #[test]
+    fn handler_references_are_stable() {
+        let a = all_handlers();
+        let b = all_handlers();
+        assert_eq!(a.len(), b.len());
+        for ((name_a, ha), (name_b, hb)) in a.iter().zip(b.iter()) {
+            assert_eq!(name_a, name_b);
+            assert!(std::ptr::eq(*ha, *hb));
+        }
+    }
+}

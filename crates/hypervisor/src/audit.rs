@@ -101,6 +101,48 @@ pub enum AuditEvent {
 }
 
 impl AuditEvent {
+    /// Stable machine-readable kind, used in the text export consumed by
+    /// the lint suite's conformance pass (`paradice_analyzer::lint`).
+    pub fn kind_str(&self) -> &'static str {
+        match self {
+            AuditEvent::UngrantedMemOp { .. } => "ungranted_mem_op",
+            AuditEvent::ProtectedRegionAccess { .. } => "protected_region_access",
+            AuditEvent::DmaBlocked { .. } => "dma_blocked",
+            AuditEvent::ApertureViolation { .. } => "aperture_violation",
+            AuditEvent::ProtectedMmioWrite { .. } => "protected_mmio_write",
+            AuditEvent::WaitQueueOverflow { .. } => "wait_queue_overflow",
+            AuditEvent::BadMapTarget { .. } => "bad_map_target",
+        }
+    }
+
+    /// Human-readable detail string for the text export.
+    pub fn detail(&self) -> String {
+        match self {
+            AuditEvent::UngrantedMemOp {
+                caller,
+                target,
+                grant,
+                description,
+            } => format!(
+                "caller={caller:?} target={target:?} grant={grant:?} {description}"
+            ),
+            AuditEvent::ProtectedRegionAccess { caller, gpa } => {
+                format!("caller={caller:?} gpa={gpa:?}")
+            }
+            AuditEvent::DmaBlocked { dma, region } => {
+                format!("dma={dma:?} region={region:?}")
+            }
+            AuditEvent::ApertureViolation { offset } => format!("offset={offset:#x}"),
+            AuditEvent::ProtectedMmioWrite { offset } => format!("offset={offset:#x}"),
+            AuditEvent::WaitQueueOverflow { guest, depth } => {
+                format!("guest={guest:?} depth={depth}")
+            }
+            AuditEvent::BadMapTarget { guest, va } => {
+                format!("guest={guest:?} va={va:?}")
+            }
+        }
+    }
+
     /// The mechanism that blocked this event.
     pub fn blocked_by(&self) -> BlockedBy {
         match self {
@@ -169,6 +211,28 @@ impl AuditLog {
     pub fn clear(&mut self) {
         self.records.clear();
     }
+
+    /// Exports the log as stable tab-separated text
+    /// (`at_ns\tkind\tdetail`, one record per line), the format
+    /// `paradice_analyzer::lint::conformance::parse_audit_text` consumes.
+    /// Newlines and tabs inside details are flattened to spaces so the
+    /// format stays one-record-per-line.
+    pub fn export_text(&self) -> String {
+        let mut out = String::new();
+        for record in &self.records {
+            let detail = record
+                .event
+                .detail()
+                .replace(['\n', '\t'], " ");
+            out.push_str(&format!(
+                "{}\t{}\t{}\n",
+                record.at_ns,
+                record.event.kind_str(),
+                detail,
+            ));
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -211,6 +275,27 @@ mod tests {
         assert!(!log.is_empty());
         log.clear();
         assert!(log.is_empty());
+    }
+
+    #[test]
+    fn export_text_is_one_record_per_line() {
+        let mut log = AuditLog::new();
+        log.record(
+            120,
+            AuditEvent::UngrantedMemOp {
+                caller: VmId(1),
+                target: VmId(2),
+                grant: None,
+                description: "write 64B\nat 0x9000".to_owned(),
+            },
+        );
+        log.record(340, AuditEvent::ProtectedMmioWrite { offset: 0x44 });
+        let text = log.export_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("120\tungranted_mem_op\t"));
+        assert!(!lines[0].contains("0x9000\n")); // embedded newline flattened
+        assert!(lines[1].starts_with("340\tprotected_mmio_write\t"));
     }
 
     #[test]

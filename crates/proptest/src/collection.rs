@@ -1,0 +1,104 @@
+//! Collection strategies: `vec` and `btree_map`.
+
+use std::collections::BTreeMap;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Anything that can pick a collection size: an exact count or a range.
+pub trait SizeRange {
+    /// Draws a size.
+    fn sample(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn sample(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for Range<usize> {
+    #[allow(clippy::cast_possible_truncation)]
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty size range");
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    #[allow(clippy::cast_possible_truncation)]
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start() <= self.end(), "empty size range");
+        self.start() + rng.below((self.end() - self.start() + 1) as u64) as usize
+    }
+}
+
+/// Strategy for `Vec<T>` with element strategy `element` and a size drawn
+/// from `size`.
+pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+    VecStrategy { element, size }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone, Copy)]
+pub struct VecStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.size.sample(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeMap<K, V>`; duplicate keys collapse, so the map may be
+/// smaller than the drawn size (matching the real crate's behaviour).
+pub fn btree_map<K, V, R>(keys: K, values: V, size: R) -> BTreeMapStrategy<K, V, R>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+    R: SizeRange,
+{
+    BTreeMapStrategy { keys, values, size }
+}
+
+/// See [`btree_map`].
+#[derive(Debug, Clone, Copy)]
+pub struct BTreeMapStrategy<K, V, R> {
+    keys: K,
+    values: V,
+    size: R,
+}
+
+impl<K, V, R> Strategy for BTreeMapStrategy<K, V, R>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+    R: SizeRange,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.size.sample(rng);
+        let mut map = BTreeMap::new();
+        // Draw up to 4n candidates to approach the requested size even when
+        // the key domain is small; duplicates simply overwrite.
+        let mut attempts = 0;
+        while map.len() < n && attempts < 4 * n {
+            map.insert(self.keys.generate(rng), self.values.generate(rng));
+            attempts += 1;
+        }
+        if map.is_empty() && n > 0 {
+            map.insert(self.keys.generate(rng), self.values.generate(rng));
+        }
+        map
+    }
+}
