@@ -22,6 +22,10 @@
 //! | `CF002` | warning | [`conformance`] | runtime grants far wider than needed / unjustified |
 //! | `CF003` | error | [`conformance`] | runtime command unknown to the handler IR |
 //! | `CF004` | error | [`conformance`] | hypervisor audit log records a blocked operation |
+//! | `RP001` | error | [`replay`] | recorded memory operation outside the declared grants, or hypervisor-rejected |
+//! | `RP002` | error | [`replay`] | structurally malformed trace (orphan/duplicate span events) |
+//! | `RP003` | warning | [`replay`] | span never ended; recording stopped mid-operation |
+//! | `RP004` | warning | `--replay` caller | traced device has no handler IR for the envelope check |
 //!
 //! Shipped drivers whose ABI genuinely deviates (e.g. a Linux `_IOWR`
 //! command whose scaled driver only uses one direction) carry
@@ -36,6 +40,7 @@ pub mod envelope;
 pub mod fixtures;
 pub mod loops;
 pub mod over_grant;
+pub mod replay;
 
 use std::fmt;
 
@@ -83,6 +88,10 @@ pub enum DiagCode {
     Cf002,
     Cf003,
     Cf004,
+    Rp001,
+    Rp002,
+    Rp003,
+    Rp004,
 }
 
 impl DiagCode {
@@ -104,6 +113,10 @@ impl DiagCode {
             DiagCode::Cf002 => "CF002",
             DiagCode::Cf003 => "CF003",
             DiagCode::Cf004 => "CF004",
+            DiagCode::Rp001 => "RP001",
+            DiagCode::Rp002 => "RP002",
+            DiagCode::Rp003 => "RP003",
+            DiagCode::Rp004 => "RP004",
         }
     }
 
@@ -117,14 +130,18 @@ impl DiagCode {
             | DiagCode::Sh006
             | DiagCode::Cf001
             | DiagCode::Cf003
-            | DiagCode::Cf004 => Severity::Error,
+            | DiagCode::Cf004
+            | DiagCode::Rp001
+            | DiagCode::Rp002 => Severity::Error,
             DiagCode::Df002
             | DiagCode::Og003
             | DiagCode::Sh001
             | DiagCode::Sh002
             | DiagCode::Sh004
             | DiagCode::Sh005
-            | DiagCode::Cf002 => Severity::Warning,
+            | DiagCode::Cf002
+            | DiagCode::Rp003
+            | DiagCode::Rp004 => Severity::Warning,
         }
     }
 }

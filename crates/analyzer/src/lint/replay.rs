@@ -1,0 +1,446 @@
+//! Recorded-trace conformance replay — `RP001`–`RP004`.
+//!
+//! [`conformance`](super::conformance) replays *in-process* observations;
+//! this pass replays a **recorded paradice-trace** (the JSONL produced by
+//! [`paradice_trace::Tracer::to_jsonl`], e.g. `experiments --trace`). It
+//! closes the loop of the paper's §4.1 invariant over an actual run:
+//!
+//! > grants used ⊆ grants declared ⊆ analyzer envelope
+//!
+//! The first inclusion is checked here, structurally, for every span; the
+//! second is checked by feeding the per-span [`ObservedIoctl`]s this pass
+//! extracts into [`conformance::check_replay`](super::conformance::check_replay).
+//!
+//! * **RP001** (error): a recorded memory operation the declared grants do
+//!   not cover, or one the hypervisor rejected (`ok=false`) — the recorded
+//!   run contains a blocked/ungranted access.
+//! * **RP002** (error): the trace is structurally malformed — an event for
+//!   a span that never started, a duplicate span id, or activity after the
+//!   span ended. A doctored or truncated-at-the-front recording.
+//! * **RP003** (warning): a span started but never ended — the recording
+//!   stopped mid-operation (or the frontend crashed).
+//! * **RP004** (warning): a device in the trace has no handler IR to check
+//!   the envelope against (emitted by the caller that owns the device→IR
+//!   map, e.g. `paradice-lint --replay`).
+
+use std::collections::BTreeMap;
+
+use paradice_trace::{TraceEvent, TraceGrant, TraceMemOpKind, TraceOpKind};
+
+use crate::ir::OpKind;
+use crate::jit::ResolvedOp;
+use crate::lint::conformance::ObservedIoctl;
+use crate::lint::{DiagCode, Diagnostic};
+
+/// What one replayed trace contained, for the caller's envelope check and
+/// reporting.
+#[derive(Debug, Clone, Default)]
+pub struct ReplaySummary {
+    /// Spans seen (OpStart events with distinct ids).
+    pub spans: usize,
+    /// Memory operations seen.
+    pub mem_ops: usize,
+    /// Per-device observed ioctls, ready for
+    /// [`conformance::check_replay`](super::conformance::check_replay).
+    pub ioctls: Vec<(String, ObservedIoctl)>,
+}
+
+struct SpanState {
+    device: String,
+    op: TraceOpKind,
+    cmd: Option<u32>,
+    arg: u64,
+    grants: Vec<TraceGrant>,
+    copies: Vec<ResolvedOp>,
+    ended: bool,
+}
+
+/// Whether the declared grants cover one recorded memory operation.
+fn covered(kind: TraceMemOpKind, addr: u64, len: u64, grants: &[TraceGrant]) -> bool {
+    grants.iter().any(|grant| match (kind, grant) {
+        (TraceMemOpKind::CopyFromGuest, TraceGrant::CopyFromGuest { addr: ga, len: gl })
+        | (TraceMemOpKind::CopyToGuest, TraceGrant::CopyToGuest { addr: ga, len: gl }) => {
+            *ga <= addr && addr.saturating_add(len) <= ga.saturating_add(*gl)
+        }
+        // Map/unmap operate page-at-a-time; the recorded `len` is the page
+        // size, so the window is exactly `pages * len` bytes.
+        (TraceMemOpKind::MapPage, TraceGrant::MapPages { va, pages, .. })
+        | (TraceMemOpKind::UnmapPage, TraceGrant::UnmapPages { va, pages }) => {
+            *va <= addr && addr.saturating_add(len) <= va.saturating_add(pages.saturating_mul(len))
+        }
+        _ => false,
+    })
+}
+
+fn copy_kind(kind: TraceMemOpKind) -> Option<OpKind> {
+    match kind {
+        TraceMemOpKind::CopyFromGuest => Some(OpKind::CopyFromUser),
+        TraceMemOpKind::CopyToGuest => Some(OpKind::CopyToUser),
+        TraceMemOpKind::MapPage | TraceMemOpKind::UnmapPage => None,
+    }
+}
+
+fn copy_grant(grant: &TraceGrant) -> Option<ResolvedOp> {
+    match *grant {
+        TraceGrant::CopyFromGuest { addr, len } => Some(ResolvedOp {
+            kind: OpKind::CopyFromUser,
+            addr,
+            len,
+        }),
+        TraceGrant::CopyToGuest { addr, len } => Some(ResolvedOp {
+            kind: OpKind::CopyToUser,
+            addr,
+            len,
+        }),
+        TraceGrant::MapPages { .. } | TraceGrant::UnmapPages { .. } => None,
+    }
+}
+
+/// Replays a recorded trace: structural validity (RP002/RP003) and the
+/// "used ⊆ declared" inclusion (RP001). Returns the summary whose
+/// [`ObservedIoctl`]s the caller feeds into the envelope check.
+pub fn check_trace(events: &[TraceEvent], diags: &mut Vec<Diagnostic>) -> ReplaySummary {
+    let mut spans: BTreeMap<u64, SpanState> = BTreeMap::new();
+    let mut summary = ReplaySummary::default();
+
+    for event in events {
+        match event {
+            TraceEvent::OpStart {
+                span,
+                device,
+                op,
+                cmd,
+                addr,
+                ..
+            } => {
+                if spans.contains_key(&span.0) {
+                    diags.push(Diagnostic::new(
+                        DiagCode::Rp002,
+                        device,
+                        *cmd,
+                        format!("span {} starts twice; the trace is malformed", span.0),
+                    ));
+                    continue;
+                }
+                summary.spans += 1;
+                spans.insert(
+                    span.0,
+                    SpanState {
+                        device: device.clone(),
+                        op: *op,
+                        cmd: *cmd,
+                        arg: addr.unwrap_or(0),
+                        grants: Vec::new(),
+                        copies: Vec::new(),
+                        ended: false,
+                    },
+                );
+            }
+            TraceEvent::Grants { span, grants } => {
+                match spans.get_mut(&span.0) {
+                    Some(state) if !state.ended => state.grants.extend(grants.iter().cloned()),
+                    Some(state) => diags.push(Diagnostic::new(
+                        DiagCode::Rp002,
+                        &state.device.clone(),
+                        state.cmd,
+                        format!("grants recorded after span {} ended", span.0),
+                    )),
+                    None => diags.push(Diagnostic::new(
+                        DiagCode::Rp002,
+                        "trace",
+                        None,
+                        format!("grants recorded for unknown span {}", span.0),
+                    )),
+                }
+            }
+            TraceEvent::MemOp {
+                span,
+                kind,
+                addr,
+                len,
+                ok,
+                ..
+            } => {
+                summary.mem_ops += 1;
+                let Some(state) = spans.get_mut(&span.0) else {
+                    diags.push(Diagnostic::new(
+                        DiagCode::Rp002,
+                        "trace",
+                        None,
+                        format!("memory operation recorded for unknown span {}", span.0),
+                    ));
+                    continue;
+                };
+                if state.ended {
+                    diags.push(Diagnostic::new(
+                        DiagCode::Rp002,
+                        &state.device.clone(),
+                        state.cmd,
+                        format!("memory operation recorded after span {} ended", span.0),
+                    ));
+                    continue;
+                }
+                if !*ok {
+                    diags.push(Diagnostic::new(
+                        DiagCode::Rp001,
+                        &state.device.clone(),
+                        state.cmd,
+                        format!(
+                            "the hypervisor rejected {} of {} bytes at {:#x} during a \
+                             recorded {} (span {}); the run contains a blocked operation",
+                            kind.as_str(),
+                            len,
+                            addr,
+                            state.op.as_str(),
+                            span.0,
+                        ),
+                    ));
+                } else if !covered(*kind, *addr, *len, &state.grants) {
+                    diags.push(Diagnostic::new(
+                        DiagCode::Rp001,
+                        &state.device.clone(),
+                        state.cmd,
+                        format!(
+                            "recorded {} of {} bytes at {:#x} is outside every grant \
+                             declared for the {} span {}; used ⊄ declared",
+                            kind.as_str(),
+                            len,
+                            addr,
+                            state.op.as_str(),
+                            span.0,
+                        ),
+                    ));
+                }
+                if let Some(kind) = copy_kind(*kind) {
+                    state.copies.push(ResolvedOp {
+                        kind,
+                        addr: *addr,
+                        len: *len,
+                    });
+                }
+            }
+            TraceEvent::OpEnd { span, .. } => {
+                match spans.get_mut(&span.0) {
+                    Some(state) if !state.ended => state.ended = true,
+                    Some(state) => diags.push(Diagnostic::new(
+                        DiagCode::Rp002,
+                        &state.device.clone(),
+                        state.cmd,
+                        format!("span {} ends twice; the trace is malformed", span.0),
+                    )),
+                    None => diags.push(Diagnostic::new(
+                        DiagCode::Rp002,
+                        "trace",
+                        None,
+                        format!("span {} ends without ever starting", span.0),
+                    )),
+                }
+            }
+        }
+    }
+
+    for (id, state) in &spans {
+        if !state.ended {
+            diags.push(Diagnostic::new(
+                DiagCode::Rp003,
+                &state.device,
+                state.cmd,
+                format!(
+                    "span {id} ({} on {}) never ended; the recording stopped \
+                     mid-operation",
+                    state.op.as_str(),
+                    state.device,
+                ),
+            ));
+        }
+        if state.op == TraceOpKind::Ioctl {
+            if let Some(cmd) = state.cmd {
+                summary.ioctls.push((
+                    state.device.clone(),
+                    ObservedIoctl {
+                        cmd,
+                        arg: state.arg,
+                        granted: state.grants.iter().filter_map(copy_grant).collect(),
+                        executed: state.copies.clone(),
+                    },
+                ));
+            }
+        }
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paradice_trace::{SpanId, WireDelta};
+
+    fn start(span: u64, op: TraceOpKind, cmd: Option<u32>) -> TraceEvent {
+        TraceEvent::OpStart {
+            span: SpanId(span),
+            t_ns: 0,
+            guest: 1,
+            task: 1,
+            handle: 0,
+            device: "/dev/input/event0".to_owned(),
+            op,
+            cmd,
+            addr: Some(0x1000),
+            len: Some(16),
+        }
+    }
+
+    fn grants(span: u64, grants: Vec<TraceGrant>) -> TraceEvent {
+        TraceEvent::Grants {
+            span: SpanId(span),
+            grants,
+        }
+    }
+
+    fn mem_op(span: u64, kind: TraceMemOpKind, addr: u64, len: u64, ok: bool) -> TraceEvent {
+        TraceEvent::MemOp {
+            span: SpanId(span),
+            t_ns: 0,
+            kind,
+            addr,
+            len,
+            ok,
+        }
+    }
+
+    fn end(span: u64) -> TraceEvent {
+        TraceEvent::OpEnd {
+            span: SpanId(span),
+            t_ns: 10,
+            ok: true,
+            value: 0,
+            duration_ns: 10,
+            wire: WireDelta::default(),
+        }
+    }
+
+    fn run(events: &[TraceEvent]) -> (Vec<Diagnostic>, ReplaySummary) {
+        let mut diags = Vec::new();
+        let summary = check_trace(events, &mut diags);
+        (diags, summary)
+    }
+
+    #[test]
+    fn conforming_span_is_clean() {
+        let (diags, summary) = run(&[
+            start(1, TraceOpKind::Read, None),
+            grants(1, vec![TraceGrant::CopyToGuest { addr: 0x1000, len: 64 }]),
+            mem_op(1, TraceMemOpKind::CopyToGuest, 0x1000, 16, true),
+            end(1),
+        ]);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(summary.spans, 1);
+        assert_eq!(summary.mem_ops, 1);
+    }
+
+    #[test]
+    fn ungranted_mem_op_is_rp001() {
+        let (diags, _) = run(&[
+            start(1, TraceOpKind::Read, None),
+            grants(1, vec![TraceGrant::CopyToGuest { addr: 0x1000, len: 64 }]),
+            mem_op(1, TraceMemOpKind::CopyToGuest, 0x9000, 16, true),
+            end(1),
+        ]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::Rp001);
+    }
+
+    #[test]
+    fn hypervisor_rejection_is_rp001() {
+        let (diags, _) = run(&[
+            start(1, TraceOpKind::Write, None),
+            grants(1, vec![TraceGrant::CopyFromGuest { addr: 0x1000, len: 64 }]),
+            mem_op(1, TraceMemOpKind::CopyFromGuest, 0x1000, 16, false),
+            end(1),
+        ]);
+        assert!(diags.iter().any(|d| d.code == DiagCode::Rp001));
+    }
+
+    #[test]
+    fn map_pages_window_covers_each_page() {
+        let (diags, _) = run(&[
+            start(1, TraceOpKind::Mmap, None),
+            grants(
+                1,
+                vec![TraceGrant::MapPages {
+                    va: 0x10000,
+                    pages: 4,
+                    access: 3,
+                }],
+            ),
+            mem_op(1, TraceMemOpKind::MapPage, 0x12000, 4096, true),
+            end(1),
+        ]);
+        assert!(diags.is_empty(), "{diags:?}");
+        let (diags, _) = run(&[
+            start(2, TraceOpKind::Mmap, None),
+            grants(
+                2,
+                vec![TraceGrant::MapPages {
+                    va: 0x10000,
+                    pages: 4,
+                    access: 3,
+                }],
+            ),
+            mem_op(2, TraceMemOpKind::MapPage, 0x14000, 4096, true),
+            end(2),
+        ]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::Rp001);
+    }
+
+    #[test]
+    fn orphan_events_are_rp002() {
+        let (diags, _) = run(&[
+            mem_op(9, TraceMemOpKind::CopyToGuest, 0x1000, 8, true),
+            end(9),
+        ]);
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().all(|d| d.code == DiagCode::Rp002));
+    }
+
+    #[test]
+    fn duplicate_span_start_is_rp002() {
+        let (diags, _) = run(&[
+            start(1, TraceOpKind::Poll, None),
+            start(1, TraceOpKind::Poll, None),
+            end(1),
+        ]);
+        assert!(diags.iter().any(|d| d.code == DiagCode::Rp002));
+    }
+
+    #[test]
+    fn unended_span_is_rp003() {
+        let (diags, _) = run(&[start(1, TraceOpKind::Open, None)]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::Rp003);
+    }
+
+    #[test]
+    fn ioctl_spans_become_observed_ioctls() {
+        let (_, summary) = run(&[
+            start(1, TraceOpKind::Ioctl, Some(0xc010_6444)),
+            grants(
+                1,
+                vec![
+                    TraceGrant::CopyFromGuest { addr: 0x1000, len: 16 },
+                    TraceGrant::CopyToGuest { addr: 0x1000, len: 16 },
+                ],
+            ),
+            mem_op(1, TraceMemOpKind::CopyFromGuest, 0x1000, 16, true),
+            end(1),
+        ]);
+        assert_eq!(summary.ioctls.len(), 1);
+        let (device, obs) = &summary.ioctls[0];
+        assert_eq!(device, "/dev/input/event0");
+        assert_eq!(obs.cmd, 0xc010_6444);
+        assert_eq!(obs.granted.len(), 2);
+        assert_eq!(obs.executed.len(), 1);
+        assert_eq!(obs.executed[0].kind, OpKind::CopyFromUser);
+    }
+}

@@ -3,9 +3,13 @@
 //! ```sh
 //! cargo run -p paradice-bench --bin experiments            # everything
 //! cargo run -p paradice-bench --bin experiments -- --fig2  # one experiment
+//! cargo run -p paradice-bench --bin experiments -- --trace trace.jsonl
 //! ```
 //!
-//! Tables print to stdout and land as CSV under `results/`.
+//! Tables print to stdout and land as CSV under `results/`. `--trace`
+//! records the reference workload with paradice-trace enabled and dumps
+//! the span events as JSONL — feed the file to `paradice-lint --replay`
+//! for recorded-trace conformance checking.
 
 use std::path::PathBuf;
 
@@ -25,6 +29,20 @@ fn emit(table: Table) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--trace") {
+        let Some(path) = args.get(pos + 1) else {
+            eprintln!("--trace requires a file path");
+            std::process::exit(2);
+        };
+        let jsonl = paradice_bench::tracing::record_workload_trace();
+        if let Err(e) = std::fs::write(path, &jsonl) {
+            eprintln!("error: could not write {path}: {e}");
+            std::process::exit(1);
+        }
+        let events = jsonl.lines().count();
+        println!("recorded reference workload trace: {events} events -> {path}");
+        return;
+    }
     let run_all = args.is_empty() || args.iter().any(|a| a == "--all");
     let want = |flag: &str| run_all || args.iter().any(|a| a == flag);
 

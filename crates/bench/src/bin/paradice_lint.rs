@@ -11,6 +11,7 @@
 //! cargo run -p paradice-bench --bin paradice-lint -- --json    # JSON array
 //! cargo run -p paradice-bench --bin paradice-lint -- --fixtures
 //! cargo run -p paradice-bench --bin paradice-lint -- --audit blocked.tsv
+//! cargo run -p paradice-bench --bin paradice-lint -- --replay trace.jsonl
 //! ```
 //!
 //! Flags:
@@ -22,11 +23,16 @@
 //! * `--audit FILE` — parse a hypervisor audit export
 //!   (`AuditLog::export_text` format) and report each blocked operation
 //!   as `CF004`.
+//! * `--replay FILE` — verify a recorded paradice-trace JSONL dump
+//!   (`experiments --trace`): span shape (`RP` codes), grants-used ⊆
+//!   grants-declared, and each recorded ioctl against the owning
+//!   handler's static envelope (`CF` codes).
 
 use std::process::ExitCode;
 
 use paradice_analyzer::lint::{
-    self, apply_allowlist, conformance, has_errors, lint_handler, Diagnostic, Severity,
+    self, apply_allowlist, conformance, has_errors, lint_handler, replay, DiagCode, Diagnostic,
+    Severity,
 };
 use paradice_drivers::{all_handlers, lint_allowlist};
 
@@ -35,6 +41,65 @@ struct Options {
     fixtures: bool,
     no_allowlist: bool,
     audit: Option<String>,
+    replay: Option<String>,
+}
+
+/// Maps a recorded device path to the registry name of the handler IR
+/// that serves it on the stock machine.
+fn handler_for_device(path: &str) -> Option<&'static str> {
+    match path {
+        "/dev/dri/card0" => Some("radeon-3.2.0"),
+        "/dev/dri/card1" => Some("i915"),
+        "/dev/input/event0" | "/dev/input/event1" => Some("evdev"),
+        "/dev/video0" => Some("camera-uvc"),
+        "/dev/snd/pcmC0D0p" => Some("audio-hda"),
+        "/dev/netmap" => Some("netmap-e1000e"),
+        _ => None,
+    }
+}
+
+/// Runs the recorded-trace conformance gate: shape/grant checks over the
+/// whole span stream, then the per-ioctl static-envelope replay against
+/// each device's handler IR.
+fn check_recorded_trace(text: &str, diags: &mut Vec<Diagnostic>) -> Result<String, String> {
+    let events = paradice_trace::parse_jsonl(text).map_err(|e| e.to_string())?;
+    let summary = replay::check_trace(&events, diags);
+    let handlers = all_handlers();
+    let mut by_driver: Vec<(&'static str, Vec<conformance::ObservedIoctl>)> = Vec::new();
+    for (device, obs) in summary.ioctls {
+        let Some(name) = handler_for_device(&device) else {
+            diags.push(Diagnostic::new(
+                DiagCode::Rp004,
+                "trace",
+                Some(obs.cmd),
+                format!(
+                    "trace records an ioctl on {device:?} which maps to no registered \
+                     handler IR; its envelope cannot be replayed"
+                ),
+            ));
+            continue;
+        };
+        match by_driver.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, list)) => list.push(obs),
+            None => by_driver.push((name, vec![obs])),
+        }
+    }
+    for (name, observed) in &by_driver {
+        let handler = handlers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| *h)
+            .expect("handler_for_device only names registered handlers");
+        conformance::check_replay(name, handler, observed, diags);
+    }
+    let ioctls: usize = by_driver.iter().map(|(_, l)| l.len()).sum();
+    Ok(format!(
+        "{} span(s), {} mem op(s), {} ioctl(s) replayed against {} handler(s)",
+        summary.spans,
+        summary.mem_ops,
+        ioctls,
+        by_driver.len(),
+    ))
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -43,6 +108,7 @@ fn parse_args() -> Result<Options, String> {
         fixtures: false,
         no_allowlist: false,
         audit: None,
+        replay: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -56,12 +122,18 @@ fn parse_args() -> Result<Options, String> {
                         .ok_or_else(|| "--audit requires a file path".to_owned())?,
                 );
             }
+            "--replay" => {
+                opts.replay = Some(
+                    args.next()
+                        .ok_or_else(|| "--replay requires a file path".to_owned())?,
+                );
+            }
             "--help" | "-h" => {
                 println!(
                     "paradice-lint: static + conformance lints over shipped driver IR\n\
                      \n\
                      usage: paradice-lint [--json] [--fixtures] [--no-allowlist] \
-                     [--audit FILE]"
+                     [--audit FILE] [--replay FILE]"
                 );
                 std::process::exit(0);
             }
@@ -105,6 +177,23 @@ fn main() -> ExitCode {
             }
         }
     }
+    let mut replay_summary = None;
+    if let Some(path) = &opts.replay {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("paradice-lint: cannot read trace {path:?}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match check_recorded_trace(&text, &mut diags) {
+            Ok(summary) => replay_summary = Some(summary),
+            Err(e) => {
+                eprintln!("paradice-lint: malformed trace {path:?}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
     if !opts.no_allowlist {
         apply_allowlist(&mut diags, &lint_allowlist());
     }
@@ -114,6 +203,9 @@ fn main() -> ExitCode {
     } else {
         for diag in &diags {
             println!("{}", diag.render());
+        }
+        if let Some(summary) = &replay_summary {
+            println!("paradice-lint: replay: {summary}");
         }
         let count = |sev: Severity| diags.iter().filter(|d| d.severity == sev).count();
         println!(

@@ -12,6 +12,8 @@
 //! * [`report`] — table/series rendering (aligned text + CSV under
 //!   `results/`).
 //! * [`experiments`] — one entry point per table and figure.
+//! * [`tracing`] — the paradice-trace reference recorder behind
+//!   `experiments --trace <path>` and the `--replay` conformance gate.
 //!
 //! Run everything with `cargo run -p paradice-bench --bin experiments`.
 
@@ -19,6 +21,7 @@ pub mod calib;
 pub mod configs;
 pub mod experiments;
 pub mod report;
+pub mod tracing;
 pub mod workloads;
 
 pub use configs::{build, spawn_app, Config};

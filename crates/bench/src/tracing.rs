@@ -1,0 +1,92 @@
+//! Records paradice-trace spans from a deterministic reference workload.
+//!
+//! [`record_workload_trace`] builds a stock Paradice machine (GPU + mouse,
+//! one guest), turns on tracing, and drives a short but representative
+//! session: the §6.1.5 mouse event→read path and a miniature DRM session
+//! (query, allocate, upload, map, render, drain). Because all time is
+//! virtual the resulting JSONL is bit-identical across runs and hosts,
+//! which is what lets `tests/trace_replay.rs` and `paradice-lint --replay`
+//! treat a committed fixture as ground truth.
+
+use paradice::app::drm::DrmClient;
+use paradice::gpu_ioctl::{gem_domain, info};
+use paradice::prelude::*;
+
+use crate::configs::{build, spawn_app, Config};
+
+/// Runs the reference workload under tracing and returns the JSONL dump.
+///
+/// The session exercises every traced op kind the replay gate cares
+/// about: `open`, `fasync`, `poll`, `read` (mouse) and `ioctl`, `mmap`,
+/// `release` (GPU), with grants flowing on the read/ioctl paths.
+///
+/// # Panics
+///
+/// Panics if the reference workload itself fails — that is a real
+/// regression, not a recording problem.
+pub fn record_workload_trace() -> String {
+    let mut machine = build(Config::Paradice, &[DeviceSpec::gpu(), DeviceSpec::Mouse], 1);
+    let tracer = machine.enable_tracing();
+    let task = spawn_app(&mut machine, Config::Paradice);
+
+    // Mouse: the §6.1.5 event→read latency session.
+    let mouse = machine.open(task, "/dev/input/event0").expect("open mouse");
+    machine.fasync(task, mouse, true).expect("fasync on");
+    let buf = machine.alloc_buffer(task, 256).expect("event buffer");
+    machine.clock().advance(2_000_000);
+    machine.mouse_move(1, 0);
+    machine.wait_event(task);
+    machine.poll(task, mouse).expect("poll mouse");
+    machine.read(task, mouse, buf, 64).expect("read event");
+    machine.fasync(task, mouse, false).expect("fasync off");
+
+    // GPU: a miniature DRM session against the radeon driver.
+    let drm = DrmClient::open(&mut machine, task).expect("open drm");
+    drm.info(&mut machine, info::DEVICE_ID).expect("device id");
+    let bo = drm
+        .gem_create(&mut machine, PAGE_SIZE, gem_domain::VRAM)
+        .expect("gem create");
+    let staging = machine.alloc_buffer(task, PAGE_SIZE).expect("staging");
+    machine
+        .write_mem(task, staging, &[0xA5u8; 64])
+        .expect("stage pixels");
+    drm.gem_pwrite(&mut machine, bo, 0, staging, 64).expect("pwrite");
+    drm.gem_map(&mut machine, bo, PAGE_SIZE).expect("gem map");
+    let fence = drm.submit_render(&mut machine, 1_000, bo).expect("render");
+    let _ = fence;
+    drm.wait_idle(&mut machine, bo).expect("wait idle");
+
+    machine.close(task, mouse).expect("close mouse");
+    machine.close(task, drm.fd).expect("close drm");
+
+    tracer.to_jsonl()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paradice_trace::{parse_jsonl, TraceEvent};
+
+    #[test]
+    fn recorded_trace_parses_and_is_deterministic() {
+        let a = record_workload_trace();
+        let b = record_workload_trace();
+        assert_eq!(a, b, "virtual time must make recording deterministic");
+        let events = parse_jsonl(&a).expect("recorded trace parses");
+        assert!(!events.is_empty());
+        let starts = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::OpStart { .. }))
+            .count();
+        let ends = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::OpEnd { .. }))
+            .count();
+        assert_eq!(starts, ends, "every span must close");
+        assert!(starts >= 10, "session should record many ops: {starts}");
+        assert!(
+            events.iter().any(|e| matches!(e, TraceEvent::MemOp { .. })),
+            "read/ioctl paths must record hypervisor mem ops"
+        );
+    }
+}

@@ -15,7 +15,7 @@ use paradice_analyzer::extract::analyze_handler;
 use paradice_cvd::backend::{Backend, SharedBackend, DEFAULT_QUEUE_CAP};
 use paradice_cvd::frontend::{Frontend, IoctlKnowledge};
 use paradice_cvd::info::{DeviceInfoModule, VirtualPciBus};
-use paradice_cvd::proto::WireResponse;
+use paradice_cvd::proto::{CvdChannel, WireResponse};
 use paradice_cvd::sharing::{SharingPolicy, VirtualTerminals};
 pub use paradice_cvd::OsPersonality;
 use paradice_devfs::fileops::{FileOps, MmapRange, OpenContext, PollEvents, TaskId, UserBuffer};
@@ -36,10 +36,11 @@ use paradice_drivers::netmap::NetmapDriver;
 use paradice_hypervisor::hv::{DataIsolation, HvError, Hypervisor};
 use paradice_hypervisor::vm::VmRole;
 use paradice_hypervisor::{
-    Channel, CostModel, SharedHypervisor, SimClock, TransportMode, VmId,
+    CostModel, SharedHypervisor, SimClock, TransportMode, VmId,
 };
 use paradice_mem::pagetable::GuestPageTables;
 use paradice_mem::{Access, GuestPhysAddr, GuestVirtAddr, PAGE_SIZE};
+use paradice_trace::Tracer;
 
 /// How the machine virtualizes I/O.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -429,7 +430,7 @@ impl MachineBuilder {
             backend.borrow_mut().set_terminals(terminals.clone());
             let mut frontends = Vec::new();
             for (i, &guest) in guest_vms.iter().enumerate() {
-                let channel = Rc::new(RefCell::new(Channel::new(
+                let channel = Rc::new(RefCell::new(CvdChannel::new(
                     transport,
                     machine.clock.clone(),
                     self.cost.clone(),
@@ -494,10 +495,22 @@ impl fmt::Debug for Machine {
 
 /// The native/assignment [`MemOps`]: direct kernel access to the local
 /// process (the paper's unmodified `copy_to_user`/`vm_insert_pfn`).
-struct DirectMemOps {
+///
+/// Together with [`paradice_devfs::BufferMemOps`] (plain in-memory buffers)
+/// and `paradice_cvd::memops::HypercallMemOps` (grant-checked hypercalls
+/// from the driver VM), this completes the unified [`MemOps`] story: one
+/// trait, three execution modes, the same driver code against all of them.
+pub struct DirectMemOps {
     hv: SharedHypervisor,
     vm: VmId,
     pt_root: GuestPhysAddr,
+}
+
+impl DirectMemOps {
+    /// Direct access to `vm`'s process rooted at `pt_root`.
+    pub fn new(hv: SharedHypervisor, vm: VmId, pt_root: GuestPhysAddr) -> Self {
+        DirectMemOps { hv, vm, pt_root }
+    }
 }
 
 impl MemOps for DirectMemOps {
@@ -1464,6 +1477,22 @@ impl Machine {
     /// Paradice").
     pub fn enable_devirtualization_ablation(&mut self) {
         self.hv.borrow_mut().set_grant_validation(false);
+    }
+
+    /// Turns on paradice-trace: every forwarded file operation from now on
+    /// records an `OpStart`/`Grants`/`MemOp`.../`OpEnd` span across the
+    /// frontend, the wire, and the hypervisor's grant checks. Returns the
+    /// shared [`Tracer`] whose event log accumulates the spans.
+    ///
+    /// Tracing is recording-only: it never advances the virtual clock, so
+    /// traced runs keep the exact timing of untraced ones.
+    pub fn enable_tracing(&mut self) -> Tracer {
+        let tracer = Tracer::enabled();
+        self.hv.borrow_mut().set_tracer(tracer.clone());
+        for frontend in &self.frontends {
+            frontend.borrow_mut().set_tracer(tracer.clone());
+        }
+        tracer
     }
 
     /// Drains a paused backend queue (test/diagnostic pass-through).

@@ -1,11 +1,22 @@
 //! One-stop imports for examples and application code.
+//!
+//! Also the home of the unified [`MemOps`] story: every way a driver can
+//! touch process memory — [`BufferMemOps`] (flat buffer, unit tests),
+//! [`DirectMemOps`] (native/assignment, straight through the hypervisor),
+//! [`HypercallMemOps`] (Paradice, grant-checked hypercalls) — implements
+//! the one trait, so driver code is oblivious to which world it runs in.
 
 pub use crate::machine::{
-    DeviceSpec, ExecMode, GuestSpec, Machine, MachineBuilder, MachineError, OsPersonality,
+    DeviceSpec, DirectMemOps, ExecMode, GuestSpec, Machine, MachineBuilder, MachineError,
+    OsPersonality,
 };
+pub use paradice_cvd::proto::CvdChannel;
+pub use paradice_cvd::HypercallMemOps;
 pub use paradice_devfs::fileops::{OpenFlags, PollEvents, TaskId};
 pub use paradice_devfs::ioc::{io, ior, iow, iowr, IoctlCmd};
+pub use paradice_devfs::memops::{BufferMemOps, MemOps};
 pub use paradice_devfs::Errno;
 pub use paradice_drivers::gpu::driver::DriverVersion;
 pub use paradice_hypervisor::{CostModel, TransportMode};
 pub use paradice_mem::{Access, GuestVirtAddr, PAGE_SIZE};
+pub use paradice_trace::{parse_jsonl, TraceEvent, Tracer};

@@ -25,11 +25,12 @@ use paradice_devfs::sysinfo::DeviceClass;
 use paradice_devfs::Errno;
 use paradice_drivers::env::KernelEnv;
 use paradice_hypervisor::audit::AuditEvent;
-use paradice_hypervisor::{Channel, GrantRef, SharedHypervisor, VmId};
+use paradice_hypervisor::{ChannelError, GrantRef, SharedHypervisor, VmId};
 use paradice_mem::GuestVirtAddr;
+use paradice_trace::SpanId;
 
 use crate::memops::HypercallMemOps;
-use crate::proto::{WireOp, WireRequest, WireResponse, WireSignal};
+use crate::proto::{CvdChannel, WireOp, WireRequest, WireResponse, WireSignal};
 use crate::sharing::{SharingPolicy, VirtualTerminals};
 
 /// The paper's per-guest wait-queue cap.
@@ -46,8 +47,8 @@ struct DeviceSlot {
 }
 
 struct GuestState {
-    channel: Rc<RefCell<Channel>>,
-    queue: VecDeque<Vec<u8>>,
+    channel: Rc<RefCell<CvdChannel>>,
+    queue: VecDeque<WireRequest>,
     cap: usize,
 }
 
@@ -142,7 +143,7 @@ impl Backend {
     }
 
     /// Attaches a guest VM with its shared-page channel and queue cap.
-    pub fn attach_guest(&mut self, guest: VmId, channel: Rc<RefCell<Channel>>, cap: usize) {
+    pub fn attach_guest(&mut self, guest: VmId, channel: Rc<RefCell<CvdChannel>>, cap: usize) {
         self.guests.insert(
             guest.0,
             GuestState {
@@ -197,25 +198,36 @@ impl Backend {
     /// channel (and the flood audited), exactly as the guest would see it.
     pub fn handle_request(&mut self, guest: VmId) -> Result<(), Errno> {
         let state = self.guests.get_mut(&guest.0).ok_or(Errno::Einval)?;
-        let bytes = state
-            .channel
-            .borrow_mut()
-            .take_request()
-            .map_err(|_| Errno::Einval)?;
+        let request = match state.channel.borrow_mut().take_request() {
+            Ok(request) => request,
+            Err(ChannelError::Malformed) => {
+                // The slot held bytes that do not decode as a WireRequest.
+                // The channel already consumed them; answer EINVAL so the
+                // guest is not left waiting on an empty response slot.
+                let _ = state
+                    .channel
+                    .borrow_mut()
+                    .send_response(WireResponse::Err(Errno::Einval));
+                return Ok(());
+            }
+            Err(_) => return Err(Errno::Einval),
+        };
         if state.queue.len() >= state.cap {
             let depth = state.queue.len();
-            let response = WireResponse(Err(Errno::Edquot)).encode();
-            let _ = state.channel.borrow_mut().send_response(response);
+            let _ = state
+                .channel
+                .borrow_mut()
+                .send_response(WireResponse::Err(Errno::Edquot));
             self.hv
                 .borrow_mut()
                 .record_audit(AuditEvent::WaitQueueOverflow { guest, depth });
             return Ok(());
         }
-        state.queue.push_back(bytes);
+        state.queue.push_back(request);
         if !self.paused {
             if let Some(response) = self.execute_next(guest) {
                 let state = self.guests.get_mut(&guest.0).expect("attached above");
-                let _ = state.channel.borrow_mut().send_response(response.encode());
+                let _ = state.channel.borrow_mut().send_response(response);
             }
         }
         Ok(())
@@ -236,18 +248,24 @@ impl Backend {
     }
 
     fn execute_next(&mut self, guest: VmId) -> Option<WireResponse> {
-        let bytes = self.guests.get_mut(&guest.0)?.queue.pop_front()?;
-        let Ok(request) = WireRequest::decode(&bytes) else {
-            return Some(WireResponse(Err(Errno::Einval)));
-        };
+        let request = self.guests.get_mut(&guest.0)?.queue.pop_front()?;
         self.hv.borrow().clock().advance(
             self.hv.borrow().cost().backend_dispatch_ns,
         );
         self.ops_executed += 1;
-        Some(WireResponse(self.dispatch(guest, request)))
+        // Span marking, mirroring the guest-thread mark: every grant-checked
+        // hypercall the driver performs for this request lands in the span
+        // the frontend stamped on the wire.
+        self.hv.borrow_mut().set_current_span(SpanId(request.span));
+        let response = match self.dispatch(guest, request) {
+            Ok(response) => response,
+            Err(errno) => WireResponse::Err(errno),
+        };
+        self.hv.borrow_mut().set_current_span(SpanId::NONE);
+        Some(response)
     }
 
-    fn dispatch(&mut self, guest: VmId, request: WireRequest) -> Result<i64, Errno> {
+    fn dispatch(&mut self, guest: VmId, request: WireRequest) -> Result<WireResponse, Errno> {
         let task = TaskId(request.task);
         match &request.op {
             WireOp::Open { path, flags } => {
@@ -273,7 +291,7 @@ impl Backend {
                         flags: *flags,
                     },
                 );
-                Ok(handle.0 as i64)
+                Ok(WireResponse::Value(handle.0 as i64))
             }
             op => {
                 let handle = FileHandleId(request.handle);
@@ -308,15 +326,17 @@ impl Backend {
                         ctx,
                         &mut mem,
                         UserBuffer::new(*addr, *len),
-                    ).map(|n| n as i64),
+                    ).map(|n| WireResponse::Value(n as i64)),
                     WireOp::Write { addr, len } => slot.ops.borrow_mut().write(
                         ctx,
                         &mut mem,
                         UserBuffer::new(*addr, *len),
-                    ).map(|n| n as i64),
-                    WireOp::Ioctl { cmd, arg } => {
-                        slot.ops.borrow_mut().ioctl(ctx, &mut mem, *cmd, *arg)
-                    }
+                    ).map(|n| WireResponse::Value(n as i64)),
+                    WireOp::Ioctl { cmd, arg } => slot
+                        .ops
+                        .borrow_mut()
+                        .ioctl(ctx, &mut mem, *cmd, *arg)
+                        .map(WireResponse::Value),
                     WireOp::Mmap {
                         va,
                         len,
@@ -335,30 +355,30 @@ impl Backend {
                                 access: *access,
                             },
                         )
-                        .map(|()| 0),
+                        .map(|()| WireResponse::Value(0)),
                     WireOp::Munmap { va, len } => slot
                         .ops
                         .borrow_mut()
                         .munmap(ctx, &mut mem, *va, *len)
-                        .map(|()| 0),
+                        .map(|()| WireResponse::Value(0)),
                     WireOp::Fault { va } => slot
                         .ops
                         .borrow_mut()
                         .fault(ctx, &mut mem, *va)
-                        .map(|()| 0),
-                    WireOp::Poll => slot
+                        .map(|()| WireResponse::Value(0)),
+                    // `poll` answers with its dedicated variant: event bits
+                    // are not a return value and never masquerade as one.
+                    WireOp::Poll => slot.ops.borrow_mut().poll(ctx).map(WireResponse::Poll),
+                    WireOp::Fasync { on } => slot
                         .ops
                         .borrow_mut()
-                        .poll(ctx)
-                        .map(|events| i64::from(events.bits())),
-                    WireOp::Fasync { on } => {
-                        slot.ops.borrow_mut().fasync(ctx, *on).map(|()| 0)
-                    }
+                        .fasync(ctx, *on)
+                        .map(|()| WireResponse::Value(0)),
                     WireOp::Release => {
                         let result = slot.ops.borrow_mut().release(ctx);
                         let _ = self.devfs.close(handle);
                         self.opens.remove(&request.handle);
-                        result.map(|()| 0)
+                        result.map(|()| WireResponse::Value(0))
                     }
                     WireOp::Open { .. } => unreachable!("handled above"),
                 };
@@ -398,12 +418,7 @@ impl Backend {
                     task: signal.task.0,
                     handle: signal.handle.0,
                 };
-                if state
-                    .channel
-                    .borrow_mut()
-                    .send_notification(wire.encode())
-                    .is_ok()
-                {
+                if state.channel.borrow_mut().send_notification(wire).is_ok() {
                     forwarded += 1;
                 }
             }

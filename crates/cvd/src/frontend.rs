@@ -30,12 +30,13 @@ use paradice_analyzer::jit::{evaluate_slice, UserReader};
 use paradice_devfs::fileops::{FileOpKind, OpenFlags, PollEvents, TaskId};
 use paradice_devfs::ioc::IoctlCmd;
 use paradice_devfs::Errno;
-use paradice_hypervisor::{Channel, GrantRef, MemOpGrant, SharedHypervisor, VmId};
+use paradice_hypervisor::{ChannelStats, GrantRef, MemOpGrant, SharedHypervisor, VmId};
 use paradice_mem::pagetable::GuestPageTables;
 use paradice_mem::{Access, GuestVirtAddr, PAGE_SIZE};
+use paradice_trace::{SpanId, TraceEvent, TraceGrant, TraceOpKind, Tracer, WireDelta};
 
 use crate::backend::SharedBackend;
-use crate::proto::{WireOp, WireRequest, WireResponse, WireSignal};
+use crate::proto::{CvdChannel, WireOp, WireRequest, WireResponse};
 
 /// The guest OS flavor a frontend is built for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -219,6 +220,62 @@ struct OpenFile {
     path: String,
 }
 
+/// Per-operation metadata stamped on the `OpStart` trace event.
+#[derive(Debug, Clone)]
+struct OpTrace {
+    device: String,
+    kind: TraceOpKind,
+    cmd: Option<u32>,
+    addr: Option<u64>,
+    len: Option<u64>,
+}
+
+impl OpTrace {
+    fn new(device: String, kind: TraceOpKind) -> Self {
+        OpTrace {
+            device,
+            kind,
+            cmd: None,
+            addr: None,
+            len: None,
+        }
+    }
+
+    fn range(mut self, addr: u64, len: u64) -> Self {
+        self.addr = Some(addr);
+        self.len = Some(len);
+        self
+    }
+
+    fn cmd(mut self, cmd: u32) -> Self {
+        self.cmd = Some(cmd);
+        self
+    }
+}
+
+/// Mirrors a declared grant into its trace representation.
+fn trace_grant(grant: &MemOpGrant) -> TraceGrant {
+    match *grant {
+        MemOpGrant::CopyFromGuest { addr, len } => TraceGrant::CopyFromGuest {
+            addr: addr.raw(),
+            len,
+        },
+        MemOpGrant::CopyToGuest { addr, len } => TraceGrant::CopyToGuest {
+            addr: addr.raw(),
+            len,
+        },
+        MemOpGrant::MapPages { va, pages, access } => TraceGrant::MapPages {
+            va: va.raw(),
+            pages,
+            access: access.bits(),
+        },
+        MemOpGrant::UnmapPages { va, pages } => TraceGrant::UnmapPages {
+            va: va.raw(),
+            pages,
+        },
+    }
+}
+
 /// A device mapping the frontend has forwarded: needed to derive grants for
 /// page faults in lazily-populated mappings (§2.1's "supporting page fault
 /// handler").
@@ -246,7 +303,7 @@ pub struct Frontend {
     hv: SharedHypervisor,
     guest: VmId,
     personality: OsPersonality,
-    channel: Rc<RefCell<Channel>>,
+    channel: Rc<RefCell<CvdChannel>>,
     backend: SharedBackend,
     knowledge: BTreeMap<String, Rc<IoctlKnowledge>>,
     open: BTreeMap<u64, OpenFile>,
@@ -257,6 +314,8 @@ pub struct Frontend {
     /// Forwarded device mappings, for fault-grant derivation.
     vmas: Vec<Vma>,
     stats: FrontendStats,
+    /// paradice-trace sink; disabled by default (zero-cost path).
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for Frontend {
@@ -276,7 +335,7 @@ impl Frontend {
         hv: SharedHypervisor,
         guest: VmId,
         personality: OsPersonality,
-        channel: Rc<RefCell<Channel>>,
+        channel: Rc<RefCell<CvdChannel>>,
         backend: SharedBackend,
     ) -> Self {
         Frontend {
@@ -292,7 +351,14 @@ impl Frontend {
             pending_mmap_range: None,
             vmas: Vec::new(),
             stats: FrontendStats::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs the trace sink (shared with the hypervisor and the other
+    /// frontends; see `Machine::enable_tracing`).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The guest this frontend serves.
@@ -323,20 +389,17 @@ impl Frontend {
         self.pending_mmap_range = Some((va, len));
     }
 
-    fn forward(&mut self, request: WireRequest) -> Result<i64, Errno> {
+    fn forward(&mut self, request: WireRequest) -> Result<WireResponse, Errno> {
         self.stats.ops_forwarded += 1;
-        let bytes = request.encode();
         self.channel
             .borrow_mut()
-            .send_request(bytes)
+            .send_request(request)
             .map_err(|_| Errno::Eagain)?;
         self.backend.borrow_mut().handle_request(self.guest)?;
-        let response = self
-            .channel
+        self.channel
             .borrow_mut()
             .take_response()
-            .map_err(|_| Errno::Eio)?;
-        WireResponse::decode(&response).map_err(|_| Errno::Eio)?.0
+            .map_err(|_| Errno::Eio)
     }
 
     fn declare(&mut self, ops: Vec<MemOpGrant>) -> Result<GrantRef, Errno> {
@@ -351,6 +414,119 @@ impl Frontend {
         let _ = self.hv.borrow_mut().revoke_grant(self.guest, grant);
     }
 
+    /// The single declare → forward → revoke path every file operation
+    /// rides, with span bookkeeping around it.
+    ///
+    /// `grants: Some(ops)` declares `ops` (even when empty — a grant
+    /// reference is still allocated, matching the paper's per-operation
+    /// grant lifecycle) and attaches the reference to the request;
+    /// `None` forwards grant-free (open/release/poll/fasync).
+    fn run_op(
+        &mut self,
+        task: TaskId,
+        pt_root: paradice_mem::GuestPhysAddr,
+        handle: u64,
+        grants: Option<Vec<MemOpGrant>>,
+        op: WireOp,
+        trace: OpTrace,
+    ) -> Result<WireResponse, Errno> {
+        let enabled = self.tracer.is_enabled();
+        let span = self.tracer.begin_span();
+        let (start_ns, stats_before) = if enabled {
+            let start_ns = self.hv.borrow().clock().now_ns();
+            let stats = self.channel.borrow().stats();
+            self.tracer.record(TraceEvent::OpStart {
+                span,
+                t_ns: start_ns,
+                guest: u64::from(self.guest.0),
+                task: task.0,
+                handle,
+                device: trace.device,
+                op: trace.kind,
+                cmd: trace.cmd,
+                addr: trace.addr,
+                len: trace.len,
+            });
+            (start_ns, stats)
+        } else {
+            (0, ChannelStats::default())
+        };
+        let grant = match grants {
+            Some(ops) => {
+                if enabled {
+                    self.tracer.record(TraceEvent::Grants {
+                        span,
+                        grants: ops.iter().map(trace_grant).collect(),
+                    });
+                }
+                match self.declare(ops) {
+                    Ok(grant) => Some(grant),
+                    Err(errno) => {
+                        self.trace_op_end(span, start_ns, stats_before, Err(errno));
+                        return Err(errno);
+                    }
+                }
+            }
+            None => None,
+        };
+        let result = self.forward(WireRequest {
+            task: task.0,
+            pt_root,
+            handle,
+            span: span.0,
+            grant,
+            op,
+        });
+        self.trace_op_end(span, start_ns, stats_before, result);
+        if let Some(grant) = grant {
+            self.revoke(grant);
+        }
+        result
+    }
+
+    /// Closes a span: final result, duration, and the channel-stats delta
+    /// the operation was responsible for.
+    fn trace_op_end(
+        &self,
+        span: SpanId,
+        start_ns: u64,
+        stats_before: ChannelStats,
+        outcome: Result<WireResponse, Errno>,
+    ) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let end_ns = self.hv.borrow().clock().now_ns();
+        let after = self.channel.borrow().stats();
+        let (ok, value) = match outcome {
+            Ok(WireResponse::Value(value)) => (true, value),
+            Ok(WireResponse::Poll(events)) => (true, i64::from(events.bits())),
+            Ok(WireResponse::Err(errno)) | Err(errno) => (false, -i64::from(errno.code())),
+        };
+        self.tracer.record(TraceEvent::OpEnd {
+            span,
+            t_ns: end_ns,
+            ok,
+            value,
+            duration_ns: end_ns.saturating_sub(start_ns),
+            wire: WireDelta {
+                bytes_out: after.request_bytes - stats_before.request_bytes,
+                bytes_in: (after.response_bytes + after.notification_bytes)
+                    - (stats_before.response_bytes + stats_before.notification_bytes),
+                deliveries: after.deliveries() - stats_before.deliveries(),
+            },
+        });
+    }
+
+    /// The device path for span labels, cloned only when tracing is live.
+    fn trace_device(&self, path: &str) -> String {
+        if self.tracer.is_enabled() {
+            path.to_owned()
+        } else {
+            String::new()
+        }
+    }
+
     /// Opens the virtual device file mirroring `path`; returns a guest-local
     /// descriptor.
     ///
@@ -358,16 +534,20 @@ impl Frontend {
     ///
     /// Whatever the real driver/devfs returns (`ENOENT`, `EBUSY`, …).
     pub fn open(&mut self, task: TaskId, path: &str, flags: OpenFlags) -> Result<u64, Errno> {
-        let backend_handle = self.forward(WireRequest {
-            task: task.0,
-            pt_root: paradice_mem::GuestPhysAddr::new(0),
-            handle: 0,
-            grant: None,
-            op: WireOp::Open {
-                path: path.to_owned(),
-                flags,
-            },
-        })? as u64;
+        let trace = OpTrace::new(self.trace_device(path), TraceOpKind::Open);
+        let backend_handle = self
+            .run_op(
+                task,
+                paradice_mem::GuestPhysAddr::new(0),
+                0,
+                None,
+                WireOp::Open {
+                    path: path.to_owned(),
+                    flags,
+                },
+                trace,
+            )?
+            .result()? as u64;
         let fd = self.next_fd;
         self.next_fd += 1;
         self.open.insert(
@@ -392,13 +572,16 @@ impl Frontend {
     /// `EBADF` for unknown descriptors.
     pub fn release(&mut self, task: TaskId, fd: u64) -> Result<(), Errno> {
         let file = self.file(fd)?.clone();
-        self.forward(WireRequest {
-            task: task.0,
-            pt_root: paradice_mem::GuestPhysAddr::new(0),
-            handle: file.backend_handle,
-            grant: None,
-            op: WireOp::Release,
-        })?;
+        let trace = OpTrace::new(self.trace_device(&file.path), TraceOpKind::Release);
+        self.run_op(
+            task,
+            paradice_mem::GuestPhysAddr::new(0),
+            file.backend_handle,
+            None,
+            WireOp::Release,
+            trace,
+        )?
+        .result()?;
         self.open.remove(&fd);
         self.backend_to_local.remove(&file.backend_handle);
         Ok(())
@@ -417,17 +600,20 @@ impl Frontend {
         addr: GuestVirtAddr,
         len: u64,
     ) -> Result<u64, Errno> {
-        let handle = self.file(fd)?.backend_handle;
-        let grant = self.declare(vec![MemOpGrant::CopyToGuest { addr, len }])?;
-        let result = self.forward(WireRequest {
-            task: task.0,
-            pt_root: pt.root(),
+        let file = self.file(fd)?;
+        let handle = file.backend_handle;
+        let trace =
+            OpTrace::new(self.trace_device(&file.path), TraceOpKind::Read).range(addr.raw(), len);
+        self.run_op(
+            task,
+            pt.root(),
             handle,
-            grant: Some(grant),
-            op: WireOp::Read { addr, len },
-        });
-        self.revoke(grant);
-        result.map(|n| n as u64)
+            Some(vec![MemOpGrant::CopyToGuest { addr, len }]),
+            WireOp::Read { addr, len },
+            trace,
+        )
+        .and_then(WireResponse::result)
+        .map(|n| n as u64)
     }
 
     /// Forwards `write`: declares the buffer as a `CopyFromGuest` grant.
@@ -443,17 +629,20 @@ impl Frontend {
         addr: GuestVirtAddr,
         len: u64,
     ) -> Result<u64, Errno> {
-        let handle = self.file(fd)?.backend_handle;
-        let grant = self.declare(vec![MemOpGrant::CopyFromGuest { addr, len }])?;
-        let result = self.forward(WireRequest {
-            task: task.0,
-            pt_root: pt.root(),
+        let file = self.file(fd)?;
+        let handle = file.backend_handle;
+        let trace =
+            OpTrace::new(self.trace_device(&file.path), TraceOpKind::Write).range(addr.raw(), len);
+        self.run_op(
+            task,
+            pt.root(),
             handle,
-            grant: Some(grant),
-            op: WireOp::Write { addr, len },
-        });
-        self.revoke(grant);
-        result.map(|n| n as u64)
+            Some(vec![MemOpGrant::CopyFromGuest { addr, len }]),
+            WireOp::Write { addr, len },
+            trace,
+        )
+        .and_then(WireResponse::result)
+        .map(|n| n as u64)
     }
 
     /// Forwards `ioctl`: grants derived from the analyzer table (static or
@@ -472,6 +661,9 @@ impl Frontend {
     ) -> Result<i64, Errno> {
         let file = self.file(fd)?;
         let handle = file.backend_handle;
+        let trace = OpTrace::new(self.trace_device(&file.path), TraceOpKind::Ioctl)
+            .cmd(cmd.raw())
+            .range(arg, u64::from(cmd.size()));
         let knowledge = self
             .knowledge
             .get(&file.path)
@@ -491,16 +683,15 @@ impl Frontend {
             pt_root: pt.root(),
         };
         let ops = knowledge.grants_for(cmd, arg, &mut reader)?;
-        let grant = self.declare(ops)?;
-        let result = self.forward(WireRequest {
-            task: task.0,
-            pt_root: pt.root(),
+        self.run_op(
+            task,
+            pt.root(),
             handle,
-            grant: Some(grant),
-            op: WireOp::Ioctl { cmd, arg },
-        });
-        self.revoke(grant);
-        result
+            Some(ops),
+            WireOp::Ioctl { cmd, arg },
+            trace,
+        )
+        .and_then(WireResponse::result)
     }
 
     /// Forwards `mmap`: pre-creates the intermediate page-table levels for
@@ -533,7 +724,10 @@ impl Frontend {
                 _ => return Err(Errno::Einval),
             }
         }
-        let handle = self.file(fd)?.backend_handle;
+        let file = self.file(fd)?;
+        let handle = file.backend_handle;
+        let trace =
+            OpTrace::new(self.trace_device(&file.path), TraceOpKind::Mmap).range(va.raw(), len);
         let pages = len.div_ceil(PAGE_SIZE);
         {
             let mut hv = self.hv.borrow_mut();
@@ -543,20 +737,21 @@ impl Frontend {
                     .map_err(|_| Errno::Enomem)?;
             }
         }
-        let grant = self.declare(vec![MemOpGrant::MapPages { va, pages, access }])?;
-        let result = self.forward(WireRequest {
-            task: task.0,
-            pt_root: pt.root(),
-            handle,
-            grant: Some(grant),
-            op: WireOp::Mmap {
-                va,
-                len,
-                offset,
-                access,
-            },
-        });
-        self.revoke(grant);
+        let result = self
+            .run_op(
+                task,
+                pt.root(),
+                handle,
+                Some(vec![MemOpGrant::MapPages { va, pages, access }]),
+                WireOp::Mmap {
+                    va,
+                    len,
+                    offset,
+                    access,
+                },
+                trace,
+            )
+            .and_then(WireResponse::result);
         if result.is_ok() {
             self.vmas.push(Vma {
                 fd,
@@ -584,7 +779,10 @@ impl Frontend {
         fd: u64,
         va: GuestVirtAddr,
     ) -> Result<(), Errno> {
-        let handle = self.file(fd)?.backend_handle;
+        let file = self.file(fd)?;
+        let handle = file.backend_handle;
+        let trace = OpTrace::new(self.trace_device(&file.path), TraceOpKind::Fault)
+            .range(va.raw(), PAGE_SIZE);
         let vma = self
             .vmas
             .iter()
@@ -600,20 +798,20 @@ impl Frontend {
                 .ensure_intermediate(&mut space, va.page_base())
                 .map_err(|_| Errno::Enomem)?;
         }
-        let grant = self.declare(vec![MemOpGrant::MapPages {
-            va: va.page_base(),
-            pages: 1,
-            access: vma.access,
-        }])?;
-        let result = self.forward(WireRequest {
-            task: task.0,
-            pt_root: pt.root(),
+        self.run_op(
+            task,
+            pt.root(),
             handle,
-            grant: Some(grant),
-            op: WireOp::Fault { va },
-        });
-        self.revoke(grant);
-        result.map(|_| ())
+            Some(vec![MemOpGrant::MapPages {
+                va: va.page_base(),
+                pages: 1,
+                access: vma.access,
+            }]),
+            WireOp::Fault { va },
+            trace,
+        )
+        .and_then(WireResponse::result)
+        .map(|_| ())
     }
 
     /// Forwards `munmap`: the guest kernel destroys its own leaf mappings
@@ -631,7 +829,10 @@ impl Frontend {
         va: GuestVirtAddr,
         len: u64,
     ) -> Result<(), Errno> {
-        let handle = self.file(fd)?.backend_handle;
+        let file = self.file(fd)?;
+        let handle = file.backend_handle;
+        let trace =
+            OpTrace::new(self.trace_device(&file.path), TraceOpKind::Munmap).range(va.raw(), len);
         let pages = len.div_ceil(PAGE_SIZE);
         {
             let mut hv = self.hv.borrow_mut();
@@ -641,15 +842,16 @@ impl Frontend {
                     .map_err(|_| Errno::Efault)?;
             }
         }
-        let grant = self.declare(vec![MemOpGrant::UnmapPages { va, pages }])?;
-        let result = self.forward(WireRequest {
-            task: task.0,
-            pt_root: pt.root(),
-            handle,
-            grant: Some(grant),
-            op: WireOp::Munmap { va, len },
-        });
-        self.revoke(grant);
+        let result = self
+            .run_op(
+                task,
+                pt.root(),
+                handle,
+                Some(vec![MemOpGrant::UnmapPages { va, pages }]),
+                WireOp::Munmap { va, len },
+                trace,
+            )
+            .and_then(WireResponse::result);
         if result.is_ok() {
             self.vmas
                 .retain(|vma| !(vma.fd == fd && vma.va == va && vma.len == len));
@@ -663,15 +865,23 @@ impl Frontend {
     ///
     /// Driver errors.
     pub fn poll(&mut self, task: TaskId, fd: u64) -> Result<PollEvents, Errno> {
-        let handle = self.file(fd)?.backend_handle;
-        let result = self.forward(WireRequest {
-            task: task.0,
-            pt_root: paradice_mem::GuestPhysAddr::new(0),
+        let file = self.file(fd)?;
+        let handle = file.backend_handle;
+        let trace = OpTrace::new(self.trace_device(&file.path), TraceOpKind::Poll);
+        match self.run_op(
+            task,
+            paradice_mem::GuestPhysAddr::new(0),
             handle,
-            grant: None,
-            op: WireOp::Poll,
-        })?;
-        Ok(PollEvents::from_bits(result as u16))
+            None,
+            WireOp::Poll,
+            trace,
+        )? {
+            WireResponse::Poll(events) => Ok(events),
+            WireResponse::Err(errno) => Err(errno),
+            // A conforming backend answers `poll` with the dedicated
+            // variant; anything else is a protocol violation.
+            WireResponse::Value(_) => Err(Errno::Eio),
+        }
     }
 
     /// Forwards `fasync`.
@@ -680,14 +890,18 @@ impl Frontend {
     ///
     /// Driver errors.
     pub fn fasync(&mut self, task: TaskId, fd: u64, on: bool) -> Result<(), Errno> {
-        let handle = self.file(fd)?.backend_handle;
-        self.forward(WireRequest {
-            task: task.0,
-            pt_root: paradice_mem::GuestPhysAddr::new(0),
+        let file = self.file(fd)?;
+        let handle = file.backend_handle;
+        let trace = OpTrace::new(self.trace_device(&file.path), TraceOpKind::Fasync);
+        self.run_op(
+            task,
+            paradice_mem::GuestPhysAddr::new(0),
             handle,
-            grant: None,
-            op: WireOp::Fasync { on },
-        })
+            None,
+            WireOp::Fasync { on },
+            trace,
+        )
+        .and_then(WireResponse::result)
         .map(|_| ())
     }
 
@@ -695,11 +909,9 @@ impl Frontend {
     /// pairs ready for signal delivery.
     pub fn drain_notifications(&mut self) -> Vec<(TaskId, u64)> {
         let mut out = Vec::new();
-        while let Some(bytes) = self.channel.borrow_mut().take_notification() {
-            if let Ok(signal) = WireSignal::decode(&bytes) {
-                if let Some(&fd) = self.backend_to_local.get(&signal.handle) {
-                    out.push((TaskId(signal.task), fd));
-                }
+        while let Some(signal) = self.channel.borrow_mut().take_notification() {
+            if let Some(&fd) = self.backend_to_local.get(&signal.handle) {
+                out.push((TaskId(signal.task), fd));
             }
         }
         out

@@ -12,8 +12,14 @@
 
 use paradice_devfs::ioc::IoctlCmd;
 use paradice_devfs::{Errno, OpenFlags, PollEvents};
-use paradice_hypervisor::GrantRef;
+use paradice_hypervisor::{Channel, GrantRef, WireCodec};
 use paradice_mem::{Access, GuestPhysAddr, GuestVirtAddr};
+
+/// The CVD transport: a typed [`Channel`] that encodes/decodes the three
+/// wire types at the channel boundary. Frontend and backend exchange
+/// [`WireRequest`]/[`WireResponse`]/[`WireSignal`] values directly and
+/// never touch raw bytes.
+pub type CvdChannel = Channel<WireRequest, WireResponse, WireSignal>;
 
 /// Maximum device path length on the wire.
 pub const MAX_PATH: usize = 256;
@@ -110,6 +116,9 @@ pub struct WireRequest {
     pub pt_root: GuestPhysAddr,
     /// Backend file handle (0 for `Open`).
     pub handle: u64,
+    /// Trace span stamped by the frontend (0 = untraced): lets the backend
+    /// and hypervisor attribute their work to this operation's span.
+    pub span: u64,
     /// Grant reference covering this operation's memory operations, if any.
     pub grant: Option<GrantRef>,
     /// The operation.
@@ -203,6 +212,7 @@ impl WireRequest {
         w.u64(self.task);
         w.u64(self.pt_root.raw());
         w.u64(self.handle);
+        w.u64(self.span);
         match self.grant {
             Some(grant) => {
                 w.u8(1);
@@ -258,6 +268,7 @@ impl WireRequest {
         let task = r.u64()?;
         let pt_root = GuestPhysAddr::new(r.u64()?);
         let handle = r.u64()?;
+        let span = r.u64()?;
         let grant = if r.u8()? == 1 {
             Some(GrantRef(r.u32()?))
         } else {
@@ -309,28 +320,64 @@ impl WireRequest {
             task,
             pt_root,
             handle,
+            span,
             grant,
             op,
         })
     }
 }
 
-/// A response: either a non-negative result value or an errno.
+/// A response, tagged by what the operation returned.
+///
+/// Poll readiness is its own variant: the old API smuggled `PollEvents`
+/// through an `i64` (`from_poll`/`to_poll`), so nothing stopped a caller
+/// from misreading a byte count as a readiness mask. Now the type says
+/// which it is, and the frontend rejects a mismatched variant outright.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct WireResponse(pub Result<i64, Errno>);
+pub enum WireResponse {
+    /// A non-negative result value (byte count, handle, 0-for-success).
+    Value(i64),
+    /// `poll()` readiness events.
+    Poll(PollEvents),
+    /// The operation failed with an errno.
+    Err(Errno),
+}
 
 impl WireResponse {
+    /// Wraps a classic `Result` (non-poll operations).
+    pub fn from_result(result: Result<i64, Errno>) -> WireResponse {
+        match result {
+            Ok(value) => WireResponse::Value(value),
+            Err(errno) => WireResponse::Err(errno),
+        }
+    }
+
+    /// Collapses to a classic `Result`. Poll readiness degrades to its raw
+    /// bits — callers that expect poll events should match
+    /// [`WireResponse::Poll`] instead.
+    pub fn result(self) -> Result<i64, Errno> {
+        match self {
+            WireResponse::Value(value) => Ok(value),
+            WireResponse::Poll(events) => Ok(i64::from(events.bits())),
+            WireResponse::Err(errno) => Err(errno),
+        }
+    }
+
     /// Serializes the response.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = Writer(Vec::with_capacity(9));
-        match self.0 {
-            Ok(value) => {
+        match self {
+            WireResponse::Value(value) => {
                 w.u8(0);
-                w.u64(value as u64);
+                w.u64(*value as u64);
             }
-            Err(errno) => {
+            WireResponse::Err(errno) => {
                 w.u8(1);
                 w.u32(errno.code() as u32);
+            }
+            WireResponse::Poll(events) => {
+                w.u8(2);
+                w.u32(u32::from(events.bits()));
             }
         }
         w.0
@@ -340,27 +387,23 @@ impl WireResponse {
     ///
     /// # Errors
     ///
-    /// [`WireError`] for malformed bytes or unknown errno codes.
+    /// [`WireError`] for malformed bytes, trailing bytes, unknown errno
+    /// codes, or poll bits outside the `PollEvents` domain.
     pub fn decode(bytes: &[u8]) -> Result<WireResponse, WireError> {
         let mut r = Reader { bytes, at: 0 };
         let tag = r.u8()?;
-        let result = match tag {
-            0 => Ok(r.u64()? as i64),
-            1 => Err(Errno::from_code(r.u32()? as i32).ok_or(WireError)?),
+        let response = match tag {
+            0 => WireResponse::Value(r.u64()? as i64),
+            1 => WireResponse::Err(Errno::from_code(r.u32()? as i32).ok_or(WireError)?),
+            2 => {
+                let raw = r.u32()?;
+                let bits = u16::try_from(raw).map_err(|_| WireError)?;
+                WireResponse::Poll(PollEvents::from_bits(bits))
+            }
             _ => return Err(WireError),
         };
         r.done()?;
-        Ok(WireResponse(result))
-    }
-
-    /// Encodes poll readiness as a response value.
-    pub fn from_poll(events: PollEvents) -> WireResponse {
-        WireResponse(Ok(i64::from(events.bits())))
-    }
-
-    /// Decodes poll readiness from a response value.
-    pub fn to_poll(self) -> Result<PollEvents, Errno> {
-        self.0.map(|v| PollEvents::from_bits(v as u16))
+        Ok(response)
     }
 }
 
@@ -398,6 +441,39 @@ impl WireSignal {
     }
 }
 
+// The typed-channel boundary: [`CvdChannel`] serializes each message type
+// through these impls, so encode/decode happens in exactly one place.
+
+impl WireCodec for WireRequest {
+    fn encode_wire(&self) -> Vec<u8> {
+        self.encode()
+    }
+
+    fn decode_wire(bytes: &[u8]) -> Option<Self> {
+        WireRequest::decode(bytes).ok()
+    }
+}
+
+impl WireCodec for WireResponse {
+    fn encode_wire(&self) -> Vec<u8> {
+        self.encode()
+    }
+
+    fn decode_wire(bytes: &[u8]) -> Option<Self> {
+        WireResponse::decode(bytes).ok()
+    }
+}
+
+impl WireCodec for WireSignal {
+    fn encode_wire(&self) -> Vec<u8> {
+        self.encode()
+    }
+
+    fn decode_wire(bytes: &[u8]) -> Option<Self> {
+        WireSignal::decode(bytes).ok()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -414,6 +490,7 @@ mod tests {
             task: 42,
             pt_root: GuestPhysAddr::new(0x7000),
             handle: 9,
+            span: 1234,
             grant: Some(GrantRef(17)),
             op,
         };
@@ -457,6 +534,7 @@ mod tests {
             task: 1,
             pt_root: GuestPhysAddr::new(0),
             handle: 0,
+            span: 0,
             grant: None,
             op: WireOp::Poll,
         });
@@ -468,6 +546,7 @@ mod tests {
             task: 1,
             pt_root: GuestPhysAddr::new(0),
             handle: 0,
+            span: 0,
             grant: None,
             op: WireOp::Read {
                 addr: GuestVirtAddr::new(0),
@@ -484,6 +563,7 @@ mod tests {
             task: 1,
             pt_root: GuestPhysAddr::new(0),
             handle: 0,
+            span: 0,
             grant: None,
             op: WireOp::Poll,
         }
@@ -498,6 +578,7 @@ mod tests {
             task: 1,
             pt_root: GuestPhysAddr::new(0),
             handle: 0,
+            span: 0,
             grant: None,
             op: WireOp::Poll,
         }
@@ -512,6 +593,7 @@ mod tests {
             task: 1,
             pt_root: GuestPhysAddr::new(0),
             handle: 0,
+            span: 0,
             grant: None,
             op: WireOp::Open {
                 path: "x".repeat(MAX_PATH + 1),
@@ -524,24 +606,48 @@ mod tests {
     #[test]
     fn responses_roundtrip() {
         for resp in [
-            WireResponse(Ok(0)),
-            WireResponse(Ok(i64::MAX)),
-            WireResponse(Ok(-1)),
-            WireResponse(Err(Errno::Efault)),
-            WireResponse(Err(Errno::Edquot)),
+            WireResponse::Value(0),
+            WireResponse::Value(i64::MAX),
+            WireResponse::Value(-1),
+            WireResponse::Poll(PollEvents::IN | PollEvents::ERR),
+            WireResponse::Err(Errno::Efault),
+            WireResponse::Err(Errno::Edquot),
         ] {
             assert_eq!(WireResponse::decode(&resp.encode()).unwrap(), resp);
         }
     }
 
     #[test]
-    fn poll_events_roundtrip_through_response() {
+    fn poll_events_are_a_distinct_variant() {
         let events = PollEvents::IN | PollEvents::ERR;
-        let resp = WireResponse::from_poll(events);
-        assert_eq!(
-            WireResponse::decode(&resp.encode()).unwrap().to_poll().unwrap(),
-            events
-        );
+        let resp = WireResponse::Poll(events);
+        // The wire tag distinguishes poll readiness from a value that
+        // happens to share the bit pattern.
+        let as_value = WireResponse::Value(i64::from(events.bits()));
+        assert_ne!(resp.encode(), as_value.encode());
+        assert_eq!(WireResponse::decode(&resp.encode()).unwrap(), resp);
+        // `result()` still collapses for legacy-style callers.
+        assert_eq!(resp.result(), Ok(i64::from(events.bits())));
+    }
+
+    #[test]
+    fn response_trailing_and_bogus_bytes_rejected() {
+        let mut bytes = WireResponse::Value(7).encode();
+        bytes.push(0);
+        assert_eq!(WireResponse::decode(&bytes), Err(WireError));
+        assert_eq!(WireResponse::decode(&[3, 0, 0, 0, 0]), Err(WireError));
+        // Poll bits beyond u16 are not representable events.
+        let mut poll = Writer(Vec::new());
+        poll.u8(2);
+        poll.u32(0x1_0000);
+        assert_eq!(WireResponse::decode(&poll.0), Err(WireError));
+    }
+
+    #[test]
+    fn from_result_and_result_are_inverse_for_non_poll() {
+        for result in [Ok(17), Ok(-1), Err(Errno::Eio)] {
+            assert_eq!(WireResponse::from_result(result).result(), result);
+        }
     }
 
     #[test]
@@ -549,5 +655,122 @@ mod tests {
         let signal = WireSignal { task: 7, handle: 3 };
         assert_eq!(WireSignal::decode(&signal.encode()).unwrap(), signal);
         assert_eq!(WireSignal::decode(&[1, 2, 3]), Err(WireError));
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use paradice_devfs::Errno;
+    use proptest::prelude::*;
+
+    fn arbitrary_op(pick: u8, a: u64, b: u64, c: u64) -> WireOp {
+        match pick % 10 {
+            0 => WireOp::Open {
+                path: format!("/dev/fuzz{}", a % 1000),
+                flags: OpenFlags {
+                    read: a & 1 != 0,
+                    write: b & 1 != 0,
+                    nonblock: c & 1 != 0,
+                },
+            },
+            1 => WireOp::Release,
+            2 => WireOp::Read {
+                addr: GuestVirtAddr::new(a),
+                len: b,
+            },
+            3 => WireOp::Write {
+                addr: GuestVirtAddr::new(a),
+                len: b,
+            },
+            4 => WireOp::Ioctl {
+                cmd: IoctlCmd(a as u32),
+                arg: b,
+            },
+            5 => WireOp::Mmap {
+                va: GuestVirtAddr::new(a),
+                len: b,
+                offset: c,
+                access: Access::from_bits((a % 8) as u8),
+            },
+            6 => WireOp::Munmap {
+                va: GuestVirtAddr::new(a),
+                len: b,
+            },
+            7 => WireOp::Poll,
+            8 => WireOp::Fasync { on: a & 1 != 0 },
+            _ => WireOp::Fault {
+                va: GuestVirtAddr::new(a),
+            },
+        }
+    }
+
+    proptest! {
+        /// Every representable request survives the wire round trip, and
+        /// the decoder rejects any truncation of it.
+        #[test]
+        fn requests_roundtrip_and_reject_truncation(
+            pick in 0u8..10,
+            fields in (any::<u64>(), any::<u64>(), any::<u64>()),
+            header in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+            grant in (any::<bool>(), any::<u32>()),
+        ) {
+            let (a, b, c) = fields;
+            let (task, pt_root, handle, span) = header;
+            let request = WireRequest {
+                task,
+                pt_root: GuestPhysAddr::new(pt_root),
+                handle,
+                span,
+                grant: grant.0.then_some(GrantRef(grant.1)),
+                op: arbitrary_op(pick, a, b, c),
+            };
+            let bytes = request.encode();
+            prop_assert_eq!(WireRequest::decode(&bytes).unwrap(), request.clone());
+            prop_assert_eq!(
+                <WireRequest as WireCodec>::decode_wire(&bytes),
+                Some(request)
+            );
+            for cut in 0..bytes.len() {
+                prop_assert_eq!(WireRequest::decode(&bytes[..cut]), Err(WireError));
+            }
+        }
+
+        /// Responses round-trip through all three variants.
+        #[test]
+        fn responses_roundtrip(tag in 0u8..3, value in any::<i64>(), errno_pick in 0u8..8) {
+            let response = match tag {
+                0 => WireResponse::Value(value),
+                1 => WireResponse::Poll(PollEvents::from_bits(value as u16)),
+                _ => WireResponse::Err(
+                    [
+                        Errno::Eperm,
+                        Errno::Eio,
+                        Errno::Efault,
+                        Errno::Einval,
+                        Errno::Enoent,
+                        Errno::Ebusy,
+                        Errno::Enodev,
+                        Errno::Edquot,
+                    ][errno_pick as usize % 8],
+                ),
+            };
+            let bytes = response.encode();
+            prop_assert_eq!(WireResponse::decode(&bytes).unwrap(), response);
+            let mut padded = bytes;
+            padded.push(0);
+            prop_assert_eq!(WireResponse::decode(&padded), Err(WireError));
+        }
+
+        /// Signals round-trip and reject trailing bytes.
+        #[test]
+        fn signals_roundtrip(task in any::<u64>(), handle in any::<u64>()) {
+            let signal = WireSignal { task, handle };
+            let bytes = signal.encode();
+            prop_assert_eq!(WireSignal::decode(&bytes).unwrap(), signal);
+            let mut padded = bytes;
+            padded.push(9);
+            prop_assert_eq!(WireSignal::decode(&padded), Err(WireError));
+        }
     }
 }

@@ -17,7 +17,8 @@ use paradice_drivers::env::KernelEnv;
 use paradice_drivers::evdev::{EvdevDriver, EventKind, InputEvent};
 use paradice_hypervisor::hv::{DataIsolation, Hypervisor};
 use paradice_hypervisor::vm::VmRole;
-use paradice_hypervisor::{Channel, CostModel, SimClock, TransportMode, VmId};
+use paradice_cvd::proto::CvdChannel;
+use paradice_hypervisor::{CostModel, SimClock, TransportMode, VmId};
 use paradice_mem::pagetable::GuestPageTables;
 use paradice_mem::{Access, GuestPhysAddr, GuestVirtAddr, PAGE_SIZE};
 
@@ -29,7 +30,7 @@ struct Rig {
     mouse: Rc<RefCell<EvdevDriver>>,
     mouse_id: paradice_devfs::DeviceId,
     pt: GuestPageTables,
-    channel: Rc<RefCell<Channel>>,
+    channel: Rc<RefCell<CvdChannel>>,
 }
 
 fn rig(transport: TransportMode) -> Rig {
@@ -69,7 +70,7 @@ fn rig(transport: TransportMode) -> Rig {
         )
         .unwrap();
     let clock = hv.borrow().clock().clone();
-    let channel = Rc::new(RefCell::new(Channel::new(
+    let channel = Rc::new(RefCell::new(CvdChannel::new(
         transport,
         clock,
         CostModel::default(),
@@ -217,12 +218,12 @@ fn per_guest_isolation_of_backend_handles() {
         )
         .unwrap();
     let clock = hv.borrow().clock().clone();
-    let chan_a = Rc::new(RefCell::new(Channel::new(
+    let chan_a = Rc::new(RefCell::new(CvdChannel::new(
         TransportMode::Interrupts,
         clock.clone(),
         CostModel::default(),
     )));
-    let chan_b = Rc::new(RefCell::new(Channel::new(
+    let chan_b = Rc::new(RefCell::new(CvdChannel::new(
         TransportMode::Interrupts,
         clock,
         CostModel::default(),
@@ -241,22 +242,19 @@ fn per_guest_isolation_of_backend_handles() {
         .unwrap();
     let _ = fd_a;
     // Guest B forges a request against backend handle 0 (guest A's open).
-    use paradice_cvd::proto::{WireOp, WireRequest};
+    use paradice_cvd::proto::{WireOp, WireRequest, WireResponse};
     let forged = WireRequest {
         task: 99,
         pt_root: GuestPhysAddr::new(0).raw().into(),
         handle: 0,
+        span: 0,
         grant: None,
         op: WireOp::Poll,
     };
-    chan_b
-        .borrow_mut()
-        .send_request(forged.encode())
-        .unwrap();
+    chan_b.borrow_mut().send_request(forged).unwrap();
     backend.borrow_mut().handle_request(guest_b).unwrap();
     let response = chan_b.borrow_mut().take_response().unwrap();
-    let decoded = paradice_cvd::proto::WireResponse::decode(&response).unwrap();
-    assert_eq!(decoded.0, Err(Errno::Eperm));
+    assert_eq!(response, WireResponse::Err(Errno::Eperm));
 }
 
 #[test]

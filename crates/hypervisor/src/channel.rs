@@ -14,13 +14,50 @@
 //! the cost model for every delivery. In polling mode, a delivery that
 //! arrives after the 200 µs spin budget has lapsed since the peer's last
 //! activity falls back to interrupt cost — the peer has gone to sleep.
+//!
+//! # Typed transport
+//!
+//! The channel is generic over the three message types it carries
+//! (`Channel<Req, Resp, Sig>`), each of which supplies its wire format via
+//! [`WireCodec`]. Encoding happens inside `send_*` and decoding inside
+//! `take_*` — exactly one serialization boundary, so the frontend and
+//! backend exchange typed values and never hand-roll byte buffers. The
+//! shared-page model is unchanged underneath: slots still hold the encoded
+//! bytes and still enforce the 4-KiB page cap. `Vec<u8>` implements
+//! [`WireCodec`] as the identity codec, and the type parameters default to
+//! it, so a bare `Channel` is the old untyped byte channel.
 
 use std::collections::VecDeque;
 use std::fmt;
+use std::marker::PhantomData;
 
 use paradice_mem::PAGE_SIZE;
 
 use crate::clock::{CostModel, SimClock};
+
+/// A message type with a defined shared-page wire format.
+///
+/// Implementations must round-trip: `decode_wire(&x.encode_wire())` is
+/// `Some(x)` for every value `x`, and decoding must reject trailing bytes
+/// (the slot hands back exactly what was posted, so extra bytes mean a
+/// malformed or forged message).
+pub trait WireCodec: Sized {
+    /// Serializes the message for the shared page.
+    fn encode_wire(&self) -> Vec<u8>;
+    /// Parses a message from the shared page; `None` on any malformation.
+    fn decode_wire(bytes: &[u8]) -> Option<Self>;
+}
+
+/// The identity codec: raw bytes travel as-is (the pre-typed-channel API).
+impl WireCodec for Vec<u8> {
+    fn encode_wire(&self) -> Vec<u8> {
+        self.clone()
+    }
+
+    fn decode_wire(bytes: &[u8]) -> Option<Self> {
+        Some(bytes.to_vec())
+    }
+}
 
 /// How the two channel ends signal each other.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -85,6 +122,8 @@ pub enum ChannelError {
     SlotBusy,
     /// No message pending.
     Empty,
+    /// The shared page held bytes the typed codec could not parse.
+    Malformed,
 }
 
 impl fmt::Display for ChannelError {
@@ -95,6 +134,7 @@ impl fmt::Display for ChannelError {
             }
             ChannelError::SlotBusy => f.write_str("shared-page slot already occupied"),
             ChannelError::Empty => f.write_str("no message pending"),
+            ChannelError::Malformed => f.write_str("malformed message in shared page"),
         }
     }
 }
@@ -116,10 +156,26 @@ pub struct ChannelStats {
     pub polling_deliveries: u64,
     /// Deliveries that paid a network hop (remote transport).
     pub remote_deliveries: u64,
+    /// Cumulative encoded request bytes (frontend → backend).
+    pub request_bytes: u64,
+    /// Cumulative encoded response bytes (backend → frontend).
+    pub response_bytes: u64,
+    /// Cumulative encoded notification bytes (backend → frontend).
+    pub notification_bytes: u64,
 }
 
-/// One frontend↔backend shared-page channel.
-pub struct Channel {
+impl ChannelStats {
+    /// Total deliveries in all three classes (used for per-span deltas).
+    pub fn deliveries(&self) -> u64 {
+        self.requests + self.responses + self.notifications
+    }
+}
+
+/// One frontend↔backend shared-page channel carrying typed messages.
+///
+/// `Req`/`Resp`/`Sig` default to `Vec<u8>` (the identity codec), so a plain
+/// `Channel` behaves exactly like the historical untyped byte channel.
+pub struct Channel<Req = Vec<u8>, Resp = Vec<u8>, Sig = Vec<u8>> {
     mode: TransportMode,
     clock: SimClock,
     cost: CostModel,
@@ -130,9 +186,10 @@ pub struct Channel {
     /// spin-budget model.
     last_activity_ns: u64,
     stats: ChannelStats,
+    _types: PhantomData<(Req, Resp, Sig)>,
 }
 
-impl fmt::Debug for Channel {
+impl<Req, Resp, Sig> fmt::Debug for Channel<Req, Resp, Sig> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Channel")
             .field("mode", &self.mode)
@@ -141,7 +198,7 @@ impl fmt::Debug for Channel {
     }
 }
 
-impl Channel {
+impl<Req: WireCodec, Resp: WireCodec, Sig: WireCodec> Channel<Req, Resp, Sig> {
     /// Creates a channel in the given transport mode.
     pub fn new(mode: TransportMode, clock: SimClock, cost: CostModel) -> Self {
         Channel {
@@ -153,6 +210,7 @@ impl Channel {
             notifications: VecDeque::new(),
             last_activity_ns: 0,
             stats: ChannelStats::default(),
+            _types: PhantomData,
         }
     }
 
@@ -211,13 +269,15 @@ impl Channel {
     /// # Errors
     ///
     /// [`ChannelError::TooLarge`] or [`ChannelError::SlotBusy`].
-    pub fn send_request(&mut self, bytes: Vec<u8>) -> Result<(), ChannelError> {
+    pub fn send_request(&mut self, request: Req) -> Result<(), ChannelError> {
+        let bytes = request.encode_wire();
         Self::check_len(&bytes)?;
         if self.request.is_some() {
             return Err(ChannelError::SlotBusy);
         }
         self.charge_delivery();
         self.stats.requests += 1;
+        self.stats.request_bytes += bytes.len() as u64;
         self.request = Some(bytes);
         Ok(())
     }
@@ -226,9 +286,12 @@ impl Channel {
     ///
     /// # Errors
     ///
-    /// [`ChannelError::Empty`] if nothing is pending.
-    pub fn take_request(&mut self) -> Result<Vec<u8>, ChannelError> {
-        self.request.take().ok_or(ChannelError::Empty)
+    /// [`ChannelError::Empty`] if nothing is pending;
+    /// [`ChannelError::Malformed`] if the slot bytes do not parse (the
+    /// bad message is consumed either way, freeing the slot).
+    pub fn take_request(&mut self) -> Result<Req, ChannelError> {
+        let bytes = self.request.take().ok_or(ChannelError::Empty)?;
+        Req::decode_wire(&bytes).ok_or(ChannelError::Malformed)
     }
 
     /// Backend → frontend: posts the response.
@@ -236,13 +299,15 @@ impl Channel {
     /// # Errors
     ///
     /// [`ChannelError::TooLarge`] or [`ChannelError::SlotBusy`].
-    pub fn send_response(&mut self, bytes: Vec<u8>) -> Result<(), ChannelError> {
+    pub fn send_response(&mut self, response: Resp) -> Result<(), ChannelError> {
+        let bytes = response.encode_wire();
         Self::check_len(&bytes)?;
         if self.response.is_some() {
             return Err(ChannelError::SlotBusy);
         }
         self.charge_delivery();
         self.stats.responses += 1;
+        self.stats.response_bytes += bytes.len() as u64;
         self.response = Some(bytes);
         Ok(())
     }
@@ -251,9 +316,11 @@ impl Channel {
     ///
     /// # Errors
     ///
-    /// [`ChannelError::Empty`] if nothing is pending.
-    pub fn take_response(&mut self) -> Result<Vec<u8>, ChannelError> {
-        self.response.take().ok_or(ChannelError::Empty)
+    /// [`ChannelError::Empty`] if nothing is pending;
+    /// [`ChannelError::Malformed`] if the slot bytes do not parse.
+    pub fn take_response(&mut self) -> Result<Resp, ChannelError> {
+        let bytes = self.response.take().ok_or(ChannelError::Empty)?;
+        Resp::decode_wire(&bytes).ok_or(ChannelError::Malformed)
     }
 
     /// Backend → frontend: posts an asynchronous notification (`fasync`
@@ -263,17 +330,22 @@ impl Channel {
     /// # Errors
     ///
     /// [`ChannelError::TooLarge`].
-    pub fn send_notification(&mut self, bytes: Vec<u8>) -> Result<(), ChannelError> {
+    pub fn send_notification(&mut self, signal: Sig) -> Result<(), ChannelError> {
+        let bytes = signal.encode_wire();
         Self::check_len(&bytes)?;
         self.charge_delivery();
         self.stats.notifications += 1;
+        self.stats.notification_bytes += bytes.len() as u64;
         self.notifications.push_back(bytes);
         Ok(())
     }
 
-    /// Frontend: takes the oldest pending notification.
-    pub fn take_notification(&mut self) -> Option<Vec<u8>> {
-        self.notifications.pop_front()
+    /// Frontend: takes the oldest pending notification. A notification
+    /// whose bytes fail to parse is consumed and dropped (`None`), exactly
+    /// as a real frontend would discard a garbled fasync doorbell.
+    pub fn take_notification(&mut self) -> Option<Sig> {
+        let bytes = self.notifications.pop_front()?;
+        Sig::decode_wire(&bytes)
     }
 
     /// Number of queued notifications.
@@ -300,13 +372,15 @@ mod tests {
         assert_eq!(ch.take_response().unwrap(), b"ret");
         assert_eq!(ch.stats().requests, 1);
         assert_eq!(ch.stats().responses, 1);
+        assert_eq!(ch.stats().request_bytes, 2);
+        assert_eq!(ch.stats().response_bytes, 3);
     }
 
     #[test]
     fn interrupt_mode_costs_two_interrupts_per_roundtrip() {
         let clock = SimClock::new();
         let cost = CostModel::default();
-        let mut ch = Channel::new(TransportMode::Interrupts, clock.clone(), cost.clone());
+        let mut ch: Channel = Channel::new(TransportMode::Interrupts, clock.clone(), cost.clone());
         ch.send_request(vec![]).unwrap();
         ch.take_request().unwrap();
         ch.send_response(vec![]).unwrap();
@@ -321,7 +395,8 @@ mod tests {
     fn polling_mode_is_fast_while_hot() {
         let clock = SimClock::new();
         let cost = CostModel::default();
-        let mut ch = Channel::new(TransportMode::polling_default(), clock.clone(), cost.clone());
+        let mut ch: Channel =
+            Channel::new(TransportMode::polling_default(), clock.clone(), cost.clone());
         // Warm up: first delivery after boot is within the spin budget of
         // time zero, so it's already a polling delivery.
         ch.send_request(vec![]).unwrap();
@@ -337,7 +412,7 @@ mod tests {
     #[test]
     fn polling_falls_back_to_interrupts_after_idle() {
         let clock = SimClock::new();
-        let mut ch = Channel::new(
+        let mut ch: Channel = Channel::new(
             TransportMode::polling_default(),
             clock.clone(),
             CostModel::default(),
@@ -406,6 +481,65 @@ mod tests {
             "polling(200 µs spin)"
         );
     }
+
+    /// A strict little codec for exercising the typed path: one tag byte
+    /// plus a u32, trailing bytes rejected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    struct Ping(u32);
+
+    impl WireCodec for Ping {
+        fn encode_wire(&self) -> Vec<u8> {
+            let mut out = vec![0x50];
+            out.extend_from_slice(&self.0.to_le_bytes());
+            out
+        }
+
+        fn decode_wire(bytes: &[u8]) -> Option<Self> {
+            if bytes.len() != 5 || bytes[0] != 0x50 {
+                return None;
+            }
+            Some(Ping(u32::from_le_bytes(bytes[1..5].try_into().ok()?)))
+        }
+    }
+
+    #[test]
+    fn typed_messages_roundtrip_through_one_boundary() {
+        let mut ch: Channel<Ping, Ping, Ping> = Channel::new(
+            TransportMode::Interrupts,
+            SimClock::new(),
+            CostModel::default(),
+        );
+        ch.send_request(Ping(7)).unwrap();
+        assert_eq!(ch.take_request().unwrap(), Ping(7));
+        ch.send_response(Ping(8)).unwrap();
+        assert_eq!(ch.take_response().unwrap(), Ping(8));
+        ch.send_notification(Ping(9)).unwrap();
+        assert_eq!(ch.take_notification(), Some(Ping(9)));
+        // Encoded sizes are what hit the wire counters.
+        assert_eq!(ch.stats().request_bytes, 5);
+        assert_eq!(ch.stats().response_bytes, 5);
+        assert_eq!(ch.stats().notification_bytes, 5);
+        assert_eq!(ch.stats().deliveries(), 3);
+    }
+
+    #[test]
+    fn malformed_slot_bytes_surface_as_malformed() {
+        // A byte channel accepts anything; retyping the slot contents via a
+        // second channel isn't possible, so simulate corruption by sending
+        // a Ping whose codec round-trip we then violate: the identity
+        // channel posts garbage and the typed take sees it.
+        let mut ch: Channel<Ping, Ping, Ping> = Channel::new(
+            TransportMode::Interrupts,
+            SimClock::new(),
+            CostModel::default(),
+        );
+        // Reach the slot through the public API only: a well-formed send
+        // then a hostile mutation is not possible, so instead check the
+        // decoder directly and the Empty/Malformed distinction.
+        assert_eq!(ch.take_request(), Err(ChannelError::Empty));
+        assert_eq!(Ping::decode_wire(&[0x50, 1, 0, 0, 0, 99]), None);
+        assert_eq!(Ping::decode_wire(&[0x51, 1, 0, 0, 0]), None);
+    }
 }
 
 #[cfg(test)]
@@ -427,7 +561,7 @@ mod prop_tests {
                 1 => TransportMode::polling_default(),
                 _ => TransportMode::remote_default(),
             };
-            let mut ch = Channel::new(mode, clock.clone(), CostModel::default());
+            let mut ch: Channel = Channel::new(mode, clock.clone(), CostModel::default());
             let mut sent = 0u64;
             for (kind, idle_ns) in ops {
                 clock.advance(idle_ns);
@@ -456,6 +590,7 @@ mod prop_tests {
                 stats.requests + stats.responses + stats.notifications,
                 sent
             );
+            prop_assert_eq!(stats.deliveries(), sent);
             prop_assert_eq!(
                 stats.interrupt_deliveries + stats.polling_deliveries + stats.remote_deliveries,
                 sent

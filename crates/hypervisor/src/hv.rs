@@ -27,6 +27,7 @@ use paradice_mem::{
     Access, DmaAddr, EptViolation, GuestPhysAddr, GuestVirtAddr, Iommu, IommuFault, MemError,
     PhysAddr, RegionId, SystemMemory, PAGE_SIZE,
 };
+use paradice_trace::{SpanId, TraceMemOpKind, Tracer};
 
 use crate::audit::{AuditEvent, AuditLog};
 use crate::clock::{CostModel, SimClock};
@@ -240,6 +241,14 @@ pub struct Hypervisor {
     /// *devirtualization* predecessor design (paper Figure 1(b)), kept as a
     /// security ablation. Never disable outside experiments.
     grant_validation: bool,
+    /// The paradice-trace sink. Disabled by default: the hypercall paths
+    /// check [`Tracer::is_enabled`] before building any event payload, so
+    /// the untraced hot path costs one branch.
+    tracer: Tracer,
+    /// The span of the file operation the backend is currently dispatching
+    /// (set around dispatch, like the driver-env current-guest marking).
+    /// Memory operations recorded while it is [`SpanId::NONE`] are dropped.
+    current_span: SpanId,
 }
 
 impl fmt::Debug for Hypervisor {
@@ -301,6 +310,41 @@ impl Hypervisor {
             fixups: BTreeMap::new(),
             audit: AuditLog::new(),
             grant_validation: true,
+            tracer: Tracer::disabled(),
+            current_span: SpanId::NONE,
+        }
+    }
+
+    /// Installs the trace sink shared with the CVD frontends (see
+    /// `Machine::enable_tracing`).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The active trace sink (disabled unless tracing was enabled).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Marks the span whose file operation the backend is dispatching; the
+    /// hypercall paths attribute memory-operation events to it. Pass
+    /// [`SpanId::NONE`] when dispatch completes.
+    pub fn set_current_span(&mut self, span: SpanId) {
+        self.current_span = span;
+    }
+
+    /// The span currently being dispatched (tests).
+    pub fn current_span(&self) -> SpanId {
+        self.current_span
+    }
+
+    /// Records one driver memory operation against the current span.
+    /// `granted` is the grant-check outcome; execution failures past the
+    /// check (e.g. an unmapped guest page) do not rewrite the event.
+    fn trace_mem_op(&self, kind: TraceMemOpKind, addr: u64, len: u64, granted: bool) {
+        if self.tracer.is_enabled() && self.current_span.is_some() {
+            self.tracer
+                .mem_op(self.current_span, self.clock.now_ns(), kind, addr, len, granted);
         }
     }
 
@@ -601,7 +645,7 @@ impl Hypervisor {
         grant: GrantRef,
     ) -> Result<(), HvError> {
         self.require_driver(caller)?;
-        self.validate_grant(
+        let checked = self.validate_grant(
             caller,
             guest,
             grant,
@@ -609,7 +653,14 @@ impl Hypervisor {
                 addr: src,
                 len: buf.len() as u64,
             },
-        )?;
+        );
+        self.trace_mem_op(
+            TraceMemOpKind::CopyFromGuest,
+            src.raw(),
+            buf.len() as u64,
+            checked.is_ok(),
+        );
+        checked?;
         let pages = paradice_mem::addr::page_chunks(src, buf.len() as u64).count() as u64;
         self.clock
             .advance(self.cost.copy_cost_ns(buf.len() as u64, pages));
@@ -632,7 +683,7 @@ impl Hypervisor {
         grant: GrantRef,
     ) -> Result<(), HvError> {
         self.require_driver(caller)?;
-        self.validate_grant(
+        let checked = self.validate_grant(
             caller,
             guest,
             grant,
@@ -640,7 +691,14 @@ impl Hypervisor {
                 addr: dst,
                 len: buf.len() as u64,
             },
-        )?;
+        );
+        self.trace_mem_op(
+            TraceMemOpKind::CopyToGuest,
+            dst.raw(),
+            buf.len() as u64,
+            checked.is_ok(),
+        );
+        checked?;
         let pages = paradice_mem::addr::page_chunks(dst, buf.len() as u64).count() as u64;
         self.clock
             .advance(self.cost.copy_cost_ns(buf.len() as u64, pages));
@@ -673,7 +731,10 @@ impl Hypervisor {
         domain: Option<DomainId>,
     ) -> Result<(), HvError> {
         self.require_driver(caller)?;
-        self.validate_grant(caller, guest, grant, &MemOpRequest::MapPage { va, access })?;
+        let checked =
+            self.validate_grant(caller, guest, grant, &MemOpRequest::MapPage { va, access });
+        self.trace_mem_op(TraceMemOpKind::MapPage, va.raw(), PAGE_SIZE, checked.is_ok());
+        checked?;
         self.clock.advance(self.cost.map_page_ns);
 
         // Resolve the backing frame through the driver VM's EPT.
@@ -755,7 +816,9 @@ impl Hypervisor {
         grant: GrantRef,
     ) -> Result<(), HvError> {
         self.require_driver(caller)?;
-        self.validate_grant(caller, guest, grant, &MemOpRequest::UnmapPage { va })?;
+        let checked = self.validate_grant(caller, guest, grant, &MemOpRequest::UnmapPage { va });
+        self.trace_mem_op(TraceMemOpKind::UnmapPage, va.raw(), PAGE_SIZE, checked.is_ok());
+        checked?;
         self.clock.advance(self.cost.map_page_ns);
         let key = FixupKey {
             guest,

@@ -38,7 +38,7 @@ pub mod vm;
 pub type SharedHypervisor = std::rc::Rc<std::cell::RefCell<hv::Hypervisor>>;
 
 pub use audit::{AuditEvent, AuditLog, BlockedBy};
-pub use channel::{Channel, TransportMode};
+pub use channel::{Channel, ChannelError, ChannelStats, TransportMode, WireCodec};
 pub use clock::{ms, us, CostModel, SimClock};
 pub use grants::{GrantRef, GrantTable, MemOpGrant, MemOpRequest};
 pub use hv::{DmaPort, HvError, Hypervisor};

@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Full verification sweep: build, tests, driver-IR lint, and the
+# recorded-trace conformance gate. Run from anywhere inside the repo.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> paradice-lint (static driver-IR suite; nonzero on errors)"
+cargo run -q --release -p paradice-bench --bin paradice-lint
+
+echo "==> trace-replay gate (record reference workload, replay it)"
+TRACE="$(mktemp)"
+trap 'rm -f "$TRACE"' EXIT
+cargo run -q --release -p paradice-bench --bin experiments -- --trace "$TRACE"
+cargo run -q --release -p paradice-bench --bin paradice-lint -- --replay "$TRACE"
+
+echo "==> all checks passed"

@@ -1,0 +1,123 @@
+//! The recorded-trace conformance gate.
+//!
+//! Records the reference workload under paradice-trace, replays it through
+//! the `RP`/`CF` lint passes, and pins both directions of the gate: the
+//! genuine recording must come back with zero error-class findings, and
+//! the doctored fixture (one `copy_to_guest` moved outside its grant) must
+//! fire `RP001`. The committed fixture is also pinned byte-for-byte to a
+//! fresh recording so it can never drift from the code that produces it.
+
+use std::path::PathBuf;
+
+use paradice_analyzer::lint::conformance::ObservedIoctl;
+use paradice_analyzer::lint::{conformance, replay, DiagCode, Diagnostic, Severity};
+use paradice_bench::tracing::record_workload_trace;
+use paradice_drivers::all_handlers;
+use paradice_trace::parse_jsonl;
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Replays a JSONL trace through the span checks plus the per-device
+/// static-envelope check, mirroring `paradice-lint --replay`.
+fn replay_trace(text: &str) -> Vec<Diagnostic> {
+    let events = parse_jsonl(text).expect("trace parses");
+    let mut diags = Vec::new();
+    let summary = replay::check_trace(&events, &mut diags);
+    let handlers = all_handlers();
+    let mut by_driver: Vec<(&str, Vec<ObservedIoctl>)> = Vec::new();
+    for (device, obs) in summary.ioctls {
+        let name = match device.as_str() {
+            "/dev/dri/card0" => "radeon-3.2.0",
+            "/dev/input/event0" | "/dev/input/event1" => "evdev",
+            other => panic!("reference workload touched unexpected device {other}"),
+        };
+        match by_driver.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, list)) => list.push(obs),
+            None => by_driver.push((name, vec![obs])),
+        }
+    }
+    for (name, observed) in &by_driver {
+        let (_, handler) = handlers
+            .iter()
+            .find(|(n, _)| n == name)
+            .expect("registered handler");
+        conformance::check_replay(name, handler, observed, &mut diags);
+    }
+    diags
+}
+
+fn errors(diags: &[Diagnostic]) -> Vec<&Diagnostic> {
+    diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .collect()
+}
+
+#[test]
+fn bench_recorded_trace_replays_with_zero_error_class_findings() {
+    let jsonl = record_workload_trace();
+    let diags = replay_trace(&jsonl);
+    // OG002-class info findings about over-wide upstream ioctl numbers are
+    // expected (and allowlisted in the binary); errors are not.
+    assert!(
+        errors(&diags).is_empty(),
+        "reference workload must replay clean, got: {:?}",
+        errors(&diags)
+    );
+}
+
+#[test]
+fn committed_fixture_is_byte_identical_to_a_fresh_recording() {
+    assert_eq!(
+        fixture("recorded_trace.jsonl"),
+        record_workload_trace(),
+        "tests/fixtures/recorded_trace.jsonl drifted from the recorder; \
+         regenerate it with `cargo run -p paradice-bench --bin experiments \
+         -- --trace tests/fixtures/recorded_trace.jsonl`"
+    );
+}
+
+#[test]
+fn doctored_fixture_fires_the_replay_finding() {
+    let diags = replay_trace(&fixture("doctored_trace.jsonl"));
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.code == DiagCode::Rp001 && d.severity == Severity::Error),
+        "doctored trace must fire RP001, got: {diags:?}"
+    );
+    // The static envelope agrees: the same rogue copy is outside the
+    // handler's declared grant set, so CF001 fires too.
+    assert!(
+        diags.iter().any(|d| d.code == DiagCode::Cf001),
+        "doctored trace must also fail the static envelope: {diags:?}"
+    );
+}
+
+#[test]
+fn tracing_disabled_by_default_and_zero_cost() {
+    use paradice::prelude::*;
+    use paradice_bench::{build, spawn_app, Config};
+    // Two identical machines; tracing enabled on one. Virtual time and
+    // results must be identical: recording never advances the clock.
+    let run = |traced: bool| {
+        let mut machine = build(Config::Paradice, &[DeviceSpec::Mouse], 1);
+        let tracer = traced.then(|| machine.enable_tracing());
+        let task = spawn_app(&mut machine, Config::Paradice);
+        let fd = machine.open(task, "/dev/input/event0").expect("open");
+        for _ in 0..10 {
+            machine.poll(task, fd).expect("poll");
+        }
+        (machine.now_ns(), tracer.map(|t| t.len()).unwrap_or(0))
+    };
+    let (t_plain, n_plain) = run(false);
+    let (t_traced, n_traced) = run(true);
+    assert_eq!(t_plain, t_traced, "tracing must not perturb virtual time");
+    assert_eq!(n_plain, 0);
+    assert!(n_traced > 0, "enabled tracer must have recorded events");
+}
