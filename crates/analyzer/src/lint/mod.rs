@@ -26,6 +26,7 @@
 //! | `RP002` | error | [`replay`] | structurally malformed trace (orphan/duplicate span events) |
 //! | `RP003` | warning | [`replay`] | span never ended; recording stopped mid-operation |
 //! | `RP004` | warning | `--replay` caller | traced device has no handler IR for the envelope check |
+//! | `RP005` | error | [`replay`] | memory operation recorded after its driver VM was marked dead (containment breach) |
 //!
 //! Shipped drivers whose ABI genuinely deviates (e.g. a Linux `_IOWR`
 //! command whose scaled driver only uses one direction) carry
@@ -92,6 +93,7 @@ pub enum DiagCode {
     Rp002,
     Rp003,
     Rp004,
+    Rp005,
 }
 
 impl DiagCode {
@@ -117,6 +119,7 @@ impl DiagCode {
             DiagCode::Rp002 => "RP002",
             DiagCode::Rp003 => "RP003",
             DiagCode::Rp004 => "RP004",
+            DiagCode::Rp005 => "RP005",
         }
     }
 
@@ -132,7 +135,8 @@ impl DiagCode {
             | DiagCode::Cf003
             | DiagCode::Cf004
             | DiagCode::Rp001
-            | DiagCode::Rp002 => Severity::Error,
+            | DiagCode::Rp002
+            | DiagCode::Rp005 => Severity::Error,
             DiagCode::Df002
             | DiagCode::Og003
             | DiagCode::Sh001

@@ -64,13 +64,19 @@ fn check_direction(
                 ),
             ));
         } else if !has_dynamic && max_extent < declared_size {
+            // Grant-width minimization hint: re-encode the command with the
+            // size the handler provably needs, so the frontend's `_IOC`
+            // fallback would derive the tight envelope.
+            let ioc = IoctlCmd(cmd);
+            let tight = IoctlCmd::new(ioc.dir(), ioc.ty(), ioc.nr(), max_extent as u32);
             diags.push(Diagnostic::new(
                 DiagCode::Og001,
                 driver,
                 Some(cmd),
                 format!(
                     "command declares a {}-byte {} envelope but the handler provably \
-                     touches at most {} bytes of it; the grant should shrink to match",
+                     touches at most {} bytes of it; the grant should shrink to match \
+                     (tight encoding: {tight})",
                     declared_size,
                     direction_name(kind),
                     max_extent,
@@ -185,6 +191,18 @@ mod tests {
         let diags = run(iowr(b'X', 2, 64).raw(), &inout(8));
         assert_eq!(diags.len(), 2);
         assert!(diags.iter().all(|d| d.code == DiagCode::Og001));
+    }
+
+    #[test]
+    fn og001_suggests_the_tight_encoding() {
+        let diags = run(iowr(b'X', 2, 64).raw(), &inout(8));
+        let tight = iowr(b'X', 2, 8);
+        assert!(
+            diags
+                .iter()
+                .all(|d| d.message.contains(&format!("tight encoding: {tight}"))),
+            "{diags:?}"
+        );
     }
 
     #[test]

@@ -22,6 +22,11 @@
 //! * **RP004** (warning): a device in the trace has no handler IR to check
 //!   the envelope against (emitted by the caller that owns the device→IR
 //!   map, e.g. `paradice-lint --replay`).
+//! * **RP005** (error): a grant-checked memory operation recorded after the
+//!   driver VM was marked dead (§7.1 containment). Once `driver_vm_failed`
+//!   appears, every grant is revoked and the hypervisor refuses the VM's
+//!   hypercalls — a later `mem_op` means containment was breached. A
+//!   `driver_vm_recovered` event lifts the restriction.
 
 use std::collections::BTreeMap;
 
@@ -102,6 +107,9 @@ fn copy_grant(grant: &TraceGrant) -> Option<ResolvedOp> {
 pub fn check_trace(events: &[TraceEvent], diags: &mut Vec<Diagnostic>) -> ReplaySummary {
     let mut spans: BTreeMap<u64, SpanState> = BTreeMap::new();
     let mut summary = ReplaySummary::default();
+    // §7.1 containment: true between `driver_vm_failed` and
+    // `driver_vm_recovered`. Any memory operation in this window is RP005.
+    let mut driver_dead = false;
 
     for event in events {
         match event {
@@ -162,6 +170,26 @@ pub fn check_trace(events: &[TraceEvent], diags: &mut Vec<Diagnostic>) -> Replay
                 ..
             } => {
                 summary.mem_ops += 1;
+                if driver_dead {
+                    let (device, cmd) = spans
+                        .get(&span.0)
+                        .map_or(("trace".to_owned(), None), |s| {
+                            (s.device.clone(), s.cmd)
+                        });
+                    diags.push(Diagnostic::new(
+                        DiagCode::Rp005,
+                        &device,
+                        cmd,
+                        format!(
+                            "recorded {} of {} bytes at {:#x} (span {}) after the \
+                             driver VM was marked dead; containment was breached",
+                            kind.as_str(),
+                            len,
+                            addr,
+                            span.0,
+                        ),
+                    ));
+                }
                 let Some(state) = spans.get_mut(&span.0) else {
                     diags.push(Diagnostic::new(
                         DiagCode::Rp002,
@@ -236,6 +264,11 @@ pub fn check_trace(events: &[TraceEvent], diags: &mut Vec<Diagnostic>) -> Replay
                     )),
                 }
             }
+            // Fault-injection bookkeeping is not an operation: nothing
+            // structural to check, only the containment window to track.
+            TraceEvent::FaultInjected { .. } => {}
+            TraceEvent::DriverVmFailed { .. } => driver_dead = true,
+            TraceEvent::DriverVmRecovered { .. } => driver_dead = false,
         }
     }
 
@@ -419,6 +452,45 @@ mod tests {
         let (diags, _) = run(&[start(1, TraceOpKind::Open, None)]);
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].code, DiagCode::Rp003);
+    }
+
+    #[test]
+    fn mem_op_after_driver_vm_death_is_rp005() {
+        let (diags, _) = run(&[
+            start(1, TraceOpKind::Read, None),
+            grants(1, vec![TraceGrant::CopyToGuest { addr: 0x1000, len: 64 }]),
+            TraceEvent::DriverVmFailed {
+                span: SpanId(1),
+                t_ns: 5,
+                vm: 2,
+                revoked_grants: 1,
+            },
+            mem_op(1, TraceMemOpKind::CopyToGuest, 0x1000, 16, true),
+            end(1),
+        ]);
+        assert!(diags.iter().any(|d| d.code == DiagCode::Rp005), "{diags:?}");
+    }
+
+    #[test]
+    fn recovery_lifts_the_rp005_window() {
+        let (diags, _) = run(&[
+            TraceEvent::DriverVmFailed {
+                span: SpanId::NONE,
+                t_ns: 5,
+                vm: 2,
+                revoked_grants: 0,
+            },
+            TraceEvent::DriverVmRecovered {
+                span: SpanId::NONE,
+                t_ns: 9,
+                vm: 2,
+            },
+            start(1, TraceOpKind::Read, None),
+            grants(1, vec![TraceGrant::CopyToGuest { addr: 0x1000, len: 64 }]),
+            mem_op(1, TraceMemOpKind::CopyToGuest, 0x1000, 16, true),
+            end(1),
+        ]);
+        assert!(diags.is_empty(), "{diags:?}");
     }
 
     #[test]

@@ -1,0 +1,38 @@
+//! Seeded driver-VM fault-injection campaigns (§7.1).
+//!
+//! ```sh
+//! cargo run -p paradice-bench --bin fault-campaign -- --seed 42 --campaigns 50
+//! ```
+//!
+//! Each campaign injects one fault (panic, oops, hang, wild memory op,
+//! malformed / truncated / dropped / delayed response) at a randomized
+//! device class and file-operation phase, then verifies guest survival,
+//! containment, and full driver-VM recovery. The sweep is deterministic:
+//! the same seed prints a byte-identical report. Exits non-zero if any
+//! guest fails or fewer than 95 % of driver-VM deaths recover.
+
+use paradice_bench::faults;
+
+fn parse_flag(args: &[String], flag: &str, default: u64) -> u64 {
+    match args.iter().position(|a| a == flag) {
+        Some(pos) => match args.get(pos + 1).and_then(|v| v.parse().ok()) {
+            Some(v) => v,
+            None => {
+                eprintln!("{flag} requires an integer argument");
+                std::process::exit(2);
+            }
+        },
+        None => default,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seed = parse_flag(&args, "--seed", 42);
+    let campaigns = parse_flag(&args, "--campaigns", 50) as u32;
+    let report = faults::run_campaigns(seed, campaigns);
+    print!("{}", report.render());
+    if !report.pass() {
+        std::process::exit(1);
+    }
+}

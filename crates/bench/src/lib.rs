@@ -20,6 +20,7 @@
 pub mod calib;
 pub mod configs;
 pub mod experiments;
+pub mod faults;
 pub mod report;
 pub mod tracing;
 pub mod workloads;

@@ -24,6 +24,7 @@ use paradice_devfs::registry::{DevFs, DeviceId, FileHandleId, OpenPolicy};
 use paradice_devfs::sysinfo::DeviceClass;
 use paradice_devfs::Errno;
 use paradice_drivers::env::KernelEnv;
+use paradice_faults::{FaultKind, FaultPlan};
 use paradice_hypervisor::audit::AuditEvent;
 use paradice_hypervisor::{ChannelError, GrantRef, SharedHypervisor, VmId};
 use paradice_mem::GuestVirtAddr;
@@ -35,6 +36,16 @@ use crate::sharing::{SharingPolicy, VirtualTerminals};
 
 /// The paper's per-guest wait-queue cap.
 pub const DEFAULT_QUEUE_CAP: usize = 100;
+
+/// What an injected dispatch fault does to the request being executed.
+enum InjectOutcome {
+    /// Answer with this response instead of running the driver.
+    Response(WireResponse),
+    /// Post no response at all (panic/hang: the frontend watchdog detects).
+    NoResponse,
+    /// Run the driver normally; the fault applies at the wire afterwards.
+    Proceed,
+}
 
 /// A shared handle to the backend (one backend serves every guest, §3.2.3).
 pub type SharedBackend = Rc<RefCell<Backend>>;
@@ -75,6 +86,15 @@ pub struct Backend {
     /// driver is slow).
     paused: bool,
     ops_executed: u64,
+    /// Armed fault plan (§7.1 experiments); `None` in production.
+    plan: Option<Rc<RefCell<FaultPlan>>>,
+    /// A wire-level fault picked during dispatch, applied to the response
+    /// slot after the response is posted.
+    pending_wire_fault: Option<FaultKind>,
+    /// Virtual time the last response was posted to a channel — the
+    /// frontend watchdog measures *delivery* lag against this, so blocking
+    /// operations may legitimately run long without tripping it.
+    last_post_ns: u64,
 }
 
 impl std::fmt::Debug for Backend {
@@ -102,6 +122,9 @@ impl Backend {
             terminals: None,
             paused: false,
             ops_executed: 0,
+            plan: None,
+            pending_wire_fault: None,
+            last_post_ns: 0,
         }))
     }
 
@@ -183,6 +206,64 @@ impl Backend {
         self.paused = true;
     }
 
+    /// Whether the backend is paused (the frontend watchdog must not treat
+    /// a paused backend's silence as a dead driver).
+    pub fn is_paused(&self) -> bool {
+        self.paused
+    }
+
+    /// Arms a fault plan: faults fire at dispatch and channel boundaries
+    /// per the plan's triggers (paper §7.1 fault-injection experiments).
+    pub fn arm_faults(&mut self, plan: Rc<RefCell<FaultPlan>>) {
+        self.plan = Some(plan);
+    }
+
+    /// Clears driver-visible state after a driver-VM reboot: force-closes
+    /// every open file in devfs, flushes the per-guest wait queues, and
+    /// drops any staged wire fault. Channel slots are reset by the
+    /// frontends; device registrations survive (the machine swaps in the
+    /// freshly instantiated driver objects).
+    pub fn reset_for_recovery(&mut self) {
+        let handles: Vec<u64> = self.opens.keys().copied().collect();
+        for handle in handles {
+            let _ = self.devfs.close(FileHandleId(handle));
+        }
+        self.opens.clear();
+        for state in self.guests.values_mut() {
+            state.queue.clear();
+        }
+        self.paused = false;
+        self.pending_wire_fault = None;
+    }
+
+    /// Swaps the driver object (and its kernel environment) behind an
+    /// already-registered device: the recovery path re-instantiates drivers
+    /// in the rebooted driver VM without re-registering devfs paths.
+    ///
+    /// # Errors
+    ///
+    /// `ENODEV` for unknown devices.
+    pub fn replace_device_ops(
+        &mut self,
+        device: DeviceId,
+        ops: Rc<RefCell<dyn FileOps>>,
+        env: Rc<KernelEnv>,
+    ) -> Result<(), Errno> {
+        let slot = self.devices.get_mut(&device.0).ok_or(Errno::Enodev)?;
+        slot.ops = ops;
+        slot.env = env;
+        Ok(())
+    }
+
+    /// Virtual time the last response was posted to a channel. The
+    /// frontend watchdog compares its read time against this: a blocking
+    /// operation may legitimately execute for longer than the deadline,
+    /// but a response that sits *posted yet undelivered* past the deadline
+    /// means the transport (or a fault) is holding it.
+    pub fn last_post_ns(&self) -> u64 {
+        self.last_post_ns
+    }
+
     /// Depth of a guest's wait queue.
     pub fn queue_depth(&self, guest: VmId) -> usize {
         self.guests.get(&guest.0).map_or(0, |s| s.queue.len())
@@ -197,6 +278,7 @@ impl Backend {
     /// queue is *not* an error here: the EDQUOT response is posted on the
     /// channel (and the flood audited), exactly as the guest would see it.
     pub fn handle_request(&mut self, guest: VmId) -> Result<(), Errno> {
+        let driver_dead = self.hv.borrow().driver_vm_failed(self.driver_vm);
         let state = self.guests.get_mut(&guest.0).ok_or(Errno::Einval)?;
         let request = match state.channel.borrow_mut().take_request() {
             Ok(request) => request,
@@ -208,16 +290,29 @@ impl Backend {
                     .channel
                     .borrow_mut()
                     .send_response(WireResponse::Err(Errno::Einval));
+                self.last_post_ns = self.hv.borrow().clock().now_ns();
                 return Ok(());
             }
             Err(_) => return Err(Errno::Einval),
         };
+        if driver_dead {
+            // The driver VM is marked failed: nothing in it may run. The
+            // request is consumed and refused immediately so the guest gets
+            // a clean errno instead of a hang (§7.1 fail-fast).
+            let _ = state
+                .channel
+                .borrow_mut()
+                .send_response(WireResponse::Err(Errno::Eio));
+            self.last_post_ns = self.hv.borrow().clock().now_ns();
+            return Ok(());
+        }
         if state.queue.len() >= state.cap {
             let depth = state.queue.len();
             let _ = state
                 .channel
                 .borrow_mut()
                 .send_response(WireResponse::Err(Errno::Edquot));
+            self.last_post_ns = self.hv.borrow().clock().now_ns();
             self.hv
                 .borrow_mut()
                 .record_audit(AuditEvent::WaitQueueOverflow { guest, depth });
@@ -228,9 +323,45 @@ impl Backend {
             if let Some(response) = self.execute_next(guest) {
                 let state = self.guests.get_mut(&guest.0).expect("attached above");
                 let _ = state.channel.borrow_mut().send_response(response);
+                self.last_post_ns = self.hv.borrow().clock().now_ns();
             }
+            self.apply_pending_wire_fault(guest);
         }
         Ok(())
+    }
+
+    /// Applies a wire-level fault staged during dispatch to the response
+    /// just posted on `guest`'s channel.
+    fn apply_pending_wire_fault(&mut self, guest: VmId) {
+        let Some(kind) = self.pending_wire_fault.take() else {
+            return;
+        };
+        let Some(state) = self.guests.get(&guest.0) else {
+            return;
+        };
+        match kind {
+            FaultKind::MalformedResponse => {
+                let _ = state.channel.borrow_mut().scramble_response_slot();
+            }
+            FaultKind::TruncatedResponse => {
+                let _ = state.channel.borrow_mut().truncate_response_slot();
+            }
+            FaultKind::DropDelivery => {
+                let _ = state.channel.borrow_mut().drop_response_slot();
+            }
+            FaultKind::DelayDelivery => {
+                // The response sits in the slot while the virtual clock
+                // runs past the frontend's watchdog deadline.
+                let delay = self
+                    .plan
+                    .as_ref()
+                    .map_or(paradice_faults::DEFAULT_DELAY_NS, |p| {
+                        p.borrow().delay_ns()
+                    });
+                self.hv.borrow().clock().advance(delay);
+            }
+            _ => {}
+        }
     }
 
     /// Resumes a paused backend, draining `guest`'s backlog and returning
@@ -252,17 +383,98 @@ impl Backend {
         self.hv.borrow().clock().advance(
             self.hv.borrow().cost().backend_dispatch_ns,
         );
-        self.ops_executed += 1;
         // Span marking, mirroring the guest-thread mark: every grant-checked
         // hypercall the driver performs for this request lands in the span
-        // the frontend stamped on the wire.
+        // the frontend stamped on the wire (as do injected faults).
         self.hv.borrow_mut().set_current_span(SpanId(request.span));
+        if let Some(kind) = self.consult_fault_plan(&request) {
+            match self.inject_dispatch_fault(kind, guest, &request) {
+                InjectOutcome::Response(response) => {
+                    self.hv.borrow_mut().set_current_span(SpanId::NONE);
+                    return Some(response);
+                }
+                InjectOutcome::NoResponse => {
+                    self.hv.borrow_mut().set_current_span(SpanId::NONE);
+                    return None;
+                }
+                InjectOutcome::Proceed => {}
+            }
+        }
+        self.ops_executed += 1;
         let response = match self.dispatch(guest, request) {
             Ok(response) => response,
             Err(errno) => WireResponse::Err(errno),
         };
         self.hv.borrow_mut().set_current_span(SpanId::NONE);
         Some(response)
+    }
+
+    /// Asks the armed plan (if any) whether a fault fires on this dispatch.
+    fn consult_fault_plan(&mut self, request: &WireRequest) -> Option<FaultKind> {
+        let now_ns = self.hv.borrow().clock().now_ns();
+        self.plan
+            .as_ref()?
+            .borrow_mut()
+            .on_dispatch(request.op.name(), now_ns)
+    }
+
+    /// Simulates `kind` firing inside the driver while it dispatches
+    /// `request` (paper §7.1: "we injected faults in the device drivers
+    /// running inside the driver VM").
+    fn inject_dispatch_fault(
+        &mut self,
+        kind: FaultKind,
+        guest: VmId,
+        request: &WireRequest,
+    ) -> InjectOutcome {
+        self.hv
+            .borrow()
+            .trace_fault_injected(kind.as_str(), request.op.name());
+        match kind {
+            FaultKind::DriverPanic => {
+                // A kernel panic takes the whole driver VM down: no
+                // response is ever posted, and containment revokes every
+                // outstanding grant before anything else can run.
+                let _ = self.hv.borrow_mut().mark_driver_vm_failed(self.driver_vm);
+                InjectOutcome::NoResponse
+            }
+            FaultKind::DriverOops => {
+                // An oops kills the handler thread but the driver VM
+                // survives; the guest sees the failed operation's errno.
+                InjectOutcome::Response(WireResponse::Err(Errno::Eio))
+            }
+            FaultKind::Hang => {
+                // The driver wedges and never answers. Detection must live
+                // outside the untrusted driver: the frontend watchdog — not
+                // this code — declares the VM failed.
+                InjectOutcome::NoResponse
+            }
+            FaultKind::WildMemOp => {
+                // A corrupted driver touches guest memory it holds no grant
+                // for. The hypervisor fails the access closed and audits
+                // it; the stricken VM is then declared failed.
+                let wild = self.hv.borrow_mut().hc_copy_to_guest(
+                    self.driver_vm,
+                    guest,
+                    request.pt_root,
+                    GuestVirtAddr::new(0xdead_0000),
+                    &[0xff; 8],
+                    GrantRef(u32::MAX),
+                );
+                debug_assert!(wild.is_err(), "ungranted op must fail closed");
+                let _ = self.hv.borrow_mut().mark_driver_vm_failed(self.driver_vm);
+                InjectOutcome::NoResponse
+            }
+            FaultKind::MalformedResponse
+            | FaultKind::TruncatedResponse
+            | FaultKind::DropDelivery
+            | FaultKind::DelayDelivery => {
+                // Wire-level faults: the operation itself runs; the fault
+                // hits the response slot after it is posted.
+                self.pending_wire_fault = Some(kind);
+                InjectOutcome::Proceed
+            }
+        }
     }
 
     fn dispatch(&mut self, guest: VmId, request: WireRequest) -> Result<WireResponse, Errno> {

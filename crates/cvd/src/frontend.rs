@@ -30,13 +30,20 @@ use paradice_analyzer::jit::{evaluate_slice, UserReader};
 use paradice_devfs::fileops::{FileOpKind, OpenFlags, PollEvents, TaskId};
 use paradice_devfs::ioc::IoctlCmd;
 use paradice_devfs::Errno;
-use paradice_hypervisor::{ChannelStats, GrantRef, MemOpGrant, SharedHypervisor, VmId};
+use paradice_hypervisor::{ChannelError, ChannelStats, GrantRef, MemOpGrant, SharedHypervisor, VmId};
 use paradice_mem::pagetable::GuestPageTables;
 use paradice_mem::{Access, GuestVirtAddr, PAGE_SIZE};
 use paradice_trace::{SpanId, TraceEvent, TraceGrant, TraceOpKind, Tracer, WireDelta};
 
 use crate::backend::SharedBackend;
 use crate::proto::{CvdChannel, WireOp, WireRequest, WireResponse};
+
+/// Default per-operation watchdog deadline on the virtual clock (50 ms).
+///
+/// Far above any legitimate forwarding cost (an interrupt round trip is
+/// ~35 µs, §6.2) yet short enough that a guest process blocked on a dead
+/// driver unblocks promptly with `ETIMEDOUT` (§7.1).
+pub const DEFAULT_OP_DEADLINE_NS: u64 = 50_000_000;
 
 /// The guest OS flavor a frontend is built for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -316,6 +323,11 @@ pub struct Frontend {
     stats: FrontendStats,
     /// paradice-trace sink; disabled by default (zero-cost path).
     tracer: Tracer,
+    /// Watchdog deadline per forwarded operation (virtual nanoseconds).
+    deadline_ns: u64,
+    /// Circuit breaker: once the watchdog declares the driver VM dead, all
+    /// further operations fail fast without forwarding (§7.1).
+    breaker_open: bool,
 }
 
 impl std::fmt::Debug for Frontend {
@@ -352,7 +364,32 @@ impl Frontend {
             vmas: Vec::new(),
             stats: FrontendStats::default(),
             tracer: Tracer::disabled(),
+            deadline_ns: DEFAULT_OP_DEADLINE_NS,
+            breaker_open: false,
         }
+    }
+
+    /// Overrides the per-operation watchdog deadline (virtual time).
+    pub fn set_op_deadline_ns(&mut self, deadline_ns: u64) {
+        self.deadline_ns = deadline_ns;
+    }
+
+    /// Whether the circuit breaker has tripped (operations fail fast).
+    pub fn breaker_open(&self) -> bool {
+        self.breaker_open
+    }
+
+    /// Rebinds the frontend to a recovered driver VM: every guest-local
+    /// descriptor is invalidated (backend handles died with the VM, so the
+    /// guest must reopen, §7.1), device mappings are forgotten, the channel
+    /// slots are cleared of stale bytes, and the circuit breaker closes.
+    pub fn reset_after_recovery(&mut self) {
+        self.open.clear();
+        self.backend_to_local.clear();
+        self.vmas.clear();
+        self.pending_mmap_range = None;
+        self.breaker_open = false;
+        self.channel.borrow_mut().reset();
     }
 
     /// Installs the trace sink (shared with the hypervisor and the other
@@ -391,15 +428,94 @@ impl Frontend {
 
     fn forward(&mut self, request: WireRequest) -> Result<WireResponse, Errno> {
         self.stats.ops_forwarded += 1;
+        let was_open = matches!(request.op, WireOp::Open { .. });
+        let (req_task, req_pt_root) = (request.task, request.pt_root);
+        let start_ns = self.hv.borrow().clock().now_ns();
         self.channel
             .borrow_mut()
             .send_request(request)
             .map_err(|_| Errno::Eagain)?;
         self.backend.borrow_mut().handle_request(self.guest)?;
-        self.channel
-            .borrow_mut()
-            .take_response()
-            .map_err(|_| Errno::Eio)
+        let taken = self.channel.borrow_mut().take_response();
+        match taken {
+            Ok(response) => {
+                // The watchdog measures *delivery* lag — time the response
+                // sat in the slot after the backend posted it — not total
+                // execution time: blocking operations (a GEM wait-idle, a
+                // read on an idle device) may legitimately run longer than
+                // any fixed deadline. A wedged driver never posts at all
+                // and is caught by the `Empty` arm below.
+                let lag = self
+                    .hv
+                    .borrow()
+                    .clock()
+                    .now_ns()
+                    .saturating_sub(self.backend.borrow().last_post_ns());
+                if lag > self.deadline_ns {
+                    // The response arrived, but past the watchdog deadline:
+                    // the guest kernel has already timed the call out. The
+                    // driver is demonstrably alive (it answered), so no
+                    // containment — just the errno.
+                    if let (true, WireResponse::Value(handle)) = (was_open, &response) {
+                        if *handle >= 0 {
+                            // The open itself succeeded, after the caller
+                            // gave up: release the orphaned backend handle
+                            // so exclusive devices don't stay wedged.
+                            let release = WireRequest {
+                                task: req_task,
+                                pt_root: req_pt_root,
+                                handle: *handle as u64,
+                                span: 0,
+                                grant: None,
+                                op: WireOp::Release,
+                            };
+                            if self.channel.borrow_mut().send_request(release).is_ok() {
+                                let _ = self.backend.borrow_mut().handle_request(self.guest);
+                                let _ = self.channel.borrow_mut().take_response();
+                            }
+                        }
+                    }
+                    return Err(Errno::Etimedout);
+                }
+                Ok(response)
+            }
+            Err(ChannelError::Empty) => {
+                if self.backend.borrow().is_paused() {
+                    // A paused backend is a test/diagnostic state queueing
+                    // requests on purpose, not a dead driver: keep the
+                    // legacy behaviour and do not trip the watchdog.
+                    return Err(Errno::Eio);
+                }
+                // No response and the backend is live: a hung or dead
+                // driver. Model the guest blocking until the watchdog
+                // deadline on the virtual clock, then contain the driver
+                // VM — grants revoked, further hypercalls refused — and
+                // unblock the caller with ETIMEDOUT (§7.1).
+                let waited = self
+                    .hv
+                    .borrow()
+                    .clock()
+                    .now_ns()
+                    .saturating_sub(start_ns);
+                self.hv
+                    .borrow()
+                    .clock()
+                    .advance(self.deadline_ns.saturating_sub(waited));
+                let driver_vm = self.backend.borrow().driver_vm();
+                let _ = self.hv.borrow_mut().mark_driver_vm_failed(driver_vm);
+                self.breaker_open = true;
+                Err(Errno::Etimedout)
+            }
+            Err(ChannelError::Malformed) => {
+                // Garbage in the response slot: the driver VM is corrupted.
+                // Contain it before its next move.
+                let driver_vm = self.backend.borrow().driver_vm();
+                let _ = self.hv.borrow_mut().mark_driver_vm_failed(driver_vm);
+                self.breaker_open = true;
+                Err(Errno::Eio)
+            }
+            Err(_) => Err(Errno::Eio),
+        }
     }
 
     fn declare(&mut self, ops: Vec<MemOpGrant>) -> Result<GrantRef, Errno> {
@@ -430,6 +546,18 @@ impl Frontend {
         op: WireOp,
         trace: OpTrace,
     ) -> Result<WireResponse, Errno> {
+        if self.breaker_open
+            || self
+                .hv
+                .borrow()
+                .driver_vm_failed(self.backend.borrow().driver_vm())
+        {
+            // Circuit breaker (§7.1): the driver VM is down. Fail fast —
+            // no grant, no forwarding, no deadline wait — until the
+            // machine recovers the driver VM and resets this frontend.
+            self.breaker_open = true;
+            return Err(Errno::Eio);
+        }
         let enabled = self.tracer.is_enabled();
         let span = self.tracer.begin_span();
         let (start_ns, stats_before) = if enabled {

@@ -91,6 +91,23 @@ pub enum WireOp {
 }
 
 impl WireOp {
+    /// The operation's wire name, used for fault-plan triggers and trace
+    /// events (stable, lowercase, matches the devfs file-operation names).
+    pub const fn name(&self) -> &'static str {
+        match self {
+            WireOp::Open { .. } => "open",
+            WireOp::Release => "release",
+            WireOp::Read { .. } => "read",
+            WireOp::Write { .. } => "write",
+            WireOp::Ioctl { .. } => "ioctl",
+            WireOp::Mmap { .. } => "mmap",
+            WireOp::Munmap { .. } => "munmap",
+            WireOp::Poll => "poll",
+            WireOp::Fasync { .. } => "fasync",
+            WireOp::Fault { .. } => "fault",
+        }
+    }
+
     const fn opcode(&self) -> u8 {
         match self {
             WireOp::Open { .. } => 1,

@@ -41,6 +41,8 @@ pub enum Errno {
     Enosys,
     /// Operation not supported.
     Enotsup,
+    /// Connection timed out (driver-VM watchdog deadline expired, §7.1).
+    Etimedout,
     /// Quota exceeded (per-guest wait-queue cap, paper §5.1).
     Edquot,
 }
@@ -64,6 +66,7 @@ impl Errno {
             Errno::Enospc => 28,
             Errno::Enosys => 38,
             Errno::Enotsup => 95,
+            Errno::Etimedout => 110,
             Errno::Edquot => 122,
         }
     }
@@ -87,6 +90,7 @@ impl Errno {
             28 => Errno::Enospc,
             38 => Errno::Enosys,
             95 => Errno::Enotsup,
+            110 => Errno::Etimedout,
             122 => Errno::Edquot,
             _ => return None,
         })
@@ -110,6 +114,7 @@ impl Errno {
             Errno::Enospc => "ENOSPC",
             Errno::Enosys => "ENOSYS",
             Errno::Enotsup => "ENOTSUP",
+            Errno::Etimedout => "ETIMEDOUT",
             Errno::Edquot => "EDQUOT",
         }
     }
@@ -158,6 +163,7 @@ mod tests {
             Errno::Enospc,
             Errno::Enosys,
             Errno::Enotsup,
+            Errno::Etimedout,
             Errno::Edquot,
         ];
         let mut codes: Vec<i32> = all.iter().map(|e| e.code()).collect();

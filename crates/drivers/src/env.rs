@@ -27,6 +27,7 @@ pub fn hv_to_errno(err: &HvError) -> Errno {
         HvError::Iommu(_) | HvError::ApertureViolation { .. } => Errno::Eio,
         HvError::ProtectedMmio { .. } => Errno::Eperm,
         HvError::GpaWindowExhausted => Errno::Enomem,
+        HvError::DriverVmFailed { .. } => Errno::Eio,
         _ => Errno::Einval,
     }
 }

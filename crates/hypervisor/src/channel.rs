@@ -352,6 +352,57 @@ impl<Req: WireCodec, Resp: WireCodec, Sig: WireCodec> Channel<Req, Resp, Sig> {
     pub fn pending_notifications(&self) -> usize {
         self.notifications.len()
     }
+
+    /// Clears both message slots and the notification queue (driver-VM
+    /// recovery: the rebooted backend must not see requests posted to its
+    /// dead predecessor, and the frontend must not read a stale response).
+    /// Statistics and the transport mode are preserved.
+    pub fn reset(&mut self) {
+        self.request = None;
+        self.response = None;
+        self.notifications.clear();
+    }
+
+    /// Fault injection: scrambles the bytes of a pending response in place
+    /// (a corrupted shared-page write by a crashing driver). Returns `false`
+    /// when no response is pending.
+    pub fn scramble_response_slot(&mut self) -> bool {
+        match &mut self.response {
+            Some(bytes) => {
+                if bytes.is_empty() {
+                    // An empty slot payload cannot decode anyway; make it
+                    // visibly garbled.
+                    *bytes = vec![0xde, 0xad];
+                } else {
+                    for (i, b) in bytes.iter_mut().enumerate() {
+                        *b = b.wrapping_add(0x5a).rotate_left((i % 7) as u32);
+                    }
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Fault injection: truncates a pending response to half its length (a
+    /// partial shared-page write). Returns `false` when no response is
+    /// pending.
+    pub fn truncate_response_slot(&mut self) -> bool {
+        match &mut self.response {
+            Some(bytes) => {
+                let keep = bytes.len() / 2;
+                bytes.truncate(keep);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Fault injection: drops a pending response entirely (a lost
+    /// completion delivery). Returns `false` when no response was pending.
+    pub fn drop_response_slot(&mut self) -> bool {
+        self.response.take().is_some()
+    }
 }
 
 #[cfg(test)]
@@ -520,6 +571,45 @@ mod tests {
         assert_eq!(ch.stats().response_bytes, 5);
         assert_eq!(ch.stats().notification_bytes, 5);
         assert_eq!(ch.stats().deliveries(), 3);
+    }
+
+    #[test]
+    fn reset_clears_slots_and_queue_but_keeps_stats() {
+        let mut ch = channel(TransportMode::Interrupts);
+        ch.send_request(b"rq".to_vec()).unwrap();
+        ch.send_response(b"rs".to_vec()).unwrap();
+        ch.send_notification(b"n".to_vec()).unwrap();
+        let stats_before = ch.stats();
+        ch.reset();
+        assert_eq!(ch.take_request(), Err(ChannelError::Empty));
+        assert_eq!(ch.take_response(), Err(ChannelError::Empty));
+        assert!(ch.take_notification().is_none());
+        assert_eq!(ch.stats(), stats_before);
+    }
+
+    #[test]
+    fn response_slot_fault_hooks() {
+        let mut ch: Channel<Ping, Ping, Ping> = Channel::new(
+            TransportMode::Interrupts,
+            SimClock::new(),
+            CostModel::default(),
+        );
+        // Nothing pending: every hook reports false.
+        assert!(!ch.scramble_response_slot());
+        assert!(!ch.truncate_response_slot());
+        assert!(!ch.drop_response_slot());
+
+        ch.send_response(Ping(7)).unwrap();
+        assert!(ch.scramble_response_slot());
+        assert_eq!(ch.take_response(), Err(ChannelError::Malformed));
+
+        ch.send_response(Ping(8)).unwrap();
+        assert!(ch.truncate_response_slot());
+        assert_eq!(ch.take_response(), Err(ChannelError::Malformed));
+
+        ch.send_response(Ping(9)).unwrap();
+        assert!(ch.drop_response_slot());
+        assert_eq!(ch.take_response(), Err(ChannelError::Empty));
     }
 
     #[test]

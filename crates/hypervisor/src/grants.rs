@@ -249,6 +249,16 @@ impl GrantTable {
         self.entries.remove(&grant.0).is_some()
     }
 
+    /// Revokes every outstanding declaration (driver-VM failure: a
+    /// compromised-after-crash driver must not retain any authority).
+    /// Returns the number of declarations revoked. Reference numbering
+    /// continues where it left off so stale refs can never alias new ones.
+    pub fn revoke_all(&mut self) -> usize {
+        let revoked = self.entries.len();
+        self.entries.clear();
+        revoked
+    }
+
     /// Number of outstanding declarations.
     pub fn outstanding(&self) -> usize {
         self.entries.len()
@@ -415,6 +425,21 @@ mod tests {
             )
             .is_ok());
         assert_eq!(table.declarations(grant).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn revoke_all_clears_but_keeps_numbering() {
+        let mut table = GrantTable::new();
+        let first = table.declare(vec![]).unwrap();
+        table.declare(vec![]).unwrap();
+        assert_eq!(table.revoke_all(), 2);
+        assert_eq!(table.outstanding(), 0);
+        // Stale references are dead...
+        assert!(!table.revoke(first));
+        // ...and fresh declarations never reuse their numbers.
+        let next = table.declare(vec![]).unwrap();
+        assert!(next.0 > first.0 + 1);
+        assert_eq!(table.revoke_all(), 1);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //!   permission stripping, region-tagged IOMMU mappings with one active
 //!   region, device-memory aperture bounds behind protected MMIO.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use paradice_mem::ept::EptMapError;
@@ -27,7 +27,7 @@ use paradice_mem::{
     Access, DmaAddr, EptViolation, GuestPhysAddr, GuestVirtAddr, Iommu, IommuFault, MemError,
     PhysAddr, RegionId, SystemMemory, PAGE_SIZE,
 };
-use paradice_trace::{SpanId, TraceMemOpKind, Tracer};
+use paradice_trace::{SpanId, TraceEvent, TraceMemOpKind, Tracer};
 
 use crate::audit::{AuditEvent, AuditLog};
 use crate::clock::{CostModel, SimClock};
@@ -92,6 +92,12 @@ pub enum HvError {
         /// The bus address.
         dma: DmaAddr,
     },
+    /// The driver VM was declared failed (crash/watchdog); its hypercalls
+    /// are refused until it is recovered (§7.1 fault containment).
+    DriverVmFailed {
+        /// The failed driver VM.
+        vm: VmId,
+    },
 }
 
 impl fmt::Display for HvError {
@@ -125,6 +131,9 @@ impl fmt::Display for HvError {
                 write!(f, "guest page permissions forbid access at {va}")
             }
             HvError::NoSuchMapping { dma } => write!(f, "no IOMMU mapping at {dma}"),
+            HvError::DriverVmFailed { vm } => {
+                write!(f, "driver {vm} is marked failed; awaiting recovery")
+            }
         }
     }
 }
@@ -249,6 +258,10 @@ pub struct Hypervisor {
     /// (set around dispatch, like the driver-env current-guest marking).
     /// Memory operations recorded while it is [`SpanId::NONE`] are dropped.
     current_span: SpanId,
+    /// Driver VMs declared failed (crash or watchdog timeout, §7.1). A
+    /// failed driver VM's hypercalls are refused — a compromised-after-crash
+    /// driver can touch nothing — until `clear_driver_vm_failed` at reboot.
+    failed_driver_vms: BTreeSet<u32>,
 }
 
 impl fmt::Debug for Hypervisor {
@@ -312,6 +325,7 @@ impl Hypervisor {
             grant_validation: true,
             tracer: Tracer::disabled(),
             current_span: SpanId::NONE,
+            failed_driver_vms: BTreeSet::new(),
         }
     }
 
@@ -443,11 +457,170 @@ impl Hypervisor {
     }
 
     fn require_driver(&self, caller: VmId) -> Result<(), HvError> {
-        if self.is_driver_vm(caller) {
-            Ok(())
-        } else {
-            Err(HvError::NotDriverVm { caller })
+        if !self.is_driver_vm(caller) {
+            return Err(HvError::NotDriverVm { caller });
         }
+        // A failed driver VM loses its hypercall privileges wholesale: even
+        // a grant-covered request is refused until recovery re-admits it.
+        if self.failed_driver_vms.contains(&caller.0) {
+            return Err(HvError::DriverVmFailed { vm: caller });
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Driver-VM failure containment and recovery (paper §7.1)
+    // ------------------------------------------------------------------
+
+    /// Declares a driver VM failed (panic, watchdog timeout, or a wild
+    /// memory operation): revokes **every** outstanding grant declaration in
+    /// every guest's table and tears down all live `mmap` fix-ups, so a
+    /// compromised-after-crash driver retains no authority over guest
+    /// memory. Idempotent — marking an already-failed VM returns `Ok(0)`.
+    ///
+    /// Returns the number of grant declarations revoked.
+    ///
+    /// # Errors
+    ///
+    /// [`HvError::NotDriverVm`] when `vm` is not a driver VM.
+    pub fn mark_driver_vm_failed(&mut self, vm: VmId) -> Result<usize, HvError> {
+        if !self.is_driver_vm(vm) {
+            return Err(HvError::NotDriverVm { caller: vm });
+        }
+        if !self.failed_driver_vms.insert(vm.0) {
+            return Ok(0);
+        }
+        let mut revoked = 0usize;
+        for table in self.grants.values_mut() {
+            revoked += table.revoke_all();
+        }
+        // Tear down hypervisor-installed mmap fix-ups: the frames behind
+        // them are driver-VM pages that the rebooted driver will reuse.
+        let fixups = std::mem::take(&mut self.fixups);
+        for (key, fixup) in fixups {
+            if let Ok(guest_vm) = self.vm_mut(key.guest) {
+                guest_vm.ept_mut().unmap(fixup.claimed_gpa);
+                guest_vm.gpa_window_mut().release(fixup.claimed_gpa);
+            }
+        }
+        if self.tracer.is_enabled() {
+            self.tracer.record(TraceEvent::DriverVmFailed {
+                span: self.current_span,
+                t_ns: self.clock.now_ns(),
+                vm: vm.0 as u64,
+                revoked_grants: revoked as u64,
+            });
+        }
+        Ok(revoked)
+    }
+
+    /// Whether `vm` is currently marked failed.
+    pub fn driver_vm_failed(&self, vm: VmId) -> bool {
+        self.failed_driver_vms.contains(&vm.0)
+    }
+
+    /// Clears the failed mark after the driver VM reboots (recovery). The
+    /// caller must have rebuilt the VM's protected state first. No-op when
+    /// the VM was not failed.
+    pub fn clear_driver_vm_failed(&mut self, vm: VmId) {
+        if self.failed_driver_vms.remove(&vm.0) && self.tracer.is_enabled() {
+            self.tracer.record(TraceEvent::DriverVmRecovered {
+                span: SpanId::NONE,
+                t_ns: self.clock.now_ns(),
+                vm: vm.0 as u64,
+            });
+        }
+    }
+
+    /// Records a fault-injection trace event against the current span (the
+    /// CVD backend calls this at the dispatch boundary when a `FaultPlan`
+    /// fires).
+    pub fn trace_fault_injected(&self, kind: &str, op: &str) {
+        if self.tracer.is_enabled() {
+            self.tracer.record(TraceEvent::FaultInjected {
+                span: self.current_span,
+                t_ns: self.clock.now_ns(),
+                kind: kind.to_owned(),
+                op: op.to_owned(),
+            });
+        }
+    }
+
+    /// Resets every device domain assigned to `driver_vm` for recovery:
+    /// restores the driver VM's EPT access to formerly protected pages,
+    /// clears all IOMMU mappings, discards region/aperture/protected-MMIO
+    /// state, and (without data isolation) rebuilds the identity DMA map.
+    /// The rebooted driver then re-runs its trusted initialization phase
+    /// from a clean slate, exactly as on first assignment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates EPT bookkeeping failures (simulation bugs).
+    pub fn reset_domains_of(&mut self, driver_vm: VmId) -> Result<(), HvError> {
+        let domains: Vec<usize> = self
+            .domains
+            .iter()
+            .filter(|(_, state)| state.driver_vm == driver_vm)
+            .map(|(idx, _)| *idx)
+            .collect();
+        for idx in domains {
+            let domain = DomainId::from_index(idx);
+            // Restore driver access to every protected system page (BAR
+            // pages included: hc_protect_bar_range stripped them too).
+            let mut protected: Vec<GuestPhysAddr> = Vec::new();
+            {
+                let state = self.domains.get(&idx).expect("domain listed above");
+                for region in state.regions.iter_ids() {
+                    if let Ok(pages) = state.regions.sys_pages_of(region) {
+                        protected.extend_from_slice(pages);
+                    }
+                }
+            }
+            for gpa in protected {
+                // Pages may have been BAR frames or RAM; both were RW
+                // before protection.
+                self.vm_mut(driver_vm)?.ept_mut().set_access(gpa, Access::RW)?;
+            }
+            // Drop every IOMMU mapping (stale DMA authority dies with the
+            // crashed driver).
+            let mapped: Vec<DmaAddr> = self
+                .iommu
+                .domain(domain)
+                .iter()
+                .map(|(dma, _, _, _)| dma)
+                .collect();
+            for dma in mapped {
+                self.iommu.domain_mut(domain).unmap(dma);
+            }
+            self.iommu.domain_mut(domain).switch_region(None);
+            // Reset per-domain bookkeeping; keep the BAR placement — the
+            // frames are still mapped in the driver VM's EPT.
+            let state = self.domains.get_mut(&idx).expect("domain listed above");
+            state.regions = RegionManager::new();
+            state.aperture = None;
+            state.mmio_protected = false;
+            state.misc_regs.clear();
+            let isolation = state.isolation;
+            // Without data isolation the identity DMA map must come back.
+            if isolation == DataIsolation::Disabled {
+                let ram_pages = self.vm(driver_vm)?.ram_pages();
+                for page in 0..ram_pages {
+                    let gpa = GuestPhysAddr::new(page * PAGE_SIZE);
+                    let pa = self
+                        .vm(driver_vm)?
+                        .ept()
+                        .frame_of(gpa)
+                        .expect("RAM is identity-mapped");
+                    self.iommu.domain_mut(domain).map(
+                        DmaAddr::new(gpa.raw()),
+                        pa,
+                        Access::RW,
+                        RegionId::GLOBAL,
+                    );
+                }
+            }
+        }
+        Ok(())
     }
 
     // ------------------------------------------------------------------

@@ -257,6 +257,12 @@ impl DomainId {
     pub const fn index(self) -> usize {
         self.0
     }
+
+    /// Rebuilds a `DomainId` from an index previously obtained via
+    /// [`DomainId::index`] (higher layers key their per-domain state by it).
+    pub const fn from_index(index: usize) -> Self {
+        DomainId(index)
+    }
 }
 
 impl Iommu {

@@ -265,6 +265,39 @@ pub enum TraceEvent {
         /// Channel bytes/deliveries attributed to this span.
         wire: WireDelta,
     },
+    /// A fault was injected into the driver VM (fault campaigns, §7.1).
+    FaultInjected {
+        /// The span being dispatched when the fault fired
+        /// ([`SpanId::NONE`] when injected outside any traced operation).
+        span: SpanId,
+        /// Simulated time of the injection.
+        t_ns: u64,
+        /// Stable fault-kind name (`"driver-panic"`, `"hang"`, …).
+        kind: String,
+        /// The operation being dispatched when the fault fired.
+        op: String,
+    },
+    /// The hypervisor declared a driver VM failed: its grants were revoked
+    /// and its hypercalls are refused until recovery.
+    DriverVmFailed {
+        /// The span whose operation exposed the failure, if any.
+        span: SpanId,
+        /// Simulated time of the declaration.
+        t_ns: u64,
+        /// The failed driver VM's id.
+        vm: u64,
+        /// Outstanding grant declarations revoked at failure time.
+        revoked_grants: u64,
+    },
+    /// The driver VM was rebooted and its hypervisor state rebuilt.
+    DriverVmRecovered {
+        /// Usually [`SpanId::NONE`]: recovery runs outside guest operations.
+        span: SpanId,
+        /// Simulated time recovery completed.
+        t_ns: u64,
+        /// The recovered driver VM's id.
+        vm: u64,
+    },
 }
 
 impl TraceEvent {
@@ -274,8 +307,22 @@ impl TraceEvent {
             TraceEvent::OpStart { span, .. }
             | TraceEvent::Grants { span, .. }
             | TraceEvent::MemOp { span, .. }
-            | TraceEvent::OpEnd { span, .. } => *span,
+            | TraceEvent::OpEnd { span, .. }
+            | TraceEvent::FaultInjected { span, .. }
+            | TraceEvent::DriverVmFailed { span, .. }
+            | TraceEvent::DriverVmRecovered { span, .. } => *span,
         }
+    }
+
+    /// Driver-VM lifecycle events are machine-global, not per-operation:
+    /// they are meaningful (and recorded) even with a [`SpanId::NONE`] span.
+    pub fn is_lifecycle(&self) -> bool {
+        matches!(
+            self,
+            TraceEvent::FaultInjected { .. }
+                | TraceEvent::DriverVmFailed { .. }
+                | TraceEvent::DriverVmRecovered { .. }
+        )
     }
 
     /// Serializes the event as one JSON object (no trailing newline).
@@ -381,6 +428,39 @@ impl TraceEvent {
                     wire.deliveries,
                 ));
             }
+            TraceEvent::FaultInjected {
+                span,
+                t_ns,
+                kind,
+                op,
+            } => {
+                out.push_str(&format!(
+                    "{{\"type\":\"fault_injected\",\"span\":{},\"t_ns\":{},\
+                     \"kind\":\"{}\",\"op\":\"{}\"}}",
+                    span.0,
+                    t_ns,
+                    json_escape(kind),
+                    json_escape(op),
+                ));
+            }
+            TraceEvent::DriverVmFailed {
+                span,
+                t_ns,
+                vm,
+                revoked_grants,
+            } => {
+                out.push_str(&format!(
+                    "{{\"type\":\"driver_vm_failed\",\"span\":{},\"t_ns\":{},\
+                     \"vm\":{},\"revoked_grants\":{}}}",
+                    span.0, t_ns, vm, revoked_grants,
+                ));
+            }
+            TraceEvent::DriverVmRecovered { span, t_ns, vm } => {
+                out.push_str(&format!(
+                    "{{\"type\":\"driver_vm_recovered\",\"span\":{},\"t_ns\":{},\"vm\":{}}}",
+                    span.0, t_ns, vm,
+                ));
+            }
         }
         out
     }
@@ -464,10 +544,12 @@ impl Tracer {
     }
 
     /// Appends `event` to the buffer. Dropped when the tracer is disabled
-    /// or the event belongs to [`SpanId::NONE`].
+    /// or the event belongs to [`SpanId::NONE`] — except driver-VM
+    /// lifecycle events ([`TraceEvent::is_lifecycle`]), which are recorded
+    /// regardless of span: faults and recoveries are machine-global.
     pub fn record(&self, event: TraceEvent) {
         if let Some(log) = &self.inner {
-            if event.span().is_some() {
+            if event.span().is_some() || event.is_lifecycle() {
                 log.borrow_mut().events.push(event);
             }
         }
@@ -642,6 +724,23 @@ fn event_from_value(value: &json::Value) -> Result<TraceEvent, String> {
                 bytes_in: get_u64(obj, "bytes_in")?,
                 deliveries: get_u64(obj, "deliveries")?,
             },
+        }),
+        "fault_injected" => Ok(TraceEvent::FaultInjected {
+            span,
+            t_ns: get_u64(obj, "t_ns")?,
+            kind: get_str(obj, "kind")?.to_owned(),
+            op: get_str(obj, "op")?.to_owned(),
+        }),
+        "driver_vm_failed" => Ok(TraceEvent::DriverVmFailed {
+            span,
+            t_ns: get_u64(obj, "t_ns")?,
+            vm: get_u64(obj, "vm")?,
+            revoked_grants: get_u64(obj, "revoked_grants")?,
+        }),
+        "driver_vm_recovered" => Ok(TraceEvent::DriverVmRecovered {
+            span,
+            t_ns: get_u64(obj, "t_ns")?,
+            vm: get_u64(obj, "vm")?,
         }),
         other => Err(format!("unknown event type {other:?}")),
     }
@@ -1005,6 +1104,58 @@ mod tests {
         let tracer = Tracer::enabled();
         tracer.mem_op(SpanId::NONE, 0, TraceMemOpKind::MapPage, 0, 4096, true);
         assert!(tracer.is_empty());
+    }
+
+    #[test]
+    fn lifecycle_events_survive_none_span() {
+        let tracer = Tracer::enabled();
+        tracer.record(TraceEvent::FaultInjected {
+            span: SpanId::NONE,
+            t_ns: 5,
+            kind: "driver-panic".to_owned(),
+            op: "ioctl".to_owned(),
+        });
+        tracer.record(TraceEvent::DriverVmFailed {
+            span: SpanId::NONE,
+            t_ns: 6,
+            vm: 3,
+            revoked_grants: 2,
+        });
+        tracer.record(TraceEvent::DriverVmRecovered {
+            span: SpanId::NONE,
+            t_ns: 7,
+            vm: 3,
+        });
+        assert_eq!(tracer.len(), 3);
+    }
+
+    #[test]
+    fn lifecycle_events_roundtrip() {
+        let events = vec![
+            TraceEvent::FaultInjected {
+                span: SpanId(4),
+                t_ns: 100,
+                kind: "malformed-response".to_owned(),
+                op: "read".to_owned(),
+            },
+            TraceEvent::DriverVmFailed {
+                span: SpanId(4),
+                t_ns: 110,
+                vm: 9,
+                revoked_grants: 17,
+            },
+            TraceEvent::DriverVmRecovered {
+                span: SpanId::NONE,
+                t_ns: 200,
+                vm: 9,
+            },
+        ];
+        let tracer = Tracer::enabled();
+        for event in events.clone() {
+            tracer.record(event);
+        }
+        let parsed = parse_jsonl(&tracer.to_jsonl()).unwrap();
+        assert_eq!(parsed, events);
     }
 
     #[test]

@@ -20,4 +20,7 @@ trap 'rm -f "$TRACE"' EXIT
 cargo run -q --release -p paradice-bench --bin experiments -- --trace "$TRACE"
 cargo run -q --release -p paradice-bench --bin paradice-lint -- --replay "$TRACE"
 
+echo "==> fault-injection campaign (fixed seed; nonzero on guest failure or <95% recovery)"
+cargo run -q --release -p paradice-bench --bin fault-campaign -- --seed 7 --campaigns 12
+
 echo "==> all checks passed"

@@ -1,0 +1,292 @@
+//! Driver-VM fault injection, watchdog detection, crash containment, and
+//! recovery (paper §7.1, Table 3): "we injected faults in the device
+//! drivers running inside the driver VM … the driver VM crashed but the
+//! guest VMs continued to run. We then simply rebooted the driver VM and
+//! resumed."
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use paradice::app::drm::DrmClient;
+use paradice::gpu_ioctl::gem_domain;
+use paradice::prelude::*;
+use paradice_cvd::frontend::DEFAULT_OP_DEADLINE_NS;
+use paradice_faults::{FaultKind, FaultPlan, Trigger};
+use paradice_hypervisor::audit::BlockedBy;
+use paradice_hypervisor::hv::HvError;
+use paradice_hypervisor::GrantRef;
+
+fn plain_machine(devices: &[DeviceSpec]) -> Machine {
+    let mut builder = Machine::builder()
+        .mode(ExecMode::Paradice {
+            transport: TransportMode::Interrupts,
+            data_isolation: false,
+        })
+        .guest(GuestSpec::linux())
+        .guest(GuestSpec::linux());
+    for &spec in devices {
+        builder = builder.device(spec);
+    }
+    builder.build().expect("machine builds")
+}
+
+/// Arms a single-shot fault on the `nth` dispatch of `op`.
+fn armed(m: &mut Machine, kind: FaultKind, op: &str, nth: u64) -> Rc<RefCell<FaultPlan>> {
+    let mut plan = FaultPlan::new();
+    plan.arm(kind, Trigger::OnOp { op: op.to_owned(), nth });
+    let plan = Rc::new(RefCell::new(plan));
+    assert!(m.arm_faults(plan.clone()), "Paradice mode arms faults");
+    plan
+}
+
+#[test]
+fn a_hung_driver_times_out_instead_of_wedging_the_guest() {
+    let mut m = plain_machine(&[DeviceSpec::Mouse]);
+    armed(&mut m, FaultKind::Hang, "read", 0);
+    let task = m.spawn_process(Some(0)).unwrap();
+    let fd = m.open(task, "/dev/input/event0").unwrap();
+    let buf = m.alloc_buffer(task, 64).unwrap();
+    let t0 = m.now_ns();
+    // The guest process unblocks with an errno — never a hang.
+    assert_eq!(m.read(task, fd, buf, 16), Err(Errno::Etimedout));
+    assert!(
+        m.now_ns() - t0 >= DEFAULT_OP_DEADLINE_NS,
+        "the watchdog waits out its deadline on the virtual clock"
+    );
+    assert!(m.driver_vm_failed(), "the watchdog marks the driver VM");
+}
+
+#[test]
+fn the_circuit_breaker_fails_fast_after_detection() {
+    let mut m = plain_machine(&[DeviceSpec::Mouse]);
+    armed(&mut m, FaultKind::Hang, "read", 0);
+    let task = m.spawn_process(Some(0)).unwrap();
+    let fd = m.open(task, "/dev/input/event0").unwrap();
+    let buf = m.alloc_buffer(task, 64).unwrap();
+    assert_eq!(m.read(task, fd, buf, 16), Err(Errno::Etimedout));
+    // Later operations do not forward, do not wait, do not hang.
+    let forwarded = m.frontend(0).unwrap().borrow().stats().ops_forwarded;
+    let t1 = m.now_ns();
+    assert_eq!(m.read(task, fd, buf, 16), Err(Errno::Eio));
+    assert_eq!(
+        m.frontend(0).unwrap().borrow().stats().ops_forwarded,
+        forwarded,
+        "fail-fast must not touch the wire"
+    );
+    assert!(
+        m.now_ns() - t1 < DEFAULT_OP_DEADLINE_NS,
+        "fail-fast must not wait out another deadline"
+    );
+}
+
+#[test]
+fn a_driver_panic_revokes_grants_and_refuses_the_dead_vm() {
+    let mut m = plain_machine(&[DeviceSpec::gpu()]);
+    armed(&mut m, FaultKind::DriverPanic, "ioctl", 0);
+    let task = m.spawn_process(Some(0)).unwrap();
+    let fd = m.open(task, "/dev/dri/card0").unwrap();
+    let arg = m.alloc_buffer(task, 4096).unwrap();
+    m.write_mem(task, arg, &1u32.to_le_bytes()).unwrap();
+    assert_eq!(
+        m.ioctl(task, fd, paradice::gpu_ioctl::RADEON_INFO, arg.raw()),
+        Err(Errno::Etimedout)
+    );
+    assert!(m.driver_vm_failed());
+    // Containment: no grant survives the crash …
+    let guest = m.guest_vms()[0];
+    assert_eq!(m.hv().borrow().outstanding_grants(guest), 0);
+    // … and the dead VM's hypercalls are refused before any grant logic.
+    let err = m.hv().borrow_mut().hc_copy_to_guest(
+        m.driver_vm(),
+        guest,
+        paradice_mem::GuestPhysAddr::new(0),
+        GuestVirtAddr::new(0x4000),
+        b"x",
+        GrantRef(u32::MAX),
+    );
+    assert!(
+        matches!(err, Err(HvError::DriverVmFailed { .. })),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn a_driver_oops_fails_one_op_but_the_vm_survives() {
+    let mut m = plain_machine(&[DeviceSpec::gpu()]);
+    armed(&mut m, FaultKind::DriverOops, "ioctl", 0);
+    let task = m.spawn_process(Some(0)).unwrap();
+    let fd = m.open(task, "/dev/dri/card0").unwrap();
+    let arg = m.alloc_buffer(task, 4096).unwrap();
+    m.write_mem(task, arg, &1u32.to_le_bytes()).unwrap();
+    let cmd = paradice::gpu_ioctl::RADEON_INFO;
+    assert_eq!(m.ioctl(task, fd, cmd, arg.raw()), Err(Errno::Eio));
+    assert!(!m.driver_vm_failed(), "an oops kills the thread, not the VM");
+    // The very next operation succeeds without any recovery.
+    m.write_mem(task, arg, &1u32.to_le_bytes()).unwrap();
+    assert!(m.ioctl(task, fd, cmd, arg.raw()).is_ok());
+}
+
+#[test]
+fn a_wild_memory_op_is_blocked_audited_and_contained() {
+    let mut m = plain_machine(&[DeviceSpec::gpu()]);
+    armed(&mut m, FaultKind::WildMemOp, "ioctl", 0);
+    let task = m.spawn_process(Some(0)).unwrap();
+    let fd = m.open(task, "/dev/dri/card0").unwrap();
+    let arg = m.alloc_buffer(task, 4096).unwrap();
+    m.write_mem(task, arg, &1u32.to_le_bytes()).unwrap();
+    let before = m.hv().borrow().audit().count_blocked_by(BlockedBy::GrantCheck);
+    assert_eq!(
+        m.ioctl(task, fd, paradice::gpu_ioctl::RADEON_INFO, arg.raw()),
+        Err(Errno::Etimedout)
+    );
+    assert!(
+        m.hv().borrow().audit().count_blocked_by(BlockedBy::GrantCheck) > before,
+        "the ungranted access must be audited"
+    );
+    assert!(m.driver_vm_failed());
+}
+
+#[test]
+fn corrupted_responses_fail_the_op_and_contain_the_vm() {
+    for kind in [FaultKind::MalformedResponse, FaultKind::TruncatedResponse] {
+        let mut m = plain_machine(&[DeviceSpec::gpu()]);
+        armed(&mut m, kind, "ioctl", 0);
+        let task = m.spawn_process(Some(0)).unwrap();
+        let fd = m.open(task, "/dev/dri/card0").unwrap();
+        let arg = m.alloc_buffer(task, 4096).unwrap();
+        m.write_mem(task, arg, &1u32.to_le_bytes()).unwrap();
+        assert_eq!(
+            m.ioctl(task, fd, paradice::gpu_ioctl::RADEON_INFO, arg.raw()),
+            Err(Errno::Eio),
+            "{kind}"
+        );
+        assert!(m.driver_vm_failed(), "{kind}: garbage on the wire = corrupt VM");
+    }
+}
+
+#[test]
+fn a_delayed_response_times_out_without_killing_the_driver() {
+    let mut m = plain_machine(&[DeviceSpec::gpu()]);
+    armed(&mut m, FaultKind::DelayDelivery, "ioctl", 0);
+    let task = m.spawn_process(Some(0)).unwrap();
+    let fd = m.open(task, "/dev/dri/card0").unwrap();
+    let arg = m.alloc_buffer(task, 4096).unwrap();
+    m.write_mem(task, arg, &1u32.to_le_bytes()).unwrap();
+    let cmd = paradice::gpu_ioctl::RADEON_INFO;
+    assert_eq!(m.ioctl(task, fd, cmd, arg.raw()), Err(Errno::Etimedout));
+    // The response did arrive (late): the driver is alive, no containment.
+    assert!(!m.driver_vm_failed());
+    m.write_mem(task, arg, &1u32.to_le_bytes()).unwrap();
+    assert!(m.ioctl(task, fd, cmd, arg.raw()).is_ok());
+}
+
+#[test]
+fn a_dropped_response_is_indistinguishable_from_a_hang() {
+    let mut m = plain_machine(&[DeviceSpec::gpu()]);
+    armed(&mut m, FaultKind::DropDelivery, "ioctl", 0);
+    let task = m.spawn_process(Some(0)).unwrap();
+    let fd = m.open(task, "/dev/dri/card0").unwrap();
+    let arg = m.alloc_buffer(task, 4096).unwrap();
+    m.write_mem(task, arg, &1u32.to_le_bytes()).unwrap();
+    assert_eq!(
+        m.ioctl(task, fd, paradice::gpu_ioctl::RADEON_INFO, arg.raw()),
+        Err(Errno::Etimedout)
+    );
+    // The frontend cannot tell a dropped delivery from a wedged driver;
+    // the conservative answer is containment plus recovery.
+    assert!(m.driver_vm_failed());
+    m.recover_driver_vm().unwrap();
+    let fd = m.open(task, "/dev/dri/card0").unwrap();
+    m.close(task, fd).unwrap();
+}
+
+#[test]
+fn recovery_restores_service_for_every_device_class() {
+    let mut m = plain_machine(&[
+        DeviceSpec::gpu(),
+        DeviceSpec::Mouse,
+        DeviceSpec::Camera,
+        DeviceSpec::Audio,
+        DeviceSpec::Netmap,
+    ]);
+    armed(&mut m, FaultKind::DriverPanic, "poll", 0);
+    let task = m.spawn_process(Some(0)).unwrap();
+    let fd = m.open(task, "/dev/input/event0").unwrap();
+    assert_eq!(m.poll(task, fd), Err(Errno::Etimedout));
+    assert!(m.driver_vm_failed());
+
+    m.recover_driver_vm().expect("driver VM reboots");
+    assert!(!m.driver_vm_failed());
+    // Handles from before the crash died with the VM.
+    assert_eq!(m.poll(task, fd), Err(Errno::Ebadf));
+    // Every device class opens and closes again — full service.
+    for path in [
+        "/dev/dri/card0",
+        "/dev/input/event0",
+        "/dev/video0",
+        "/dev/snd/pcmC0D0p",
+        "/dev/netmap",
+    ] {
+        let fd = m.open(task, path).unwrap_or_else(|e| panic!("{path}: {e:?}"));
+        m.close(task, fd).unwrap_or_else(|e| panic!("{path}: {e:?}"));
+    }
+    // And the other guest was never disturbed in the first place.
+    let task1 = m.spawn_process(Some(1)).unwrap();
+    let fd1 = m.open(task1, "/dev/video0").unwrap();
+    m.close(task1, fd1).unwrap();
+}
+
+#[test]
+fn recovery_works_with_data_isolation_enabled() {
+    let mut m = Machine::builder()
+        .mode(ExecMode::Paradice {
+            transport: TransportMode::Interrupts,
+            data_isolation: true,
+        })
+        .guest(GuestSpec::linux())
+        .guest(GuestSpec::linux())
+        .device(DeviceSpec::gpu())
+        .build()
+        .unwrap();
+    // Guest 0 renders before the crash.
+    let t0 = m.spawn_process(Some(0)).unwrap();
+    let drm = DrmClient::open(&mut m, t0).unwrap();
+    let fb = drm.gem_create(&mut m, PAGE_SIZE, gem_domain::VRAM).unwrap();
+    drm.submit_render(&mut m, 100, fb).unwrap();
+    drm.wait_idle(&mut m, fb).unwrap();
+
+    armed(&mut m, FaultKind::DriverPanic, "ioctl", 0);
+    assert!(drm.submit_render(&mut m, 100, fb).is_err());
+    assert!(m.driver_vm_failed());
+
+    // §7.1 with §4.2 both on: protected regions are re-created.
+    m.recover_driver_vm()
+        .expect("recovery must work with data isolation enabled");
+    assert!(!m.driver_vm_failed());
+
+    // Both guests get full GPU service on the rebooted driver VM.
+    for g in 0..2 {
+        let task = m.spawn_process(Some(g)).unwrap();
+        let drm = DrmClient::open(&mut m, task).unwrap();
+        let fb = drm.gem_create(&mut m, PAGE_SIZE, gem_domain::VRAM).unwrap();
+        drm.submit_render(&mut m, 100, fb).unwrap();
+        drm.wait_idle(&mut m, fb).unwrap();
+    }
+}
+
+#[test]
+fn fault_and_recovery_are_visible_in_the_trace() {
+    let mut m = plain_machine(&[DeviceSpec::Mouse]);
+    let tracer = m.enable_tracing();
+    armed(&mut m, FaultKind::Hang, "read", 0);
+    let task = m.spawn_process(Some(0)).unwrap();
+    let fd = m.open(task, "/dev/input/event0").unwrap();
+    let buf = m.alloc_buffer(task, 64).unwrap();
+    assert_eq!(m.read(task, fd, buf, 16), Err(Errno::Etimedout));
+    m.recover_driver_vm().unwrap();
+    let jsonl = tracer.to_jsonl();
+    assert!(jsonl.contains("\"type\":\"fault_injected\""), "{jsonl}");
+    assert!(jsonl.contains("\"kind\":\"hang\""), "{jsonl}");
+    assert!(jsonl.contains("\"type\":\"driver_vm_failed\""), "{jsonl}");
+    assert!(jsonl.contains("\"type\":\"driver_vm_recovered\""), "{jsonl}");
+}

@@ -295,3 +295,37 @@ fn guest_recovers_after_a_queue_flood() {
     drm.submit_render(&mut m, 100, fb).unwrap();
     drm.wait_idle(&mut m, fb).unwrap();
 }
+
+#[test]
+fn the_attack_suite_is_still_blocked_after_crash_and_recovery() {
+    // §7.1 meets §4: a driver-VM crash followed by recovery must not leave
+    // any isolation mechanism degraded — stale grants, leftover IOMMU
+    // mappings, or unprotected regions would all show up here.
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use paradice_faults::{FaultKind, FaultPlan, Trigger};
+
+    let mut m = isolated_machine();
+    let mut plan = FaultPlan::new();
+    plan.arm(
+        FaultKind::DriverPanic,
+        Trigger::OnOp { op: "ioctl".to_owned(), nth: 0 },
+    );
+    assert!(m.arm_faults(Rc::new(RefCell::new(plan))));
+
+    let task = m.spawn_process(Some(0)).unwrap();
+    let drm = DrmClient::open(&mut m, task).unwrap();
+    assert!(drm.gem_create(&mut m, PAGE_SIZE, gem_domain::VRAM).is_err());
+    assert!(m.driver_vm_failed());
+    m.recover_driver_vm().expect("driver VM reboots");
+
+    let outcomes = attack::run_all(&mut m);
+    assert_eq!(outcomes.len(), 6);
+    for outcome in &outcomes {
+        assert!(
+            outcome.blocked,
+            "post-recovery attack {:?} was NOT blocked: {}",
+            outcome.name, outcome.detail
+        );
+    }
+}

@@ -162,7 +162,10 @@ fn driver_vm_recovery_replaces_wedged_drivers() {
 }
 
 #[test]
-fn recovery_is_refused_with_data_isolation() {
+fn recovery_recreates_protected_regions_with_data_isolation() {
+    // Formerly a documented limitation (recovery refused when §4.2 data
+    // isolation was on); the driver-VM reboot now re-creates the protected
+    // regions, so recovery works and rendering resumes.
     let mut m = Machine::builder()
         .mode(ExecMode::Paradice {
             transport: TransportMode::Interrupts,
@@ -172,7 +175,12 @@ fn recovery_is_refused_with_data_isolation() {
         .device(DeviceSpec::gpu())
         .build()
         .unwrap();
-    assert!(m.recover_driver_vm().is_err());
+    m.recover_driver_vm().expect("recovery with data isolation");
+    let task = m.spawn_process(Some(0)).unwrap();
+    let drm = DrmClient::open(&mut m, task).unwrap();
+    let bo = drm.gem_create(&mut m, PAGE_SIZE, gem_domain::VRAM).unwrap();
+    drm.submit_render(&mut m, 100, bo).unwrap();
+    drm.wait_idle(&mut m, bo).unwrap();
 }
 
 #[test]
