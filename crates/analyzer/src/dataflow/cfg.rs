@@ -1,0 +1,415 @@
+//! Basic-block control-flow graphs over the driver IR.
+//!
+//! The tree IR ([`crate::ir::Stmt`]) is what drivers *declare*; the dataflow
+//! engine wants a flat graph it can run fixpoints over. [`lower`] turns a
+//! statement list into a [`Cfg`]:
+//!
+//! * Linear statements (`Assign`, `CopyFromUser`, `CopyToUser`, `Call`)
+//!   stay inside blocks, each tagged with a stable [`SiteId`] so passes can
+//!   report a finding at "the third statement of `ioctl`" across fixpoint
+//!   iterations without duplicating it.
+//! * `If` becomes a [`Terminator::Branch`] with the real condition on the
+//!   edge, so passes can refine state per branch.
+//! * `ForRange` becomes a loop-header block ([`Terminator::LoopHead`]) with
+//!   a back edge from the body — the solver iterates the body to a fixpoint
+//!   instead of the old "walk it twice and dedup the damage" scheme. The
+//!   body entry starts with [`CfgStmt::LoopIndex`], the engine's marker
+//!   that the counter holds an unknown iteration value.
+//! * `SwitchCmd` is resolved against the commanded arm when a command is
+//!   supplied (the normal per-command lint run), and otherwise lowered to a
+//!   chain of `cmd == k` branches (wire-protocol IR has no dispatcher).
+//! * `Return` terminates the block; unreachable trailing statements are
+//!   dropped, exactly as the extractor treats them.
+
+use crate::ir::{Cond, Expr, Stmt, VarId};
+
+/// A block index inside one [`Cfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub usize);
+
+/// A stable statement identity inside one [`Cfg`] (lowering order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SiteId(pub usize);
+
+/// A statement as seen by the dataflow engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CfgStmt {
+    /// A linear IR statement: `Assign`, `CopyFromUser`, `CopyToUser` or
+    /// `Call`. Control-flow statements never appear here.
+    Ir(Stmt),
+    /// The loop counter takes an unknown iteration value (emitted at the
+    /// head of every lowered `ForRange` body).
+    LoopIndex(VarId),
+}
+
+/// How a block ends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Terminator {
+    /// Unconditional edge.
+    Jump(BlockId),
+    /// Two-way branch on a real IR condition.
+    Branch {
+        /// The branch condition.
+        cond: Cond,
+        /// Successor when the condition holds.
+        then_to: BlockId,
+        /// Successor when it does not.
+        els_to: BlockId,
+    },
+    /// A `ForRange` header: the trip-count expression is (re-)evaluated
+    /// here; one edge enters the body, the other leaves the loop. The body
+    /// ends with a `Jump` back to this block — the CFG's only back edges.
+    LoopHead {
+        /// The loop counter variable.
+        var: VarId,
+        /// The trip-count expression.
+        count: Expr,
+        /// First body block.
+        body: BlockId,
+        /// Block after the loop.
+        exit: BlockId,
+    },
+    /// Function exit.
+    Return,
+}
+
+impl Terminator {
+    /// Successor block ids, in edge order.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Jump(to) => vec![*to],
+            Terminator::Branch { then_to, els_to, .. } => vec![*then_to, *els_to],
+            Terminator::LoopHead { body, exit, .. } => vec![*body, *exit],
+            Terminator::Return => vec![],
+        }
+    }
+}
+
+/// One basic block: sited linear statements plus a terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Statements in execution order.
+    pub stmts: Vec<(SiteId, CfgStmt)>,
+    /// The block's terminator.
+    pub term: Terminator,
+}
+
+/// A lowered function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cfg {
+    /// The function name (diagnostic site prefix).
+    pub name: String,
+    /// All blocks; [`Cfg::ENTRY`] is the entry.
+    pub blocks: Vec<Block>,
+    /// Number of sites allocated (dense, starting at 0).
+    pub sites: usize,
+}
+
+impl Cfg {
+    /// The entry block of every CFG.
+    pub const ENTRY: BlockId = BlockId(0);
+
+    /// Predecessor lists, computed from the terminators.
+    pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (from, block) in self.blocks.iter().enumerate() {
+            for succ in block.term.successors() {
+                preds[succ.0].push(BlockId(from));
+            }
+        }
+        preds
+    }
+
+    /// Blocks ending in [`Terminator::Return`] — the function's exits.
+    pub fn exit_blocks(&self) -> Vec<BlockId> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| matches!(b.term, Terminator::Return))
+            .map(|(i, _)| BlockId(i))
+            .collect()
+    }
+}
+
+struct Lowerer {
+    blocks: Vec<Block>,
+    next_site: usize,
+    /// Command the dispatcher is specialized to, if any.
+    cmd: Option<u32>,
+}
+
+impl Lowerer {
+    fn new_block(&mut self) -> BlockId {
+        self.blocks.push(Block {
+            stmts: Vec::new(),
+            term: Terminator::Return, // patched by the caller
+        });
+        BlockId(self.blocks.len() - 1)
+    }
+
+    fn push(&mut self, block: BlockId, stmt: CfgStmt) {
+        let site = SiteId(self.next_site);
+        self.next_site += 1;
+        self.blocks[block.0].stmts.push((site, stmt));
+    }
+
+    fn set_term(&mut self, block: BlockId, term: Terminator) {
+        self.blocks[block.0].term = term;
+    }
+
+    /// Lowers `stmts` starting in `current`; returns the block where
+    /// control continues, or `None` when every path returned.
+    fn lower_seq(&mut self, stmts: &[Stmt], mut current: BlockId) -> Option<BlockId> {
+        for stmt in stmts {
+            match stmt {
+                Stmt::Assign { .. }
+                | Stmt::CopyFromUser { .. }
+                | Stmt::CopyToUser { .. }
+                | Stmt::Call(_) => self.push(current, CfgStmt::Ir(stmt.clone())),
+                Stmt::Return => {
+                    self.set_term(current, Terminator::Return);
+                    return None;
+                }
+                Stmt::If { cond, then, els } => {
+                    let then_entry = self.new_block();
+                    let els_entry = self.new_block();
+                    self.set_term(
+                        current,
+                        Terminator::Branch {
+                            cond: cond.clone(),
+                            then_to: then_entry,
+                            els_to: els_entry,
+                        },
+                    );
+                    let then_end = self.lower_seq(then, then_entry);
+                    let els_end = self.lower_seq(els, els_entry);
+                    match (then_end, els_end) {
+                        (None, None) => return None,
+                        (then_end, els_end) => {
+                            let join = self.new_block();
+                            if let Some(end) = then_end {
+                                self.set_term(end, Terminator::Jump(join));
+                            }
+                            if let Some(end) = els_end {
+                                self.set_term(end, Terminator::Jump(join));
+                            }
+                            current = join;
+                        }
+                    }
+                }
+                Stmt::ForRange { var, count, body } => {
+                    let head = self.new_block();
+                    self.set_term(current, Terminator::Jump(head));
+                    let body_entry = self.new_block();
+                    self.push(body_entry, CfgStmt::LoopIndex(*var));
+                    if let Some(body_end) = self.lower_seq(body, body_entry) {
+                        // Back edge: the solver iterates this to a fixpoint.
+                        self.set_term(body_end, Terminator::Jump(head));
+                    }
+                    let exit = self.new_block();
+                    self.set_term(
+                        head,
+                        Terminator::LoopHead {
+                            var: *var,
+                            count: count.clone(),
+                            body: body_entry,
+                            exit,
+                        },
+                    );
+                    current = exit;
+                }
+                Stmt::SwitchCmd { arms, default } => match self.cmd {
+                    Some(cmd) => {
+                        let body = arms
+                            .iter()
+                            .find(|(arm_cmd, _)| *arm_cmd == cmd)
+                            .map(|(_, body)| body.as_slice())
+                            .unwrap_or(default);
+                        match self.lower_seq(body, current) {
+                            Some(next) => current = next,
+                            None => return None,
+                        }
+                    }
+                    None => {
+                        // No command context (wire IR): lower to a chain of
+                        // `cmd == k` tests so every arm stays analyzable.
+                        let join = self.new_block();
+                        let mut test = current;
+                        for (arm_cmd, body) in arms {
+                            let arm_entry = self.new_block();
+                            let next_test = self.new_block();
+                            self.set_term(
+                                test,
+                                Terminator::Branch {
+                                    cond: Cond::Eq(Expr::Cmd, Expr::Const(u64::from(*arm_cmd))),
+                                    then_to: arm_entry,
+                                    els_to: next_test,
+                                },
+                            );
+                            if let Some(end) = self.lower_seq(body, arm_entry) {
+                                self.set_term(end, Terminator::Jump(join));
+                            }
+                            test = next_test;
+                        }
+                        if let Some(end) = self.lower_seq(default, test) {
+                            self.set_term(end, Terminator::Jump(join));
+                        }
+                        current = join;
+                    }
+                },
+            }
+        }
+        Some(current)
+    }
+}
+
+/// Lowers a function body into a CFG. When `cmd` is supplied, `SwitchCmd`
+/// dispatchers are resolved to the matching arm (the per-command lint run);
+/// helper calls are *kept* — the engine composes them via summaries.
+pub fn lower(name: &str, stmts: &[Stmt], cmd: Option<u32>) -> Cfg {
+    let mut lowerer = Lowerer {
+        blocks: Vec::new(),
+        next_site: 0,
+        cmd,
+    };
+    let entry = lowerer.new_block();
+    if let Some(end) = lowerer.lower_seq(stmts, entry) {
+        lowerer.set_term(end, Terminator::Return);
+    }
+    Cfg {
+        name: name.to_owned(),
+        blocks: lowerer.blocks,
+        sites: lowerer.next_site,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Expr;
+
+    fn v(n: u32) -> VarId {
+        VarId(n)
+    }
+
+    fn fetch(dst: u32) -> Stmt {
+        Stmt::CopyFromUser {
+            dst: v(dst),
+            src: Expr::Arg,
+            len: Expr::Const(8),
+        }
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let cfg = lower("f", &[fetch(0), fetch(1)], None);
+        assert_eq!(cfg.blocks.len(), 1);
+        assert_eq!(cfg.blocks[0].stmts.len(), 2);
+        assert_eq!(cfg.blocks[0].term, Terminator::Return);
+        assert_eq!(cfg.sites, 2);
+    }
+
+    #[test]
+    fn if_makes_a_diamond() {
+        let cfg = lower(
+            "f",
+            &[
+                Stmt::If {
+                    cond: Cond::Eq(Expr::Arg, Expr::Const(0)),
+                    then: vec![fetch(0)],
+                    els: vec![],
+                },
+                fetch(1),
+            ],
+            None,
+        );
+        // entry + then + els + join = 4 blocks.
+        assert_eq!(cfg.blocks.len(), 4);
+        let preds = cfg.predecessors();
+        // The join block has two predecessors.
+        assert!(preds.iter().any(|p| p.len() == 2));
+    }
+
+    #[test]
+    fn loop_has_a_back_edge() {
+        let cfg = lower(
+            "f",
+            &[Stmt::ForRange {
+                var: v(9),
+                count: Expr::Const(4),
+                body: vec![fetch(0)],
+            }],
+            None,
+        );
+        let head = cfg
+            .blocks
+            .iter()
+            .position(|b| matches!(b.term, Terminator::LoopHead { .. }))
+            .expect("loop head");
+        let preds = cfg.predecessors();
+        // Head is reached from the entry and from the body (back edge).
+        assert_eq!(preds[head].len(), 2);
+        // Body entry starts with the loop-index marker.
+        let Terminator::LoopHead { body, .. } = &cfg.blocks[head].term else {
+            unreachable!()
+        };
+        assert!(matches!(
+            cfg.blocks[body.0].stmts[0].1,
+            CfgStmt::LoopIndex(VarId(9))
+        ));
+    }
+
+    #[test]
+    fn switch_resolves_under_command() {
+        let stmts = vec![Stmt::SwitchCmd {
+            arms: vec![(7, vec![fetch(0)]), (9, vec![fetch(1), fetch(2)])],
+            default: vec![Stmt::Return],
+        }];
+        let cfg = lower("f", &stmts, Some(9));
+        assert_eq!(cfg.blocks.len(), 1);
+        assert_eq!(cfg.blocks[0].stmts.len(), 2);
+        // Unknown command falls into the default.
+        let cfg = lower("f", &stmts, Some(1234));
+        assert_eq!(cfg.blocks[0].stmts.len(), 0);
+    }
+
+    #[test]
+    fn switch_without_command_keeps_all_arms() {
+        let stmts = vec![Stmt::SwitchCmd {
+            arms: vec![(7, vec![fetch(0)]), (9, vec![fetch(1)])],
+            default: vec![],
+        }];
+        let cfg = lower("f", &stmts, None);
+        let fetches: usize = cfg
+            .blocks
+            .iter()
+            .flat_map(|b| &b.stmts)
+            .filter(|(_, s)| matches!(s, CfgStmt::Ir(Stmt::CopyFromUser { .. })))
+            .count();
+        assert_eq!(fetches, 2);
+    }
+
+    #[test]
+    fn code_after_return_is_dropped() {
+        let cfg = lower("f", &[Stmt::Return, fetch(0)], None);
+        assert_eq!(cfg.sites, 0);
+    }
+
+    #[test]
+    fn both_branches_returning_ends_the_function() {
+        let cfg = lower(
+            "f",
+            &[
+                Stmt::If {
+                    cond: Cond::Eq(Expr::Arg, Expr::Const(0)),
+                    then: vec![Stmt::Return],
+                    els: vec![Stmt::Return],
+                },
+                fetch(0), // unreachable
+            ],
+            None,
+        );
+        assert_eq!(cfg.sites, 0);
+        assert_eq!(cfg.exit_blocks().len(), 2);
+    }
+}

@@ -1,0 +1,27 @@
+//! The dataflow engine: CFG + fixpoint solver + function summaries.
+//!
+//! The extractor and the first-generation lint passes walk the tree IR
+//! syntactically — fine for envelope questions, blind for anything
+//! order-sensitive. This module gives the analyzer a conventional dataflow
+//! stack instead:
+//!
+//! * [`cfg`] lowers a function body into basic blocks with explicit edges
+//!   (`If` diamonds, `ForRange` back edges, `Return` exits, `SwitchCmd`
+//!   resolved per command).
+//! * [`solver`] runs any [`solver::Analysis`] — a join-semilattice domain
+//!   plus transfer functions, forward or backward — to a worklist fixpoint
+//!   over one CFG.
+//! * [`summary`] composes functions interprocedurally: `Call` sites
+//!   substitute the callee's (entry ⊔, exit) summary instead of inlining,
+//!   so a helper is analyzed once no matter how many call sites it has and
+//!   fetch/consume/taint facts flow across helper boundaries.
+//!
+//! The flow-sensitive lint passes — double-fetch v2
+//! ([`crate::lint::double_fetch`]), user-taint lengths
+//! ([`crate::lint::taint`]) and the wire-protocol lint
+//! ([`crate::lint::wire`]) — are thin domains on top of this engine; the
+//! engine itself knows nothing about diagnostics.
+
+pub mod cfg;
+pub mod solver;
+pub mod summary;

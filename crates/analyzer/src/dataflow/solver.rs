@@ -1,0 +1,391 @@
+//! Generic worklist fixpoint solver over join-semilattice domains.
+//!
+//! An [`Analysis`] supplies the domain ([`JoinSemiLattice`]), a direction,
+//! and transfer functions; [`solve`] iterates one [`Cfg`] to a fixpoint and
+//! returns the per-block states plus the iteration count (surfaced in the
+//! `paradice-lint --json` stats block).
+//!
+//! Block states are `Option<State>`: `None` means *unreachable / not yet
+//! computed* — the bottom element every domain gets for free, so domains
+//! never have to encode reachability themselves.
+//!
+//! Interprocedural composition is cooperative: a transfer function that
+//! needs a callee summary which is not available yet returns `false` from
+//! [`Analysis::transfer_stmt`], the solver abandons that block for this
+//! round, and the interprocedural driver ([`super::summary`]) re-solves the
+//! function after the callee's summary has been computed. Call graphs here
+//! are DAGs (the extractor reports recursion as `SH003` before any dataflow
+//! pass runs), so this converges.
+
+use std::collections::VecDeque;
+
+use super::cfg::{Block, BlockId, Cfg, CfgStmt, SiteId, Terminator};
+use crate::ir::Cond;
+
+/// A join-semilattice: partial order expressed through a mutating join.
+pub trait JoinSemiLattice: Clone {
+    /// Joins `other` into `self`; returns whether `self` changed. The
+    /// solver relies on this being monotone with finite ascending chains.
+    fn join_with(&mut self, other: &Self) -> bool;
+}
+
+/// Which way facts flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// From the entry toward `Return`s (reaching-style analyses).
+    Forward,
+    /// From `Return`s toward the entry (liveness-style analyses).
+    Backward,
+}
+
+/// A dataflow analysis: domain + direction + transfer functions.
+pub trait Analysis {
+    /// The abstract state attached to program points.
+    type State: JoinSemiLattice;
+
+    /// Flow direction; forward unless overridden.
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    /// Applies one linear statement. For [`Direction::Backward`] the solver
+    /// calls this in reverse statement order. Returns `false` when the
+    /// statement cannot be transferred yet (callee summary pending) — the
+    /// block is abandoned for this round.
+    fn transfer_stmt(&self, site: SiteId, stmt: &CfgStmt, state: &mut Self::State) -> bool;
+
+    /// Applies a terminator's own effects (e.g. a branch condition or loop
+    /// trip count being evaluated). Called after the statements for forward
+    /// analyses and before them for backward ones.
+    fn transfer_term(&self, term: &Terminator, state: &mut Self::State) {
+        let _ = (term, state);
+    }
+
+    /// Refines the state on one outgoing edge of a [`Terminator::Branch`]
+    /// (forward only): `taken` tells which edge.
+    fn transfer_branch(&self, cond: &Cond, taken: bool, state: &mut Self::State) {
+        let _ = (cond, taken, state);
+    }
+}
+
+/// The fixpoint: per-block states plus solver metadata.
+#[derive(Debug, Clone)]
+pub struct Solution<S> {
+    /// Forward: state at each block's *entry*. Backward: state at each
+    /// block's *exit*. `None` = unreachable (or abandoned on a pending
+    /// callee summary).
+    pub block_states: Vec<Option<S>>,
+    /// Forward: join of states flowing into every `Return`. Backward: the
+    /// state computed at the function entry. This is the function summary.
+    pub boundary_out: Option<S>,
+    /// Number of block visits until the fixpoint (the `--json` stats
+    /// `iterations` counter).
+    pub iterations: usize,
+}
+
+struct Worklist {
+    queue: VecDeque<BlockId>,
+    queued: Vec<bool>,
+}
+
+impl Worklist {
+    fn new(len: usize) -> Worklist {
+        Worklist {
+            queue: VecDeque::new(),
+            queued: vec![false; len],
+        }
+    }
+
+    fn push(&mut self, block: BlockId) {
+        if !self.queued[block.0] {
+            self.queued[block.0] = true;
+            self.queue.push_back(block);
+        }
+    }
+
+    fn pop(&mut self) -> Option<BlockId> {
+        let block = self.queue.pop_front()?;
+        self.queued[block.0] = false;
+        Some(block)
+    }
+}
+
+fn join_into<S: JoinSemiLattice>(slot: &mut Option<S>, state: &S) -> bool {
+    match slot {
+        Some(existing) => existing.join_with(state),
+        None => {
+            *slot = Some(state.clone());
+            true
+        }
+    }
+}
+
+/// Runs the statements of `block` over `state` in the analysis' direction.
+/// Returns `false` when a transfer is blocked on a pending callee summary.
+fn run_stmts<A: Analysis>(analysis: &A, block: &Block, state: &mut A::State) -> bool {
+    match analysis.direction() {
+        Direction::Forward => block
+            .stmts
+            .iter()
+            .all(|(site, stmt)| analysis.transfer_stmt(*site, stmt, state)),
+        Direction::Backward => block
+            .stmts
+            .iter()
+            .rev()
+            .all(|(site, stmt)| analysis.transfer_stmt(*site, stmt, state)),
+    }
+}
+
+/// Iterates `cfg` to a fixpoint under `analysis`, seeding the boundary
+/// (entry for forward, every `Return` for backward) with `boundary`.
+pub fn solve<A: Analysis>(cfg: &Cfg, analysis: &A, boundary: A::State) -> Solution<A::State> {
+    match analysis.direction() {
+        Direction::Forward => solve_forward(cfg, analysis, boundary),
+        Direction::Backward => solve_backward(cfg, analysis, boundary),
+    }
+}
+
+fn solve_forward<A: Analysis>(cfg: &Cfg, analysis: &A, boundary: A::State) -> Solution<A::State> {
+    let mut states: Vec<Option<A::State>> = vec![None; cfg.blocks.len()];
+    states[Cfg::ENTRY.0] = Some(boundary);
+    let mut worklist = Worklist::new(cfg.blocks.len());
+    worklist.push(Cfg::ENTRY);
+    let mut boundary_out: Option<A::State> = None;
+    let mut iterations = 0usize;
+
+    while let Some(block_id) = worklist.pop() {
+        iterations += 1;
+        let Some(in_state) = states[block_id.0].clone() else {
+            continue;
+        };
+        let block = &cfg.blocks[block_id.0];
+        let mut state = in_state;
+        if !run_stmts(analysis, block, &mut state) {
+            continue; // pending callee summary; the driver re-solves later
+        }
+        analysis.transfer_term(&block.term, &mut state);
+        match &block.term {
+            Terminator::Return => {
+                join_into(&mut boundary_out, &state);
+            }
+            Terminator::Jump(to) => {
+                if join_into(&mut states[to.0], &state) {
+                    worklist.push(*to);
+                }
+            }
+            Terminator::Branch { cond, then_to, els_to } => {
+                let mut then_state = state.clone();
+                analysis.transfer_branch(cond, true, &mut then_state);
+                if join_into(&mut states[then_to.0], &then_state) {
+                    worklist.push(*then_to);
+                }
+                let mut els_state = state;
+                analysis.transfer_branch(cond, false, &mut els_state);
+                if join_into(&mut states[els_to.0], &els_state) {
+                    worklist.push(*els_to);
+                }
+            }
+            Terminator::LoopHead { body, exit, .. } => {
+                if join_into(&mut states[body.0], &state) {
+                    worklist.push(*body);
+                }
+                if join_into(&mut states[exit.0], &state) {
+                    worklist.push(*exit);
+                }
+            }
+        }
+    }
+
+    Solution {
+        block_states: states,
+        boundary_out,
+        iterations,
+    }
+}
+
+fn solve_backward<A: Analysis>(cfg: &Cfg, analysis: &A, boundary: A::State) -> Solution<A::State> {
+    let preds = cfg.predecessors();
+    let mut states: Vec<Option<A::State>> = vec![None; cfg.blocks.len()];
+    let mut worklist = Worklist::new(cfg.blocks.len());
+    for exit in cfg.exit_blocks() {
+        states[exit.0] = Some(boundary.clone());
+        worklist.push(exit);
+    }
+    let mut boundary_out: Option<A::State> = None;
+    let mut iterations = 0usize;
+
+    while let Some(block_id) = worklist.pop() {
+        iterations += 1;
+        let Some(out_state) = states[block_id.0].clone() else {
+            continue;
+        };
+        let block = &cfg.blocks[block_id.0];
+        let mut state = out_state;
+        analysis.transfer_term(&block.term, &mut state);
+        if !run_stmts(analysis, block, &mut state) {
+            continue;
+        }
+        if block_id == Cfg::ENTRY {
+            join_into(&mut boundary_out, &state);
+        }
+        for pred in &preds[block_id.0] {
+            if join_into(&mut states[pred.0], &state) {
+                worklist.push(*pred);
+            }
+        }
+    }
+
+    Solution {
+        block_states: states,
+        boundary_out,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::cfg::lower;
+    use crate::ir::{Expr, Stmt, VarId};
+    use std::collections::BTreeSet;
+
+    /// Set-union lattice over fetched variables.
+    #[derive(Debug, Clone, Default, PartialEq, Eq)]
+    struct VarSet(BTreeSet<u32>);
+
+    impl JoinSemiLattice for VarSet {
+        fn join_with(&mut self, other: &Self) -> bool {
+            let before = self.0.len();
+            self.0.extend(other.0.iter().copied());
+            self.0.len() != before
+        }
+    }
+
+    /// Forward: which variables have been fetched so far.
+    struct FetchedVars;
+
+    impl Analysis for FetchedVars {
+        type State = VarSet;
+        fn transfer_stmt(&self, _site: SiteId, stmt: &CfgStmt, state: &mut VarSet) -> bool {
+            if let CfgStmt::Ir(Stmt::CopyFromUser { dst, .. }) = stmt {
+                state.0.insert(dst.0);
+            }
+            true
+        }
+    }
+
+    /// Backward: which variables are still fetched later.
+    struct FetchedLater;
+
+    impl Analysis for FetchedLater {
+        type State = VarSet;
+        fn direction(&self) -> Direction {
+            Direction::Backward
+        }
+        fn transfer_stmt(&self, _site: SiteId, stmt: &CfgStmt, state: &mut VarSet) -> bool {
+            if let CfgStmt::Ir(Stmt::CopyFromUser { dst, .. }) = stmt {
+                state.0.insert(dst.0);
+            }
+            true
+        }
+    }
+
+    fn v(n: u32) -> VarId {
+        VarId(n)
+    }
+
+    fn fetch(dst: u32) -> Stmt {
+        Stmt::CopyFromUser {
+            dst: v(dst),
+            src: Expr::Arg,
+            len: Expr::Const(8),
+        }
+    }
+
+    #[test]
+    fn forward_facts_merge_at_joins() {
+        let cfg = lower(
+            "f",
+            &[
+                Stmt::If {
+                    cond: crate::ir::Cond::Eq(Expr::Arg, Expr::Const(0)),
+                    then: vec![fetch(1)],
+                    els: vec![fetch(2)],
+                },
+                fetch(3),
+            ],
+            None,
+        );
+        let sol = solve(&cfg, &FetchedVars, VarSet::default());
+        let exit = sol.boundary_out.expect("reachable exit");
+        assert_eq!(exit.0, BTreeSet::from([1, 2, 3]));
+        assert!(sol.iterations >= cfg.blocks.len());
+    }
+
+    #[test]
+    fn loop_body_reaches_fixpoint_not_double_walk() {
+        let cfg = lower(
+            "f",
+            &[Stmt::ForRange {
+                var: v(9),
+                count: Expr::Const(4),
+                body: vec![fetch(1)],
+            }],
+            None,
+        );
+        let sol = solve(&cfg, &FetchedVars, VarSet::default());
+        // The loop body's entry state eventually contains its own fetch
+        // (the back edge has been taken), and the solver terminated.
+        let head = cfg
+            .blocks
+            .iter()
+            .position(|b| matches!(b.term, Terminator::LoopHead { .. }))
+            .unwrap();
+        let Terminator::LoopHead { body, .. } = &cfg.blocks[head].term else {
+            unreachable!()
+        };
+        assert!(sol.block_states[body.0].as_ref().unwrap().0.contains(&1));
+        assert_eq!(sol.boundary_out.unwrap().0, BTreeSet::from([1]));
+    }
+
+    #[test]
+    fn backward_sees_later_fetches() {
+        let cfg = lower("f", &[fetch(1), fetch(2)], None);
+        let sol = solve(&cfg, &FetchedLater, VarSet::default());
+        // At the function entry, both fetches are still ahead.
+        assert_eq!(sol.boundary_out.unwrap().0, BTreeSet::from([1, 2]));
+    }
+
+    #[test]
+    fn unreachable_code_stays_bottom() {
+        let cfg = lower(
+            "f",
+            &[
+                Stmt::If {
+                    cond: crate::ir::Cond::Eq(Expr::Arg, Expr::Const(0)),
+                    then: vec![Stmt::Return],
+                    els: vec![Stmt::Return],
+                },
+                fetch(7),
+            ],
+            None,
+        );
+        let sol = solve(&cfg, &FetchedVars, VarSet::default());
+        let exit = sol.boundary_out.expect("returns are reachable");
+        assert!(!exit.0.contains(&7));
+    }
+
+    #[test]
+    fn blocked_transfer_leaves_no_partial_state() {
+        struct AlwaysBlocked;
+        impl Analysis for AlwaysBlocked {
+            type State = VarSet;
+            fn transfer_stmt(&self, _: SiteId, _: &CfgStmt, _: &mut VarSet) -> bool {
+                false
+            }
+        }
+        let cfg = lower("f", &[fetch(1), fetch(2)], None);
+        let sol = solve(&cfg, &AlwaysBlocked, VarSet::default());
+        assert!(sol.boundary_out.is_none());
+    }
+}

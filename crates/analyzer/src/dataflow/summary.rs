@@ -1,0 +1,347 @@
+//! Interprocedural function summaries.
+//!
+//! The extractor handles helpers by inlining; the dataflow engine must not
+//! (inlining is exactly what the old double-fetch pass relied on, and what
+//! made cross-helper reasoning quadratic). Instead each function gets a
+//! *summary*: the join of every abstract state its callers pass in
+//! (`boundary_in`) mapped to the state it produces (`summary`). A
+//! [`Terminator`](super::cfg::Terminator)-free `Call` statement then
+//! composes by substituting the callee's summary — no inlining, each
+//! helper analyzed once per lint run no matter how many call sites it has.
+//!
+//! Summaries are context-insensitive: multiple call sites join their entry
+//! states. For lint purposes this is the right trade — a *may*-style
+//! finding in any calling context is worth reporting, and handler helper
+//! graphs are tiny DAGs.
+//!
+//! [`solve_program`] drives the global fixpoint: it repeatedly re-solves
+//! every known function until no entry state, summary, or solution changes.
+//! Calls encountered mid-solve register the callee (lowering its body on
+//! first sight) and seed its entry state; if the callee's summary is not
+//! known yet the caller's block is abandoned for the round
+//! ([`Analysis::transfer_stmt`] returning `false`) and recomputed after the
+//! callee stabilizes. Call graphs are DAGs here — the orchestrator reports
+//! recursion (`SH003`) before any dataflow pass runs — so a handful of
+//! rounds suffice; a hard cap guards against non-monotone domains.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+use super::cfg::{lower, Cfg};
+use super::solver::{solve, Analysis, JoinSemiLattice, Solution};
+use crate::ir::Handler;
+
+/// One analyzed function: its CFG and the evolving summary.
+#[derive(Debug, Clone)]
+pub struct Proc<S> {
+    /// Function name (`ioctl`, helper names, …).
+    pub name: String,
+    /// The lowered body.
+    pub cfg: Cfg,
+    /// Join of every state callers pass in (`None` until first called).
+    pub boundary_in: Option<S>,
+    /// Join of the function's boundary-out states across rounds.
+    pub summary: Option<S>,
+    /// The last intraprocedural fixpoint (for the reporting walk).
+    pub solution: Option<Solution<S>>,
+}
+
+/// The function table one interprocedural run works over.
+#[derive(Debug)]
+pub struct ProcTable<S> {
+    procs: Vec<Proc<S>>,
+    by_name: BTreeMap<String, usize>,
+    changed: bool,
+}
+
+impl<S: JoinSemiLattice> ProcTable<S> {
+    /// An empty table.
+    pub fn new() -> ProcTable<S> {
+        ProcTable {
+            procs: Vec::new(),
+            by_name: BTreeMap::new(),
+            changed: false,
+        }
+    }
+
+    /// Registers a pre-lowered function (used for the entry slice).
+    pub fn register(&mut self, cfg: Cfg) -> usize {
+        let idx = self.procs.len();
+        self.by_name.insert(cfg.name.clone(), idx);
+        self.procs.push(Proc {
+            name: cfg.name.clone(),
+            cfg,
+            boundary_in: None,
+            summary: None,
+            solution: None,
+        });
+        idx
+    }
+
+    /// The analyzed functions (reporting walks these after convergence).
+    pub fn procs(&self) -> &[Proc<S>] {
+        &self.procs
+    }
+
+    /// Total basic blocks across every analyzed function (stats).
+    pub fn total_blocks(&self) -> usize {
+        self.procs.iter().map(|p| p.cfg.blocks.len()).sum()
+    }
+
+    /// Transfers a `Call` through the callee's summary. Joins `state` into
+    /// the callee's entry state, registering (and lowering) the callee on
+    /// first sight. Returns `false` when the summary is not available yet —
+    /// the caller's block is abandoned and re-solved next round. Calls to
+    /// functions absent from the handler are no-ops (`SH006` is the
+    /// orchestrator's to report).
+    pub fn apply_call(
+        &mut self,
+        name: &str,
+        handler: &Handler,
+        cmd: Option<u32>,
+        state: &mut S,
+    ) -> bool {
+        let idx = match self.by_name.get(name) {
+            Some(idx) => *idx,
+            None => match handler.function(name) {
+                Some(function) => self.register(lower(name, &function.body, cmd)),
+                None => return true,
+            },
+        };
+        let proc = &mut self.procs[idx];
+        let seeded = match &mut proc.boundary_in {
+            Some(existing) => existing.join_with(state),
+            None => {
+                proc.boundary_in = Some(state.clone());
+                true
+            }
+        };
+        if seeded {
+            self.changed = true;
+        }
+        match &self.procs[idx].summary {
+            Some(summary) => {
+                *state = summary.clone();
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl<S: JoinSemiLattice> Default for ProcTable<S> {
+    fn default() -> Self {
+        ProcTable::new()
+    }
+}
+
+/// Cost counters from one interprocedural run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InterStats {
+    /// Basic blocks across every analyzed function.
+    pub blocks: usize,
+    /// Total solver block-visits summed over all rounds.
+    pub iterations: usize,
+}
+
+/// Rounds cap: helper graphs are DAGs a few levels deep; this bound is
+/// never reached by a monotone analysis and merely stops a buggy domain
+/// from hanging the lint.
+const MAX_ROUNDS: usize = 64;
+
+/// Runs `analysis` over `entry_cfg` and everything it (transitively)
+/// calls, to a global fixpoint. The analysis' `transfer_stmt` must route
+/// `Stmt::Call` through [`ProcTable::apply_call`] on this same `table`.
+pub fn solve_program<A: Analysis>(
+    analysis: &A,
+    table: &RefCell<ProcTable<A::State>>,
+    entry_cfg: Cfg,
+    boundary: A::State,
+) -> InterStats {
+    {
+        let mut t = table.borrow_mut();
+        let entry_idx = t.register(entry_cfg);
+        t.procs[entry_idx].boundary_in = Some(boundary);
+    }
+    let mut stats = InterStats::default();
+    for _round in 0..MAX_ROUNDS {
+        table.borrow_mut().changed = false;
+        let mut any_summary_grew = false;
+        let mut idx = 0;
+        // The table can grow while we iterate (calls discover callees);
+        // newly registered procs are picked up in the same round.
+        loop {
+            let job = {
+                let t = table.borrow();
+                if idx >= t.procs.len() {
+                    break;
+                }
+                t.procs[idx]
+                    .boundary_in
+                    .clone()
+                    .map(|b| (t.procs[idx].cfg.clone(), b))
+            };
+            if let Some((cfg, boundary_in)) = job {
+                let solution = solve(&cfg, analysis, boundary_in);
+                stats.iterations += solution.iterations;
+                let mut t = table.borrow_mut();
+                let proc = &mut t.procs[idx];
+                if let Some(out) = &solution.boundary_out {
+                    let grew = match &mut proc.summary {
+                        Some(summary) => summary.join_with(out),
+                        None => {
+                            proc.summary = Some(out.clone());
+                            true
+                        }
+                    };
+                    any_summary_grew |= grew;
+                }
+                proc.solution = Some(solution);
+            }
+            idx += 1;
+        }
+        if !table.borrow().changed && !any_summary_grew {
+            break;
+        }
+    }
+    stats.blocks = table.borrow().total_blocks();
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::cfg::{CfgStmt, SiteId};
+    use crate::dataflow::solver::Direction;
+    use crate::ir::{Expr, Function, Stmt, VarId};
+    use std::collections::BTreeSet;
+
+    /// Union-of-fetched-variables, routed through summaries at calls.
+    #[derive(Debug, Clone, Default)]
+    struct VarSet(BTreeSet<u32>);
+
+    impl JoinSemiLattice for VarSet {
+        fn join_with(&mut self, other: &Self) -> bool {
+            let before = self.0.len();
+            self.0.extend(other.0.iter().copied());
+            self.0.len() != before
+        }
+    }
+
+    struct Fetches<'a> {
+        handler: &'a Handler,
+        table: &'a RefCell<ProcTable<VarSet>>,
+        direction: Direction,
+    }
+
+    impl Analysis for Fetches<'_> {
+        type State = VarSet;
+        fn direction(&self) -> Direction {
+            self.direction
+        }
+        fn transfer_stmt(&self, _site: SiteId, stmt: &CfgStmt, state: &mut VarSet) -> bool {
+            match stmt {
+                CfgStmt::Ir(Stmt::CopyFromUser { dst, .. }) => {
+                    state.0.insert(dst.0);
+                    true
+                }
+                CfgStmt::Ir(Stmt::Call(name)) => {
+                    self.table
+                        .borrow_mut()
+                        .apply_call(name, self.handler, None, state)
+                }
+                _ => true,
+            }
+        }
+    }
+
+    fn fetch(dst: u32) -> Stmt {
+        Stmt::CopyFromUser {
+            dst: VarId(dst),
+            src: Expr::Arg,
+            len: Expr::Const(8),
+        }
+    }
+
+    fn handler_with_helpers() -> Handler {
+        let mut functions = BTreeMap::new();
+        functions.insert(
+            "ioctl".to_owned(),
+            Function {
+                body: vec![fetch(0), Stmt::Call("a".to_owned()), Stmt::Call("b".to_owned())],
+            },
+        );
+        functions.insert(
+            "a".to_owned(),
+            Function {
+                body: vec![fetch(1), Stmt::Call("b".to_owned())],
+            },
+        );
+        functions.insert("b".to_owned(), Function { body: vec![fetch(2)] });
+        Handler::new("ioctl", functions)
+    }
+
+    #[test]
+    fn summaries_compose_across_helpers() {
+        let handler = handler_with_helpers();
+        let table = RefCell::new(ProcTable::new());
+        let analysis = Fetches {
+            handler: &handler,
+            table: &table,
+            direction: Direction::Forward,
+        };
+        let entry = lower("ioctl", &handler.function("ioctl").unwrap().body, None);
+        let stats = solve_program(&analysis, &table, entry, VarSet::default());
+        let t = table.borrow();
+        // Three functions analyzed, `b` only once despite two call sites.
+        assert_eq!(t.procs().len(), 3);
+        let entry_summary = t.procs()[0].summary.clone().unwrap();
+        assert_eq!(entry_summary.0, BTreeSet::from([0, 1, 2]));
+        // Helper `a` sees the entry's fetch in its entry state.
+        let a = t.procs().iter().find(|p| p.name == "a").unwrap();
+        assert!(a.boundary_in.as_ref().unwrap().0.contains(&0));
+        assert!(stats.blocks >= 3);
+        assert!(stats.iterations >= 3);
+    }
+
+    #[test]
+    fn backward_summaries_see_later_helper_effects() {
+        let handler = handler_with_helpers();
+        let table = RefCell::new(ProcTable::new());
+        let analysis = Fetches {
+            handler: &handler,
+            table: &table,
+            direction: Direction::Backward,
+        };
+        let entry = lower("ioctl", &handler.function("ioctl").unwrap().body, None);
+        solve_program(&analysis, &table, entry, VarSet::default());
+        let t = table.borrow();
+        // Backward through `ioctl`: at its entry, fetches of v0..v2 are all
+        // still ahead (v1/v2 only via helper summaries).
+        let entry_summary = t.procs()[0].summary.clone().unwrap();
+        assert_eq!(entry_summary.0, BTreeSet::from([0, 1, 2]));
+        // Inside `a`'s exit state, `b`'s later fetch (called again by the
+        // entry after `a` returns) is visible.
+        let a = t.procs().iter().find(|p| p.name == "a").unwrap();
+        assert!(a.boundary_in.as_ref().unwrap().0.contains(&2));
+    }
+
+    #[test]
+    fn unknown_callee_is_a_noop() {
+        let handler = Handler::single(vec![Stmt::Call("ghost".to_owned()), fetch(3)]);
+        let table = RefCell::new(ProcTable::new());
+        let analysis = Fetches {
+            handler: &handler,
+            table: &table,
+            direction: Direction::Forward,
+        };
+        let entry = lower("ioctl", &handler.function("ioctl").unwrap().body, None);
+        solve_program(&analysis, &table, entry, VarSet::default());
+        let t = table.borrow();
+        assert_eq!(t.procs().len(), 1);
+        assert_eq!(
+            t.procs()[0].summary.clone().unwrap().0,
+            BTreeSet::from([3])
+        );
+    }
+}

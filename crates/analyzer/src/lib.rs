@@ -48,7 +48,15 @@
 //! log — against the analyzer's predictions. Shipped drivers must lint
 //! clean or carry an explicit, reasoned [`lint::AllowEntry`]; seeded buggy
 //! fixtures ([`lint::fixtures`]) prove every pass actually fires.
+//!
+//! The order-sensitive passes sit on a proper dataflow stack ([`dataflow`]):
+//! CFG lowering, a generic worklist fixpoint solver, and interprocedural
+//! function summaries. Double-fetch v2 (`DF001`/`DF002`), user-taint copy
+//! lengths (`TA001`/`TA002`) and the wire-protocol decode lint (`WP001`)
+//! are domains over that engine, which buys them helper-boundary reasoning
+//! and loop fixpoints the syntactic walkers never had.
 
+pub mod dataflow;
 pub mod diff;
 pub mod extract;
 pub mod ir;

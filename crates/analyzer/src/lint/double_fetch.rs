@@ -8,27 +8,45 @@
 //! still a bug worth surfacing at analysis time — the native (non-Paradice)
 //! driver has no snapshot protecting it.
 //!
-//! * **DF001** (error): a fetch overlaps an earlier fetch whose buffer has
-//!   already been *consumed* (a field of it fed an address, length, branch
-//!   or assignment). This is the exploitable shape: decisions were made on
-//!   bytes that are now being read again.
-//! * **DF002** (warning): overlapping re-fetch with no consumption in
-//!   between — wasteful and fragile, but no decision has been split across
-//!   the two copies yet.
+//! * **DF001** (error): a fetch overlaps an earlier fetch whose buffer is
+//!   consumed (a field of it feeds an address, length, branch or
+//!   assignment) — before *or after* the re-fetch. Either way a decision is
+//!   split across two copies of the same bytes: the exploitable shape.
+//! * **DF002** (warning): overlapping re-fetch whose first copy is never
+//!   consumed — wasteful and fragile, but no decision races yet.
+//!
+//! The pass is flow-sensitive: the slice is lowered to a CFG
+//! ([`crate::dataflow::cfg`]) and solved to a fixpoint
+//! ([`crate::dataflow::solver`]), with helper calls composed through
+//! function summaries ([`crate::dataflow::summary`]) instead of inlining —
+//! so fetch/consume pairs that straddle helper boundaries are caught, and
+//! loop bodies converge instead of being walked twice. A *forward* analysis
+//! tracks reached fetches and already-consumed buffers; a *backward* one
+//! computes which buffers are still consumed later, which is what upgrades
+//! an "unconsumed" re-fetch to DF001 when the first copy is used after it.
 //!
 //! The pass is deliberately conservative: only fetches whose address and
 //! length are statically concrete (constant or `arg + k`) participate.
 //! Nested-copy fetches at user-data-derived addresses are the JIT's
 //! business and never reported here.
+//!
+//! The pre-dataflow syntactic walker survives as [`check_syntactic`]: the
+//! differential test pins the new engine to find at least everything the
+//! old one did (and strictly more — see
+//! `upgrade_when_first_copy_consumed_after_refetch`).
 
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 
-use crate::ir::{Stmt, VarId};
+use crate::dataflow::cfg::{lower, CfgStmt, SiteId, Terminator};
+use crate::dataflow::solver::{Analysis, Direction, JoinSemiLattice};
+use crate::dataflow::summary::{solve_program, ProcTable};
+use crate::ir::{Expr, Handler, Stmt, VarId};
 use crate::lint::envelope::{cond_field_bases, eval_expr, field_bases, merge_env, SymScalar};
 use crate::lint::{DiagCode, Diagnostic};
 
 /// Address-space class of a concrete fetch interval.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum Base {
     /// Absolute user address.
     Abs,
@@ -37,7 +55,7 @@ enum Base {
 }
 
 /// A concrete fetched interval.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct Fetch {
     base: Base,
     start: u64,
@@ -49,8 +67,6 @@ struct Fetch {
 impl Fetch {
     fn overlaps(&self, other: &Fetch) -> bool {
         self.base == other.base
-            && self.len > 0
-            && other.len > 0
             && self.start < other.start + other.len
             && other.start < self.start + self.len
     }
@@ -63,39 +79,433 @@ impl Fetch {
     }
 }
 
-#[derive(Clone, Default)]
+// ---------------------------------------------------------------------------
+// Flow-sensitive engine (the shipping pass)
+// ---------------------------------------------------------------------------
+
+/// Forward domain: reached fetches plus which buffers were consumed so far.
+#[derive(Debug, Clone, Default)]
 struct DfState {
+    env: BTreeMap<VarId, SymScalar>,
+    buffers: BTreeSet<VarId>,
+    fetches: BTreeSet<Fetch>,
+    consumed: BTreeSet<VarId>,
+}
+
+impl JoinSemiLattice for DfState {
+    fn join_with(&mut self, other: &Self) -> bool {
+        let mut changed = false;
+        // Environments: agreeing bindings survive; a binding present on only
+        // one path, or with different values, degrades to Opaque.
+        for (var, value) in &other.env {
+            match self.env.get(var) {
+                Some(existing) if existing == value => {}
+                Some(SymScalar::Opaque) => {}
+                _ => {
+                    self.env.insert(*var, SymScalar::Opaque);
+                    changed = true;
+                }
+            }
+        }
+        let one_sided: Vec<VarId> = self
+            .env
+            .iter()
+            .filter(|(var, value)| {
+                !other.env.contains_key(var) && **value != SymScalar::Opaque
+            })
+            .map(|(var, _)| *var)
+            .collect();
+        for var in one_sided {
+            self.env.insert(var, SymScalar::Opaque);
+            changed = true;
+        }
+        for var in &other.buffers {
+            changed |= self.buffers.insert(*var);
+        }
+        for fetch in &other.fetches {
+            changed |= self.fetches.insert(*fetch);
+        }
+        for var in &other.consumed {
+            changed |= self.consumed.insert(*var);
+        }
+        changed
+    }
+}
+
+fn consume_expr(expr: &Expr, consumed: &mut BTreeSet<VarId>) {
+    field_bases(expr, consumed);
+}
+
+/// The concrete fetch a `CopyFromUser` performs under `state`, if its
+/// address and length are statically known (and non-empty).
+fn concrete_fetch(state: &DfState, src: &Expr, len: &Expr, dst: VarId) -> Option<Fetch> {
+    let (base, start) = match eval_expr(&state.env, &state.buffers, src) {
+        SymScalar::Const(addr) => (Base::Abs, addr),
+        SymScalar::ArgPlus(offset) => (Base::Arg, offset),
+        _ => return None,
+    };
+    match eval_expr(&state.env, &state.buffers, len) {
+        SymScalar::Const(n) if n > 0 => Some(Fetch {
+            base,
+            start,
+            len: n,
+            var: dst,
+        }),
+        _ => None,
+    }
+}
+
+struct DfAnalysis<'a> {
+    handler: &'a Handler,
+    cmd: Option<u32>,
+    table: &'a RefCell<ProcTable<DfState>>,
+}
+
+impl Analysis for DfAnalysis<'_> {
+    type State = DfState;
+
+    fn transfer_stmt(&self, _site: SiteId, stmt: &CfgStmt, state: &mut DfState) -> bool {
+        match stmt {
+            CfgStmt::LoopIndex(var) => {
+                state.env.insert(*var, SymScalar::Opaque);
+                true
+            }
+            CfgStmt::Ir(Stmt::Assign { var, value }) => {
+                consume_expr(value, &mut state.consumed);
+                let value = eval_expr(&state.env, &state.buffers, value);
+                state.env.insert(*var, value);
+                true
+            }
+            CfgStmt::Ir(Stmt::CopyFromUser { dst, src, len }) => {
+                consume_expr(src, &mut state.consumed);
+                consume_expr(len, &mut state.consumed);
+                if let Some(fetch) = concrete_fetch(state, src, len, *dst) {
+                    state.fetches.insert(fetch);
+                }
+                state.buffers.insert(*dst);
+                state.env.remove(dst);
+                true
+            }
+            CfgStmt::Ir(Stmt::CopyToUser { dst, len }) => {
+                consume_expr(dst, &mut state.consumed);
+                consume_expr(len, &mut state.consumed);
+                true
+            }
+            CfgStmt::Ir(Stmt::Call(name)) => {
+                self.table
+                    .borrow_mut()
+                    .apply_call(name, self.handler, self.cmd, state)
+            }
+            // Control flow was lowered away; nothing else reaches a block.
+            CfgStmt::Ir(_) => true,
+        }
+    }
+
+    fn transfer_term(&self, term: &Terminator, state: &mut DfState) {
+        match term {
+            Terminator::Branch { cond, .. } => cond_field_bases(cond, &mut state.consumed),
+            Terminator::LoopHead { count, .. } => consume_expr(count, &mut state.consumed),
+            Terminator::Jump(_) | Terminator::Return => {}
+        }
+    }
+}
+
+/// Backward domain: buffers whose fields are still read later.
+#[derive(Debug, Clone, Default)]
+struct ConsumedLater(BTreeSet<VarId>);
+
+impl JoinSemiLattice for ConsumedLater {
+    fn join_with(&mut self, other: &Self) -> bool {
+        let before = self.0.len();
+        self.0.extend(other.0.iter().copied());
+        self.0.len() != before
+    }
+}
+
+struct ConsumeAnalysis<'a> {
+    handler: &'a Handler,
+    cmd: Option<u32>,
+    table: &'a RefCell<ProcTable<ConsumedLater>>,
+}
+
+impl Analysis for ConsumeAnalysis<'_> {
+    type State = ConsumedLater;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn transfer_stmt(&self, _site: SiteId, stmt: &CfgStmt, state: &mut ConsumedLater) -> bool {
+        match stmt {
+            CfgStmt::LoopIndex(_) => true,
+            CfgStmt::Ir(Stmt::Assign { value, .. }) => {
+                consume_expr(value, &mut state.0);
+                true
+            }
+            CfgStmt::Ir(Stmt::CopyFromUser { src, len, .. }) => {
+                consume_expr(src, &mut state.0);
+                consume_expr(len, &mut state.0);
+                true
+            }
+            CfgStmt::Ir(Stmt::CopyToUser { dst, len }) => {
+                consume_expr(dst, &mut state.0);
+                consume_expr(len, &mut state.0);
+                true
+            }
+            CfgStmt::Ir(Stmt::Call(name)) => {
+                self.table
+                    .borrow_mut()
+                    .apply_call(name, self.handler, self.cmd, state)
+            }
+            CfgStmt::Ir(_) => true,
+        }
+    }
+
+    fn transfer_term(&self, term: &Terminator, state: &mut ConsumedLater) {
+        match term {
+            Terminator::Branch { cond, .. } => cond_field_bases(cond, &mut state.0),
+            Terminator::LoopHead { count, .. } => consume_expr(count, &mut state.0),
+            Terminator::Jump(_) | Terminator::Return => {}
+        }
+    }
+}
+
+/// One raw flow-sensitive finding, before driver/command labeling. The wire
+/// lint reuses these under its own code (`WP001`).
+#[derive(Debug, Clone)]
+pub struct FlowFinding {
+    /// `Df001` or `Df002`.
+    pub code: DiagCode,
+    /// Stable site label (`function#statement`), the dedupe key.
+    pub site: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// One flow-sensitive run: findings plus solver cost counters.
+#[derive(Debug, Clone, Default)]
+pub struct FlowRun {
+    /// The findings, in reporting order.
+    pub findings: Vec<FlowFinding>,
+    /// Basic blocks lowered across the entry slice and every helper.
+    pub blocks: usize,
+    /// Total solver block-visits (forward + backward fixpoints).
+    pub iterations: usize,
+}
+
+/// Runs the flow-sensitive double-fetch analysis over a handler's entry,
+/// specialized to `cmd` when given (wire-protocol IR passes `None` — it has
+/// no dispatcher).
+pub fn analyze_flow(handler: &Handler, cmd: Option<u32>) -> FlowRun {
+    let entry = handler
+        .function(handler.entry())
+        .expect("Handler::new checked the entry");
+    let entry_cfg = lower(handler.entry(), &entry.body, cmd);
+
+    let fwd_table = RefCell::new(ProcTable::new());
+    let fwd = DfAnalysis {
+        handler,
+        cmd,
+        table: &fwd_table,
+    };
+    let fwd_stats = solve_program(&fwd, &fwd_table, entry_cfg.clone(), DfState::default());
+
+    let bwd_table = RefCell::new(ProcTable::new());
+    let bwd = ConsumeAnalysis {
+        handler,
+        cmd,
+        table: &bwd_table,
+    };
+    let bwd_stats = solve_program(&bwd, &bwd_table, entry_cfg, ConsumedLater::default());
+
+    let mut run = FlowRun {
+        findings: Vec::new(),
+        blocks: fwd_stats.blocks,
+        iterations: fwd_stats.iterations + bwd_stats.iterations,
+    };
+
+    // Reporting: walk every analyzed function once with its converged
+    // states — each site is visited exactly once, so loop bodies cannot
+    // produce duplicate findings by construction. The procs are snapshotted
+    // out of the tables first: re-running the transfer functions below
+    // routes `Call`s through `apply_call`, which needs the table borrow.
+    let fwd_procs = fwd_table.borrow().procs().to_vec();
+    let bwd_procs = bwd_table.borrow().procs().to_vec();
+    for proc in &fwd_procs {
+        let Some(solution) = &proc.solution else {
+            continue;
+        };
+        let bwd_proc = bwd_procs.iter().find(|p| p.name == proc.name);
+        for (block_idx, block) in proc.cfg.blocks.iter().enumerate() {
+            let Some(in_state) = &solution.block_states[block_idx] else {
+                continue;
+            };
+            let block_out = bwd_proc
+                .and_then(|p| p.solution.as_ref())
+                .and_then(|s| s.block_states[block_idx].clone())
+                .unwrap_or_default();
+            let afters = consumed_afters(&bwd, block, block_out);
+            let mut state = in_state.clone();
+            for (stmt_idx, (site, stmt)) in block.stmts.iter().enumerate() {
+                if let CfgStmt::Ir(Stmt::CopyFromUser { dst, src, len }) = stmt {
+                    // Mirror the transfer's ordering: this statement's own
+                    // operand reads count as prior consumption.
+                    consume_expr(src, &mut state.consumed);
+                    consume_expr(len, &mut state.consumed);
+                    if let Some(fetch) = concrete_fetch(&state, src, len, *dst) {
+                        report_fetch(
+                            &state,
+                            &afters[stmt_idx],
+                            &fetch,
+                            &proc.name,
+                            *site,
+                            &mut run.findings,
+                        );
+                        state.fetches.insert(fetch);
+                    }
+                    state.buffers.insert(*dst);
+                    state.env.remove(dst);
+                } else if !fwd.transfer_stmt(*site, stmt, &mut state) {
+                    break; // callee summary never materialized; abandon
+                }
+            }
+        }
+    }
+    run
+}
+
+/// Per-statement "consumed strictly after this point" sets for one block,
+/// derived from the backward fixpoint's block-exit state.
+fn consumed_afters(
+    bwd: &ConsumeAnalysis<'_>,
+    block: &crate::dataflow::cfg::Block,
+    block_out: ConsumedLater,
+) -> Vec<BTreeSet<VarId>> {
+    let mut state = block_out;
+    bwd.transfer_term(&block.term, &mut state);
+    let mut afters = vec![BTreeSet::new(); block.stmts.len()];
+    for (idx, (site, stmt)) in block.stmts.iter().enumerate().rev() {
+        afters[idx] = state.0.clone();
+        // A blocked call leaves the state unchanged: conservative (the
+        // finding stays DF002 instead of upgrading).
+        let _ = bwd.transfer_stmt(*site, stmt, &mut state);
+    }
+    afters
+}
+
+fn report_fetch(
+    state: &DfState,
+    consumed_after: &BTreeSet<VarId>,
+    fetch: &Fetch,
+    func: &str,
+    site: SiteId,
+    findings: &mut Vec<FlowFinding>,
+) {
+    // Rank overlapping priors: consumed-before > consumed-after > never.
+    let mut worst: Option<(u8, Fetch)> = None;
+    for prior in &state.fetches {
+        if prior.overlaps(fetch) {
+            let rank = if state.consumed.contains(&prior.var) {
+                2
+            } else if consumed_after.contains(&prior.var) {
+                1
+            } else {
+                0
+            };
+            let better = match worst {
+                None => true,
+                Some((best, _)) => rank > best,
+            };
+            if better {
+                worst = Some((rank, *prior));
+            }
+        }
+    }
+    let Some((rank, prior)) = worst else { return };
+    let (code, message) = match rank {
+        2 => (
+            DiagCode::Df001,
+            format!(
+                "re-fetches already-consumed user region {} (first copied into {}); a \
+                 concurrent thread can change the bytes between the fetches",
+                prior.describe(),
+                prior.var,
+            ),
+        ),
+        1 => (
+            DiagCode::Df001,
+            format!(
+                "re-fetches user region {} (first copied into {}) whose first copy is \
+                 still consumed after the re-fetch; the decision is split across two \
+                 copies a concurrent thread can tear",
+                prior.describe(),
+                prior.var,
+            ),
+        ),
+        _ => (
+            DiagCode::Df002,
+            format!(
+                "re-fetches previously-fetched user region {} (first copied into {}); a \
+                 concurrent thread can change the bytes between the fetches",
+                prior.describe(),
+                prior.var,
+            ),
+        ),
+    };
+    findings.push(FlowFinding {
+        code,
+        site: format!("{func}#{}", site.0),
+        message,
+    });
+}
+
+/// Runs the flow-sensitive double-fetch pass over one command of a handler.
+/// Returns `(blocks, fixpoint iterations)` for the stats block.
+pub fn check(
+    driver: &str,
+    cmd: u32,
+    handler: &Handler,
+    diags: &mut Vec<Diagnostic>,
+) -> (usize, usize) {
+    let run = analyze_flow(handler, Some(cmd));
+    for finding in run.findings {
+        diags.push(
+            Diagnostic::new(finding.code, driver, Some(cmd), finding.message)
+                .with_site(finding.site),
+        );
+    }
+    (run.blocks, run.iterations)
+}
+
+// ---------------------------------------------------------------------------
+// Syntactic v1 (kept as the differential baseline)
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Default)]
+struct SynState {
     env: BTreeMap<VarId, SymScalar>,
     buffers: BTreeSet<VarId>,
     fetches: Vec<Fetch>,
     consumed: BTreeSet<VarId>,
 }
 
-struct DfCtx<'a> {
+struct SynCtx<'a> {
     driver: &'a str,
     cmd: u32,
     diags: Vec<Diagnostic>,
 }
 
-fn consume(state: &mut DfState, bases: BTreeSet<VarId>) {
-    state.consumed.extend(bases);
-}
-
-fn walk(stmts: &[Stmt], state: &mut DfState, ctx: &mut DfCtx<'_>) {
+fn syn_walk(stmts: &[Stmt], state: &mut SynState, ctx: &mut SynCtx<'_>) {
     for stmt in stmts {
         match stmt {
             Stmt::Assign { var, value } => {
-                let mut bases = BTreeSet::new();
-                field_bases(value, &mut bases);
-                consume(state, bases);
+                field_bases(value, &mut state.consumed);
                 let value = eval_expr(&state.env, &state.buffers, value);
                 state.env.insert(*var, value);
             }
             Stmt::CopyFromUser { dst, src, len } => {
-                let mut bases = BTreeSet::new();
-                field_bases(src, &mut bases);
-                field_bases(len, &mut bases);
-                consume(state, bases);
+                field_bases(src, &mut state.consumed);
+                field_bases(len, &mut state.consumed);
                 let addr = eval_expr(&state.env, &state.buffers, src);
                 let length = eval_expr(&state.env, &state.buffers, len);
                 if let (Some((base, start)), SymScalar::Const(n)) = (
@@ -114,10 +524,13 @@ fn walk(stmts: &[Stmt], state: &mut DfState, ctx: &mut DfCtx<'_>) {
                     };
                     let mut worst: Option<(bool, Fetch)> = None;
                     for prior in &state.fetches {
-                        if prior.overlaps(&fetch) {
+                        if n > 0 && prior.len > 0 && prior.overlaps(&fetch) {
                             let consumed = state.consumed.contains(&prior.var);
-                            if worst.map_or(true, |(was_consumed, _)| consumed && !was_consumed)
-                            {
+                            let better = match worst {
+                                None => true,
+                                Some((was_consumed, _)) => consumed && !was_consumed,
+                            };
+                            if better {
                                 worst = Some((consumed, *prior));
                             }
                         }
@@ -147,19 +560,15 @@ fn walk(stmts: &[Stmt], state: &mut DfState, ctx: &mut DfCtx<'_>) {
                 state.env.remove(dst);
             }
             Stmt::CopyToUser { dst, len } => {
-                let mut bases = BTreeSet::new();
-                field_bases(dst, &mut bases);
-                field_bases(len, &mut bases);
-                consume(state, bases);
+                field_bases(dst, &mut state.consumed);
+                field_bases(len, &mut state.consumed);
             }
             Stmt::If { cond, then, els } => {
-                let mut bases = BTreeSet::new();
-                cond_field_bases(cond, &mut bases);
-                consume(state, bases);
+                cond_field_bases(cond, &mut state.consumed);
                 let shared = state.fetches.len();
                 let mut then_state = state.clone();
-                walk(then, &mut then_state, ctx);
-                walk(els, state, ctx);
+                syn_walk(then, &mut then_state, ctx);
+                syn_walk(els, state, ctx);
                 // Conflicts across exclusive branches are impossible, so they
                 // were checked per-branch; afterwards, both branches' fetches
                 // and consumption conservatively persist.
@@ -171,16 +580,14 @@ fn walk(stmts: &[Stmt], state: &mut DfState, ctx: &mut DfCtx<'_>) {
                     .extend(then_state.fetches.iter().skip(shared).copied());
             }
             Stmt::ForRange { var, count, body } => {
-                let mut bases = BTreeSet::new();
-                field_bases(count, &mut bases);
-                consume(state, bases);
+                field_bases(count, &mut state.consumed);
                 // Two passes: the second sees the first's fetches, so a
                 // loop-invariant concrete fetch conflicts with itself — the
                 // "fetch the same header every iteration" bug. Loop-variant
                 // addresses are opaque and never participate.
                 state.env.insert(*var, SymScalar::Opaque);
-                walk(body, state, ctx);
-                walk(body, state, ctx);
+                syn_walk(body, state, ctx);
+                syn_walk(body, state, ctx);
             }
             Stmt::Return => return,
             Stmt::SwitchCmd { .. } | Stmt::Call(_) => {}
@@ -188,25 +595,31 @@ fn walk(stmts: &[Stmt], state: &mut DfState, ctx: &mut DfCtx<'_>) {
     }
 }
 
-/// Runs the double-fetch pass over one command's specialized slice.
-pub fn check(driver: &str, cmd: u32, slice: &[Stmt], diags: &mut Vec<Diagnostic>) {
-    let mut ctx = DfCtx {
+/// The pre-dataflow syntactic double-fetch pass, run over a fully-inlined
+/// specialized slice. Kept verbatim as the differential-test baseline: the
+/// flow-sensitive [`check`] must find everything this does. Its known blind
+/// spot — classification happens at fetch time, so consumption *after* the
+/// re-fetch never upgrades DF002 to DF001 — is exactly what the dataflow
+/// engine fixes.
+pub fn check_syntactic(driver: &str, cmd: u32, slice: &[Stmt], diags: &mut Vec<Diagnostic>) {
+    let mut ctx = SynCtx {
         driver,
         cmd,
         diags: Vec::new(),
     };
-    let mut state = DfState::default();
-    walk(slice, &mut state, &mut ctx);
+    let mut state = SynState::default();
+    syn_walk(slice, &mut state, &mut ctx);
     // The two-pass loop walk can report one site twice; keep each distinct
     // finding once.
-    ctx.diags.dedup_by(|a, b| a.code == b.code && a.message == b.message);
+    ctx.diags
+        .dedup_by(|a, b| a.code == b.code && a.message == b.message);
     diags.extend(ctx.diags);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ir::Expr;
+    use crate::ir::{Cond, Function};
     use crate::lint::Severity;
 
     fn v(n: u32) -> VarId {
@@ -221,10 +634,30 @@ mod tests {
         }
     }
 
-    fn run(slice: &[Stmt]) -> Vec<Diagnostic> {
+    /// Runs the flow-sensitive pass over a dispatcher-less body.
+    fn run_flow(slice: &[Stmt]) -> Vec<Diagnostic> {
         let mut diags = Vec::new();
-        check("test", 0x1234, slice, &mut diags);
+        check("test", 0x1234, &Handler::single(slice.to_vec()), &mut diags);
         diags
+    }
+
+    fn run_syntactic(slice: &[Stmt]) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        check_syntactic("test", 0x1234, slice, &mut diags);
+        diags
+    }
+
+    /// Both engines, asserted to agree (the differential test does this at
+    /// corpus scale; here it documents per-scenario expectations).
+    fn run_both(slice: &[Stmt]) -> Vec<Diagnostic> {
+        let flow = run_flow(slice);
+        let syn = run_syntactic(slice);
+        assert_eq!(
+            flow.iter().map(|d| d.code).collect::<Vec<_>>(),
+            syn.iter().map(|d| d.code).collect::<Vec<_>>(),
+            "flow vs syntactic disagreement"
+        );
+        flow
     }
 
     #[test]
@@ -237,7 +670,7 @@ mod tests {
             },
             fetch(1, 16),
         ];
-        let diags = run(&slice);
+        let diags = run_both(&slice);
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].code, DiagCode::Df001);
         assert_eq!(diags[0].severity, Severity::Error);
@@ -245,7 +678,7 @@ mod tests {
 
     #[test]
     fn unconsumed_refetch_is_df002() {
-        let diags = run(&[fetch(0, 8), fetch(1, 8)]);
+        let diags = run_both(&[fetch(0, 8), fetch(1, 8)]);
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].code, DiagCode::Df002);
         assert_eq!(diags[0].severity, Severity::Warning);
@@ -265,7 +698,7 @@ mod tests {
                 len: Expr::Const(8),
             },
         ];
-        let diags = run(&slice);
+        let diags = run_both(&slice);
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].code, DiagCode::Df001);
     }
@@ -280,7 +713,7 @@ mod tests {
                 len: Expr::Const(8),
             },
         ];
-        assert!(run(&slice).is_empty());
+        assert!(run_both(&slice).is_empty());
     }
 
     #[test]
@@ -294,7 +727,7 @@ mod tests {
                 len: Expr::field(v(0), 16, 8),
             },
         ];
-        assert!(run(&slice).is_empty());
+        assert!(run_both(&slice).is_empty());
     }
 
     #[test]
@@ -304,10 +737,8 @@ mod tests {
             then: vec![fetch(0, 16)],
             els: vec![fetch(1, 16)],
         }];
-        assert!(run(&both_branches_fetch).is_empty());
+        assert!(run_both(&both_branches_fetch).is_empty());
     }
-
-    use crate::ir::Cond;
 
     #[test]
     fn branch_fetch_conflicts_with_later_fetch() {
@@ -319,7 +750,7 @@ mod tests {
             },
             fetch(1, 16),
         ];
-        let diags = run(&slice);
+        let diags = run_both(&slice);
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].code, DiagCode::Df002);
     }
@@ -331,7 +762,7 @@ mod tests {
             count: Expr::Const(4),
             body: vec![fetch(0, 8)],
         }];
-        let diags = run(&slice);
+        let diags = run_both(&slice);
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].code, DiagCode::Df002);
     }
@@ -347,6 +778,105 @@ mod tests {
                 len: Expr::Const(16),
             }],
         }];
-        assert!(run(&slice).is_empty());
+        assert!(run_both(&slice).is_empty());
+    }
+
+    // -- cases only the flow-sensitive engine gets right ---------------------
+
+    #[test]
+    fn upgrade_when_first_copy_consumed_after_refetch() {
+        // The v1 blind spot: the first copy is consumed *after* the
+        // re-fetch, so v1 can only ever say DF002.
+        let slice = vec![
+            fetch(0, 16),
+            fetch(1, 16),
+            Stmt::Assign {
+                var: v(5),
+                value: Expr::field(v(0), 0, 4),
+            },
+        ];
+        let syn = run_syntactic(&slice);
+        assert_eq!(syn.len(), 1);
+        assert_eq!(syn[0].code, DiagCode::Df002, "v1 baseline misses the upgrade");
+        let flow = run_flow(&slice);
+        assert_eq!(flow.len(), 1);
+        assert_eq!(flow[0].code, DiagCode::Df001);
+        assert!(flow[0].message.contains("after the re-fetch"));
+    }
+
+    #[test]
+    fn cross_helper_pair_is_found_without_inlining() {
+        // fetch in the entry, re-fetch in one helper, consumption of the
+        // first copy in another: three functions, one bug.
+        let mut functions = BTreeMap::new();
+        functions.insert(
+            "ioctl".to_owned(),
+            Function {
+                body: vec![
+                    fetch(0, 16),
+                    Stmt::Call("refetch".to_owned()),
+                    Stmt::Call("commit".to_owned()),
+                ],
+            },
+        );
+        functions.insert(
+            "refetch".to_owned(),
+            Function {
+                body: vec![fetch(1, 16)],
+            },
+        );
+        functions.insert(
+            "commit".to_owned(),
+            Function {
+                body: vec![Stmt::Assign {
+                    var: v(5),
+                    value: Expr::field(v(0), 0, 4),
+                }],
+            },
+        );
+        let handler = Handler::new("ioctl", functions);
+        let mut diags = Vec::new();
+        let (blocks, iterations) = check("test", 0x1234, &handler, &mut diags);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, DiagCode::Df001);
+        assert_eq!(diags[0].site.as_deref(), Some("refetch#0"));
+        assert!(blocks >= 3);
+        assert!(iterations >= 3);
+    }
+
+    #[test]
+    fn helper_called_twice_reports_once() {
+        let mut functions = BTreeMap::new();
+        functions.insert(
+            "ioctl".to_owned(),
+            Function {
+                body: vec![
+                    Stmt::Call("pair".to_owned()),
+                    Stmt::Call("pair".to_owned()),
+                ],
+            },
+        );
+        functions.insert(
+            "pair".to_owned(),
+            Function {
+                // Self-contained double fetch inside the helper.
+                body: vec![fetch(0, 8), fetch(1, 8)],
+            },
+        );
+        let handler = Handler::new("ioctl", functions);
+        let mut diags = Vec::new();
+        check("test", 0x1234, &handler, &mut diags);
+        // The helper is analyzed once (summaries, not inlining): the inner
+        // pair fires at its one site; the second *call* also re-fetches
+        // regions the first call left behind, at the same site.
+        let sites: BTreeSet<_> = diags.iter().filter_map(|d| d.site.clone()).collect();
+        assert_eq!(sites.len(), diags.len(), "one finding per site: {diags:?}");
+        assert!(sites.iter().all(|s| s.starts_with("pair#")));
+    }
+
+    #[test]
+    fn flow_findings_carry_sites() {
+        let diags = run_flow(&[fetch(0, 8), fetch(1, 8)]);
+        assert_eq!(diags[0].site.as_deref(), Some("ioctl#1"));
     }
 }

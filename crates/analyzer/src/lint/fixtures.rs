@@ -11,7 +11,7 @@ use std::collections::BTreeMap;
 use paradice_devfs::ioc::{io, iow, iowr, IoctlCmd};
 
 use crate::extract::MAX_UNROLL;
-use crate::ir::{Expr, Function, Handler, Stmt, VarId};
+use crate::ir::{Cond, Expr, Function, Handler, Stmt, VarId};
 
 /// Double fetch with consumption in between → `DF001`.
 pub const FIX_DOUBLE_FETCH: IoctlCmd = iowr(b'!', 1, 16);
@@ -31,6 +31,18 @@ pub const FIX_DEEP_CHAIN: IoctlCmd = iow(b'!', 7, 16);
 pub const FIX_UNKNOWN_FN: IoctlCmd = io(b'!', 8);
 /// Recursive helper → `SH003`.
 pub const FIX_RECURSION: IoctlCmd = io(b'!', 9);
+/// Cross-helper double fetch: one helper re-fetches, another consumes the
+/// first copy *after* the re-fetch → `DF001` (flow pass only; the syntactic
+/// walker, which classifies at fetch time, sees a harmless `DF002`).
+pub const FIX_XHELPER_DF: IoctlCmd = iowr(b'!', 10, 16);
+/// Fixed twin of [`FIX_XHELPER_DF`]: fetches once, helpers consume that one
+/// copy → clean.
+pub const FIX_XHELPER_DF_FIXED: IoctlCmd = iowr(b'!', 11, 16);
+/// Nested copy sized `field * const` with no bounds check → `TA001`.
+pub const FIX_OVERFLOW_LEN: IoctlCmd = iow(b'!', 12, 16);
+/// Fixed twin of [`FIX_OVERFLOW_LEN`]: a dominating `if (count > max)
+/// return;` guard before the sized copy → clean.
+pub const FIX_OVERFLOW_LEN_FIXED: IoctlCmd = iow(b'!', 13, 16);
 
 /// The fixture driver's name as reported in diagnostics.
 pub const FIXTURE_DRIVER: &str = "fixture-buggy";
@@ -113,6 +125,53 @@ pub fn buggy_handler() -> Handler {
             (FIX_DEEP_CHAIN.raw(), deep_chain),
             (FIX_UNKNOWN_FN.raw(), vec![Stmt::Call("missing_helper".to_owned())]),
             (FIX_RECURSION.raw(), vec![Stmt::Call("recurse".to_owned())]),
+            (
+                FIX_XHELPER_DF.raw(),
+                vec![
+                    fetch(0, 16),
+                    // One helper re-fetches the same region…
+                    Stmt::Call("xh_refetch".to_owned()),
+                    // …another still consumes the *first* copy afterwards:
+                    // the decision is split across two copies.
+                    Stmt::Call("xh_commit".to_owned()),
+                    writeback(16),
+                ],
+            ),
+            (
+                FIX_XHELPER_DF_FIXED.raw(),
+                vec![
+                    fetch(0, 16),
+                    Stmt::Call("xh_commit_fixed".to_owned()),
+                    writeback(16),
+                ],
+            ),
+            (
+                FIX_OVERFLOW_LEN.raw(),
+                vec![
+                    fetch(0, 16),
+                    Stmt::CopyFromUser {
+                        dst: v(1),
+                        src: Expr::field(v(0), 8, 8),
+                        len: Expr::mul(Expr::field(v(0), 0, 4), Expr::Const(16)),
+                    },
+                ],
+            ),
+            (
+                FIX_OVERFLOW_LEN_FIXED.raw(),
+                vec![
+                    fetch(0, 16),
+                    Stmt::If {
+                        cond: Cond::Gt(Expr::field(v(0), 0, 4), Expr::Const(64)),
+                        then: vec![Stmt::Return],
+                        els: vec![],
+                    },
+                    Stmt::CopyFromUser {
+                        dst: v(1),
+                        src: Expr::field(v(0), 8, 8),
+                        len: Expr::mul(Expr::field(v(0), 0, 4), Expr::Const(16)),
+                    },
+                ],
+            ),
             // Duplicate arm: unreachable, `SH004`.
             (FIX_DOUBLE_FETCH.raw(), vec![Stmt::Return]),
         ],
@@ -124,6 +183,36 @@ pub fn buggy_handler() -> Handler {
         "recurse".to_owned(),
         Function {
             body: vec![Stmt::Call("recurse".to_owned())],
+        },
+    );
+    functions.insert(
+        "xh_refetch".to_owned(),
+        Function {
+            body: vec![fetch(1, 16)],
+        },
+    );
+    functions.insert(
+        "xh_commit".to_owned(),
+        Function {
+            body: vec![
+                Stmt::Assign {
+                    var: v(5),
+                    value: Expr::field(v(0), 0, 4),
+                },
+                Stmt::Assign {
+                    var: v(6),
+                    value: Expr::field(v(1), 4, 4),
+                },
+            ],
+        },
+    );
+    functions.insert(
+        "xh_commit_fixed".to_owned(),
+        Function {
+            body: vec![Stmt::Assign {
+                var: v(5),
+                value: Expr::field(v(0), 0, 4),
+            }],
         },
     );
     Handler::new("ioctl", functions)
@@ -152,6 +241,40 @@ mod tests {
         assert!(fired(DiagCode::Sh005, FIX_DEEP_CHAIN));
         assert!(fired(DiagCode::Sh006, FIX_UNKNOWN_FN));
         assert!(fired(DiagCode::Sh003, FIX_RECURSION));
+        assert!(fired(DiagCode::Df001, FIX_XHELPER_DF));
+        assert!(fired(DiagCode::Ta001, FIX_OVERFLOW_LEN));
+    }
+
+    #[test]
+    fn fixed_twins_are_clean() {
+        let diags = lint_handler(FIXTURE_DRIVER, &buggy_handler());
+        for cmd in [FIX_XHELPER_DF_FIXED, FIX_OVERFLOW_LEN_FIXED] {
+            let on_cmd: Vec<_> = diags
+                .iter()
+                .filter(|d| d.command == Some(cmd.raw()))
+                .collect();
+            assert!(on_cmd.is_empty(), "{on_cmd:?}");
+        }
+    }
+
+    #[test]
+    fn cross_helper_double_fetch_upgrades_past_the_syntactic_pass() {
+        // The syntactic walker classifies at fetch time: when the helper
+        // re-fetches, nothing is consumed yet, so it reports only DF002.
+        // The flow pass sees the post-re-fetch consumption via the backward
+        // summary and upgrades to DF001.
+        use crate::extract::specialize_command;
+        let handler = buggy_handler();
+        let slice = specialize_command(&handler, FIX_XHELPER_DF.raw()).unwrap();
+        let mut syn = Vec::new();
+        crate::lint::double_fetch::check_syntactic(
+            FIXTURE_DRIVER,
+            FIX_XHELPER_DF.raw(),
+            &slice,
+            &mut syn,
+        );
+        assert!(syn.iter().any(|d| d.code == DiagCode::Df002), "{syn:?}");
+        assert!(!syn.iter().any(|d| d.code == DiagCode::Df001), "{syn:?}");
     }
 
     #[test]
@@ -169,5 +292,12 @@ mod tests {
         assert!(!diags
             .iter()
             .any(|d| d.code == DiagCode::Og001 && d.command == Some(FIX_DOUBLE_FETCH.raw())));
+        // The taint fixture must not also double-fetch, and vice versa.
+        assert!(!diags
+            .iter()
+            .any(|d| d.code == DiagCode::Df001 && d.command == Some(FIX_OVERFLOW_LEN.raw())));
+        assert!(!diags
+            .iter()
+            .any(|d| d.code == DiagCode::Ta001 && d.command == Some(FIX_XHELPER_DF.raw())));
     }
 }

@@ -22,6 +22,9 @@
 //! | `CF002` | warning | [`conformance`] | runtime grants far wider than needed / unjustified |
 //! | `CF003` | error | [`conformance`] | runtime command unknown to the handler IR |
 //! | `CF004` | error | [`conformance`] | hypervisor audit log records a blocked operation |
+//! | `TA001` | error | [`taint`] | user-controlled copy length through arithmetic, no dominating bounds check |
+//! | `TA002` | warning | [`taint`] | raw user-controlled copy length, no dominating bounds check |
+//! | `WP001` | error | [`wire`] | wire-protocol decode re-reads a shared-page region |
 //! | `RP001` | error | [`replay`] | recorded memory operation outside the declared grants, or hypervisor-rejected |
 //! | `RP002` | error | [`replay`] | structurally malformed trace (orphan/duplicate span events) |
 //! | `RP003` | warning | [`replay`] | span never ended; recording stopped mid-operation |
@@ -42,8 +45,13 @@ pub mod fixtures;
 pub mod loops;
 pub mod over_grant;
 pub mod replay;
+pub mod taint;
+pub mod wire;
 
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
 use std::fmt;
+use std::time::Instant;
 
 use crate::extract::{specialize_command, ExtractionError};
 use crate::ir::Handler;
@@ -94,6 +102,9 @@ pub enum DiagCode {
     Rp003,
     Rp004,
     Rp005,
+    Ta001,
+    Ta002,
+    Wp001,
 }
 
 impl DiagCode {
@@ -120,6 +131,9 @@ impl DiagCode {
             DiagCode::Rp003 => "RP003",
             DiagCode::Rp004 => "RP004",
             DiagCode::Rp005 => "RP005",
+            DiagCode::Ta001 => "TA001",
+            DiagCode::Ta002 => "TA002",
+            DiagCode::Wp001 => "WP001",
         }
     }
 
@@ -136,7 +150,9 @@ impl DiagCode {
             | DiagCode::Cf004
             | DiagCode::Rp001
             | DiagCode::Rp002
-            | DiagCode::Rp005 => Severity::Error,
+            | DiagCode::Rp005
+            | DiagCode::Ta001
+            | DiagCode::Wp001 => Severity::Error,
             DiagCode::Df002
             | DiagCode::Og003
             | DiagCode::Sh001
@@ -145,7 +161,8 @@ impl DiagCode {
             | DiagCode::Sh005
             | DiagCode::Cf002
             | DiagCode::Rp003
-            | DiagCode::Rp004 => Severity::Warning,
+            | DiagCode::Rp004
+            | DiagCode::Ta002 => Severity::Warning,
         }
     }
 }
@@ -169,6 +186,9 @@ pub struct Diagnostic {
     pub command: Option<u32>,
     /// Human-readable explanation.
     pub message: String,
+    /// Program point the finding anchors to (`"function#site"`), when the
+    /// reporting pass is flow-sensitive and knows one.
+    pub site: Option<String>,
     /// Whether an [`AllowEntry`] matched this finding.
     pub allowlisted: bool,
 }
@@ -187,8 +207,15 @@ impl Diagnostic {
             driver: driver.to_owned(),
             command,
             message,
+            site: None,
             allowlisted: false,
         }
+    }
+
+    /// Attaches a program-point site (builder style).
+    pub fn with_site(mut self, site: impl Into<String>) -> Diagnostic {
+        self.site = Some(site.into());
+        self
     }
 
     /// One-line human-readable rendering.
@@ -197,12 +224,17 @@ impl Diagnostic {
             Some(cmd) => format!(" cmd={cmd:#010x}"),
             None => String::new(),
         };
+        let site = match &self.site {
+            Some(site) => format!(" at {site}"),
+            None => String::new(),
+        };
         format!(
-            "{}[{}] driver={}{}: {}",
+            "{}[{}] driver={}{}{}: {}",
             self.severity.as_str(),
             self.code,
             self.driver,
             cmd,
+            site,
             self.message,
         )
     }
@@ -213,13 +245,18 @@ impl Diagnostic {
             Some(cmd) => format!("\"{cmd:#010x}\""),
             None => "null".to_owned(),
         };
+        let site = match &self.site {
+            Some(site) => format!("\"{}\"", json_escape(site)),
+            None => "null".to_owned(),
+        };
         format!(
             "{{\"code\":\"{}\",\"severity\":\"{}\",\"driver\":\"{}\",\"command\":{},\
-             \"allowlisted\":{},\"message\":\"{}\"}}",
+             \"site\":{},\"allowlisted\":{},\"message\":\"{}\"}}",
             self.code,
             self.severity.as_str(),
             json_escape(&self.driver),
             cmd,
+            site,
             self.allowlisted,
             json_escape(&self.message),
         )
@@ -292,18 +329,134 @@ pub fn has_errors(diags: &[Diagnostic]) -> bool {
     diags.iter().any(|d| d.severity == Severity::Error)
 }
 
-/// Runs every static pass over one handler and returns the findings,
-/// ordered by command.
+/// Drops findings that duplicate an earlier one by `(code, driver,
+/// command, site)`. Passes that carry no site key on the message instead,
+/// so two genuinely different legacy findings are never merged.
+///
+/// The flow passes report per converged block state, so a helper shared by
+/// several commands (or a pass pair like double-fetch and the wire lint
+/// over the same IR) can surface the same program point more than once;
+/// deduping centrally means every pass benefits without each one keeping
+/// its own seen-set.
+pub fn dedupe(diags: &mut Vec<Diagnostic>) {
+    let mut seen: BTreeSet<(DiagCode, String, Option<u32>, String)> = BTreeSet::new();
+    diags.retain(|d| {
+        let key = (
+            d.code,
+            d.driver.clone(),
+            d.command,
+            d.site.clone().unwrap_or_else(|| d.message.clone()),
+        );
+        seen.insert(key)
+    });
+}
+
+/// Work counters for one lint pass, accumulated across handlers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PassStats {
+    /// Handlers the pass ran over.
+    pub handlers: usize,
+    /// Command specializations analyzed (0 for handler-at-once passes).
+    pub commands: usize,
+    /// CFG basic blocks visited (flow passes only).
+    pub blocks: usize,
+    /// Worklist fixpoint iterations (flow passes only).
+    pub iterations: usize,
+    /// Wall-clock time spent in the pass, nanoseconds.
+    pub wall_ns: u128,
+}
+
+/// Per-pass statistics for a whole lint run, keyed by pass name.
+#[derive(Debug, Clone, Default)]
+pub struct LintStats {
+    passes: BTreeMap<&'static str, PassStats>,
+}
+
+impl LintStats {
+    /// The mutable accumulator for one pass, created on first use.
+    pub fn pass_mut(&mut self, pass: &'static str) -> &mut PassStats {
+        self.passes.entry(pass).or_default()
+    }
+
+    /// Iterates `(pass name, stats)` in name order.
+    pub fn passes(&self) -> impl Iterator<Item = (&'static str, &PassStats)> {
+        self.passes.iter().map(|(name, stats)| (*name, stats))
+    }
+
+    /// JSON object rendering, one member per pass.
+    pub fn to_json(&self) -> String {
+        let items: Vec<String> = self
+            .passes
+            .iter()
+            .map(|(name, s)| {
+                format!(
+                    "\"{}\":{{\"handlers\":{},\"commands\":{},\"blocks\":{},\
+                     \"iterations\":{},\"wall_ns\":{}}}",
+                    name, s.handlers, s.commands, s.blocks, s.iterations, s.wall_ns,
+                )
+            })
+            .collect();
+        format!("{{{}}}", items.join(","))
+    }
+}
+
+/// Runs every static pass over one handler and returns the deduped
+/// findings, ordered by command.
 pub fn lint_handler(driver: &str, handler: &Handler) -> Vec<Diagnostic> {
+    lint_handler_with_stats(driver, handler, &mut LintStats::default())
+}
+
+/// [`lint_handler`] accumulating per-pass work counters into `stats`.
+pub fn lint_handler_with_stats(
+    driver: &str,
+    handler: &Handler,
+    stats: &mut LintStats,
+) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
-    dispatch::check_handler(driver, handler, &mut diags);
+    for pass in ["dispatch", "double_fetch", "loops", "over_grant", "taint"] {
+        stats.pass_mut(pass).handlers += 1;
+    }
+    {
+        let t0 = Instant::now();
+        dispatch::check_handler(driver, handler, &mut diags);
+        stats.pass_mut("dispatch").wall_ns += t0.elapsed().as_nanos();
+    }
     for cmd in handler.commands() {
         match specialize_command(handler, cmd) {
             Ok(slice) => {
-                double_fetch::check(driver, cmd, &slice, &mut diags);
-                over_grant::check(driver, cmd, &slice, &mut diags);
-                loops::check(driver, cmd, &slice, &mut diags);
-                dispatch::check_chain_depth(driver, cmd, &slice, &mut diags);
+                {
+                    let t0 = Instant::now();
+                    let (blocks, iterations) = double_fetch::check(driver, cmd, handler, &mut diags);
+                    let s = stats.pass_mut("double_fetch");
+                    s.commands += 1;
+                    s.blocks += blocks;
+                    s.iterations += iterations;
+                    s.wall_ns += t0.elapsed().as_nanos();
+                }
+                {
+                    let t0 = Instant::now();
+                    let (blocks, iterations) = taint::check(driver, cmd, handler, &mut diags);
+                    let s = stats.pass_mut("taint");
+                    s.commands += 1;
+                    s.blocks += blocks;
+                    s.iterations += iterations;
+                    s.wall_ns += t0.elapsed().as_nanos();
+                }
+                {
+                    let t0 = Instant::now();
+                    over_grant::check(driver, cmd, &slice, &mut diags);
+                    let s = stats.pass_mut("over_grant");
+                    s.commands += 1;
+                    s.wall_ns += t0.elapsed().as_nanos();
+                }
+                {
+                    let t0 = Instant::now();
+                    loops::check(driver, cmd, &slice, &mut diags);
+                    dispatch::check_chain_depth(driver, cmd, &slice, &mut diags);
+                    let s = stats.pass_mut("loops");
+                    s.commands += 1;
+                    s.wall_ns += t0.elapsed().as_nanos();
+                }
             }
             Err(ExtractionError::CallDepthExceeded) => diags.push(Diagnostic::new(
                 DiagCode::Sh003,
@@ -321,6 +474,7 @@ pub fn lint_handler(driver: &str, handler: &Handler) -> Vec<Diagnostic> {
             )),
         }
     }
+    dedupe(&mut diags);
     diags
 }
 
@@ -328,6 +482,15 @@ pub fn lint_handler(driver: &str, handler: &Handler) -> Vec<Diagnostic> {
 pub fn to_json(diags: &[Diagnostic]) -> String {
     let items: Vec<String> = diags.iter().map(Diagnostic::to_json).collect();
     format!("[{}]", items.join(","))
+}
+
+/// Renders the full report object: findings plus per-pass stats.
+pub fn report_json(diags: &[Diagnostic], stats: &LintStats) -> String {
+    format!(
+        "{{\"findings\":{},\"stats\":{}}}",
+        to_json(diags),
+        stats.to_json()
+    )
 }
 
 #[cfg(test)]
@@ -405,6 +568,49 @@ mod tests {
     fn severity_ordering_supports_max() {
         assert!(Severity::Error > Severity::Warning);
         assert!(Severity::Warning > Severity::Info);
+    }
+
+    #[test]
+    fn dedupe_keys_on_site_when_present() {
+        let base = Diagnostic::new(DiagCode::Df001, "d", Some(1), "msg a".to_owned());
+        let mut diags = vec![
+            base.clone().with_site("helper#2"),
+            // Different message, same site: duplicate.
+            Diagnostic::new(DiagCode::Df001, "d", Some(1), "msg b".to_owned())
+                .with_site("helper#2"),
+            // Same everything but a different site: kept.
+            base.clone().with_site("helper#4"),
+            // No site at all: keyed on message, kept.
+            base.clone(),
+            // Exact siteless duplicate: dropped.
+            Diagnostic::new(DiagCode::Df001, "d", Some(1), "msg a".to_owned()),
+            // Same site, different command: kept.
+            Diagnostic::new(DiagCode::Df001, "d", Some(2), "msg a".to_owned())
+                .with_site("helper#2"),
+        ];
+        dedupe(&mut diags);
+        assert_eq!(diags.len(), 4, "{diags:?}");
+    }
+
+    #[test]
+    fn stats_accumulate_and_render() {
+        let mut stats = LintStats::default();
+        let diags =
+            lint_handler_with_stats(fixtures::FIXTURE_DRIVER, &fixtures::buggy_handler(), &mut stats);
+        assert!(!diags.is_empty());
+        let df = stats.passes().find(|(name, _)| *name == "double_fetch");
+        let (_, df) = df.expect("double_fetch stats present");
+        assert_eq!(df.handlers, 1);
+        assert!(df.commands > 0);
+        assert!(df.blocks > 0);
+        assert!(df.iterations > 0);
+        let json = stats.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"taint\":{"));
+        assert!(json.contains("\"wall_ns\":"));
+        let report = report_json(&diags, &stats);
+        assert!(report.contains("\"findings\":["));
+        assert!(report.contains("\"stats\":{"));
     }
 
     #[test]

@@ -1,0 +1,626 @@
+//! User-taint copy-length detection — `TA001`/`TA002`.
+//!
+//! The integer-overflow-to-overcopy shape: a length that the process
+//! controls (a field of a fetched struct, or the raw ioctl argument) flows
+//! — possibly through `Assign`/`Add`/`Mul` — into the byte count of a
+//! `CopyFromUser`/`CopyToUser`, with no bounds check in between. Under
+//! Paradice the hypervisor clips the copy to the granted region, but the
+//! native driver has no such backstop, and a tainted *arithmetic* length
+//! (`count * size`) can overflow past any implicit limit.
+//!
+//! * **TA001** (error): the copy length is user-controlled *and* has passed
+//!   through `Add`/`Mul` without a dominating bounds check — the overflow
+//!   shape.
+//! * **TA002** (warning): the copy length is a raw user-controlled value
+//!   with no dominating bounds check — unbounded, but at least not
+//!   overflowable by arithmetic.
+//!
+//! A `Cond::Lt`/`Cond::Gt` comparison mentioning a tainted source marks
+//! that source *checked*; only checks that dominate the copy count (i.e.
+//! survive the meet over all paths — the `checked` set joins by
+//! intersection) clear the taint. Re-fetching a buffer invalidates checks
+//! on its fields: the bytes just changed, the old comparison proved
+//! nothing (the TOCTOU interaction the double-fetch pass reports from the
+//! other side).
+//!
+//! Like the other passes this one is interprocedural via function
+//! summaries, so a helper that validates and a caller that copies compose.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::dataflow::cfg::{lower, CfgStmt, SiteId, Terminator};
+use crate::dataflow::solver::{Analysis, JoinSemiLattice};
+use crate::dataflow::summary::{solve_program, ProcTable};
+use crate::ir::{Cond, Expr, Handler, OpKind, Stmt, VarId};
+use crate::lint::{DiagCode, Diagnostic};
+
+/// A user-controlled taint source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Src {
+    /// The raw ioctl argument used as a scalar.
+    Arg,
+    /// A field of a fetched buffer: `(buffer, offset, width)`.
+    Field(VarId, u64, u8),
+}
+
+impl Src {
+    fn describe(self) -> String {
+        match self {
+            Src::Arg => "the ioctl argument".to_owned(),
+            Src::Field(var, offset, width) => {
+                format!("{var}[{offset}..+{width}]")
+            }
+        }
+    }
+}
+
+/// Taint of one scalar value: the sources it derives from, and whether it
+/// passed through arithmetic. Empty sources = clean.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct Taint {
+    arith: bool,
+    srcs: BTreeSet<Src>,
+}
+
+impl Taint {
+    fn clean() -> Taint {
+        Taint::default()
+    }
+
+    fn source(src: Src) -> Taint {
+        Taint {
+            arith: false,
+            srcs: BTreeSet::from([src]),
+        }
+    }
+
+    fn join(&mut self, other: &Taint) -> bool {
+        let before = (self.arith, self.srcs.len());
+        self.arith |= other.arith;
+        self.srcs.extend(other.srcs.iter().copied());
+        before != (self.arith, self.srcs.len())
+    }
+
+    /// Combines two operand taints through `Add`/`Mul`.
+    fn through_arith(a: Taint, b: Taint) -> Taint {
+        let mut srcs = a.srcs;
+        srcs.extend(b.srcs);
+        if srcs.is_empty() {
+            Taint::clean()
+        } else {
+            Taint { arith: true, srcs }
+        }
+    }
+}
+
+/// Forward domain: per-variable taint, known buffers, and the sources a
+/// bounds check dominates.
+#[derive(Debug, Clone, Default)]
+struct TaState {
+    env: BTreeMap<VarId, Taint>,
+    buffers: BTreeSet<VarId>,
+    /// Sources proven bounded on *every* path reaching this point (joins by
+    /// intersection — a check must dominate to count).
+    checked: BTreeSet<Src>,
+    /// Distinguishes the pre-seed bottom from a real (empty-checked) state,
+    /// so the first join into a `checked` set doesn't intersect with ∅.
+    seeded: bool,
+}
+
+impl TaState {
+    fn boundary() -> TaState {
+        TaState {
+            seeded: true,
+            ..TaState::default()
+        }
+    }
+}
+
+impl JoinSemiLattice for TaState {
+    fn join_with(&mut self, other: &Self) -> bool {
+        if !other.seeded {
+            return false;
+        }
+        if !self.seeded {
+            *self = other.clone();
+            return true;
+        }
+        let mut changed = false;
+        for (var, taint) in &other.env {
+            match self.env.get_mut(var) {
+                Some(existing) => changed |= existing.join(taint),
+                None => {
+                    self.env.insert(*var, taint.clone());
+                    changed = true;
+                }
+            }
+        }
+        for var in &other.buffers {
+            changed |= self.buffers.insert(*var);
+        }
+        // Must-analysis component: only checks present on both paths hold.
+        let before = self.checked.len();
+        self.checked = self
+            .checked
+            .intersection(&other.checked)
+            .copied()
+            .collect();
+        changed |= self.checked.len() != before;
+        changed
+    }
+}
+
+fn eval_taint(state: &TaState, expr: &Expr) -> Taint {
+    match expr {
+        Expr::Const(_) | Expr::Cmd => Taint::clean(),
+        Expr::Arg => Taint::source(Src::Arg),
+        Expr::Var(var) => state.env.get(var).cloned().unwrap_or_default(),
+        Expr::Field {
+            base,
+            offset,
+            width,
+        } => {
+            if state.buffers.contains(base) {
+                Taint::source(Src::Field(*base, *offset, *width))
+            } else {
+                Taint::clean()
+            }
+        }
+        Expr::Add(a, b) | Expr::Mul(a, b) => {
+            Taint::through_arith(eval_taint(state, a), eval_taint(state, b))
+        }
+    }
+}
+
+/// The sources of `taint` that no dominating check bounds.
+fn unchecked_srcs(state: &TaState, taint: &Taint) -> Vec<Src> {
+    taint
+        .srcs
+        .iter()
+        .filter(|src| !state.checked.contains(src))
+        .copied()
+        .collect()
+}
+
+struct TaAnalysis<'a> {
+    handler: &'a Handler,
+    cmd: Option<u32>,
+    table: &'a RefCell<ProcTable<TaState>>,
+}
+
+impl TaAnalysis<'_> {
+    fn transfer_linear(&self, stmt: &CfgStmt, state: &mut TaState) -> bool {
+        match stmt {
+            // The counter ranges over `0..count`: bounded by construction.
+            CfgStmt::LoopIndex(var) => {
+                state.env.remove(var);
+                true
+            }
+            CfgStmt::Ir(Stmt::Assign { var, value }) => {
+                let taint = eval_taint(state, value);
+                state.env.insert(*var, taint);
+                true
+            }
+            CfgStmt::Ir(Stmt::CopyFromUser { dst, .. }) => {
+                state.buffers.insert(*dst);
+                state.env.remove(dst);
+                // The buffer's bytes just changed: any bounds check on its
+                // fields proved something about the *old* bytes.
+                state.checked.retain(|src| !matches!(src, Src::Field(base, _, _) if base == dst));
+                true
+            }
+            CfgStmt::Ir(Stmt::CopyToUser { .. }) => true,
+            CfgStmt::Ir(Stmt::Call(name)) => {
+                self.table
+                    .borrow_mut()
+                    .apply_call(name, self.handler, self.cmd, state)
+            }
+            CfgStmt::Ir(_) => true,
+        }
+    }
+}
+
+impl Analysis for TaAnalysis<'_> {
+    type State = TaState;
+
+    fn transfer_stmt(&self, _site: SiteId, stmt: &CfgStmt, state: &mut TaState) -> bool {
+        self.transfer_linear(stmt, state)
+    }
+
+    fn transfer_term(&self, term: &Terminator, state: &mut TaState) {
+        // A magnitude comparison bounds every source feeding either side.
+        // (`LoopHead` trip counts are deliberately *not* checks: looping
+        // `count` times does not bound a copy of `count` bytes.)
+        if let Terminator::Branch {
+            cond: Cond::Lt(a, b) | Cond::Gt(a, b),
+            ..
+        } = term
+        {
+            for expr in [a, b] {
+                let taint = eval_taint(state, expr);
+                state.checked.extend(taint.srcs.iter().copied());
+            }
+        }
+    }
+}
+
+/// One raw taint finding.
+#[derive(Debug, Clone)]
+pub struct TaintFinding {
+    /// `Ta001` (arithmetic) or `Ta002` (raw).
+    pub code: DiagCode,
+    /// Stable site label (`function#statement`).
+    pub site: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// One taint run: findings plus solver cost counters.
+#[derive(Debug, Clone, Default)]
+pub struct TaintRun {
+    /// The findings, in reporting order.
+    pub findings: Vec<TaintFinding>,
+    /// Basic blocks lowered across the entry slice and every helper.
+    pub blocks: usize,
+    /// Total solver block-visits.
+    pub iterations: usize,
+}
+
+/// Runs the taint analysis over a handler's entry, specialized to `cmd`
+/// when given.
+pub fn analyze_taint(handler: &Handler, cmd: Option<u32>) -> TaintRun {
+    let entry = handler
+        .function(handler.entry())
+        .expect("Handler::new checked the entry");
+    let entry_cfg = lower(handler.entry(), &entry.body, cmd);
+    let table = RefCell::new(ProcTable::new());
+    let analysis = TaAnalysis {
+        handler,
+        cmd,
+        table: &table,
+    };
+    let stats = solve_program(&analysis, &table, entry_cfg, TaState::boundary());
+
+    let mut run = TaintRun {
+        findings: Vec::new(),
+        blocks: stats.blocks,
+        iterations: stats.iterations,
+    };
+
+    // Snapshot the procs: the transfer calls below re-enter the table
+    // through `apply_call`, which needs the mutable borrow.
+    let procs = table.borrow().procs().to_vec();
+    for proc in &procs {
+        let Some(solution) = &proc.solution else {
+            continue;
+        };
+        for (block_idx, block) in proc.cfg.blocks.iter().enumerate() {
+            let Some(in_state) = &solution.block_states[block_idx] else {
+                continue;
+            };
+            let mut state = in_state.clone();
+            for (site, stmt) in &block.stmts {
+                if let CfgStmt::Ir(
+                    Stmt::CopyFromUser { len, .. } | Stmt::CopyToUser { len, .. },
+                ) = stmt
+                {
+                    let kind = match stmt {
+                        CfgStmt::Ir(Stmt::CopyFromUser { .. }) => OpKind::CopyFromUser,
+                        _ => OpKind::CopyToUser,
+                    };
+                    report_sink(&state, len, kind, &proc.name, *site, &mut run.findings);
+                }
+                if !analysis.transfer_linear(stmt, &mut state) {
+                    break;
+                }
+            }
+        }
+    }
+    run
+}
+
+fn report_sink(
+    state: &TaState,
+    len: &Expr,
+    kind: OpKind,
+    func: &str,
+    site: SiteId,
+    findings: &mut Vec<TaintFinding>,
+) {
+    let taint = eval_taint(state, len);
+    let unchecked = unchecked_srcs(state, &taint);
+    if unchecked.is_empty() {
+        return;
+    }
+    let srcs: Vec<String> = unchecked.iter().map(|s| s.describe()).collect();
+    let direction = match kind {
+        OpKind::CopyFromUser => "copy_from_user",
+        OpKind::CopyToUser => "copy_to_user",
+    };
+    let (code, message) = if taint.arith {
+        (
+            DiagCode::Ta001,
+            format!(
+                "{direction} length is arithmetic over user-controlled {} with no \
+                 dominating bounds check; a large value overflows the computed size \
+                 and over-copies",
+                srcs.join(", "),
+            ),
+        )
+    } else {
+        (
+            DiagCode::Ta002,
+            format!(
+                "{direction} length is user-controlled {} with no dominating bounds \
+                 check; the process picks how many bytes the driver copies",
+                srcs.join(", "),
+            ),
+        )
+    };
+    findings.push(TaintFinding {
+        code,
+        site: format!("{func}#{}", site.0),
+        message,
+    });
+}
+
+/// Runs the taint pass over one command of a handler. Returns
+/// `(blocks, fixpoint iterations)` for the stats block.
+pub fn check(
+    driver: &str,
+    cmd: u32,
+    handler: &Handler,
+    diags: &mut Vec<Diagnostic>,
+) -> (usize, usize) {
+    let run = analyze_taint(handler, Some(cmd));
+    for finding in run.findings {
+        diags.push(
+            Diagnostic::new(finding.code, driver, Some(cmd), finding.message)
+                .with_site(finding.site),
+        );
+    }
+    (run.blocks, run.iterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Function;
+    use crate::lint::Severity;
+    use std::collections::BTreeMap;
+
+    fn v(n: u32) -> VarId {
+        VarId(n)
+    }
+
+    fn header_fetch() -> Stmt {
+        Stmt::CopyFromUser {
+            dst: v(0),
+            src: Expr::Arg,
+            len: Expr::Const(16),
+        }
+    }
+
+    fn run(slice: &[Stmt]) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        check("test", 0x1234, &Handler::single(slice.to_vec()), &mut diags);
+        diags
+    }
+
+    #[test]
+    fn unchecked_arithmetic_length_is_ta001() {
+        let slice = vec![
+            header_fetch(),
+            Stmt::CopyFromUser {
+                dst: v(1),
+                src: Expr::field(v(0), 8, 8),
+                len: Expr::mul(Expr::field(v(0), 0, 4), Expr::Const(16)),
+            },
+        ];
+        let diags = run(&slice);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, DiagCode::Ta001);
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert!(diags[0].message.contains("v0[0..+4]"));
+    }
+
+    #[test]
+    fn unchecked_raw_field_length_is_ta002() {
+        let slice = vec![
+            header_fetch(),
+            Stmt::CopyToUser {
+                dst: Expr::field(v(0), 8, 8),
+                len: Expr::field(v(0), 0, 4),
+            },
+        ];
+        let diags = run(&slice);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::Ta002);
+        assert_eq!(diags[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn dominating_gt_check_clears_the_taint() {
+        let slice = vec![
+            header_fetch(),
+            Stmt::If {
+                cond: Cond::Gt(Expr::field(v(0), 0, 4), Expr::Const(64)),
+                then: vec![Stmt::Return],
+                els: vec![],
+            },
+            Stmt::CopyFromUser {
+                dst: v(1),
+                src: Expr::field(v(0), 8, 8),
+                len: Expr::mul(Expr::field(v(0), 0, 4), Expr::Const(16)),
+            },
+        ];
+        assert!(run(&slice).is_empty());
+    }
+
+    #[test]
+    fn check_through_assigned_variable_counts() {
+        // v5 = field; if (v5 > max) return; copy(len = v5 * 16)
+        let slice = vec![
+            header_fetch(),
+            Stmt::Assign {
+                var: v(5),
+                value: Expr::field(v(0), 0, 4),
+            },
+            Stmt::If {
+                cond: Cond::Gt(Expr::Var(v(5)), Expr::Const(64)),
+                then: vec![Stmt::Return],
+                els: vec![],
+            },
+            Stmt::CopyFromUser {
+                dst: v(1),
+                src: Expr::field(v(0), 8, 8),
+                len: Expr::mul(Expr::Var(v(5)), Expr::Const(16)),
+            },
+        ];
+        assert!(run(&slice).is_empty());
+    }
+
+    #[test]
+    fn non_dominating_check_does_not_clear() {
+        // The check sits inside one arm of an unrelated branch: a path to
+        // the copy exists on which the field was never compared.
+        let slice = vec![
+            header_fetch(),
+            Stmt::If {
+                cond: Cond::Eq(Expr::Arg, Expr::Const(0)),
+                then: vec![Stmt::If {
+                    cond: Cond::Gt(Expr::field(v(0), 0, 4), Expr::Const(64)),
+                    then: vec![Stmt::Return],
+                    els: vec![],
+                }],
+                els: vec![],
+            },
+            Stmt::CopyFromUser {
+                dst: v(1),
+                src: Expr::field(v(0), 8, 8),
+                len: Expr::mul(Expr::field(v(0), 0, 4), Expr::Const(16)),
+            },
+        ];
+        let diags = run(&slice);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, DiagCode::Ta001);
+    }
+
+    #[test]
+    fn refetch_invalidates_the_check() {
+        // Check the field, fetch the buffer again, use the field: the
+        // validated bytes are gone.
+        let slice = vec![
+            header_fetch(),
+            Stmt::If {
+                cond: Cond::Gt(Expr::field(v(0), 0, 4), Expr::Const(64)),
+                then: vec![Stmt::Return],
+                els: vec![],
+            },
+            header_fetch(),
+            Stmt::CopyToUser {
+                dst: Expr::field(v(0), 8, 8),
+                len: Expr::field(v(0), 0, 4),
+            },
+        ];
+        let diags = run(&slice);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, DiagCode::Ta002);
+    }
+
+    #[test]
+    fn eq_comparison_is_not_a_bounds_check() {
+        let slice = vec![
+            header_fetch(),
+            Stmt::If {
+                cond: Cond::Ne(Expr::field(v(0), 0, 4), Expr::Const(0)),
+                then: vec![Stmt::Return],
+                els: vec![],
+            },
+            Stmt::CopyToUser {
+                dst: Expr::Arg,
+                len: Expr::field(v(0), 0, 4),
+            },
+        ];
+        let diags = run(&slice);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::Ta002);
+    }
+
+    #[test]
+    fn constant_lengths_are_clean() {
+        let slice = vec![
+            header_fetch(),
+            Stmt::CopyToUser {
+                dst: Expr::Arg,
+                len: Expr::Const(16),
+            },
+        ];
+        assert!(run(&slice).is_empty());
+    }
+
+    #[test]
+    fn loop_counter_as_length_is_clean() {
+        // `for i in 0..count { copy(len = 16) }` and even `len = i` are
+        // bounded by the loop structure, not taint sinks.
+        let slice = vec![
+            header_fetch(),
+            Stmt::ForRange {
+                var: v(9),
+                count: Expr::field(v(0), 0, 4),
+                body: vec![Stmt::CopyToUser {
+                    dst: Expr::Arg,
+                    len: Expr::Var(v(9)),
+                }],
+            },
+        ];
+        assert!(run(&slice).is_empty());
+    }
+
+    #[test]
+    fn validation_helper_composes_interprocedurally() {
+        // A helper does the bounds check; the caller does the copy.
+        let mut functions = BTreeMap::new();
+        functions.insert(
+            "ioctl".to_owned(),
+            Function {
+                body: vec![
+                    header_fetch(),
+                    Stmt::Call("validate".to_owned()),
+                    Stmt::CopyFromUser {
+                        dst: v(1),
+                        src: Expr::field(v(0), 8, 8),
+                        len: Expr::mul(Expr::field(v(0), 0, 4), Expr::Const(16)),
+                    },
+                ],
+            },
+        );
+        functions.insert(
+            "validate".to_owned(),
+            Function {
+                body: vec![Stmt::If {
+                    cond: Cond::Gt(Expr::field(v(0), 0, 4), Expr::Const(64)),
+                    then: vec![Stmt::Return],
+                    els: vec![],
+                }],
+            },
+        );
+        let handler = Handler::new("ioctl", functions);
+        let mut diags = Vec::new();
+        check("test", 0x1234, &handler, &mut diags);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn arg_as_length_is_ta002() {
+        let slice = vec![Stmt::CopyToUser {
+            dst: Expr::Arg,
+            len: Expr::Arg,
+        }];
+        let diags = run(&slice);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::Ta002);
+        assert!(diags[0].message.contains("ioctl argument"));
+    }
+}

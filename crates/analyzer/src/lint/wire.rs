@@ -1,0 +1,111 @@
+//! Wire-protocol decode lint — `WP001`.
+//!
+//! The CVD shared page has the same trust profile as an ioctl argument
+//! buffer: the *frontend* writes it, the *backend* reads it, and nothing
+//! stops the writer from flipping bytes between two reads. A backend
+//! decoder that reads the same region twice — the classic "length word,
+//! then payload, then length word again" slip — hands a malicious or
+//! compromised guest a TOCTOU on the host-side driver VM.
+//!
+//! This pass lifts the flow-sensitive double-fetch engine
+//! ([`super::double_fetch::analyze_flow`]) onto decode routines expressed
+//! in driver IR (see `paradice-cvd`'s `wire_request_decode_ir` /
+//! `wire_response_decode_ir`). Any overlapping re-read of the shared page
+//! during decode is **WP001** (error) — unlike driver-side `DF002` there
+//! is no benign variant, because the decoder's whole job is to produce one
+//! consistent view of the message. The taint pass also runs: a payload
+//! read sized by an unvalidated length word is the other half of the same
+//! bug.
+//!
+//! Decode IR has no `SwitchCmd` dispatcher, so the engine runs without a
+//! command context (`cmd = None`) and findings carry no command number.
+
+use crate::ir::Handler;
+use crate::lint::{double_fetch, taint, DiagCode, Diagnostic};
+
+/// Lints one wire-decode routine. Returns `(blocks, fixpoint iterations)`
+/// for the stats block.
+pub fn check_wire(driver: &str, handler: &Handler, diags: &mut Vec<Diagnostic>) -> (usize, usize) {
+    let df = double_fetch::analyze_flow(handler, None);
+    for finding in df.findings {
+        diags.push(
+            Diagnostic::new(
+                DiagCode::Wp001,
+                driver,
+                None,
+                format!(
+                    "shared-page decode {}; a malicious frontend rewrites the page \
+                     between the reads and the backend acts on a torn message",
+                    finding.message,
+                ),
+            )
+            .with_site(finding.site),
+        );
+    }
+    let ta = taint::analyze_taint(handler, None);
+    for finding in ta.findings {
+        diags.push(Diagnostic::new(finding.code, driver, None, finding.message).with_site(finding.site));
+    }
+    (df.blocks + ta.blocks, df.iterations + ta.iterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Cond, Expr, Stmt, VarId};
+    use crate::lint::{has_errors, Severity};
+
+    fn v(n: u32) -> VarId {
+        VarId(n)
+    }
+
+    fn length_then_payload(refetch_length: bool) -> Handler {
+        let mut body = vec![Stmt::CopyFromUser {
+            dst: v(0),
+            src: Expr::Arg,
+            len: Expr::Const(4),
+        }];
+        body.push(Stmt::If {
+            cond: Cond::Gt(Expr::field(v(0), 0, 4), Expr::Const(256)),
+            then: vec![Stmt::Return],
+            els: vec![],
+        });
+        let len_buf = if refetch_length {
+            body.push(Stmt::CopyFromUser {
+                dst: v(1),
+                src: Expr::Arg,
+                len: Expr::Const(4),
+            });
+            v(1)
+        } else {
+            v(0)
+        };
+        body.push(Stmt::CopyFromUser {
+            dst: v(2),
+            src: Expr::add(Expr::Arg, Expr::Const(4)),
+            len: Expr::field(len_buf, 0, 4),
+        });
+        Handler::single(body)
+    }
+
+    #[test]
+    fn single_read_decode_is_clean() {
+        let mut diags = Vec::new();
+        check_wire("wire-test", &length_then_payload(false), &mut diags);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn length_refetch_is_wp001_error() {
+        let mut diags = Vec::new();
+        check_wire("wire-test", &length_then_payload(true), &mut diags);
+        let wp: Vec<&Diagnostic> = diags.iter().filter(|d| d.code == DiagCode::Wp001).collect();
+        assert_eq!(wp.len(), 1, "{diags:?}");
+        assert_eq!(wp[0].severity, Severity::Error);
+        assert!(wp[0].message.contains("shared-page"));
+        assert!(wp[0].command.is_none());
+        // The unvalidated second copy also taints the payload length.
+        assert!(diags.iter().any(|d| d.code == DiagCode::Ta002));
+        assert!(has_errors(&diags));
+    }
+}

@@ -1,0 +1,111 @@
+//! Differential gate: the flow-sensitive double-fetch pass must dominate
+//! the syntactic one.
+//!
+//! For every command of the seeded fixture handler, each finding of the old
+//! syntactic walker (`double_fetch::check_syntactic`, preserved for exactly
+//! this comparison) must be covered by the flow engine: either the same
+//! code fires on the same command, or the flow pass *upgraded* the
+//! syntactic `DF002` to a `DF001` there — strictly more precise, never
+//! quieter. The cross-helper fixture then pins the strict part: the flow
+//! pass reports a `DF001` the syntactic walker provably cannot (it
+//! classifies at fetch time, so consumption after the re-fetch is invisible
+//! to it).
+
+use paradice_analyzer::extract::specialize_command;
+use paradice_analyzer::lint::double_fetch::{analyze_flow, check, check_syntactic};
+use paradice_analyzer::lint::{fixtures, DiagCode, Diagnostic};
+
+/// The fixture commands whose slices specialize (recursion and the unknown
+/// helper are the orchestrator's to report, before any dataflow runs).
+fn specializable_commands() -> Vec<u32> {
+    let handler = fixtures::buggy_handler();
+    handler
+        .commands()
+        .into_iter()
+        .filter(|cmd| specialize_command(&handler, *cmd).is_ok())
+        .collect()
+}
+
+#[test]
+fn flow_pass_covers_every_syntactic_finding_on_the_fixtures() {
+    let handler = fixtures::buggy_handler();
+    for cmd in specializable_commands() {
+        let slice = specialize_command(&handler, cmd).unwrap();
+        let mut syntactic: Vec<Diagnostic> = Vec::new();
+        check_syntactic(fixtures::FIXTURE_DRIVER, cmd, &slice, &mut syntactic);
+        let mut flow: Vec<Diagnostic> = Vec::new();
+        check(fixtures::FIXTURE_DRIVER, cmd, &handler, &mut flow);
+        for old in &syntactic {
+            let covered = flow.iter().any(|new| {
+                new.command == old.command
+                    && (new.code == old.code
+                        // An upgrade covers: DF001 subsumes DF002 at the
+                        // same command.
+                        || (old.code == DiagCode::Df002 && new.code == DiagCode::Df001))
+            });
+            assert!(
+                covered,
+                "flow pass lost a syntactic finding on cmd {cmd:#010x}: {}\nflow findings:\n{}",
+                old.render(),
+                flow.iter()
+                    .map(|d| d.render())
+                    .collect::<Vec<_>>()
+                    .join("\n"),
+            );
+        }
+    }
+}
+
+#[test]
+fn flow_pass_is_strictly_stronger_on_the_cross_helper_fixture() {
+    let handler = fixtures::buggy_handler();
+    let cmd = fixtures::FIX_XHELPER_DF.raw();
+    let slice = specialize_command(&handler, cmd).unwrap();
+
+    let mut syntactic: Vec<Diagnostic> = Vec::new();
+    check_syntactic(fixtures::FIXTURE_DRIVER, cmd, &slice, &mut syntactic);
+    assert!(
+        syntactic.iter().all(|d| d.code != DiagCode::Df001),
+        "syntactic pass unexpectedly caught the cross-helper pair: {syntactic:?}"
+    );
+    assert!(
+        syntactic.iter().any(|d| d.code == DiagCode::Df002),
+        "syntactic pass should at least see the overlap: {syntactic:?}"
+    );
+
+    let mut flow: Vec<Diagnostic> = Vec::new();
+    check(fixtures::FIXTURE_DRIVER, cmd, &handler, &mut flow);
+    let df001: Vec<&Diagnostic> = flow
+        .iter()
+        .filter(|d| d.code == DiagCode::Df001)
+        .collect();
+    assert_eq!(df001.len(), 1, "{flow:?}");
+    // The finding anchors inside the helper, where the re-fetch lives.
+    assert_eq!(df001[0].site.as_deref(), Some("xh_refetch#0"));
+}
+
+#[test]
+fn fixed_twins_are_clean_under_both_passes() {
+    let handler = fixtures::buggy_handler();
+    for cmd in [
+        fixtures::FIX_XHELPER_DF_FIXED.raw(),
+        fixtures::FIX_OVERFLOW_LEN_FIXED.raw(),
+    ] {
+        let slice = specialize_command(&handler, cmd).unwrap();
+        let mut syntactic: Vec<Diagnostic> = Vec::new();
+        check_syntactic(fixtures::FIXTURE_DRIVER, cmd, &slice, &mut syntactic);
+        assert!(syntactic.is_empty(), "cmd {cmd:#010x}: {syntactic:?}");
+        let run = analyze_flow(&handler, Some(cmd));
+        assert!(run.findings.is_empty(), "cmd {cmd:#010x}: {:?}", run.findings);
+    }
+}
+
+#[test]
+fn flow_run_reports_solver_work() {
+    // The stats the CLI surfaces must be grounded: a multi-function command
+    // lowers several CFGs and the fixpoint visits blocks more than once.
+    let handler = fixtures::buggy_handler();
+    let run = analyze_flow(&handler, Some(fixtures::FIX_XHELPER_DF.raw()));
+    assert!(run.blocks >= 3, "blocks = {}", run.blocks);
+    assert!(run.iterations >= run.blocks, "iterations = {}", run.iterations);
+}

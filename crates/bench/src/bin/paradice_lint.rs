@@ -14,11 +14,20 @@
 //! cargo run -p paradice-bench --bin paradice-lint -- --replay trace.jsonl
 //! ```
 //!
+//! Besides the driver handlers, the suite lints the CVD wire protocol:
+//! the shared-page decode routines modeled in driver IR
+//! ([`paradice_cvd::proto::wire_request_decode_ir`] /
+//! [`wire_response_decode_ir`]) run through the same dataflow engine as
+//! pseudo-drivers `cvd-wire-request` / `cvd-wire-response` (`WP001`).
+//!
 //! Flags:
 //!
-//! * `--json` — emit one JSON array of findings instead of text lines.
-//! * `--fixtures` — also lint the seeded buggy fixture handler (always
-//!   fails; used to demonstrate every pass firing).
+//! * `--json` — emit one JSON object `{"findings": [...], "stats": {...}}`
+//!   with per-pass work counters (handlers, blocks, fixpoint iterations,
+//!   wall time) instead of text lines.
+//! * `--fixtures` — also lint the seeded buggy fixture handler and the
+//!   doctored wire decoder (always fails; used to demonstrate every pass
+//!   firing).
 //! * `--no-allowlist` — skip the registry allowlist; show raw severities.
 //! * `--audit FILE` — parse a hypervisor audit export
 //!   (`AuditLog::export_text` format) and report each blocked operation
@@ -29,10 +38,14 @@
 //!   handler's static envelope (`CF` codes).
 
 use std::process::ExitCode;
+use std::time::Instant;
 
 use paradice_analyzer::lint::{
-    self, apply_allowlist, conformance, has_errors, lint_handler, replay, DiagCode, Diagnostic,
-    Severity,
+    self, apply_allowlist, conformance, has_errors, lint_handler_with_stats, replay, wire,
+    DiagCode, Diagnostic, LintStats, Severity,
+};
+use paradice_cvd::proto::{
+    doctored_wire_request_decode_ir, wire_request_decode_ir, wire_response_decode_ir,
 };
 use paradice_drivers::{all_handlers, lint_allowlist};
 
@@ -153,16 +166,38 @@ fn main() -> ExitCode {
     };
 
     let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut stats = LintStats::default();
     let mut drivers = 0usize;
     for (name, handler) in all_handlers() {
         drivers += 1;
-        diags.extend(lint_handler(name, handler));
+        diags.extend(lint_handler_with_stats(name, handler, &mut stats));
+    }
+    // The wire protocol's decode routines are lint subjects too: the shared
+    // page is frontend-controlled memory, so they get the same dataflow
+    // treatment as pseudo-drivers.
+    let mut wire_decoders = vec![
+        ("cvd-wire-request", wire_request_decode_ir()),
+        ("cvd-wire-response", wire_response_decode_ir()),
+    ];
+    if opts.fixtures {
+        wire_decoders.push(("cvd-wire-doctored", doctored_wire_request_decode_ir()));
+    }
+    for (name, handler) in &wire_decoders {
+        drivers += 1;
+        let t0 = Instant::now();
+        let (blocks, iterations) = wire::check_wire(name, handler, &mut diags);
+        let s = stats.pass_mut("wire");
+        s.handlers += 1;
+        s.blocks += blocks;
+        s.iterations += iterations;
+        s.wall_ns += t0.elapsed().as_nanos();
     }
     if opts.fixtures {
         drivers += 1;
-        diags.extend(lint_handler(
+        diags.extend(lint_handler_with_stats(
             lint::fixtures::FIXTURE_DRIVER,
             &lint::fixtures::buggy_handler(),
+            &mut stats,
         ));
     }
     if let Some(path) = &opts.audit {
@@ -199,7 +234,7 @@ fn main() -> ExitCode {
     }
 
     if opts.json {
-        println!("{}", lint::to_json(&diags));
+        println!("{}", lint::report_json(&diags, &stats));
     } else {
         for diag in &diags {
             println!("{}", diag.render());

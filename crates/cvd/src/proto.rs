@@ -458,6 +458,148 @@ impl WireSignal {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Decode-as-IR: the wire protocol through the analyzer's eyes
+// ---------------------------------------------------------------------------
+
+/// [`WireRequest::decode`] modeled in the analyzer's driver IR, so the
+/// dataflow lint suite (`WP001`, `TA00x`) covers the shared page the same
+/// way it covers ioctl handlers. The shared page *is* a user-controlled
+/// buffer: the frontend can rewrite it between the backend's reads, which
+/// is exactly the double-fetch threat model with "process" replaced by
+/// "guest".
+///
+/// The model follows the length-word-then-payload path ([`WireOp::Open`],
+/// the only variable-length request) on the grant-present layout, where the
+/// fixed prefix — opcode, task, pt_root, handle, span, grant flag, grant
+/// ref, open flags — spans bytes `[0, 39)`, the path length word sits at
+/// `[39, 43)`, and the path bytes follow. Fixed-size opcodes decode from
+/// the same prefix and are subsumed by it. Mirrored by
+/// `decode_ir_matches_decoder` below: the IR is kept honest against the
+/// real `Reader` offsets.
+pub fn wire_request_decode_ir() -> paradice_analyzer::ir::Handler {
+    use paradice_analyzer::ir::{Cond, Expr, Function, Stmt, VarId};
+    let v = VarId;
+    let body = vec![
+        // Fixed prefix: everything up to and including the open flags.
+        Stmt::CopyFromUser {
+            dst: v(0),
+            src: Expr::Arg,
+            len: Expr::Const(39),
+        },
+        // The decoder dispatches on the opcode byte.
+        Stmt::Assign {
+            var: v(5),
+            value: Expr::field(v(0), 0, 1),
+        },
+        // Path length word.
+        Stmt::CopyFromUser {
+            dst: v(1),
+            src: Expr::add(Expr::Arg, Expr::Const(39)),
+            len: Expr::Const(4),
+        },
+        // `if len > MAX_PATH { return Err(WireError) }`.
+        Stmt::If {
+            cond: Cond::Gt(
+                Expr::field(v(1), 0, 4),
+                Expr::Const(MAX_PATH as u64),
+            ),
+            then: vec![Stmt::Return],
+            els: vec![],
+        },
+        // Path bytes, sized by the validated length word.
+        Stmt::CopyFromUser {
+            dst: v(2),
+            src: Expr::add(Expr::Arg, Expr::Const(43)),
+            len: Expr::field(v(1), 0, 4),
+        },
+        Stmt::Return,
+    ];
+    let mut functions = std::collections::BTreeMap::new();
+    functions.insert("decode_request".to_owned(), Function { body });
+    paradice_analyzer::ir::Handler::new("decode_request", functions)
+}
+
+/// [`WireResponse::decode`] in driver IR: a tag byte selects how wide the
+/// value word is (`Value` reads 8 bytes, `Err`/`Poll` read 4). The two
+/// reads overlap but sit on exclusive branches — a shape only a
+/// branch-sensitive pass can prove clean.
+pub fn wire_response_decode_ir() -> paradice_analyzer::ir::Handler {
+    use paradice_analyzer::ir::{Cond, Expr, Function, Stmt, VarId};
+    let v = VarId;
+    let body = vec![
+        Stmt::CopyFromUser {
+            dst: v(0),
+            src: Expr::Arg,
+            len: Expr::Const(1),
+        },
+        Stmt::If {
+            cond: Cond::Eq(Expr::field(v(0), 0, 1), Expr::Const(0)),
+            then: vec![Stmt::CopyFromUser {
+                dst: v(1),
+                src: Expr::add(Expr::Arg, Expr::Const(1)),
+                len: Expr::Const(8),
+            }],
+            els: vec![Stmt::CopyFromUser {
+                dst: v(2),
+                src: Expr::add(Expr::Arg, Expr::Const(1)),
+                len: Expr::Const(4),
+            }],
+        },
+        Stmt::Return,
+    ];
+    let mut functions = std::collections::BTreeMap::new();
+    functions.insert("decode_response".to_owned(), Function { body });
+    paradice_analyzer::ir::Handler::new("decode_response", functions)
+}
+
+/// A deliberately broken request decoder: it re-reads the path length word
+/// *after* validating it, then sizes the payload read from the second copy
+/// — the classic TOCTOU a malicious frontend exploits by growing the length
+/// between the two reads. Exists so the wire lint (`WP001`) has a known-bad
+/// fixture; `paradice-lint --fixtures` must flag it and must *not* flag the
+/// real [`wire_request_decode_ir`].
+pub fn doctored_wire_request_decode_ir() -> paradice_analyzer::ir::Handler {
+    use paradice_analyzer::ir::{Cond, Expr, Function, Stmt, VarId};
+    let v = VarId;
+    let body = vec![
+        Stmt::CopyFromUser {
+            dst: v(0),
+            src: Expr::Arg,
+            len: Expr::Const(39),
+        },
+        Stmt::CopyFromUser {
+            dst: v(1),
+            src: Expr::add(Expr::Arg, Expr::Const(39)),
+            len: Expr::Const(4),
+        },
+        Stmt::If {
+            cond: Cond::Gt(
+                Expr::field(v(1), 0, 4),
+                Expr::Const(MAX_PATH as u64),
+            ),
+            then: vec![Stmt::Return],
+            els: vec![],
+        },
+        // The bug: the length word is fetched again after the check…
+        Stmt::CopyFromUser {
+            dst: v(3),
+            src: Expr::add(Expr::Arg, Expr::Const(39)),
+            len: Expr::Const(4),
+        },
+        // …and the unvalidated second copy sizes the payload read.
+        Stmt::CopyFromUser {
+            dst: v(2),
+            src: Expr::add(Expr::Arg, Expr::Const(43)),
+            len: Expr::field(v(3), 0, 4),
+        },
+        Stmt::Return,
+    ];
+    let mut functions = std::collections::BTreeMap::new();
+    functions.insert("decode_request".to_owned(), Function { body });
+    paradice_analyzer::ir::Handler::new("decode_request", functions)
+}
+
 // The typed-channel boundary: [`CvdChannel`] serializes each message type
 // through these impls, so encode/decode happens in exactly one place.
 
@@ -543,6 +685,58 @@ mod tests {
         roundtrip(header(WireOp::Fault {
             va: GuestVirtAddr::new(0x7fff_0000),
         }));
+    }
+
+    #[test]
+    fn decode_ir_matches_decoder() {
+        // The IR's hardcoded offsets (fixed prefix [0, 39), length word
+        // [39, 43), path at 43) must match what the real codec produces on
+        // the grant-present Open path it models.
+        let path = "/dev/dri/card0";
+        let req = WireRequest {
+            task: 42,
+            pt_root: GuestPhysAddr::new(0x7000),
+            handle: 9,
+            span: 1234,
+            grant: Some(GrantRef(17)),
+            op: WireOp::Open {
+                path: path.to_owned(),
+                flags: OpenFlags::RDWR,
+            },
+        };
+        let bytes = req.encode();
+        assert_eq!(bytes.len(), 43 + path.len());
+        assert_eq!(
+            u32::from_le_bytes(bytes[39..43].try_into().unwrap()) as usize,
+            path.len()
+        );
+        assert_eq!(&bytes[43..], path.as_bytes());
+    }
+
+    #[test]
+    fn shipped_decode_irs_lint_clean() {
+        use paradice_analyzer::lint::wire::check_wire;
+        for (name, handler) in [
+            ("cvd-wire-request", wire_request_decode_ir()),
+            ("cvd-wire-response", wire_response_decode_ir()),
+        ] {
+            let mut diags = Vec::new();
+            check_wire(name, &handler, &mut diags);
+            assert!(diags.is_empty(), "{name}: {diags:?}");
+        }
+    }
+
+    #[test]
+    fn doctored_decode_ir_fires_wp001() {
+        use paradice_analyzer::lint::wire::check_wire;
+        use paradice_analyzer::lint::{has_errors, DiagCode};
+        let mut diags = Vec::new();
+        check_wire("cvd-wire-doctored", &doctored_wire_request_decode_ir(), &mut diags);
+        assert!(
+            diags.iter().any(|d| d.code == DiagCode::Wp001),
+            "{diags:?}"
+        );
+        assert!(has_errors(&diags));
     }
 
     #[test]

@@ -352,7 +352,7 @@ impl FileOps for I915Driver {
 /// *different* driver with a different nested-copy structure, analyzed by
 /// the same tool.
 pub fn i915_handler_ir() -> paradice_analyzer::ir::Handler {
-    use paradice_analyzer::ir::{Expr, Stmt, VarId};
+    use paradice_analyzer::ir::{Cond, Expr, Stmt, VarId};
     let v = VarId;
     let inout = |len: u64| {
         vec![
@@ -387,6 +387,15 @@ pub fn i915_handler_ir() -> paradice_analyzer::ir::Handler {
                         src: Expr::Arg,
                         len: Expr::Const(32),
                     },
+                    // `if (size > 16 MiB) return -EINVAL;` (above).
+                    Stmt::If {
+                        cond: Cond::Gt(
+                            Expr::field(v(0), 16, 8),
+                            Expr::Const(16 * 1024 * 1024),
+                        ),
+                        then: vec![Stmt::Return],
+                        els: vec![],
+                    },
                     Stmt::CopyFromUser {
                         dst: v(1),
                         src: Expr::field(v(0), 24, 8),
@@ -401,6 +410,18 @@ pub fn i915_handler_ir() -> paradice_analyzer::ir::Handler {
                         dst: v(0),
                         src: Expr::Arg,
                         len: Expr::Const(24),
+                    },
+                    // `if (buffer_count > 64 || batch_dw > 16384)
+                    //      return -EINVAL;` (above).
+                    Stmt::If {
+                        cond: Cond::Gt(Expr::field(v(0), 8, 4), Expr::Const(64)),
+                        then: vec![Stmt::Return],
+                        els: vec![],
+                    },
+                    Stmt::If {
+                        cond: Cond::Gt(Expr::field(v(0), 12, 4), Expr::Const(16_384)),
+                        then: vec![Stmt::Return],
+                        els: vec![],
                     },
                     Stmt::ForRange {
                         var: v(9),

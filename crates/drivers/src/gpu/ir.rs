@@ -13,7 +13,7 @@
 //! the four extra commands. Common commands have identical memory
 //! operations, as the paper observed.
 
-use paradice_analyzer::ir::{Expr, Handler, Stmt, VarId};
+use paradice_analyzer::ir::{Cond, Expr, Handler, Stmt, VarId};
 
 use super::driver::{
     GEM_CLOSE, RADEON_CS, RADEON_GEM_BUSY, RADEON_GEM_CREATE, RADEON_GEM_GET_TILING,
@@ -50,6 +50,16 @@ fn input_only(len: u64) -> Vec<Stmt> {
     }]
 }
 
+/// `if (args.size > 16 MiB) return -EINVAL;` — the size clamp both
+/// transfer ioctls perform (driver.rs) before sizing the nested copy.
+fn size_guard() -> Stmt {
+    Stmt::If {
+        cond: Cond::Gt(Expr::field(v(0), 16, 8), Expr::Const(16 * 1024 * 1024)),
+        then: vec![Stmt::Return],
+        els: vec![],
+    }
+}
+
 /// The PREAD body: args in, then a nested copy **to** user memory at
 /// `args.data_ptr` of `args.size` bytes.
 fn pread_body() -> Vec<Stmt> {
@@ -59,6 +69,7 @@ fn pread_body() -> Vec<Stmt> {
             src: Expr::Arg,
             len: Expr::Const(32),
         },
+        size_guard(),
         Stmt::CopyToUser {
             dst: Expr::field(v(0), 24, 8),
             len: Expr::field(v(0), 16, 8),
@@ -74,6 +85,7 @@ fn pwrite_body() -> Vec<Stmt> {
             src: Expr::Arg,
             len: Expr::Const(32),
         },
+        size_guard(),
         Stmt::CopyFromUser {
             dst: v(1),
             src: Expr::field(v(0), 24, 8),
@@ -92,6 +104,12 @@ fn cs_body() -> Vec<Stmt> {
             src: Expr::Arg,
             len: Expr::Const(16),
         },
+        // `if (num_chunks > 16) return -EINVAL;` (driver.rs).
+        Stmt::If {
+            cond: Cond::Gt(Expr::field(v(0), 8, 4), Expr::Const(16)),
+            then: vec![Stmt::Return],
+            els: vec![],
+        },
         Stmt::ForRange {
             var: v(9),
             count: Expr::field(v(0), 8, 4),
@@ -103,6 +121,13 @@ fn cs_body() -> Vec<Stmt> {
                         Expr::mul(Expr::Var(v(9)), Expr::Const(16)),
                     ),
                     len: Expr::Const(16),
+                },
+                // `if (length_dw > 16384) return -EINVAL;` (driver.rs) —
+                // per header, before the payload copy it sizes.
+                Stmt::If {
+                    cond: Cond::Gt(Expr::field(v(1), 8, 4), Expr::Const(16_384)),
+                    then: vec![Stmt::Return],
+                    els: vec![],
                 },
                 Stmt::CopyFromUser {
                     dst: v(2),

@@ -34,12 +34,15 @@ pub mod prelude {
 /// use proptest::prelude::*;
 ///
 /// proptest! {
-///     #[test]
 ///     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
 ///         prop_assert_eq!(a + b, b + a);
 ///     }
 /// }
+/// addition_commutes();
 /// ```
+///
+/// In test code, write `#[test]` above each `fn` (the attribute passes
+/// through) so the harness picks it up.
 #[macro_export]
 macro_rules! proptest {
     ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
@@ -175,7 +178,7 @@ mod tests {
     proptest! {
         #[test]
         fn ranges_stay_in_bounds(x in 3u64..17, y in 0u8..4) {
-            prop_assert!(x >= 3 && x < 17);
+            prop_assert!((3..17).contains(&x));
             prop_assert!(y < 4);
         }
 

@@ -99,7 +99,7 @@ impl TraceOpKind {
     }
 
     /// Inverse of [`TraceOpKind::as_str`].
-    pub fn from_str(s: &str) -> Option<Self> {
+    pub fn parse(s: &str) -> Option<Self> {
         Some(match s {
             "open" => TraceOpKind::Open,
             "release" => TraceOpKind::Release,
@@ -177,7 +177,7 @@ impl TraceMemOpKind {
     }
 
     /// Inverse of [`TraceMemOpKind::as_str`].
-    pub fn from_str(s: &str) -> Option<Self> {
+    pub fn parse(s: &str) -> Option<Self> {
         Some(match s {
             "copy_from_guest" => TraceMemOpKind::CopyFromGuest,
             "copy_to_guest" => TraceMemOpKind::CopyToGuest,
@@ -667,7 +667,7 @@ fn event_from_value(value: &json::Value) -> Result<TraceEvent, String> {
             task: get_u64(obj, "task")?,
             handle: get_u64(obj, "handle")?,
             device: get_str(obj, "device")?.to_owned(),
-            op: TraceOpKind::from_str(get_str(obj, "op")?)
+            op: TraceOpKind::parse(get_str(obj, "op")?)
                 .ok_or_else(|| format!("unknown op kind {:?}", get_str(obj, "op")))?,
             cmd: opt_u64(obj, "cmd")?.map(|v| v as u32),
             addr: opt_u64(obj, "addr")?,
@@ -707,7 +707,7 @@ fn event_from_value(value: &json::Value) -> Result<TraceEvent, String> {
         "mem_op" => Ok(TraceEvent::MemOp {
             span,
             t_ns: get_u64(obj, "t_ns")?,
-            kind: TraceMemOpKind::from_str(get_str(obj, "kind")?)
+            kind: TraceMemOpKind::parse(get_str(obj, "kind")?)
                 .ok_or_else(|| format!("unknown mem-op kind {:?}", get_str(obj, "kind")))?,
             addr: get_u64(obj, "addr")?,
             len: get_u64(obj, "len")?,

@@ -11,8 +11,28 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
 echo "==> paradice-lint (static driver-IR suite; nonzero on errors)"
 cargo run -q --release -p paradice-bench --bin paradice-lint
+
+echo "==> paradice-lint --fixtures --json (seeded bugs MUST fail; output must be JSON)"
+FIXJSON="$(mktemp)"
+if cargo run -q --release -p paradice-bench --bin paradice-lint -- --fixtures --json \
+    >"$FIXJSON" 2>&1; then
+    echo "ERROR: seeded fixture bugs did not produce a nonzero exit" >&2
+    rm -f "$FIXJSON"
+    exit 1
+fi
+# Smoke the JSON shape: findings + per-pass stats must both be present.
+grep -q '"findings"' "$FIXJSON" && grep -q '"stats"' "$FIXJSON" || {
+    echo "ERROR: --json output missing findings/stats keys" >&2
+    cat "$FIXJSON" >&2
+    rm -f "$FIXJSON"
+    exit 1
+}
+rm -f "$FIXJSON"
 
 echo "==> trace-replay gate (record reference workload, replay it)"
 TRACE="$(mktemp)"

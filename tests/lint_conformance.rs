@@ -72,6 +72,8 @@ fn seeded_fixture_trips_every_pass_with_exact_codes() {
         (DiagCode::Sh004, fixtures::FIX_DOUBLE_FETCH.raw()),
         (DiagCode::Sh005, fixtures::FIX_DEEP_CHAIN.raw()),
         (DiagCode::Sh006, fixtures::FIX_UNKNOWN_FN.raw()),
+        (DiagCode::Df001, fixtures::FIX_XHELPER_DF.raw()),
+        (DiagCode::Ta001, fixtures::FIX_OVERFLOW_LEN.raw()),
     ] {
         assert!(
             fired(code, cmd),
@@ -82,6 +84,44 @@ fn seeded_fixture_trips_every_pass_with_exact_codes() {
                 .collect::<Vec<_>>()
                 .join("\n"),
         );
+    }
+}
+
+/// Differential gate on the real drivers: the flow-sensitive double-fetch
+/// rewrite must cover every finding the old syntactic walker produced, and
+/// must not invent error-class findings the syntactic pass never hinted at
+/// — shipped drivers that were double-fetch-clean stay clean.
+#[test]
+fn flow_double_fetch_differential_on_shipped_drivers() {
+    use paradice_analyzer::extract::specialize_command;
+    use paradice_analyzer::lint::double_fetch;
+    for (name, handler) in all_handlers() {
+        for cmd in handler.commands() {
+            let Ok(slice) = specialize_command(handler, cmd) else {
+                continue;
+            };
+            let mut syntactic = Vec::new();
+            double_fetch::check_syntactic(name, cmd, &slice, &mut syntactic);
+            let mut flow = Vec::new();
+            double_fetch::check(name, cmd, handler, &mut flow);
+            for old in &syntactic {
+                assert!(
+                    flow.iter().any(|new| new.command == old.command
+                        && (new.code == old.code
+                            || (old.code == DiagCode::Df002 && new.code == DiagCode::Df001))),
+                    "{name}: flow pass lost {} on cmd {cmd:#010x}",
+                    old.render(),
+                );
+            }
+            for new in flow.iter().filter(|d| d.severity == Severity::Error) {
+                assert!(
+                    syntactic.iter().any(|old| old.command == new.command),
+                    "{name}: flow pass invented an error on a syntactically-clean \
+                     command: {}",
+                    new.render(),
+                );
+            }
+        }
     }
 }
 
