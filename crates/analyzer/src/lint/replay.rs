@@ -161,6 +161,31 @@ pub fn check_trace(events: &[TraceEvent], diags: &mut Vec<Diagnostic>) -> Replay
                     )),
                 }
             }
+            // A cache hit reuses a previously declared grant set; the
+            // accompanying `Grants` event carries that set, so the RP001
+            // inclusion check is oblivious to caching. Only structural
+            // placement is checked here.
+            TraceEvent::GrantCache { span, hit } => {
+                match spans.get(&span.0) {
+                    Some(state) if !state.ended => {}
+                    Some(state) => diags.push(Diagnostic::new(
+                        DiagCode::Rp002,
+                        &state.device.clone(),
+                        state.cmd,
+                        format!(
+                            "grant-cache {} recorded after span {} ended",
+                            if *hit { "hit" } else { "fill" },
+                            span.0,
+                        ),
+                    )),
+                    None => diags.push(Diagnostic::new(
+                        DiagCode::Rp002,
+                        "trace",
+                        None,
+                        format!("grant-cache event for unknown span {}", span.0),
+                    )),
+                }
+            }
             TraceEvent::MemOp {
                 span,
                 kind,
@@ -491,6 +516,31 @@ mod tests {
             end(1),
         ]);
         assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn cached_grant_span_is_clean_and_orphan_cache_event_is_rp002() {
+        // A cache-hit span still records its (reused) declared set; RP001's
+        // inclusion check passes exactly as for a cold declare.
+        let (diags, summary) = run(&[
+            start(1, TraceOpKind::Ioctl, Some(1)),
+            TraceEvent::GrantCache {
+                span: SpanId(1),
+                hit: true,
+            },
+            grants(1, vec![TraceGrant::CopyToGuest { addr: 0x1000, len: 64 }]),
+            mem_op(1, TraceMemOpKind::CopyToGuest, 0x1000, 16, true),
+            end(1),
+        ]);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(summary.spans, 1);
+        // Structurally misplaced cache events are RP002.
+        let (diags, _) = run(&[TraceEvent::GrantCache {
+            span: SpanId(7),
+            hit: false,
+        }]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::Rp002);
     }
 
     #[test]

@@ -73,6 +73,35 @@ fn bench_analyzer(c: &mut Criterion) {
     });
 }
 
+fn bench_grant_table_validate(c: &mut Criterion) {
+    // The per-hypercall covering check, pinned at two declaration widths:
+    // the sorted-range index keeps wide declarations (a JIT-derived CS
+    // submission can declare dozens of windows) near the cost of narrow
+    // ones — the satellite fix for the old O(n) linear scan.
+    use paradice_hypervisor::{GrantTable, MemOpGrant, MemOpRequest};
+    use paradice_mem::GuestVirtAddr;
+    let mut group = c.benchmark_group("grants");
+    for ranges in [4usize, 64] {
+        let mut table = GrantTable::new();
+        let ops: Vec<MemOpGrant> = (0..ranges)
+            .map(|i| MemOpGrant::CopyFromGuest {
+                addr: GuestVirtAddr::new(0x10_0000 + (i as u64) * 0x1000),
+                len: 256,
+            })
+            .collect();
+        let grant = table.declare(ops).expect("declare");
+        // Worst case for the old linear scan: the last-declared range.
+        let request = MemOpRequest::CopyFromGuest {
+            addr: GuestVirtAddr::new(0x10_0000 + (ranges as u64 - 1) * 0x1000),
+            len: 256,
+        };
+        group.bench_function(&format!("validate_{ranges}_ranges"), |b| {
+            b.iter(|| black_box(table.validate(grant, black_box(&request)).is_ok()));
+        });
+    }
+    group.finish();
+}
+
 fn bench_netmap_batch(c: &mut Criterion) {
     let mut machine = build(Config::ParadicePolling, &[DeviceSpec::Netmap], 1);
     let task = spawn_app(&mut machine, Config::ParadicePolling);
@@ -95,6 +124,7 @@ criterion_group!(
     bench_cs_submission,
     bench_two_stage_walk,
     bench_analyzer,
+    bench_grant_table_validate,
     bench_netmap_batch,
 );
 criterion_main!(benches);

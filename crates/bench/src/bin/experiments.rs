@@ -3,28 +3,30 @@
 //! ```sh
 //! cargo run -p paradice-bench --bin experiments            # everything
 //! cargo run -p paradice-bench --bin experiments -- --fig2  # one experiment
+//! cargo run -p paradice-bench --bin experiments -- --fastpath
 //! cargo run -p paradice-bench --bin experiments -- --trace trace.jsonl
 //! ```
 //!
-//! Tables print to stdout and land as CSV under `results/`. `--trace`
-//! records the reference workload with paradice-trace enabled and dumps
-//! the span events as JSONL — feed the file to `paradice-lint --replay`
-//! for recorded-trace conformance checking.
+//! Tables print to stdout and land as CSV under `results/`. A full run
+//! also writes the machine-readable twins at the repo root:
+//! `BENCH_experiments.json` (every emitted table) and
+//! `BENCH_fastpath.json` (the fast-path ablation, also written by a bare
+//! `--fastpath` run — `scripts/check.sh` gates on its no-op round-trip
+//! metric). `--trace` records the reference workload with paradice-trace
+//! enabled and dumps the span events as JSONL — feed the file to
+//! `paradice-lint --replay` for recorded-trace conformance checking.
 
 use std::path::PathBuf;
 
-use paradice_bench::experiments;
-use paradice_bench::report::Table;
+use paradice_bench::report::{render_experiments_json, Table};
+use paradice_bench::{experiments, fastpath};
 
-fn results_dir() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
 }
 
-fn emit(table: Table) {
-    println!("{}", table.render());
-    if let Err(e) = table.write_csv(&results_dir()) {
-        eprintln!("warning: could not write results/{}.csv: {e}", table.id);
-    }
+fn results_dir() -> PathBuf {
+    repo_root().join("results")
 }
 
 fn main() {
@@ -45,6 +47,14 @@ fn main() {
     }
     let run_all = args.is_empty() || args.iter().any(|a| a == "--all");
     let want = |flag: &str| run_all || args.iter().any(|a| a == flag);
+    let mut emitted: Vec<Table> = Vec::new();
+    let mut emit = |table: Table| {
+        println!("{}", table.render());
+        if let Err(e) = table.write_csv(&results_dir()) {
+            eprintln!("warning: could not write results/{}.csv: {e}", table.id);
+        }
+        emitted.push(table);
+    };
 
     println!("Paradice evaluation harness — all times are deterministic virtual time\n");
     if want("--table1") {
@@ -91,6 +101,23 @@ fn main() {
     }
     if want("--ablation") {
         emit(experiments::ablation());
+    }
+    if want("--fastpath") {
+        let ablation = fastpath::run_ablation();
+        emit(experiments::fastpath_table(&ablation));
+        let json = fastpath::render_json(&ablation);
+        let path = repo_root().join("BENCH_fastpath.json");
+        match std::fs::write(&path, json) {
+            Ok(()) => println!("fast-path ablation written to {}", path.display()),
+            Err(e) => eprintln!("warning: could not write BENCH_fastpath.json: {e}"),
+        }
+    }
+    if run_all {
+        let path = repo_root().join("BENCH_experiments.json");
+        match std::fs::write(&path, render_experiments_json(&emitted)) {
+            Ok(()) => println!("experiment tables written to {}", path.display()),
+            Err(e) => eprintln!("warning: could not write BENCH_experiments.json: {e}"),
+        }
     }
     println!("CSV written to {}", results_dir().display());
 }

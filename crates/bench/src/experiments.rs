@@ -568,6 +568,53 @@ pub fn ablation() -> Table {
     table
 }
 
+/// The cross-layer fast-path ablation: each workload with the fast path
+/// off (per-op declare → interrupt → validate → revoke) and on (grant
+/// cache + pipelined ring + vectored hypercalls), with the crossing
+/// *counts* the overhead argument rests on. Machine-readable twin:
+/// `BENCH_fastpath.json` at the repo root.
+pub fn fastpath() -> Table {
+    fastpath_table(&crate::fastpath::run_ablation())
+}
+
+/// Renders an already-measured ablation (lets the binary share one run
+/// between the table and `BENCH_fastpath.json`).
+pub fn fastpath_table(comparisons: &[crate::fastpath::FastpathComparison]) -> Table {
+    let mut table = Table::new(
+        "fastpath",
+        "Fast-path ablation — virtual time and boundary crossings, off vs. on",
+        &[
+            "Workload",
+            "Fast path",
+            "µs/op",
+            "Hypercalls",
+            "Interrupts",
+            "Coalesced",
+            "Cache hits",
+            "Speedup",
+        ],
+    );
+    for comparison in comparisons {
+        for (name, side) in [("off", &comparison.off), ("on", &comparison.on)] {
+            table.row(vec![
+                comparison.workload.into(),
+                name.into(),
+                Cell::Num(side.us_per_op(), 2),
+                Cell::Num(side.hypercalls as f64, 0),
+                Cell::Num(side.interrupts as f64, 0),
+                Cell::Num(side.coalesced as f64, 0),
+                Cell::Num(side.grant_cache_hits as f64, 0),
+                if name == "on" {
+                    format!("{:.2}x", comparison.speedup()).into()
+                } else {
+                    Cell::Empty
+                },
+            ]);
+        }
+    }
+    table
+}
+
 /// Engine-level fairness probe: time until a light guest's 1 ms job
 /// completes behind a heavy guest's 10×10 ms queue.
 fn sched_latency_ns(fair: bool) -> u64 {
@@ -645,5 +692,6 @@ pub fn all() -> Vec<Table> {
         analyzer(),
         isolation(),
         ablation(),
+        fastpath(),
     ]
 }

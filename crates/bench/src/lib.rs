@@ -12,6 +12,9 @@
 //! * [`report`] — table/series rendering (aligned text + CSV under
 //!   `results/`).
 //! * [`experiments`] — one entry point per table and figure.
+//! * [`fastpath`] — the cross-layer fast-path ablation (`--fastpath`):
+//!   grant-declaration caching, vectored hypercalls, and the pipelined
+//!   ring, measured off vs. on and dumped to `BENCH_fastpath.json`.
 //! * [`tracing`] — the paradice-trace reference recorder behind
 //!   `experiments --trace <path>` and the `--replay` conformance gate.
 //!
@@ -20,6 +23,7 @@
 pub mod calib;
 pub mod configs;
 pub mod experiments;
+pub mod fastpath;
 pub mod faults;
 pub mod report;
 pub mod tracing;

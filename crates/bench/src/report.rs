@@ -109,6 +109,41 @@ impl Table {
         out
     }
 
+    /// Renders the table as one JSON object (`{"id", "title", "header",
+    /// "rows"}`): numeric cells become JSON numbers at their display
+    /// precision, text cells strings, empty cells `null`.
+    pub fn to_json(&self) -> String {
+        let header: Vec<String> = self
+            .header
+            .iter()
+            .map(|h| format!("\"{}\"", json_escape(h)))
+            .collect();
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|row| {
+                let cells: Vec<String> = row
+                    .iter()
+                    .map(|cell| match cell {
+                        Cell::Text(s) => format!("\"{}\"", json_escape(s)),
+                        Cell::Num(v, precision) if v.is_finite() => {
+                            format!("{v:.precision$}")
+                        }
+                        Cell::Num(..) | Cell::Empty => "null".to_owned(),
+                    })
+                    .collect();
+                format!("[{}]", cells.join(","))
+            })
+            .collect();
+        format!(
+            "{{\"id\":\"{}\",\"title\":\"{}\",\"header\":[{}],\"rows\":[{}]}}",
+            json_escape(&self.id),
+            json_escape(&self.title),
+            header.join(","),
+            rows.join(",")
+        )
+    }
+
     /// Writes `results/<id>.csv`.
     ///
     /// # Errors
@@ -124,6 +159,34 @@ impl Table {
         }
         Ok(())
     }
+}
+
+/// Renders a set of tables as the `BENCH_experiments.json` document: the
+/// per-figure virtual-time numbers, machine-readable, so performance can
+/// be diffed mechanically across revisions.
+pub fn render_experiments_json(tables: &[Table]) -> String {
+    let body: Vec<String> = tables
+        .iter()
+        .map(|t| format!("    {}", t.to_json()))
+        .collect();
+    format!(
+        "{{\n  \"schema\": \"paradice-experiments/v1\",\n  \"tables\": [\n{}\n  ]\n}}\n",
+        body.join(",\n")
+    )
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -142,6 +205,20 @@ mod tests {
         // Numbers are right-aligned within the column.
         let lines: Vec<&str> = text.lines().collect();
         assert!(lines[3].contains(" 1.50"));
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_types_cells() {
+        let mut table = Table::new("fig9", "Quote \"me\"", &["name", "value"]);
+        table.row(vec!["x".into(), Cell::Num(1.25, 2)]);
+        table.row(vec![Cell::Empty, Cell::Num(f64::NAN, 2)]);
+        let json = table.to_json();
+        assert!(json.contains("\"id\":\"fig9\""));
+        assert!(json.contains("Quote \\\"me\\\""));
+        assert!(json.contains("[\"x\",1.25]"));
+        assert!(json.contains("[null,null]"), "empty/NaN cells become null: {json}");
+        let doc = render_experiments_json(&[table]);
+        assert!(doc.contains("\"schema\": \"paradice-experiments/v1\""));
     }
 
     #[test]

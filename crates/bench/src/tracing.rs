@@ -62,6 +62,61 @@ pub fn record_workload_trace() -> String {
     tracer.to_jsonl()
 }
 
+/// Runs a fast-path session under tracing and returns the JSONL dump.
+///
+/// Same machine shape as [`record_workload_trace`] but with
+/// [`Machine::enable_fastpath`] on, driving enough identical-shape
+/// `RADEON_INFO` ioctls (synchronous *and* pipelined) that the
+/// grant-declaration cache serves hits. The replay lint must stay
+/// oblivious: cached runs still satisfy used ⊆ declared ⊆ envelope,
+/// which `tests/fastpath.rs` pins end to end.
+///
+/// # Panics
+///
+/// Panics if the fast-path workload itself fails.
+pub fn record_fastpath_workload_trace() -> String {
+    let mut machine = build(Config::Paradice, &[DeviceSpec::gpu(), DeviceSpec::Mouse], 1);
+    let tracer = machine.enable_tracing();
+    machine.enable_fastpath();
+    let task = spawn_app(&mut machine, Config::Paradice);
+
+    // Mouse: poll/read are not cacheable or pipelineable — the fast path
+    // must leave this path's trace shape alone.
+    let mouse = machine.open(task, "/dev/input/event0").expect("open mouse");
+    let buf = machine.alloc_buffer(task, 256).expect("event buffer");
+    machine.clock().advance(2_000_000);
+    machine.mouse_move(1, 0);
+    machine.wait_event(task);
+    machine.poll(task, mouse).expect("poll mouse");
+    machine.read(task, mouse, buf, 64).expect("read event");
+
+    // GPU: identical-shape state queries — cold declare, then cache hits,
+    // first synchronously, then as one pipelined ring batch.
+    let drm = machine.open(task, "/dev/dri/card0").expect("open drm");
+    let scratch = machine.alloc_buffer(task, 256).expect("scratch");
+    let mut req = [0u8; 16];
+    req[0..4].copy_from_slice(&info::DEVICE_ID.to_le_bytes());
+    machine.write_mem(task, scratch, &req).expect("stage request");
+    for _ in 0..4 {
+        machine
+            .ioctl(task, drm, paradice::gpu_ioctl::RADEON_INFO, scratch.raw())
+            .expect("info");
+    }
+    for _ in 0..4 {
+        machine
+            .ioctl_pipelined(task, drm, paradice::gpu_ioctl::RADEON_INFO, scratch.raw())
+            .expect("pipelined info");
+    }
+    for result in machine.flush_pipeline(task).expect("flush") {
+        result.expect("pipelined info result");
+    }
+
+    machine.close(task, mouse).expect("close mouse");
+    machine.close(task, drm).expect("close drm");
+
+    tracer.to_jsonl()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -37,7 +37,7 @@ use paradice_faults::FaultPlan;
 use paradice_hypervisor::hv::{DataIsolation, HvError, Hypervisor};
 use paradice_hypervisor::vm::VmRole;
 use paradice_hypervisor::{
-    CostModel, SharedHypervisor, SimClock, TransportMode, VmId,
+    ChannelStats, CostModel, SharedHypervisor, SimClock, TransportMode, VmId,
 };
 use paradice_mem::pagetable::GuestPageTables;
 use paradice_mem::{Access, GuestPhysAddr, GuestVirtAddr, PAGE_SIZE};
@@ -1571,6 +1571,72 @@ impl Machine {
             frontend.borrow_mut().set_tracer(tracer.clone());
         }
         tracer
+    }
+
+    /// Enables the cross-layer fast path: the grant-declaration cache and
+    /// pipelined ring on every frontend, plus vectored-hypercall dispatch
+    /// in the backend. Semantics are unchanged — cached grant references
+    /// are still validated per use, batches are all-or-nothing on a grant
+    /// violation, and the watchdog/containment behaviour is identical.
+    pub fn enable_fastpath(&mut self) {
+        for frontend in &self.frontends {
+            frontend.borrow_mut().set_fastpath(true);
+        }
+        if let Some(backend) = &self.backend {
+            backend.borrow_mut().set_fastpath_batch(true);
+        }
+    }
+
+    /// Total hypercalls the hypervisor has served (fast-path accounting).
+    pub fn hypercall_count(&self) -> u64 {
+        self.hv.borrow().hypercall_count()
+    }
+
+    /// Channel statistics of guest `index` (delivery/interrupt accounting).
+    pub fn channel_stats(&self, guest_index: usize) -> Option<ChannelStats> {
+        self.frontends
+            .get(guest_index)
+            .map(|f| f.borrow().channel_stats())
+    }
+
+    /// Posts an `ioctl` to the ring without waiting for its response
+    /// (fast path). Results are collected by [`Machine::flush_pipeline`].
+    ///
+    /// # Errors
+    ///
+    /// Submission errors; per-op driver errors surface at flush. Host fds
+    /// (native/assignment modes) have no forwarding channel to pipeline.
+    pub fn ioctl_pipelined(
+        &mut self,
+        task: TaskId,
+        fd: u64,
+        cmd: IoctlCmd,
+        arg: u64,
+    ) -> Result<(), Errno> {
+        self.charge_syscall();
+        let (inner, _path) = self.fd_of(task, fd)?;
+        match inner {
+            FdInner::Host(_) => Err(Errno::Einval),
+            FdInner::Guest(gfd) => {
+                let p = self.process(task)?;
+                let (i, pt) = (p.guest_index.ok_or(Errno::Ebadf)?, p.pt);
+                self.frontends[i]
+                    .borrow_mut()
+                    .ioctl_pipelined(task, pt, gfd, cmd, arg)
+            }
+        }
+    }
+
+    /// Completes `task`'s pipelined submissions, returning per-op results
+    /// in submission order.
+    ///
+    /// # Errors
+    ///
+    /// Transport-level failure (containment has run).
+    pub fn flush_pipeline(&mut self, task: TaskId) -> Result<Vec<Result<i64, Errno>>, Errno> {
+        let p = self.process(task)?;
+        let i = p.guest_index.ok_or(Errno::Ebadf)?;
+        self.frontends[i].borrow_mut().flush_pipeline()
     }
 
     /// Drains a paused backend queue (test/diagnostic pass-through).

@@ -30,7 +30,7 @@ use paradice_hypervisor::{ChannelError, GrantRef, SharedHypervisor, VmId};
 use paradice_mem::GuestVirtAddr;
 use paradice_trace::SpanId;
 
-use crate::memops::HypercallMemOps;
+use crate::memops::{BatchedMemOps, HypercallMemOps, MemEngine};
 use crate::proto::{CvdChannel, WireOp, WireRequest, WireResponse, WireSignal};
 use crate::sharing::{SharingPolicy, VirtualTerminals};
 
@@ -95,6 +95,9 @@ pub struct Backend {
     /// frontend watchdog measures *delivery* lag against this, so blocking
     /// operations may legitimately run long without tripping it.
     last_post_ns: u64,
+    /// Fast path: dispatch with [`BatchedMemOps`], coalescing each file
+    /// operation's memory operations into one vectored hypercall.
+    fastpath_batch: bool,
 }
 
 impl std::fmt::Debug for Backend {
@@ -125,7 +128,20 @@ impl Backend {
             plan: None,
             pending_wire_fault: None,
             last_post_ns: 0,
+            fastpath_batch: false,
         }))
+    }
+
+    /// Enables or disables vectored-hypercall dispatch (fast path): the
+    /// driver's memory operations are deferred into one `hv_memops_batch`,
+    /// validated atomically — all-or-nothing on a grant violation.
+    pub fn set_fastpath_batch(&mut self, on: bool) {
+        self.fastpath_batch = on;
+    }
+
+    /// Whether vectored-hypercall dispatch is active.
+    pub fn fastpath_batch(&self) -> bool {
+        self.fastpath_batch
     }
 
     /// The driver VM hosting this backend.
@@ -523,14 +539,25 @@ impl Backend {
                 // hypercall. A missing grant fails closed (no declaration
                 // can ever match).
                 let grant = request.grant.unwrap_or(GrantRef(u32::MAX));
-                let mut mem = HypercallMemOps::new(
-                    self.hv.clone(),
-                    self.driver_vm,
-                    guest,
-                    request.pt_root,
-                    grant,
-                    Some(slot.env.domain()),
-                );
+                let mut mem = if self.fastpath_batch {
+                    MemEngine::Batched(BatchedMemOps::new(
+                        self.hv.clone(),
+                        self.driver_vm,
+                        guest,
+                        request.pt_root,
+                        grant,
+                        Some(slot.env.domain()),
+                    ))
+                } else {
+                    MemEngine::Plain(HypercallMemOps::new(
+                        self.hv.clone(),
+                        self.driver_vm,
+                        guest,
+                        request.pt_root,
+                        grant,
+                        Some(slot.env.domain()),
+                    ))
+                };
                 // Thread marking (§5.2).
                 slot.env.set_current_guest(Some(guest));
                 let result = match op {
@@ -595,7 +622,17 @@ impl Backend {
                     WireOp::Open { .. } => unreachable!("handled above"),
                 };
                 slot.env.set_current_guest(None);
-                result
+                // Fast path: trailing deferred memory operations land as one
+                // vectored hypercall before the response is posted. A flush
+                // failure (grant violation in the batch) fails the whole op
+                // — nothing was applied. The driver's own errno wins when
+                // both fail.
+                let flushed = mem.flush();
+                match (result, flushed) {
+                    (Ok(response), Ok(())) => Ok(response),
+                    (Ok(_), Err(errno)) => Err(errno),
+                    (Err(errno), _) => Err(errno),
+                }
             }
         }
     }

@@ -21,7 +21,7 @@
 //! to the frontend.
 
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 
 use paradice_analyzer::extract::{AddrTemplate, Extraction, HandlerReport};
@@ -303,6 +303,70 @@ pub struct FrontendStats {
     pub grants_declared: u64,
     /// Ioctls whose grants came from JIT evaluation.
     pub jit_evaluations: u64,
+    /// Declare hypercalls skipped because the grant-declaration cache held
+    /// a live reference for the identical op shape (fast path).
+    pub grant_cache_hits: u64,
+}
+
+/// Capacity of the grant-declaration cache, comfortably under the
+/// hypervisor's per-guest grant-table capacity so transient per-op
+/// declarations always have room.
+const GRANT_CACHE_CAP: usize = 64;
+
+/// Ring depth the fast path asks of the channel (clamped by the channel to
+/// what the shared page supports).
+const FASTPATH_RING_DEPTH: usize = 8;
+
+/// Key of one memoized grant declaration: the op shape whose repeated
+/// occurrences may reuse a single declared [`GrantRef`]. Only `read`,
+/// `write`, and `ioctl` shapes are cached — the ops the ioctl-heavy
+/// workloads repeat — and the *full* canonical grant tuple participates, so
+/// any shape change (different buffer, length, or derived grant set) misses
+/// and declares cold.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct GrantCacheKey {
+    handle: u64,
+    op: u8,
+    cmd: u32,
+    grants: Vec<(u8, u64, u64, u8)>,
+}
+
+impl GrantCacheKey {
+    fn for_op(handle: u64, op: &WireOp, grants: &[MemOpGrant]) -> Option<GrantCacheKey> {
+        let (tag, cmd) = match op {
+            WireOp::Read { .. } => (0u8, 0u32),
+            WireOp::Write { .. } => (1, 0),
+            WireOp::Ioctl { cmd, .. } => (2, cmd.raw()),
+            _ => return None,
+        };
+        Some(GrantCacheKey {
+            handle,
+            op: tag,
+            cmd,
+            grants: grants.iter().map(Self::canon).collect(),
+        })
+    }
+
+    fn canon(grant: &MemOpGrant) -> (u8, u64, u64, u8) {
+        match *grant {
+            MemOpGrant::CopyFromGuest { addr, len } => (0, addr.raw(), len, 0),
+            MemOpGrant::CopyToGuest { addr, len } => (1, addr.raw(), len, 0),
+            MemOpGrant::MapPages { va, pages, access } => (2, va.raw(), pages, access.bits()),
+            MemOpGrant::UnmapPages { va, pages } => (3, va.raw(), pages, 0),
+        }
+    }
+}
+
+/// An operation posted to the ring whose response has not been taken yet.
+#[derive(Debug)]
+struct PendingOp {
+    span: SpanId,
+    start_ns: u64,
+    stats_before: ChannelStats,
+    grant: Option<GrantRef>,
+    /// `true` when the grant reference lives in the cache and must survive
+    /// this op's completion; `false` means per-op declare → revoke.
+    cache_owned: bool,
 }
 
 /// The CVD frontend for one guest VM.
@@ -328,6 +392,16 @@ pub struct Frontend {
     /// Circuit breaker: once the watchdog declares the driver VM dead, all
     /// further operations fail fast without forwarding (§7.1).
     breaker_open: bool,
+    /// Fast path enabled: grant-declaration cache + pipelined ring.
+    fastpath: bool,
+    /// Memoized grant declarations (fast path): op shape → live reference.
+    grant_cache: BTreeMap<GrantCacheKey, GrantRef>,
+    /// FIFO insertion order for cache eviction.
+    cache_order: VecDeque<GrantCacheKey>,
+    /// Requests posted to the ring, awaiting their FIFO-ordered responses.
+    pipeline: Vec<PendingOp>,
+    /// Results of completed pipelined ops, handed out by `flush_pipeline`.
+    completed: Vec<Result<i64, Errno>>,
 }
 
 impl std::fmt::Debug for Frontend {
@@ -366,7 +440,65 @@ impl Frontend {
             tracer: Tracer::disabled(),
             deadline_ns: DEFAULT_OP_DEADLINE_NS,
             breaker_open: false,
+            fastpath: false,
+            grant_cache: BTreeMap::new(),
+            cache_order: VecDeque::new(),
+            pipeline: Vec::new(),
+            completed: Vec::new(),
         }
+    }
+
+    /// Enables or disables the fast path: the grant-declaration cache plus
+    /// a multi-entry ring on the channel (one doorbell per batch). Turning
+    /// it off revokes every cached declaration and restores the paper's
+    /// single bounded slot.
+    pub fn set_fastpath(&mut self, on: bool) {
+        if self.fastpath && !on {
+            self.purge_grant_cache(true);
+        }
+        self.fastpath = on;
+        self.channel
+            .borrow_mut()
+            .set_ring_depth(if on { FASTPATH_RING_DEPTH } else { 1 });
+    }
+
+    /// Whether the fast path is enabled.
+    pub fn fastpath(&self) -> bool {
+        self.fastpath
+    }
+
+    /// Live grant-cache entries (tests and overhead accounting).
+    pub fn grant_cache_len(&self) -> usize {
+        self.grant_cache.len()
+    }
+
+    /// Snapshot of this guest's channel statistics (bench reporting).
+    pub fn channel_stats(&self) -> ChannelStats {
+        self.channel.borrow().stats()
+    }
+
+    /// Drops every cached declaration. `revoke` issues the revoke
+    /// hypercalls; failure/recovery paths pass `false` because
+    /// `mark_driver_vm_failed` already revoked everything server-side and
+    /// the cached references are stale.
+    fn purge_grant_cache(&mut self, revoke: bool) {
+        let refs: Vec<GrantRef> = self.grant_cache.values().copied().collect();
+        self.grant_cache.clear();
+        self.cache_order.clear();
+        if revoke {
+            let mut hv = self.hv.borrow_mut();
+            for grant in refs {
+                let _ = hv.revoke_grant(self.guest, grant);
+            }
+        }
+    }
+
+    /// Trips the circuit breaker after driver-VM containment: cached grant
+    /// references died with the VM's grant table, so the cache empties
+    /// without revoke hypercalls.
+    fn trip_breaker(&mut self) {
+        self.breaker_open = true;
+        self.purge_grant_cache(false);
     }
 
     /// Overrides the per-operation watchdog deadline (virtual time).
@@ -389,6 +521,11 @@ impl Frontend {
         self.vmas.clear();
         self.pending_mmap_range = None;
         self.breaker_open = false;
+        // Cached references died with the old driver VM's grant table; no
+        // stale ref may survive recovery, and no revoke hypercalls are owed.
+        self.purge_grant_cache(false);
+        self.pipeline.clear();
+        self.completed.clear();
         self.channel.borrow_mut().reset();
     }
 
@@ -503,7 +640,7 @@ impl Frontend {
                     .advance(self.deadline_ns.saturating_sub(waited));
                 let driver_vm = self.backend.borrow().driver_vm();
                 let _ = self.hv.borrow_mut().mark_driver_vm_failed(driver_vm);
-                self.breaker_open = true;
+                self.trip_breaker();
                 Err(Errno::Etimedout)
             }
             Err(ChannelError::Malformed) => {
@@ -511,7 +648,7 @@ impl Frontend {
                 // Contain it before its next move.
                 let driver_vm = self.backend.borrow().driver_vm();
                 let _ = self.hv.borrow_mut().mark_driver_vm_failed(driver_vm);
-                self.breaker_open = true;
+                self.trip_breaker();
                 Err(Errno::Eio)
             }
             Err(_) => Err(Errno::Eio),
@@ -546,6 +683,11 @@ impl Frontend {
         op: WireOp,
         trace: OpTrace,
     ) -> Result<WireResponse, Errno> {
+        // Responses are FIFO-matched on the ring: any pipelined submissions
+        // must complete before a synchronous op shares the channel.
+        if !self.pipeline.is_empty() {
+            self.drain_pipeline()?;
+        }
         if self.breaker_open
             || self
                 .hv
@@ -555,7 +697,7 @@ impl Frontend {
             // Circuit breaker (§7.1): the driver VM is down. Fail fast —
             // no grant, no forwarding, no deadline wait — until the
             // machine recovers the driver VM and resets this frontend.
-            self.breaker_open = true;
+            self.trip_breaker();
             return Err(Errno::Eio);
         }
         let enabled = self.tracer.is_enabled();
@@ -579,7 +721,7 @@ impl Frontend {
         } else {
             (0, ChannelStats::default())
         };
-        let grant = match grants {
+        let (grant, cache_owned) = match grants {
             Some(ops) => {
                 if enabled {
                     self.tracer.record(TraceEvent::Grants {
@@ -587,15 +729,15 @@ impl Frontend {
                         grants: ops.iter().map(trace_grant).collect(),
                     });
                 }
-                match self.declare(ops) {
-                    Ok(grant) => Some(grant),
+                match self.resolve_grant(handle, &op, ops, span, enabled) {
+                    Ok(resolved) => resolved,
                     Err(errno) => {
                         self.trace_op_end(span, start_ns, stats_before, Err(errno));
                         return Err(errno);
                     }
                 }
             }
-            None => None,
+            None => (None, false),
         };
         let result = self.forward(WireRequest {
             task: task.0,
@@ -606,10 +748,52 @@ impl Frontend {
             op,
         });
         self.trace_op_end(span, start_ns, stats_before, result);
-        if let Some(grant) = grant {
+        if let (Some(grant), false) = (grant, cache_owned) {
             self.revoke(grant);
         }
         result
+    }
+
+    /// Resolves the grant reference for one op: on the fast path, cacheable
+    /// shapes (`read`/`write`/`ioctl`) reuse a memoized declaration when the
+    /// full canonical grant set matches — skipping the declare hypercall —
+    /// and a cold declare populates the cache (skipping the revoke). Every
+    /// cached reference is still strictly validated by the hypervisor on
+    /// each use. Returns `(grant, cache_owned)`.
+    fn resolve_grant(
+        &mut self,
+        handle: u64,
+        op: &WireOp,
+        ops: Vec<MemOpGrant>,
+        span: SpanId,
+        enabled: bool,
+    ) -> Result<(Option<GrantRef>, bool), Errno> {
+        if self.fastpath {
+            if let Some(key) = GrantCacheKey::for_op(handle, op, &ops) {
+                if let Some(&grant) = self.grant_cache.get(&key) {
+                    self.stats.grant_cache_hits += 1;
+                    if enabled {
+                        self.tracer.record(TraceEvent::GrantCache { span, hit: true });
+                    }
+                    return Ok((Some(grant), true));
+                }
+                let grant = self.declare(ops)?;
+                if self.grant_cache.len() >= GRANT_CACHE_CAP {
+                    if let Some(oldest) = self.cache_order.pop_front() {
+                        if let Some(evicted) = self.grant_cache.remove(&oldest) {
+                            self.revoke(evicted);
+                        }
+                    }
+                }
+                self.grant_cache.insert(key.clone(), grant);
+                self.cache_order.push_back(key);
+                if enabled {
+                    self.tracer.record(TraceEvent::GrantCache { span, hit: false });
+                }
+                return Ok((Some(grant), true));
+            }
+        }
+        self.declare(ops).map(|grant| (Some(grant), false))
     }
 
     /// Closes a span: final result, duration, and the channel-stats delta
@@ -712,6 +896,21 @@ impl Frontend {
         .result()?;
         self.open.remove(&fd);
         self.backend_to_local.remove(&file.backend_handle);
+        // The handle is gone: any cached declarations for its op shapes are
+        // dead weight — revoke and forget them.
+        let stale: Vec<GrantCacheKey> = self
+            .grant_cache
+            .keys()
+            .filter(|key| key.handle == file.backend_handle)
+            .cloned()
+            .collect();
+        for key in stale {
+            if let Some(grant) = self.grant_cache.remove(&key) {
+                self.revoke(grant);
+            }
+        }
+        self.cache_order
+            .retain(|key| key.handle != file.backend_handle);
         Ok(())
     }
 
@@ -820,6 +1019,263 @@ impl Frontend {
             trace,
         )
         .and_then(WireResponse::result)
+    }
+
+    /// Posts an `ioctl` to the ring **without waiting for its response**
+    /// (fast path): grants are derived and declared (or served from the
+    /// cache) exactly as [`Frontend::ioctl`], but the request only rides the
+    /// doorbell of the batch it lands in. Collect results — FIFO-ordered —
+    /// with [`Frontend::flush_pipeline`]. When the ring (or the shared
+    /// page's byte budget) is full, the accumulated batch is flushed first.
+    ///
+    /// # Errors
+    ///
+    /// Submission errors only; per-op driver errors surface at flush.
+    pub fn ioctl_pipelined(
+        &mut self,
+        task: TaskId,
+        pt: GuestPageTables,
+        fd: u64,
+        cmd: IoctlCmd,
+        arg: u64,
+    ) -> Result<(), Errno> {
+        let file = self.file(fd)?;
+        let handle = file.backend_handle;
+        let trace = OpTrace::new(self.trace_device(&file.path), TraceOpKind::Ioctl)
+            .cmd(cmd.raw())
+            .range(arg, u64::from(cmd.size()));
+        let knowledge = self
+            .knowledge
+            .get(&file.path)
+            .cloned()
+            .unwrap_or_else(|| Rc::new(IoctlKnowledge::ioc_only()));
+        let is_jit = knowledge
+            .report
+            .as_ref()
+            .and_then(|r| r.commands.get(&cmd.raw()))
+            .is_some_and(|e| !e.is_static());
+        if is_jit {
+            self.stats.jit_evaluations += 1;
+        }
+        let mut reader = ProcessReader {
+            hv: self.hv.clone(),
+            guest: self.guest,
+            pt_root: pt.root(),
+        };
+        let ops = knowledge.grants_for(cmd, arg, &mut reader)?;
+        self.submit_op(
+            task,
+            pt.root(),
+            handle,
+            Some(ops),
+            WireOp::Ioctl { cmd, arg },
+            trace,
+        )
+    }
+
+    /// Pending pipelined submissions not yet completed.
+    pub fn pipeline_depth(&self) -> usize {
+        self.pipeline.len()
+    }
+
+    /// Completes every pipelined submission: the backend drains the request
+    /// ring (one interrupt for the whole batch), then responses are matched
+    /// FIFO to their submissions, each with its own watchdog delivery-lag
+    /// check. Returns the per-op results in submission order, including any
+    /// completed by an intermediate auto-flush.
+    ///
+    /// # Errors
+    ///
+    /// Transport-level failure (hung/corrupted driver VM): containment has
+    /// run and the remaining entries are failed wholesale.
+    pub fn flush_pipeline(&mut self) -> Result<Vec<Result<i64, Errno>>, Errno> {
+        self.drain_pipeline()?;
+        Ok(std::mem::take(&mut self.completed))
+    }
+
+    /// Queues one op on the ring without taking its response.
+    fn submit_op(
+        &mut self,
+        task: TaskId,
+        pt_root: paradice_mem::GuestPhysAddr,
+        handle: u64,
+        grants: Option<Vec<MemOpGrant>>,
+        op: WireOp,
+        trace: OpTrace,
+    ) -> Result<(), Errno> {
+        debug_assert!(op.is_pipelineable(), "op {} cannot be pipelined", op.name());
+        if self.breaker_open
+            || self
+                .hv
+                .borrow()
+                .driver_vm_failed(self.backend.borrow().driver_vm())
+        {
+            self.trip_breaker();
+            return Err(Errno::Eio);
+        }
+        self.stats.ops_forwarded += 1;
+        let enabled = self.tracer.is_enabled();
+        let span = self.tracer.begin_span();
+        let (start_ns, stats_before) = if enabled {
+            let start_ns = self.hv.borrow().clock().now_ns();
+            let stats = self.channel.borrow().stats();
+            self.tracer.record(TraceEvent::OpStart {
+                span,
+                t_ns: start_ns,
+                guest: u64::from(self.guest.0),
+                task: task.0,
+                handle,
+                device: trace.device,
+                op: trace.kind,
+                cmd: trace.cmd,
+                addr: trace.addr,
+                len: trace.len,
+            });
+            (start_ns, stats)
+        } else {
+            (0, ChannelStats::default())
+        };
+        let (grant, cache_owned) = match grants {
+            Some(ops) => {
+                if enabled {
+                    self.tracer.record(TraceEvent::Grants {
+                        span,
+                        grants: ops.iter().map(trace_grant).collect(),
+                    });
+                }
+                match self.resolve_grant(handle, &op, ops, span, enabled) {
+                    Ok(resolved) => resolved,
+                    Err(errno) => {
+                        self.trace_op_end(span, start_ns, stats_before, Err(errno));
+                        return Err(errno);
+                    }
+                }
+            }
+            None => (None, false),
+        };
+        let request = WireRequest {
+            task: task.0,
+            pt_root,
+            handle,
+            span: span.0,
+            grant,
+            op,
+        };
+        let sent = self.channel.borrow_mut().send_request(request.clone());
+        if let Err(ChannelError::SlotBusy) = sent {
+            // Ring (or page budget) full: complete the accumulated batch,
+            // then retry on the drained ring.
+            self.drain_pipeline()?;
+            self.channel
+                .borrow_mut()
+                .send_request(request)
+                .map_err(|_| Errno::Eagain)?;
+        } else if sent.is_err() {
+            if let (Some(grant), false) = (grant, cache_owned) {
+                self.revoke(grant);
+            }
+            self.trace_op_end(span, start_ns, stats_before, Err(Errno::Eagain));
+            return Err(Errno::Eagain);
+        }
+        self.pipeline.push(PendingOp {
+            span,
+            start_ns,
+            stats_before,
+            grant,
+            cache_owned,
+        });
+        Ok(())
+    }
+
+    /// Drains the ring through the backend and completes every pending op.
+    fn drain_pipeline(&mut self) -> Result<(), Errno> {
+        if self.pipeline.is_empty() {
+            return Ok(());
+        }
+        // The backend drains the whole request backlog under one doorbell:
+        // each dispatch posts its response onto the response ring, where
+        // only the first delivery charges a full interrupt/poll.
+        while self.channel.borrow().request_backlog() > 0 {
+            self.backend
+                .borrow_mut()
+                .handle_request(self.guest)
+                .map_err(|_| Errno::Eio)?;
+        }
+        let pending = std::mem::take(&mut self.pipeline);
+        let mut contained = false;
+        for entry in pending {
+            if contained {
+                // Transport anomaly earlier in the batch: containment has
+                // run; the remaining responses are unattributable.
+                self.trace_op_end(entry.span, entry.start_ns, entry.stats_before, Err(Errno::Eio));
+                self.completed.push(Err(Errno::Eio));
+                continue;
+            }
+            let taken = self.channel.borrow_mut().take_response();
+            let result = match taken {
+                Ok(response) => {
+                    // Per-entry watchdog: delivery lag against the batch's
+                    // last post, same semantics as the synchronous path.
+                    let lag = self
+                        .hv
+                        .borrow()
+                        .clock()
+                        .now_ns()
+                        .saturating_sub(self.backend.borrow().last_post_ns());
+                    if lag > self.deadline_ns {
+                        Err(Errno::Etimedout)
+                    } else {
+                        response.result()
+                    }
+                }
+                Err(ChannelError::Empty) if self.backend.borrow().is_paused() => {
+                    // A paused backend queues on purpose (test/diagnostic
+                    // state); mirror the synchronous path and do not trip
+                    // the watchdog.
+                    Err(Errno::Eio)
+                }
+                Err(ChannelError::Empty) => {
+                    // Fewer responses than submissions: a hung or dead
+                    // driver swallowed part of the batch. Contain it.
+                    let start_ns = entry.start_ns;
+                    let waited = self
+                        .hv
+                        .borrow()
+                        .clock()
+                        .now_ns()
+                        .saturating_sub(start_ns);
+                    self.hv
+                        .borrow()
+                        .clock()
+                        .advance(self.deadline_ns.saturating_sub(waited));
+                    let driver_vm = self.backend.borrow().driver_vm();
+                    let _ = self.hv.borrow_mut().mark_driver_vm_failed(driver_vm);
+                    self.trip_breaker();
+                    contained = true;
+                    Err(Errno::Etimedout)
+                }
+                Err(_) => {
+                    // Garbage in the response ring: corrupted driver VM.
+                    let driver_vm = self.backend.borrow().driver_vm();
+                    let _ = self.hv.borrow_mut().mark_driver_vm_failed(driver_vm);
+                    self.trip_breaker();
+                    contained = true;
+                    Err(Errno::Eio)
+                }
+            };
+            let traced = match result {
+                Ok(value) => Ok(WireResponse::Value(value)),
+                Err(errno) => Err(errno),
+            };
+            self.trace_op_end(entry.span, entry.start_ns, entry.stats_before, traced);
+            if let (Some(grant), false) = (entry.grant, entry.cache_owned) {
+                if !contained {
+                    self.revoke(grant);
+                }
+            }
+            self.completed.push(result);
+        }
+        Ok(())
     }
 
     /// Forwards `mmap`: pre-creates the intermediate page-table levels for

@@ -13,7 +13,7 @@
 
 use paradice_devfs::{Errno, MemOps};
 use paradice_drivers::env::hv_to_errno;
-use paradice_hypervisor::{GrantRef, SharedHypervisor, VmId};
+use paradice_hypervisor::{BatchMemOp, BatchMemOpResult, GrantRef, SharedHypervisor, VmId};
 use paradice_mem::iommu::DomainId;
 use paradice_mem::{Access, GuestPhysAddr, GuestVirtAddr};
 
@@ -98,6 +98,195 @@ impl MemOps for HypercallMemOps {
     }
 }
 
+/// Fast-path [`MemOps`]: defers driver memory operations and flushes them
+/// as **one** vectored `hv_memops_batch` hypercall.
+///
+/// Guest-visible writes (`copy_to_user`, `insert_pfn`, `zap_pfn`) are queued
+/// rather than issued immediately. A `copy_from_user` appends the read to the
+/// queue and flushes the whole batch — the hypervisor applies the batch in
+/// order, so the read observes any queued writes (no read-after-write
+/// hazard). The dispatcher must call [`BatchedMemOps::flush`] when the file
+/// operation returns so trailing writes land before the response is posted.
+///
+/// Semantics differ from [`HypercallMemOps`] in exactly one observable way:
+/// the batch is validated atomically, so if *any* queued op violates the
+/// grant envelope, **none** of them apply (all-or-nothing, ISSUE 5 tentpole
+/// 2). A partially-applied wild batch can never leak into the guest.
+pub struct BatchedMemOps {
+    hv: SharedHypervisor,
+    driver_vm: VmId,
+    guest: VmId,
+    pt_root: GuestPhysAddr,
+    grant: GrantRef,
+    domain: Option<DomainId>,
+    pending: Vec<BatchMemOp>,
+}
+
+impl std::fmt::Debug for BatchedMemOps {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchedMemOps")
+            .field("driver_vm", &self.driver_vm)
+            .field("guest", &self.guest)
+            .field("grant", &self.grant)
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+impl BatchedMemOps {
+    /// Binds one file operation's memory-operation context, batched.
+    pub fn new(
+        hv: SharedHypervisor,
+        driver_vm: VmId,
+        guest: VmId,
+        pt_root: GuestPhysAddr,
+        grant: GrantRef,
+        domain: Option<DomainId>,
+    ) -> Self {
+        BatchedMemOps {
+            hv,
+            driver_vm,
+            guest,
+            pt_root,
+            grant,
+            domain,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Number of queued, not-yet-issued operations.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Issues everything queued (plus an optional trailing read) as one
+    /// vectored hypercall. Returns the trailing read's bytes, if any.
+    fn issue(&mut self, tail: Option<BatchMemOp>) -> Result<Option<Vec<u8>>, Errno> {
+        let mut ops = std::mem::take(&mut self.pending);
+        let want_bytes = tail.is_some();
+        if let Some(op) = tail {
+            ops.push(op);
+        }
+        if ops.is_empty() {
+            return Ok(None);
+        }
+        let mut results = self
+            .hv
+            .borrow_mut()
+            .hv_memops_batch(
+                self.driver_vm,
+                self.guest,
+                self.pt_root,
+                self.grant,
+                self.domain,
+                ops,
+            )
+            .map_err(|e| hv_to_errno(&e))?;
+        if want_bytes {
+            match results.pop() {
+                Some(BatchMemOpResult::Bytes(b)) => Ok(Some(b)),
+                _ => Err(Errno::Efault),
+            }
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Flushes all queued operations; must run before the dispatch's
+    /// response is posted. All-or-nothing on a grant violation.
+    pub fn flush(&mut self) -> Result<(), Errno> {
+        self.issue(None).map(|_| ())
+    }
+}
+
+impl MemOps for BatchedMemOps {
+    fn copy_from_user(&mut self, src: GuestVirtAddr, buf: &mut [u8]) -> Result<(), Errno> {
+        let bytes = self
+            .issue(Some(BatchMemOp::CopyFromGuest {
+                src,
+                len: buf.len() as u64,
+            }))?
+            .ok_or(Errno::Efault)?;
+        if bytes.len() != buf.len() {
+            return Err(Errno::Efault);
+        }
+        buf.copy_from_slice(&bytes);
+        Ok(())
+    }
+
+    fn copy_to_user(&mut self, dst: GuestVirtAddr, buf: &[u8]) -> Result<(), Errno> {
+        self.pending.push(BatchMemOp::CopyToGuest {
+            dst,
+            data: buf.to_vec(),
+        });
+        Ok(())
+    }
+
+    fn insert_pfn(&mut self, va: GuestVirtAddr, pfn: u64, access: Access) -> Result<(), Errno> {
+        self.pending.push(BatchMemOp::InsertPfn {
+            va,
+            driver_pfn: pfn,
+            access,
+        });
+        Ok(())
+    }
+
+    fn zap_pfn(&mut self, va: GuestVirtAddr) -> Result<(), Errno> {
+        self.pending.push(BatchMemOp::ZapPage { va });
+        Ok(())
+    }
+}
+
+/// Either memory-operation binding, chosen per dispatch by the backend's
+/// fast-path flag. Lets the dispatcher hold one concrete type.
+#[derive(Debug)]
+pub enum MemEngine {
+    /// One hypercall per memory operation (the paper's baseline).
+    Plain(HypercallMemOps),
+    /// Deferred writes flushed as one vectored hypercall.
+    Batched(BatchedMemOps),
+}
+
+impl MemEngine {
+    /// Flushes any deferred operations (no-op for the plain engine).
+    pub fn flush(&mut self) -> Result<(), Errno> {
+        match self {
+            MemEngine::Plain(_) => Ok(()),
+            MemEngine::Batched(b) => b.flush(),
+        }
+    }
+}
+
+impl MemOps for MemEngine {
+    fn copy_from_user(&mut self, src: GuestVirtAddr, buf: &mut [u8]) -> Result<(), Errno> {
+        match self {
+            MemEngine::Plain(m) => m.copy_from_user(src, buf),
+            MemEngine::Batched(m) => m.copy_from_user(src, buf),
+        }
+    }
+
+    fn copy_to_user(&mut self, dst: GuestVirtAddr, buf: &[u8]) -> Result<(), Errno> {
+        match self {
+            MemEngine::Plain(m) => m.copy_to_user(dst, buf),
+            MemEngine::Batched(m) => m.copy_to_user(dst, buf),
+        }
+    }
+
+    fn insert_pfn(&mut self, va: GuestVirtAddr, pfn: u64, access: Access) -> Result<(), Errno> {
+        match self {
+            MemEngine::Plain(m) => m.insert_pfn(va, pfn, access),
+            MemEngine::Batched(m) => m.insert_pfn(va, pfn, access),
+        }
+    }
+
+    fn zap_pfn(&mut self, va: GuestVirtAddr) -> Result<(), Errno> {
+        match self {
+            MemEngine::Plain(m) => m.zap_pfn(va),
+            MemEngine::Batched(m) => m.zap_pfn(va),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,6 +345,125 @@ mod tests {
             Err(Errno::Efault)
         );
         // The violation was audited.
+        assert_eq!(shared.borrow().audit().len(), 1);
+    }
+
+    fn batched_fixture() -> (SharedHypervisor, VmId, VmId, GuestPageTables) {
+        let mut hv = Hypervisor::new(1024, SimClock::new(), CostModel::default());
+        let guest = hv.create_vm(VmRole::Guest, 64 * PAGE_SIZE).unwrap();
+        let driver = hv.create_vm(VmRole::Driver, 16 * PAGE_SIZE).unwrap();
+        let mut pt = {
+            let mut space = hv.gpa_space(guest);
+            GuestPageTables::new(&mut space).unwrap()
+        };
+        {
+            let mut space = hv.gpa_space(guest);
+            pt.map(
+                &mut space,
+                GuestVirtAddr::new(0x1000),
+                paradice_mem::GuestPhysAddr::new(0x1000),
+                Access::RW,
+            )
+            .unwrap();
+        }
+        (Rc::new(RefCell::new(hv)), guest, driver, pt)
+    }
+
+    #[test]
+    fn batched_writes_defer_until_flush_and_cost_one_hypercall() {
+        let (shared, guest, driver, pt) = batched_fixture();
+        let grant = shared
+            .borrow_mut()
+            .declare_grants(
+                guest,
+                vec![MemOpGrant::CopyToGuest {
+                    addr: GuestVirtAddr::new(0x1000),
+                    len: 64,
+                }],
+            )
+            .unwrap();
+        let mut memops =
+            BatchedMemOps::new(shared.clone(), driver, guest, pt.root(), grant, None);
+        memops.copy_to_user(GuestVirtAddr::new(0x1000), b"aa").unwrap();
+        memops.copy_to_user(GuestVirtAddr::new(0x1010), b"bb").unwrap();
+        assert_eq!(memops.pending_len(), 2);
+        // Nothing reached guest memory yet.
+        let mut probe = [0u8; 2];
+        shared
+            .borrow_mut()
+            .process_read(guest, pt.root(), GuestVirtAddr::new(0x1000), &mut probe)
+            .unwrap();
+        assert_eq!(&probe, &[0, 0]);
+        let before = shared.borrow().hypercall_count();
+        memops.flush().unwrap();
+        assert_eq!(shared.borrow().hypercall_count() - before, 1);
+        shared
+            .borrow_mut()
+            .process_read(guest, pt.root(), GuestVirtAddr::new(0x1010), &mut probe)
+            .unwrap();
+        assert_eq!(&probe, b"bb");
+        // An empty flush is free.
+        memops.flush().unwrap();
+        assert_eq!(shared.borrow().hypercall_count() - before, 1);
+    }
+
+    #[test]
+    fn batched_read_observes_queued_writes_in_the_same_hypercall() {
+        let (shared, guest, driver, pt) = batched_fixture();
+        let grant = shared
+            .borrow_mut()
+            .declare_grants(
+                guest,
+                vec![
+                    MemOpGrant::CopyToGuest {
+                        addr: GuestVirtAddr::new(0x1000),
+                        len: 64,
+                    },
+                    MemOpGrant::CopyFromGuest {
+                        addr: GuestVirtAddr::new(0x1000),
+                        len: 64,
+                    },
+                ],
+            )
+            .unwrap();
+        let mut memops =
+            BatchedMemOps::new(shared.clone(), driver, guest, pt.root(), grant, None);
+        memops
+            .copy_to_user(GuestVirtAddr::new(0x1000), b"ordered")
+            .unwrap();
+        let before = shared.borrow().hypercall_count();
+        let mut buf = [0u8; 7];
+        memops.copy_from_user(GuestVirtAddr::new(0x1000), &mut buf).unwrap();
+        assert_eq!(&buf, b"ordered", "read-after-write within one batch");
+        assert_eq!(shared.borrow().hypercall_count() - before, 1);
+        assert_eq!(memops.pending_len(), 0);
+    }
+
+    #[test]
+    fn batched_flush_is_all_or_nothing_on_violation() {
+        let (shared, guest, driver, pt) = batched_fixture();
+        let grant = shared
+            .borrow_mut()
+            .declare_grants(
+                guest,
+                vec![MemOpGrant::CopyToGuest {
+                    addr: GuestVirtAddr::new(0x1000),
+                    len: 8,
+                }],
+            )
+            .unwrap();
+        let mut memops =
+            BatchedMemOps::new(shared.clone(), driver, guest, pt.root(), grant, None);
+        memops.copy_to_user(GuestVirtAddr::new(0x1000), b"ok").unwrap();
+        // Out of envelope: poisons the whole batch.
+        memops.copy_to_user(GuestVirtAddr::new(0x1800), b"wild").unwrap();
+        assert_eq!(memops.flush(), Err(Errno::Efault));
+        let mut probe = [0u8; 2];
+        shared
+            .borrow_mut()
+            .process_read(guest, pt.root(), GuestVirtAddr::new(0x1000), &mut probe)
+            .unwrap();
+        assert_eq!(&probe, &[0, 0], "granted sibling write must not apply");
         assert_eq!(shared.borrow().audit().len(), 1);
     }
 }

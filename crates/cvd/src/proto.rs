@@ -108,6 +108,20 @@ impl WireOp {
         }
     }
 
+    /// Whether the frontend may post this operation to the ring without
+    /// waiting for its response (the pipelined fast path). Only operations
+    /// whose responses are plain `Value`s and whose effects are confined to
+    /// their declared grant envelope qualify: `Open`/`Release` mutate handle
+    /// lifetime the frontend must observe before issuing the next op, `Mmap`/
+    /// `Munmap`/`Fault` change address-space shape, and `Poll`/`Fasync`
+    /// return event masks the caller consumes synchronously.
+    pub const fn is_pipelineable(&self) -> bool {
+        matches!(
+            self,
+            WireOp::Read { .. } | WireOp::Write { .. } | WireOp::Ioctl { .. }
+        )
+    }
+
     const fn opcode(&self) -> u8 {
         match self {
             WireOp::Open { .. } => 1,

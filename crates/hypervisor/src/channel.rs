@@ -9,11 +9,26 @@
 //! In this mode, the frontend and backend both poll the shared page for
 //! 200 µs before they go to sleep to wait for interrupts" (paper §5.1).
 //!
-//! [`Channel`] models one frontend↔backend pair: a bounded message slot in
+//! [`Channel`] models one frontend↔backend pair: a bounded message ring in
 //! each direction plus a notification slot (for `fasync` events), charging
 //! the cost model for every delivery. In polling mode, a delivery that
 //! arrives after the 200 µs spin budget has lapsed since the peer's last
 //! activity falls back to interrupt cost — the peer has gone to sleep.
+//!
+//! # Pipelined ring (fast path)
+//!
+//! By default each direction holds a single entry, which is exactly the
+//! paper's bounded-slot discipline: a second `send_request` before the
+//! backend drains the first returns [`ChannelError::SlotBusy`].
+//! [`Channel::set_ring_depth`] widens each direction to a small multi-entry
+//! ring — still backed by the one 4-KiB shared page, so the *sum* of the
+//! encoded entries queued in a direction can never exceed [`PAGE_SIZE`].
+//! Only the send that makes a ring non-empty rings the doorbell (pays the
+//! transport delivery cost); follow-up sends into a non-empty ring are
+//! coalesced behind that doorbell and pay marshalling only, netmap-style:
+//! the peer is already on its way to drain the ring. Coalesced sends are
+//! counted in [`ChannelStats::coalesced_deliveries`] so delivery accounting
+//! stays audit-complete.
 //!
 //! # Typed transport
 //!
@@ -156,6 +171,9 @@ pub struct ChannelStats {
     pub polling_deliveries: u64,
     /// Deliveries that paid a network hop (remote transport).
     pub remote_deliveries: u64,
+    /// Sends coalesced into an already-rung doorbell (multi-entry ring:
+    /// the ring was non-empty, so only marshalling was paid).
+    pub coalesced_deliveries: u64,
     /// Cumulative encoded request bytes (frontend → backend).
     pub request_bytes: u64,
     /// Cumulative encoded response bytes (backend → frontend).
@@ -179,8 +197,10 @@ pub struct Channel<Req = Vec<u8>, Resp = Vec<u8>, Sig = Vec<u8>> {
     mode: TransportMode,
     clock: SimClock,
     cost: CostModel,
-    request: Option<Vec<u8>>,
-    response: Option<Vec<u8>>,
+    /// Entries per direction; 1 is the paper's bounded-slot discipline.
+    ring_depth: usize,
+    requests: VecDeque<Vec<u8>>,
+    responses: VecDeque<Vec<u8>>,
     notifications: VecDeque<Vec<u8>>,
     /// Virtual time of the last activity on the channel, for the polling
     /// spin-budget model.
@@ -188,6 +208,10 @@ pub struct Channel<Req = Vec<u8>, Resp = Vec<u8>, Sig = Vec<u8>> {
     stats: ChannelStats,
     _types: PhantomData<(Req, Resp, Sig)>,
 }
+
+/// Upper bound on [`Channel::set_ring_depth`]: the ring descriptors live in
+/// the shared page's header, which caps how many entries one page can index.
+pub const MAX_RING_DEPTH: usize = 16;
 
 impl<Req, Resp, Sig> fmt::Debug for Channel<Req, Resp, Sig> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -205,8 +229,9 @@ impl<Req: WireCodec, Resp: WireCodec, Sig: WireCodec> Channel<Req, Resp, Sig> {
             mode,
             clock,
             cost,
-            request: None,
-            response: None,
+            ring_depth: 1,
+            requests: VecDeque::new(),
+            responses: VecDeque::new(),
             notifications: VecDeque::new(),
             last_activity_ns: 0,
             stats: ChannelStats::default(),
@@ -222,6 +247,28 @@ impl<Req: WireCodec, Resp: WireCodec, Sig: WireCodec> Channel<Req, Resp, Sig> {
     /// Changes the transport mode (experiments switch between them).
     pub fn set_mode(&mut self, mode: TransportMode) {
         self.mode = mode;
+    }
+
+    /// Entries per direction (1 = the paper's single bounded slot).
+    pub fn ring_depth(&self) -> usize {
+        self.ring_depth
+    }
+
+    /// Widens (or narrows) each direction's ring. Clamped to
+    /// `1..=`[`MAX_RING_DEPTH`]. Messages already queued stay queued; a
+    /// narrower ring only constrains future sends.
+    pub fn set_ring_depth(&mut self, depth: usize) {
+        self.ring_depth = depth.clamp(1, MAX_RING_DEPTH);
+    }
+
+    /// Requests currently queued (posted but not yet taken).
+    pub fn request_backlog(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Responses currently queued (posted but not yet taken).
+    pub fn response_backlog(&self) -> usize {
+        self.responses.len()
     }
 
     /// Delivery statistics so far.
@@ -264,33 +311,64 @@ impl<Req: WireCodec, Resp: WireCodec, Sig: WireCodec> Channel<Req, Resp, Sig> {
         }
     }
 
+    /// Admission into one direction's ring: entry count bounded by the ring
+    /// depth, total queued bytes bounded by the shared page. Charges either
+    /// a full doorbell delivery (empty→non-empty transition) or a coalesced
+    /// marshal-only send.
+    fn admit(
+        ring: &mut VecDeque<Vec<u8>>,
+        depth: usize,
+        bytes: &[u8],
+    ) -> Result<bool, ChannelError> {
+        if ring.len() >= depth {
+            return Err(ChannelError::SlotBusy);
+        }
+        let queued: u64 = ring.iter().map(|b| b.len() as u64).sum();
+        if queued + bytes.len() as u64 > PAGE_SIZE {
+            return Err(ChannelError::SlotBusy);
+        }
+        Ok(ring.is_empty())
+    }
+
+    /// A coalesced send: the ring was already non-empty, so the doorbell is
+    /// already rung — the peer will drain this entry under the same
+    /// interrupt (or polling pass). Only marshalling is paid.
+    fn charge_coalesced(&mut self) {
+        self.clock.advance(self.cost.marshal_ns);
+        self.stats.coalesced_deliveries += 1;
+        self.last_activity_ns = self.clock.now_ns();
+    }
+
     /// Frontend → backend: posts a file-operation request.
     ///
     /// # Errors
     ///
-    /// [`ChannelError::TooLarge`] or [`ChannelError::SlotBusy`].
+    /// [`ChannelError::TooLarge`] or [`ChannelError::SlotBusy`] (ring full,
+    /// or the queued entries would overflow the shared page).
     pub fn send_request(&mut self, request: Req) -> Result<(), ChannelError> {
         let bytes = request.encode_wire();
         Self::check_len(&bytes)?;
-        if self.request.is_some() {
-            return Err(ChannelError::SlotBusy);
+        let doorbell = Self::admit(&mut self.requests, self.ring_depth, &bytes)?;
+        if doorbell {
+            self.charge_delivery();
+        } else {
+            self.charge_coalesced();
         }
-        self.charge_delivery();
         self.stats.requests += 1;
         self.stats.request_bytes += bytes.len() as u64;
-        self.request = Some(bytes);
+        self.requests.push_back(bytes);
         Ok(())
     }
 
-    /// Backend: takes the pending request.
+    /// Backend: takes the oldest pending request.
     ///
     /// # Errors
     ///
     /// [`ChannelError::Empty`] if nothing is pending;
-    /// [`ChannelError::Malformed`] if the slot bytes do not parse (the
-    /// bad message is consumed either way, freeing the slot).
+    /// [`ChannelError::Malformed`] if the entry bytes do not parse (the
+    /// bad message is consumed either way, freeing the entry).
     pub fn take_request(&mut self) -> Result<Req, ChannelError> {
-        let bytes = self.request.take().ok_or(ChannelError::Empty)?;
+        let bytes = self.requests.pop_front().ok_or(ChannelError::Empty)?;
         Req::decode_wire(&bytes).ok_or(ChannelError::Malformed)
     }
 
@@ -298,28 +376,31 @@ impl<Req: WireCodec, Resp: WireCodec, Sig: WireCodec> Channel<Req, Resp, Sig> {
     ///
     /// # Errors
     ///
-    /// [`ChannelError::TooLarge`] or [`ChannelError::SlotBusy`].
+    /// [`ChannelError::TooLarge`] or [`ChannelError::SlotBusy`] (ring full,
+    /// or the queued entries would overflow the shared page).
     pub fn send_response(&mut self, response: Resp) -> Result<(), ChannelError> {
         let bytes = response.encode_wire();
         Self::check_len(&bytes)?;
-        if self.response.is_some() {
-            return Err(ChannelError::SlotBusy);
+        let doorbell = Self::admit(&mut self.responses, self.ring_depth, &bytes)?;
+        if doorbell {
+            self.charge_delivery();
+        } else {
+            self.charge_coalesced();
         }
-        self.charge_delivery();
         self.stats.responses += 1;
         self.stats.response_bytes += bytes.len() as u64;
-        self.response = Some(bytes);
+        self.responses.push_back(bytes);
         Ok(())
     }
 
-    /// Frontend: takes the pending response.
+    /// Frontend: takes the oldest pending response.
     ///
     /// # Errors
     ///
     /// [`ChannelError::Empty`] if nothing is pending;
-    /// [`ChannelError::Malformed`] if the slot bytes do not parse.
+    /// [`ChannelError::Malformed`] if the entry bytes do not parse.
     pub fn take_response(&mut self) -> Result<Resp, ChannelError> {
-        let bytes = self.response.take().ok_or(ChannelError::Empty)?;
+        let bytes = self.responses.pop_front().ok_or(ChannelError::Empty)?;
         Resp::decode_wire(&bytes).ok_or(ChannelError::Malformed)
     }
 
@@ -353,21 +434,21 @@ impl<Req: WireCodec, Resp: WireCodec, Sig: WireCodec> Channel<Req, Resp, Sig> {
         self.notifications.len()
     }
 
-    /// Clears both message slots and the notification queue (driver-VM
+    /// Clears both message rings and the notification queue (driver-VM
     /// recovery: the rebooted backend must not see requests posted to its
     /// dead predecessor, and the frontend must not read a stale response).
-    /// Statistics and the transport mode are preserved.
+    /// Statistics, the transport mode, and the ring depth are preserved.
     pub fn reset(&mut self) {
-        self.request = None;
-        self.response = None;
+        self.requests.clear();
+        self.responses.clear();
         self.notifications.clear();
     }
 
-    /// Fault injection: scrambles the bytes of a pending response in place
-    /// (a corrupted shared-page write by a crashing driver). Returns `false`
-    /// when no response is pending.
+    /// Fault injection: scrambles the bytes of the most recently posted
+    /// response in place (a corrupted shared-page write by a crashing
+    /// driver). Returns `false` when no response is pending.
     pub fn scramble_response_slot(&mut self) -> bool {
-        match &mut self.response {
+        match self.responses.back_mut() {
             Some(bytes) => {
                 if bytes.is_empty() {
                     // An empty slot payload cannot decode anyway; make it
@@ -384,11 +465,11 @@ impl<Req: WireCodec, Resp: WireCodec, Sig: WireCodec> Channel<Req, Resp, Sig> {
         }
     }
 
-    /// Fault injection: truncates a pending response to half its length (a
-    /// partial shared-page write). Returns `false` when no response is
-    /// pending.
+    /// Fault injection: truncates the most recently posted response to half
+    /// its length (a partial shared-page write). Returns `false` when no
+    /// response is pending.
     pub fn truncate_response_slot(&mut self) -> bool {
-        match &mut self.response {
+        match self.responses.back_mut() {
             Some(bytes) => {
                 let keep = bytes.len() / 2;
                 bytes.truncate(keep);
@@ -398,10 +479,11 @@ impl<Req: WireCodec, Resp: WireCodec, Sig: WireCodec> Channel<Req, Resp, Sig> {
         }
     }
 
-    /// Fault injection: drops a pending response entirely (a lost
-    /// completion delivery). Returns `false` when no response was pending.
+    /// Fault injection: drops the most recently posted response entirely (a
+    /// lost completion delivery). Returns `false` when no response was
+    /// pending.
     pub fn drop_response_slot(&mut self) -> bool {
-        self.response.take().is_some()
+        self.responses.pop_back().is_some()
     }
 }
 
@@ -483,6 +565,94 @@ mod tests {
         ch.send_response(vec![]).unwrap();
         assert_eq!(ch.stats().interrupt_deliveries, 1);
         assert_eq!(ch.stats().polling_deliveries, 3);
+    }
+
+    /// The spin-budget boundary, entry by entry: a delivery landing exactly
+    /// at the budget still finds the peer spinning (polling cost); one
+    /// nanosecond past it pays the interrupt (strict `>` in
+    /// `charge_delivery`).
+    #[test]
+    fn spin_budget_boundary_charges_the_right_class() {
+        let budget = 200_000u64;
+        for (idle_ns, interrupts, pollings) in [
+            (budget - 1, 0, 1), // just under: peer still spinning
+            (budget, 0, 1),     // exactly at: the last spin iteration catches it
+            (budget + 1, 1, 0), // just over: peer asleep, interrupt
+        ] {
+            let clock = SimClock::new();
+            let cost = CostModel::default();
+            let mut ch: Channel = Channel::new(
+                TransportMode::Polling {
+                    spin_budget_ns: budget,
+                },
+                clock.clone(),
+                cost.clone(),
+            );
+            // `last_activity_ns` is 0 at boot; idle the channel, then
+            // arrange the send so the delivery *lands* at last_activity +
+            // idle_ns: charge_delivery first advances marshal_ns, so start
+            // marshal_ns early.
+            clock.advance(idle_ns - cost.marshal_ns);
+            ch.send_request(vec![]).unwrap();
+            assert_eq!(
+                (ch.stats().interrupt_deliveries, ch.stats().polling_deliveries),
+                (interrupts, pollings),
+                "idle {idle_ns} ns vs budget {budget} ns"
+            );
+        }
+    }
+
+    #[test]
+    fn ring_depth_lets_a_batch_share_one_doorbell() {
+        let clock = SimClock::new();
+        let cost = CostModel::default();
+        let mut ch: Channel =
+            Channel::new(TransportMode::Interrupts, clock.clone(), cost.clone());
+        ch.set_ring_depth(4);
+        assert_eq!(ch.ring_depth(), 4);
+        // Four requests: one doorbell interrupt, three coalesced sends.
+        for i in 0..4u8 {
+            ch.send_request(vec![i]).unwrap();
+        }
+        assert_eq!(ch.send_request(vec![9]), Err(ChannelError::SlotBusy));
+        assert_eq!(ch.stats().interrupt_deliveries, 1);
+        assert_eq!(ch.stats().coalesced_deliveries, 3);
+        assert_eq!(
+            clock.now_ns(),
+            4 * cost.marshal_ns + cost.intervm_interrupt_ns,
+            "batch cost = one interrupt + per-entry marshalling"
+        );
+        // FIFO drain, then the ring accepts entries again.
+        for i in 0..4u8 {
+            assert_eq!(ch.take_request().unwrap(), vec![i]);
+        }
+        assert_eq!(ch.take_request(), Err(ChannelError::Empty));
+        assert_eq!(ch.request_backlog(), 0);
+        ch.send_request(vec![9]).unwrap();
+        assert_eq!(ch.stats().interrupt_deliveries, 2);
+    }
+
+    #[test]
+    fn ring_entries_share_the_one_shared_page() {
+        let mut ch = channel(TransportMode::Interrupts);
+        ch.set_ring_depth(4);
+        let half = vec![0u8; PAGE_SIZE as usize / 2];
+        ch.send_request(half.clone()).unwrap();
+        ch.send_request(half.clone()).unwrap();
+        // Two half-page entries fill the page: a third entry — even a tiny
+        // one — must wait for the backend to drain.
+        assert_eq!(ch.send_request(vec![1]), Err(ChannelError::SlotBusy));
+        ch.take_request().unwrap();
+        ch.send_request(vec![1]).unwrap();
+    }
+
+    #[test]
+    fn ring_depth_is_clamped() {
+        let mut ch = channel(TransportMode::Interrupts);
+        ch.set_ring_depth(0);
+        assert_eq!(ch.ring_depth(), 1);
+        ch.set_ring_depth(1_000);
+        assert_eq!(ch.ring_depth(), MAX_RING_DEPTH);
     }
 
     #[test]
@@ -698,6 +868,67 @@ mod prop_tests {
                     prop_assert_eq!(stats.interrupt_deliveries, 0);
                     prop_assert_eq!(stats.polling_deliveries, 0);
                 }
+            }
+        }
+
+        /// With a multi-entry ring, every successful send is still counted
+        /// exactly once: either it rang a doorbell (one transport class) or
+        /// it was coalesced behind one. Drains happen in bursts, so rings
+        /// genuinely fill up.
+        #[test]
+        fn ring_accounting_is_conserved(
+            ops in proptest::collection::vec((0u8..3, 0u64..400_000), 1..80),
+            depth in 1usize..=16,
+            mode_pick in 0u8..3,
+        ) {
+            let clock = SimClock::new();
+            let mode = match mode_pick {
+                0 => TransportMode::Interrupts,
+                1 => TransportMode::polling_default(),
+                _ => TransportMode::remote_default(),
+            };
+            let mut ch: Channel = Channel::new(mode, clock.clone(), CostModel::default());
+            ch.set_ring_depth(depth);
+            let mut sent = 0u64;
+            for (kind, idle_ns) in ops {
+                clock.advance(idle_ns);
+                match kind {
+                    0 => {
+                        if ch.send_request(vec![1]).is_ok() {
+                            sent += 1;
+                        } else {
+                            while ch.take_request().is_ok() {}
+                        }
+                    }
+                    1 => {
+                        if ch.send_response(vec![2]).is_ok() {
+                            sent += 1;
+                        } else {
+                            while ch.take_response().is_ok() {}
+                        }
+                    }
+                    _ => {
+                        if ch.send_notification(vec![3]).is_ok() {
+                            sent += 1;
+                        }
+                    }
+                }
+            }
+            let stats = ch.stats();
+            prop_assert_eq!(
+                stats.requests + stats.responses + stats.notifications,
+                sent
+            );
+            prop_assert_eq!(
+                stats.interrupt_deliveries
+                    + stats.polling_deliveries
+                    + stats.remote_deliveries
+                    + stats.coalesced_deliveries,
+                sent
+            );
+            // A single-entry ring never coalesces.
+            if depth == 1 {
+                prop_assert_eq!(stats.coalesced_deliveries, 0);
             }
         }
     }

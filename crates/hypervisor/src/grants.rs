@@ -191,10 +191,123 @@ impl std::error::Error for GrantError {}
 /// capacity.
 pub const GRANT_TABLE_CAPACITY: usize = 128;
 
+/// Sorted-range index over the declared windows of one grant kind.
+///
+/// Ranges are kept sorted by start alongside a running prefix maximum of
+/// their ends. A request `[addr, addr+len)` is covered by *some single*
+/// declared range iff a range starting at or before `addr` ends at or after
+/// `addr+len` — which the prefix maximum answers after one binary search,
+/// making per-hypercall validation `O(log n)` instead of the old linear
+/// scan over every declared operation.
+#[derive(Debug, Default, Clone)]
+struct RangeIndex {
+    /// Range starts, ascending.
+    starts: Vec<u64>,
+    /// `prefix_max_end[i]` = max end over `starts[0..=i]`'s ranges.
+    prefix_max_end: Vec<u64>,
+}
+
+impl RangeIndex {
+    fn build(mut ranges: Vec<(u64, u64)>) -> RangeIndex {
+        ranges.sort_unstable();
+        let mut starts = Vec::with_capacity(ranges.len());
+        let mut prefix_max_end = Vec::with_capacity(ranges.len());
+        let mut max_end = 0u64;
+        for (start, end) in ranges {
+            max_end = max_end.max(end);
+            starts.push(start);
+            prefix_max_end.push(max_end);
+        }
+        RangeIndex { starts, prefix_max_end }
+    }
+
+    /// Exactly [`MemOpGrant::covers`]'s arithmetic: the request end is
+    /// computed with `checked_add` (overflow is never covered) and compared
+    /// against grant ends that were saturated at build time.
+    fn covers(&self, addr: u64, len: u64) -> bool {
+        let Some(end) = addr.checked_add(len) else {
+            return false;
+        };
+        let idx = self.starts.partition_point(|&s| s <= addr);
+        idx > 0 && self.prefix_max_end[idx - 1] >= end
+    }
+}
+
+/// The per-declaration validation index, built once at declare time.
+#[derive(Debug, Default)]
+struct GrantEntry {
+    /// The declarations as declared (kept for audits and tests).
+    ops: Vec<MemOpGrant>,
+    copy_from: RangeIndex,
+    copy_to: RangeIndex,
+    unmap: RangeIndex,
+    /// One range index per distinct access value; a request is checked
+    /// against every bucket whose access contains the requested rights
+    /// (the number of distinct access values is tiny).
+    map: Vec<(Access, RangeIndex)>,
+}
+
+impl GrantEntry {
+    fn build(ops: Vec<MemOpGrant>) -> GrantEntry {
+        let mut copy_from = Vec::new();
+        let mut copy_to = Vec::new();
+        let mut unmap = Vec::new();
+        let mut map: Vec<(Access, Vec<(u64, u64)>)> = Vec::new();
+        for op in &ops {
+            match *op {
+                MemOpGrant::CopyFromGuest { addr, len } => {
+                    copy_from.push((addr.raw(), addr.raw().saturating_add(len)));
+                }
+                MemOpGrant::CopyToGuest { addr, len } => {
+                    copy_to.push((addr.raw(), addr.raw().saturating_add(len)));
+                }
+                MemOpGrant::MapPages { va, pages, access } => {
+                    let len = pages.saturating_mul(paradice_mem::PAGE_SIZE);
+                    let range = (va.raw(), va.raw().saturating_add(len));
+                    match map.iter_mut().find(|(a, _)| *a == access) {
+                        Some((_, ranges)) => ranges.push(range),
+                        None => map.push((access, vec![range])),
+                    }
+                }
+                MemOpGrant::UnmapPages { va, pages } => {
+                    let len = pages.saturating_mul(paradice_mem::PAGE_SIZE);
+                    unmap.push((va.raw(), va.raw().saturating_add(len)));
+                }
+            }
+        }
+        GrantEntry {
+            ops,
+            copy_from: RangeIndex::build(copy_from),
+            copy_to: RangeIndex::build(copy_to),
+            unmap: RangeIndex::build(unmap),
+            map: map
+                .into_iter()
+                .map(|(access, ranges)| (access, RangeIndex::build(ranges)))
+                .collect(),
+        }
+    }
+
+    fn covers(&self, request: &MemOpRequest) -> bool {
+        match *request {
+            MemOpRequest::CopyFromGuest { addr, len } => {
+                self.copy_from.covers(addr.raw(), len)
+            }
+            MemOpRequest::CopyToGuest { addr, len } => self.copy_to.covers(addr.raw(), len),
+            MemOpRequest::MapPage { va, access } => self
+                .map
+                .iter()
+                .any(|(granted, index)| {
+                    granted.contains(access) && index.covers(va.raw(), paradice_mem::PAGE_SIZE)
+                }),
+            MemOpRequest::UnmapPage { va } => self.unmap.covers(va.raw(), paradice_mem::PAGE_SIZE),
+        }
+    }
+}
+
 /// One guest VM's grant table.
 #[derive(Debug, Default)]
 pub struct GrantTable {
-    entries: BTreeMap<u32, Vec<MemOpGrant>>,
+    entries: BTreeMap<u32, GrantEntry>,
     next_ref: u32,
 }
 
@@ -217,7 +330,7 @@ impl GrantTable {
         }
         let reference = GrantRef(self.next_ref);
         self.next_ref = self.next_ref.wrapping_add(1);
-        self.entries.insert(reference.0, ops);
+        self.entries.insert(reference.0, GrantEntry::build(ops));
         Ok(reference)
     }
 
@@ -231,11 +344,11 @@ impl GrantTable {
         grant: GrantRef,
         request: &MemOpRequest,
     ) -> Result<(), GrantError> {
-        let ops = self
+        let entry = self
             .entries
             .get(&grant.0)
             .ok_or(GrantError::UnknownRef { grant })?;
-        if ops.iter().any(|op| op.covers(request)) {
+        if entry.covers(request) {
             Ok(())
         } else {
             Err(GrantError::NotCovered { grant })
@@ -266,7 +379,7 @@ impl GrantTable {
 
     /// The declarations behind a reference (for tests and audit dumps).
     pub fn declarations(&self, grant: GrantRef) -> Option<&[MemOpGrant]> {
-        self.entries.get(&grant.0).map(|v| v.as_slice())
+        self.entries.get(&grant.0).map(|e| e.ops.as_slice())
     }
 }
 
@@ -462,6 +575,75 @@ mod tests {
             addr: va(u64::MAX - 4),
             len: 8,
         }));
+    }
+
+    #[test]
+    fn indexed_validation_matches_the_linear_scan() {
+        // The sorted-range index must answer exactly like the reference
+        // `any(covers)` scan, including for overlapping windows where a
+        // request fits no single grant even though the union covers it.
+        let ops: Vec<MemOpGrant> = (0..64)
+            .map(|i| MemOpGrant::CopyToGuest {
+                addr: va(0x1000 + i * 0x80),
+                len: 0x100, // every window overlaps its successor
+            })
+            .collect();
+        let mut table = GrantTable::new();
+        let grant = table.declare(ops.clone()).unwrap();
+        let mut probes = Vec::new();
+        for addr in (0x0f00..0x5200u64).step_by(0x40) {
+            for len in [0u64, 1, 0x40, 0x100, 0x101, 0x200] {
+                probes.push(MemOpRequest::CopyToGuest { addr: va(addr), len });
+            }
+        }
+        probes.push(MemOpRequest::CopyToGuest { addr: va(u64::MAX - 4), len: 8 });
+        for request in &probes {
+            let linear = ops.iter().any(|op| op.covers(request));
+            let indexed = table.validate(grant, request).is_ok();
+            assert_eq!(indexed, linear, "divergence on {request:?}");
+        }
+    }
+
+    #[test]
+    fn spanning_two_abutting_grants_is_still_rejected() {
+        // Coverage is per single declaration: two back-to-back windows do
+        // not merge into one. The prefix-max index preserves this.
+        let mut table = GrantTable::new();
+        let grant = table
+            .declare(vec![
+                MemOpGrant::CopyFromGuest { addr: va(0x1000), len: 0x100 },
+                MemOpGrant::CopyFromGuest { addr: va(0x1100), len: 0x100 },
+            ])
+            .unwrap();
+        assert!(table
+            .validate(grant, &MemOpRequest::CopyFromGuest { addr: va(0x1080), len: 0x100 })
+            .is_err());
+        assert!(table
+            .validate(grant, &MemOpRequest::CopyFromGuest { addr: va(0x1100), len: 0x100 })
+            .is_ok());
+    }
+
+    #[test]
+    fn map_buckets_split_by_access() {
+        let mut table = GrantTable::new();
+        let grant = table
+            .declare(vec![
+                MemOpGrant::MapPages { va: va(0x10000), pages: 1, access: Access::READ },
+                MemOpGrant::MapPages { va: va(0x20000), pages: 1, access: Access::RW },
+            ])
+            .unwrap();
+        // RW on the READ-only window is refused even though an RW bucket
+        // exists elsewhere.
+        assert!(table
+            .validate(grant, &MemOpRequest::MapPage { va: va(0x10000), access: Access::RW })
+            .is_err());
+        // READ is satisfied by either bucket's window.
+        assert!(table
+            .validate(grant, &MemOpRequest::MapPage { va: va(0x10000), access: Access::READ })
+            .is_ok());
+        assert!(table
+            .validate(grant, &MemOpRequest::MapPage { va: va(0x20000), access: Access::READ })
+            .is_ok());
     }
 
     #[test]

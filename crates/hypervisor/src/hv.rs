@@ -235,6 +235,82 @@ struct Fixup {
     claimed_gpa: GuestPhysAddr,
 }
 
+/// One entry of a vectored [`Hypervisor::hv_memops_batch`] hypercall — the
+/// same four driver memory operations as the per-op hypercalls, described
+/// as data so a whole dispatch crosses the boundary once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchMemOp {
+    /// Copy `len` bytes from guest process memory at `src`.
+    CopyFromGuest {
+        /// Source address in the guest process.
+        src: GuestVirtAddr,
+        /// Bytes to copy.
+        len: u64,
+    },
+    /// Copy `data` into guest process memory at `dst`.
+    CopyToGuest {
+        /// Destination address in the guest process.
+        dst: GuestVirtAddr,
+        /// The driver's bytes.
+        data: Vec<u8>,
+    },
+    /// Map driver-physical page `driver_pfn` at guest `va`
+    /// (the `vm_insert_pfn` wrapper-stub path).
+    InsertPfn {
+        /// Guest virtual address of the mapping.
+        va: GuestVirtAddr,
+        /// Driver-VM page frame number backing it.
+        driver_pfn: u64,
+        /// Mapping permissions.
+        access: Access,
+    },
+    /// Tear down a mapping previously installed by `InsertPfn`.
+    ZapPage {
+        /// Guest virtual address of the mapping.
+        va: GuestVirtAddr,
+    },
+}
+
+impl BatchMemOp {
+    /// The grant-table request this entry must satisfy.
+    fn as_request(&self) -> MemOpRequest {
+        match *self {
+            BatchMemOp::CopyFromGuest { src, len } => {
+                MemOpRequest::CopyFromGuest { addr: src, len }
+            }
+            BatchMemOp::CopyToGuest { dst, ref data } => MemOpRequest::CopyToGuest {
+                addr: dst,
+                len: data.len() as u64,
+            },
+            BatchMemOp::InsertPfn { va, access, .. } => MemOpRequest::MapPage { va, access },
+            BatchMemOp::ZapPage { va } => MemOpRequest::UnmapPage { va },
+        }
+    }
+
+    /// `(kind, addr, len)` for the per-op trace event.
+    fn trace_shape(&self) -> (TraceMemOpKind, u64, u64) {
+        match *self {
+            BatchMemOp::CopyFromGuest { src, len } => {
+                (TraceMemOpKind::CopyFromGuest, src.raw(), len)
+            }
+            BatchMemOp::CopyToGuest { dst, ref data } => {
+                (TraceMemOpKind::CopyToGuest, dst.raw(), data.len() as u64)
+            }
+            BatchMemOp::InsertPfn { va, .. } => (TraceMemOpKind::MapPage, va.raw(), PAGE_SIZE),
+            BatchMemOp::ZapPage { va } => (TraceMemOpKind::UnmapPage, va.raw(), PAGE_SIZE),
+        }
+    }
+}
+
+/// The per-entry result of a [`Hypervisor::hv_memops_batch`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchMemOpResult {
+    /// A `CopyFromGuest` entry's bytes.
+    Bytes(Vec<u8>),
+    /// A side-effect-only entry completed.
+    Done,
+}
+
 /// The simulated hypervisor.
 pub struct Hypervisor {
     clock: SimClock,
@@ -262,6 +338,11 @@ pub struct Hypervisor {
     /// failed driver VM's hypercalls are refused — a compromised-after-crash
     /// driver can touch nothing — until `clear_driver_vm_failed` at reboot.
     failed_driver_vms: BTreeSet<u32>,
+    /// Count of hypercalls issued (grant declares/revokes plus the driver
+    /// memory-operation calls). Boundary crossings, not copied bytes, are
+    /// what separates paravirtual from native — the fast-path evaluation
+    /// reports this counter per workload.
+    hypercalls: u64,
 }
 
 impl fmt::Debug for Hypervisor {
@@ -326,6 +407,7 @@ impl Hypervisor {
             tracer: Tracer::disabled(),
             current_span: SpanId::NONE,
             failed_driver_vms: BTreeSet::new(),
+            hypercalls: 0,
         }
     }
 
@@ -375,6 +457,12 @@ impl Hypervisor {
     /// The isolation audit log.
     pub fn audit(&self) -> &AuditLog {
         &self.audit
+    }
+
+    /// Total hypercalls issued so far (declares, revokes, and driver memory
+    /// operations). The fast-path experiments report deltas of this counter.
+    pub fn hypercall_count(&self) -> u64 {
+        self.hypercalls
     }
 
     /// Clears the audit log (between experiment repetitions).
@@ -639,6 +727,7 @@ impl Hypervisor {
         ops: Vec<MemOpGrant>,
     ) -> Result<GrantRef, HvError> {
         self.vm(guest)?;
+        self.hypercalls += 1;
         let table = self.grants.get_mut(&guest.0).expect("grants track VMs");
         Ok(table.declare(ops)?)
     }
@@ -650,6 +739,7 @@ impl Hypervisor {
     /// Unknown VM.
     pub fn revoke_grant(&mut self, guest: VmId, grant: GrantRef) -> Result<bool, HvError> {
         self.vm(guest)?;
+        self.hypercalls += 1;
         Ok(self
             .grants
             .get_mut(&guest.0)
@@ -660,6 +750,14 @@ impl Hypervisor {
     /// Outstanding declarations for a guest (tests and overhead accounting).
     pub fn outstanding_grants(&self, guest: VmId) -> usize {
         self.grants.get(&guest.0).map_or(0, |t| t.outstanding())
+    }
+
+    /// The declarations behind a live grant reference, or `None` when the
+    /// reference is stale. The backend reads this (shared grant-table page)
+    /// to learn an op's declared envelope, e.g. when sizing the deferred
+    /// write set it will flush through one vectored hypercall.
+    pub fn grant_declarations(&self, guest: VmId, grant: GrantRef) -> Option<&[MemOpGrant]> {
+        self.grants.get(&guest.0)?.declarations(grant)
     }
 
     /// Disables or re-enables grant validation: the devirtualization
@@ -799,6 +897,7 @@ impl Hypervisor {
 
     /// A no-op hypercall (overhead microbenchmarks).
     pub fn hc_noop(&mut self, _caller: VmId) {
+        self.hypercalls += 1;
         self.clock.advance(self.cost.hypercall_ns);
     }
 
@@ -818,6 +917,7 @@ impl Hypervisor {
         grant: GrantRef,
     ) -> Result<(), HvError> {
         self.require_driver(caller)?;
+        self.hypercalls += 1;
         let checked = self.validate_grant(
             caller,
             guest,
@@ -834,7 +934,7 @@ impl Hypervisor {
             checked.is_ok(),
         );
         checked?;
-        let pages = paradice_mem::addr::page_chunks(src, buf.len() as u64).count() as u64;
+        let pages = paradice_mem::addr::page_span(src, buf.len() as u64);
         self.clock
             .advance(self.cost.copy_cost_ns(buf.len() as u64, pages));
         self.process_read(guest, pt_root, src, buf)
@@ -856,6 +956,7 @@ impl Hypervisor {
         grant: GrantRef,
     ) -> Result<(), HvError> {
         self.require_driver(caller)?;
+        self.hypercalls += 1;
         let checked = self.validate_grant(
             caller,
             guest,
@@ -872,7 +973,7 @@ impl Hypervisor {
             checked.is_ok(),
         );
         checked?;
-        let pages = paradice_mem::addr::page_chunks(dst, buf.len() as u64).count() as u64;
+        let pages = paradice_mem::addr::page_span(dst, buf.len() as u64);
         self.clock
             .advance(self.cost.copy_cost_ns(buf.len() as u64, pages));
         self.process_write(guest, pt_root, dst, buf)
@@ -904,12 +1005,29 @@ impl Hypervisor {
         domain: Option<DomainId>,
     ) -> Result<(), HvError> {
         self.require_driver(caller)?;
+        self.hypercalls += 1;
         let checked =
             self.validate_grant(caller, guest, grant, &MemOpRequest::MapPage { va, access });
         self.trace_mem_op(TraceMemOpKind::MapPage, va.raw(), PAGE_SIZE, checked.is_ok());
         checked?;
         self.clock.advance(self.cost.map_page_ns);
+        self.do_insert_pfn(caller, guest, pt_root, va, driver_pfn, access, grant, domain)
+    }
 
+    /// The mapping work of [`Hypervisor::hc_insert_pfn`], shared with the
+    /// vectored batch path (which validates and charges separately).
+    #[allow(clippy::too_many_arguments)]
+    fn do_insert_pfn(
+        &mut self,
+        caller: VmId,
+        guest: VmId,
+        pt_root: GuestPhysAddr,
+        va: GuestVirtAddr,
+        driver_pfn: u64,
+        access: Access,
+        grant: GrantRef,
+        domain: Option<DomainId>,
+    ) -> Result<(), HvError> {
         // Resolve the backing frame through the driver VM's EPT.
         let driver_gpa = GuestPhysAddr::new(driver_pfn * PAGE_SIZE);
         let pa = self
@@ -989,10 +1107,22 @@ impl Hypervisor {
         grant: GrantRef,
     ) -> Result<(), HvError> {
         self.require_driver(caller)?;
+        self.hypercalls += 1;
         let checked = self.validate_grant(caller, guest, grant, &MemOpRequest::UnmapPage { va });
         self.trace_mem_op(TraceMemOpKind::UnmapPage, va.raw(), PAGE_SIZE, checked.is_ok());
         checked?;
         self.clock.advance(self.cost.map_page_ns);
+        self.do_zap_page(guest, pt_root, va)
+    }
+
+    /// The unmapping work of [`Hypervisor::hc_zap_page`], shared with the
+    /// vectored batch path.
+    fn do_zap_page(
+        &mut self,
+        guest: VmId,
+        pt_root: GuestPhysAddr,
+        va: GuestVirtAddr,
+    ) -> Result<(), HvError> {
         let key = FixupKey {
             guest,
             pt_root: pt_root.raw(),
@@ -1009,6 +1139,103 @@ impl Hypervisor {
             .gpa_window_mut()
             .release(fixup.claimed_gpa);
         Ok(())
+    }
+
+    /// Vectored hypercall: executes a whole dispatch's memory operations in
+    /// one guest↔hypervisor boundary crossing (the fast path's answer to
+    /// §6.1.1's per-op validation hypercalls).
+    ///
+    /// Semantics are **all-or-nothing with respect to the grant table**:
+    /// every operation is validated against `grant` *before* any is applied,
+    /// so a compromised driver posting a wild batch cannot leak its first k
+    /// operations into guest memory — the batch is rejected whole, the
+    /// violation audited, and nothing is applied. (Non-grant faults during
+    /// the apply phase — e.g. an unmapped guest page mid-copy — abort the
+    /// remainder; such faults are the guest's own mapping state, not an
+    /// isolation boundary.)
+    ///
+    /// Cost: one `hypercall_ns` boundary crossing, plus each operation's
+    /// work with its own per-call crossing discounted — one hypercall
+    /// instead of N.
+    ///
+    /// # Errors
+    ///
+    /// Grant violations (audited; nothing applied), role violations, walk
+    /// or mapping failures during apply.
+    pub fn hv_memops_batch(
+        &mut self,
+        caller: VmId,
+        guest: VmId,
+        pt_root: GuestPhysAddr,
+        grant: GrantRef,
+        domain: Option<DomainId>,
+        ops: Vec<BatchMemOp>,
+    ) -> Result<Vec<BatchMemOpResult>, HvError> {
+        self.require_driver(caller)?;
+        self.hypercalls += 1;
+        self.clock.advance(self.cost.hypercall_ns);
+        // Phase 1: validate the whole batch. The first violation rejects it
+        // wholesale — no partial application can leak.
+        for op in &ops {
+            let request = op.as_request();
+            let checked = self.validate_grant(caller, guest, grant, &request);
+            let (kind, addr, len) = op.trace_shape();
+            self.trace_mem_op(kind, addr, len, checked.is_ok());
+            checked?;
+        }
+        // Phase 2: apply in order, charging each op's work with the per-call
+        // boundary crossing discounted (the batch already paid one).
+        let mut results = Vec::with_capacity(ops.len());
+        for op in ops {
+            match op {
+                BatchMemOp::CopyFromGuest { src, len } => {
+                    let mut buf = vec![0u8; len as usize];
+                    let pages = paradice_mem::addr::page_span(src, len);
+                    self.clock.advance(
+                        self.cost
+                            .copy_cost_ns(len, pages)
+                            .saturating_sub(self.cost.hypercall_ns),
+                    );
+                    self.process_read(guest, pt_root, src, &mut buf)?;
+                    results.push(BatchMemOpResult::Bytes(buf));
+                }
+                BatchMemOp::CopyToGuest { dst, ref data } => {
+                    let pages = paradice_mem::addr::page_span(dst, data.len() as u64);
+                    self.clock.advance(
+                        self.cost
+                            .copy_cost_ns(data.len() as u64, pages)
+                            .saturating_sub(self.cost.hypercall_ns),
+                    );
+                    self.process_write(guest, pt_root, dst, data)?;
+                    results.push(BatchMemOpResult::Done);
+                }
+                BatchMemOp::InsertPfn {
+                    va,
+                    driver_pfn,
+                    access,
+                } => {
+                    self.clock.advance(
+                        self.cost
+                            .map_page_ns
+                            .saturating_sub(self.cost.hypercall_ns),
+                    );
+                    self.do_insert_pfn(
+                        caller, guest, pt_root, va, driver_pfn, access, grant, domain,
+                    )?;
+                    results.push(BatchMemOpResult::Done);
+                }
+                BatchMemOp::ZapPage { va } => {
+                    self.clock.advance(
+                        self.cost
+                            .map_page_ns
+                            .saturating_sub(self.cost.hypercall_ns),
+                    );
+                    self.do_zap_page(guest, pt_root, va)?;
+                    results.push(BatchMemOpResult::Done);
+                }
+            }
+        }
+        Ok(results)
     }
 
     /// Number of live `mmap` fix-ups (tests).
@@ -1926,6 +2153,109 @@ mod tests {
                 .count_blocked_by(crate::audit::BlockedBy::GrantCheck),
             1
         );
+    }
+
+    #[test]
+    fn memops_batch_is_one_hypercall_and_matches_singles() {
+        let mut hv = boot();
+        let (guest, pt) = guest_with_process(&mut hv);
+        let driver = hv.create_vm(VmRole::Driver, 16 * PAGE_SIZE).unwrap();
+        let src = GuestVirtAddr::new(0x10000);
+        let dst = GuestVirtAddr::new(0x10100);
+        hv.process_write(guest, pt.root(), src, b"input-bytes").unwrap();
+        let grant = hv
+            .declare_grants(
+                guest,
+                vec![
+                    MemOpGrant::CopyFromGuest { addr: src, len: 64 },
+                    MemOpGrant::CopyToGuest { addr: dst, len: 64 },
+                ],
+            )
+            .unwrap();
+        let before = hv.hypercall_count();
+        let results = hv
+            .hv_memops_batch(
+                driver,
+                guest,
+                pt.root(),
+                grant,
+                None,
+                vec![
+                    BatchMemOp::CopyFromGuest { src, len: 11 },
+                    BatchMemOp::CopyToGuest {
+                        dst,
+                        data: b"out".to_vec(),
+                    },
+                ],
+            )
+            .unwrap();
+        assert_eq!(hv.hypercall_count() - before, 1, "one crossing for the batch");
+        assert_eq!(
+            results[0],
+            BatchMemOpResult::Bytes(b"input-bytes".to_vec())
+        );
+        assert_eq!(results[1], BatchMemOpResult::Done);
+        let mut buf = [0u8; 3];
+        hv.process_read(guest, pt.root(), dst, &mut buf).unwrap();
+        assert_eq!(&buf, b"out");
+        assert!(hv.audit().is_empty());
+    }
+
+    #[test]
+    fn memops_batch_is_all_or_nothing_on_a_grant_violation() {
+        let mut hv = boot();
+        let (guest, pt) = guest_with_process(&mut hv);
+        let driver = hv.create_vm(VmRole::Driver, 16 * PAGE_SIZE).unwrap();
+        let dst = GuestVirtAddr::new(0x10100);
+        hv.process_write(guest, pt.root(), dst, b"untouched").unwrap();
+        let grant = hv
+            .declare_grants(
+                guest,
+                vec![MemOpGrant::CopyToGuest { addr: dst, len: 64 }],
+            )
+            .unwrap();
+        // First entry is granted, second is wild: the batch must be refused
+        // wholesale — the granted first write must NOT have been applied.
+        let err = hv
+            .hv_memops_batch(
+                driver,
+                guest,
+                pt.root(),
+                grant,
+                None,
+                vec![
+                    BatchMemOp::CopyToGuest {
+                        dst,
+                        data: b"leaked!!!".to_vec(),
+                    },
+                    BatchMemOp::CopyToGuest {
+                        dst: GuestVirtAddr::new(0x17000),
+                        data: b"evil".to_vec(),
+                    },
+                ],
+            )
+            .unwrap_err();
+        assert!(matches!(err, HvError::Grant(_)));
+        let mut buf = [0u8; 9];
+        hv.process_read(guest, pt.root(), dst, &mut buf).unwrap();
+        assert_eq!(&buf, b"untouched", "no entry of a refused batch applies");
+        assert_eq!(
+            hv.audit()
+                .count_blocked_by(crate::audit::BlockedBy::GrantCheck),
+            1
+        );
+    }
+
+    #[test]
+    fn memops_batch_refuses_a_failed_driver_vm() {
+        let mut hv = boot();
+        let (guest, pt) = guest_with_process(&mut hv);
+        let driver = hv.create_vm(VmRole::Driver, 16 * PAGE_SIZE).unwrap();
+        hv.mark_driver_vm_failed(driver).unwrap();
+        let err = hv
+            .hv_memops_batch(driver, guest, pt.root(), GrantRef(u32::MAX), None, vec![])
+            .unwrap_err();
+        assert!(matches!(err, HvError::DriverVmFailed { .. }));
     }
 
     #[test]

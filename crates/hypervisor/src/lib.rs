@@ -41,6 +41,6 @@ pub use audit::{AuditEvent, AuditLog, BlockedBy};
 pub use channel::{Channel, ChannelError, ChannelStats, TransportMode, WireCodec};
 pub use clock::{ms, us, CostModel, SimClock};
 pub use grants::{GrantRef, GrantTable, MemOpGrant, MemOpRequest};
-pub use hv::{DmaPort, HvError, Hypervisor};
+pub use hv::{BatchMemOp, BatchMemOpResult, DmaPort, HvError, Hypervisor};
 pub use regions::RegionManager;
 pub use vm::{Vm, VmId};

@@ -235,6 +235,18 @@ pub enum TraceEvent {
         /// Declared-legitimate memory operations.
         grants: Vec<TraceGrant>,
     },
+    /// The frontend's grant-declaration cache resolved this span's grant
+    /// reference: `hit` means an earlier declaration was reused (no declare
+    /// hypercall), `!hit` means a cold declare populated the cache. Always
+    /// accompanied by a [`TraceEvent::Grants`] event carrying the (cached or
+    /// fresh) declared set, so the replay lint's used ⊆ declared ⊆ envelope
+    /// check is oblivious to caching.
+    GrantCache {
+        /// Owning span.
+        span: SpanId,
+        /// `true` when a previously declared reference was reused.
+        hit: bool,
+    },
     /// The hypervisor validated (or blocked) one driver memory operation.
     MemOp {
         /// Owning span (`SpanId::NONE` events are never recorded).
@@ -306,6 +318,7 @@ impl TraceEvent {
         match self {
             TraceEvent::OpStart { span, .. }
             | TraceEvent::Grants { span, .. }
+            | TraceEvent::GrantCache { span, .. }
             | TraceEvent::MemOp { span, .. }
             | TraceEvent::OpEnd { span, .. }
             | TraceEvent::FaultInjected { span, .. }
@@ -386,6 +399,12 @@ impl TraceEvent {
                     }
                 }
                 out.push_str("]}");
+            }
+            TraceEvent::GrantCache { span, hit } => {
+                out.push_str(&format!(
+                    "{{\"type\":\"grant_cache\",\"span\":{},\"hit\":{}}}",
+                    span.0, hit,
+                ));
             }
             TraceEvent::MemOp {
                 span,
@@ -704,6 +723,10 @@ fn event_from_value(value: &json::Value) -> Result<TraceEvent, String> {
             }
             Ok(TraceEvent::Grants { span, grants })
         }
+        "grant_cache" => Ok(TraceEvent::GrantCache {
+            span,
+            hit: get_bool(obj, "hit")?,
+        }),
         "mem_op" => Ok(TraceEvent::MemOp {
             span,
             t_ns: get_u64(obj, "t_ns")?,
@@ -1032,6 +1055,10 @@ mod tests {
                     },
                 ],
             },
+            TraceEvent::GrantCache {
+                span: SpanId(1),
+                hit: true,
+            },
             TraceEvent::MemOp {
                 span: SpanId(1),
                 t_ns: 120,
@@ -1062,7 +1089,7 @@ mod tests {
             tracer.record(event);
         }
         let text = tracer.to_jsonl();
-        assert_eq!(text.lines().count(), 4);
+        assert_eq!(text.lines().count(), 5);
         let parsed = parse_jsonl(&text).unwrap();
         assert_eq!(parsed, sample_events());
     }

@@ -43,4 +43,29 @@ cargo run -q --release -p paradice-bench --bin paradice-lint -- --replay "$TRACE
 echo "==> fault-injection campaign (fixed seed; nonzero on guest failure or <95% recovery)"
 cargo run -q --release -p paradice-bench --bin fault-campaign -- --seed 7 --campaigns 12
 
+echo "==> fast-path ablation smoke (no-op polled round trip vs committed baseline)"
+# The ablation is deterministic virtual time, so the regenerated numbers
+# should be byte-identical to the committed BENCH_fastpath.json; the gate
+# allows 10% headroom on the no-op polled round trip before failing.
+noop_metric() {
+    grep '"noop_polled_round_trip_ns"' "$1" \
+        | sed -n "s/.*\"$2\": *\([0-9][0-9]*\).*/\1/p"
+}
+BASE_OFF="$(noop_metric BENCH_fastpath.json off)"
+BASE_ON="$(noop_metric BENCH_fastpath.json on)"
+if [ -z "$BASE_OFF" ] || [ -z "$BASE_ON" ]; then
+    echo "ERROR: committed BENCH_fastpath.json lacks noop_polled_round_trip_ns" >&2
+    exit 1
+fi
+cargo run -q --release -p paradice-bench --bin experiments -- --fastpath
+NEW_OFF="$(noop_metric BENCH_fastpath.json off)"
+NEW_ON="$(noop_metric BENCH_fastpath.json on)"
+for pair in "off $BASE_OFF $NEW_OFF" "on $BASE_ON $NEW_ON"; do
+    set -- $pair
+    if [ "$(( $3 * 10 ))" -gt "$(( $2 * 11 ))" ]; then
+        echo "ERROR: no-op polled round trip regressed >10% ($1: ${2}ns -> ${3}ns)" >&2
+        exit 1
+    fi
+done
+
 echo "==> all checks passed"
