@@ -11,6 +11,10 @@
 //! * [`solver`] runs any [`solver::Analysis`] — a join-semilattice domain
 //!   plus transfer functions, forward or backward — to a worklist fixpoint
 //!   over one CFG.
+//! * [`reach`] is the concrete-state sibling: explicit-state bounded
+//!   reachability over labelled transition systems (the powerset lattice as
+//!   domain), powering `paradice-verify`'s protocol models with shortest
+//!   counterexample traces.
 //! * [`summary`] composes functions interprocedurally: `Call` sites
 //!   substitute the callee's (entry ⊔, exit) summary instead of inlining,
 //!   so a helper is analyzed once no matter how many call sites it has and
@@ -23,5 +27,6 @@
 //! engine itself knows nothing about diagnostics.
 
 pub mod cfg;
+pub mod reach;
 pub mod solver;
 pub mod summary;

@@ -30,6 +30,10 @@
 //! | `RP003` | warning | [`replay`] | span never ended; recording stopped mid-operation |
 //! | `RP004` | warning | `--replay` caller | traced device has no handler IR for the envelope check |
 //! | `RP005` | error | [`replay`] | memory operation recorded after its driver VM was marked dead (containment breach) |
+//! | `VP001` | error | `paradice-verify` | grant-table property disproved (soundness/completeness/batch counterexample) |
+//! | `VP002` | error | `paradice-verify` | ring-index property disproved (window/aliasing/doorbell counterexample) |
+//! | `VP003` | error | `paradice-verify` | wire-codec property disproved (round-trip/single-read counterexample) |
+//! | `VP004` | error | `paradice-verify` | model/code drift: checker model and real implementation disagree |
 //!
 //! Shipped drivers whose ABI genuinely deviates (e.g. a Linux `_IOWR`
 //! command whose scaled driver only uses one direction) carry
@@ -105,6 +109,10 @@ pub enum DiagCode {
     Ta001,
     Ta002,
     Wp001,
+    Vp001,
+    Vp002,
+    Vp003,
+    Vp004,
 }
 
 impl DiagCode {
@@ -134,6 +142,10 @@ impl DiagCode {
             DiagCode::Ta001 => "TA001",
             DiagCode::Ta002 => "TA002",
             DiagCode::Wp001 => "WP001",
+            DiagCode::Vp001 => "VP001",
+            DiagCode::Vp002 => "VP002",
+            DiagCode::Vp003 => "VP003",
+            DiagCode::Vp004 => "VP004",
         }
     }
 
@@ -152,7 +164,11 @@ impl DiagCode {
             | DiagCode::Rp002
             | DiagCode::Rp005
             | DiagCode::Ta001
-            | DiagCode::Wp001 => Severity::Error,
+            | DiagCode::Wp001
+            | DiagCode::Vp001
+            | DiagCode::Vp002
+            | DiagCode::Vp003
+            | DiagCode::Vp004 => Severity::Error,
             DiagCode::Df002
             | DiagCode::Og003
             | DiagCode::Sh001

@@ -9,10 +9,11 @@
 //!
 //! Tables print to stdout and land as CSV under `results/`. A full run
 //! also writes the machine-readable twins at the repo root:
-//! `BENCH_experiments.json` (every emitted table) and
+//! `BENCH_experiments.json` (every emitted table),
 //! `BENCH_fastpath.json` (the fast-path ablation, also written by a bare
 //! `--fastpath` run — `scripts/check.sh` gates on its no-op round-trip
-//! metric). `--trace` records the reference workload with paradice-trace
+//! metric), and `BENCH_verify.json` (the `paradice-verify` proof stats,
+//! also written by a bare `--verify` run). `--trace` records the reference workload with paradice-trace
 //! enabled and dumps the span events as JSONL — feed the file to
 //! `paradice-lint --replay` for recorded-trace conformance checking.
 
@@ -101,6 +102,15 @@ fn main() {
     }
     if want("--ablation") {
         emit(experiments::ablation());
+    }
+    if want("--verify") {
+        let reports = paradice_bench::verifyreport::run_verification();
+        emit(paradice_bench::verifyreport::verify_table(&reports));
+        let path = repo_root().join("BENCH_verify.json");
+        match std::fs::write(&path, paradice_bench::verifyreport::render_json(&reports)) {
+            Ok(()) => println!("verify proof stats written to {}", path.display()),
+            Err(e) => eprintln!("warning: could not write BENCH_verify.json: {e}"),
+        }
     }
     if want("--fastpath") {
         let ablation = fastpath::run_ablation();

@@ -17,6 +17,8 @@
 //!   ring, measured off vs. on and dumped to `BENCH_fastpath.json`.
 //! * [`tracing`] — the paradice-trace reference recorder behind
 //!   `experiments --trace <path>` and the `--replay` conformance gate.
+//! * [`verifyreport`] — the `paradice-verify` proof run as an experiments
+//!   table (`--verify`), dumped to `BENCH_verify.json`.
 //!
 //! Run everything with `cargo run -p paradice-bench --bin experiments`.
 
@@ -27,6 +29,7 @@ pub mod fastpath;
 pub mod faults;
 pub mod report;
 pub mod tracing;
+pub mod verifyreport;
 pub mod workloads;
 
 pub use configs::{build, spawn_app, Config};

@@ -21,7 +21,7 @@
 //! to the frontend.
 
 use std::cell::RefCell;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use paradice_analyzer::extract::{AddrTemplate, Extraction, HandlerReport};
@@ -36,6 +36,7 @@ use paradice_mem::{Access, GuestVirtAddr, PAGE_SIZE};
 use paradice_trace::{SpanId, TraceEvent, TraceGrant, TraceOpKind, Tracer, WireDelta};
 
 use crate::backend::SharedBackend;
+use crate::cache::{Eviction, GrantCache, GrantCacheKey};
 use crate::proto::{CvdChannel, WireOp, WireRequest, WireResponse};
 
 /// Default per-operation watchdog deadline on the virtual clock (50 ms).
@@ -310,52 +311,13 @@ pub struct FrontendStats {
 
 /// Capacity of the grant-declaration cache, comfortably under the
 /// hypervisor's per-guest grant-table capacity so transient per-op
-/// declarations always have room.
-const GRANT_CACHE_CAP: usize = 64;
+/// declarations always have room. Public so eviction tests can fill the
+/// cache to exactly this many shapes.
+pub const GRANT_CACHE_CAP: usize = 64;
 
 /// Ring depth the fast path asks of the channel (clamped by the channel to
 /// what the shared page supports).
 const FASTPATH_RING_DEPTH: usize = 8;
-
-/// Key of one memoized grant declaration: the op shape whose repeated
-/// occurrences may reuse a single declared [`GrantRef`]. Only `read`,
-/// `write`, and `ioctl` shapes are cached — the ops the ioctl-heavy
-/// workloads repeat — and the *full* canonical grant tuple participates, so
-/// any shape change (different buffer, length, or derived grant set) misses
-/// and declares cold.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
-struct GrantCacheKey {
-    handle: u64,
-    op: u8,
-    cmd: u32,
-    grants: Vec<(u8, u64, u64, u8)>,
-}
-
-impl GrantCacheKey {
-    fn for_op(handle: u64, op: &WireOp, grants: &[MemOpGrant]) -> Option<GrantCacheKey> {
-        let (tag, cmd) = match op {
-            WireOp::Read { .. } => (0u8, 0u32),
-            WireOp::Write { .. } => (1, 0),
-            WireOp::Ioctl { cmd, .. } => (2, cmd.raw()),
-            _ => return None,
-        };
-        Some(GrantCacheKey {
-            handle,
-            op: tag,
-            cmd,
-            grants: grants.iter().map(Self::canon).collect(),
-        })
-    }
-
-    fn canon(grant: &MemOpGrant) -> (u8, u64, u64, u8) {
-        match *grant {
-            MemOpGrant::CopyFromGuest { addr, len } => (0, addr.raw(), len, 0),
-            MemOpGrant::CopyToGuest { addr, len } => (1, addr.raw(), len, 0),
-            MemOpGrant::MapPages { va, pages, access } => (2, va.raw(), pages, access.bits()),
-            MemOpGrant::UnmapPages { va, pages } => (3, va.raw(), pages, 0),
-        }
-    }
-}
 
 /// An operation posted to the ring whose response has not been taken yet.
 #[derive(Debug)]
@@ -394,10 +356,9 @@ pub struct Frontend {
     breaker_open: bool,
     /// Fast path enabled: grant-declaration cache + pipelined ring.
     fastpath: bool,
-    /// Memoized grant declarations (fast path): op shape → live reference.
-    grant_cache: BTreeMap<GrantCacheKey, GrantRef>,
-    /// FIFO insertion order for cache eviction.
-    cache_order: VecDeque<GrantCacheKey>,
+    /// Memoized grant declarations (fast path): op shape → live reference,
+    /// with explicit ownership handoff on eviction (see [`crate::cache`]).
+    grant_cache: GrantCache,
     /// Requests posted to the ring, awaiting their FIFO-ordered responses.
     pipeline: Vec<PendingOp>,
     /// Results of completed pipelined ops, handed out by `flush_pipeline`.
@@ -441,8 +402,7 @@ impl Frontend {
             deadline_ns: DEFAULT_OP_DEADLINE_NS,
             breaker_open: false,
             fastpath: false,
-            grant_cache: BTreeMap::new(),
-            cache_order: VecDeque::new(),
+            grant_cache: GrantCache::new(GRANT_CACHE_CAP),
             pipeline: Vec::new(),
             completed: Vec::new(),
         }
@@ -454,6 +414,12 @@ impl Frontend {
     /// single bounded slot.
     pub fn set_fastpath(&mut self, on: bool) {
         if self.fastpath && !on {
+            // In-flight pipelined ops may still carry cache-owned refs;
+            // complete them before revoking the cache, or the backend's
+            // hypercalls for those ops would fail validation spuriously.
+            // (The bounded-model checker's revocation model caught the
+            // revoke-before-drain ordering; see `crates/verify`.)
+            let _ = self.drain_pipeline();
             self.purge_grant_cache(true);
         }
         self.fastpath = on;
@@ -482,9 +448,7 @@ impl Frontend {
     /// `mark_driver_vm_failed` already revoked everything server-side and
     /// the cached references are stale.
     fn purge_grant_cache(&mut self, revoke: bool) {
-        let refs: Vec<GrantRef> = self.grant_cache.values().copied().collect();
-        self.grant_cache.clear();
-        self.cache_order.clear();
+        let refs = self.grant_cache.purge();
         if revoke {
             let mut hv = self.hv.borrow_mut();
             for grant in refs {
@@ -770,7 +734,7 @@ impl Frontend {
     ) -> Result<(Option<GrantRef>, bool), Errno> {
         if self.fastpath {
             if let Some(key) = GrantCacheKey::for_op(handle, op, &ops) {
-                if let Some(&grant) = self.grant_cache.get(&key) {
+                if let Some(grant) = self.grant_cache.lookup(&key) {
                     self.stats.grant_cache_hits += 1;
                     if enabled {
                         self.tracer.record(TraceEvent::GrantCache { span, hit: true });
@@ -778,15 +742,31 @@ impl Frontend {
                     return Ok((Some(grant), true));
                 }
                 let grant = self.declare(ops)?;
-                if self.grant_cache.len() >= GRANT_CACHE_CAP {
-                    if let Some(oldest) = self.cache_order.pop_front() {
-                        if let Some(evicted) = self.grant_cache.remove(&oldest) {
-                            self.revoke(evicted);
+                let pipeline = &self.pipeline;
+                let eviction = self.grant_cache.insert(key, grant, |evicted| {
+                    pipeline.iter().any(|p| p.grant == Some(evicted))
+                });
+                match eviction {
+                    Eviction::None => {}
+                    Eviction::Revoke(evicted) => self.revoke(evicted),
+                    // The evicted ref is still attached to in-flight
+                    // pipelined ops: revoking now would fail their
+                    // hypercalls mid-flight. Hand ownership to the *last*
+                    // pending op using it — `drain_pipeline` revokes
+                    // non-cache-owned grants after completion, and earlier
+                    // ops sharing the ref stay `cache_owned` so only the
+                    // final use revokes.
+                    Eviction::Transfer(evicted) => {
+                        if let Some(entry) = self
+                            .pipeline
+                            .iter_mut()
+                            .rev()
+                            .find(|p| p.grant == Some(evicted))
+                        {
+                            entry.cache_owned = false;
                         }
                     }
                 }
-                self.grant_cache.insert(key.clone(), grant);
-                self.cache_order.push_back(key);
                 if enabled {
                     self.tracer.record(TraceEvent::GrantCache { span, hit: false });
                 }
@@ -897,20 +877,14 @@ impl Frontend {
         self.open.remove(&fd);
         self.backend_to_local.remove(&file.backend_handle);
         // The handle is gone: any cached declarations for its op shapes are
-        // dead weight — revoke and forget them.
-        let stale: Vec<GrantCacheKey> = self
+        // dead weight — revoke and forget them. (`run_op` drained the
+        // pipeline above, so none of these refs is in flight.)
+        let stale = self
             .grant_cache
-            .keys()
-            .filter(|key| key.handle == file.backend_handle)
-            .cloned()
-            .collect();
-        for key in stale {
-            if let Some(grant) = self.grant_cache.remove(&key) {
-                self.revoke(grant);
-            }
+            .remove_matching(|key| key.handle == file.backend_handle);
+        for grant in stale {
+            self.revoke(grant);
         }
-        self.cache_order
-            .retain(|key| key.handle != file.backend_handle);
         Ok(())
     }
 

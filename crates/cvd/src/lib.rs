@@ -16,6 +16,9 @@
 //!   legitimate memory operations of each file operation (from arguments,
 //!   `_IOC` encodings, or the analyzer's static/JIT extraction, §4.1),
 //!   declares them as grants, and forwards the operation.
+//! * [`cache`] — the pure grant-declaration cache kernel behind the fast
+//!   path: shape-keyed FIFO memoization with explicit ref-ownership
+//!   transfer, small enough for the bounded-model checker to exhaust.
 //! * [`backend`] — the driver-VM side: per-guest wait queues capped at 100
 //!   operations (DoS guard, §5.1), thread marking, driver dispatch, and
 //!   asynchronous-notification forwarding.
@@ -25,6 +28,7 @@
 //!   (§3.2.3, §5.1).
 
 pub mod backend;
+pub mod cache;
 pub mod frontend;
 pub mod info;
 pub mod memops;
@@ -32,6 +36,7 @@ pub mod proto;
 pub mod sharing;
 
 pub use backend::{Backend, SharedBackend};
+pub use cache::{Eviction, GrantCache, GrantCacheKey};
 pub use frontend::{Frontend, IoctlKnowledge, OsPersonality};
 pub use info::{DeviceInfoModule, VirtualPciBus};
 pub use memops::HypercallMemOps;

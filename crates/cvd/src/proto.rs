@@ -184,32 +184,60 @@ impl Writer {
     }
 }
 
-struct Reader<'a> {
-    bytes: &'a [u8],
-    at: usize,
+/// Observes every byte-range read a wire decoder performs against the
+/// shared page. The shared page is writable by the peer at any time, so
+/// the decoders must read each byte *at most once* (the WP001 single-read
+/// discipline) — a re-read is a TOCTOU window. The `crates/verify` model
+/// checker proves that property on the *real* decoders by running them
+/// under a counting probe; production decoding uses [`NoProbe`], which
+/// inlines to nothing.
+pub trait ReadProbe {
+    /// Called once per successful field read of `bytes[at..at + len)`.
+    fn on_read(&mut self, at: usize, len: usize);
 }
 
-impl<'a> Reader<'a> {
+/// The zero-cost probe the production decode paths use.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoProbe;
+
+impl ReadProbe for NoProbe {
+    #[inline(always)]
+    fn on_read(&mut self, _at: usize, _len: usize) {}
+}
+
+struct Reader<'a, 'p, P: ReadProbe> {
+    bytes: &'a [u8],
+    at: usize,
+    probe: &'p mut P,
+}
+
+impl<'a, P: ReadProbe> Reader<'a, '_, P> {
     fn u8(&mut self) -> Result<u8, WireError> {
         let v = *self.bytes.get(self.at).ok_or(WireError)?;
+        self.probe.on_read(self.at, 1);
         self.at += 1;
         Ok(v)
     }
 
     fn u32(&mut self) -> Result<u32, WireError> {
         let slice = self.bytes.get(self.at..self.at + 4).ok_or(WireError)?;
+        self.probe.on_read(self.at, 4);
         self.at += 4;
         Ok(u32::from_le_bytes(slice.try_into().expect("len 4")))
     }
 
     fn u64(&mut self) -> Result<u64, WireError> {
         let slice = self.bytes.get(self.at..self.at + 8).ok_or(WireError)?;
+        self.probe.on_read(self.at, 8);
         self.at += 8;
         Ok(u64::from_le_bytes(slice.try_into().expect("len 8")))
     }
 
     fn bytes(&mut self, len: usize) -> Result<&'a [u8], WireError> {
         let slice = self.bytes.get(self.at..self.at + len).ok_or(WireError)?;
+        if len > 0 {
+            self.probe.on_read(self.at, len);
+        }
         self.at += len;
         Ok(slice)
     }
@@ -294,7 +322,22 @@ impl WireRequest {
     ///
     /// [`WireError`] for truncated, oversized or trailing-garbage messages.
     pub fn decode(bytes: &[u8]) -> Result<WireRequest, WireError> {
-        let mut r = Reader { bytes, at: 0 };
+        WireRequest::decode_probed(bytes, &mut NoProbe)
+    }
+
+    /// [`WireRequest::decode`] with every field read reported to `probe`.
+    /// This is the *same* decode path production uses (with [`NoProbe`]);
+    /// the verify crate runs it under a counting probe to prove the
+    /// single-read property on the real codec.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`WireRequest::decode`].
+    pub fn decode_probed<P: ReadProbe>(
+        bytes: &[u8],
+        probe: &mut P,
+    ) -> Result<WireRequest, WireError> {
+        let mut r = Reader { bytes, at: 0, probe };
         let opcode = r.u8()?;
         let task = r.u64()?;
         let pt_root = GuestPhysAddr::new(r.u64()?);
@@ -421,7 +464,20 @@ impl WireResponse {
     /// [`WireError`] for malformed bytes, trailing bytes, unknown errno
     /// codes, or poll bits outside the `PollEvents` domain.
     pub fn decode(bytes: &[u8]) -> Result<WireResponse, WireError> {
-        let mut r = Reader { bytes, at: 0 };
+        WireResponse::decode_probed(bytes, &mut NoProbe)
+    }
+
+    /// [`WireResponse::decode`] with every field read reported to `probe`
+    /// (see [`WireRequest::decode_probed`]).
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`WireResponse::decode`].
+    pub fn decode_probed<P: ReadProbe>(
+        bytes: &[u8],
+        probe: &mut P,
+    ) -> Result<WireResponse, WireError> {
+        let mut r = Reader { bytes, at: 0, probe };
         let tag = r.u8()?;
         let response = match tag {
             0 => WireResponse::Value(r.u64()? as i64),
@@ -462,7 +518,20 @@ impl WireSignal {
     ///
     /// [`WireError`] on truncation.
     pub fn decode(bytes: &[u8]) -> Result<WireSignal, WireError> {
-        let mut r = Reader { bytes, at: 0 };
+        WireSignal::decode_probed(bytes, &mut NoProbe)
+    }
+
+    /// [`WireSignal::decode`] with every field read reported to `probe`
+    /// (see [`WireRequest::decode_probed`]).
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`WireSignal::decode`].
+    pub fn decode_probed<P: ReadProbe>(
+        bytes: &[u8],
+        probe: &mut P,
+    ) -> Result<WireSignal, WireError> {
+        let mut r = Reader { bytes, at: 0, probe };
         let signal = WireSignal {
             task: r.u64()?,
             handle: r.u64()?,
@@ -644,6 +713,70 @@ impl WireCodec for WireSignal {
 
     fn decode_wire(bytes: &[u8]) -> Option<Self> {
         WireSignal::decode(bytes).ok()
+    }
+}
+
+/// Kani proof harnesses (run via `cargo kani`; absent from normal builds).
+///
+/// Symbolic counterparts of the `crates/verify` codec properties: the
+/// exhaustive checker sweeps boundary-value message domains; these prove
+/// round-trip and the single-read discipline for *every* value of the
+/// symbolic fields on the fixed-size wire types.
+#[cfg(kani)]
+mod kani_proofs {
+    use super::*;
+
+    /// Counts how often each shared-page byte is read.
+    struct CountProbe {
+        counts: [u8; 32],
+    }
+
+    impl ReadProbe for CountProbe {
+        fn on_read(&mut self, at: usize, len: usize) {
+            for i in at..at + len {
+                self.counts[i] += 1;
+            }
+        }
+    }
+
+    #[kani::proof]
+    fn response_value_roundtrips() {
+        let value: i64 = kani::any();
+        let resp = WireResponse::Value(value);
+        let bytes = resp.encode();
+        assert!(WireResponse::decode(&bytes) == Ok(resp));
+    }
+
+    #[kani::proof]
+    fn signal_roundtrips_and_reads_each_byte_once() {
+        let signal = WireSignal {
+            task: kani::any(),
+            handle: kani::any(),
+        };
+        let bytes = signal.encode();
+        let mut probe = CountProbe { counts: [0; 32] };
+        assert!(WireSignal::decode_probed(&bytes, &mut probe) == Ok(signal));
+        let mut i = 0;
+        while i < bytes.len() {
+            assert!(probe.counts[i] == 1);
+            i += 1;
+        }
+    }
+
+    #[kani::proof]
+    fn response_decode_reads_each_byte_at_most_once() {
+        // Arbitrary 9-byte shared-page contents, decoded: whether or not it
+        // parses, no byte is consulted twice.
+        let bytes: [u8; 9] = kani::any();
+        let len: usize = kani::any();
+        kani::assume(len <= bytes.len());
+        let mut probe = CountProbe { counts: [0; 32] };
+        let _ = WireResponse::decode_probed(&bytes[..len], &mut probe);
+        let mut i = 0;
+        while i < len {
+            assert!(probe.counts[i] <= 1);
+            i += 1;
+        }
     }
 }
 

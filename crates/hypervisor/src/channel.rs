@@ -49,6 +49,7 @@ use std::marker::PhantomData;
 use paradice_mem::PAGE_SIZE;
 
 use crate::clock::{CostModel, SimClock};
+use crate::ring::{RingIndex, RING_CAPACITY};
 
 /// A message type with a defined shared-page wire format.
 ///
@@ -189,6 +190,92 @@ impl ChannelStats {
     }
 }
 
+/// One direction's slot storage: the pure [`RingIndex`] kernel assigns the
+/// slot numbers; this wrapper owns the payload bytes those slots hold and
+/// the shared-page byte budget. All index arithmetic — window bounds,
+/// aliasing, FIFO order, doorbell edges — lives in the kernel, where the
+/// model checker and Kani harnesses prove it; this wrapper only moves bytes
+/// in and out of the slots the kernel names.
+#[derive(Debug)]
+struct Ring {
+    idx: RingIndex,
+    slots: Vec<Option<Vec<u8>>>,
+    queued_bytes: u64,
+}
+
+impl Ring {
+    fn new() -> Ring {
+        Ring {
+            idx: RingIndex::new(),
+            slots: (0..RING_CAPACITY).map(|_| None).collect(),
+            queued_bytes: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.idx.len() as usize
+    }
+
+    /// Admission into this direction: entry count bounded by the ring
+    /// depth, total queued bytes bounded by the shared page. On success the
+    /// entry is committed into the kernel-assigned slot and the doorbell
+    /// flag (empty→non-empty edge) is returned.
+    fn try_push(&mut self, depth: usize, bytes: Vec<u8>) -> Result<bool, ChannelError> {
+        if self.len() >= depth {
+            return Err(ChannelError::SlotBusy);
+        }
+        if self.queued_bytes + bytes.len() as u64 > PAGE_SIZE {
+            return Err(ChannelError::SlotBusy);
+        }
+        let grant = self.idx.try_push(depth as u32).ok_or(ChannelError::SlotBusy)?;
+        let slot = &mut self.slots[grant.slot as usize];
+        debug_assert!(slot.is_none(), "kernel handed out an occupied slot");
+        self.queued_bytes += bytes.len() as u64;
+        *slot = Some(bytes);
+        Ok(grant.doorbell)
+    }
+
+    /// Drains the oldest committed entry (FIFO per the kernel).
+    fn try_pop(&mut self) -> Option<Vec<u8>> {
+        let slot = self.idx.try_pop()?;
+        let bytes = self.slots[slot as usize]
+            .take()
+            .expect("kernel drained an uncommitted slot");
+        self.queued_bytes -= bytes.len() as u64;
+        Some(bytes)
+    }
+
+    /// The most recently posted, undrained entry (fault hooks mutate it).
+    fn newest_mut(&mut self) -> Option<&mut Vec<u8>> {
+        let slot = self.idx.newest_slot()?;
+        self.slots[slot as usize].as_mut()
+    }
+
+    /// Removes the most recently posted entry (lost-completion injection).
+    fn drop_newest(&mut self) -> Option<Vec<u8>> {
+        let slot = self.idx.unpush()?;
+        let bytes = self.slots[slot as usize]
+            .take()
+            .expect("kernel abandoned an uncommitted slot");
+        self.queued_bytes -= bytes.len() as u64;
+        Some(bytes)
+    }
+
+    fn clear(&mut self) {
+        self.idx.clear();
+        for slot in &mut self.slots {
+            *slot = None;
+        }
+        self.queued_bytes = 0;
+    }
+
+    /// Adjusts the newest entry's byte accounting after an in-place fault
+    /// mutation (scramble/truncate may change the payload length).
+    fn reaccount(&mut self, old_len: usize, new_len: usize) {
+        self.queued_bytes = self.queued_bytes - old_len as u64 + new_len as u64;
+    }
+}
+
 /// One frontend↔backend shared-page channel carrying typed messages.
 ///
 /// `Req`/`Resp`/`Sig` default to `Vec<u8>` (the identity codec), so a plain
@@ -199,8 +286,8 @@ pub struct Channel<Req = Vec<u8>, Resp = Vec<u8>, Sig = Vec<u8>> {
     cost: CostModel,
     /// Entries per direction; 1 is the paper's bounded-slot discipline.
     ring_depth: usize,
-    requests: VecDeque<Vec<u8>>,
-    responses: VecDeque<Vec<u8>>,
+    requests: Ring,
+    responses: Ring,
     notifications: VecDeque<Vec<u8>>,
     /// Virtual time of the last activity on the channel, for the polling
     /// spin-budget model.
@@ -211,7 +298,7 @@ pub struct Channel<Req = Vec<u8>, Resp = Vec<u8>, Sig = Vec<u8>> {
 
 /// Upper bound on [`Channel::set_ring_depth`]: the ring descriptors live in
 /// the shared page's header, which caps how many entries one page can index.
-pub const MAX_RING_DEPTH: usize = 16;
+pub const MAX_RING_DEPTH: usize = RING_CAPACITY as usize;
 
 impl<Req, Resp, Sig> fmt::Debug for Channel<Req, Resp, Sig> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -230,8 +317,8 @@ impl<Req: WireCodec, Resp: WireCodec, Sig: WireCodec> Channel<Req, Resp, Sig> {
             clock,
             cost,
             ring_depth: 1,
-            requests: VecDeque::new(),
-            responses: VecDeque::new(),
+            requests: Ring::new(),
+            responses: Ring::new(),
             notifications: VecDeque::new(),
             last_activity_ns: 0,
             stats: ChannelStats::default(),
@@ -311,25 +398,6 @@ impl<Req: WireCodec, Resp: WireCodec, Sig: WireCodec> Channel<Req, Resp, Sig> {
         }
     }
 
-    /// Admission into one direction's ring: entry count bounded by the ring
-    /// depth, total queued bytes bounded by the shared page. Charges either
-    /// a full doorbell delivery (empty→non-empty transition) or a coalesced
-    /// marshal-only send.
-    fn admit(
-        ring: &mut VecDeque<Vec<u8>>,
-        depth: usize,
-        bytes: &[u8],
-    ) -> Result<bool, ChannelError> {
-        if ring.len() >= depth {
-            return Err(ChannelError::SlotBusy);
-        }
-        let queued: u64 = ring.iter().map(|b| b.len() as u64).sum();
-        if queued + bytes.len() as u64 > PAGE_SIZE {
-            return Err(ChannelError::SlotBusy);
-        }
-        Ok(ring.is_empty())
-    }
-
     /// A coalesced send: the ring was already non-empty, so the doorbell is
     /// already rung — the peer will drain this entry under the same
     /// interrupt (or polling pass). Only marshalling is paid.
@@ -348,15 +416,15 @@ impl<Req: WireCodec, Resp: WireCodec, Sig: WireCodec> Channel<Req, Resp, Sig> {
     pub fn send_request(&mut self, request: Req) -> Result<(), ChannelError> {
         let bytes = request.encode_wire();
         Self::check_len(&bytes)?;
-        let doorbell = Self::admit(&mut self.requests, self.ring_depth, &bytes)?;
+        let len = bytes.len() as u64;
+        let doorbell = self.requests.try_push(self.ring_depth, bytes)?;
         if doorbell {
             self.charge_delivery();
         } else {
             self.charge_coalesced();
         }
         self.stats.requests += 1;
-        self.stats.request_bytes += bytes.len() as u64;
-        self.requests.push_back(bytes);
+        self.stats.request_bytes += len;
         Ok(())
     }
 
@@ -368,7 +436,7 @@ impl<Req: WireCodec, Resp: WireCodec, Sig: WireCodec> Channel<Req, Resp, Sig> {
     /// [`ChannelError::Malformed`] if the entry bytes do not parse (the
     /// bad message is consumed either way, freeing the entry).
     pub fn take_request(&mut self) -> Result<Req, ChannelError> {
-        let bytes = self.requests.pop_front().ok_or(ChannelError::Empty)?;
+        let bytes = self.requests.try_pop().ok_or(ChannelError::Empty)?;
         Req::decode_wire(&bytes).ok_or(ChannelError::Malformed)
     }
 
@@ -381,15 +449,15 @@ impl<Req: WireCodec, Resp: WireCodec, Sig: WireCodec> Channel<Req, Resp, Sig> {
     pub fn send_response(&mut self, response: Resp) -> Result<(), ChannelError> {
         let bytes = response.encode_wire();
         Self::check_len(&bytes)?;
-        let doorbell = Self::admit(&mut self.responses, self.ring_depth, &bytes)?;
+        let len = bytes.len() as u64;
+        let doorbell = self.responses.try_push(self.ring_depth, bytes)?;
         if doorbell {
             self.charge_delivery();
         } else {
             self.charge_coalesced();
         }
         self.stats.responses += 1;
-        self.stats.response_bytes += bytes.len() as u64;
-        self.responses.push_back(bytes);
+        self.stats.response_bytes += len;
         Ok(())
     }
 
@@ -400,7 +468,7 @@ impl<Req: WireCodec, Resp: WireCodec, Sig: WireCodec> Channel<Req, Resp, Sig> {
     /// [`ChannelError::Empty`] if nothing is pending;
     /// [`ChannelError::Malformed`] if the entry bytes do not parse.
     pub fn take_response(&mut self) -> Result<Resp, ChannelError> {
-        let bytes = self.responses.pop_front().ok_or(ChannelError::Empty)?;
+        let bytes = self.responses.try_pop().ok_or(ChannelError::Empty)?;
         Resp::decode_wire(&bytes).ok_or(ChannelError::Malformed)
     }
 
@@ -448,42 +516,43 @@ impl<Req: WireCodec, Resp: WireCodec, Sig: WireCodec> Channel<Req, Resp, Sig> {
     /// response in place (a corrupted shared-page write by a crashing
     /// driver). Returns `false` when no response is pending.
     pub fn scramble_response_slot(&mut self) -> bool {
-        match self.responses.back_mut() {
-            Some(bytes) => {
-                if bytes.is_empty() {
-                    // An empty slot payload cannot decode anyway; make it
-                    // visibly garbled.
-                    *bytes = vec![0xde, 0xad];
-                } else {
-                    for (i, b) in bytes.iter_mut().enumerate() {
-                        *b = b.wrapping_add(0x5a).rotate_left((i % 7) as u32);
-                    }
-                }
-                true
+        let Some(bytes) = self.responses.newest_mut() else {
+            return false;
+        };
+        let old_len = bytes.len();
+        if bytes.is_empty() {
+            // An empty slot payload cannot decode anyway; make it
+            // visibly garbled.
+            *bytes = vec![0xde, 0xad];
+        } else {
+            for (i, b) in bytes.iter_mut().enumerate() {
+                *b = b.wrapping_add(0x5a).rotate_left((i % 7) as u32);
             }
-            None => false,
         }
+        let new_len = self.responses.newest_mut().map_or(0, |b| b.len());
+        self.responses.reaccount(old_len, new_len);
+        true
     }
 
     /// Fault injection: truncates the most recently posted response to half
     /// its length (a partial shared-page write). Returns `false` when no
     /// response is pending.
     pub fn truncate_response_slot(&mut self) -> bool {
-        match self.responses.back_mut() {
-            Some(bytes) => {
-                let keep = bytes.len() / 2;
-                bytes.truncate(keep);
-                true
-            }
-            None => false,
-        }
+        let Some(bytes) = self.responses.newest_mut() else {
+            return false;
+        };
+        let old_len = bytes.len();
+        let keep = old_len / 2;
+        bytes.truncate(keep);
+        self.responses.reaccount(old_len, keep);
+        true
     }
 
     /// Fault injection: drops the most recently posted response entirely (a
     /// lost completion delivery). Returns `false` when no response was
     /// pending.
     pub fn drop_response_slot(&mut self) -> bool {
-        self.responses.pop_back().is_some()
+        self.responses.drop_newest().is_some()
     }
 }
 

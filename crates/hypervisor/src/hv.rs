@@ -804,6 +804,42 @@ impl Hypervisor {
         }
     }
 
+    /// Batch counterpart of [`Hypervisor::validate_grant`]: delegates the
+    /// whole batch to the grant table's pure [`GrantTable::validate_batch`]
+    /// kernel (the phase-1 half of the all-or-nothing split that
+    /// `crates/verify` proves). Exactly one audit entry is recorded, for
+    /// the first violating request; an unknown guest VM fails on index 0
+    /// without an audit entry, mirroring the per-request path.
+    fn validate_grant_batch(
+        &mut self,
+        caller: VmId,
+        guest: VmId,
+        grant: GrantRef,
+        requests: &[MemOpRequest],
+    ) -> Result<(), (usize, HvError)> {
+        if !self.grant_validation || requests.is_empty() {
+            return Ok(());
+        }
+        let Some(table) = self.grants.get(&guest.0) else {
+            return Err((0, HvError::UnknownVm { vm: guest }));
+        };
+        match table.validate_batch(grant, requests) {
+            Ok(()) => Ok(()),
+            Err((index, e)) => {
+                self.audit.record(
+                    self.clock.now_ns(),
+                    AuditEvent::UngrantedMemOp {
+                        caller,
+                        target: guest,
+                        grant: Some(grant),
+                        description: format!("{:?}", requests[index]),
+                    },
+                );
+                Err((index, e.into()))
+            }
+        }
+    }
+
     // ------------------------------------------------------------------
     // Two-stage translation and process memory access
     // ------------------------------------------------------------------
@@ -1174,15 +1210,25 @@ impl Hypervisor {
         self.require_driver(caller)?;
         self.hypercalls += 1;
         self.clock.advance(self.cost.hypercall_ns);
-        // Phase 1: validate the whole batch. The first violation rejects it
-        // wholesale — no partial application can leak.
-        for op in &ops {
-            let request = op.as_request();
-            let checked = self.validate_grant(caller, guest, grant, &request);
+        // Phase 1: validate the whole batch through the grant table's pure
+        // batch kernel. The first violation rejects it wholesale — no
+        // partial application can leak. Ops up to and including the first
+        // violator are traced (the violator with `granted: false`).
+        let requests: Vec<MemOpRequest> = ops.iter().map(|op| op.as_request()).collect();
+        let verdict = self.validate_grant_batch(caller, guest, grant, &requests);
+        let traced = match &verdict {
+            Ok(()) => ops.len(),
+            Err((first_bad, _)) => first_bad + 1,
+        };
+        for (i, op) in ops.iter().take(traced).enumerate() {
+            let granted = match &verdict {
+                Ok(()) => true,
+                Err((first_bad, _)) => i < *first_bad,
+            };
             let (kind, addr, len) = op.trace_shape();
-            self.trace_mem_op(kind, addr, len, checked.is_ok());
-            checked?;
+            self.trace_mem_op(kind, addr, len, granted);
         }
+        verdict.map_err(|(_, e)| e)?;
         // Phase 2: apply in order, charging each op's work with the per-call
         // boundary crossing discounted (the batch already paid one).
         let mut results = Vec::with_capacity(ops.len());

@@ -19,6 +19,9 @@
 //! * [`regions`] — protected memory regions for device data isolation.
 //! * [`channel`] — shared-page inter-VM communication in interrupt and
 //!   polling modes, with the paper's measured latencies as cost anchors.
+//! * [`ring`] — the pure head/tail ring-index kernel underneath the
+//!   channel, factored out so the `crates/verify` model checker and the
+//!   optional Kani harnesses can prove its safety properties.
 //! * [`audit`] — the isolation audit log: every blocked attack is recorded
 //!   with what stopped it.
 
@@ -28,6 +31,7 @@ pub mod clock;
 pub mod grants;
 pub mod hv;
 pub mod regions;
+pub mod ring;
 pub mod vm;
 
 /// A shared handle to the hypervisor.
@@ -40,7 +44,8 @@ pub type SharedHypervisor = std::rc::Rc<std::cell::RefCell<hv::Hypervisor>>;
 pub use audit::{AuditEvent, AuditLog, BlockedBy};
 pub use channel::{Channel, ChannelError, ChannelStats, TransportMode, WireCodec};
 pub use clock::{ms, us, CostModel, SimClock};
-pub use grants::{GrantRef, GrantTable, MemOpGrant, MemOpRequest};
+pub use grants::{GrantError, GrantRef, GrantTable, MemOpGrant, MemOpRequest, GRANT_TABLE_CAPACITY};
 pub use hv::{BatchMemOp, BatchMemOpResult, DmaPort, HvError, Hypervisor};
 pub use regions::RegionManager;
+pub use ring::{PushGrant, RingIndex, RING_CAPACITY};
 pub use vm::{Vm, VmId};

@@ -1,0 +1,359 @@
+//! The pure ring-index kernel behind the shared-page channel.
+//!
+//! Each direction of a [`crate::channel::Channel`] is a bounded ring of
+//! message slots inside the one 4-KiB shared page. The safety-critical part
+//! is not the payload storage but the *index arithmetic*: which slot a send
+//! commits into, which slot a take drains, and when the doorbell must ring.
+//! [`RingIndex`] isolates exactly that arithmetic — two free-running
+//! wrapping `u32` counters and nothing else — so the bounded-model checker
+//! in `crates/verify` (and the optional Kani harnesses below) can prove its
+//! safety properties over *all* inputs rather than traced ones:
+//!
+//! * **window**: at most `depth` entries are outstanding, and every slot
+//!   handed out is `< RING_CAPACITY`;
+//! * **no aliasing**: a producer is never handed a slot that still holds an
+//!   undrained entry, so a send can never overwrite a committed message;
+//! * **FIFO**: the consumer drains slots in exactly the order the producer
+//!   committed them, so the backend never reads an uncommitted slot;
+//! * **doorbell edges**: `try_push` reports a doorbell *iff* the ring was
+//!   empty, so coalescing never loses an empty→non-empty transition.
+//!
+//! The counters are free-running (they wrap modulo 2³²) and slots are
+//! `counter % RING_CAPACITY`; because the capacity is a power of two the
+//! mapping stays seamless across the wrap. `depth` is an *admission bound*
+//! supplied per push rather than stored state: narrowing a live ring
+//! (`Channel::set_ring_depth`) only constrains future sends, entries already
+//! queued stay queued — exactly the documented channel semantics.
+
+/// Slots per direction in the shared page. Equals
+/// [`crate::channel::MAX_RING_DEPTH`]; must be a power of two so the
+/// `counter % RING_CAPACITY` slot mapping is seamless across `u32` wrap.
+pub const RING_CAPACITY: u32 = 16;
+
+const _: () = assert!(RING_CAPACITY.is_power_of_two());
+
+/// Pure head/tail index arithmetic for one ring direction.
+///
+/// `head` counts entries ever consumed, `tail` entries ever produced; both
+/// wrap freely. The outstanding window is `[head, tail)` and its slots are
+/// the counters modulo [`RING_CAPACITY`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RingIndex {
+    head: u32,
+    tail: u32,
+}
+
+/// What a successful [`RingIndex::try_push`] hands the producer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PushGrant {
+    /// The slot (`< RING_CAPACITY`) the entry must be committed into.
+    pub slot: u32,
+    /// Whether this push made the ring non-empty — the producer must ring
+    /// the doorbell. Pushes into a non-empty ring coalesce behind the
+    /// doorbell already rung.
+    pub doorbell: bool,
+}
+
+impl RingIndex {
+    /// An empty ring with counters at zero.
+    pub const fn new() -> RingIndex {
+        RingIndex { head: 0, tail: 0 }
+    }
+
+    /// An empty ring whose counters start at `base` (tests and the model
+    /// checker seed this near `u32::MAX` to exercise the wrap seam).
+    pub const fn new_at(base: u32) -> RingIndex {
+        RingIndex {
+            head: base,
+            tail: base,
+        }
+    }
+
+    /// Outstanding entries (committed, not yet drained).
+    pub fn len(&self) -> u32 {
+        self.tail.wrapping_sub(self.head)
+    }
+
+    /// Whether no entry is outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.head == self.tail
+    }
+
+    /// The raw `(head, tail)` counters (for diagnostics and the checker).
+    pub fn counters(&self) -> (u32, u32) {
+        (self.head, self.tail)
+    }
+
+    /// Claims the next producer slot, bounded by `depth` outstanding
+    /// entries. `depth` is clamped to [`RING_CAPACITY`]. Returns `None`
+    /// when the ring already holds `depth` entries (the channel reports
+    /// `SlotBusy`).
+    pub fn try_push(&mut self, depth: u32) -> Option<PushGrant> {
+        let depth = depth.min(RING_CAPACITY);
+        if self.len() >= depth {
+            return None;
+        }
+        let grant = PushGrant {
+            slot: self.tail % RING_CAPACITY,
+            doorbell: self.is_empty(),
+        };
+        self.tail = self.tail.wrapping_add(1);
+        Some(grant)
+    }
+
+    /// Drains the oldest outstanding slot, or `None` when the ring is
+    /// empty. The returned slot is always the one the *earliest* undrained
+    /// `try_push` committed (FIFO).
+    pub fn try_pop(&mut self) -> Option<u32> {
+        if self.is_empty() {
+            return None;
+        }
+        let slot = self.head % RING_CAPACITY;
+        self.head = self.head.wrapping_add(1);
+        Some(slot)
+    }
+
+    /// Un-claims the most recently pushed slot (fault injection: a lost
+    /// completion is modeled by dropping the newest entry). Returns the
+    /// abandoned slot, or `None` when the ring is empty.
+    pub fn unpush(&mut self) -> Option<u32> {
+        if self.is_empty() {
+            return None;
+        }
+        self.tail = self.tail.wrapping_sub(1);
+        Some(self.tail % RING_CAPACITY)
+    }
+
+    /// The slot of the most recently pushed, still-outstanding entry
+    /// (fault-injection hooks mutate it in place).
+    pub fn newest_slot(&self) -> Option<u32> {
+        if self.is_empty() {
+            return None;
+        }
+        Some(self.tail.wrapping_sub(1) % RING_CAPACITY)
+    }
+
+    /// Resets to empty. The counters keep running (`head` jumps to `tail`)
+    /// so slot assignment stays unique across a recovery reset.
+    pub fn clear(&mut self) {
+        self.head = self.tail;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pushes `n` entries at `depth`, asserting slot and doorbell per entry
+    /// against a naive model, then returns the claimed slots in order.
+    fn push_n(ring: &mut RingIndex, depth: u32, n: u32) -> Vec<u32> {
+        let mut slots = Vec::new();
+        for _ in 0..n {
+            let was_empty = ring.is_empty();
+            let grant = ring.try_push(depth).expect("ring unexpectedly full");
+            assert!(grant.slot < RING_CAPACITY);
+            assert_eq!(grant.doorbell, was_empty, "doorbell iff empty→non-empty");
+            slots.push(grant.slot);
+        }
+        slots
+    }
+
+    #[test]
+    fn depth_one_alternates_one_slot_at_a_time() {
+        let mut ring = RingIndex::new();
+        for i in 0..40u32 {
+            let slots = push_n(&mut ring, 1, 1);
+            // Depth 1: a second push must fail before the drain.
+            assert_eq!(ring.try_push(1), None);
+            assert_eq!(ring.len(), 1);
+            assert_eq!(ring.try_pop(), Some(slots[0]));
+            assert_eq!(slots[0], i % RING_CAPACITY);
+            assert!(ring.is_empty());
+            assert_eq!(ring.try_pop(), None);
+        }
+    }
+
+    #[test]
+    fn depth_eight_full_ring_then_fifo_drain() {
+        let mut ring = RingIndex::new();
+        let slots = push_n(&mut ring, 8, 8);
+        assert_eq!(ring.len(), 8);
+        // Full at depth 8: the ninth push is refused even though the
+        // 16-slot page window has room.
+        assert_eq!(ring.try_push(8), None);
+        // FIFO: drains in exactly the commit order.
+        for (i, &slot) in slots.iter().enumerate() {
+            assert_eq!(ring.try_pop(), Some(slot), "entry {i}");
+        }
+        assert_eq!(ring.try_pop(), None);
+    }
+
+    #[test]
+    fn wraparound_keeps_slots_unique_and_fifo() {
+        // Counters seeded 5 entries before the u32 wrap: pushing 16 crosses
+        // the seam. Every outstanding slot must stay distinct and drain in
+        // order.
+        let mut ring = RingIndex::new_at(u32::MAX - 5);
+        let slots = push_n(&mut ring, 16, 16);
+        let mut sorted = slots.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 16, "aliased slot across the wrap: {slots:?}");
+        for &slot in &slots {
+            assert_eq!(ring.try_pop(), Some(slot));
+        }
+        assert!(ring.is_empty());
+        // The counters really did wrap.
+        let (head, tail) = ring.counters();
+        assert_eq!(head, tail);
+        assert!(tail < 16, "tail should have wrapped past zero: {tail}");
+    }
+
+    #[test]
+    fn same_slot_produce_consume_at_full_window() {
+        // With the window completely full (depth = capacity), head and tail
+        // point at the same slot index: the next pop and the next push both
+        // name slot k. The pop must come first — and after it does, the
+        // push may legitimately reuse exactly that slot.
+        let mut ring = RingIndex::new();
+        push_n(&mut ring, RING_CAPACITY, RING_CAPACITY);
+        let (head, tail) = ring.counters();
+        assert_eq!(head % RING_CAPACITY, tail % RING_CAPACITY);
+        // Producer blocked at the shared slot index…
+        assert_eq!(ring.try_push(RING_CAPACITY), None);
+        // …until the consumer frees it; the freed slot is then immediately
+        // reissued to the producer.
+        let freed = ring.try_pop().unwrap();
+        let grant = ring.try_push(RING_CAPACITY).unwrap();
+        assert_eq!(grant.slot, freed);
+        assert!(!grant.doorbell, "ring was non-empty: no doorbell");
+    }
+
+    #[test]
+    fn narrowing_depth_keeps_queued_entries() {
+        let mut ring = RingIndex::new();
+        push_n(&mut ring, 8, 8);
+        // Narrowed to 1 with 8 queued: pushes refused, pops still drain.
+        assert_eq!(ring.try_push(1), None);
+        for _ in 0..7 {
+            ring.try_pop().unwrap();
+        }
+        // Still at len 1 = narrowed depth: refused.
+        assert_eq!(ring.try_push(1), None);
+        ring.try_pop().unwrap();
+        assert!(ring.try_push(1).is_some());
+    }
+
+    #[test]
+    fn unpush_and_newest_slot_track_the_tail() {
+        let mut ring = RingIndex::new();
+        assert_eq!(ring.unpush(), None);
+        assert_eq!(ring.newest_slot(), None);
+        let slots = push_n(&mut ring, 4, 3);
+        assert_eq!(ring.newest_slot(), Some(slots[2]));
+        assert_eq!(ring.unpush(), Some(slots[2]));
+        assert_eq!(ring.newest_slot(), Some(slots[1]));
+        assert_eq!(ring.len(), 2);
+        // The abandoned slot is reissued to the next push.
+        assert_eq!(ring.try_push(4).unwrap().slot, slots[2]);
+    }
+
+    #[test]
+    fn clear_keeps_counters_monotonic() {
+        let mut ring = RingIndex::new();
+        push_n(&mut ring, 8, 5);
+        ring.clear();
+        assert!(ring.is_empty());
+        let (head, tail) = ring.counters();
+        assert_eq!((head, tail), (5, 5));
+        // Post-reset pushes continue the slot sequence, never reusing the
+        // abandoned in-flight slots out of order.
+        assert_eq!(ring.try_push(8).unwrap().slot, 5);
+    }
+
+    #[test]
+    fn depth_is_clamped_to_capacity() {
+        let mut ring = RingIndex::new();
+        let slots = push_n(&mut ring, u32::MAX, RING_CAPACITY);
+        assert_eq!(slots.len(), RING_CAPACITY as usize);
+        assert_eq!(ring.try_push(u32::MAX), None, "capacity bounds any depth");
+    }
+}
+
+/// Kani proof harnesses (run via `cargo kani`; absent from normal builds).
+///
+/// These mirror the `crates/verify` ring properties with symbolic inputs:
+/// where the exhaustive checker enumerates event sequences from seeded
+/// counters, Kani proves the single-step invariants for *every* reachable
+/// `(head, tail)` pair at once.
+#[cfg(kani)]
+mod kani_proofs {
+    use super::*;
+
+    /// Any state with a valid window (`len ≤ RING_CAPACITY`).
+    fn any_ring() -> RingIndex {
+        let head: u32 = kani::any();
+        let len: u32 = kani::any();
+        kani::assume(len <= RING_CAPACITY);
+        RingIndex {
+            head,
+            tail: head.wrapping_add(len),
+        }
+    }
+
+    #[kani::proof]
+    fn push_respects_window_and_doorbell_edge() {
+        let mut ring = any_ring();
+        let depth: u32 = kani::any();
+        kani::assume(depth >= 1);
+        let len_before = ring.len();
+        let was_empty = ring.is_empty();
+        match ring.try_push(depth) {
+            Some(grant) => {
+                // Admission: only under the (clamped) depth bound.
+                assert!(len_before < depth.min(RING_CAPACITY));
+                assert!(grant.slot < RING_CAPACITY);
+                assert!(grant.doorbell == was_empty);
+                assert!(ring.len() == len_before + 1);
+                assert!(ring.len() <= RING_CAPACITY);
+            }
+            None => {
+                // Refusal: exactly when the window is at the bound.
+                assert!(len_before >= depth.min(RING_CAPACITY));
+                assert!(ring.len() == len_before);
+            }
+        }
+    }
+
+    #[kani::proof]
+    fn pop_is_fifo_and_never_reads_uncommitted() {
+        let mut ring = any_ring();
+        let len_before = ring.len();
+        let (head, _) = ring.counters();
+        match ring.try_pop() {
+            Some(slot) => {
+                // The drained slot is exactly the oldest committed one.
+                assert!(len_before > 0);
+                assert!(slot == head % RING_CAPACITY);
+                assert!(ring.len() == len_before - 1);
+            }
+            None => assert!(len_before == 0),
+        }
+    }
+
+    #[kani::proof]
+    fn push_never_aliases_an_outstanding_slot() {
+        let mut ring = any_ring();
+        kani::assume(ring.len() < RING_CAPACITY);
+        let (head, tail) = ring.counters();
+        let grant = ring.try_push(RING_CAPACITY).unwrap();
+        // The claimed slot differs from every outstanding slot: the window
+        // [head, tail) never contains a counter congruent to `tail` while
+        // its width is below the capacity.
+        let mut probe = head;
+        while probe != tail {
+            assert!(probe % RING_CAPACITY != grant.slot);
+            probe = probe.wrapping_add(1);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! `paradice-verify` — prove the isolation core, or exit nonzero with a
+//! replayable counterexample.
+//!
+//! ```text
+//! paradice-verify --all                    # prove every property
+//! paradice-verify --prop ring-depth8       # one property
+//! paradice-verify --all --json             # machine-readable report
+//! paradice-verify --all --mutant cache-evict-inflight
+//!                                          # seeded-bug run: MUST exit 1
+//! paradice-verify --all --emit-fixtures tests/fixtures/verify
+//!                                          # write counterexample fixtures
+//! paradice-verify --list                   # properties and mutants
+//! ```
+//!
+//! Exit codes: `0` everything proved, `1` at least one property disproved,
+//! `2` usage error.
+
+use std::process::ExitCode;
+
+use paradice_verify::report::{to_json, Mutant, PropertyReport};
+use paradice_verify::{run_property, PROPERTIES};
+
+struct Options {
+    props: Vec<String>,
+    json: bool,
+    mutant: Option<Mutant>,
+    emit_fixtures: Option<String>,
+}
+
+fn usage(error: &str) -> ExitCode {
+    eprintln!("paradice-verify: {error}");
+    eprintln!(
+        "usage: paradice-verify (--all | --prop NAME)... [--json] [--mutant NAME] \
+         [--emit-fixtures DIR] | --list"
+    );
+    ExitCode::from(2)
+}
+
+fn list() {
+    println!("properties:");
+    for name in PROPERTIES {
+        println!("  {name}");
+    }
+    println!("mutants (each must be disproved):");
+    for mutant in Mutant::ALL {
+        println!("  {}", mutant.name());
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
+    let mut props = Vec::new();
+    let mut json = false;
+    let mut mutant = None;
+    let mut emit_fixtures = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--list" => return Ok(None),
+            "--all" => props.extend(PROPERTIES.iter().map(|p| (*p).to_owned())),
+            "--prop" => {
+                let name = iter.next().ok_or("--prop needs a property name")?;
+                if !PROPERTIES.contains(&name.as_str()) {
+                    return Err(format!("unknown property {name:?} (see --list)"));
+                }
+                props.push(name.clone());
+            }
+            "--json" => json = true,
+            "--mutant" => {
+                let name = iter.next().ok_or("--mutant needs a mutant name")?;
+                mutant = Some(
+                    Mutant::from_name(name)
+                        .ok_or_else(|| format!("unknown mutant {name:?} (see --list)"))?,
+                );
+            }
+            "--emit-fixtures" => {
+                let dir = iter.next().ok_or("--emit-fixtures needs a directory")?;
+                emit_fixtures = Some(dir.clone());
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if props.is_empty() {
+        return Err("nothing to do: pass --all or --prop NAME".to_owned());
+    }
+    Ok(Some(Options {
+        props,
+        json,
+        mutant,
+        emit_fixtures,
+    }))
+}
+
+fn print_human(reports: &[PropertyReport], mutant: Option<Mutant>) {
+    if let Some(mutant) = mutant {
+        println!(
+            "== seeded mutant {} active: every PROVED line below is a checker blind spot ==",
+            mutant.name()
+        );
+    }
+    let width = reports.iter().map(|r| r.name.len()).max().unwrap_or(0);
+    for report in reports {
+        let verdict = if report.proved { "PROVED   " } else { "DISPROVED" };
+        println!(
+            "{verdict} {:width$}  states={:<8} checks={:<8} {:>5} ms",
+            report.name, report.states, report.transitions, report.duration_ms,
+        );
+        for finding in &report.findings {
+            println!("          {}", finding.render());
+        }
+        if let Some(fixture) = &report.counterexample {
+            for line in fixture.render().lines() {
+                println!("          | {line}");
+            }
+        }
+    }
+    let proved = reports.iter().filter(|r| r.proved).count();
+    println!(
+        "{proved}/{} properties proved in {} ms total",
+        reports.len(),
+        reports.iter().map(|r| r.duration_ms).sum::<u128>(),
+    );
+}
+
+fn emit_fixtures(dir: &str, reports: &[PropertyReport]) -> Result<usize, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {dir}: {e}"))?;
+    let mut written = 0;
+    for fixture in reports.iter().filter_map(|r| r.counterexample.as_ref()) {
+        let path = format!("{dir}/{}", fixture.file_name());
+        std::fs::write(&path, fixture.render()).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+        written += 1;
+    }
+    Ok(written)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(Some(options)) => options,
+        Ok(None) => {
+            list();
+            return ExitCode::SUCCESS;
+        }
+        Err(error) => return usage(&error),
+    };
+    let mut reports = Vec::new();
+    for name in &options.props {
+        reports.push(run_property(name, options.mutant).expect("validated property name"));
+    }
+    if options.json {
+        println!("{}", to_json(&reports, options.mutant));
+    } else {
+        print_human(&reports, options.mutant);
+    }
+    if let Some(dir) = &options.emit_fixtures {
+        match emit_fixtures(dir, &reports) {
+            Ok(written) => eprintln!("{written} fixture(s) written to {dir}"),
+            Err(error) => return usage(&error),
+        }
+    }
+    if reports.iter().all(|r| r.proved) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,695 @@
+//! Wire-codec properties: round-trip fidelity, the WP001 single-read
+//! discipline on the *real* decoders, and the IR/decoder cross-check that
+//! keeps the analyzer's model of the shared page honest.
+//!
+//! Three properties:
+//!
+//! * `codec-roundtrip` — for a boundary-value corpus of every wire type
+//!   ([`WireRequest`] across all ten opcodes × grant present/absent,
+//!   [`WireResponse`] across all three tags, [`WireSignal`]):
+//!   `decode(encode(x)) == x`, a trailing byte is rejected, and *every*
+//!   strict prefix of the encoding is rejected (no truncated message parses).
+//! * `codec-single-read` — the shared page is peer-writable, so each byte
+//!   must be read at most once per decode (a re-read is a TOCTOU window).
+//!   Checked dynamically by running the production `decode_probed` paths
+//!   under a counting probe over the corpus *and* every truncation of it,
+//!   and statically by running the `WP001` wire lint over the decode IRs.
+//!   [`Mutant::CodecDoubleRead`] swaps in the doctored re-reading IR, which
+//!   the lint must flag.
+//! * `codec-ir-crosscheck` — the IR the analyzer lints
+//!   ([`wire_request_decode_ir`]) and the decoder the backend runs are two
+//!   descriptions of one layout. A recording probe tiles the real decoder's
+//!   reads and compares them against the IR's const-evaluated
+//!   `CopyFromUser` offsets; if either side drifts the property fails with
+//!   `VP004`. [`Mutant::CodecIrDrift`] swaps in an IR whose length word
+//!   moved by one byte.
+
+use std::collections::BTreeMap;
+
+use paradice_analyzer::ir::{Cond, Expr, Function, Handler, Stmt, VarId};
+use paradice_analyzer::lint::wire::check_wire;
+use paradice_analyzer::lint::{DiagCode, Diagnostic};
+use paradice_cvd::proto::{
+    doctored_wire_request_decode_ir, wire_request_decode_ir, wire_response_decode_ir, ReadProbe,
+    WireOp, WireRequest, WireResponse, WireSignal, MAX_PATH,
+};
+use paradice_devfs::{Errno, IoctlCmd, OpenFlags, PollEvents};
+use paradice_hypervisor::GrantRef;
+use paradice_mem::{Access, GuestPhysAddr, GuestVirtAddr};
+
+use crate::fixture::{to_hex, Fixture};
+use crate::report::{Mutant, PropertyReport};
+
+/// Counts how many times each byte offset is read during one decode.
+#[derive(Default)]
+struct CountProbe {
+    counts: BTreeMap<usize, u32>,
+}
+
+impl CountProbe {
+    /// The first offset read more than once, if any.
+    fn double_read(&self) -> Option<usize> {
+        self.counts.iter().find(|(_, &n)| n > 1).map(|(&at, _)| at)
+    }
+
+    /// Whether every offset in `0..len` was read exactly once.
+    fn covers_exactly(&self, len: usize) -> bool {
+        self.counts.len() == len && self.counts.values().all(|&n| n == 1)
+    }
+}
+
+impl ReadProbe for CountProbe {
+    fn on_read(&mut self, at: usize, len: usize) {
+        for offset in at..at + len {
+            *self.counts.entry(offset).or_insert(0) += 1;
+        }
+    }
+}
+
+/// Records the ordered `(offset, len)` reads of one decode.
+#[derive(Default)]
+struct RecordProbe {
+    reads: Vec<(usize, usize)>,
+}
+
+impl RecordProbe {
+    /// Whether the reads tile `0..total` contiguously, in order, with no
+    /// gap, overlap, or re-read anywhere.
+    fn tiles(&self, total: usize) -> bool {
+        let mut at = 0;
+        for &(start, len) in &self.reads {
+            if start != at {
+                return false;
+            }
+            at += len;
+        }
+        at == total
+    }
+
+    /// The length of the read starting exactly at `offset`, if one exists.
+    fn read_at(&self, offset: usize) -> Option<usize> {
+        self.reads
+            .iter()
+            .find(|&&(start, _)| start == offset)
+            .map(|&(_, len)| len)
+    }
+}
+
+impl ReadProbe for RecordProbe {
+    fn on_read(&mut self, at: usize, len: usize) {
+        self.reads.push((at, len));
+    }
+}
+
+fn request_corpus() -> Vec<WireRequest> {
+    let ops = vec![
+        WireOp::Open {
+            path: String::new(),
+            flags: OpenFlags::RDONLY,
+        },
+        WireOp::Open {
+            path: "net/ixgbe0".to_owned(),
+            flags: OpenFlags::RDWR.nonblocking(),
+        },
+        WireOp::Open {
+            path: "p".repeat(MAX_PATH),
+            flags: OpenFlags::WRONLY,
+        },
+        WireOp::Release,
+        WireOp::Read {
+            addr: GuestVirtAddr::new(0),
+            len: 0,
+        },
+        WireOp::Read {
+            addr: GuestVirtAddr::new(u64::MAX),
+            len: u64::MAX,
+        },
+        WireOp::Write {
+            addr: GuestVirtAddr::new(0x1000),
+            len: 0x1000,
+        },
+        WireOp::Ioctl {
+            cmd: IoctlCmd(0),
+            arg: 0,
+        },
+        WireOp::Ioctl {
+            cmd: IoctlCmd(u32::MAX),
+            arg: u64::MAX,
+        },
+        WireOp::Mmap {
+            va: GuestVirtAddr::new(0x7000_0000),
+            len: 0x10_000,
+            offset: 0x40,
+            access: Access::READ,
+        },
+        WireOp::Munmap {
+            va: GuestVirtAddr::new(0x7000_0000),
+            len: 0x10_000,
+        },
+        WireOp::Fault {
+            va: GuestVirtAddr::new(0x7000_1000),
+        },
+        WireOp::Poll,
+        WireOp::Fasync { on: true },
+        WireOp::Fasync { on: false },
+    ];
+    let mut out = Vec::new();
+    for (index, op) in ops.into_iter().enumerate() {
+        for grant in [None, Some(GrantRef(index as u32))] {
+            out.push(WireRequest {
+                task: index as u64 + 1,
+                pt_root: GuestPhysAddr::new((index as u64 + 1) * 0x1000),
+                handle: index as u64,
+                span: u64::MAX - index as u64,
+                grant,
+                op: op.clone(),
+            });
+        }
+    }
+    out
+}
+
+fn response_corpus() -> Vec<WireResponse> {
+    vec![
+        WireResponse::Value(0),
+        WireResponse::Value(1),
+        WireResponse::Value(-1),
+        WireResponse::Value(i64::MAX),
+        WireResponse::Value(i64::MIN),
+        WireResponse::Err(Errno::Eperm),
+        WireResponse::Err(Errno::Efault),
+        WireResponse::Err(Errno::Edquot),
+        WireResponse::Poll(PollEvents::NONE),
+        WireResponse::Poll(PollEvents::IN | PollEvents::OUT | PollEvents::ERR | PollEvents::HUP),
+        WireResponse::Poll(PollEvents::from_bits(u16::MAX)),
+    ]
+}
+
+fn signal_corpus() -> Vec<WireSignal> {
+    vec![
+        WireSignal { task: 0, handle: 0 },
+        WireSignal {
+            task: 1,
+            handle: u64::MAX,
+        },
+        WireSignal {
+            task: u64::MAX,
+            handle: 7,
+        },
+    ]
+}
+
+/// One decode attempt per wire kind, unified for the generic sweeps below.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Request,
+    Response,
+    Signal,
+}
+
+impl Kind {
+    fn name(self) -> &'static str {
+        match self {
+            Kind::Request => "request",
+            Kind::Response => "response",
+            Kind::Signal => "signal",
+        }
+    }
+
+    /// Decodes under `probe`; `Ok(())` when the bytes parse.
+    fn decode_probed<P: ReadProbe>(self, bytes: &[u8], probe: &mut P) -> Result<(), ()> {
+        match self {
+            Kind::Request => WireRequest::decode_probed(bytes, probe).map(|_| ()).map_err(|_| ()),
+            Kind::Response => {
+                WireResponse::decode_probed(bytes, probe).map(|_| ()).map_err(|_| ())
+            }
+            Kind::Signal => WireSignal::decode_probed(bytes, probe).map(|_| ()).map_err(|_| ()),
+        }
+    }
+}
+
+/// Every `(kind, encoding)` in the corpus.
+fn encoded_corpus() -> Vec<(Kind, Vec<u8>)> {
+    let mut out: Vec<(Kind, Vec<u8>)> = Vec::new();
+    out.extend(request_corpus().iter().map(|r| (Kind::Request, r.encode())));
+    out.extend(response_corpus().iter().map(|r| (Kind::Response, r.encode())));
+    out.extend(signal_corpus().iter().map(|s| (Kind::Signal, s.encode())));
+    out
+}
+
+fn codec_fixture(property: &str, mutant: Option<Mutant>, reason: &str) -> Fixture {
+    Fixture::new(property, mutant.map(Mutant::name), reason)
+}
+
+/// `codec-roundtrip`: encode/decode identity, trailing-byte rejection, and
+/// all-prefix truncation rejection over the boundary corpus.
+pub fn check_roundtrip(mutant: Option<Mutant>) -> PropertyReport {
+    const NAME: &str = "codec-roundtrip";
+    const DESC: &str =
+        "wire codec: decode∘encode is the identity for all three wire types, and no \
+         extended or truncated encoding parses (boundary-value corpus)";
+    fn fail(
+        mutant: Option<Mutant>,
+        cases: usize,
+        checks: usize,
+        reason: String,
+        bytes: &[u8],
+    ) -> PropertyReport {
+        let finding = Diagnostic::new(DiagCode::Vp003, "wire-codec", None, reason.clone());
+        let mut fixture = codec_fixture(NAME, mutant, &reason);
+        fixture.push_data("bytes", to_hex(bytes));
+        PropertyReport::disproved(NAME, DESC, cases, checks, vec![finding], Some(fixture))
+    }
+    let mut cases = 0usize;
+    let mut checks = 0usize;
+
+    for request in request_corpus() {
+        cases += 1;
+        let bytes = request.encode();
+        checks += 1;
+        if WireRequest::decode(&bytes).as_ref() != Ok(&request) {
+            let reason = format!("request did not roundtrip: {request:?}");
+            return fail(mutant, cases, checks, reason, &bytes);
+        }
+        if let Some((reason, bad)) = reject_mangled(Kind::Request, &bytes, &mut checks) {
+            return fail(mutant, cases, checks, reason, &bad);
+        }
+    }
+    for response in response_corpus() {
+        cases += 1;
+        let bytes = response.encode();
+        checks += 1;
+        if WireResponse::decode(&bytes) != Ok(response) {
+            let reason = format!("response did not roundtrip: {response:?}");
+            return fail(mutant, cases, checks, reason, &bytes);
+        }
+        if let Some((reason, bad)) = reject_mangled(Kind::Response, &bytes, &mut checks) {
+            return fail(mutant, cases, checks, reason, &bad);
+        }
+    }
+    for signal in signal_corpus() {
+        cases += 1;
+        let bytes = signal.encode();
+        checks += 1;
+        if WireSignal::decode(&bytes) != Ok(signal) {
+            let reason = format!("signal did not roundtrip: {signal:?}");
+            return fail(mutant, cases, checks, reason, &bytes);
+        }
+        if let Some((reason, bad)) = reject_mangled(Kind::Signal, &bytes, &mut checks) {
+            return fail(mutant, cases, checks, reason, &bad);
+        }
+    }
+    PropertyReport::proved(NAME, DESC, cases, checks)
+}
+
+/// Rejection sweep shared by the three types: a trailing byte and every
+/// strict prefix must fail to decode. Returns the reason and offending
+/// bytes of the first acceptance.
+fn reject_mangled(kind: Kind, bytes: &[u8], checks: &mut usize) -> Option<(String, Vec<u8>)> {
+    let mut extended = bytes.to_vec();
+    extended.push(0xaa);
+    *checks += 1;
+    if kind
+        .decode_probed(&extended, &mut paradice_cvd::proto::NoProbe)
+        .is_ok()
+    {
+        return Some((format!("{} accepted a trailing byte", kind.name()), extended));
+    }
+    for cut in 0..bytes.len() {
+        *checks += 1;
+        if kind
+            .decode_probed(&bytes[..cut], &mut paradice_cvd::proto::NoProbe)
+            .is_ok()
+        {
+            return Some((
+                format!("{} accepted a {cut}-byte truncation", kind.name()),
+                bytes[..cut].to_vec(),
+            ));
+        }
+    }
+    None
+}
+
+/// `codec-single-read`: each shared-page byte is read at most once per
+/// decode — dynamically over the corpus and its truncations, statically via
+/// the `WP001` wire lint on the decode IRs.
+pub fn check_single_read(mutant: Option<Mutant>) -> PropertyReport {
+    const NAME: &str = "codec-single-read";
+    const DESC: &str =
+        "wire codec: every decoder reads each shared-page byte at most once (WP001) — \
+         counting probe over the corpus and all truncations, plus the wire lint on the \
+         decode IRs";
+    let mut cases = 0usize;
+    let mut checks = 0usize;
+
+    // Dynamic half: the real decode paths under a counting probe.
+    for (kind, bytes) in encoded_corpus() {
+        // The full message and every truncation: error paths must not
+        // double-read either.
+        for cut in (0..=bytes.len()).rev() {
+            cases += 1;
+            let slice = &bytes[..cut];
+            let mut probe = CountProbe::default();
+            let decoded = kind.decode_probed(slice, &mut probe);
+            checks += 1;
+            if let Some(at) = probe.double_read() {
+                let reason = format!(
+                    "{} decoder read byte {at} more than once (TOCTOU window on the \
+                     shared page)",
+                    kind.name(),
+                );
+                let finding = Diagnostic::new(DiagCode::Vp003, "wire-codec", None, reason.clone());
+                let mut fixture = codec_fixture(NAME, mutant, &reason);
+                fixture.push_data("kind", kind.name());
+                fixture.push_data("bytes", to_hex(slice));
+                return PropertyReport::disproved(
+                    NAME, DESC, cases, checks, vec![finding], Some(fixture),
+                );
+            }
+            // A successful decode must also have consumed every byte exactly
+            // once — `done()` plus the single-read counts pin the message
+            // length to the read tiling.
+            checks += 1;
+            if decoded.is_ok() && !probe.covers_exactly(slice.len()) {
+                let reason = format!(
+                    "{} decoder accepted {} bytes but read a different tiling",
+                    kind.name(),
+                    slice.len(),
+                );
+                let finding = Diagnostic::new(DiagCode::Vp003, "wire-codec", None, reason.clone());
+                let mut fixture = codec_fixture(NAME, mutant, &reason);
+                fixture.push_data("kind", kind.name());
+                fixture.push_data("bytes", to_hex(slice));
+                return PropertyReport::disproved(
+                    NAME, DESC, cases, checks, vec![finding], Some(fixture),
+                );
+            }
+        }
+    }
+
+    // Static half: the wire lint over the decode IRs. The mutant swaps the
+    // request IR for the doctored re-reading decoder, which WP001 must flag.
+    let request_ir = if mutant == Some(Mutant::CodecDoubleRead) {
+        doctored_wire_request_decode_ir()
+    } else {
+        wire_request_decode_ir()
+    };
+    for (label, handler) in [
+        ("decode_request", &request_ir),
+        ("decode_response", &wire_response_decode_ir()),
+    ] {
+        cases += 1;
+        let mut diags = Vec::new();
+        let (checked, findings) = check_wire(label, handler, &mut diags);
+        checks += checked + findings;
+        if !diags.is_empty() {
+            let reason = format!(
+                "wire lint disproved single-read on the {label} IR: {}",
+                diags[0].message,
+            );
+            let mut all = vec![Diagnostic::new(
+                DiagCode::Vp003,
+                "wire-codec",
+                None,
+                reason.clone(),
+            )];
+            all.extend(diags);
+            let mut fixture = codec_fixture(NAME, mutant, &reason);
+            fixture.push_data("ir", label);
+            return PropertyReport::disproved(NAME, DESC, cases, checks, all, Some(fixture));
+        }
+    }
+    PropertyReport::proved(NAME, DESC, cases, checks)
+}
+
+/// Const-evaluates an IR address/length expression. `Arg` is offset 0;
+/// `None` means the value is runtime-dependent (a copied field).
+fn const_eval(expr: &Expr) -> Option<u64> {
+    match expr {
+        Expr::Const(value) => Some(*value),
+        Expr::Arg => Some(0),
+        Expr::Add(a, b) => Some(const_eval(a)?.checked_add(const_eval(b)?)?),
+        Expr::Mul(a, b) => Some(const_eval(a)?.checked_mul(const_eval(b)?)?),
+        Expr::Cmd | Expr::Var(_) | Expr::Field { .. } => None,
+    }
+}
+
+/// All `CopyFromUser` `(offset, len)` pairs in statement order, descending
+/// into both branches of conditionals.
+fn ir_reads(stmts: &[Stmt], out: &mut Vec<(Option<u64>, Option<u64>)>) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::CopyFromUser { src, len, .. } => out.push((const_eval(src), const_eval(len))),
+            Stmt::If { then, els, .. } => {
+                ir_reads(then, out);
+                ir_reads(els, out);
+            }
+            Stmt::SwitchCmd { arms, default } => {
+                for (_, body) in arms {
+                    ir_reads(body, out);
+                }
+                ir_reads(default, out);
+            }
+            Stmt::ForRange { body, .. } => ir_reads(body, out),
+            _ => {}
+        }
+    }
+}
+
+fn handler_reads(handler: &Handler) -> Vec<(Option<u64>, Option<u64>)> {
+    let mut out = Vec::new();
+    let entry = handler
+        .function(handler.entry())
+        .expect("entry function exists");
+    ir_reads(&entry.body, &mut out);
+    out
+}
+
+/// A request IR whose length word drifted one byte: the known-bad artifact
+/// [`Mutant::CodecIrDrift`] swaps in. Everything else matches the real IR.
+fn drifted_request_ir() -> Handler {
+    let v = VarId;
+    let body = vec![
+        Stmt::CopyFromUser {
+            dst: v(0),
+            src: Expr::Arg,
+            len: Expr::Const(39),
+        },
+        Stmt::CopyFromUser {
+            dst: v(1),
+            // The drift: the IR thinks the length word sits one byte later.
+            src: Expr::add(Expr::Arg, Expr::Const(40)),
+            len: Expr::Const(4),
+        },
+        Stmt::If {
+            cond: Cond::Gt(Expr::field(v(1), 0, 4), Expr::Const(MAX_PATH as u64)),
+            then: vec![Stmt::Return],
+            els: vec![],
+        },
+        Stmt::CopyFromUser {
+            dst: v(2),
+            src: Expr::add(Expr::Arg, Expr::Const(44)),
+            len: Expr::field(v(1), 0, 4),
+        },
+        Stmt::Return,
+    ];
+    let mut functions = BTreeMap::new();
+    functions.insert("decode_request".to_owned(), Function { body });
+    Handler::new("decode_request", functions)
+}
+
+/// `codec-ir-crosscheck`: the decode IR and the production decoder describe
+/// the same byte layout.
+pub fn check_ir_crosscheck(mutant: Option<Mutant>) -> PropertyReport {
+    const NAME: &str = "codec-ir-crosscheck";
+    const DESC: &str =
+        "decode IR vs production decoder: the analyzer's model of the shared page \
+         (WP001 fixture) matches the real Reader's byte tiling, so neither can drift";
+    fn drift(
+        mutant: Option<Mutant>,
+        cases: usize,
+        checks: usize,
+        reason: String,
+        expected: String,
+        actual: String,
+    ) -> PropertyReport {
+        let finding = Diagnostic::new(DiagCode::Vp004, "wire-codec", None, reason.clone());
+        let mut fixture = codec_fixture(NAME, mutant, &reason);
+        fixture.push_data("expected", expected);
+        fixture.push_data("actual", actual);
+        PropertyReport::disproved(NAME, DESC, cases, checks, vec![finding], Some(fixture))
+    }
+    let mut cases = 0usize;
+    let mut checks = 0usize;
+
+    // --- Request side: the grant-present Open layout the IR models. ---
+    let request_ir = if mutant == Some(Mutant::CodecIrDrift) {
+        drifted_request_ir()
+    } else {
+        wire_request_decode_ir()
+    };
+    let ir = handler_reads(&request_ir);
+    let path = "abc";
+    let request = WireRequest {
+        task: 7,
+        pt_root: GuestPhysAddr::new(0x3000),
+        handle: 9,
+        span: 11,
+        grant: Some(GrantRef(4)),
+        op: WireOp::Open {
+            path: path.to_owned(),
+            flags: OpenFlags::RDWR,
+        },
+    };
+    let bytes = request.encode();
+    let mut probe = RecordProbe::default();
+    WireRequest::decode_probed(&bytes, &mut probe).expect("corpus request decodes");
+    cases += 1;
+    checks += ir.len() + probe.reads.len();
+    // The decoder must read the whole message as one in-order contiguous
+    // tiling, with the IR's two interesting boundaries where the IR says
+    // they are: the 4-byte length word at 39 (so the fixed prefix is
+    // exactly [0, 39)) and the dynamically-sized path at 43.
+    let tiling_ok = probe.tiles(bytes.len())
+        && probe.read_at(39) == Some(4)
+        && probe.read_at(43) == Some(path.len());
+    if !tiling_ok {
+        return drift(
+            mutant,
+            cases,
+            checks,
+            "the production request decoder's read tiling moved".to_owned(),
+            format!(
+                "contiguous tiling of {} bytes with reads (39,4) and (43,{})",
+                bytes.len(),
+                path.len(),
+            ),
+            format!("{:?}", probe.reads),
+        );
+    }
+    let expected_ir = vec![
+        (Some(0u64), Some(39u64)), // fixed prefix
+        (Some(39), Some(4)),       // path length word
+        (Some(43), None),          // path bytes, field-sized
+    ];
+    if ir != expected_ir {
+        return drift(
+            mutant,
+            cases,
+            checks,
+            "the request decode IR's CopyFromUser layout moved".to_owned(),
+            format!("{expected_ir:?}"),
+            format!("{ir:?}"),
+        );
+    }
+
+    // --- Response side: tag byte then a branch-dependent width. ---
+    let ir = handler_reads(&wire_response_decode_ir());
+    cases += 1;
+    checks += ir.len();
+    let expected_ir = vec![
+        (Some(0u64), Some(1u64)), // tag
+        (Some(1), Some(8)),       // Value branch
+        (Some(1), Some(4)),       // Err/Poll branch
+    ];
+    if ir != expected_ir {
+        return drift(
+            mutant,
+            cases,
+            checks,
+            "the response decode IR's CopyFromUser layout moved".to_owned(),
+            format!("{expected_ir:?}"),
+            format!("{ir:?}"),
+        );
+    }
+    for (response, expect) in [
+        (WireResponse::Value(5), vec![(0usize, 1usize), (1, 8)]),
+        (WireResponse::Err(Errno::Eio), vec![(0, 1), (1, 4)]),
+        (WireResponse::Poll(PollEvents::IN), vec![(0, 1), (1, 4)]),
+    ] {
+        cases += 1;
+        checks += expect.len();
+        let mut probe = RecordProbe::default();
+        WireResponse::decode_probed(&response.encode(), &mut probe).expect("decodes");
+        if probe.reads != expect {
+            return drift(
+                mutant,
+                cases,
+                checks,
+                format!("the production response decoder's tiling moved for {response:?}"),
+                format!("{expect:?}"),
+                format!("{:?}", probe.reads),
+            );
+        }
+    }
+    PropertyReport::proved(NAME, DESC, cases, checks)
+}
+
+/// Replays a codec fixture under `mutant`.
+///
+/// Byte-carrying fixtures re-decode their `bytes=` payload under the
+/// counting probe; IR fixtures re-run the static half of their property.
+///
+/// # Errors
+///
+/// `Err(reason)` when the recorded violation reproduces.
+pub fn replay(fixture: &Fixture, mutant: Option<Mutant>) -> Result<(), String> {
+    let report = match fixture.property.as_str() {
+        "codec-roundtrip" => check_roundtrip(mutant),
+        "codec-single-read" => check_single_read(mutant),
+        "codec-ir-crosscheck" => check_ir_crosscheck(mutant),
+        other => return Err(format!("unknown codec property {other:?}")),
+    };
+    if report.proved {
+        Ok(())
+    } else {
+        Err(report
+            .findings
+            .first()
+            .map(|d| d.message.clone())
+            .unwrap_or_else(|| "disproved".to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_three_properties_prove_on_the_real_codec() {
+        for report in [
+            check_roundtrip(None),
+            check_single_read(None),
+            check_ir_crosscheck(None),
+        ] {
+            assert!(report.proved, "{}: {:?}", report.name, report.findings);
+            assert!(report.states > 0 && report.transitions > 0);
+        }
+        // The corpus is genuinely boundary-heavy: dozens of cases, hundreds
+        // of truncation checks.
+        assert!(check_single_read(None).transitions > 1000);
+    }
+
+    #[test]
+    fn double_read_mutant_is_caught_by_the_wire_lint() {
+        let report = check_single_read(Some(Mutant::CodecDoubleRead));
+        assert!(!report.proved);
+        assert!(report
+            .findings
+            .iter()
+            .any(|d| d.message.contains("decode_request")));
+        let fixture = report.counterexample.expect("fixture emitted");
+        assert!(replay(&fixture, None).is_ok());
+        assert!(replay(&fixture, Some(Mutant::CodecDoubleRead)).is_err());
+    }
+
+    #[test]
+    fn ir_drift_mutant_is_caught_by_the_crosscheck() {
+        let report = check_ir_crosscheck(Some(Mutant::CodecIrDrift));
+        assert!(!report.proved);
+        let fixture = report.counterexample.expect("fixture emitted");
+        assert!(fixture.value("expected").is_some());
+        assert!(replay(&fixture, None).is_ok());
+        assert!(replay(&fixture, Some(Mutant::CodecIrDrift)).is_err());
+    }
+}

@@ -1,0 +1,209 @@
+//! Counterexample fixtures: deterministic, replayable records of disproofs.
+//!
+//! When the checker disproves a property it does not just print the
+//! violation — it emits a *fixture*: a small text file that pins the exact
+//! counterexample (event trace, grant/request pair, or wire bytes) so the
+//! scenario can be replayed against the real kernels forever after. The
+//! committed fixtures under `tests/fixtures/verify/` were all produced by
+//! seeded mutants (`paradice-verify --mutant …`): each must replay *clean*
+//! on the real code and *violated* under its recorded mutant — a regression
+//! test in both directions (the bug stays fixed, the checker stays able to
+//! see it).
+//!
+//! The format is deliberately line-oriented and dependency-free:
+//!
+//! ```text
+//! # paradice-verify counterexample
+//! property=cache-revocation
+//! mutant=cache-evict-inflight
+//! reason=in-flight ref 0 is not live
+//! seed=0
+//! trace=op shape=0
+//! trace=op shape=1
+//! ```
+//!
+//! `property=`, `reason=` are required; `mutant=` names the seeded bug that
+//! produced the trace; every other `key=value` line is property-specific
+//! payload (`trace=` event labels for the transition-system models,
+//! `decl=`/`request=` for grants, `bytes=` hex for the codec).
+
+use std::fmt::Write as _;
+
+/// One parsed (or to-be-rendered) counterexample fixture.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fixture {
+    /// The property the counterexample disproves.
+    pub property: String,
+    /// The seeded mutant that produced it, if any (`None` = found live).
+    pub mutant: Option<String>,
+    /// What the invariant said.
+    pub reason: String,
+    /// Ordered event labels (transition-system properties).
+    pub trace: Vec<String>,
+    /// Property-specific `key=value` payload lines, in file order
+    /// (`decl`, `request`, `bytes`, `seed`, `depth`, …).
+    pub data: Vec<(String, String)>,
+}
+
+impl Fixture {
+    /// Starts a fixture for `property`.
+    pub fn new(property: &str, mutant: Option<&str>, reason: &str) -> Fixture {
+        Fixture {
+            property: property.to_owned(),
+            mutant: mutant.map(str::to_owned),
+            reason: reason.to_owned(),
+            trace: Vec::new(),
+            data: Vec::new(),
+        }
+    }
+
+    /// Appends a payload line.
+    pub fn push_data(&mut self, key: &str, value: impl Into<String>) {
+        self.data.push((key.to_owned(), value.into()));
+    }
+
+    /// All payload values for `key`, in file order.
+    pub fn values(&self, key: &str) -> Vec<&str> {
+        self.data
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+
+    /// The first payload value for `key`, if present.
+    pub fn value(&self, key: &str) -> Option<&str> {
+        self.values(key).first().copied()
+    }
+
+    /// Renders the canonical file form.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# paradice-verify counterexample\n");
+        let _ = writeln!(out, "property={}", self.property);
+        if let Some(mutant) = &self.mutant {
+            let _ = writeln!(out, "mutant={mutant}");
+        }
+        let _ = writeln!(out, "reason={}", self.reason);
+        for (key, value) in &self.data {
+            let _ = writeln!(out, "{key}={value}");
+        }
+        for label in &self.trace {
+            let _ = writeln!(out, "trace={label}");
+        }
+        out
+    }
+
+    /// The canonical file name for this fixture.
+    pub fn file_name(&self) -> String {
+        match &self.mutant {
+            Some(mutant) => format!("{mutant}.fixture"),
+            None => format!("{}.fixture", self.property),
+        }
+    }
+
+    /// Parses the canonical file form.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first malformed line, or of a
+    /// missing required key.
+    pub fn parse(text: &str) -> Result<Fixture, String> {
+        let mut property = None;
+        let mut mutant = None;
+        let mut reason = None;
+        let mut trace = Vec::new();
+        let mut data = Vec::new();
+        for (number, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected key=value, got {line:?}", number + 1))?;
+            match key {
+                "property" => property = Some(value.to_owned()),
+                "mutant" => mutant = Some(value.to_owned()),
+                "reason" => reason = Some(value.to_owned()),
+                "trace" => trace.push(value.to_owned()),
+                _ => data.push((key.to_owned(), value.to_owned())),
+            }
+        }
+        Ok(Fixture {
+            property: property.ok_or("missing property= line")?,
+            mutant,
+            reason: reason.ok_or("missing reason= line")?,
+            trace,
+            data,
+        })
+    }
+}
+
+/// Encodes bytes as lowercase hex (codec fixtures).
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for byte in bytes {
+        let _ = write!(out, "{byte:02x}");
+    }
+    out
+}
+
+/// Decodes lowercase/uppercase hex (codec fixtures).
+///
+/// # Errors
+///
+/// Describes the offending character or an odd-length string.
+pub fn from_hex(text: &str) -> Result<Vec<u8>, String> {
+    if !text.len().is_multiple_of(2) {
+        return Err(format!("odd-length hex string ({} chars)", text.len()));
+    }
+    let digit = |c: u8| -> Result<u8, String> {
+        match c {
+            b'0'..=b'9' => Ok(c - b'0'),
+            b'a'..=b'f' => Ok(c - b'a' + 10),
+            b'A'..=b'F' => Ok(c - b'A' + 10),
+            _ => Err(format!("non-hex character {:?}", c as char)),
+        }
+    };
+    text.as_bytes()
+        .chunks(2)
+        .map(|pair| Ok(digit(pair[0])? << 4 | digit(pair[1])?))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let mut fixture = Fixture::new("ring-depth1", Some("ring-window-off-by-one"), "overfull");
+        fixture.push_data("seed", "4294967290");
+        fixture.push_data("depth", "1");
+        fixture.trace.push("push".to_owned());
+        fixture.trace.push("push".to_owned());
+        let text = fixture.render();
+        assert_eq!(Fixture::parse(&text).unwrap(), fixture);
+        assert_eq!(fixture.file_name(), "ring-window-off-by-one.fixture");
+        assert_eq!(fixture.value("seed"), Some("4294967290"));
+        assert_eq!(fixture.value("absent"), None);
+    }
+
+    #[test]
+    fn parse_rejects_garbage_and_missing_keys() {
+        assert!(Fixture::parse("property=x\nreason=y\n").is_ok());
+        assert!(Fixture::parse("reason=y\n").is_err());
+        assert!(Fixture::parse("property=x\n").is_err());
+        assert!(Fixture::parse("property=x\nreason=y\nnot a kv line\n").is_err());
+    }
+
+    #[test]
+    fn hex_roundtrip_and_rejection() {
+        let bytes = vec![0x00, 0x7f, 0xff, 0x0a];
+        assert_eq!(from_hex(&to_hex(&bytes)).unwrap(), bytes);
+        assert!(from_hex("abc").is_err());
+        assert!(from_hex("zz").is_err());
+        assert_eq!(from_hex("").unwrap(), Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,216 @@
+//! Property reports, seeded mutants, and the `--json` rendering.
+
+use paradice_analyzer::lint::Diagnostic;
+
+use crate::fixture::Fixture;
+
+/// A seeded bug the checker must be able to disprove — the checker's own
+/// regression suite. `paradice-verify --mutant NAME` perturbs the named
+/// model (or swaps in a known-bad implementation) and must exit nonzero;
+/// a mutant run that proves everything means the checker went blind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutant {
+    /// Ring admission window admits `depth + 1` outstanding slots.
+    RingWindowOffByOne,
+    /// Grant coverage model requires `end < grant_end` (strict) — the
+    /// exact-fit request at the grant boundary flips verdict.
+    GrantCoverOffByOne,
+    /// Cache eviction revokes the displaced ref even while it is attached
+    /// to an in-flight pipelined op (the pre-fix frontend behavior).
+    CacheEvictInflight,
+    /// Containment/recovery paths skip the cache purge, leaving stale refs
+    /// observable after the driver VM's grant table died.
+    CacheSkipPurge,
+    /// `set_fastpath(false)` purges-with-revoke without draining the
+    /// pipeline first (the pre-fix frontend behavior).
+    FastpathOffNoDrain,
+    /// The wire-request decoder re-reads the path length word after
+    /// validating it (the classic TOCTOU the WP001 lint exists for).
+    CodecDoubleRead,
+    /// The decode IR's layout constants drift from the real decoder.
+    CodecIrDrift,
+}
+
+impl Mutant {
+    /// Every seeded mutant, for `--list` and the check.sh gate.
+    pub const ALL: [Mutant; 7] = [
+        Mutant::RingWindowOffByOne,
+        Mutant::GrantCoverOffByOne,
+        Mutant::CacheEvictInflight,
+        Mutant::CacheSkipPurge,
+        Mutant::FastpathOffNoDrain,
+        Mutant::CodecDoubleRead,
+        Mutant::CodecIrDrift,
+    ];
+
+    /// The CLI/fixture name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutant::RingWindowOffByOne => "ring-window-off-by-one",
+            Mutant::GrantCoverOffByOne => "grant-cover-off-by-one",
+            Mutant::CacheEvictInflight => "cache-evict-inflight",
+            Mutant::CacheSkipPurge => "cache-skip-purge",
+            Mutant::FastpathOffNoDrain => "fastpath-off-no-drain",
+            Mutant::CodecDoubleRead => "codec-double-read",
+            Mutant::CodecIrDrift => "codec-ir-drift",
+        }
+    }
+
+    /// Parses a CLI/fixture name.
+    pub fn from_name(name: &str) -> Option<Mutant> {
+        Mutant::ALL.into_iter().find(|m| m.name() == name)
+    }
+}
+
+/// The outcome of checking one property.
+#[derive(Debug)]
+pub struct PropertyReport {
+    /// Stable property name (`--prop` argument).
+    pub name: &'static str,
+    /// One-line statement of what was checked.
+    pub description: &'static str,
+    /// Distinct states (transition systems) or cases (enumerations)
+    /// examined.
+    pub states: usize,
+    /// Transitions taken or sub-checks performed.
+    pub transitions: usize,
+    /// Whether the property held on the *entire* explored space within its
+    /// documented bounds.
+    pub proved: bool,
+    /// `VP00x` findings when disproved (empty when proved).
+    pub findings: Vec<Diagnostic>,
+    /// The replayable counterexample when disproved.
+    pub counterexample: Option<Fixture>,
+    /// Wall-clock milliseconds, filled by the runner.
+    pub duration_ms: u128,
+}
+
+impl PropertyReport {
+    /// A proved report with the given exploration stats.
+    pub fn proved(
+        name: &'static str,
+        description: &'static str,
+        states: usize,
+        transitions: usize,
+    ) -> PropertyReport {
+        PropertyReport {
+            name,
+            description,
+            states,
+            transitions,
+            proved: true,
+            findings: Vec::new(),
+            counterexample: None,
+            duration_ms: 0,
+        }
+    }
+
+    /// A disproved report carrying findings and the counterexample.
+    pub fn disproved(
+        name: &'static str,
+        description: &'static str,
+        states: usize,
+        transitions: usize,
+        findings: Vec<Diagnostic>,
+        counterexample: Option<Fixture>,
+    ) -> PropertyReport {
+        PropertyReport {
+            name,
+            description,
+            states,
+            transitions,
+            proved: false,
+            findings,
+            counterexample,
+            duration_ms: 0,
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the `--json` report: per-property stats plus the overall verdict.
+pub fn to_json(reports: &[PropertyReport], mutant: Option<Mutant>) -> String {
+    let mut out = String::from("{\"properties\":[");
+    for (index, report) in reports.iter().enumerate() {
+        if index > 0 {
+            out.push(',');
+        }
+        let findings = report
+            .findings
+            .iter()
+            .map(Diagnostic::to_json)
+            .collect::<Vec<_>>()
+            .join(",");
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"description\":\"{}\",\"proved\":{},\
+             \"states\":{},\"transitions\":{},\"duration_ms\":{},\"findings\":[{}]}}",
+            json_escape(report.name),
+            json_escape(report.description),
+            report.proved,
+            report.states,
+            report.transitions,
+            report.duration_ms,
+            findings,
+        ));
+    }
+    let mutant = match mutant {
+        Some(m) => format!("\"{}\"", m.name()),
+        None => "null".to_owned(),
+    };
+    out.push_str(&format!(
+        "],\"mutant\":{},\"proved_all\":{}}}",
+        mutant,
+        reports.iter().all(|r| r.proved),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutant_names_roundtrip() {
+        for mutant in Mutant::ALL {
+            assert_eq!(Mutant::from_name(mutant.name()), Some(mutant));
+        }
+        assert_eq!(Mutant::from_name("no-such-mutant"), None);
+    }
+
+    #[test]
+    fn json_shape_is_wellformed_enough() {
+        let reports = vec![
+            PropertyReport::proved("ring-depth1", "ring window at depth 1", 10, 20),
+            PropertyReport::disproved(
+                "grant-soundness",
+                "grant coverage",
+                5,
+                6,
+                Vec::new(),
+                None,
+            ),
+        ];
+        let json = to_json(&reports, Some(Mutant::GrantCoverOffByOne));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"proved_all\":false"));
+        assert!(json.contains("\"mutant\":\"grant-cover-off-by-one\""));
+        assert!(json.contains("\"states\":10"));
+        let clean = to_json(&reports[..1], None);
+        assert!(clean.contains("\"proved_all\":true"));
+        assert!(clean.contains("\"mutant\":null"));
+    }
+}

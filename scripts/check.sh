@@ -34,6 +34,33 @@ grep -q '"findings"' "$FIXJSON" && grep -q '"stats"' "$FIXJSON" || {
 }
 rm -f "$FIXJSON"
 
+echo "==> paradice-verify --all (isolation-core proofs; nonzero on any disproof)"
+VERIFYJSON="$(mktemp)"
+cargo run -q --release -p paradice-verify --bin paradice-verify -- --all --json \
+    >"$VERIFYJSON"
+grep -q '"proved_all":true' "$VERIFYJSON" || {
+    echo "ERROR: paradice-verify exited 0 but did not prove everything" >&2
+    cat "$VERIFYJSON" >&2
+    rm -f "$VERIFYJSON"
+    exit 1
+}
+rm -f "$VERIFYJSON"
+
+echo "==> paradice-verify --mutant (seeded bug MUST be disproved)"
+if cargo run -q --release -p paradice-verify --bin paradice-verify -- \
+    --all --mutant ring-window-off-by-one >/dev/null 2>&1; then
+    echo "ERROR: seeded mutant ring-window-off-by-one was not disproved" >&2
+    exit 1
+fi
+
+echo "==> cargo kani (optional deeper proofs; skipped when kani is absent)"
+if command -v cargo-kani >/dev/null 2>&1; then
+    cargo kani -p paradice-hypervisor -p paradice-cvd
+else
+    echo "NOTICE: cargo-kani not installed; skipping the Kani harnesses" \
+         "(the paradice-verify stage above remains the required gate)"
+fi
+
 echo "==> trace-replay gate (record reference workload, replay it)"
 TRACE="$(mktemp)"
 trap 'rm -f "$TRACE"' EXIT

@@ -302,3 +302,58 @@ fn a_traced_fastpath_run_replays_with_zero_error_class_findings() {
         .collect();
     assert!(errors.is_empty(), "fast-path trace must replay clean: {errors:?}");
 }
+
+#[test]
+fn evicting_a_cached_shape_with_an_op_in_flight_defers_the_revoke() {
+    // The scenario the bounded-model checker's `cache-revocation` property
+    // flagged (and `tests/fixtures/verify/cache-evict-inflight.fixture`
+    // pins): fill the cache to capacity, put an op in flight on the
+    // FIFO-oldest shape, then declare one more shape so the cache evicts
+    // the oldest entry. The evicted ref is attached to the pipelined op —
+    // ownership must transfer to that op (revoke at completion), never
+    // revoke mid-flight.
+    use paradice_cvd::frontend::GRANT_CACHE_CAP;
+
+    let mut m = fast_machine(&[DeviceSpec::gpu()]);
+    let task = m.spawn_process(Some(0)).unwrap();
+    let fd = m.open(task, "/dev/dri/card0").unwrap();
+
+    // Fill the cache with GRANT_CACHE_CAP distinct op shapes (one scratch
+    // buffer each). Shape 0 is the FIFO-oldest entry afterwards.
+    let mut scratches = Vec::with_capacity(GRANT_CACHE_CAP + 1);
+    for _ in 0..=GRANT_CACHE_CAP {
+        scratches.push(stage_info(&mut m, task));
+    }
+    for scratch in &scratches[..GRANT_CACHE_CAP] {
+        m.ioctl(task, fd, RADEON_INFO, scratch.raw()).unwrap();
+    }
+    assert_eq!(cache_len(&m), GRANT_CACHE_CAP, "cache filled to capacity");
+    let guest = m.guest_vms()[0];
+    assert_eq!(m.hv().borrow().outstanding_grants(guest), GRANT_CACHE_CAP);
+
+    // An op on the oldest shape rides the pipeline (cache hit: it borrows
+    // the cached ref), then one more *new* shape forces the eviction of
+    // exactly that entry while the op is still in flight.
+    m.ioctl_pipelined(task, fd, RADEON_INFO, scratches[0].raw()).unwrap();
+    m.ioctl_pipelined(task, fd, RADEON_INFO, scratches[GRANT_CACHE_CAP].raw()).unwrap();
+    assert_eq!(cache_len(&m), GRANT_CACHE_CAP, "eviction kept the cache at capacity");
+    assert_eq!(
+        m.hv().borrow().outstanding_grants(guest),
+        GRANT_CACHE_CAP + 1,
+        "the evicted ref must stay outstanding while its op is in flight"
+    );
+
+    // Both ops complete: the hit on the evicted shape validated against a
+    // still-live ref, and the transferred ref is revoked at completion.
+    let results = m.flush_pipeline(task).expect("transport stays up");
+    assert_eq!(results.len(), 2);
+    for result in &results {
+        assert!(result.is_ok(), "pipelined op failed after eviction: {result:?}");
+    }
+    assert_eq!(
+        m.hv().borrow().outstanding_grants(guest),
+        cache_len(&m),
+        "after the flush every outstanding grant is a live cache entry"
+    );
+    assert_eq!(cache_len(&m), GRANT_CACHE_CAP);
+}

@@ -1,0 +1,89 @@
+//! Counterexample-fixture regression suite (satellite of the verify PR).
+//!
+//! Every `.fixture` under `tests/fixtures/verify/` was emitted by
+//! `paradice-verify --mutant … --emit-fixtures` — a counterexample the
+//! checker found against a deliberately seeded bug. Each fixture is a
+//! regression test in both directions:
+//!
+//! * replayed against the **real** kernels it must pass — the bug the
+//!   mutant models stays fixed;
+//! * replayed under its **recorded mutant** it must still fail — the
+//!   checker (and this replay path) can still see the bug.
+//!
+//! If a fixture stops failing under its mutant, the replay logic rotted;
+//! if it starts failing on the real code, a regression shipped.
+
+use paradice_verify::fixture::Fixture;
+use paradice_verify::replay_fixture;
+use paradice_verify::report::Mutant;
+
+fn fixtures_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/fixtures/verify")
+        .canonicalize()
+        .expect("tests/fixtures/verify exists")
+}
+
+fn load_all() -> Vec<(String, Fixture)> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(fixtures_dir()).expect("readable fixtures dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("fixture") {
+            continue;
+        }
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(&path).expect("readable fixture");
+        let fixture = Fixture::parse(&text)
+            .unwrap_or_else(|error| panic!("{name}: malformed fixture: {error}"));
+        out.push((name, fixture));
+    }
+    out
+}
+
+#[test]
+fn fixture_corpus_is_present_and_wellformed() {
+    let fixtures = load_all();
+    assert!(
+        fixtures.len() >= 4,
+        "expected the committed fixture corpus, found {}",
+        fixtures.len(),
+    );
+    for (name, fixture) in &fixtures {
+        assert!(
+            !fixture.reason.is_empty(),
+            "{name}: fixture has an empty reason"
+        );
+        let mutant = fixture
+            .mutant
+            .as_deref()
+            .unwrap_or_else(|| panic!("{name}: committed fixtures must record their mutant"));
+        assert!(
+            Mutant::from_name(mutant).is_some(),
+            "{name}: unknown mutant {mutant:?}"
+        );
+        // The canonical file name matches the content.
+        assert_eq!(*name, fixture.file_name(), "{name}: misnamed fixture file");
+    }
+}
+
+#[test]
+fn every_fixture_replays_clean_on_the_real_kernels() {
+    for (name, fixture) in load_all() {
+        if let Err(reason) = replay_fixture(&fixture, None) {
+            panic!("{name}: violates the real kernels — a fixed bug regressed: {reason}");
+        }
+    }
+}
+
+#[test]
+fn every_fixture_still_fails_under_its_recorded_mutant() {
+    for (name, fixture) in load_all() {
+        let mutant = Mutant::from_name(fixture.mutant.as_deref().expect("recorded mutant"))
+            .expect("known mutant");
+        assert!(
+            replay_fixture(&fixture, Some(mutant)).is_err(),
+            "{name}: no longer fails under {} — the replay path went blind",
+            mutant.name(),
+        );
+    }
+}
