@@ -1,10 +1,15 @@
 //! Criterion microbenchmarks of the simulation's hot paths.
 //!
-//! These measure *wall-clock* cost of the simulator itself (how fast the
-//! reproduction runs), complementing the virtual-time experiment harness
-//! (which measures what the paper measures). One bench per mechanism:
-//! the no-op forward, the grant-checked copy, the two-stage walk, analyzer
-//! extraction + JIT, and the netmap TX step.
+//! Timing goes through the workspace's own `Clock` trait via
+//! `Bencher::iter_custom`: machine-stack benches read the machine's
+//! [`ClockSource`] (virtual nanoseconds — what the cost model charges per
+//! operation, the paper-facing number), while pure-CPU benches (analyzer,
+//! grant table) read a [`WallClock`] through the same trait (real
+//! nanoseconds — how fast the reproduction itself runs). One bench per
+//! mechanism: the no-op forward, the grant-checked copy, the two-stage
+//! walk, analyzer extraction + JIT, and the netmap TX step.
+
+use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -14,6 +19,16 @@ use paradice::app::netmap::NetmapClient;
 use paradice::gpu_ioctl::gem_domain;
 use paradice::prelude::*;
 use paradice_bench::configs::{build, spawn_app, Config};
+
+/// Times `iters` runs of `body` on `clock` — the one measurement loop
+/// every bench below shares, generic over which substrate the clock is.
+fn timed_on(clock: &ClockSource, iters: u64, mut body: impl FnMut()) -> Duration {
+    let start = clock.now_ns();
+    for _ in 0..iters {
+        body();
+    }
+    Duration::from_nanos(clock.now_ns().saturating_sub(start))
+}
 
 fn bench_noop_forward(c: &mut Criterion) {
     let mut group = c.benchmark_group("forward");
@@ -25,8 +40,13 @@ fn bench_noop_forward(c: &mut Criterion) {
         let mut machine = build(config, &[DeviceSpec::Mouse], 1);
         let task = spawn_app(&mut machine, config);
         let fd = machine.open(task, "/dev/input/event0").expect("open");
+        let clock = machine.clock().clone();
         group.bench_function(name, |b| {
-            b.iter(|| black_box(machine.poll(task, fd).expect("poll")));
+            b.iter_custom(|iters| {
+                timed_on(&clock, iters, || {
+                    black_box(machine.poll(task, fd).expect("poll"));
+                })
+            });
         });
     }
     group.finish();
@@ -36,8 +56,13 @@ fn bench_grant_checked_copy(c: &mut Criterion) {
     let mut machine = build(Config::Paradice, &[DeviceSpec::gpu()], 1);
     let task = spawn_app(&mut machine, Config::Paradice);
     let drm = DrmClient::open(&mut machine, task).expect("open");
+    let clock = machine.clock().clone();
     c.bench_function("ioctl/radeon_info", |b| {
-        b.iter(|| black_box(drm.info(&mut machine, 0).expect("info")));
+        b.iter_custom(|iters| {
+            timed_on(&clock, iters, || {
+                black_box(drm.info(&mut machine, 0).expect("info"));
+            })
+        });
     });
 }
 
@@ -49,8 +74,13 @@ fn bench_cs_submission(c: &mut Criterion) {
     let fb = drm
         .gem_create(&mut machine, PAGE_SIZE, gem_domain::VRAM)
         .expect("bo");
+    let clock = machine.clock().clone();
     c.bench_function("ioctl/radeon_cs_jit", |b| {
-        b.iter(|| black_box(drm.submit_render(&mut machine, 1, fb).expect("cs")));
+        b.iter_custom(|iters| {
+            timed_on(&clock, iters, || {
+                black_box(drm.submit_render(&mut machine, 1, fb).expect("cs"));
+            })
+        });
     });
 }
 
@@ -59,8 +89,15 @@ fn bench_two_stage_walk(c: &mut Criterion) {
     let task = spawn_app(&mut machine, Config::Paradice);
     let buf = machine.alloc_buffer(task, 4096).expect("buffer");
     let data = [0u8; 512];
+    let clock = machine.clock().clone();
     c.bench_function("mem/process_write_512B", |b| {
-        b.iter(|| machine.write_mem(task, black_box(buf), black_box(&data)).expect("write"));
+        b.iter_custom(|iters| {
+            timed_on(&clock, iters, || {
+                machine
+                    .write_mem(task, black_box(buf), black_box(&data))
+                    .expect("write");
+            })
+        });
     });
 }
 
@@ -68,8 +105,15 @@ fn bench_analyzer(c: &mut Criterion) {
     use paradice_analyzer::extract::analyze_handler;
     use paradice_drivers::gpu::ir::radeon_handler_3_2_0;
     let handler = radeon_handler_3_2_0();
+    // Pure CPU work: no machine, so the clock is the wall substrate read
+    // through the same trait.
+    let clock = ClockSource::from(WallClock::new());
     c.bench_function("analyzer/radeon_full", |b| {
-        b.iter(|| black_box(analyze_handler(&handler).expect("analysis")));
+        b.iter_custom(|iters| {
+            timed_on(&clock, iters, || {
+                black_box(analyze_handler(&handler).expect("analysis"));
+            })
+        });
     });
 }
 
@@ -80,6 +124,7 @@ fn bench_grant_table_validate(c: &mut Criterion) {
     // ones — the satellite fix for the old O(n) linear scan.
     use paradice_hypervisor::{GrantTable, MemOpGrant, MemOpRequest};
     use paradice_mem::GuestVirtAddr;
+    let clock = ClockSource::from(WallClock::new());
     let mut group = c.benchmark_group("grants");
     for ranges in [4usize, 64] {
         let mut table = GrantTable::new();
@@ -96,7 +141,11 @@ fn bench_grant_table_validate(c: &mut Criterion) {
             len: 256,
         };
         group.bench_function(&format!("validate_{ranges}_ranges"), |b| {
-            b.iter(|| black_box(table.validate(grant, black_box(&request)).is_ok()));
+            b.iter_custom(|iters| {
+                timed_on(&clock, iters, || {
+                    black_box(table.validate(grant, black_box(&request)).is_ok());
+                })
+            });
         });
     }
     group.finish();
@@ -106,13 +155,16 @@ fn bench_netmap_batch(c: &mut Criterion) {
     let mut machine = build(Config::ParadicePolling, &[DeviceSpec::Netmap], 1);
     let task = spawn_app(&mut machine, Config::ParadicePolling);
     let mut nm = NetmapClient::open(&mut machine, task).expect("open");
+    let clock = machine.clock().clone();
     c.bench_function("netmap/batch64_produce_poll", |b| {
-        b.iter(|| {
-            let n = 64u32.min(nm.free_slots(&mut machine).expect("slots"));
-            if n > 0 {
-                nm.produce(&mut machine, n, 64, 50).expect("produce");
-            }
-            black_box(nm.poll(&mut machine).expect("poll"));
+        b.iter_custom(|iters| {
+            timed_on(&clock, iters, || {
+                let n = 64u32.min(nm.free_slots(&mut machine).expect("slots"));
+                if n > 0 {
+                    nm.produce(&mut machine, n, 64, 50).expect("produce");
+                }
+                black_box(nm.poll(&mut machine).expect("poll"));
+            })
         });
     });
 }

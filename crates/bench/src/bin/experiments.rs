@@ -12,8 +12,11 @@
 //! `BENCH_experiments.json` (every emitted table),
 //! `BENCH_fastpath.json` (the fast-path ablation, also written by a bare
 //! `--fastpath` run — `scripts/check.sh` gates on its no-op round-trip
-//! metric), and `BENCH_verify.json` (the `paradice-verify` proof stats,
-//! also written by a bare `--verify` run). `--trace` records the reference workload with paradice-trace
+//! metric), `BENCH_verify.json` (the `paradice-verify` proof stats,
+//! also written by a bare `--verify` run), and `BENCH_wallclock.json`
+//! (the threaded wall-clock substrate's real ops/sec and Mpps, also
+//! written by a bare `--wallclock` run; add `--smoke` for the reduced
+//! CI sizing `scripts/check.sh` sanity-gates). `--trace` records the reference workload with paradice-trace
 //! enabled and dumps the span events as JSONL — feed the file to
 //! `paradice-lint --replay` for recorded-trace conformance checking.
 
@@ -110,6 +113,16 @@ fn main() {
         match std::fs::write(&path, paradice_bench::verifyreport::render_json(&reports)) {
             Ok(()) => println!("verify proof stats written to {}", path.display()),
             Err(e) => eprintln!("warning: could not write BENCH_verify.json: {e}"),
+        }
+    }
+    if want("--wallclock") {
+        let smoke = args.iter().any(|a| a == "--smoke");
+        let run = paradice_bench::wallclock::run(smoke);
+        print!("{}", paradice_bench::wallclock::render_text(&run));
+        let path = repo_root().join("BENCH_wallclock.json");
+        match std::fs::write(&path, paradice_bench::wallclock::render_json(&run)) {
+            Ok(()) => println!("wall-clock substrate numbers written to {}\n", path.display()),
+            Err(e) => eprintln!("warning: could not write BENCH_wallclock.json: {e}"),
         }
     }
     if want("--fastpath") {

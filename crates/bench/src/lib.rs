@@ -19,6 +19,9 @@
 //!   `experiments --trace <path>` and the `--replay` conformance gate.
 //! * [`verifyreport`] — the `paradice-verify` proof run as an experiments
 //!   table (`--verify`), dumped to `BENCH_verify.json`.
+//! * [`wallclock`] — the one real-time experiment (`--wallclock`): the
+//!   threaded wall-clock substrate vs. its deterministic virtual twin,
+//!   dumped to `BENCH_wallclock.json`.
 //!
 //! Run everything with `cargo run -p paradice-bench --bin experiments`.
 
@@ -30,6 +33,7 @@ pub mod faults;
 pub mod report;
 pub mod tracing;
 pub mod verifyreport;
+pub mod wallclock;
 pub mod workloads;
 
 pub use configs::{build, spawn_app, Config};

@@ -37,7 +37,7 @@ use paradice_faults::FaultPlan;
 use paradice_hypervisor::hv::{DataIsolation, HvError, Hypervisor};
 use paradice_hypervisor::vm::VmRole;
 use paradice_hypervisor::{
-    ChannelStats, CostModel, SharedHypervisor, SimClock, TransportMode, VmId,
+    ChannelStats, ClockSource, CostModel, EngineKind, SharedHypervisor, TransportMode, VmId,
 };
 use paradice_mem::pagetable::GuestPageTables;
 use paradice_mem::{Access, GuestPhysAddr, GuestVirtAddr, PAGE_SIZE};
@@ -306,25 +306,48 @@ struct Process {
 }
 
 /// Builds a [`Machine`].
+///
+/// The builder owns the whole configuration surface — virtualization
+/// mode, execution substrate, devices, guests, and the cross-cutting
+/// switches (fast path, tracing, fault plans) that used to be ad-hoc
+/// post-construction setters:
+///
+/// ```ignore
+/// let mut machine = Machine::builder()
+///     .guests([GuestSpec::linux(64 * 1024 * 1024)])
+///     .exec(ExecMode::Paradice { transport, data_isolation: false })
+///     .fastpath(true)
+///     .tracing(true)
+///     .faults(plan)
+///     .build()?;
+/// ```
 #[derive(Debug)]
 pub struct MachineBuilder {
     mode: ExecMode,
+    engine: EngineKind,
     devices: Vec<DeviceSpec>,
     guests: Vec<GuestSpec>,
     driver_ram_pages: u64,
     cost: CostModel,
     queue_cap: usize,
+    fastpath: bool,
+    tracing: bool,
+    faults: Option<Rc<RefCell<FaultPlan>>>,
 }
 
 impl Default for MachineBuilder {
     fn default() -> Self {
         MachineBuilder {
             mode: ExecMode::Native,
+            engine: EngineKind::Virtual,
             devices: Vec::new(),
             guests: Vec::new(),
             driver_ram_pages: 8192, // 32 MiB of simulated driver-VM RAM
             cost: CostModel::default(),
             queue_cap: DEFAULT_QUEUE_CAP,
+            fastpath: false,
+            tracing: false,
+            faults: None,
         }
     }
 }
@@ -333,6 +356,21 @@ impl MachineBuilder {
     /// Selects the execution mode.
     pub fn mode(mut self, mode: ExecMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Selects the execution mode (preferred spelling of
+    /// [`MachineBuilder::mode`]).
+    pub fn exec(self, mode: ExecMode) -> Self {
+        self.mode(mode)
+    }
+
+    /// Selects the execution substrate: [`EngineKind::Virtual`] (the
+    /// default — deterministic virtual time, the correctness oracle) or
+    /// [`EngineKind::Wall`] (real time: the machine's clock reads the
+    /// hardware, costs charged by the model are ignored).
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -345,6 +383,32 @@ impl MachineBuilder {
     /// Adds a guest VM (Paradice mode).
     pub fn guest(mut self, spec: GuestSpec) -> Self {
         self.guests.push(spec);
+        self
+    }
+
+    /// Adds several guest VMs at once (Paradice mode).
+    pub fn guests(mut self, specs: impl IntoIterator<Item = GuestSpec>) -> Self {
+        self.guests.extend(specs);
+        self
+    }
+
+    /// Enables the cross-layer fast path (grant cache, pipelined ring,
+    /// vectored hypercalls) from the first operation.
+    pub fn fastpath(mut self, on: bool) -> Self {
+        self.fastpath = on;
+        self
+    }
+
+    /// Enables paradice-trace recording from the first operation; the
+    /// accumulated [`Tracer`] is available via [`Machine::tracer`].
+    pub fn tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
+        self
+    }
+
+    /// Arms a fault plan on the backend from the first operation.
+    pub fn faults(mut self, plan: Rc<RefCell<FaultPlan>>) -> Self {
+        self.faults = Some(plan);
         self
     }
 
@@ -399,7 +463,7 @@ impl MachineBuilder {
         let total_frames =
             (self.driver_ram_pages + guest_pages + vram_pages + 4096) as usize;
 
-        let clock = SimClock::new();
+        let clock = self.engine.clock();
         let mut hv = Hypervisor::new(total_frames, clock.clone(), self.cost.clone());
 
         // Guest VMs first (Paradice), then the driver VM / host.
@@ -427,6 +491,7 @@ impl MachineBuilder {
             next_task: 1,
             next_user_page: BTreeMap::new(),
             queue_cap: self.queue_cap,
+            tracer: None,
         };
 
         // CVD plumbing (Paradice).
@@ -462,6 +527,18 @@ impl MachineBuilder {
         for spec in &self.devices {
             machine.attach_device(*spec, data_isolation)?;
         }
+
+        // Cross-cutting switches, applied before the first operation so a
+        // built machine needs no post-construction mutation.
+        if self.fastpath {
+            machine.enable_fastpath();
+        }
+        if self.tracing {
+            machine.enable_tracing();
+        }
+        if let Some(plan) = self.faults {
+            machine.arm_faults(plan);
+        }
         Ok(machine)
     }
 }
@@ -469,7 +546,7 @@ impl MachineBuilder {
 /// The assembled machine.
 pub struct Machine {
     hv: SharedHypervisor,
-    clock: SimClock,
+    clock: ClockSource,
     mode: ExecMode,
     driver_vm: VmId,
     guest_vms: Vec<VmId>,
@@ -486,6 +563,7 @@ pub struct Machine {
     /// top-down from [`paradice_hypervisor::Vm::alloc_kernel_page`]).
     next_user_page: BTreeMap<u32, u64>,
     queue_cap: usize,
+    tracer: Option<Tracer>,
 }
 
 impl fmt::Debug for Machine {
@@ -679,9 +757,17 @@ impl Machine {
         self.clock.now_ns()
     }
 
-    /// The virtual clock.
-    pub fn clock(&self) -> &SimClock {
+    /// The machine's time source: virtual under [`EngineKind::Virtual`]
+    /// (deterministic, cost-charged), real under [`EngineKind::Wall`].
+    pub fn clock(&self) -> &ClockSource {
         &self.clock
+    }
+
+    /// The tracer recording this machine's operation spans, if tracing
+    /// was enabled (via [`MachineBuilder::tracing`] or
+    /// [`Machine::enable_tracing`]).
+    pub fn tracer(&self) -> Option<Tracer> {
+        self.tracer.clone()
     }
 
     /// The execution mode.
@@ -1524,6 +1610,9 @@ impl Machine {
     /// Arms a fault plan on the backend: faults fire at dispatch and
     /// channel boundaries per the plan's triggers (§7.1 experiments).
     /// Returns `false` outside Paradice mode.
+    ///
+    /// Deprecated: prefer [`MachineBuilder::faults`]; this setter remains
+    /// for harnesses that re-arm plans mid-run.
     pub fn arm_faults(&mut self, plan: Rc<RefCell<FaultPlan>>) -> bool {
         match &self.backend {
             Some(backend) => {
@@ -1564,12 +1653,17 @@ impl Machine {
     ///
     /// Tracing is recording-only: it never advances the virtual clock, so
     /// traced runs keep the exact timing of untraced ones.
+    ///
+    /// Deprecated: prefer [`MachineBuilder::tracing`] and read the log via
+    /// [`Machine::tracer`]; this setter remains for harnesses that switch
+    /// tracing on mid-run.
     pub fn enable_tracing(&mut self) -> Tracer {
         let tracer = Tracer::enabled();
         self.hv.borrow_mut().set_tracer(tracer.clone());
         for frontend in &self.frontends {
             frontend.borrow_mut().set_tracer(tracer.clone());
         }
+        self.tracer = Some(tracer.clone());
         tracer
     }
 
@@ -1578,6 +1672,9 @@ impl Machine {
     /// in the backend. Semantics are unchanged — cached grant references
     /// are still validated per use, batches are all-or-nothing on a grant
     /// violation, and the watchdog/containment behaviour is identical.
+    ///
+    /// Deprecated: prefer [`MachineBuilder::fastpath`]; this setter remains
+    /// for A/B harnesses that toggle the fast path mid-run.
     pub fn enable_fastpath(&mut self) {
         for frontend in &self.frontends {
             frontend.borrow_mut().set_fastpath(true);

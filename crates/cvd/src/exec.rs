@@ -1,0 +1,825 @@
+//! The two execution substrates behind one [`Engine`] seam.
+//!
+//! [`VirtualEngine`] is the deterministic step function: requests travel
+//! the existing cost-charged [`Channel`] on the [`SimClock`], the backend
+//! is stepped inline, and the run is bit-reproducible — the correctness
+//! oracle. [`WallEngine`] is the measurement substrate: the backend runs
+//! on a real OS thread, frames cross an [`AtomicRing`] pair
+//! (acquire/release slot publication, park/unpark [`Doorbell`]), and
+//! grants are validated through the lock-free-read [`ShardedGrantTable`].
+//!
+//! Both engines funnel every request through the *same* dispatch function
+//! against the *same* grant-table semantics, which is what makes the
+//! cross-mode differential gate (`tests/wallclock.rs`) meaningful: for
+//! one workload, both substrates must produce byte-identical encoded
+//! responses and replay-lint-clean traces.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use paradice_devfs::Errno;
+use paradice_hypervisor::engine::{Engine, EngineError, EngineKind};
+use paradice_hypervisor::{
+    ARingError, AtomicRing, Channel, ChannelError, ClockSource, CostModel, Doorbell, GrantRef,
+    MemOpGrant, MemOpRequest, ShardedGrantTable, SimClock, TransportMode, WallClock,
+    ARING_SLOT_BYTES,
+};
+use paradice_mem::GuestPhysAddr;
+use paradice_trace::{SpanId, TraceEvent, TraceGrant, TraceMemOpKind, TraceOpKind, WireDelta};
+
+use crate::proto::{WireOp, WireRequest, WireResponse};
+
+/// Ring depth both engines pipeline at (the fast path's depth-8 ring).
+pub const EXEC_RING_DEPTH: usize = 8;
+
+/// A deterministic device model serving decoded wire requests.
+///
+/// `serve` returns the response *and* the memory operations the driver
+/// performed for this request; the engine validates each against the
+/// grant table (blocked operations turn the response into `EFAULT`,
+/// mirroring the hypervisor refusing the hypercall). Must be `Send`: the
+/// wall engine runs it on the backend thread.
+pub trait DeviceService: Send + 'static {
+    /// Serves one request.
+    fn serve(&mut self, req: &WireRequest) -> (WireResponse, Vec<MemOpRequest>);
+}
+
+impl<F> DeviceService for F
+where
+    F: FnMut(&WireRequest) -> (WireResponse, Vec<MemOpRequest>) + Send + 'static,
+{
+    fn serve(&mut self, req: &WireRequest) -> (WireResponse, Vec<MemOpRequest>) {
+        self(req)
+    }
+}
+
+fn memop_trace_fields(request: &MemOpRequest) -> (TraceMemOpKind, u64, u64) {
+    match *request {
+        MemOpRequest::CopyFromGuest { addr, len } => {
+            (TraceMemOpKind::CopyFromGuest, addr.raw(), len)
+        }
+        MemOpRequest::CopyToGuest { addr, len } => (TraceMemOpKind::CopyToGuest, addr.raw(), len),
+        MemOpRequest::MapPage { va, .. } => {
+            (TraceMemOpKind::MapPage, va.raw(), paradice_mem::PAGE_SIZE)
+        }
+        MemOpRequest::UnmapPage { va } => {
+            (TraceMemOpKind::UnmapPage, va.raw(), paradice_mem::PAGE_SIZE)
+        }
+    }
+}
+
+fn trace_grant(grant: &MemOpGrant) -> TraceGrant {
+    match *grant {
+        MemOpGrant::CopyFromGuest { addr, len } => TraceGrant::CopyFromGuest {
+            addr: addr.raw(),
+            len,
+        },
+        MemOpGrant::CopyToGuest { addr, len } => TraceGrant::CopyToGuest {
+            addr: addr.raw(),
+            len,
+        },
+        MemOpGrant::MapPages { va, pages, access } => TraceGrant::MapPages {
+            va: va.raw(),
+            pages,
+            access: access.bits(),
+        },
+        MemOpGrant::UnmapPages { va, pages } => TraceGrant::UnmapPages {
+            va: va.raw(),
+            pages,
+        },
+    }
+}
+
+/// The one backend step both substrates share: decode, serve, validate
+/// every memory operation against the grant table, record the outcome.
+/// A blocked operation (no grant attached, or the grant does not cover
+/// it) turns the response into `EFAULT` — the hypervisor refused the
+/// hypercall, so the driver's operation failed.
+fn dispatch(
+    frame: &[u8],
+    service: &mut dyn DeviceService,
+    grants: &ShardedGrantTable,
+    now_ns: u64,
+    events: &mut Vec<TraceEvent>,
+) -> Vec<u8> {
+    let Ok(request) = WireRequest::decode(frame) else {
+        return WireResponse::Err(Errno::Einval).encode();
+    };
+    let (response, memops) = service.serve(&request);
+    let mut blocked = false;
+    for memop in &memops {
+        let ok = match request.grant {
+            Some(grant) => grants.validate(grant, memop).is_ok(),
+            None => false,
+        };
+        blocked |= !ok;
+        if request.span != 0 {
+            let (kind, addr, len) = memop_trace_fields(memop);
+            events.push(TraceEvent::MemOp {
+                span: SpanId(request.span),
+                t_ns: now_ns,
+                kind,
+                addr,
+                len,
+                ok,
+            });
+        }
+    }
+    let response = if blocked {
+        WireResponse::Err(Errno::Efault)
+    } else {
+        response
+    };
+    response.encode()
+}
+
+/// Engines the differential harness can drive: the [`Engine`] byte
+/// contract plus access to the grant table (the frontend side declares
+/// into it) and the backend's recorded trace events.
+pub trait CvdEngine: Engine {
+    /// The grant table requests are validated against.
+    fn grants(&self) -> &Arc<ShardedGrantTable>;
+
+    /// Stops the substrate and takes the backend's `MemOp` trace events.
+    fn finish(&mut self) -> Vec<TraceEvent>;
+}
+
+/// The deterministic substrate: the cost-charged byte [`Channel`] on the
+/// virtual clock, backend stepped inline on [`Engine::complete`].
+pub struct VirtualEngine {
+    clock: SimClock,
+    channel: Channel,
+    service: Box<dyn DeviceService>,
+    grants: Arc<ShardedGrantTable>,
+    backend_events: Vec<TraceEvent>,
+    dead: bool,
+}
+
+impl VirtualEngine {
+    /// A virtual engine in the paper's polling mode at fast-path depth.
+    pub fn new(service: impl DeviceService) -> Self {
+        let clock = SimClock::new();
+        let mut channel = Channel::new(
+            TransportMode::polling_default(),
+            clock.clone(),
+            CostModel::default(),
+        );
+        channel.set_ring_depth(EXEC_RING_DEPTH);
+        VirtualEngine {
+            clock,
+            channel,
+            service: Box::new(service),
+            grants: Arc::new(ShardedGrantTable::new()),
+            backend_events: Vec::new(),
+            dead: false,
+        }
+    }
+
+    /// Steps the backend once: serves the oldest queued request, if any.
+    /// Returns `true` if a request was dispatched.
+    fn step_backend(&mut self) -> bool {
+        match self.channel.take_request() {
+            Ok(frame) => {
+                let response = dispatch(
+                    &frame,
+                    self.service.as_mut(),
+                    &self.grants,
+                    self.clock.now_ns(),
+                    &mut self.backend_events,
+                );
+                self.channel
+                    .send_response(response)
+                    .expect("response ring has room: stepped one-for-one");
+                true
+            }
+            Err(_) => false,
+        }
+    }
+}
+
+impl Engine for VirtualEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Virtual
+    }
+
+    fn clock(&self) -> ClockSource {
+        self.clock.clone().into()
+    }
+
+    fn submit(&mut self, frame: &[u8]) -> Result<(), EngineError> {
+        if self.dead {
+            return Err(EngineError::Dead("engine shut down".into()));
+        }
+        // Slot-size parity with the wall engine: both substrates reject
+        // the same frames.
+        if frame.len() > ARING_SLOT_BYTES {
+            return Err(EngineError::Oversize { len: frame.len() });
+        }
+        match self.channel.send_request(frame.to_vec()) {
+            Ok(()) => Ok(()),
+            Err(ChannelError::SlotBusy) => Err(EngineError::Backpressure),
+            Err(ChannelError::TooLarge { len }) => Err(EngineError::Oversize { len }),
+            Err(e) => Err(EngineError::Dead(e.to_string())),
+        }
+    }
+
+    fn complete(&mut self) -> Result<Option<Vec<u8>>, EngineError> {
+        if self.dead {
+            return Err(EngineError::Dead("engine shut down".into()));
+        }
+        if let Ok(frame) = self.channel.take_response() {
+            return Ok(Some(frame));
+        }
+        if self.step_backend() {
+            return Ok(self.channel.take_response().ok());
+        }
+        Ok(None)
+    }
+
+    fn complete_blocking(&mut self) -> Result<Vec<u8>, EngineError> {
+        match self.complete()? {
+            Some(frame) => Ok(frame),
+            None => Err(EngineError::Dead("no frames in flight".into())),
+        }
+    }
+
+    fn shutdown(&mut self) {
+        self.dead = true;
+    }
+}
+
+impl CvdEngine for VirtualEngine {
+    fn grants(&self) -> &Arc<ShardedGrantTable> {
+        &self.grants
+    }
+
+    fn finish(&mut self) -> Vec<TraceEvent> {
+        self.shutdown();
+        std::mem::take(&mut self.backend_events)
+    }
+}
+
+/// The measurement substrate: backend on a real OS thread, frames over
+/// an [`AtomicRing`] pair, park/unpark doorbells, lock-free grant reads.
+///
+/// Single-frontend discipline: construct and drive it from one thread
+/// (the constructor registers that thread as the response doorbell's
+/// waiter).
+pub struct WallEngine {
+    clock: WallClock,
+    req_ring: Arc<AtomicRing>,
+    resp_ring: Arc<AtomicRing>,
+    req_bell: Arc<Doorbell>,
+    resp_bell: Arc<Doorbell>,
+    stop: Arc<AtomicBool>,
+    grants: Arc<ShardedGrantTable>,
+    worker: Option<JoinHandle<Vec<TraceEvent>>>,
+    in_flight: usize,
+}
+
+impl WallEngine {
+    /// Spawns the backend thread and wires up rings and doorbells.
+    pub fn new(service: impl DeviceService) -> Self {
+        let clock = WallClock::new();
+        let req_ring = Arc::new(AtomicRing::new());
+        let resp_ring = Arc::new(AtomicRing::new());
+        let req_bell = Arc::new(Doorbell::new());
+        let resp_bell = Arc::new(Doorbell::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let grants = Arc::new(ShardedGrantTable::new());
+        resp_bell.register(); // we (the constructing thread) are the frontend
+
+        let worker = {
+            let (req_ring, resp_ring) = (Arc::clone(&req_ring), Arc::clone(&resp_ring));
+            let (req_bell, resp_bell) = (Arc::clone(&req_bell), Arc::clone(&resp_bell));
+            let (stop, grants) = (Arc::clone(&stop), Arc::clone(&grants));
+            let mut service = service;
+            std::thread::Builder::new()
+                .name("cvd-backend".into())
+                .spawn(move || {
+                    req_bell.register();
+                    let mut events = Vec::new();
+                    loop {
+                        if let Some(frame) = req_ring.try_pop() {
+                            let response = dispatch(
+                                &frame,
+                                &mut service,
+                                &grants,
+                                clock.now_ns(),
+                                &mut events,
+                            );
+                            loop {
+                                match resp_ring.try_push(&response) {
+                                    Ok(was_empty) => {
+                                        if was_empty {
+                                            resp_bell.ring();
+                                        }
+                                        break;
+                                    }
+                                    Err(ARingError::Full) => std::thread::yield_now(),
+                                    Err(ARingError::Oversize { len }) => {
+                                        unreachable!("responses are tiny, got {len} bytes")
+                                    }
+                                }
+                            }
+                            continue;
+                        }
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        req_bell
+                            .wait(|| !req_ring.is_empty() || stop.load(Ordering::Acquire));
+                    }
+                    events
+                })
+                .expect("spawn cvd-backend thread")
+        };
+
+        WallEngine {
+            clock,
+            req_ring,
+            resp_ring,
+            req_bell,
+            resp_bell,
+            stop,
+            grants,
+            worker: Some(worker),
+            in_flight: 0,
+        }
+    }
+
+    fn backend_alive(&self) -> bool {
+        self.worker.as_ref().is_some_and(|w| !w.is_finished())
+    }
+
+    /// Stops the backend thread and returns its recorded events.
+    fn join_backend(&mut self) -> Vec<TraceEvent> {
+        self.stop.store(true, Ordering::Release);
+        self.req_bell.ring();
+        match self.worker.take() {
+            Some(worker) => worker.join().unwrap_or_default(),
+            None => Vec::new(),
+        }
+    }
+}
+
+impl Engine for WallEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Wall
+    }
+
+    fn clock(&self) -> ClockSource {
+        self.clock.into()
+    }
+
+    fn submit(&mut self, frame: &[u8]) -> Result<(), EngineError> {
+        if self.worker.is_none() {
+            return Err(EngineError::Dead("engine shut down".into()));
+        }
+        if !self.backend_alive() {
+            return Err(EngineError::Dead("backend thread exited".into()));
+        }
+        match self.req_ring.try_push(frame) {
+            Ok(was_empty) => {
+                if was_empty {
+                    self.req_bell.ring();
+                }
+                self.in_flight += 1;
+                Ok(())
+            }
+            Err(ARingError::Full) => Err(EngineError::Backpressure),
+            Err(ARingError::Oversize { len }) => Err(EngineError::Oversize { len }),
+        }
+    }
+
+    fn complete(&mut self) -> Result<Option<Vec<u8>>, EngineError> {
+        match self.resp_ring.try_pop() {
+            Some(frame) => {
+                self.in_flight -= 1;
+                Ok(Some(frame))
+            }
+            None => {
+                if self.in_flight > 0 && !self.backend_alive() && self.resp_ring.is_empty() {
+                    return Err(EngineError::Dead("backend thread exited".into()));
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    fn complete_blocking(&mut self) -> Result<Vec<u8>, EngineError> {
+        if self.in_flight == 0 {
+            return Err(EngineError::Dead("no frames in flight".into()));
+        }
+        loop {
+            match self.complete()? {
+                Some(frame) => return Ok(frame),
+                None => {
+                    let resp_ring = Arc::clone(&self.resp_ring);
+                    self.resp_bell.wait(move || !resp_ring.is_empty());
+                }
+            }
+        }
+    }
+
+    fn shutdown(&mut self) {
+        let _ = self.join_backend();
+    }
+}
+
+impl CvdEngine for WallEngine {
+    fn grants(&self) -> &Arc<ShardedGrantTable> {
+        &self.grants
+    }
+
+    fn finish(&mut self) -> Vec<TraceEvent> {
+        self.join_backend()
+    }
+}
+
+impl Drop for WallEngine {
+    fn drop(&mut self) {
+        if self.worker.is_some() {
+            let _ = self.join_backend();
+        }
+    }
+}
+
+/// One workload item: a wire operation plus the grants its frontend
+/// declares for it (empty for operations touching no process memory).
+#[derive(Debug, Clone)]
+pub struct WorkloadOp {
+    /// The file operation to forward.
+    pub op: WireOp,
+    /// Grants covering the memory operations the driver will perform.
+    pub grants: Vec<MemOpGrant>,
+}
+
+/// What one engine produced for one workload.
+#[derive(Debug)]
+pub struct ExecRun {
+    /// Which substrate ran.
+    pub kind: EngineKind,
+    /// Encoded response frames, in submission order — the byte-identity
+    /// side of the differential gate.
+    pub responses: Vec<Vec<u8>>,
+    /// The assembled per-span trace (frontend `OpStart`/`Grants`/`OpEnd`
+    /// around the backend's `MemOp`s) — the replay-lint side of the gate.
+    pub trace: Vec<TraceEvent>,
+    /// Total time on the engine's own clock: virtual ns for the virtual
+    /// engine, real ns for the wall engine.
+    pub elapsed_ns: u64,
+}
+
+fn op_start(span: u64, t_ns: u64, device: &str, op: &WireOp) -> TraceEvent {
+    let (kind, cmd, addr, len) = match op {
+        WireOp::Open { .. } => (TraceOpKind::Open, None, None, None),
+        WireOp::Release => (TraceOpKind::Release, None, None, None),
+        WireOp::Read { addr, len } => (TraceOpKind::Read, None, Some(addr.raw()), Some(*len)),
+        WireOp::Write { addr, len } => (TraceOpKind::Write, None, Some(addr.raw()), Some(*len)),
+        WireOp::Ioctl { cmd, arg } => (TraceOpKind::Ioctl, Some(cmd.raw()), Some(*arg), None),
+        WireOp::Mmap { va, len, .. } => (TraceOpKind::Mmap, None, Some(va.raw()), Some(*len)),
+        WireOp::Munmap { va, len } => (TraceOpKind::Munmap, None, Some(va.raw()), Some(*len)),
+        WireOp::Fault { va } => (TraceOpKind::Fault, None, Some(va.raw()), None),
+        WireOp::Poll => (TraceOpKind::Poll, None, None, None),
+        WireOp::Fasync { .. } => (TraceOpKind::Fasync, None, None, None),
+    };
+    TraceEvent::OpStart {
+        span: SpanId(span),
+        t_ns,
+        guest: 1,
+        task: 1,
+        handle: 1,
+        device: device.to_string(),
+        op: kind,
+        cmd,
+        addr,
+        len,
+    }
+}
+
+/// Drives `ops` through `engine` at the fast path's pipeline depth and
+/// assembles the differential artifacts: ordered encoded responses plus a
+/// replayable trace. The engine is finished (backend stopped) on return.
+///
+/// # Errors
+///
+/// Propagates engine failures ([`EngineError::Dead`] et al.); a healthy
+/// run never errors.
+pub fn run_workload(
+    engine: &mut dyn CvdEngine,
+    device: &str,
+    ops: &[WorkloadOp],
+) -> Result<ExecRun, EngineError> {
+    struct SpanLog {
+        start: TraceEvent,
+        grants: Option<TraceEvent>,
+        end: Option<TraceEvent>,
+        started_ns: u64,
+        request_bytes: u64,
+    }
+
+    let clock = engine.clock();
+    let started_ns = clock.now_ns();
+    let mut spans: Vec<SpanLog> = Vec::with_capacity(ops.len());
+    let mut pending: VecDeque<(usize, Option<GrantRef>)> = VecDeque::new();
+    let mut responses: Vec<Vec<u8>> = Vec::with_capacity(ops.len());
+
+    let drain_one = |engine: &mut dyn CvdEngine,
+                         pending: &mut VecDeque<(usize, Option<GrantRef>)>,
+                         spans: &mut Vec<SpanLog>,
+                         responses: &mut Vec<Vec<u8>>|
+     -> Result<(), EngineError> {
+        let frame = engine.complete_blocking()?;
+        let (index, grant) = pending
+            .pop_front()
+            .expect("completion without a pending span");
+        if let Some(grant) = grant {
+            engine.grants().revoke(grant);
+        }
+        let now = engine.clock().now_ns();
+        let (ok, value) = match WireResponse::decode(&frame) {
+            Ok(WireResponse::Value(v)) => (true, v),
+            Ok(WireResponse::Poll(events)) => (true, i64::from(events.bits())),
+            Ok(WireResponse::Err(errno)) => (false, -i64::from(errno.code())),
+            Err(_) => (false, -i64::from(Errno::Einval.code())),
+        };
+        let log = &mut spans[index];
+        log.end = Some(TraceEvent::OpEnd {
+            span: SpanId(index as u64 + 1),
+            t_ns: now,
+            ok,
+            value,
+            duration_ns: now.saturating_sub(log.started_ns),
+            wire: WireDelta {
+                bytes_out: log.request_bytes,
+                bytes_in: frame.len() as u64,
+                deliveries: 2,
+            },
+        });
+        responses.push(frame);
+        Ok(())
+    };
+
+    for (index, item) in ops.iter().enumerate() {
+        let span = index as u64 + 1;
+        let grant = if item.grants.is_empty() {
+            None
+        } else {
+            Some(
+                engine
+                    .grants()
+                    .declare(item.grants.clone())
+                    .expect("workload stays under grant capacity"),
+            )
+        };
+        let request = WireRequest {
+            task: 1,
+            pt_root: GuestPhysAddr::new(0x4000),
+            handle: 1,
+            span,
+            grant,
+            op: item.op.clone(),
+        };
+        let frame = request.encode();
+        let now = clock.now_ns();
+        spans.push(SpanLog {
+            start: op_start(span, now, device, &item.op),
+            grants: (!item.grants.is_empty()).then(|| TraceEvent::Grants {
+                span: SpanId(span),
+                grants: item.grants.iter().map(trace_grant).collect(),
+            }),
+            end: None,
+            started_ns: now,
+            request_bytes: frame.len() as u64,
+        });
+        loop {
+            match engine.submit(&frame) {
+                Ok(()) => break,
+                Err(EngineError::Backpressure) => {
+                    drain_one(engine, &mut pending, &mut spans, &mut responses)?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        pending.push_back((index, grant));
+        while pending.len() >= EXEC_RING_DEPTH {
+            drain_one(engine, &mut pending, &mut spans, &mut responses)?;
+        }
+    }
+    while !pending.is_empty() {
+        drain_one(engine, &mut pending, &mut spans, &mut responses)?;
+    }
+    let elapsed_ns = engine.clock().now_ns().saturating_sub(started_ns);
+
+    // Backend MemOp events, grouped per span for the assembled trace.
+    let backend = engine.finish();
+    let mut by_span: Vec<Vec<TraceEvent>> = vec![Vec::new(); ops.len()];
+    for event in backend {
+        if let TraceEvent::MemOp { span, .. } = &event {
+            let index = (span.0 - 1) as usize;
+            if index < by_span.len() {
+                by_span[index].push(event);
+            }
+        }
+    }
+    let mut trace = Vec::new();
+    for (index, log) in spans.into_iter().enumerate() {
+        trace.push(log.start);
+        if let Some(grants) = log.grants {
+            trace.push(grants);
+        }
+        trace.append(&mut by_span[index]);
+        trace.push(log.end.expect("all spans drained"));
+    }
+
+    Ok(ExecRun {
+        kind: engine.kind(),
+        responses,
+        trace,
+        elapsed_ns,
+    })
+}
+
+/// Shared scripted device model for benches and the differential test: a
+/// deterministic function of the request, so both substrates must agree.
+///
+/// * `Ioctl` — reads 8 bytes at `arg` and writes 8 bytes back (the
+///   interactive `RADEON_INFO` shape); `arg == u64::MAX` marks a
+///   *rogue* ioctl whose read lands outside any grant (negative
+///   differential case).
+/// * `Write` — netmap-TX shape: one read of the descriptor range.
+/// * everything else — `Value(0)`, no memory operations.
+pub struct ScriptedService {
+    ops_served: Arc<Mutex<u64>>,
+}
+
+impl ScriptedService {
+    /// A fresh service; the counter is shared with the caller.
+    pub fn new() -> (Self, Arc<Mutex<u64>>) {
+        let counter = Arc::new(Mutex::new(0));
+        (
+            ScriptedService {
+                ops_served: Arc::clone(&counter),
+            },
+            counter,
+        )
+    }
+}
+
+impl DeviceService for ScriptedService {
+    fn serve(&mut self, req: &WireRequest) -> (WireResponse, Vec<MemOpRequest>) {
+        *self.ops_served.lock().expect("counter") += 1;
+        match &req.op {
+            WireOp::Ioctl { arg, .. } if *arg == u64::MAX => (
+                WireResponse::Value(0),
+                vec![MemOpRequest::CopyFromGuest {
+                    addr: paradice_mem::GuestVirtAddr::new(0xdead_0000),
+                    len: 8,
+                }],
+            ),
+            WireOp::Ioctl { arg, .. } => (
+                WireResponse::Value(0),
+                vec![
+                    MemOpRequest::CopyFromGuest {
+                        addr: paradice_mem::GuestVirtAddr::new(*arg),
+                        len: 8,
+                    },
+                    MemOpRequest::CopyToGuest {
+                        addr: paradice_mem::GuestVirtAddr::new(*arg),
+                        len: 8,
+                    },
+                ],
+            ),
+            WireOp::Write { addr, len } => (
+                WireResponse::Value(*len as i64),
+                vec![MemOpRequest::CopyFromGuest {
+                    addr: *addr,
+                    len: *len,
+                }],
+            ),
+            _ => (WireResponse::Value(0), Vec::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paradice_devfs::ioc::{io, IoctlCmd};
+    use paradice_mem::GuestVirtAddr;
+
+    fn cmd() -> IoctlCmd {
+        io(b'T', 1)
+    }
+
+    fn interactive_ops(n: usize) -> Vec<WorkloadOp> {
+        (0..n)
+            .map(|i| {
+                let arg = 0x1_0000 + (i as u64) * 16;
+                WorkloadOp {
+                    op: WireOp::Ioctl { cmd: cmd(), arg },
+                    grants: vec![
+                        MemOpGrant::CopyFromGuest {
+                            addr: GuestVirtAddr::new(arg),
+                            len: 8,
+                        },
+                        MemOpGrant::CopyToGuest {
+                            addr: GuestVirtAddr::new(arg),
+                            len: 8,
+                        },
+                    ],
+                }
+            })
+            .collect()
+    }
+
+    fn run(kind: EngineKind, ops: &[WorkloadOp]) -> ExecRun {
+        let (service, _) = ScriptedService::new();
+        match kind {
+            EngineKind::Virtual => {
+                let mut engine = VirtualEngine::new(service);
+                run_workload(&mut engine, "/dev/test0", ops).expect("run")
+            }
+            EngineKind::Wall => {
+                let mut engine = WallEngine::new(service);
+                run_workload(&mut engine, "/dev/test0", ops).expect("run")
+            }
+        }
+    }
+
+    #[test]
+    fn both_engines_serve_and_agree_byte_for_byte() {
+        let ops = interactive_ops(100);
+        let virt = run(EngineKind::Virtual, &ops);
+        let wall = run(EngineKind::Wall, &ops);
+        assert_eq!(virt.responses.len(), 100);
+        assert_eq!(virt.responses, wall.responses);
+        assert!(virt.elapsed_ns > 0, "virtual time was charged");
+    }
+
+    #[test]
+    fn ungranted_memop_faults_identically_in_both_modes() {
+        let rogue = WorkloadOp {
+            op: WireOp::Ioctl {
+                cmd: cmd(),
+                arg: u64::MAX,
+            },
+            grants: vec![MemOpGrant::CopyFromGuest {
+                addr: GuestVirtAddr::new(0x1000),
+                len: 8,
+            }],
+        };
+        let virt = run(EngineKind::Virtual, std::slice::from_ref(&rogue));
+        let wall = run(EngineKind::Wall, std::slice::from_ref(&rogue));
+        assert_eq!(virt.responses, wall.responses);
+        let response = WireResponse::decode(&virt.responses[0]).expect("decodes");
+        assert_eq!(response, WireResponse::Err(Errno::Efault));
+        let blocked = virt.trace.iter().any(
+            |e| matches!(e, TraceEvent::MemOp { ok, .. } if !ok),
+        );
+        assert!(blocked, "blocked memop must be recorded");
+    }
+
+    #[test]
+    fn traces_are_span_coherent_in_both_modes() {
+        let ops = interactive_ops(20);
+        for kind in [EngineKind::Virtual, EngineKind::Wall] {
+            let run = run(kind, &ops);
+            // 20 spans × (OpStart + Grants + 2 MemOps + OpEnd).
+            assert_eq!(run.trace.len(), 20 * 5, "{kind}: assembled trace shape");
+            for chunk in run.trace.chunks(5) {
+                assert!(matches!(chunk[0], TraceEvent::OpStart { .. }));
+                assert!(matches!(chunk[1], TraceEvent::Grants { .. }));
+                assert!(matches!(chunk[2], TraceEvent::MemOp { ok: true, .. }));
+                assert!(matches!(chunk[3], TraceEvent::MemOp { ok: true, .. }));
+                assert!(matches!(chunk[4], TraceEvent::OpEnd { ok: true, .. }));
+            }
+        }
+    }
+
+    #[test]
+    fn wall_engine_survives_shutdown_and_reports_dead() {
+        let (service, _) = ScriptedService::new();
+        let mut engine = WallEngine::new(service);
+        engine.shutdown();
+        assert!(matches!(
+            engine.submit(b"junk"),
+            Err(EngineError::Dead(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_frames_get_einval_not_a_crash() {
+        let (service, _) = ScriptedService::new();
+        let mut engine = VirtualEngine::new(service);
+        engine.submit(b"not a wire request").expect("submit");
+        let frame = engine.complete_blocking().expect("complete");
+        assert_eq!(
+            WireResponse::decode(&frame).expect("decodes"),
+            WireResponse::Err(Errno::Einval)
+        );
+    }
+}

@@ -29,6 +29,7 @@
 
 pub mod backend;
 pub mod cache;
+pub mod exec;
 pub mod frontend;
 pub mod info;
 pub mod memops;
@@ -37,6 +38,10 @@ pub mod sharing;
 
 pub use backend::{Backend, SharedBackend};
 pub use cache::{Eviction, GrantCache, GrantCacheKey};
+pub use exec::{
+    run_workload, CvdEngine, DeviceService, ExecRun, ScriptedService, VirtualEngine, WallEngine,
+    WorkloadOp, EXEC_RING_DEPTH,
+};
 pub use frontend::{Frontend, IoctlKnowledge, OsPersonality};
 pub use info::{DeviceInfoModule, VirtualPciBus};
 pub use memops::HypercallMemOps;

@@ -1,0 +1,406 @@
+//! The shared ring page driven with real atomics.
+//!
+//! [`RingIndex`](crate::ring::RingIndex) is the *virtual-time* ring: a pure
+//! index kernel stepped by one thread under the cost model, proved safe by
+//! `paradice-verify`. This module is its wall-clock twin: the same 4-KiB
+//! shared page, but the head/tail cursors and per-slot ownership are
+//! published with acquire/release atomics so a frontend thread and a
+//! backend thread can drive it concurrently, and the doorbell is a real
+//! park/unpark handoff instead of a virtual-time spin budget.
+//!
+//! # Memory-ordering argument (DESIGN.md §12 carries the prose version)
+//!
+//! The ring is single-producer single-consumer. Each slot carries a
+//! free-running sequence number in the style of Vyukov's bounded queue:
+//!
+//! * slot `i` starts at `seq = i` — "free, awaiting push number `i`";
+//! * the producer, at free-running cursor `t`, claims slot `t % N` iff
+//!   `seq == t`, writes the payload, then publishes with
+//!   `seq.store(t + 1, Release)` — the payload write *happens-before* any
+//!   consumer that observes `t + 1` with an `Acquire` load;
+//! * the consumer, at cursor `h`, pops slot `h % N` iff
+//!   `seq == h + 1` (`Acquire` — synchronizes with the producer's
+//!   release), reads the payload, then recycles with
+//!   `seq.store(h + N, Release)` — the payload *read* happens-before the
+//!   producer's next claim of the same slot (push number `h + N`).
+//!
+//! Cursors themselves are only ever written by their owning side, so the
+//! slot sequence is the sole synchronization edge for payload bytes; the
+//! `tail`/`head` stores exist so the *other* side can compute occupancy
+//! (doorbell coalescing, backpressure) and are published with `Release`
+//! and read with `Acquire` for a conservative view. `N` divides `2^32`,
+//! so wrapping `u32` arithmetic never aliases two in-flight pushes.
+//!
+//! The whole structure — both cursors (cache-line padded) plus 16 slots of
+//! 240 payload bytes — is laid out `repr(C)` in exactly one 4-KiB page,
+//! mirroring the paper's shared-page channel (§5.1).
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Mutex;
+use std::thread::Thread;
+use std::time::Duration;
+
+/// Slots in the atomic ring. Matches the virtual ring's
+/// [`RING_CAPACITY`](crate::ring::RING_CAPACITY); must divide `2^32`.
+pub const ARING_CAPACITY: usize = 16;
+
+/// Payload bytes per slot: `(4096 - 2*64) / 16` minus the 8 bytes of
+/// per-slot sequence + length. A no-op wire request is ~40 bytes and the
+/// largest benchmarked ioctl frame is well under 200, so one slot holds
+/// any coalesced fast-path frame; oversize frames are rejected, exactly
+/// like the virtual channel's [`ChannelError::TooLarge`]
+/// (crate::channel::ChannelError::TooLarge).
+pub const ARING_SLOT_BYTES: usize = 240;
+
+const MASK: u32 = ARING_CAPACITY as u32 - 1;
+
+/// Why a push or pop did not happen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ARingError {
+    /// All slots are occupied: the consumer has fallen behind.
+    Full,
+    /// The frame exceeds [`ARING_SLOT_BYTES`].
+    Oversize {
+        /// Offending length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for ARingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ARingError::Full => f.write_str("atomic ring full"),
+            ARingError::Oversize { len } => {
+                write!(f, "frame of {len} bytes exceeds an atomic ring slot")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ARingError {}
+
+#[repr(C)]
+struct Slot {
+    /// Free-running push number this slot is ready for (see module docs).
+    seq: AtomicU32,
+    /// Valid payload bytes, written before `seq` publishes them.
+    len: AtomicU32,
+    data: UnsafeCell<[u8; ARING_SLOT_BYTES]>,
+}
+
+/// One direction of the shared ring page, concurrency-safe.
+///
+/// Single-producer single-consumer: exactly one thread may call
+/// [`try_push`](AtomicRing::try_push) and exactly one may call
+/// [`try_pop`](AtomicRing::try_pop). The type is `Sync` so both sides can
+/// share it behind an `Arc`; the SPSC discipline is the caller's contract
+/// (the engine owns one thread per side by construction).
+#[repr(C, align(64))]
+pub struct AtomicRing {
+    /// Producer cursor (free-running). Written only by the producer.
+    tail: AtomicU32,
+    _pad0: [u8; 60],
+    /// Consumer cursor (free-running). Written only by the consumer.
+    head: AtomicU32,
+    _pad1: [u8; 60],
+    slots: [Slot; ARING_CAPACITY],
+}
+
+// One page, like the virtual channel's shared page (paper §5.1).
+const _: () = assert!(std::mem::size_of::<AtomicRing>() <= 4096);
+const _: () = assert!(ARING_CAPACITY.is_power_of_two());
+const _: () = assert!((u32::MAX as u64 + 1).is_multiple_of(ARING_CAPACITY as u64));
+
+// SAFETY: the payload `UnsafeCell`s are only touched under the slot-seq
+// protocol documented on the module: a slot's bytes are written by the
+// single producer strictly before the `Release` store that hands the slot
+// to the consumer, and read by the single consumer strictly before the
+// `Release` store that hands it back. No two threads ever access a slot's
+// payload concurrently.
+unsafe impl Sync for AtomicRing {}
+unsafe impl Send for AtomicRing {}
+
+impl Default for AtomicRing {
+    fn default() -> Self {
+        AtomicRing::new()
+    }
+}
+
+impl AtomicRing {
+    /// An empty ring: slot `i` awaits push number `i`.
+    pub fn new() -> Self {
+        AtomicRing {
+            tail: AtomicU32::new(0),
+            _pad0: [0; 60],
+            head: AtomicU32::new(0),
+            _pad1: [0; 60],
+            slots: std::array::from_fn(|i| Slot {
+                seq: AtomicU32::new(i as u32),
+                len: AtomicU32::new(0),
+                data: UnsafeCell::new([0; ARING_SLOT_BYTES]),
+            }),
+        }
+    }
+
+    /// Producer side: publishes one frame. Returns `true` when the ring
+    /// was empty before the push — the empty→non-empty transition on which
+    /// (and only on which) the producer must ring the doorbell, the same
+    /// coalescing rule the virtual ring's
+    /// [`PushGrant::doorbell`](crate::ring::PushGrant) encodes.
+    pub fn try_push(&self, frame: &[u8]) -> Result<bool, ARingError> {
+        if frame.len() > ARING_SLOT_BYTES {
+            return Err(ARingError::Oversize { len: frame.len() });
+        }
+        let tail = self.tail.load(Ordering::Relaxed); // sole writer: us
+        let slot = &self.slots[(tail & MASK) as usize];
+        // Acquire: synchronizes with the consumer's recycling store, so
+        // our payload write cannot be reordered before the consumer is
+        // done reading the previous occupant.
+        if slot.seq.load(Ordering::Acquire) != tail {
+            return Err(ARingError::Full);
+        }
+        // SAFETY: seq == tail means the slot is ours (module protocol).
+        unsafe {
+            (&mut *slot.data.get())[..frame.len()].copy_from_slice(frame);
+        }
+        slot.len.store(frame.len() as u32, Ordering::Relaxed);
+        // Occupancy *before* publication decides the doorbell.
+        let was_empty = self.head.load(Ordering::Acquire) == tail;
+        // Release: payload + len happen-before any consumer that sees
+        // seq == tail + 1.
+        slot.seq.store(tail.wrapping_add(1), Ordering::Release);
+        self.tail.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(was_empty)
+    }
+
+    /// Consumer side: takes the oldest frame, if any.
+    pub fn try_pop(&self) -> Option<Vec<u8>> {
+        let head = self.head.load(Ordering::Relaxed); // sole writer: us
+        let slot = &self.slots[(head & MASK) as usize];
+        // Acquire: pairs with the producer's publishing Release.
+        if slot.seq.load(Ordering::Acquire) != head.wrapping_add(1) {
+            return None;
+        }
+        let len = slot.len.load(Ordering::Relaxed) as usize;
+        // SAFETY: seq == head + 1 means the slot holds a published frame
+        // and the producer will not touch it until we recycle it.
+        let frame = unsafe { (&*slot.data.get())[..len].to_vec() };
+        // Release: our payload read happens-before the producer's next
+        // claim of this slot (push number head + N).
+        slot.seq
+            .store(head.wrapping_add(ARING_CAPACITY as u32), Ordering::Release);
+        self.head.store(head.wrapping_add(1), Ordering::Release);
+        Some(frame)
+    }
+
+    /// Occupied slots, as a conservative cross-thread observation.
+    pub fn len(&self) -> usize {
+        let tail = self.tail.load(Ordering::Acquire);
+        let head = self.head.load(Ordering::Acquire);
+        tail.wrapping_sub(head) as usize
+    }
+
+    /// Whether the ring appears empty (conservative, racy by nature).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Debug for AtomicRing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AtomicRing")
+            .field("capacity", &ARING_CAPACITY)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// The inter-VM interrupt line of the wall-clock engine.
+///
+/// Virtual-time polling burns a spin budget on the virtual clock; on real
+/// threads the idle side parks itself and the producer un-parks it on the
+/// empty→non-empty transition. The `rung` flag makes the handoff lossless
+/// (a ring that arrives between the check and the park is observed on the
+/// next iteration), and the bounded `park_timeout` makes any residual
+/// lost-wakeup race a latency blip instead of a hang.
+#[derive(Debug, Default)]
+pub struct Doorbell {
+    rung: AtomicBool,
+    parked: AtomicBool,
+    sleeper: Mutex<Option<Thread>>,
+}
+
+impl Doorbell {
+    /// A doorbell nobody is waiting on.
+    pub fn new() -> Self {
+        Doorbell::default()
+    }
+
+    /// Registers the calling thread as the (single) waiter. Called once,
+    /// from the consumer thread, before its first [`wait`](Doorbell::wait).
+    pub fn register(&self) {
+        *self.sleeper.lock().expect("doorbell sleeper poisoned") = Some(std::thread::current());
+    }
+
+    /// Rings: wakes the registered waiter if it is parked. The producer
+    /// calls this only on empty→non-empty (doorbell coalescing).
+    pub fn ring(&self) {
+        self.rung.store(true, Ordering::Release);
+        if self.parked.load(Ordering::Acquire) {
+            if let Some(thread) = &*self.sleeper.lock().expect("doorbell sleeper poisoned") {
+                thread.unpark();
+            }
+        }
+    }
+
+    /// Blocks the registered waiter until the bell has rung since the last
+    /// wait (consuming the ring), or `ready()` reports work.
+    pub fn wait(&self, mut ready: impl FnMut() -> bool) {
+        if self.rung.swap(false, Ordering::AcqRel) || ready() {
+            return;
+        }
+        self.parked.store(true, Ordering::Release);
+        while !self.rung.swap(false, Ordering::AcqRel) && !ready() {
+            std::thread::park_timeout(Duration::from_millis(1));
+        }
+        self.parked.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_roundtrip_preserves_bytes() {
+        let ring = AtomicRing::new();
+        assert!(ring.is_empty());
+        assert!(ring.try_push(b"hello").expect("push"));
+        assert_eq!(ring.len(), 1);
+        assert!(!ring.try_push(b"world").expect("push"), "not empty now");
+        assert_eq!(ring.try_pop().as_deref(), Some(&b"hello"[..]));
+        assert_eq!(ring.try_pop().as_deref(), Some(&b"world"[..]));
+        assert_eq!(ring.try_pop(), None);
+    }
+
+    #[test]
+    fn fills_at_capacity_and_recovers() {
+        let ring = AtomicRing::new();
+        for i in 0..ARING_CAPACITY {
+            ring.try_push(&[i as u8]).expect("push below capacity");
+        }
+        assert_eq!(ring.try_push(b"x"), Err(ARingError::Full));
+        assert_eq!(ring.try_pop().as_deref(), Some(&[0u8][..]));
+        ring.try_push(b"y").expect("freed slot re-usable");
+        for i in 1..ARING_CAPACITY {
+            assert_eq!(ring.try_pop().as_deref(), Some(&[i as u8][..]));
+        }
+        assert_eq!(ring.try_pop().as_deref(), Some(&b"y"[..]));
+    }
+
+    #[test]
+    fn oversize_frames_are_rejected_like_the_virtual_channel() {
+        let ring = AtomicRing::new();
+        let frame = [0u8; ARING_SLOT_BYTES + 1];
+        assert_eq!(
+            ring.try_push(&frame),
+            Err(ARingError::Oversize {
+                len: ARING_SLOT_BYTES + 1
+            })
+        );
+        ring.try_push(&[0u8; ARING_SLOT_BYTES]).expect("exact fit");
+    }
+
+    #[test]
+    fn wraparound_many_times_stays_fifo() {
+        let ring = AtomicRing::new();
+        let mut next_pop = 0u32;
+        for round in 0..64u32 {
+            for lap in 0..ARING_CAPACITY as u32 {
+                let value = round * ARING_CAPACITY as u32 + lap;
+                ring.try_push(&value.to_le_bytes()).expect("push");
+            }
+            for _ in 0..ARING_CAPACITY {
+                let frame = ring.try_pop().expect("pop");
+                let got = u32::from_le_bytes(frame.try_into().expect("4 bytes"));
+                assert_eq!(got, next_pop);
+                next_pop += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn doorbell_fires_only_on_empty_to_nonempty() {
+        let ring = AtomicRing::new();
+        let mut doorbells = 0;
+        for _ in 0..4 {
+            if ring.try_push(b"a").expect("push") {
+                doorbells += 1;
+            }
+        }
+        assert_eq!(doorbells, 1, "coalesced: one bell for four queued frames");
+        while ring.try_pop().is_some() {}
+        assert!(ring.try_push(b"b").expect("push"), "empty again: new bell");
+    }
+
+    #[test]
+    fn two_threads_transfer_everything_in_order() {
+        let ring = Arc::new(AtomicRing::new());
+        let total: u32 = 40_000;
+        let producer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                for i in 0..total {
+                    loop {
+                        match ring.try_push(&i.to_le_bytes()) {
+                            Ok(_) => break,
+                            Err(ARingError::Full) => std::hint::spin_loop(),
+                            Err(e) => panic!("unexpected push error: {e}"),
+                        }
+                    }
+                }
+            })
+        };
+        let consumer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                let mut expected = 0u32;
+                while expected < total {
+                    if let Some(frame) = ring.try_pop() {
+                        let got = u32::from_le_bytes(frame.try_into().expect("4 bytes"));
+                        assert_eq!(got, expected, "FIFO order violated");
+                        expected += 1;
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+            })
+        };
+        producer.join().expect("producer");
+        consumer.join().expect("consumer");
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn doorbell_wakes_a_parked_waiter() {
+        let bell = Arc::new(Doorbell::new());
+        let ring = Arc::new(AtomicRing::new());
+        let waiter = {
+            let (bell, ring) = (Arc::clone(&bell), Arc::clone(&ring));
+            std::thread::spawn(move || {
+                bell.register();
+                bell.wait(|| !ring.is_empty());
+                ring.try_pop().expect("frame present after wakeup")
+            })
+        };
+        std::thread::sleep(Duration::from_millis(5));
+        if ring.try_push(b"ding").expect("push") {
+            bell.ring();
+        }
+        let frame = waiter.join().expect("waiter");
+        assert_eq!(frame, b"ding");
+    }
+}

@@ -48,7 +48,7 @@ use std::marker::PhantomData;
 
 use paradice_mem::PAGE_SIZE;
 
-use crate::clock::{CostModel, SimClock};
+use crate::clock::{ClockSource, CostModel};
 use crate::ring::{RingIndex, RING_CAPACITY};
 
 /// A message type with a defined shared-page wire format.
@@ -282,7 +282,7 @@ impl Ring {
 /// `Channel` behaves exactly like the historical untyped byte channel.
 pub struct Channel<Req = Vec<u8>, Resp = Vec<u8>, Sig = Vec<u8>> {
     mode: TransportMode,
-    clock: SimClock,
+    clock: ClockSource,
     cost: CostModel,
     /// Entries per direction; 1 is the paper's bounded-slot discipline.
     ring_depth: usize,
@@ -310,11 +310,15 @@ impl<Req, Resp, Sig> fmt::Debug for Channel<Req, Resp, Sig> {
 }
 
 impl<Req: WireCodec, Resp: WireCodec, Sig: WireCodec> Channel<Req, Resp, Sig> {
-    /// Creates a channel in the given transport mode.
-    pub fn new(mode: TransportMode, clock: SimClock, cost: CostModel) -> Self {
+    /// Creates a channel in the given transport mode. The clock decides
+    /// the substrate: a [`SimClock`] charges the cost model on virtual
+    /// time, a [`crate::clock::WallClock`] makes every charge a no-op and
+    /// reports real elapsed time (the spin-budget comparison then runs on
+    /// real nanoseconds).
+    pub fn new(mode: TransportMode, clock: impl Into<ClockSource>, cost: CostModel) -> Self {
         Channel {
             mode,
-            clock,
+            clock: clock.into(),
             cost,
             ring_depth: 1,
             requests: Ring::new(),
@@ -559,7 +563,7 @@ impl<Req: WireCodec, Resp: WireCodec, Sig: WireCodec> Channel<Req, Resp, Sig> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::clock::us;
+    use crate::clock::{us, SimClock};
 
     fn channel(mode: TransportMode) -> Channel {
         Channel::new(mode, SimClock::new(), CostModel::default())
@@ -874,6 +878,7 @@ mod tests {
 #[cfg(test)]
 mod prop_tests {
     use super::*;
+    use crate::clock::SimClock;
     use proptest::prelude::*;
 
     proptest! {

@@ -16,6 +16,7 @@
 use std::cell::Cell;
 use std::fmt;
 use std::rc::Rc;
+use std::time::Instant;
 
 /// Converts microseconds to the clock's nanosecond unit.
 pub const fn us(x: u64) -> u64 {
@@ -25,6 +26,27 @@ pub const fn us(x: u64) -> u64 {
 /// Converts milliseconds to the clock's nanosecond unit.
 pub const fn ms(x: u64) -> u64 {
     x * 1_000_000
+}
+
+/// What every timed component asks of its time source.
+///
+/// Two implementations exist: [`SimClock`] (the deterministic virtual
+/// clock — every cost-model charge *steers* it, making whole runs
+/// bit-reproducible) and [`WallClock`] (real time over
+/// [`std::time::Instant`] — charges are no-ops and `now_ns` reports what
+/// the hardware actually took). [`ClockSource`] is the concrete handle
+/// components store so the choice is made once, at machine construction.
+pub trait Clock {
+    /// Current time in nanoseconds (virtual or wall, by implementation).
+    fn now_ns(&self) -> u64;
+
+    /// Charges `delta_ns` of modeled cost. Steers a virtual clock; a
+    /// wall clock ignores it (real time cannot be pushed forward).
+    fn advance(&self, delta_ns: u64);
+
+    /// Advances to `target_ns` if that is in the future; returns `true`
+    /// if time moved. Always `false` on a wall clock.
+    fn advance_to(&self, target_ns: u64) -> bool;
 }
 
 /// A shared, deterministic virtual clock (nanosecond resolution).
@@ -76,6 +98,167 @@ impl SimClock {
 impl fmt::Debug for SimClock {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "SimClock({} ns)", self.now_ns())
+    }
+}
+
+impl Clock for SimClock {
+    fn now_ns(&self) -> u64 {
+        SimClock::now_ns(self)
+    }
+
+    fn advance(&self, delta_ns: u64) {
+        SimClock::advance(self, delta_ns);
+    }
+
+    fn advance_to(&self, target_ns: u64) -> bool {
+        SimClock::advance_to(self, target_ns)
+    }
+}
+
+/// Real time over [`std::time::Instant`], nanosecond resolution.
+///
+/// Clones share the epoch (an `Instant` is `Copy`), so every handle in a
+/// machine reports the same timeline. Unlike [`SimClock`] this handle is
+/// `Send + Sync`: the wall-clock engine hands clones to its frontend and
+/// backend threads. Cost-model charges are no-ops — on wall time the
+/// hardware charges itself.
+#[derive(Clone, Copy, Debug)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// A wall clock whose zero is "now".
+    pub fn new() -> Self {
+        WallClock {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Real nanoseconds since this clock's epoch.
+    pub fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// No-op: wall time cannot be steered by modeled costs.
+    pub fn advance(&self, _delta_ns: u64) {}
+
+    /// No-op: always `false` — wall time cannot be pushed to a target.
+    pub fn advance_to(&self, _target_ns: u64) -> bool {
+        false
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_ns(&self) -> u64 {
+        WallClock::now_ns(self)
+    }
+
+    fn advance(&self, delta_ns: u64) {
+        WallClock::advance(self, delta_ns);
+    }
+
+    fn advance_to(&self, target_ns: u64) -> bool {
+        WallClock::advance_to(self, target_ns)
+    }
+}
+
+/// The concrete time source a component stores.
+///
+/// An enum rather than a `Box<dyn Clock>` so the hot `now_ns`/`advance`
+/// calls stay monomorphic (one branch, no vtable) and the handle stays
+/// `Clone` without allocation. Constructors take `impl Into<ClockSource>`,
+/// so existing call sites that pass a bare [`SimClock`] keep compiling.
+#[derive(Clone, Debug)]
+pub enum ClockSource {
+    /// The deterministic virtual clock — the correctness oracle.
+    Virtual(SimClock),
+    /// Real time — measurement mode; modeled charges are no-ops.
+    Wall(WallClock),
+}
+
+impl ClockSource {
+    /// Current time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        match self {
+            ClockSource::Virtual(c) => c.now_ns(),
+            ClockSource::Wall(c) => c.now_ns(),
+        }
+    }
+
+    /// Charges `delta_ns` of modeled cost (no-op on wall time).
+    pub fn advance(&self, delta_ns: u64) {
+        match self {
+            ClockSource::Virtual(c) => c.advance(delta_ns),
+            ClockSource::Wall(c) => c.advance(delta_ns),
+        }
+    }
+
+    /// Advances to `target_ns` if in the future; `false` on wall time.
+    pub fn advance_to(&self, target_ns: u64) -> bool {
+        match self {
+            ClockSource::Virtual(c) => c.advance_to(target_ns),
+            ClockSource::Wall(c) => c.advance_to(target_ns),
+        }
+    }
+
+    /// Runs `f` and returns its result together with the time it consumed
+    /// on this source.
+    pub fn timed<T>(&self, f: impl FnOnce() -> T) -> (T, u64) {
+        let start = self.now_ns();
+        let result = f();
+        (result, self.now_ns().saturating_sub(start))
+    }
+
+    /// `true` when this source reports real time.
+    pub fn is_wall(&self) -> bool {
+        matches!(self, ClockSource::Wall(_))
+    }
+
+    /// The underlying virtual clock, when this source is virtual.
+    pub fn as_sim(&self) -> Option<&SimClock> {
+        match self {
+            ClockSource::Virtual(c) => Some(c),
+            ClockSource::Wall(_) => None,
+        }
+    }
+}
+
+impl Default for ClockSource {
+    fn default() -> Self {
+        ClockSource::Virtual(SimClock::new())
+    }
+}
+
+impl From<SimClock> for ClockSource {
+    fn from(clock: SimClock) -> Self {
+        ClockSource::Virtual(clock)
+    }
+}
+
+impl From<WallClock> for ClockSource {
+    fn from(clock: WallClock) -> Self {
+        ClockSource::Wall(clock)
+    }
+}
+
+impl Clock for ClockSource {
+    fn now_ns(&self) -> u64 {
+        ClockSource::now_ns(self)
+    }
+
+    fn advance(&self, delta_ns: u64) {
+        ClockSource::advance(self, delta_ns);
+    }
+
+    fn advance_to(&self, target_ns: u64) -> bool {
+        ClockSource::advance_to(self, target_ns)
     }
 }
 
@@ -234,5 +417,61 @@ mod tests {
     fn unit_helpers() {
         assert_eq!(us(3), 3_000);
         assert_eq!(ms(2), 2_000_000);
+    }
+
+    #[test]
+    fn wall_clock_moves_forward_and_ignores_charges() {
+        let clock = WallClock::new();
+        let t0 = clock.now_ns();
+        clock.advance(ms(1_000));
+        assert!(!clock.advance_to(u64::MAX - 1));
+        // Charges are no-ops: only real elapsed time shows (a few µs at
+        // most here, never the charged second).
+        let t1 = clock.now_ns();
+        assert!(t1 >= t0);
+        assert!(t1 - t0 < ms(1_000), "charge leaked into wall time");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(clock.now_ns() > t1, "wall clock must move on its own");
+    }
+
+    #[test]
+    fn wall_clock_clones_share_the_epoch() {
+        let a = WallClock::new();
+        let b = a;
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let (ta, tb) = (a.now_ns(), b.now_ns());
+        // Same epoch: the two reads are a few µs apart, not an epoch apart.
+        assert!(ta.abs_diff(tb) < ms(100));
+    }
+
+    #[test]
+    fn clock_source_dispatches_to_both_implementations() {
+        let sim: ClockSource = SimClock::new().into();
+        assert!(!sim.is_wall());
+        assert!(sim.as_sim().is_some());
+        sim.advance(us(5));
+        assert_eq!(sim.now_ns(), 5_000);
+        assert!(sim.advance_to(us(9)));
+        let (value, elapsed) = sim.timed(|| {
+            sim.advance(us(1));
+            7
+        });
+        assert_eq!((value, elapsed), (7, 1_000));
+
+        let wall: ClockSource = WallClock::new().into();
+        assert!(wall.is_wall());
+        assert!(wall.as_sim().is_none());
+        wall.advance(ms(1_000));
+        assert!(!wall.advance_to(u64::MAX - 1));
+        assert!(wall.now_ns() < ms(1_000), "charge leaked into wall time");
+    }
+
+    #[test]
+    fn trait_object_dispatch_matches_inherent_calls() {
+        let sim = SimClock::new();
+        let dynamic: &dyn Clock = &sim;
+        dynamic.advance(42);
+        assert_eq!(dynamic.now_ns(), 42);
+        assert_eq!(sim.now_ns(), 42);
     }
 }

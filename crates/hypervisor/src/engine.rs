@@ -1,0 +1,155 @@
+//! The execution engine abstraction.
+//!
+//! A Paradice machine can execute in two substrates:
+//!
+//! * **Virtual** — the deterministic step function: one thread, the
+//!   [`SimClock`](crate::clock::SimClock), every action charged against
+//!   the cost model. This is the correctness oracle: runs are
+//!   bit-reproducible, so every proof, lint, and figure is anchored here.
+//! * **Wall** — real OS threads for frontend and backend, the shared ring
+//!   page driven with atomics ([`AtomicRing`](crate::aring::AtomicRing)),
+//!   grants validated through the lock-free-read
+//!   [`ShardedGrantTable`](crate::shards::ShardedGrantTable), and the
+//!   [`WallClock`](crate::clock::WallClock) reporting what the hardware
+//!   actually took.
+//!
+//! The [`Engine`] trait is the seam between the two: a byte-level
+//! submit/complete interface over encoded wire frames, deliberately
+//! codec-agnostic so this crate does not depend on the CVD wire types.
+//! `paradice-cvd`'s `exec` module provides both implementations and the
+//! differential harness that proves them op-equivalent.
+
+use std::fmt;
+
+use crate::clock::ClockSource;
+
+/// Which execution substrate an engine (or a whole machine) runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// Deterministic virtual time; the correctness oracle.
+    #[default]
+    Virtual,
+    /// Real threads on the atomic ring; the measurement mode.
+    Wall,
+}
+
+impl EngineKind {
+    /// Stable lowercase name (report keys, CLI flags).
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Virtual => "virtual",
+            EngineKind::Wall => "wall",
+        }
+    }
+
+    /// The clock source a machine of this kind should be built with.
+    pub fn clock(self) -> ClockSource {
+        match self {
+            EngineKind::Virtual => ClockSource::Virtual(crate::clock::SimClock::new()),
+            EngineKind::Wall => ClockSource::Wall(crate::clock::WallClock::new()),
+        }
+    }
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Engine-level failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The request ring is full; retry after draining completions.
+    Backpressure,
+    /// The frame exceeds one ring slot.
+    Oversize {
+        /// Offending length.
+        len: usize,
+    },
+    /// The engine's backend is gone (thread panicked or shut down).
+    Dead(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Backpressure => f.write_str("engine request ring full"),
+            EngineError::Oversize { len } => {
+                write!(f, "frame of {len} bytes exceeds an engine ring slot")
+            }
+            EngineError::Dead(why) => write!(f, "engine backend dead: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// One execution substrate, scheduling included.
+///
+/// The contract is pipelined and byte-level: [`submit`](Engine::submit)
+/// hands the engine one encoded request frame, [`complete`](Engine::complete)
+/// yields encoded response frames **in submission order** (both engines
+/// run a FIFO ring; order is part of the differential gate). How the
+/// frames travel — a cost-charged step function or two threads and a
+/// doorbell — is the implementation's business, which is precisely what
+/// lets `Hypervisor`, `Channel`, and `Machine` stop hard-coding the
+/// virtual substrate.
+pub trait Engine {
+    /// Which substrate this is.
+    fn kind(&self) -> EngineKind;
+
+    /// The time source measurements against this engine should read.
+    fn clock(&self) -> ClockSource;
+
+    /// Submits one encoded request frame.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Backpressure`] when the ring is full (drain
+    /// completions and retry), [`EngineError::Oversize`] for frames that
+    /// cannot fit a slot, [`EngineError::Dead`] when the backend is gone.
+    fn submit(&mut self, frame: &[u8]) -> Result<(), EngineError>;
+
+    /// Takes the next completed response frame, if one is ready.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Dead`] when the backend is gone.
+    fn complete(&mut self) -> Result<Option<Vec<u8>>, EngineError>;
+
+    /// Blocks (or steps the substrate) until a response frame is ready.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Dead`] when the backend is gone with frames pending.
+    fn complete_blocking(&mut self) -> Result<Vec<u8>, EngineError>;
+
+    /// Stops the substrate; subsequent submissions fail with
+    /// [`EngineError::Dead`]. Idempotent.
+    fn shutdown(&mut self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_and_clocks_line_up() {
+        assert_eq!(EngineKind::Virtual.name(), "virtual");
+        assert_eq!(EngineKind::Wall.name(), "wall");
+        assert_eq!(EngineKind::default(), EngineKind::Virtual);
+        assert!(!EngineKind::Virtual.clock().is_wall());
+        assert!(EngineKind::Wall.clock().is_wall());
+        assert_eq!(format!("{}", EngineKind::Wall), "wall");
+    }
+
+    #[test]
+    fn errors_render() {
+        assert_eq!(
+            EngineError::Oversize { len: 9999 }.to_string(),
+            "frame of 9999 bytes exceeds an engine ring slot"
+        );
+        assert!(EngineError::Dead("panic".into()).to_string().contains("panic"));
+    }
+}

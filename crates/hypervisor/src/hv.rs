@@ -30,7 +30,7 @@ use paradice_mem::{
 use paradice_trace::{SpanId, TraceEvent, TraceMemOpKind, Tracer};
 
 use crate::audit::{AuditEvent, AuditLog};
-use crate::clock::{CostModel, SimClock};
+use crate::clock::{ClockSource, CostModel};
 use crate::grants::{GrantError, GrantRef, GrantTable, MemOpGrant, MemOpRequest};
 use crate::regions::{DevMemRange, RegionError, RegionManager};
 use crate::vm::{Vm, VmId, VmRole};
@@ -313,7 +313,7 @@ pub enum BatchMemOpResult {
 
 /// The simulated hypervisor.
 pub struct Hypervisor {
-    clock: SimClock,
+    clock: ClockSource,
     cost: CostModel,
     mem: SystemMemory,
     vms: Vec<Vm>,
@@ -392,9 +392,12 @@ impl GpaSpace for VmGpaSpace<'_> {
 
 impl Hypervisor {
     /// Boots a hypervisor managing `total_frames` frames of physical memory.
-    pub fn new(total_frames: usize, clock: SimClock, cost: CostModel) -> Self {
+    /// The clock decides the execution substrate: a [`crate::SimClock`]
+    /// charges the cost model on deterministic virtual time, a
+    /// [`crate::WallClock`] makes charges no-ops and reports real time.
+    pub fn new(total_frames: usize, clock: impl Into<ClockSource>, cost: CostModel) -> Self {
         Hypervisor {
-            clock,
+            clock: clock.into(),
             cost,
             mem: SystemMemory::new(total_frames),
             vms: Vec::new(),
@@ -444,8 +447,8 @@ impl Hypervisor {
         }
     }
 
-    /// The shared virtual clock.
-    pub fn clock(&self) -> &SimClock {
+    /// The shared clock (virtual or wall, fixed at construction).
+    pub fn clock(&self) -> &ClockSource {
         &self.clock
     }
 
@@ -2093,8 +2096,8 @@ impl DmaPort<'_> {
         self.hv.check_aperture(self.domain, offset, len)
     }
 
-    /// The shared virtual clock.
-    pub fn clock(&self) -> &SimClock {
+    /// The shared clock.
+    pub fn clock(&self) -> &ClockSource {
         self.hv.clock()
     }
 }
@@ -2102,6 +2105,7 @@ impl DmaPort<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clock::SimClock;
     use crate::vm::VmRole;
 
     fn boot() -> Hypervisor {

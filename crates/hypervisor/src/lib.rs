@@ -25,13 +25,25 @@
 //! * [`audit`] — the isolation audit log: every blocked attack is recorded
 //!   with what stopped it.
 
+//! * [`aring`] — the same ring page driven with real atomics
+//!   (acquire/release slot publication, park/unpark doorbell) for the
+//!   wall-clock engine.
+//! * [`shards`] — the grant table behind a sharded, lock-free-read
+//!   structure so validation stays off the contended path when frontend
+//!   and backend run on separate threads.
+//! * [`engine`] — the [`Engine`](engine::Engine) abstraction over the two
+//!   execution substrates (deterministic virtual time vs. real threads).
+
+pub mod aring;
 pub mod audit;
 pub mod channel;
 pub mod clock;
+pub mod engine;
 pub mod grants;
 pub mod hv;
 pub mod regions;
 pub mod ring;
+pub mod shards;
 pub mod vm;
 
 /// A shared handle to the hypervisor.
@@ -41,9 +53,12 @@ pub mod vm;
 /// interior mutability with strictly transient borrows.
 pub type SharedHypervisor = std::rc::Rc<std::cell::RefCell<hv::Hypervisor>>;
 
+pub use aring::{ARingError, AtomicRing, Doorbell, ARING_CAPACITY, ARING_SLOT_BYTES};
 pub use audit::{AuditEvent, AuditLog, BlockedBy};
 pub use channel::{Channel, ChannelError, ChannelStats, TransportMode, WireCodec};
-pub use clock::{ms, us, CostModel, SimClock};
+pub use clock::{ms, us, Clock, ClockSource, CostModel, SimClock, WallClock};
+pub use engine::{Engine, EngineError, EngineKind};
+pub use shards::{ShardedGrantTable, GRANT_SHARDS};
 pub use grants::{GrantError, GrantRef, GrantTable, MemOpGrant, MemOpRequest, GRANT_TABLE_CAPACITY};
 pub use hv::{BatchMemOp, BatchMemOpResult, DmaPort, HvError, Hypervisor};
 pub use regions::RegionManager;

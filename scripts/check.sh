@@ -95,4 +95,31 @@ for pair in "off $BASE_OFF $NEW_OFF" "on $BASE_ON $NEW_ON"; do
     fi
 done
 
+echo "==> wall-clock differential test (both substrates, release)"
+cargo test --release -q -p paradice-bench --test wallclock
+
+echo "==> wall-clock substrate smoke (real ops/sec sanity thresholds)"
+# Real time, so no byte-identity gate — only sanity floors loose enough
+# for a loaded CI box: the threaded substrate must push at least 1k
+# interactive ioctls/sec and 10k netmap TX packets/sec.
+cargo run -q --release -p paradice-bench --bin experiments -- --wallclock --smoke
+wall_metric() {
+    grep "\"$1\"" BENCH_wallclock.json \
+        | sed -n "s/.*\"$1\": *\([0-9][0-9]*\).*/\1/p"
+}
+WALL_IOCTL="$(wall_metric wall_interactive_ioctl_ops_per_sec)"
+WALL_PPS="$(wall_metric wall_netmap_tx_pps)"
+if [ -z "$WALL_IOCTL" ] || [ -z "$WALL_PPS" ]; then
+    echo "ERROR: BENCH_wallclock.json lacks the wall substrate metrics" >&2
+    exit 1
+fi
+if [ "$WALL_IOCTL" -lt 1000 ]; then
+    echo "ERROR: wall substrate interactive-ioctl rate ${WALL_IOCTL}/s < 1000/s" >&2
+    exit 1
+fi
+if [ "$WALL_PPS" -lt 10000 ]; then
+    echo "ERROR: wall substrate netmap TX rate ${WALL_PPS}pps < 10000pps" >&2
+    exit 1
+fi
+
 echo "==> all checks passed"

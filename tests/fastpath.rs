@@ -23,18 +23,16 @@ use paradice_trace::{parse_jsonl, TraceEvent};
 
 fn fast_machine(devices: &[DeviceSpec]) -> Machine {
     let mut builder = Machine::builder()
-        .mode(ExecMode::Paradice {
+        .exec(ExecMode::Paradice {
             transport: TransportMode::Interrupts,
             data_isolation: false,
         })
-        .guest(GuestSpec::linux())
-        .guest(GuestSpec::linux());
+        .guests([GuestSpec::linux(), GuestSpec::linux()])
+        .fastpath(true);
     for &spec in devices {
         builder = builder.device(spec);
     }
-    let mut m = builder.build().expect("machine builds");
-    m.enable_fastpath();
-    m
+    builder.build().expect("machine builds")
 }
 
 /// Arms a single-shot fault on the `nth` dispatch of `op` *from now on*.
