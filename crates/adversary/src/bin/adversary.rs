@@ -1,0 +1,126 @@
+//! `paradice-adversary` — run seeded fuzzing campaigns against the real
+//! stack, or exit nonzero with a minimized, replayable find.
+//!
+//! ```text
+//! paradice-adversary --seed 7 --steps 200            # both substrates
+//! paradice-adversary --seed 7 --engine virtual       # one substrate
+//! paradice-adversary --seed 7 --json                 # machine-readable
+//! paradice-adversary --seed 7 --mutant grant-bypass  # seeded-bug run:
+//!                                                    # MUST exit 1
+//! paradice-adversary --seed 7 --mutant grant-bypass \
+//!     --emit-fixture tests/fixtures/verify           # write the find
+//! ```
+//!
+//! Exit codes: `0` every attack contained and some detected, `1` a breach
+//! (or a campaign that detected nothing), `2` usage error.
+
+use std::process::ExitCode;
+
+use paradice_adversary::{run_campaign, CampaignConfig, EngineKind};
+
+struct Options {
+    config: CampaignConfig,
+    json: bool,
+    emit_fixture: Option<String>,
+    mutant: Option<String>,
+}
+
+fn usage(error: &str) -> ExitCode {
+    eprintln!("paradice-adversary: {error}");
+    eprintln!(
+        "usage: paradice-adversary [--seed N] [--steps N] \
+         [--engine virtual|wall|both] [--mutant grant-bypass] [--json] \
+         [--emit-fixture DIR]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut config = CampaignConfig::both(0, 100);
+    let mut json = false;
+    let mut emit_fixture = None;
+    let mut mutant = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let value = iter.next().ok_or("--seed needs a number")?;
+                config.seed = value
+                    .parse()
+                    .map_err(|_| format!("bad seed {value:?}"))?;
+            }
+            "--steps" => {
+                let value = iter.next().ok_or("--steps needs a number")?;
+                config.steps = value
+                    .parse()
+                    .map_err(|_| format!("bad step count {value:?}"))?;
+            }
+            "--engine" => {
+                let value = iter.next().ok_or("--engine needs virtual|wall|both")?;
+                config.engines = match value.as_str() {
+                    "virtual" => vec![EngineKind::Virtual],
+                    "wall" => vec![EngineKind::Wall],
+                    "both" => vec![EngineKind::Virtual, EngineKind::Wall],
+                    other => return Err(format!("unknown engine {other:?}")),
+                };
+            }
+            "--mutant" => {
+                let name = iter.next().ok_or("--mutant needs a mutant name")?;
+                if name != "grant-bypass" {
+                    return Err(format!(
+                        "unknown mutant {name:?} (the adversary seeds grant-bypass)"
+                    ));
+                }
+                config.bypass = true;
+                mutant = Some(name.clone());
+            }
+            "--json" => json = true,
+            "--emit-fixture" => {
+                let dir = iter.next().ok_or("--emit-fixture needs a directory")?;
+                emit_fixture = Some(dir.clone());
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(Options {
+        config,
+        json,
+        emit_fixture,
+        mutant,
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(options) => options,
+        Err(error) => return usage(&error),
+    };
+    let report = run_campaign(&options.config);
+    if options.json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+    }
+    if let Some(dir) = &options.emit_fixture {
+        match &report.find {
+            Some(find) => {
+                let fixture = find.fixture(options.mutant.as_deref());
+                if let Err(error) = std::fs::create_dir_all(dir) {
+                    return usage(&format!("create {dir}: {error}"));
+                }
+                let path = format!("{dir}/{}", fixture.file_name());
+                if let Err(error) = std::fs::write(&path, fixture.render()) {
+                    return usage(&format!("write {path}: {error}"));
+                }
+                eprintln!("wrote {path}");
+            }
+            None => eprintln!("no find to emit: the campaign breached nothing"),
+        }
+    }
+    if report.pass() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,212 @@
+//! The grant-replay family: the compromised driver VM replays, forges,
+//! and cross-wires grant references against the live hypervisor.
+//!
+//! Each step acts with the driver VM's authority (paper §4.1: the driver
+//! VM is assumed compromised) and checks *attributed* containment: the
+//! hypercall must fail **and** the audit log must credit the grant check.
+//! A refusal that never reached the grant check — or, under the seeded
+//! bypass, a copy that sailed through — is a breach. A legitimate control
+//! operation runs periodically to pin the correct-service half of the
+//! invariant: containment must not degrade into refusing everything.
+
+use paradice::{DeviceSpec, ExecMode, GuestSpec, Machine};
+use paradice_faults::SplitMix64;
+use paradice_hypervisor::audit::BlockedBy;
+use paradice_hypervisor::{EngineKind, GrantRef, MemOpGrant, TransportMode};
+use paradice_mem::{GuestPhysAddr, GuestVirtAddr};
+
+use crate::{AttackFamily, FamilyOutcome};
+
+fn grant_check_count(machine: &Machine) -> u64 {
+    machine
+        .hv()
+        .borrow()
+        .audit()
+        .count_blocked_by(BlockedBy::GrantCheck) as u64
+}
+
+/// Runs the grant-replay campaign on one substrate. `bypass` disables
+/// grant validation (the devirtualization ablation) — every attack must
+/// then surface as a breach, because nothing audits or refuses it.
+pub fn run(engine: EngineKind, seed: u64, steps: u32, bypass: bool) -> FamilyOutcome {
+    let mut outcome = FamilyOutcome::new(AttackFamily::GrantReplay, engine);
+    let mut rng = SplitMix64::new(seed);
+    let mut machine = Machine::builder()
+        .mode(ExecMode::Paradice {
+            transport: TransportMode::polling_default(),
+            data_isolation: false,
+        })
+        .engine(engine)
+        .device(DeviceSpec::Mouse)
+        .guests([GuestSpec::linux(), GuestSpec::linux()])
+        .build()
+        .expect("build attack machine");
+    if bypass {
+        machine.hv().borrow_mut().set_grant_validation(false);
+    }
+    let driver = machine.driver_vm();
+    let guests = machine.guest_vms().to_vec();
+    let task = machine.spawn_process(Some(0)).expect("spawn victim task");
+    let mut fd = machine
+        .open(task, "/dev/input/event0")
+        .expect("open input device");
+
+    for step in 0..steps {
+        // The correct-service control: a legitimate op must still work.
+        if step % 8 == 7 {
+            match machine.poll(task, fd) {
+                Ok(_) => outcome.served(),
+                Err(e) => outcome.breach(format!(
+                    "[{}] legitimate poll refused during the campaign: {e}",
+                    engine.name(),
+                )),
+            }
+            continue;
+        }
+
+        let addr = GuestVirtAddr::new(0x1_0000 + (rng.gen_range(64) << 12));
+        let len = 1 + rng.gen_range(128);
+        let window = vec![MemOpGrant::CopyToGuest { addr, len }];
+        let payload = vec![0u8; len as usize];
+        let before = grant_check_count(&machine);
+        let hv = machine.hv().clone();
+
+        let (attack, result) = match rng.gen_range(5) {
+            // A reference that was never declared.
+            0 => {
+                let forged = GrantRef(0x8000_0000 | rng.next_u64() as u32);
+                let result = hv.borrow_mut().hc_copy_to_guest(
+                    driver,
+                    guests[0],
+                    GuestPhysAddr::new(0),
+                    addr,
+                    &payload,
+                    forged,
+                );
+                ("forged-ref", result)
+            }
+            // Replay after revocation.
+            1 => {
+                let grant = hv
+                    .borrow_mut()
+                    .declare_grants(guests[0], window)
+                    .expect("declare");
+                let _ = hv.borrow_mut().revoke_grant(guests[0], grant);
+                let result = hv.borrow_mut().hc_copy_to_guest(
+                    driver,
+                    guests[0],
+                    GuestPhysAddr::new(0),
+                    addr,
+                    &payload,
+                    grant,
+                );
+                ("replayed-ref", result)
+            }
+            // A reference declared by one guest, spent against another.
+            2 => {
+                let grant = hv
+                    .borrow_mut()
+                    .declare_grants(guests[0], window)
+                    .expect("declare");
+                let result = hv.borrow_mut().hc_copy_to_guest(
+                    driver,
+                    guests[1],
+                    GuestPhysAddr::new(0),
+                    addr,
+                    &payload,
+                    grant,
+                );
+                let _ = hv.borrow_mut().revoke_grant(guests[0], grant);
+                ("cross-guest-ref", result)
+            }
+            // A reference surviving driver-VM failure and recovery.
+            3 => {
+                let grant = hv
+                    .borrow_mut()
+                    .declare_grants(guests[0], window)
+                    .expect("declare");
+                let _ = hv.borrow_mut().mark_driver_vm_failed(driver);
+                machine.recover_driver_vm().expect("recovery succeeds");
+                let result = hv.borrow_mut().hc_copy_to_guest(
+                    driver,
+                    guests[0],
+                    GuestPhysAddr::new(0),
+                    addr,
+                    &payload,
+                    grant,
+                );
+                ("recovery-survivor-ref", result)
+            }
+            // A live reference replayed with inflated bounds.
+            _ => {
+                let grant = hv
+                    .borrow_mut()
+                    .declare_grants(
+                        guests[0],
+                        vec![MemOpGrant::CopyToGuest { addr, len: 16 }],
+                    )
+                    .expect("declare");
+                let oversized = vec![0u8; 4096];
+                let result = hv.borrow_mut().hc_copy_to_guest(
+                    driver,
+                    guests[0],
+                    GuestPhysAddr::new(0),
+                    addr,
+                    &oversized,
+                    grant,
+                );
+                let _ = hv.borrow_mut().revoke_grant(guests[0], grant);
+                ("grant-overflow", result)
+            }
+        };
+
+        // Recovery closes every open handle (EBADF by design); the guest
+        // reopens, so the control op keeps measuring service — not the
+        // recovery's intended handle invalidation.
+        if attack == "recovery-survivor-ref" {
+            fd = machine
+                .open(task, "/dev/input/event0")
+                .expect("reopen after recovery");
+        }
+
+        let audited = grant_check_count(&machine) > before;
+        match (result, audited) {
+            (Err(_), true) => outcome.detected(),
+            (Err(e), false) => outcome.breach(format!(
+                "[{}] {attack}: refused ({e}) but the grant check never engaged — \
+                 containment by accident, not enforcement",
+                engine.name(),
+            )),
+            (Ok(()), _) => outcome.breach(format!(
+                "[{}] {attack}: the hypervisor moved the buffer; grant bypass",
+                engine.name(),
+            )),
+        }
+    }
+    // Recovery steps close all handles (EBADF by design); reopening is the
+    // guest's job, and the campaign does it so late control ops stay
+    // meaningful — but the final machine must still be serviceable.
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_replay_attack_is_attributed_to_the_grant_check() {
+        let outcome = run(EngineKind::Virtual, 5, 60, false);
+        assert!(outcome.breaches.is_empty(), "{:?}", outcome.breaches);
+        assert!(outcome.detected > 0);
+        assert!(outcome.served > 0, "control ops must keep working");
+    }
+
+    #[test]
+    fn disabling_validation_turns_every_attack_into_a_breach() {
+        let outcome = run(EngineKind::Virtual, 5, 24, true);
+        assert!(
+            !outcome.breaches.is_empty(),
+            "the ablation must be caught: {outcome:?}"
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! The shared-page re-write race family.
+//!
+//! The wire decoders parse straight out of a page the peer VM can rewrite
+//! at any moment (paper §5.1); the WP001 discipline demands every byte be
+//! read *at most once*, because a re-read is a TOCTOU window — validate
+//! the length word, peer rewrites it, use the new one. This family runs
+//! the real decoders ([`WireRequest::decode_probed`],
+//! [`WireResponse::decode_probed`]) under a counting probe while feeding
+//! them adversarial frames: any offset read twice is a breach, whatever
+//! the decode verdict, because it is the slot a racing rewrite wins.
+
+use paradice_cvd::proto::{ReadProbe, WireRequest, WireResponse};
+use paradice_devfs::Errno;
+use paradice_faults::SplitMix64;
+use paradice_hypervisor::EngineKind;
+use paradice_mem::{GuestPhysAddr, GuestVirtAddr};
+
+use crate::{AttackFamily, FamilyOutcome};
+
+/// Counts how often each byte offset is consumed. The adversary "wins"
+/// the race exactly when some offset is consumed twice.
+#[derive(Default)]
+struct CountingProbe {
+    reads: Vec<u32>,
+}
+
+impl CountingProbe {
+    fn double_read(&self) -> Option<usize> {
+        self.reads.iter().position(|&count| count > 1)
+    }
+}
+
+impl ReadProbe for CountingProbe {
+    fn on_read(&mut self, at: usize, len: usize) {
+        if self.reads.len() < at + len {
+            self.reads.resize(at + len, 0);
+        }
+        for count in &mut self.reads[at..at + len] {
+            *count += 1;
+        }
+    }
+}
+
+fn seed_frame(rng: &mut SplitMix64) -> Vec<u8> {
+    let request = WireRequest {
+        task: rng.next_u64(),
+        pt_root: GuestPhysAddr::new(rng.next_u64() & 0xf_ffff_f000),
+        handle: rng.gen_range(64),
+        span: rng.gen_range(1 << 20),
+        grant: None,
+        op: paradice_cvd::proto::WireOp::Read {
+            addr: GuestVirtAddr::new(rng.next_u64() >> 16),
+            len: rng.gen_range(1 << 16),
+        },
+    };
+    request.encode()
+}
+
+/// Runs the race campaign: both decoders over seeded adversarial frames.
+/// The substrate only varies the seed stream — both engines parse shared
+/// pages with the same decoders, which is the point being proven.
+pub fn run(engine: EngineKind, seed: u64, steps: u32) -> FamilyOutcome {
+    let mut outcome = FamilyOutcome::new(AttackFamily::SharedPageRace, engine);
+    let mut rng = SplitMix64::new(seed);
+    for step in 0..steps {
+        let frame = match rng.gen_range(4) {
+            // A mutated request frame.
+            0 | 1 => {
+                let mut frame = seed_frame(&mut rng);
+                let at = rng.gen_range(frame.len() as u64) as usize;
+                frame[at] = rng.next_u64() as u8;
+                frame.truncate(frame.len() - rng.gen_range(4) as usize);
+                frame
+            }
+            // Pure noise.
+            2 => (0..rng.gen_range(64))
+                .map(|_| rng.next_u64() as u8)
+                .collect(),
+            // A mutated response frame.
+            _ => {
+                let mut frame = WireResponse::Err(Errno::Eio).encode();
+                let at = rng.gen_range(frame.len() as u64) as usize;
+                frame[at] ^= 1 << rng.gen_range(8);
+                frame
+            }
+        };
+        let mut probe = CountingProbe::default();
+        let decoded_ok = if step % 2 == 0 {
+            WireRequest::decode_probed(&frame, &mut probe).is_ok()
+        } else {
+            WireResponse::decode_probed(&frame, &mut probe).is_ok()
+        };
+        if let Some(offset) = probe.double_read() {
+            outcome.breach(format!(
+                "decoder read offset {offset} twice on a {}-byte frame: a racing \
+                 shared-page rewrite between the reads goes unnoticed (WP001)",
+                frame.len(),
+            ));
+        } else if decoded_ok {
+            outcome.served();
+        } else {
+            outcome.detected();
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_real_decoders_never_double_read_adversarial_frames() {
+        for seed in 0..4 {
+            let outcome = run(EngineKind::Virtual, seed, 500);
+            assert!(outcome.breaches.is_empty(), "{:?}", outcome.breaches);
+            assert!(outcome.detected > 0, "garbage frames must be rejected");
+        }
+    }
+
+    #[test]
+    fn the_probe_itself_detects_a_double_read() {
+        let mut probe = CountingProbe::default();
+        probe.on_read(3, 4);
+        probe.on_read(5, 1);
+        assert_eq!(probe.double_read(), Some(5));
+    }
+}

@@ -30,6 +30,7 @@
 //! | `RP003` | warning | [`replay`] | span never ended; recording stopped mid-operation |
 //! | `RP004` | warning | `--replay` caller | traced device has no handler IR for the envelope check |
 //! | `RP005` | error | [`replay`] | memory operation recorded after its driver VM was marked dead (containment breach) |
+//! | `RP006` | error | [`replay`] | span whose wire bytes were tampered in flight completed successfully |
 //! | `VP001` | error | `paradice-verify` | grant-table property disproved (soundness/completeness/batch counterexample) |
 //! | `VP002` | error | `paradice-verify` | ring-index property disproved (window/aliasing/doorbell counterexample) |
 //! | `VP003` | error | `paradice-verify` | wire-codec property disproved (round-trip/single-read counterexample) |
@@ -106,6 +107,7 @@ pub enum DiagCode {
     Rp003,
     Rp004,
     Rp005,
+    Rp006,
     Ta001,
     Ta002,
     Wp001,
@@ -139,6 +141,7 @@ impl DiagCode {
             DiagCode::Rp003 => "RP003",
             DiagCode::Rp004 => "RP004",
             DiagCode::Rp005 => "RP005",
+            DiagCode::Rp006 => "RP006",
             DiagCode::Ta001 => "TA001",
             DiagCode::Ta002 => "TA002",
             DiagCode::Wp001 => "WP001",
@@ -163,6 +166,7 @@ impl DiagCode {
             | DiagCode::Rp001
             | DiagCode::Rp002
             | DiagCode::Rp005
+            | DiagCode::Rp006
             | DiagCode::Ta001
             | DiagCode::Wp001
             | DiagCode::Vp001

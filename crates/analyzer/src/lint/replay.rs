@@ -27,6 +27,11 @@
 //!   appears, every grant is revoked and the hypervisor refuses the VM's
 //!   hypercalls — a later `mem_op` means containment was breached. A
 //!   `driver_vm_recovered` event lifts the restriction.
+//! * **RP006** (error): a span whose wire bytes were tampered with in
+//!   flight (`wire_tampered`) completed successfully. A mutated request
+//!   must surface as an error (EINVAL/EFAULT/ETIMEDOUT) — a successful
+//!   `op_end` means the backend served `WireResponse::Value` for bytes
+//!   the frontend never sent.
 
 use std::collections::BTreeMap;
 
@@ -58,6 +63,7 @@ struct SpanState {
     grants: Vec<TraceGrant>,
     copies: Vec<ResolvedOp>,
     ended: bool,
+    tampered: bool,
 }
 
 /// Whether the declared grants cover one recorded memory operation.
@@ -141,6 +147,7 @@ pub fn check_trace(events: &[TraceEvent], diags: &mut Vec<Diagnostic>) -> Replay
                         grants: Vec::new(),
                         copies: Vec::new(),
                         ended: false,
+                        tampered: false,
                     },
                 );
             }
@@ -272,9 +279,24 @@ pub fn check_trace(events: &[TraceEvent], diags: &mut Vec<Diagnostic>) -> Replay
                     });
                 }
             }
-            TraceEvent::OpEnd { span, .. } => {
+            TraceEvent::OpEnd { span, ok, .. } => {
                 match spans.get_mut(&span.0) {
-                    Some(state) if !state.ended => state.ended = true,
+                    Some(state) if !state.ended => {
+                        state.ended = true;
+                        if state.tampered && *ok {
+                            diags.push(Diagnostic::new(
+                                DiagCode::Rp006,
+                                &state.device.clone(),
+                                state.cmd,
+                                format!(
+                                    "span {} completed successfully although its wire \
+                                     bytes were tampered with in flight; a mutated \
+                                     request must not be served a value",
+                                    span.0,
+                                ),
+                            ));
+                        }
+                    }
                     Some(state) => diags.push(Diagnostic::new(
                         DiagCode::Rp002,
                         &state.device.clone(),
@@ -292,6 +314,17 @@ pub fn check_trace(events: &[TraceEvent], diags: &mut Vec<Diagnostic>) -> Replay
             // Fault-injection bookkeeping is not an operation: nothing
             // structural to check, only the containment window to track.
             TraceEvent::FaultInjected { .. } => {}
+            // Adversary bookkeeping: the span carrying this marker must
+            // not later end with `ok=true` (RP006, checked at OpEnd).
+            // Tampering outside any span (SpanId::NONE) has no op to
+            // poison, so it carries nothing to check.
+            TraceEvent::WireTampered { span, .. } => {
+                if let Some(state) = spans.get_mut(&span.0) {
+                    if !state.ended {
+                        state.tampered = true;
+                    }
+                }
+            }
             TraceEvent::DriverVmFailed { .. } => driver_dead = true,
             TraceEvent::DriverVmRecovered { .. } => driver_dead = false,
         }
@@ -541,6 +574,57 @@ mod tests {
         }]);
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].code, DiagCode::Rp002);
+    }
+
+    fn tampered(span: u64, direction: &str) -> TraceEvent {
+        TraceEvent::WireTampered {
+            span: SpanId(span),
+            t_ns: 3,
+            direction: direction.to_owned(),
+        }
+    }
+
+    fn end_err(span: u64) -> TraceEvent {
+        TraceEvent::OpEnd {
+            span: SpanId(span),
+            t_ns: 10,
+            ok: false,
+            value: -22,
+            duration_ns: 10,
+            wire: WireDelta::default(),
+        }
+    }
+
+    #[test]
+    fn tampered_span_served_a_value_is_rp006() {
+        let (diags, _) = run(&[
+            start(1, TraceOpKind::Read, None),
+            grants(1, vec![TraceGrant::CopyToGuest { addr: 0x1000, len: 64 }]),
+            tampered(1, "request"),
+            end(1),
+        ]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, DiagCode::Rp006);
+    }
+
+    #[test]
+    fn tampered_span_rejected_with_an_error_is_clean() {
+        let (diags, _) = run(&[
+            start(1, TraceOpKind::Read, None),
+            tampered(1, "request"),
+            end_err(1),
+        ]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn tampering_outside_any_span_is_ignored() {
+        let (diags, _) = run(&[
+            tampered(SpanId::NONE.0, "response"),
+            start(1, TraceOpKind::Poll, None),
+            end(1),
+        ]);
+        assert!(diags.is_empty(), "{diags:?}");
     }
 
     #[test]

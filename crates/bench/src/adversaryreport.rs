@@ -1,0 +1,88 @@
+//! Adversary campaign throughput and containment matrix (`--adversary`).
+//!
+//! Runs the generative adversary (`crates/adversary`) at a fixed seed on
+//! both substrates and reports two things side by side: how *fast* the
+//! stack absorbs adversarial work (campaign steps per wall-second — the
+//! robustness analogue of ops/sec) and the containment matrix itself
+//! (attempted/detected/served/breaches per family × engine). Results
+//! land in `BENCH_adversary.json` with flat integer metrics at the top
+//! level so `scripts/check.sh` can gate on them with `grep`/`sed` alone;
+//! the full matrix is embedded under `"campaign"`.
+
+use std::time::Instant;
+
+use paradice_adversary::{run_campaign, CampaignConfig, CampaignReport};
+
+/// The seed every benched campaign runs under (arbitrary but fixed: the
+/// bench is a measurement, not a search).
+pub const BENCH_SEED: u64 = 7;
+
+/// One timed campaign.
+pub struct AdversaryBench {
+    /// The campaign's containment matrix.
+    pub report: CampaignReport,
+    /// Wall time for the whole campaign.
+    pub elapsed_ms: u128,
+    /// Adversarial steps absorbed per wall-second.
+    pub steps_per_sec: u64,
+}
+
+/// Runs the campaign — `smoke` uses the reduced CI sizing.
+pub fn run(smoke: bool) -> AdversaryBench {
+    let steps = if smoke { 40 } else { 200 };
+    let config = CampaignConfig::both(BENCH_SEED, steps);
+    let start = Instant::now();
+    let report = run_campaign(&config);
+    let elapsed = start.elapsed();
+    let steps_per_sec = if elapsed.as_micros() == 0 {
+        0
+    } else {
+        (u128::from(report.total_attempted()) * 1_000_000 / elapsed.as_micros()) as u64
+    };
+    AdversaryBench {
+        report,
+        elapsed_ms: elapsed.as_millis(),
+        steps_per_sec,
+    }
+}
+
+/// Human-readable form: the matrix plus the throughput line.
+pub fn render_text(bench: &AdversaryBench) -> String {
+    format!(
+        "{}adversary throughput: {} steps/sec ({} steps in {} ms)\n",
+        bench.report.render(),
+        bench.steps_per_sec,
+        bench.report.total_attempted(),
+        bench.elapsed_ms,
+    )
+}
+
+/// The `BENCH_adversary.json` body.
+pub fn render_json(bench: &AdversaryBench) -> String {
+    format!(
+        "{{\"steps_per_sec\":{},\"elapsed_ms\":{},\"attempted\":{},\
+         \"detected\":{},\"breaches\":{},\"pass\":{},\"campaign\":{}}}",
+        bench.steps_per_sec,
+        bench.elapsed_ms,
+        bench.report.total_attempted(),
+        bench.report.total_detected(),
+        bench.report.total_breaches(),
+        bench.report.pass(),
+        bench.report.to_json(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_smoke_campaign_passes_and_reports_flat_metrics() {
+        let bench = run(true);
+        assert!(bench.report.pass(), "{}", bench.report.render());
+        let json = render_json(&bench);
+        assert!(json.starts_with("{\"steps_per_sec\":"));
+        assert!(json.contains("\"pass\":true"));
+        assert!(json.contains("\"campaign\":{"));
+    }
+}

@@ -16,7 +16,10 @@
 //! also written by a bare `--verify` run), and `BENCH_wallclock.json`
 //! (the threaded wall-clock substrate's real ops/sec and Mpps, also
 //! written by a bare `--wallclock` run; add `--smoke` for the reduced
-//! CI sizing `scripts/check.sh` sanity-gates). `--trace` records the reference workload with paradice-trace
+//! CI sizing `scripts/check.sh` sanity-gates), and `BENCH_adversary.json`
+//! (the generative adversary's campaigns/sec and containment matrix,
+//! also written by a bare `--adversary` run; `--smoke` applies here
+//! too). `--trace` records the reference workload with paradice-trace
 //! enabled and dumps the span events as JSONL — feed the file to
 //! `paradice-lint --replay` for recorded-trace conformance checking.
 
@@ -123,6 +126,16 @@ fn main() {
         match std::fs::write(&path, paradice_bench::wallclock::render_json(&run)) {
             Ok(()) => println!("wall-clock substrate numbers written to {}\n", path.display()),
             Err(e) => eprintln!("warning: could not write BENCH_wallclock.json: {e}"),
+        }
+    }
+    if want("--adversary") {
+        let smoke = args.iter().any(|a| a == "--smoke");
+        let bench = paradice_bench::adversaryreport::run(smoke);
+        print!("{}", paradice_bench::adversaryreport::render_text(&bench));
+        let path = repo_root().join("BENCH_adversary.json");
+        match std::fs::write(&path, paradice_bench::adversaryreport::render_json(&bench)) {
+            Ok(()) => println!("adversary campaign numbers written to {}\n", path.display()),
+            Err(e) => eprintln!("warning: could not write BENCH_adversary.json: {e}"),
         }
     }
     if want("--fastpath") {

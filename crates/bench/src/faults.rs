@@ -20,6 +20,7 @@ use std::rc::Rc;
 
 use paradice::prelude::*;
 use paradice_faults::{FaultKind, FaultPlan, SplitMix64, Trigger};
+use paradice_hypervisor::EngineKind;
 
 use crate::report::{Cell, Table};
 
@@ -69,8 +70,9 @@ pub struct CampaignReport {
     pub outcomes: Vec<CampaignOutcome>,
 }
 
-fn build_machine(data_isolation: bool) -> Machine {
+fn build_machine(engine: EngineKind, data_isolation: bool) -> Machine {
     let mut builder = Machine::builder()
+        .engine(engine)
         .mode(ExecMode::Paradice {
             transport: TransportMode::Interrupts,
             data_isolation,
@@ -154,14 +156,14 @@ fn service_ok(m: &mut Machine, guest: usize, path: &str) -> Result<(), Errno> {
     m.close(task, fd)
 }
 
-fn run_one(seed: u64, index: u32) -> CampaignOutcome {
+fn run_one(engine: EngineKind, seed: u64, index: u32) -> CampaignOutcome {
     let mut rng = SplitMix64::new(seed ^ (u64::from(index)).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let kind = FaultKind::ALL[rng.gen_range(FaultKind::ALL.len() as u64) as usize];
     let (class, path, phases) = CLASSES[rng.gen_range(CLASSES.len() as u64) as usize];
     let phase = phases[rng.gen_range(phases.len() as u64) as usize];
     let data_isolation = rng.gen_range(2) == 1;
 
-    let mut m = build_machine(data_isolation);
+    let mut m = build_machine(engine, data_isolation);
     let mut plan = FaultPlan::new();
     plan.arm(kind, Trigger::OnOp { op: phase.to_owned(), nth: 0 });
     let plan = Rc::new(RefCell::new(plan));
@@ -232,10 +234,19 @@ fn run_one(seed: u64, index: u32) -> CampaignOutcome {
     }
 }
 
-/// Runs `campaigns` seeded campaigns. Deterministic: same `seed` and
-/// `campaigns` → identical outcomes and identical rendered report.
+/// Runs `campaigns` seeded campaigns on the virtual substrate (the
+/// deterministic oracle). Same `seed` and `campaigns` → identical
+/// outcomes and identical rendered report.
 pub fn run_campaigns(seed: u64, campaigns: u32) -> CampaignReport {
-    let outcomes = (0..campaigns).map(|i| run_one(seed, i)).collect();
+    run_campaigns_on(EngineKind::Virtual, seed, campaigns)
+}
+
+/// Runs the same seeded sweep on an explicit substrate. Fault selection
+/// derives only from the seed, so the survival matrix (which carries no
+/// timestamps) must come out identical on [`EngineKind::Virtual`] and
+/// [`EngineKind::Wall`] — the wall-clock differential test pins that.
+pub fn run_campaigns_on(engine: EngineKind, seed: u64, campaigns: u32) -> CampaignReport {
+    let outcomes = (0..campaigns).map(|i| run_one(engine, seed, i)).collect();
     CampaignReport { seed, outcomes }
 }
 

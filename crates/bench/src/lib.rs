@@ -25,6 +25,7 @@
 //!
 //! Run everything with `cargo run -p paradice-bench --bin experiments`.
 
+pub mod adversaryreport;
 pub mod calib;
 pub mod configs;
 pub mod experiments;

@@ -319,6 +319,38 @@ pub const GRANT_CACHE_CAP: usize = 64;
 /// what the shared page supports).
 const FASTPATH_RING_DEPTH: usize = 8;
 
+/// First half-open retry window after the breaker trips (virtual ns).
+/// Four watchdog deadlines: long enough that a freshly-contained driver VM
+/// is never probed while the guest is still timing out, short enough that a
+/// recovered VM is rediscovered without an explicit frontend reset.
+pub const BREAKER_BASE_BACKOFF_NS: u64 = 4 * DEFAULT_OP_DEADLINE_NS;
+
+/// Ceiling on the exponential backoff (16× the base window).
+pub const BREAKER_MAX_BACKOFF_NS: u64 = 16 * BREAKER_BASE_BACKOFF_NS;
+
+/// The watchdog circuit breaker (§7.1) as a half-open state machine.
+///
+/// `Closed` forwards normally. A trip opens the breaker for an
+/// exponentially growing backoff window on the virtual clock: inside the
+/// window every op fails fast (`EIO`, nothing forwarded). At expiry, if the
+/// hypervisor still reports the driver VM failed the breaker re-opens with
+/// a doubled window (probing a known-dead VM cannot succeed — its
+/// hypercalls are refused); otherwise the next synchronous op runs as the
+/// `HalfOpen` probe, whose outcome closes the breaker (and resets the
+/// backoff) or re-trips it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    /// Forwarding normally.
+    Closed,
+    /// Failing fast until `until_ns` on the virtual clock.
+    Open {
+        /// End of the current backoff window.
+        until_ns: u64,
+    },
+    /// One probe op is in flight; its outcome settles the breaker.
+    HalfOpen,
+}
+
 /// An operation posted to the ring whose response has not been taken yet.
 #[derive(Debug)]
 struct PendingOp {
@@ -351,9 +383,13 @@ pub struct Frontend {
     tracer: Tracer,
     /// Watchdog deadline per forwarded operation (virtual nanoseconds).
     deadline_ns: u64,
-    /// Circuit breaker: once the watchdog declares the driver VM dead, all
-    /// further operations fail fast without forwarding (§7.1).
-    breaker_open: bool,
+    /// Circuit breaker: once the watchdog declares the driver VM dead,
+    /// operations fail fast without forwarding until a half-open probe
+    /// succeeds or the machine recovers the driver VM (§7.1).
+    breaker: BreakerState,
+    /// Current backoff window width; 0 while the breaker has never tripped
+    /// since the last close, then doubling per re-trip up to the cap.
+    breaker_backoff_ns: u64,
     /// Fast path enabled: grant-declaration cache + pipelined ring.
     fastpath: bool,
     /// Memoized grant declarations (fast path): op shape → live reference,
@@ -400,7 +436,8 @@ impl Frontend {
             stats: FrontendStats::default(),
             tracer: Tracer::disabled(),
             deadline_ns: DEFAULT_OP_DEADLINE_NS,
-            breaker_open: false,
+            breaker: BreakerState::Closed,
+            breaker_backoff_ns: 0,
             fastpath: false,
             grant_cache: GrantCache::new(GRANT_CACHE_CAP),
             pipeline: Vec::new(),
@@ -459,10 +496,67 @@ impl Frontend {
 
     /// Trips the circuit breaker after driver-VM containment: cached grant
     /// references died with the VM's grant table, so the cache empties
-    /// without revoke hypercalls.
+    /// without revoke hypercalls. Each trip doubles the half-open backoff
+    /// window (capped), starting from [`BREAKER_BASE_BACKOFF_NS`].
     fn trip_breaker(&mut self) {
-        self.breaker_open = true;
+        self.breaker_backoff_ns = match self.breaker_backoff_ns {
+            0 => BREAKER_BASE_BACKOFF_NS,
+            backoff => (backoff * 2).min(BREAKER_MAX_BACKOFF_NS),
+        };
+        let until_ns = self
+            .hv
+            .borrow()
+            .clock()
+            .now_ns()
+            .saturating_add(self.breaker_backoff_ns);
+        self.breaker = BreakerState::Open { until_ns };
         self.purge_grant_cache(false);
+    }
+
+    /// Closes the breaker after a successful half-open probe (or recovery):
+    /// forwarding resumes and the backoff resets to the base window.
+    fn close_breaker(&mut self) {
+        self.breaker = BreakerState::Closed;
+        self.breaker_backoff_ns = 0;
+    }
+
+    /// Admission control for one synchronous op: `Ok(false)` to forward
+    /// normally, `Ok(true)` when this op is the half-open probe, `Err` to
+    /// fail fast while the breaker holds.
+    fn admit_op(&mut self) -> Result<bool, Errno> {
+        let failed = self
+            .hv
+            .borrow()
+            .driver_vm_failed(self.backend.borrow().driver_vm());
+        match self.breaker {
+            BreakerState::Closed => {
+                if failed {
+                    // The hypervisor learned of the failure first (another
+                    // guest's watchdog, or a direct containment): trip
+                    // without forwarding.
+                    self.trip_breaker();
+                    return Err(Errno::Eio);
+                }
+                Ok(false)
+            }
+            BreakerState::Open { until_ns } => {
+                if self.hv.borrow().clock().now_ns() < until_ns {
+                    return Err(Errno::Eio);
+                }
+                if failed {
+                    // Backoff expired but the driver VM is still contained:
+                    // a probe cannot succeed (its hypercalls are refused),
+                    // so stay open with a doubled window.
+                    self.trip_breaker();
+                    return Err(Errno::Eio);
+                }
+                self.breaker = BreakerState::HalfOpen;
+                Ok(true)
+            }
+            // Single-threaded frontends never re-enter here mid-probe, but
+            // treat it as the probe if they do.
+            BreakerState::HalfOpen => Ok(true),
+        }
     }
 
     /// Overrides the per-operation watchdog deadline (virtual time).
@@ -472,7 +566,13 @@ impl Frontend {
 
     /// Whether the circuit breaker has tripped (operations fail fast).
     pub fn breaker_open(&self) -> bool {
-        self.breaker_open
+        self.breaker != BreakerState::Closed
+    }
+
+    /// The current half-open backoff window width (0 = never tripped since
+    /// the last close). Tests pin the exponential schedule through this.
+    pub fn breaker_backoff_ns(&self) -> u64 {
+        self.breaker_backoff_ns
     }
 
     /// Rebinds the frontend to a recovered driver VM: every guest-local
@@ -484,7 +584,7 @@ impl Frontend {
         self.backend_to_local.clear();
         self.vmas.clear();
         self.pending_mmap_range = None;
-        self.breaker_open = false;
+        self.close_breaker();
         // Cached references died with the old driver VM's grant table; no
         // stale ref may survive recovery, and no revoke hypercalls are owed.
         self.purge_grant_cache(false);
@@ -652,18 +752,10 @@ impl Frontend {
         if !self.pipeline.is_empty() {
             self.drain_pipeline()?;
         }
-        if self.breaker_open
-            || self
-                .hv
-                .borrow()
-                .driver_vm_failed(self.backend.borrow().driver_vm())
-        {
-            // Circuit breaker (§7.1): the driver VM is down. Fail fast —
-            // no grant, no forwarding, no deadline wait — until the
-            // machine recovers the driver VM and resets this frontend.
-            self.trip_breaker();
-            return Err(Errno::Eio);
-        }
+        // Circuit breaker (§7.1): while the driver VM is down, fail fast —
+        // no grant, no forwarding, no deadline wait — until a half-open
+        // probe succeeds or the machine recovers the driver VM.
+        let probing = self.admit_op()?;
         let enabled = self.tracer.is_enabled();
         let span = self.tracer.begin_span();
         let (start_ns, stats_before) = if enabled {
@@ -711,6 +803,18 @@ impl Frontend {
             grant,
             op,
         });
+        if probing {
+            match (&result, self.breaker) {
+                // Any answer — even an errno from the driver — proves the
+                // driver VM is serving again: close and reset the backoff.
+                (Ok(_), _) => self.close_breaker(),
+                // The probe failed without containment (e.g. delivery past
+                // the deadline): re-trip with a doubled window. A probe
+                // that *did* contain already re-tripped inside `forward`.
+                (Err(_), BreakerState::HalfOpen) => self.trip_breaker(),
+                (Err(_), _) => {}
+            }
+        }
         self.trace_op_end(span, start_ns, stats_before, result);
         if let (Some(grant), false) = (grant, cache_owned) {
             self.revoke(grant);
@@ -1078,13 +1182,17 @@ impl Frontend {
         trace: OpTrace,
     ) -> Result<(), Errno> {
         debug_assert!(op.is_pipelineable(), "op {} cannot be pipelined", op.name());
-        if self.breaker_open
-            || self
+        if self.breaker == BreakerState::Closed
+            && self
                 .hv
                 .borrow()
                 .driver_vm_failed(self.backend.borrow().driver_vm())
         {
             self.trip_breaker();
+        }
+        if self.breaker != BreakerState::Closed {
+            // Pipelined submissions never probe: the half-open retry must
+            // be a single synchronous op so its outcome is attributable.
             return Err(Errno::Eio);
         }
         self.stats.ops_forwarded += 1;

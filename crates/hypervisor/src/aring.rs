@@ -183,7 +183,10 @@ impl AtomicRing {
         if slot.seq.load(Ordering::Acquire) != head.wrapping_add(1) {
             return None;
         }
-        let len = slot.len.load(Ordering::Relaxed) as usize;
+        // Clamp: `len` lives in shared memory, so a hostile or corrupted
+        // producer can store any value. Truncated garbage fails to decode
+        // (EINVAL) downstream; an unclamped length would walk off the slot.
+        let len = (slot.len.load(Ordering::Relaxed) as usize).min(ARING_SLOT_BYTES);
         // SAFETY: seq == head + 1 means the slot holds a published frame
         // and the producer will not touch it until we recycle it.
         let frame = unsafe { (&*slot.data.get())[..len].to_vec() };
@@ -193,6 +196,42 @@ impl AtomicRing {
             .store(head.wrapping_add(ARING_CAPACITY as u32), Ordering::Release);
         self.head.store(head.wrapping_add(1), Ordering::Release);
         Some(frame)
+    }
+
+    /// Adversarial injection: bumps the newest published slot's sequence
+    /// word by `delta`, simulating a malicious VM scribbling on the shared
+    /// page's control words. Returns `false` (no-op) when nothing is
+    /// published. Sound under concurrency: `seq` is an atomic, so this is
+    /// a data race with nobody — the consumer simply observes a sequence
+    /// that never matches and treats the slot as not-yet-published.
+    pub fn corrupt_newest_seq(&self, delta: u32) -> bool {
+        let tail = self.tail.load(Ordering::Acquire);
+        let head = self.head.load(Ordering::Acquire);
+        if tail == head {
+            return false;
+        }
+        let newest = tail.wrapping_sub(1);
+        let slot = &self.slots[(newest & MASK) as usize];
+        let seq = slot.seq.load(Ordering::Acquire);
+        slot.seq.store(seq.wrapping_add(delta), Ordering::Release);
+        true
+    }
+
+    /// Adversarial injection: overwrites the newest published slot's
+    /// length word (e.g. with a value far beyond [`ARING_SLOT_BYTES`]).
+    /// The consumer must clamp — see [`AtomicRing::try_pop`] — so the
+    /// worst a hostile length can do is truncate the frame into a decode
+    /// error. Returns `false` when nothing is published.
+    pub fn corrupt_newest_len(&self, len: u32) -> bool {
+        let tail = self.tail.load(Ordering::Acquire);
+        let head = self.head.load(Ordering::Acquire);
+        if tail == head {
+            return false;
+        }
+        let newest = tail.wrapping_sub(1);
+        let slot = &self.slots[(newest & MASK) as usize];
+        slot.len.store(len, Ordering::Release);
+        true
     }
 
     /// Occupied slots, as a conservative cross-thread observation.
@@ -382,6 +421,46 @@ mod tests {
         producer.join().expect("producer");
         consumer.join().expect("consumer");
         assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn a_hostile_length_word_is_clamped_not_overread() {
+        let ring = AtomicRing::new();
+        ring.try_push(b"short frame").expect("push");
+        assert!(ring.corrupt_newest_len(u32::MAX), "slot is published");
+        // The consumer must clamp to the slot size instead of slicing past
+        // the payload: a truncated-garbage frame, never a panic.
+        let frame = ring.try_pop().expect("still poppable");
+        assert_eq!(frame.len(), ARING_SLOT_BYTES);
+        assert_eq!(&frame[..11], b"short frame");
+    }
+
+    #[test]
+    fn a_corrupted_seq_word_hides_the_slot_but_cannot_corrupt_fifo() {
+        let ring = AtomicRing::new();
+        ring.try_push(b"first").expect("push");
+        ring.try_push(b"second").expect("push");
+        assert!(ring.corrupt_newest_seq(7));
+        // The older slot is untouched; the corrupted one reads as
+        // not-yet-published, so the consumer stalls instead of handing out
+        // a torn frame.
+        assert_eq!(ring.try_pop().as_deref(), Some(&b"first"[..]));
+        assert_eq!(ring.try_pop(), None, "corrupted slot must not pop");
+        // The producer eventually observes the stuck slot as Full — loss
+        // is detected as backpressure, never silent reuse.
+        for _ in 0..ARING_CAPACITY {
+            let _ = ring.try_push(b"fill");
+        }
+        assert_eq!(ring.try_push(b"x"), Err(ARingError::Full));
+    }
+
+    #[test]
+    fn corruption_on_an_empty_ring_is_a_noop() {
+        let ring = AtomicRing::new();
+        assert!(!ring.corrupt_newest_seq(1));
+        assert!(!ring.corrupt_newest_len(9999));
+        ring.try_push(b"ok").expect("push");
+        assert_eq!(ring.try_pop().as_deref(), Some(&b"ok"[..]));
     }
 
     #[test]

@@ -181,6 +181,10 @@ pub struct ChannelStats {
     pub response_bytes: u64,
     /// Cumulative encoded notification bytes (backend → frontend).
     pub notification_bytes: u64,
+    /// Entries whose shared-page bytes failed to parse on `take_request`
+    /// or `take_response` — each one is a detected corruption/forgery, so
+    /// flood campaigns can assert *detection* and not just survival.
+    pub malformed_count: u64,
 }
 
 impl ChannelStats {
@@ -441,7 +445,10 @@ impl<Req: WireCodec, Resp: WireCodec, Sig: WireCodec> Channel<Req, Resp, Sig> {
     /// bad message is consumed either way, freeing the entry).
     pub fn take_request(&mut self) -> Result<Req, ChannelError> {
         let bytes = self.requests.try_pop().ok_or(ChannelError::Empty)?;
-        Req::decode_wire(&bytes).ok_or(ChannelError::Malformed)
+        Req::decode_wire(&bytes).ok_or_else(|| {
+            self.stats.malformed_count += 1;
+            ChannelError::Malformed
+        })
     }
 
     /// Backend → frontend: posts the response.
@@ -473,7 +480,10 @@ impl<Req: WireCodec, Resp: WireCodec, Sig: WireCodec> Channel<Req, Resp, Sig> {
     /// [`ChannelError::Malformed`] if the entry bytes do not parse.
     pub fn take_response(&mut self) -> Result<Resp, ChannelError> {
         let bytes = self.responses.try_pop().ok_or(ChannelError::Empty)?;
-        Resp::decode_wire(&bytes).ok_or(ChannelError::Malformed)
+        Resp::decode_wire(&bytes).ok_or_else(|| {
+            self.stats.malformed_count += 1;
+            ChannelError::Malformed
+        })
     }
 
     /// Backend → frontend: posts an asynchronous notification (`fasync`
@@ -557,6 +567,40 @@ impl<Req: WireCodec, Resp: WireCodec, Sig: WireCodec> Channel<Req, Resp, Sig> {
     /// pending.
     pub fn drop_response_slot(&mut self) -> bool {
         self.responses.drop_newest().is_some()
+    }
+
+    /// Fault injection: scrambles the bytes of the most recently posted
+    /// *request* in place (a malicious guest rewriting the shared page after
+    /// ringing the doorbell). Returns `false` when no request is pending.
+    pub fn scramble_request_slot(&mut self) -> bool {
+        let Some(bytes) = self.requests.newest_mut() else {
+            return false;
+        };
+        let old_len = bytes.len();
+        if bytes.is_empty() {
+            *bytes = vec![0xde, 0xad];
+        } else {
+            for (i, b) in bytes.iter_mut().enumerate() {
+                *b = b.wrapping_add(0x5a).rotate_left((i % 7) as u32);
+            }
+        }
+        let new_len = self.requests.newest_mut().map_or(0, |b| b.len());
+        self.requests.reaccount(old_len, new_len);
+        true
+    }
+
+    /// Fault injection: truncates the most recently posted *request* to half
+    /// its length (a partial shared-page write by a hostile guest). Returns
+    /// `false` when no request is pending.
+    pub fn truncate_request_slot(&mut self) -> bool {
+        let Some(bytes) = self.requests.newest_mut() else {
+            return false;
+        };
+        let old_len = bytes.len();
+        let keep = old_len / 2;
+        bytes.truncate(keep);
+        self.requests.reaccount(old_len, keep);
+        true
     }
 }
 
@@ -853,6 +897,33 @@ mod tests {
         ch.send_response(Ping(9)).unwrap();
         assert!(ch.drop_response_slot());
         assert_eq!(ch.take_response(), Err(ChannelError::Empty));
+    }
+
+    #[test]
+    fn malformed_entries_are_counted_per_channel() {
+        let mut ch: Channel<Ping, Ping, Ping> = Channel::new(
+            TransportMode::Interrupts,
+            SimClock::new(),
+            CostModel::default(),
+        );
+        assert_eq!(ch.stats().malformed_count, 0);
+        ch.send_response(Ping(7)).unwrap();
+        assert!(ch.scramble_response_slot());
+        assert_eq!(ch.take_response(), Err(ChannelError::Malformed));
+        assert_eq!(ch.stats().malformed_count, 1);
+        // Request direction counts into the same per-channel stat.
+        ch.send_request(Ping(8)).unwrap();
+        assert!(ch.scramble_request_slot());
+        assert_eq!(ch.take_request(), Err(ChannelError::Malformed));
+        assert_eq!(ch.stats().malformed_count, 2);
+        // Empty is not a detection: the counter must not move.
+        assert_eq!(ch.take_response(), Err(ChannelError::Empty));
+        assert_eq!(ch.stats().malformed_count, 2);
+        // Truncated requests are also detected and counted.
+        ch.send_request(Ping(9)).unwrap();
+        assert!(ch.truncate_request_slot());
+        assert_eq!(ch.take_request(), Err(ChannelError::Malformed));
+        assert_eq!(ch.stats().malformed_count, 3);
     }
 
     #[test]

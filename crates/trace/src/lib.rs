@@ -289,6 +289,19 @@ pub enum TraceEvent {
         /// The operation being dispatched when the fault fired.
         op: String,
     },
+    /// An adversary (or fault hook) mutated this span's wire bytes in
+    /// flight. A span carrying this marker must not complete with a
+    /// successful `OpEnd`: the replay lint flags that as RP006, because a
+    /// `WireResponse::Value` served for a tampered request means the
+    /// backend acted on bytes the frontend never sent.
+    WireTampered {
+        /// The span whose shared-page bytes were mutated.
+        span: SpanId,
+        /// Simulated time of the mutation.
+        t_ns: u64,
+        /// Which direction was tampered: `"request"` or `"response"`.
+        direction: String,
+    },
     /// The hypervisor declared a driver VM failed: its grants were revoked
     /// and its hypercalls are refused until recovery.
     DriverVmFailed {
@@ -322,6 +335,7 @@ impl TraceEvent {
             | TraceEvent::MemOp { span, .. }
             | TraceEvent::OpEnd { span, .. }
             | TraceEvent::FaultInjected { span, .. }
+            | TraceEvent::WireTampered { span, .. }
             | TraceEvent::DriverVmFailed { span, .. }
             | TraceEvent::DriverVmRecovered { span, .. } => *span,
         }
@@ -333,6 +347,7 @@ impl TraceEvent {
         matches!(
             self,
             TraceEvent::FaultInjected { .. }
+                | TraceEvent::WireTampered { .. }
                 | TraceEvent::DriverVmFailed { .. }
                 | TraceEvent::DriverVmRecovered { .. }
         )
@@ -460,6 +475,15 @@ impl TraceEvent {
                     t_ns,
                     json_escape(kind),
                     json_escape(op),
+                ));
+            }
+            TraceEvent::WireTampered { span, t_ns, direction } => {
+                out.push_str(&format!(
+                    "{{\"type\":\"wire_tampered\",\"span\":{},\"t_ns\":{},\
+                     \"direction\":\"{}\"}}",
+                    span.0,
+                    t_ns,
+                    json_escape(direction),
                 ));
             }
             TraceEvent::DriverVmFailed {
@@ -753,6 +777,11 @@ fn event_from_value(value: &json::Value) -> Result<TraceEvent, String> {
             t_ns: get_u64(obj, "t_ns")?,
             kind: get_str(obj, "kind")?.to_owned(),
             op: get_str(obj, "op")?.to_owned(),
+        }),
+        "wire_tampered" => Ok(TraceEvent::WireTampered {
+            span,
+            t_ns: get_u64(obj, "t_ns")?,
+            direction: get_str(obj, "direction")?.to_owned(),
         }),
         "driver_vm_failed" => Ok(TraceEvent::DriverVmFailed {
             span,

@@ -22,6 +22,7 @@
 //! | `codec-roundtrip`   | corpus enumeration incl. all truncations  |
 //! | `codec-single-read` | counting probe on the real decoders + the `WP001` wire lint |
 //! | `codec-ir-crosscheck` | recording probe tiling vs const-evaluated decode IR |
+//! | `adversary-containment` | bit-flip/truncation/forged-ref sweep vs real enforcement |
 //!
 //! The exploration engine is the analyzer's own dataflow machinery
 //! ([`paradice_analyzer::dataflow::reach`]); disproofs surface as `VP00x`
@@ -33,6 +34,7 @@
 //! prove (`#[cfg(kani)]` in the hypervisor and cvd crates); the model
 //! checker is the always-on gate, kani the optional deeper one.
 
+pub mod adversary;
 pub mod cache;
 pub mod codec;
 pub mod fixture;
@@ -44,7 +46,7 @@ use fixture::Fixture;
 use report::{Mutant, PropertyReport};
 
 /// Every property, in the order `--all` runs them.
-pub const PROPERTIES: [&str; 9] = [
+pub const PROPERTIES: [&str; 10] = [
     "grant-soundness",
     "grant-batch",
     "grant-revocation",
@@ -54,6 +56,7 @@ pub const PROPERTIES: [&str; 9] = [
     "codec-roundtrip",
     "codec-single-read",
     "codec-ir-crosscheck",
+    "adversary-containment",
 ];
 
 /// Runs one property by name (optionally under a seeded mutant), timing it.
@@ -70,6 +73,7 @@ pub fn run_property(name: &str, mutant: Option<Mutant>) -> Option<PropertyReport
         "codec-roundtrip" => codec::check_roundtrip(mutant),
         "codec-single-read" => codec::check_single_read(mutant),
         "codec-ir-crosscheck" => codec::check_ir_crosscheck(mutant),
+        "adversary-containment" => adversary::check_containment(mutant),
         _ => return None,
     };
     report.duration_ms = start.elapsed().as_millis();
@@ -98,6 +102,7 @@ pub fn replay_fixture(fixture: &Fixture, mutant: Option<Mutant>) -> Result<(), S
         name if name.starts_with("ring-") => ring::replay(fixture, mutant),
         "cache-revocation" => cache::replay(fixture, mutant),
         name if name.starts_with("codec-") => codec::replay(fixture, mutant),
+        "adversary-containment" => adversary::replay(fixture, mutant),
         other => Err(format!("fixture names unknown property {other:?}")),
     }
 }

@@ -29,11 +29,15 @@ pub enum Mutant {
     CodecDoubleRead,
     /// The decode IR's layout constants drift from the real decoder.
     CodecIrDrift,
+    /// Grant enforcement accepts every memory operation — the backend
+    /// that "forgets" the grant hypercall check. The adversarial
+    /// containment sweep must catch the first moved buffer.
+    GrantBypass,
 }
 
 impl Mutant {
     /// Every seeded mutant, for `--list` and the check.sh gate.
-    pub const ALL: [Mutant; 7] = [
+    pub const ALL: [Mutant; 8] = [
         Mutant::RingWindowOffByOne,
         Mutant::GrantCoverOffByOne,
         Mutant::CacheEvictInflight,
@@ -41,6 +45,7 @@ impl Mutant {
         Mutant::FastpathOffNoDrain,
         Mutant::CodecDoubleRead,
         Mutant::CodecIrDrift,
+        Mutant::GrantBypass,
     ];
 
     /// The CLI/fixture name.
@@ -53,6 +58,7 @@ impl Mutant {
             Mutant::FastpathOffNoDrain => "fastpath-off-no-drain",
             Mutant::CodecDoubleRead => "codec-double-read",
             Mutant::CodecIrDrift => "codec-ir-drift",
+            Mutant::GrantBypass => "grant-bypass",
         }
     }
 

@@ -122,4 +122,29 @@ if [ "$WALL_PPS" -lt 10000 ]; then
     exit 1
 fi
 
+echo "==> adversary campaign smoke (fixed seeds, both substrates; zero breaches)"
+# ~2000 adversarial steps total: 100 steps x 5 families x 2 substrates x
+# 2 seeds. The virtual cells are bit-deterministic per seed; the gate is
+# zero breaches AND nonzero detections (a campaign that detects nothing
+# proved nothing).
+ADVJSON="$(mktemp)"
+for seed in 7 23; do
+    cargo run -q --release -p paradice-adversary --bin paradice-adversary -- \
+        --seed "$seed" --steps 100 --engine both --json >"$ADVJSON"
+    grep -q '"pass":true' "$ADVJSON" || {
+        echo "ERROR: adversary campaign (seed $seed) exited 0 without passing" >&2
+        cat "$ADVJSON" >&2
+        rm -f "$ADVJSON"
+        exit 1
+    }
+done
+rm -f "$ADVJSON"
+
+echo "==> adversary vs seeded grant bypass (containment-bypass mutant MUST breach)"
+if cargo run -q --release -p paradice-adversary --bin paradice-adversary -- \
+    --seed 7 --steps 100 --engine virtual --mutant grant-bypass >/dev/null 2>&1; then
+    echo "ERROR: the seeded grant-bypass mutant was not caught by the adversary" >&2
+    exit 1
+fi
+
 echo "==> all checks passed"

@@ -79,6 +79,52 @@ fn the_circuit_breaker_fails_fast_after_detection() {
     );
 }
 
+/// The breaker is half-open, not latched: after containment it fails fast
+/// through an exponentially growing backoff window on the virtual clock,
+/// re-arms (doubled) while the driver VM stays contained, and closes again
+/// on the first successful probe once the VM is back — without an explicit
+/// `recover_driver_vm`/frontend reset.
+#[test]
+fn the_breaker_half_opens_with_exponential_backoff() {
+    use paradice_cvd::frontend::BREAKER_BASE_BACKOFF_NS;
+    let mut m = plain_machine(&[DeviceSpec::Mouse]);
+    armed(&mut m, FaultKind::MalformedResponse, "read", 0);
+    let task = m.spawn_process(Some(0)).unwrap();
+    let fd = m.open(task, "/dev/input/event0").unwrap();
+    let buf = m.alloc_buffer(task, 64).unwrap();
+    assert_eq!(m.read(task, fd, buf, 16), Err(Errno::Eio));
+    assert!(m.driver_vm_failed());
+    let fe = m.frontend(0).unwrap();
+    assert!(fe.borrow().breaker_open());
+    assert_eq!(fe.borrow().breaker_backoff_ns(), BREAKER_BASE_BACKOFF_NS);
+
+    // Inside the backoff window: fail fast, nothing on the wire.
+    let forwarded = fe.borrow().stats().ops_forwarded;
+    assert_eq!(m.read(task, fd, buf, 16), Err(Errno::Eio));
+    assert_eq!(fe.borrow().stats().ops_forwarded, forwarded);
+
+    // The window expires while the VM is still contained: a probe cannot
+    // succeed, so the breaker stays open — still fast, still off the
+    // wire — and the window doubles.
+    m.clock().advance(BREAKER_BASE_BACKOFF_NS + 1);
+    assert_eq!(m.read(task, fd, buf, 16), Err(Errno::Eio));
+    assert_eq!(fe.borrow().stats().ops_forwarded, forwarded);
+    assert_eq!(fe.borrow().breaker_backoff_ns(), 2 * BREAKER_BASE_BACKOFF_NS);
+
+    // The containment clears out-of-band (the single-shot corruption is
+    // spent; the hypervisor re-admits the VM) and the doubled window
+    // expires: the next op runs as the half-open probe, succeeds, and
+    // closes the breaker with the backoff reset.
+    m.hv().borrow_mut().clear_driver_vm_failed(m.driver_vm());
+    m.clock().advance(2 * BREAKER_BASE_BACKOFF_NS + 1);
+    assert!(m.poll(task, fd).is_ok(), "probe must reach the driver");
+    assert!(!fe.borrow().breaker_open());
+    assert_eq!(fe.borrow().breaker_backoff_ns(), 0);
+    assert!(fe.borrow().stats().ops_forwarded > forwarded);
+    // Closed means closed: the next op forwards normally too.
+    assert!(m.poll(task, fd).is_ok());
+}
+
 #[test]
 fn a_driver_panic_revokes_grants_and_refuses_the_dead_vm() {
     let mut m = plain_machine(&[DeviceSpec::gpu()]);

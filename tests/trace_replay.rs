@@ -100,6 +100,20 @@ fn doctored_fixture_fires_the_replay_finding() {
 }
 
 #[test]
+fn tampered_fixture_fires_rp006() {
+    let diags = replay_trace(&fixture("doctored_rp006.jsonl"));
+    let rp006: Vec<_> = diags.iter().filter(|d| d.code == DiagCode::Rp006).collect();
+    // Span 1 is tampered yet completes ok=true — exactly one RP006. Span 2
+    // is tampered but correctly rejected with EINVAL, so it stays clean.
+    assert_eq!(rp006.len(), 1, "tampered fixture must fire RP006 once: {diags:?}");
+    assert_eq!(rp006[0].severity, Severity::Error);
+    assert!(
+        !diags.iter().any(|d| d.code == DiagCode::Rp001),
+        "the tampered span's mem_op stays inside its grant: {diags:?}"
+    );
+}
+
+#[test]
 fn tracing_disabled_by_default_and_zero_cost() {
     use paradice::prelude::*;
     use paradice_bench::{build, spawn_app, Config};

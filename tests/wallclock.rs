@@ -9,7 +9,7 @@
 //! 1. **Bytes** — the same workload through both engines yields
 //!    byte-identical encoded responses, in the same order.
 //! 2. **Replay lints** — both engines' assembled traces pass the
-//!    `RP001`–`RP005` replay checks with zero error-class findings, and a
+//!    `RP001`–`RP006` replay checks with zero error-class findings, and a
 //!    rogue workload fires `RP001` identically in both.
 //! 3. **Interleavings** — the atomic ring behaves FIFO at pipeline depth
 //!    1 and at the fast path's depth 8, including under a saturating
@@ -272,4 +272,24 @@ fn saturating_producer_never_loses_or_reorders_frames() {
         drained += 1;
     }
     engine.shutdown();
+}
+
+#[test]
+fn survival_matrix_is_identical_on_the_wall_substrate() {
+    // The PR-3 fault campaign (seed 42, 50 campaigns) on the wall clock:
+    // fault selection derives only from the seed and the matrix carries
+    // no timestamps, so the real-time substrate must reproduce the
+    // virtual oracle's survival matrix exactly — including all 35 of 35
+    // driver-VM deaths recovering.
+    let virt = paradice_bench::faults::run_campaigns_on(EngineKind::Virtual, 42, 50);
+    let wall = paradice_bench::faults::run_campaigns_on(EngineKind::Wall, 42, 50);
+    assert_eq!(
+        virt.matrix().render(),
+        wall.matrix().render(),
+        "wall substrate must reproduce the virtual survival matrix"
+    );
+    assert_eq!(virt.recovery_counts(), (35, 35));
+    assert_eq!(wall.recovery_counts(), (35, 35));
+    assert!(wall.pass(), "{}", wall.render());
+    assert_eq!(wall.guest_failures(), 0);
 }
