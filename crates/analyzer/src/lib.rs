@@ -63,6 +63,7 @@ pub mod ir;
 pub mod jit;
 pub mod lint;
 pub mod props_support;
+pub mod race;
 
 pub use diff::{diff_handlers, CommandDelta, HandlerDiff};
 pub use extract::{analyze_handler, extract_command, Extraction, ExtractionError, HandlerReport};

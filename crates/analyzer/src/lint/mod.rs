@@ -35,6 +35,16 @@
 //! | `VP002` | error | `paradice-verify` | ring-index property disproved (window/aliasing/doorbell counterexample) |
 //! | `VP003` | error | `paradice-verify` | wire-codec property disproved (round-trip/single-read counterexample) |
 //! | `VP004` | error | `paradice-verify` | model/code drift: checker model and real implementation disagree |
+//! | `VP005` | error | `paradice-verify` | interleaving property disproved (torn read / lost wakeup / freed-snapshot counterexample) |
+//! | `MO001` | error | [`race`](crate::race) | publication-class store (publish/recycle) weaker than `Release` |
+//! | `MO002` | error | [`race`](crate::race) | consumption gate load weaker than `Acquire` |
+//! | `MO003` | error | [`race`](crate::race) | publishing site with no acquire-or-stronger load on any consumer path |
+//! | `MO004` | error | [`race`](crate::race) | last write before a doorbell ring weaker than `Release` |
+//! | `MO005` | error | [`race`](crate::race) | Dekker-style gate access weaker than `SeqCst` (lost-wakeup shape) |
+//! | `MO006` | warning | [`race`](crate::race) | `SeqCst` on a non-gate edge (needless full fence on a hot path) |
+//! | `RC001` | error | [`race`](crate::race) | atomic-site roles mixed (edge inconsistent with declared role, or duplicate site) |
+//! | `RC002` | error | [`race`](crate::race) | group with payload accesses but no release/acquire publication pair |
+//! | `RC003` | error | [`race`](crate::race) | access kind inconsistent with its protocol edge (e.g. non-RMW reservation) |
 //!
 //! Shipped drivers whose ABI genuinely deviates (e.g. a Linux `_IOWR`
 //! command whose scaled driver only uses one direction) carry
@@ -115,6 +125,16 @@ pub enum DiagCode {
     Vp002,
     Vp003,
     Vp004,
+    Vp005,
+    Mo001,
+    Mo002,
+    Mo003,
+    Mo004,
+    Mo005,
+    Mo006,
+    Rc001,
+    Rc002,
+    Rc003,
 }
 
 impl DiagCode {
@@ -149,6 +169,16 @@ impl DiagCode {
             DiagCode::Vp002 => "VP002",
             DiagCode::Vp003 => "VP003",
             DiagCode::Vp004 => "VP004",
+            DiagCode::Vp005 => "VP005",
+            DiagCode::Mo001 => "MO001",
+            DiagCode::Mo002 => "MO002",
+            DiagCode::Mo003 => "MO003",
+            DiagCode::Mo004 => "MO004",
+            DiagCode::Mo005 => "MO005",
+            DiagCode::Mo006 => "MO006",
+            DiagCode::Rc001 => "RC001",
+            DiagCode::Rc002 => "RC002",
+            DiagCode::Rc003 => "RC003",
         }
     }
 
@@ -172,8 +202,18 @@ impl DiagCode {
             | DiagCode::Vp001
             | DiagCode::Vp002
             | DiagCode::Vp003
-            | DiagCode::Vp004 => Severity::Error,
+            | DiagCode::Vp004
+            | DiagCode::Vp005
+            | DiagCode::Mo001
+            | DiagCode::Mo002
+            | DiagCode::Mo003
+            | DiagCode::Mo004
+            | DiagCode::Mo005
+            | DiagCode::Rc001
+            | DiagCode::Rc002
+            | DiagCode::Rc003 => Severity::Error,
             DiagCode::Df002
+            | DiagCode::Mo006
             | DiagCode::Og003
             | DiagCode::Sh001
             | DiagCode::Sh002

@@ -1,0 +1,131 @@
+//! Seeded atomic-site models for the MO/RC pass gate.
+//!
+//! `clean_model` is a minimal correct publication protocol (the passes
+//! must stay silent on it); `buggy_model` seeds one instance of every
+//! MO/RC defect class so `paradice-lint --fixtures` can require each
+//! rule to fire. Both are static tables, mirroring how the shipped
+//! `hypervisor::atomic` site tables are declared.
+
+use super::model::{Access, AccessKind, Edge, MemOrder, Role, SiteSpec};
+
+// --- clean: a miniature Vyukov ring (seq publish/consume, relaxed len
+// payload, owner-local cursors) plus a SeqCst doorbell gate. ---
+
+static CLEAN_SEQ_ACCESSES: [&Access; 3] = [
+    &Access::new("publish", AccessKind::Store, MemOrder::Release, Edge::Publish),
+    &Access::new("consume", AccessKind::Load, MemOrder::Acquire, Edge::Consume),
+    &Access::new("recycle", AccessKind::Store, MemOrder::Release, Edge::Recycle),
+];
+static CLEAN_SEQ: SiteSpec = SiteSpec {
+    module: "fixture::ring",
+    name: "slot_seq",
+    group: "fixture.slot",
+    role: Role::SlotSeq,
+    accesses: &CLEAN_SEQ_ACCESSES,
+};
+
+static CLEAN_LEN_ACCESSES: [&Access; 2] = [
+    &Access::new("write", AccessKind::Store, MemOrder::Relaxed, Edge::Payload),
+    &Access::new("read", AccessKind::Load, MemOrder::Relaxed, Edge::Payload),
+];
+static CLEAN_LEN: SiteSpec = SiteSpec {
+    module: "fixture::ring",
+    name: "slot_len",
+    group: "fixture.slot",
+    role: Role::SlotLen,
+    accesses: &CLEAN_LEN_ACCESSES,
+};
+
+static CLEAN_TAIL_ACCESSES: [&Access; 3] = [
+    &Access::new("owner-load", AccessKind::Load, MemOrder::Relaxed, Edge::OwnerLocal),
+    &Access::new("advance", AccessKind::Store, MemOrder::Release, Edge::Publish),
+    &Access::new("occupancy", AccessKind::Load, MemOrder::Acquire, Edge::Consume),
+];
+static CLEAN_TAIL: SiteSpec = SiteSpec {
+    module: "fixture::ring",
+    name: "tail",
+    group: "fixture.cursor",
+    role: Role::Cursor,
+    accesses: &CLEAN_TAIL_ACCESSES,
+};
+
+static CLEAN_RUNG_ACCESSES: [&Access; 2] = [
+    &Access::pre_doorbell("ring", AccessKind::Store, MemOrder::SeqCst, Edge::Gate),
+    &Access::new("drain", AccessKind::Rmw, MemOrder::SeqCst, Edge::Gate),
+];
+static CLEAN_RUNG: SiteSpec = SiteSpec {
+    module: "fixture::ring",
+    name: "rung",
+    group: "fixture.doorbell",
+    role: Role::Flag,
+    accesses: &CLEAN_RUNG_ACCESSES,
+};
+
+/// The clean seeded model: the MO/RC passes must report nothing on it.
+pub fn clean_model() -> Vec<&'static SiteSpec> {
+    vec![&CLEAN_SEQ, &CLEAN_LEN, &CLEAN_TAIL, &CLEAN_RUNG]
+}
+
+// --- buggy: one seeded instance of every defect class. ---
+
+// MO001 (relaxed publish) + MO004 (relaxed pre-doorbell write) + MO003
+// (no acquire load anywhere on a publishing site).
+static BUG_SEQ_ACCESSES: [&Access; 2] = [
+    &Access::pre_doorbell("publish", AccessKind::Store, MemOrder::Relaxed, Edge::Publish),
+    &Access::new("consume", AccessKind::Load, MemOrder::Relaxed, Edge::Consume), // MO002
+];
+static BUG_SEQ: SiteSpec = SiteSpec {
+    module: "fixture::buggy",
+    name: "slot_seq",
+    group: "buggy.slot",
+    role: Role::SlotSeq,
+    accesses: &BUG_SEQ_ACCESSES,
+};
+
+// RC002: payload traffic in a group with no publication pair (the only
+// other member of `buggy.slot` is BUG_SEQ, whose pair is downgraded).
+static BUG_LEN_ACCESSES: [&Access; 2] = [
+    &Access::new("write", AccessKind::Store, MemOrder::Relaxed, Edge::Payload),
+    // RC001: a length word doubling as a publication word (role mixing).
+    &Access::new("republish", AccessKind::Store, MemOrder::Release, Edge::Publish),
+];
+static BUG_LEN: SiteSpec = SiteSpec {
+    module: "fixture::buggy",
+    name: "slot_len",
+    group: "buggy.slot",
+    role: Role::SlotLen,
+    accesses: &BUG_LEN_ACCESSES,
+};
+
+// MO005: a Dekker gate at acquire/release instead of seq-cst — the
+// classic parked/rung lost-wakeup shape.
+static BUG_PARKED_ACCESSES: [&Access; 2] = [
+    &Access::new("park", AccessKind::Store, MemOrder::Release, Edge::Gate),
+    &Access::new("check", AccessKind::Load, MemOrder::Acquire, Edge::Gate),
+];
+static BUG_PARKED: SiteSpec = SiteSpec {
+    module: "fixture::buggy",
+    name: "parked",
+    group: "buggy.doorbell",
+    role: Role::Flag,
+    accesses: &BUG_PARKED_ACCESSES,
+};
+
+// MO006 (warning): seq-cst on a plain observe edge; RC003: a
+// reservation that is not an RMW.
+static BUG_COUNTER_ACCESSES: [&Access; 2] = [
+    &Access::new("stat", AccessKind::Load, MemOrder::SeqCst, Edge::Observe),
+    &Access::new("reserve", AccessKind::Store, MemOrder::Release, Edge::Reservation),
+];
+static BUG_COUNTER: SiteSpec = SiteSpec {
+    module: "fixture::buggy",
+    name: "outstanding",
+    group: "buggy.table",
+    role: Role::Counter,
+    accesses: &BUG_COUNTER_ACCESSES,
+};
+
+/// The buggy seeded model: every MO/RC code fires at least once.
+pub fn buggy_model() -> Vec<&'static SiteSpec> {
+    vec![&BUG_SEQ, &BUG_LEN, &BUG_PARKED, &BUG_COUNTER]
+}

@@ -1,0 +1,18 @@
+//! `paradice-race`: static memory-ordering + role-consistency analysis
+//! for the wall-clock substrate's lock-free kernels.
+//!
+//! The hypervisor's atomics route through an instrumented shim
+//! (`hypervisor::atomic`) whose call sites each name a static
+//! [`model::Access`] from a declared [`model::SiteSpec`] table; the
+//! MO001–MO006 / RC001–RC003 passes in [`passes`] lint that table.
+//! Because the shim *executes* the same `ordering` constant the lint
+//! inspects, the model is the code — a downgrade in the source is a
+//! downgrade in the model, and both the static pass and the
+//! `paradice-verify` interleaving checker see it.
+
+pub mod fixtures;
+pub mod model;
+pub mod passes;
+
+pub use model::{Access, AccessKind, Edge, MemOrder, Role, SiteSpec};
+pub use passes::{check_model, check_model_into};

@@ -1,0 +1,359 @@
+//! The MO/RC pass family: memory-ordering and role-consistency lints
+//! over a declared [`SiteSpec`] table.
+//!
+//! | Code | Severity | Meaning |
+//! |---|---|---|
+//! | `MO001` | error | publication-class store (`Publish`/`Recycle`) weaker than `Release` |
+//! | `MO002` | error | consumption gate load weaker than `Acquire` |
+//! | `MO003` | error | site publishes but no access on it can `Acquire`-observe the publication |
+//! | `MO004` | error | the last write before a doorbell ring is weaker than `Release` |
+//! | `MO005` | error | Dekker-style `Gate` access weaker than `SeqCst` |
+//! | `MO006` | warning | `SeqCst` on a non-`Gate` edge (needlessly strong, hot-path fence) |
+//! | `RC001` | error | access edge inconsistent with the site's declared role (roles mixed) |
+//! | `RC002` | error | group with payload-class accesses but no `Publish`/`Consume` pair covering them |
+//! | `RC003` | error | access kind inconsistent with its edge (e.g. a `Publish` load, a non-RMW `Reservation`) |
+//!
+//! All diagnostics carry `module#site.access` locations and flow through
+//! the existing [`dedupe`](crate::lint::dedupe) /
+//! [allowlist](crate::lint::apply_allowlist) machinery — the pass reports
+//! into the same `Diagnostic` stream as every other `paradice-lint` pass.
+
+use crate::lint::{dedupe, DiagCode, Diagnostic};
+
+use super::model::{Access, AccessKind, Edge, MemOrder, Role, SiteSpec};
+
+fn diag(
+    code: DiagCode,
+    site: &SiteSpec,
+    access: Option<&Access>,
+    message: String,
+) -> Diagnostic {
+    let anchor = match access {
+        Some(access) => format!("{}.{}", site.site_key(), access.name),
+        None => site.site_key(),
+    };
+    Diagnostic::new(code, site.module, None, message).with_site(anchor)
+}
+
+/// The edges each role may legitimately carry (`RC001`).
+fn allowed_edges(role: Role) -> &'static [Edge] {
+    match role {
+        Role::SlotSeq => &[Edge::Publish, Edge::Consume, Edge::Recycle, Edge::Observe],
+        Role::SlotLen => &[Edge::Payload, Edge::Observe],
+        Role::Cursor => &[Edge::OwnerLocal, Edge::Publish, Edge::Consume, Edge::Observe],
+        Role::Flag => &[Edge::Gate, Edge::Observe],
+        Role::SnapshotPtr => &[
+            Edge::Publish,
+            Edge::Consume,
+            Edge::OwnerLocal,
+            Edge::Gate,
+            Edge::Observe,
+        ],
+        Role::Counter => &[Edge::Reservation, Edge::Gate, Edge::Observe],
+    }
+}
+
+/// Runs the full MO/RC pass family over `sites` and returns the deduped
+/// findings. A clean protocol produces an empty vector.
+pub fn check_model(sites: &[&SiteSpec]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    check_model_into(sites, &mut diags);
+    dedupe(&mut diags);
+    diags
+}
+
+/// [`check_model`] appending into an existing diagnostic stream
+/// (deduping is left to the caller's final pass).
+pub fn check_model_into(sites: &[&SiteSpec], diags: &mut Vec<Diagnostic>) {
+    // Duplicate site declarations are a model bug in their own right.
+    for (index, site) in sites.iter().enumerate() {
+        if sites[..index]
+            .iter()
+            .any(|s| s.module == site.module && s.name == site.name)
+        {
+            diags.push(diag(
+                DiagCode::Rc001,
+                site,
+                None,
+                format!(
+                    "site {} is declared twice; one shared word must have exactly \
+                     one role and one access table",
+                    site.site_key(),
+                ),
+            ));
+        }
+    }
+
+    for site in sites {
+        for access in site.accesses {
+            check_access(site, access, diags);
+        }
+        check_publication_matching(site, diags);
+    }
+    check_groups(sites, diags);
+}
+
+fn check_access(site: &SiteSpec, access: &Access, diags: &mut Vec<Diagnostic>) {
+    // MO001: publication-class stores need Release.
+    if matches!(access.edge, Edge::Publish | Edge::Recycle)
+        && matches!(access.kind, AccessKind::Store | AccessKind::Rmw)
+        && !access.ordering.at_least_release()
+    {
+        diags.push(diag(
+            DiagCode::Mo001,
+            site,
+            Some(access),
+            format!(
+                "{} {} publishes data cross-thread at {} — a consumer that \
+                 observes the new value is not guaranteed to observe the data it \
+                 protects; must be release or stronger",
+                access.edge.as_str(),
+                access.kind.as_str(),
+                access.ordering,
+            ),
+        ));
+    }
+    // MO002: consumption gates need Acquire.
+    if access.edge == Edge::Consume
+        && matches!(access.kind, AccessKind::Load | AccessKind::Rmw)
+        && !access.ordering.at_least_acquire()
+    {
+        diags.push(diag(
+            DiagCode::Mo002,
+            site,
+            Some(access),
+            format!(
+                "consume {} gates payload access at {} — it does not synchronize \
+                 with the publishing release store, so the payload read behind it \
+                 can be satisfied early (torn read); must be acquire or stronger",
+                access.kind.as_str(),
+                access.ordering,
+            ),
+        ));
+    }
+    // MO004: the last write before a doorbell ring must publish.
+    if access.pre_doorbell && !access.ordering.at_least_release() {
+        diags.push(diag(
+            DiagCode::Mo004,
+            site,
+            Some(access),
+            format!(
+                "{} {} is the last write before a doorbell ring but is only {} — \
+                 the woken thread may observe the wakeup without the data that \
+                 justified it; must be release or stronger",
+                access.edge.as_str(),
+                access.kind.as_str(),
+                access.ordering,
+            ),
+        ));
+    }
+    // MO005: Dekker-style gates need SeqCst (store-load order).
+    if access.edge == Edge::Gate && access.ordering != MemOrder::SeqCst {
+        diags.push(diag(
+            DiagCode::Mo005,
+            site,
+            Some(access),
+            format!(
+                "gate {} at {} — a Dekker-style store-load flag pair needs a \
+                 total store order or both sides can miss each other (lost \
+                 wakeup / missed reader); must be seq-cst",
+                access.kind.as_str(),
+                access.ordering,
+            ),
+        ));
+    }
+    // MO006: SeqCst where the protocol does not need it.
+    if access.edge != Edge::Gate && access.ordering == MemOrder::SeqCst {
+        diags.push(
+            diag(
+                DiagCode::Mo006,
+                site,
+                Some(access),
+                format!(
+                    "{} {} is seq-cst but the {} edge only needs acquire/release — \
+                     a full fence on a hot path for no protocol reason",
+                    access.edge.as_str(),
+                    access.kind.as_str(),
+                    access.edge.as_str(),
+                ),
+            ),
+        );
+    }
+    // RC001: edge consistent with the site's role.
+    if !allowed_edges(site.role).contains(&access.edge) {
+        diags.push(diag(
+            DiagCode::Rc001,
+            site,
+            Some(access),
+            format!(
+                "a {} site carries a {} access — protocol roles are mixed at one \
+                 word (e.g. a length word doubling as a sequence word)",
+                site.role.as_str(),
+                access.edge.as_str(),
+            ),
+        ));
+    }
+    // RC003: kind consistent with the edge.
+    let kind_ok = match access.edge {
+        Edge::Publish | Edge::Recycle => matches!(access.kind, AccessKind::Store | AccessKind::Rmw),
+        Edge::Consume => matches!(access.kind, AccessKind::Load | AccessKind::Rmw),
+        Edge::OwnerLocal | Edge::Observe => true,
+        Edge::Payload => true,
+        Edge::Gate => true,
+        Edge::Reservation => access.kind == AccessKind::Rmw,
+    };
+    if !kind_ok {
+        diags.push(diag(
+            DiagCode::Rc003,
+            site,
+            Some(access),
+            format!(
+                "a {} edge declared as a {} — the access cannot implement the \
+                 protocol step it claims (reservations must be RMWs, \
+                 publications must write, consumptions must read)",
+                access.edge.as_str(),
+                access.kind.as_str(),
+            ),
+        ));
+    }
+    if access.edge == Edge::Reservation && !matches!(access.ordering, MemOrder::AcqRel | MemOrder::SeqCst)
+    {
+        diags.push(diag(
+            DiagCode::Rc003,
+            site,
+            Some(access),
+            format!(
+                "reservation rmw at {} — a capacity reservation must both acquire \
+                 (observe prior releases) and release (publish the claim); must \
+                 be acq-rel or stronger",
+                access.ordering,
+            ),
+        ));
+    }
+}
+
+/// MO003: a site that publishes must also be observable with Acquire —
+/// otherwise no consumer path can ever synchronize with the publication.
+fn check_publication_matching(site: &SiteSpec, diags: &mut Vec<Diagnostic>) {
+    let publishes = site
+        .accesses
+        .iter()
+        .any(|a| matches!(a.edge, Edge::Publish | Edge::Recycle));
+    if !publishes {
+        return;
+    }
+    let consumed = site.accesses.iter().any(|a| {
+        matches!(a.kind, AccessKind::Load | AccessKind::Rmw) && a.ordering.at_least_acquire()
+    });
+    if !consumed {
+        diags.push(diag(
+            DiagCode::Mo003,
+            site,
+            None,
+            format!(
+                "site {} publishes cross-thread but declares no acquire-or-stronger \
+                 load — every consumer path reads it too weakly to synchronize \
+                 with the publication",
+                site.site_key(),
+            ),
+        ));
+    }
+}
+
+/// RC002: every group with payload-class traffic needs a publication
+/// pair (a ≥-Release publish store and a ≥-Acquire consume load) within
+/// the same group, or the payload crosses threads unordered.
+fn check_groups(sites: &[&SiteSpec], diags: &mut Vec<Diagnostic>) {
+    let mut groups: Vec<&'static str> = sites.iter().map(|s| s.group).collect();
+    groups.sort_unstable();
+    groups.dedup();
+    for group in groups {
+        let members: Vec<&&SiteSpec> = sites.iter().filter(|s| s.group == group).collect();
+        let has_payload = members
+            .iter()
+            .any(|s| s.accesses.iter().any(|a| a.edge == Edge::Payload));
+        if !has_payload {
+            continue;
+        }
+        let has_publish = members.iter().any(|s| {
+            s.accesses
+                .iter()
+                .any(|a| a.edge == Edge::Publish && a.ordering.at_least_release())
+        });
+        let has_consume = members.iter().any(|s| {
+            s.accesses
+                .iter()
+                .any(|a| a.edge == Edge::Consume && a.ordering.at_least_acquire())
+        });
+        if !has_publish || !has_consume {
+            let site = members[0];
+            diags.push(diag(
+                DiagCode::Rc002,
+                site,
+                None,
+                format!(
+                    "group {group:?} carries payload-class accesses but no \
+                     complete publication pair ({}): the payload crosses threads \
+                     with no happens-before edge",
+                    match (has_publish, has_consume) {
+                        (false, false) => "no release publish, no acquire consume",
+                        (false, true) => "no release publish",
+                        (true, false) => "no acquire consume",
+                        (true, true) => unreachable!(),
+                    },
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::fixtures;
+    use super::*;
+    use crate::lint::Severity;
+
+    /// A minimal clean protocol: seq publish/consume pair, relaxed len
+    /// payload, owner-local cursor.
+    fn clean_sites() -> Vec<&'static SiteSpec> {
+        fixtures::clean_model()
+    }
+
+    #[test]
+    fn clean_model_produces_no_findings() {
+        let diags = check_model(&clean_sites());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn buggy_model_fires_every_code() {
+        let diags = check_model(&fixtures::buggy_model());
+        let fired: Vec<&str> = diags.iter().map(|d| d.code.as_str()).collect();
+        for code in [
+            "MO001", "MO002", "MO003", "MO004", "MO005", "MO006", "RC001", "RC002", "RC003",
+        ] {
+            assert!(fired.contains(&code), "{code} did not fire: {fired:?}");
+        }
+        // MO006 is the only warning-class rule in the seeded model.
+        assert!(diags
+            .iter()
+            .filter(|d| d.code == DiagCode::Mo006)
+            .all(|d| d.severity == Severity::Warning));
+        // Every finding carries a module#site anchor.
+        assert!(diags.iter().all(|d| d.site.is_some()), "{diags:?}");
+    }
+
+    #[test]
+    fn duplicate_sites_are_role_mixing() {
+        let sites = clean_sites();
+        let mut doubled = sites.clone();
+        doubled.push(sites[0]);
+        let diags = check_model(&doubled);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == DiagCode::Rc001 && d.message.contains("declared twice")),
+            "{diags:?}"
+        );
+    }
+}

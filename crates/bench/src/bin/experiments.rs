@@ -16,7 +16,10 @@
 //! also written by a bare `--verify` run), and `BENCH_wallclock.json`
 //! (the threaded wall-clock substrate's real ops/sec and Mpps, also
 //! written by a bare `--wallclock` run; add `--smoke` for the reduced
-//! CI sizing `scripts/check.sh` sanity-gates), and `BENCH_adversary.json`
+//! CI sizing `scripts/check.sh` sanity-gates), `BENCH_race.json` (the
+//! interleaving proofs, ordering-mutant sweep, and MO/RC lint coverage,
+//! also written by a bare `--race` run; `--smoke` trims the sweep), and
+//! `BENCH_adversary.json`
 //! (the generative adversary's campaigns/sec and containment matrix,
 //! also written by a bare `--adversary` run; `--smoke` applies here
 //! too). `--trace` records the reference workload with paradice-trace
@@ -116,6 +119,16 @@ fn main() {
         match std::fs::write(&path, paradice_bench::verifyreport::render_json(&reports)) {
             Ok(()) => println!("verify proof stats written to {}", path.display()),
             Err(e) => eprintln!("warning: could not write BENCH_verify.json: {e}"),
+        }
+    }
+    if want("--race") {
+        let smoke = args.iter().any(|a| a == "--smoke");
+        let bench = paradice_bench::racereport::run(smoke);
+        emit(paradice_bench::racereport::race_table(&bench));
+        let path = repo_root().join("BENCH_race.json");
+        match std::fs::write(&path, paradice_bench::racereport::render_json(&bench)) {
+            Ok(()) => println!("race checker numbers written to {}", path.display()),
+            Err(e) => eprintln!("warning: could not write BENCH_race.json: {e}"),
         }
     }
     if want("--wallclock") {

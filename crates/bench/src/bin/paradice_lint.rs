@@ -44,6 +44,7 @@ use paradice_analyzer::lint::{
     self, apply_allowlist, conformance, has_errors, lint_handler_with_stats, replay, wire,
     DiagCode, Diagnostic, LintStats, Severity,
 };
+use paradice_analyzer::race;
 use paradice_cvd::proto::{
     doctored_wire_request_decode_ir, wire_request_decode_ir, wire_response_decode_ir,
 };
@@ -199,6 +200,28 @@ fn main() -> ExitCode {
             &lint::fixtures::buggy_handler(),
             &mut stats,
         ));
+    }
+    // The wall-clock substrate's declared atomic-site tables run through
+    // the MO/RC memory-ordering passes: the orderings checked here are the
+    // same constants the code executes and the interleaving checker
+    // explores.
+    {
+        let mut models = vec![paradice_hypervisor::atomic::all_sites()];
+        if opts.fixtures {
+            // The seeded buggy model demonstrates every MO/RC code firing.
+            models.push(race::fixtures::buggy_model());
+        }
+        for sites in &models {
+            drivers += 1;
+            let t0 = Instant::now();
+            let accesses: usize = sites.iter().map(|s| s.accesses.len()).sum();
+            diags.extend(race::check_model(sites));
+            let s = stats.pass_mut("race");
+            s.handlers += 1;
+            s.blocks += sites.len();
+            s.iterations += accesses;
+            s.wall_ns += t0.elapsed().as_nanos();
+        }
     }
     if let Some(path) = &opts.audit {
         match std::fs::read_to_string(path) {

@@ -19,6 +19,9 @@
 //!   `experiments --trace <path>` and the `--replay` conformance gate.
 //! * [`verifyreport`] — the `paradice-verify` proof run as an experiments
 //!   table (`--verify`), dumped to `BENCH_verify.json`.
+//! * [`racereport`] — the race checker (`--race`): interleaving proofs,
+//!   the ordering-mutant sweep, and MO/RC lint coverage, dumped to
+//!   `BENCH_race.json`.
 //! * [`wallclock`] — the one real-time experiment (`--wallclock`): the
 //!   threaded wall-clock substrate vs. its deterministic virtual twin,
 //!   dumped to `BENCH_wallclock.json`.
@@ -31,6 +34,7 @@ pub mod configs;
 pub mod experiments;
 pub mod fastpath;
 pub mod faults;
+pub mod racereport;
 pub mod report;
 pub mod tracing;
 pub mod verifyreport;

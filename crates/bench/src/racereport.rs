@@ -1,0 +1,251 @@
+//! Race-checker reporting: the interleaving proofs, the ordering-mutant
+//! sweep, and the static MO/RC coverage as an experiments table
+//! (`--race`) and `BENCH_race.json`.
+//!
+//! The wall-clock substrate's correctness claim has three legs — the
+//! MO/RC lint over the declared atomic-site tables, the exhaustive
+//! store-buffer interleaving proofs (`race-ring`, `race-doorbell`,
+//! `race-shards`), and the seeded ordering mutants each proof must
+//! disprove. This module runs all three and renders them next to the
+//! performance tables, so one harness answers both "how fast" and "how
+//! known-racefree". `--smoke` trims the mutant sweep to one
+//! representative for quick CI gating.
+
+use paradice_analyzer::race::check_model;
+use paradice_hypervisor::atomic::{all_sites, total_accesses};
+use paradice_verify::report::{Mutant, PropertyReport};
+use paradice_verify::run_property;
+
+use crate::report::{Cell, Table};
+
+/// The three interleaving properties, in run order.
+pub const RACE_PROPERTIES: [&str; 3] = ["race-ring", "race-doorbell", "race-shards"];
+
+/// One seeded ordering mutant run against the property that must kill it.
+#[derive(Debug)]
+pub struct MutantOutcome {
+    /// Mutant name (`paradice-verify --mutant` argument).
+    pub mutant: &'static str,
+    /// The property expected to disprove it.
+    pub property: &'static str,
+    /// Whether the checker disproved it (it must).
+    pub disproved: bool,
+    /// Counterexample trace length (shortest, BFS).
+    pub trace_len: usize,
+    /// States explored before the violation.
+    pub states: usize,
+}
+
+/// One full `--race` run.
+#[derive(Debug)]
+pub struct RaceBench {
+    /// Clean-code proof runs of [`RACE_PROPERTIES`].
+    pub properties: Vec<PropertyReport>,
+    /// The ordering-mutant sweep.
+    pub mutants: Vec<MutantOutcome>,
+    /// Atomic sites the static MO/RC passes covered.
+    pub lint_sites: usize,
+    /// Declared accesses across those sites.
+    pub lint_accesses: usize,
+    /// MO/RC findings on the shipped tables (must be 0).
+    pub lint_findings: usize,
+    /// Whether the reduced sweep ran.
+    pub smoke: bool,
+}
+
+/// Which property is expected to disprove each ordering mutant.
+fn target_property(mutant: Mutant) -> &'static str {
+    match mutant {
+        Mutant::AringPublishRelaxed | Mutant::AringConsumeNoAcquire => "race-ring",
+        Mutant::DoorbellCheckBeforePublish => "race-doorbell",
+        Mutant::ShardRetireUnfenced => "race-shards",
+        other => panic!("{} is not an ordering mutant", other.name()),
+    }
+}
+
+/// Runs the proofs, the mutant sweep, and the static passes.
+pub fn run(smoke: bool) -> RaceBench {
+    let properties: Vec<PropertyReport> = RACE_PROPERTIES
+        .iter()
+        .map(|name| run_property(name, None).expect("registered race property"))
+        .collect();
+    let sweep: &[Mutant] = if smoke {
+        &[Mutant::AringPublishRelaxed]
+    } else {
+        &[
+            Mutant::AringPublishRelaxed,
+            Mutant::AringConsumeNoAcquire,
+            Mutant::DoorbellCheckBeforePublish,
+            Mutant::ShardRetireUnfenced,
+        ]
+    };
+    let mutants = sweep
+        .iter()
+        .map(|&mutant| {
+            let property = target_property(mutant);
+            let report = run_property(property, Some(mutant)).expect("registered race property");
+            MutantOutcome {
+                mutant: mutant.name(),
+                property,
+                disproved: !report.proved,
+                trace_len: report
+                    .counterexample
+                    .as_ref()
+                    .map(|f| f.trace.len())
+                    .unwrap_or(0),
+                states: report.states,
+            }
+        })
+        .collect();
+    let sites = all_sites();
+    let findings = check_model(&sites);
+    RaceBench {
+        properties,
+        mutants,
+        lint_sites: sites.len(),
+        lint_accesses: total_accesses(),
+        lint_findings: findings.len(),
+        smoke,
+    }
+}
+
+/// Everything held: proofs proved, mutants disproved, lint clean.
+pub fn all_green(bench: &RaceBench) -> bool {
+    bench.properties.iter().all(|r| r.proved)
+        && bench.mutants.iter().all(|m| m.disproved)
+        && bench.lint_findings == 0
+}
+
+/// Renders the run as an experiments table.
+pub fn race_table(bench: &RaceBench) -> Table {
+    let mut table = Table::new(
+        "race",
+        "Race checker — interleaving proofs, ordering mutants, MO/RC lint",
+        &["check", "verdict", "states", "steps", "time (ms)"],
+    );
+    for report in &bench.properties {
+        table.row(vec![
+            Cell::from(report.name),
+            Cell::from(if report.proved { "proved" } else { "DISPROVED" }),
+            Cell::Num(report.states as f64, 0),
+            Cell::Num(report.transitions as f64, 0),
+            Cell::Num(report.duration_ms as f64, 0),
+        ]);
+    }
+    for outcome in &bench.mutants {
+        table.row(vec![
+            Cell::from(format!("mutant {}", outcome.mutant)),
+            Cell::from(if outcome.disproved {
+                format!("disproved by {}", outcome.property)
+            } else {
+                "SURVIVED".to_owned()
+            }),
+            Cell::Num(outcome.states as f64, 0),
+            Cell::Num(outcome.trace_len as f64, 0),
+            Cell::from("-"),
+        ]);
+    }
+    table.row(vec![
+        Cell::from("static mo/rc passes"),
+        Cell::from(if bench.lint_findings == 0 {
+            "clean".to_owned()
+        } else {
+            format!("{} FINDINGS", bench.lint_findings)
+        }),
+        Cell::Num(bench.lint_sites as f64, 0),
+        Cell::Num(bench.lint_accesses as f64, 0),
+        Cell::from("-"),
+    ]);
+    table
+}
+
+fn json_bool(value: bool) -> &'static str {
+    if value {
+        "true"
+    } else {
+        "false"
+    }
+}
+
+/// Renders `BENCH_race.json`.
+pub fn render_json(bench: &RaceBench) -> String {
+    let mut out = String::from("{\"properties\":[");
+    for (index, report) in bench.properties.iter().enumerate() {
+        if index > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"proved\":{},\"states\":{},\"transitions\":{},\
+             \"duration_ms\":{}}}",
+            report.name, report.proved, report.states, report.transitions, report.duration_ms,
+        ));
+    }
+    out.push_str("],\"mutants\":[");
+    for (index, outcome) in bench.mutants.iter().enumerate() {
+        if index > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"property\":\"{}\",\"disproved\":{},\
+             \"trace_len\":{},\"states\":{}}}",
+            outcome.mutant,
+            outcome.property,
+            outcome.disproved,
+            outcome.trace_len,
+            outcome.states,
+        ));
+    }
+    out.push_str(&format!(
+        "],\"schedules_explored\":{},\"states_explored\":{},\"mutants_disproved\":{},\
+         \"lint\":{{\"sites\":{},\"accesses\":{},\"findings\":{}}},\
+         \"smoke\":{},\"all_green\":{}}}",
+        bench
+            .properties
+            .iter()
+            .map(|r| r.transitions)
+            .sum::<usize>(),
+        bench.properties.iter().map(|r| r.states).sum::<usize>(),
+        bench.mutants.iter().filter(|m| m.disproved).count(),
+        bench.lint_sites,
+        bench.lint_accesses,
+        bench.lint_findings,
+        json_bool(bench.smoke),
+        json_bool(all_green(bench)),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_is_green_and_renders() {
+        let bench = run(true);
+        assert!(all_green(&bench), "{bench:?}");
+        assert_eq!(bench.properties.len(), 3);
+        assert_eq!(bench.mutants.len(), 1);
+        assert!(bench.lint_sites >= 10);
+        assert!(bench.lint_accesses > bench.lint_sites);
+        let table = race_table(&bench);
+        assert_eq!(table.rows.len(), 3 + 1 + 1);
+        let json = render_json(&bench);
+        assert!(json.contains("\"all_green\":true"));
+        assert!(json.contains("\"mutants_disproved\":1"));
+        assert!(json.contains("\"schedules_explored\":"));
+    }
+
+    #[test]
+    fn full_sweep_kills_every_ordering_mutant() {
+        let bench = run(false);
+        assert_eq!(bench.mutants.len(), 4);
+        for outcome in &bench.mutants {
+            assert!(
+                outcome.disproved,
+                "{} survived {}",
+                outcome.mutant, outcome.property,
+            );
+            assert!(outcome.trace_len > 0, "{} has no trace", outcome.mutant);
+        }
+    }
+}

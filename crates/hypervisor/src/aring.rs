@@ -8,7 +8,7 @@
 //! backend thread can drive it concurrently, and the doorbell is a real
 //! park/unpark handoff instead of a virtual-time spin budget.
 //!
-//! # Memory-ordering argument (DESIGN.md §12 carries the prose version)
+//! # Memory-ordering argument (DESIGN.md §12/§14 carry the prose version)
 //!
 //! The ring is single-producer single-consumer. Each slot carries a
 //! free-running sequence number in the style of Vyukov's bounded queue:
@@ -31,16 +31,27 @@
 //! and read with `Acquire` for a conservative view. `N` divides `2^32`,
 //! so wrapping `u32` arithmetic never aliases two in-flight pushes.
 //!
+//! Every ordering above is *declared*, not sprinkled: the atomics are
+//! [`crate::atomic`] shim types and each operation names an access in
+//! [`ATOMIC_SITES`], the table `paradice-lint`'s MO/RC passes check and
+//! `paradice-verify`'s interleaving checker interprets. The doorbell's
+//! `rung`/`parked` pair is a Dekker-style store-load protocol — release/
+//! acquire is NOT sufficient there (both sides' flag stores can be
+//! delayed past the other side's load, losing the wakeup), so those
+//! accesses are declared `SeqCst` (`Edge::Gate`, rule `MO005`) and the
+//! checker proves the pure park/unpark protocol lossless.
+//!
 //! The whole structure — both cursors (cache-line padded) plus 16 slots of
 //! 240 payload bytes — is laid out `repr(C)` in exactly one 4-KiB page,
 //! mirroring the paper's shared-page channel (§5.1).
 
 use std::cell::UnsafeCell;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Mutex;
 use std::thread::Thread;
 use std::time::Duration;
+
+use crate::atomic::{Access, AccessKind, AtomicBool, AtomicU32, Edge, MemOrder, Role, SiteSpec};
 
 /// Slots in the atomic ring. Matches the virtual ring's
 /// [`RING_CAPACITY`](crate::ring::RING_CAPACITY); must divide `2^32`.
@@ -55,6 +66,121 @@ pub const ARING_CAPACITY: usize = 16;
 pub const ARING_SLOT_BYTES: usize = 240;
 
 const MASK: u32 = ARING_CAPACITY as u32 - 1;
+
+// --- Declared atomic sites (the model the lint and checker consume). ---
+
+static TAIL_OWNER: Access =
+    Access::new("owner-load", AccessKind::Load, MemOrder::Relaxed, Edge::OwnerLocal);
+static TAIL_ADVANCE: Access =
+    Access::pre_doorbell("advance", AccessKind::Store, MemOrder::Release, Edge::Publish);
+static TAIL_OCCUPANCY: Access =
+    Access::new("occupancy", AccessKind::Load, MemOrder::Acquire, Edge::Consume);
+static TAIL_ACCESSES: [&Access; 3] = [&TAIL_OWNER, &TAIL_ADVANCE, &TAIL_OCCUPANCY];
+static TAIL_SITE: SiteSpec = SiteSpec {
+    module: "hypervisor::aring",
+    name: "tail",
+    group: "aring.cursor",
+    role: Role::Cursor,
+    accesses: &TAIL_ACCESSES,
+};
+
+static HEAD_OWNER: Access =
+    Access::new("owner-load", AccessKind::Load, MemOrder::Relaxed, Edge::OwnerLocal);
+static HEAD_ADVANCE: Access =
+    Access::new("advance", AccessKind::Store, MemOrder::Release, Edge::Publish);
+static HEAD_OCCUPANCY: Access =
+    Access::new("occupancy", AccessKind::Load, MemOrder::Acquire, Edge::Consume);
+static HEAD_ACCESSES: [&Access; 3] = [&HEAD_OWNER, &HEAD_ADVANCE, &HEAD_OCCUPANCY];
+static HEAD_SITE: SiteSpec = SiteSpec {
+    module: "hypervisor::aring",
+    name: "head",
+    group: "aring.cursor",
+    role: Role::Cursor,
+    accesses: &HEAD_ACCESSES,
+};
+
+static SEQ_CLAIM_CHECK: Access =
+    Access::new("claim-check", AccessKind::Load, MemOrder::Acquire, Edge::Consume);
+static SEQ_PUBLISH: Access =
+    Access::pre_doorbell("publish", AccessKind::Store, MemOrder::Release, Edge::Publish);
+static SEQ_CONSUME: Access =
+    Access::new("consume", AccessKind::Load, MemOrder::Acquire, Edge::Consume);
+static SEQ_RECYCLE: Access =
+    Access::new("recycle", AccessKind::Store, MemOrder::Release, Edge::Recycle);
+static SEQ_CORRUPT_LOAD: Access =
+    Access::new("corrupt-load", AccessKind::Load, MemOrder::Acquire, Edge::Observe);
+static SEQ_CORRUPT_STORE: Access =
+    Access::new("corrupt-store", AccessKind::Store, MemOrder::Release, Edge::Observe);
+static SEQ_ACCESSES: [&Access; 6] = [
+    &SEQ_CLAIM_CHECK,
+    &SEQ_PUBLISH,
+    &SEQ_CONSUME,
+    &SEQ_RECYCLE,
+    &SEQ_CORRUPT_LOAD,
+    &SEQ_CORRUPT_STORE,
+];
+static SEQ_SITE: SiteSpec = SiteSpec {
+    module: "hypervisor::aring",
+    name: "slot_seq",
+    group: "aring.slot",
+    role: Role::SlotSeq,
+    accesses: &SEQ_ACCESSES,
+};
+
+static LEN_WRITE: Access =
+    Access::new("write", AccessKind::Store, MemOrder::Relaxed, Edge::Payload);
+static LEN_READ: Access =
+    Access::new("read", AccessKind::Load, MemOrder::Relaxed, Edge::Payload);
+static LEN_CORRUPT_STORE: Access =
+    Access::new("corrupt-store", AccessKind::Store, MemOrder::Release, Edge::Observe);
+static LEN_ACCESSES: [&Access; 3] = [&LEN_WRITE, &LEN_READ, &LEN_CORRUPT_STORE];
+static LEN_SITE: SiteSpec = SiteSpec {
+    module: "hypervisor::aring",
+    name: "slot_len",
+    group: "aring.slot",
+    role: Role::SlotLen,
+    accesses: &LEN_ACCESSES,
+};
+
+static RUNG_RING: Access =
+    Access::new("ring", AccessKind::Store, MemOrder::SeqCst, Edge::Gate);
+static RUNG_DRAIN: Access =
+    Access::new("drain", AccessKind::Rmw, MemOrder::SeqCst, Edge::Gate);
+static RUNG_ACCESSES: [&Access; 2] = [&RUNG_RING, &RUNG_DRAIN];
+static RUNG_SITE: SiteSpec = SiteSpec {
+    module: "hypervisor::aring",
+    name: "rung",
+    group: "aring.doorbell",
+    role: Role::Flag,
+    accesses: &RUNG_ACCESSES,
+};
+
+static PARKED_PARK: Access =
+    Access::new("park", AccessKind::Store, MemOrder::SeqCst, Edge::Gate);
+static PARKED_CHECK: Access =
+    Access::new("unpark-check", AccessKind::Load, MemOrder::SeqCst, Edge::Gate);
+static PARKED_CLEAR: Access =
+    Access::new("clear", AccessKind::Store, MemOrder::SeqCst, Edge::Gate);
+static PARKED_ACCESSES: [&Access; 3] = [&PARKED_PARK, &PARKED_CHECK, &PARKED_CLEAR];
+static PARKED_SITE: SiteSpec = SiteSpec {
+    module: "hypervisor::aring",
+    name: "parked",
+    group: "aring.doorbell",
+    role: Role::Flag,
+    accesses: &PARKED_ACCESSES,
+};
+
+/// This module's declared atomic-site table, aggregated by
+/// [`crate::atomic::all_sites`] for the MO/RC lint passes and the
+/// `paradice-verify` interleaving checker.
+pub static ATOMIC_SITES: [&SiteSpec; 6] = [
+    &TAIL_SITE,
+    &HEAD_SITE,
+    &SEQ_SITE,
+    &LEN_SITE,
+    &RUNG_SITE,
+    &PARKED_SITE,
+];
 
 /// Why a push or pop did not happen.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,7 +234,9 @@ pub struct AtomicRing {
     slots: [Slot; ARING_CAPACITY],
 }
 
-// One page, like the virtual channel's shared page (paper §5.1).
+// One page, like the virtual channel's shared page (paper §5.1). The
+// instrumented shim types are `repr(transparent)` — this assert is also
+// the proof they add zero bytes to the wire layout.
 const _: () = assert!(std::mem::size_of::<AtomicRing>() <= 4096);
 const _: () = assert!(ARING_CAPACITY.is_power_of_two());
 const _: () = assert!((u32::MAX as u64 + 1).is_multiple_of(ARING_CAPACITY as u64));
@@ -153,48 +281,48 @@ impl AtomicRing {
         if frame.len() > ARING_SLOT_BYTES {
             return Err(ARingError::Oversize { len: frame.len() });
         }
-        let tail = self.tail.load(Ordering::Relaxed); // sole writer: us
+        let tail = self.tail.load(&TAIL_OWNER); // sole writer: us
         let slot = &self.slots[(tail & MASK) as usize];
         // Acquire: synchronizes with the consumer's recycling store, so
         // our payload write cannot be reordered before the consumer is
         // done reading the previous occupant.
-        if slot.seq.load(Ordering::Acquire) != tail {
+        if slot.seq.load(&SEQ_CLAIM_CHECK) != tail {
             return Err(ARingError::Full);
         }
         // SAFETY: seq == tail means the slot is ours (module protocol).
         unsafe {
             (&mut *slot.data.get())[..frame.len()].copy_from_slice(frame);
         }
-        slot.len.store(frame.len() as u32, Ordering::Relaxed);
+        slot.len.store(frame.len() as u32, &LEN_WRITE);
         // Occupancy *before* publication decides the doorbell.
-        let was_empty = self.head.load(Ordering::Acquire) == tail;
+        let was_empty = self.head.load(&HEAD_OCCUPANCY) == tail;
         // Release: payload + len happen-before any consumer that sees
         // seq == tail + 1.
-        slot.seq.store(tail.wrapping_add(1), Ordering::Release);
-        self.tail.store(tail.wrapping_add(1), Ordering::Release);
+        slot.seq.store(tail.wrapping_add(1), &SEQ_PUBLISH);
+        self.tail.store(tail.wrapping_add(1), &TAIL_ADVANCE);
         Ok(was_empty)
     }
 
     /// Consumer side: takes the oldest frame, if any.
     pub fn try_pop(&self) -> Option<Vec<u8>> {
-        let head = self.head.load(Ordering::Relaxed); // sole writer: us
+        let head = self.head.load(&HEAD_OWNER); // sole writer: us
         let slot = &self.slots[(head & MASK) as usize];
         // Acquire: pairs with the producer's publishing Release.
-        if slot.seq.load(Ordering::Acquire) != head.wrapping_add(1) {
+        if slot.seq.load(&SEQ_CONSUME) != head.wrapping_add(1) {
             return None;
         }
         // Clamp: `len` lives in shared memory, so a hostile or corrupted
         // producer can store any value. Truncated garbage fails to decode
         // (EINVAL) downstream; an unclamped length would walk off the slot.
-        let len = (slot.len.load(Ordering::Relaxed) as usize).min(ARING_SLOT_BYTES);
+        let len = (slot.len.load(&LEN_READ) as usize).min(ARING_SLOT_BYTES);
         // SAFETY: seq == head + 1 means the slot holds a published frame
         // and the producer will not touch it until we recycle it.
         let frame = unsafe { (&*slot.data.get())[..len].to_vec() };
         // Release: our payload read happens-before the producer's next
         // claim of this slot (push number head + N).
         slot.seq
-            .store(head.wrapping_add(ARING_CAPACITY as u32), Ordering::Release);
-        self.head.store(head.wrapping_add(1), Ordering::Release);
+            .store(head.wrapping_add(ARING_CAPACITY as u32), &SEQ_RECYCLE);
+        self.head.store(head.wrapping_add(1), &HEAD_ADVANCE);
         Some(frame)
     }
 
@@ -205,15 +333,15 @@ impl AtomicRing {
     /// a data race with nobody — the consumer simply observes a sequence
     /// that never matches and treats the slot as not-yet-published.
     pub fn corrupt_newest_seq(&self, delta: u32) -> bool {
-        let tail = self.tail.load(Ordering::Acquire);
-        let head = self.head.load(Ordering::Acquire);
+        let tail = self.tail.load(&TAIL_OCCUPANCY);
+        let head = self.head.load(&HEAD_OCCUPANCY);
         if tail == head {
             return false;
         }
         let newest = tail.wrapping_sub(1);
         let slot = &self.slots[(newest & MASK) as usize];
-        let seq = slot.seq.load(Ordering::Acquire);
-        slot.seq.store(seq.wrapping_add(delta), Ordering::Release);
+        let seq = slot.seq.load(&SEQ_CORRUPT_LOAD);
+        slot.seq.store(seq.wrapping_add(delta), &SEQ_CORRUPT_STORE);
         true
     }
 
@@ -223,21 +351,21 @@ impl AtomicRing {
     /// worst a hostile length can do is truncate the frame into a decode
     /// error. Returns `false` when nothing is published.
     pub fn corrupt_newest_len(&self, len: u32) -> bool {
-        let tail = self.tail.load(Ordering::Acquire);
-        let head = self.head.load(Ordering::Acquire);
+        let tail = self.tail.load(&TAIL_OCCUPANCY);
+        let head = self.head.load(&HEAD_OCCUPANCY);
         if tail == head {
             return false;
         }
         let newest = tail.wrapping_sub(1);
         let slot = &self.slots[(newest & MASK) as usize];
-        slot.len.store(len, Ordering::Release);
+        slot.len.store(len, &LEN_CORRUPT_STORE);
         true
     }
 
     /// Occupied slots, as a conservative cross-thread observation.
     pub fn len(&self) -> usize {
-        let tail = self.tail.load(Ordering::Acquire);
-        let head = self.head.load(Ordering::Acquire);
+        let tail = self.tail.load(&TAIL_OCCUPANCY);
+        let head = self.head.load(&HEAD_OCCUPANCY);
         tail.wrapping_sub(head) as usize
     }
 
@@ -260,10 +388,20 @@ impl fmt::Debug for AtomicRing {
 ///
 /// Virtual-time polling burns a spin budget on the virtual clock; on real
 /// threads the idle side parks itself and the producer un-parks it on the
-/// empty→non-empty transition. The `rung` flag makes the handoff lossless
-/// (a ring that arrives between the check and the park is observed on the
-/// next iteration), and the bounded `park_timeout` makes any residual
-/// lost-wakeup race a latency blip instead of a hang.
+/// empty→non-empty transition.
+///
+/// `rung`/`parked` form a Dekker-style store-load protocol: the producer
+/// stores `rung` then loads `parked`; the consumer stores `parked` then
+/// loads (swaps) `rung`. Under release/acquire *both* flag stores may be
+/// delayed past the other side's load — producer sees `parked == false`,
+/// consumer sees `rung == false`, and the wakeup is lost (the shape
+/// `paradice-verify`'s `race-doorbell` property exhibits under the
+/// `doorbell-check-before-publish` mutant). All four accesses are
+/// therefore declared `SeqCst` ([`Edge::Gate`], lint rule `MO005`): in
+/// the single total order of SeqCst operations one side's store precedes
+/// the other side's load, so at least one side observes the handoff. The
+/// bounded `park_timeout` is kept as defense in depth (e.g. against a
+/// producer dying mid-ring), not as a correctness crutch.
 #[derive(Debug, Default)]
 pub struct Doorbell {
     rung: AtomicBool,
@@ -286,8 +424,8 @@ impl Doorbell {
     /// Rings: wakes the registered waiter if it is parked. The producer
     /// calls this only on empty→non-empty (doorbell coalescing).
     pub fn ring(&self) {
-        self.rung.store(true, Ordering::Release);
-        if self.parked.load(Ordering::Acquire) {
+        self.rung.store(true, &RUNG_RING);
+        if self.parked.load(&PARKED_CHECK) {
             if let Some(thread) = &*self.sleeper.lock().expect("doorbell sleeper poisoned") {
                 thread.unpark();
             }
@@ -297,14 +435,14 @@ impl Doorbell {
     /// Blocks the registered waiter until the bell has rung since the last
     /// wait (consuming the ring), or `ready()` reports work.
     pub fn wait(&self, mut ready: impl FnMut() -> bool) {
-        if self.rung.swap(false, Ordering::AcqRel) || ready() {
+        if self.rung.swap(false, &RUNG_DRAIN) || ready() {
             return;
         }
-        self.parked.store(true, Ordering::Release);
-        while !self.rung.swap(false, Ordering::AcqRel) && !ready() {
+        self.parked.store(true, &PARKED_PARK);
+        while !self.rung.swap(false, &RUNG_DRAIN) && !ready() {
             std::thread::park_timeout(Duration::from_millis(1));
         }
-        self.parked.store(false, Ordering::Release);
+        self.parked.store(false, &PARKED_CLEAR);
     }
 }
 
@@ -312,6 +450,7 @@ impl Doorbell {
 mod tests {
     use super::*;
     use std::sync::Arc;
+    use std::time::Instant;
 
     #[test]
     fn push_pop_roundtrip_preserves_bytes() {
@@ -481,5 +620,97 @@ mod tests {
         }
         let frame = waiter.join().expect("waiter");
         assert_eq!(frame, b"ding");
+    }
+
+    /// Lost-wakeup regression (ISSUE 9 satellite): every round forces an
+    /// empty→non-empty publication to race the consumer's park decision —
+    /// the exact Dekker interleaving `race-doorbell` proves safe under
+    /// SeqCst. Each genuinely lost wakeup costs a full 1 ms `park_timeout`
+    /// recovery, so 4000 systematically-lost rounds would take ≥ 4 s; a
+    /// correct doorbell finishes the loop in tens of milliseconds. The
+    /// 2 s ceiling separates the two regimes with wide margins both ways.
+    #[test]
+    fn doorbell_never_loses_the_empty_to_nonempty_wakeup() {
+        const ROUNDS: u32 = 4_000;
+        let bell = Arc::new(Doorbell::new());
+        let ring = Arc::new(AtomicRing::new());
+        let started = Instant::now();
+        let consumer = {
+            let (bell, ring) = (Arc::clone(&bell), Arc::clone(&ring));
+            std::thread::spawn(move || {
+                bell.register();
+                let mut got = 0u32;
+                while got < ROUNDS {
+                    if ring.try_pop().is_some() {
+                        got += 1;
+                    } else {
+                        bell.wait(|| !ring.is_empty());
+                    }
+                }
+            })
+        };
+        let producer = {
+            let (bell, ring) = (Arc::clone(&bell), Arc::clone(&ring));
+            std::thread::spawn(move || {
+                for i in 0..ROUNDS {
+                    // Wait for the consumer to drain so *every* push is an
+                    // empty→non-empty transition racing a potential park.
+                    while !ring.is_empty() {
+                        std::hint::spin_loop();
+                    }
+                    let was_empty = ring.try_push(&i.to_le_bytes()).expect("push");
+                    assert!(was_empty, "drained ring: push must report empty");
+                    bell.ring();
+                }
+            })
+        };
+        producer.join().expect("producer");
+        consumer.join().expect("consumer");
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed < Duration::from_secs(2),
+            "doorbell handoff too slow ({elapsed:?}) — systematic lost \
+             wakeups fall back on the 1ms park_timeout"
+        );
+        assert!(ring.is_empty());
+    }
+
+    /// In debug builds the shim records which declared accesses actually
+    /// executed; the ring's hot-path accesses must all be live (a declared
+    /// access nothing executes is model rot).
+    #[test]
+    fn hot_path_accesses_are_observed() {
+        if !cfg!(debug_assertions) {
+            return;
+        }
+        let ring = AtomicRing::new();
+        ring.try_push(b"x").expect("push");
+        ring.try_pop().expect("pop");
+        let bell = Doorbell::new();
+        bell.register();
+        bell.ring();
+        bell.wait(|| true);
+        for access in [
+            &TAIL_OWNER,
+            &TAIL_ADVANCE,
+            &HEAD_OWNER,
+            &HEAD_ADVANCE,
+            &HEAD_OCCUPANCY,
+            &SEQ_CLAIM_CHECK,
+            &SEQ_PUBLISH,
+            &SEQ_CONSUME,
+            &SEQ_RECYCLE,
+            &LEN_WRITE,
+            &LEN_READ,
+            &RUNG_RING,
+            &RUNG_DRAIN,
+            &PARKED_CHECK,
+        ] {
+            assert!(
+                crate::atomic::was_observed(access),
+                "declared access {:?} never executed",
+                access.name
+            );
+        }
     }
 }

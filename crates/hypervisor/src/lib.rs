@@ -33,8 +33,14 @@
 //!   and backend run on separate threads.
 //! * [`engine`] — the [`Engine`](engine::Engine) abstraction over the two
 //!   execution substrates (deterministic virtual time vs. real threads).
+//! * [`atomic`] — the instrumented-atomics shim every atomic in [`aring`]
+//!   and [`shards`] routes through: each operation names a declared
+//!   access whose ordering is simultaneously what the code executes,
+//!   what `paradice-lint`'s MO/RC passes check, and what
+//!   `paradice-verify`'s interleaving checker explores.
 
 pub mod aring;
+pub mod atomic;
 pub mod audit;
 pub mod channel;
 pub mod clock;
@@ -58,7 +64,7 @@ pub use audit::{AuditEvent, AuditLog, BlockedBy};
 pub use channel::{Channel, ChannelError, ChannelStats, TransportMode, WireCodec};
 pub use clock::{ms, us, Clock, ClockSource, CostModel, SimClock, WallClock};
 pub use engine::{Engine, EngineError, EngineKind};
-pub use shards::{ShardedGrantTable, GRANT_SHARDS};
+pub use shards::{ShardedGrantTable, GRANT_SHARDS, RETIRED_CAP};
 pub use grants::{GrantError, GrantRef, GrantTable, MemOpGrant, MemOpRequest, GRANT_TABLE_CAPACITY};
 pub use hv::{BatchMemOp, BatchMemOpResult, DmaPort, HvError, Hypervisor};
 pub use regions::RegionManager;

@@ -10,32 +10,140 @@
 //!
 //! Design: declarations are sharded by grant-reference low bits. Each
 //! shard publishes an immutable snapshot of its live declarations through
-//! an `AtomicPtr`; readers do one `Acquire` pointer load and scan — no
-//! lock, no reference-count traffic, no waiting. Writers (declare/revoke)
-//! take the shard's writer mutex, build the next snapshot copy-on-write,
-//! swap the pointer with `Release`, and *retire* the old snapshot into the
-//! shard instead of freeing it. Retired snapshots are only dropped when
-//! the table itself is dropped (`&mut self` proves no reader can still
-//! hold a pointer), which makes the scheme safe without hazard pointers
-//! or epochs at the cost of memory proportional to the number of
-//! mutations — bounded in practice by the fast path's grant-declaration
-//! cache, which exists precisely to make declarations rare.
+//! an `AtomicPtr`; readers announce themselves on a per-shard `in_flight`
+//! gate, load the pointer once, and scan — no lock, no waiting. Writers
+//! (declare/revoke) take the shard's writer mutex, build the next
+//! snapshot copy-on-write, swap the pointer, and *retire* the old
+//! snapshot into the shard.
+//!
+//! # Bounded reclamation (DESIGN.md §14)
+//!
+//! Retired snapshots used to accumulate until table drop; they are now
+//! reclaimed once a shard holds more than [`RETIRED_CAP`] of them. The
+//! writer (still under its mutex) spins until it observes
+//! `in_flight == 0`, then frees the whole retired list. Soundness is a
+//! sequential-consistency argument, which is why the pointer swap, the
+//! reader's gate enter, the reader's pointer load, and the writer's gate
+//! check are all declared `SeqCst` ([`Edge::Gate`] in [`ATOMIC_SITES`],
+//! lint rule `MO005`):
+//!
+//! * a reader counted in `in_flight` finished its scan before its gate
+//!   exit, and the exit precedes the writer's `0` observation in the SC
+//!   total order — scan happens-before free;
+//! * a reader *not* counted entered the gate SC-after the writer's `0`
+//!   observation, hence SC-after every pointer swap that retired the
+//!   snapshots being freed; its SeqCst pointer load therefore returns
+//!   the current (or a newer) snapshot, never a freed one — the
+//!   store-load shape release/acquire cannot order (the
+//!   `shard-retire-unfenced` mutant in `paradice-verify` exhibits the
+//!   torn read a weaker gate admits).
+//!
+//! Readers stay wait-free (two uncontended-in-the-common-case RMWs per
+//! validate); the writer blocks only on overflow, amortized over
+//! [`RETIRED_CAP`] mutations. The per-shard bound makes total retired
+//! memory `O(GRANT_SHARDS * RETIRED_CAP)` instead of `O(mutations)`.
 
 use std::fmt;
-use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use crate::atomic::{
+    Access, AccessKind, AtomicPtr, AtomicU32, AtomicUsize, Edge, MemOrder, Role, SiteSpec,
+};
 use crate::grants::{GrantError, GrantRef, MemOpGrant, MemOpRequest, GRANT_TABLE_CAPACITY};
 
 /// Number of shards. Power of two so the shard of a reference is a mask.
 pub const GRANT_SHARDS: usize = 8;
 
+/// Per-shard cap on retired snapshots before the writer reclaims them.
+pub const RETIRED_CAP: usize = 32;
+
+// --- Declared atomic sites (the model the lint and checker consume). ---
+
+static PTR_WRITER_LOAD: Access =
+    Access::new("writer-load", AccessKind::Load, MemOrder::Relaxed, Edge::OwnerLocal);
+static PTR_PUBLISH_SWAP: Access =
+    Access::new("publish-swap", AccessKind::Rmw, MemOrder::SeqCst, Edge::Gate);
+static PTR_READER_LOAD: Access =
+    Access::new("reader-load", AccessKind::Load, MemOrder::SeqCst, Edge::Gate);
+static PTR_TEARDOWN_SWAP: Access =
+    Access::new("teardown-swap", AccessKind::Rmw, MemOrder::Relaxed, Edge::OwnerLocal);
+static PTR_ACCESSES: [&Access; 4] = [
+    &PTR_WRITER_LOAD,
+    &PTR_PUBLISH_SWAP,
+    &PTR_READER_LOAD,
+    &PTR_TEARDOWN_SWAP,
+];
+static PTR_SITE: SiteSpec = SiteSpec {
+    module: "hypervisor::shards",
+    name: "current",
+    group: "shards.snapshot",
+    role: Role::SnapshotPtr,
+    accesses: &PTR_ACCESSES,
+};
+
+static INFLIGHT_ENTER: Access =
+    Access::new("enter", AccessKind::Rmw, MemOrder::SeqCst, Edge::Gate);
+static INFLIGHT_EXIT: Access =
+    Access::new("exit", AccessKind::Rmw, MemOrder::SeqCst, Edge::Gate);
+static INFLIGHT_WRITER_CHECK: Access =
+    Access::new("writer-check", AccessKind::Load, MemOrder::SeqCst, Edge::Gate);
+static INFLIGHT_ACCESSES: [&Access; 3] =
+    [&INFLIGHT_ENTER, &INFLIGHT_EXIT, &INFLIGHT_WRITER_CHECK];
+static INFLIGHT_SITE: SiteSpec = SiteSpec {
+    module: "hypervisor::shards",
+    name: "in_flight",
+    group: "shards.snapshot",
+    role: Role::Counter,
+    accesses: &INFLIGHT_ACCESSES,
+};
+
+static NEXT_REF_ALLOCATE: Access =
+    Access::new("allocate", AccessKind::Rmw, MemOrder::AcqRel, Edge::Reservation);
+static NEXT_REF_ACCESSES: [&Access; 1] = [&NEXT_REF_ALLOCATE];
+static NEXT_REF_SITE: SiteSpec = SiteSpec {
+    module: "hypervisor::shards",
+    name: "next_ref",
+    group: "shards.table",
+    role: Role::Counter,
+    accesses: &NEXT_REF_ACCESSES,
+};
+
+static OUTSTANDING_RESERVE: Access =
+    Access::new("reserve", AccessKind::Rmw, MemOrder::AcqRel, Edge::Reservation);
+static OUTSTANDING_RELEASE: Access =
+    Access::new("release", AccessKind::Rmw, MemOrder::AcqRel, Edge::Reservation);
+static OUTSTANDING_OBSERVE: Access =
+    Access::new("observe", AccessKind::Load, MemOrder::Acquire, Edge::Observe);
+static OUTSTANDING_ACCESSES: [&Access; 3] =
+    [&OUTSTANDING_RESERVE, &OUTSTANDING_RELEASE, &OUTSTANDING_OBSERVE];
+static OUTSTANDING_SITE: SiteSpec = SiteSpec {
+    module: "hypervisor::shards",
+    name: "outstanding",
+    group: "shards.table",
+    role: Role::Counter,
+    accesses: &OUTSTANDING_ACCESSES,
+};
+
+/// This module's declared atomic-site table, aggregated by
+/// [`crate::atomic::all_sites`] for the MO/RC lint passes and the
+/// `paradice-verify` interleaving checker.
+pub static ATOMIC_SITES: [&SiteSpec; 4] = [
+    &PTR_SITE,
+    &INFLIGHT_SITE,
+    &NEXT_REF_SITE,
+    &OUTSTANDING_SITE,
+];
+
 /// One shard's published state: the live declarations homed here.
 type Snapshot = Vec<(GrantRef, Vec<MemOpGrant>)>;
 
 struct Shard {
-    /// The current snapshot. Readers: one `Acquire` load, then scan.
+    /// The current snapshot. Readers: one gate enter + one pointer load.
     current: AtomicPtr<Snapshot>,
+    /// Readers inside [`Shard::with_snapshot`] right now — the
+    /// reclamation gate the writer waits on before freeing retired
+    /// snapshots.
+    in_flight: AtomicUsize,
     /// Serializes writers and owns the retired snapshots' lifetimes.
     /// The boxes are load-bearing, not redundant: readers hold `&Snapshot`
     /// references into the box allocations, which must stay pinned while
@@ -44,37 +152,75 @@ struct Shard {
     writer: Mutex<Vec<Box<Snapshot>>>,
 }
 
+/// Decrements the reader gate even if the scan closure panics — a stuck
+/// gate would spin the next reclaiming writer forever.
+struct GateGuard<'a>(&'a AtomicUsize);
+
+impl Drop for GateGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, &INFLIGHT_EXIT);
+    }
+}
+
 impl Shard {
     fn new() -> Self {
         Shard {
             current: AtomicPtr::new(Box::into_raw(Box::new(Snapshot::new()))),
+            in_flight: AtomicUsize::new(0),
             writer: Mutex::new(Vec::new()),
         }
     }
 
     /// Copy-on-write mutation: build the next snapshot from the current
-    /// one, publish it, retire the old one. Returns `edit`'s output.
+    /// one, publish it, retire the old one — and reclaim the retired
+    /// list once it exceeds [`RETIRED_CAP`] (see the module docs for the
+    /// soundness argument). Returns `edit`'s output.
     fn mutate<T>(&self, edit: impl FnOnce(&mut Snapshot) -> T) -> T {
         let mut retired = self.writer.lock().expect("grant shard writer poisoned");
         // Safe to dereference: the pointer was published by us (or by
-        // `Shard::new`) and is only invalidated at table drop.
-        let current = unsafe { &*self.current.load(Ordering::Relaxed) };
+        // `Shard::new`) and we hold the writer mutex, so it cannot be
+        // retired-and-freed underneath us.
+        let current = unsafe { &*self.current.load(&PTR_WRITER_LOAD) };
         let mut next = current.clone();
         let out = edit(&mut next);
         let fresh = Box::into_raw(Box::new(next));
-        let old = self.current.swap(fresh, Ordering::Release);
+        let old = self.current.swap(fresh, &PTR_PUBLISH_SWAP);
         // SAFETY: `old` came from `Box::into_raw` and is now unpublished;
         // retiring (not dropping) it keeps any in-flight reader's borrow
-        // alive until the table itself is dropped.
+        // alive until the gate below proves no reader remains.
         retired.push(unsafe { Box::from_raw(old) });
+        if retired.len() > RETIRED_CAP {
+            // Wait for a moment with no reader inside the gate. Reader
+            // critical sections are a pointer load plus one snapshot
+            // scan, so a zero observation arrives quickly; yield after a
+            // bounded spin to stay polite under oversubscription.
+            let mut spins = 0u32;
+            while self.in_flight.load(&INFLIGHT_WRITER_CHECK) != 0 {
+                spins += 1;
+                if spins.is_multiple_of(128) {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+            // SC argument (module docs): readers gated in after the zero
+            // observation cannot load any pointer retired before it.
+            retired.clear();
+        }
         out
     }
 
-    /// Lock-free read of the published snapshot.
-    fn read(&self) -> &Snapshot {
-        // SAFETY: published pointers stay allocated until table drop, and
-        // drop requires `&mut self` — no reader can coexist with it.
-        unsafe { &*self.current.load(Ordering::Acquire) }
+    /// Wait-free read of the published snapshot under the reclamation
+    /// gate: the snapshot is pinned for exactly the closure's duration.
+    fn with_snapshot<T>(&self, scan: impl FnOnce(&Snapshot) -> T) -> T {
+        self.in_flight.fetch_add(1, &INFLIGHT_ENTER);
+        let _gate = GateGuard(&self.in_flight);
+        // SAFETY: the gate entry above precedes this load in program
+        // order and both are SeqCst, so any writer that observes the
+        // gate at zero and frees retired snapshots did so before we
+        // could have loaded one of them (module docs).
+        let snapshot = unsafe { &*self.current.load(&PTR_READER_LOAD) };
+        scan(snapshot)
     }
 }
 
@@ -112,11 +258,11 @@ impl ShardedGrantTable {
     pub fn declare(&self, ops: Vec<MemOpGrant>) -> Result<GrantRef, GrantError> {
         // Optimistic reservation; raced declares both fitting under the
         // capacity is fine, overshoot is corrected below.
-        if self.outstanding.fetch_add(1, Ordering::AcqRel) >= GRANT_TABLE_CAPACITY {
-            self.outstanding.fetch_sub(1, Ordering::AcqRel);
+        if self.outstanding.fetch_add(1, &OUTSTANDING_RESERVE) >= GRANT_TABLE_CAPACITY {
+            self.outstanding.fetch_sub(1, &OUTSTANDING_RELEASE);
             return Err(GrantError::TableFull);
         }
-        let reference = GrantRef(self.next_ref.fetch_add(1, Ordering::AcqRel));
+        let reference = GrantRef(self.next_ref.fetch_add(1, &NEXT_REF_ALLOCATE));
         self.shard_of(reference)
             .mutate(|snapshot| snapshot.push((reference, ops)));
         Ok(reference)
@@ -129,17 +275,18 @@ impl ShardedGrantTable {
     ///
     /// [`GrantError::UnknownRef`] or [`GrantError::NotCovered`].
     pub fn validate(&self, grant: GrantRef, request: &MemOpRequest) -> Result<(), GrantError> {
-        let snapshot = self.shard_of(grant).read();
-        match snapshot.iter().find(|(r, _)| *r == grant) {
-            Some((_, ops)) => {
-                if ops.iter().any(|g| g.covers(request)) {
-                    Ok(())
-                } else {
-                    Err(GrantError::NotCovered { grant })
+        self.shard_of(grant).with_snapshot(|snapshot| {
+            match snapshot.iter().find(|(r, _)| *r == grant) {
+                Some((_, ops)) => {
+                    if ops.iter().any(|g| g.covers(request)) {
+                        Ok(())
+                    } else {
+                        Err(GrantError::NotCovered { grant })
+                    }
                 }
+                None => Err(GrantError::UnknownRef { grant }),
             }
-            None => Err(GrantError::UnknownRef { grant }),
-        }
+        })
     }
 
     /// All-or-nothing batch validation, mirroring
@@ -167,7 +314,7 @@ impl ShardedGrantTable {
             before != snapshot.len()
         });
         if removed {
-            self.outstanding.fetch_sub(1, Ordering::AcqRel);
+            self.outstanding.fetch_sub(1, &OUTSTANDING_RELEASE);
         }
         removed
     }
@@ -180,18 +327,18 @@ impl ShardedGrantTable {
         for shard in &self.shards {
             revoked += shard.mutate(|snapshot| std::mem::take(snapshot).len());
         }
-        self.outstanding.fetch_sub(revoked, Ordering::AcqRel);
+        self.outstanding.fetch_sub(revoked, &OUTSTANDING_RELEASE);
         revoked
     }
 
     /// Outstanding declarations (racy snapshot, exact when quiescent).
     pub fn outstanding(&self) -> usize {
-        self.outstanding.load(Ordering::Acquire)
+        self.outstanding.load(&OUTSTANDING_OBSERVE)
     }
 
     /// Retired snapshots currently held alive for in-flight readers —
-    /// the memory cost of epoch-free reclamation, surfaced for tests and
-    /// capacity planning.
+    /// the memory cost of reclamation, surfaced for tests and capacity
+    /// planning. Bounded: at most [`RETIRED_CAP`] per shard.
     pub fn retired_snapshots(&self) -> usize {
         self.shards
             .iter()
@@ -209,7 +356,7 @@ impl Default for ShardedGrantTable {
 impl Drop for ShardedGrantTable {
     fn drop(&mut self) {
         for shard in &mut self.shards {
-            let current = shard.current.swap(std::ptr::null_mut(), Ordering::AcqRel);
+            let current = shard.current.swap(std::ptr::null_mut(), &PTR_TEARDOWN_SWAP);
             if !current.is_null() {
                 // SAFETY: `&mut self` proves no reader exists; the pointer
                 // came from `Box::into_raw` and is dropped exactly once.
@@ -318,6 +465,23 @@ mod tests {
         assert_eq!(table.retired_snapshots(), 2);
     }
 
+    /// ISSUE 9 satellite: the retired list used to grow with every
+    /// mutation until table drop; it is now reclaimed past
+    /// [`RETIRED_CAP`] per shard.
+    #[test]
+    fn retired_snapshots_are_bounded_under_churn() {
+        let table = ShardedGrantTable::new();
+        for i in 0..10_000u64 {
+            let g = table.declare(vec![read_grant(i * 0x10, 8)]).expect("declare");
+            assert!(table.revoke(g));
+            assert!(
+                table.retired_snapshots() <= GRANT_SHARDS * RETIRED_CAP,
+                "retired list escaped the bound at mutation {i}"
+            );
+        }
+        assert!(table.retired_snapshots() <= GRANT_SHARDS * RETIRED_CAP);
+    }
+
     #[test]
     fn concurrent_readers_never_block_or_misjudge() {
         let table = Arc::new(ShardedGrantTable::new());
@@ -345,6 +509,14 @@ mod tests {
                         .declare(vec![read_grant(i * 0x10, 8)])
                         .expect("churn declare");
                     assert!(table.revoke(g));
+                    // The reclamation bound must hold *during* the churn,
+                    // with readers pinning snapshots the whole time.
+                    if i.is_multiple_of(128) {
+                        assert!(
+                            table.retired_snapshots() <= GRANT_SHARDS * RETIRED_CAP,
+                            "retired list escaped the bound mid-churn"
+                        );
+                    }
                 }
             })
         };
@@ -353,5 +525,9 @@ mod tests {
         }
         writer.join().expect("writer");
         assert_eq!(table.outstanding(), 1);
+        assert!(
+            table.retired_snapshots() <= GRANT_SHARDS * RETIRED_CAP,
+            "retired list escaped the bound after churn"
+        );
     }
 }

@@ -23,6 +23,9 @@
 //! | `codec-single-read` | counting probe on the real decoders + the `WP001` wire lint |
 //! | `codec-ir-crosscheck` | recording probe tiling vs const-evaluated decode IR |
 //! | `adversary-containment` | bit-flip/truncation/forged-ref sweep vs real enforcement |
+//! | `race-ring`         | exhaustive store-buffer interleaving: no torn slot read |
+//! | `race-doorbell`     | exhaustive store-buffer interleaving: no lost wakeup |
+//! | `race-shards`       | exhaustive store-buffer interleaving: no freed-snapshot read |
 //!
 //! The exploration engine is the analyzer's own dataflow machinery
 //! ([`paradice_analyzer::dataflow::reach`]); disproofs surface as `VP00x`
@@ -39,6 +42,7 @@ pub mod cache;
 pub mod codec;
 pub mod fixture;
 pub mod grants;
+pub mod race;
 pub mod report;
 pub mod ring;
 
@@ -46,7 +50,7 @@ use fixture::Fixture;
 use report::{Mutant, PropertyReport};
 
 /// Every property, in the order `--all` runs them.
-pub const PROPERTIES: [&str; 10] = [
+pub const PROPERTIES: [&str; 13] = [
     "grant-soundness",
     "grant-batch",
     "grant-revocation",
@@ -57,6 +61,9 @@ pub const PROPERTIES: [&str; 10] = [
     "codec-single-read",
     "codec-ir-crosscheck",
     "adversary-containment",
+    "race-ring",
+    "race-doorbell",
+    "race-shards",
 ];
 
 /// Runs one property by name (optionally under a seeded mutant), timing it.
@@ -74,6 +81,9 @@ pub fn run_property(name: &str, mutant: Option<Mutant>) -> Option<PropertyReport
         "codec-single-read" => codec::check_single_read(mutant),
         "codec-ir-crosscheck" => codec::check_ir_crosscheck(mutant),
         "adversary-containment" => adversary::check_containment(mutant),
+        "race-ring" => race::check_ring(mutant),
+        "race-doorbell" => race::check_doorbell(mutant),
+        "race-shards" => race::check_shards(mutant),
         _ => return None,
     };
     report.duration_ms = start.elapsed().as_millis();
@@ -99,6 +109,7 @@ pub fn run_all(mutant: Option<Mutant>) -> Vec<PropertyReport> {
 pub fn replay_fixture(fixture: &Fixture, mutant: Option<Mutant>) -> Result<(), String> {
     match fixture.property.as_str() {
         name if name.starts_with("grant-") => grants::replay(fixture, mutant),
+        name if name.starts_with("race-") => race::replay(fixture, mutant),
         name if name.starts_with("ring-") => ring::replay(fixture, mutant),
         "cache-revocation" => cache::replay(fixture, mutant),
         name if name.starts_with("codec-") => codec::replay(fixture, mutant),

@@ -1,0 +1,1107 @@
+//! Race properties: exhaustive interleaving exploration of the wall-clock
+//! substrate's lock-free protocols under a store-buffer memory model.
+//!
+//! The wall-clock engine (PR 8) replaced the deterministic virtual channel
+//! with real threads talking through [`paradice_hypervisor::AtomicRing`],
+//! its park/unpark [`Doorbell`](paradice_hypervisor::Doorbell), and the
+//! sharded grant table's COW snapshots. Those protocols are correct only
+//! under specific memory orderings, and `cargo test` on one x86 box cannot
+//! distinguish "correct" from "x86's strong model happened to save us".
+//! This module explores *every* schedule of small 2-thread instances of the
+//! three protocols under a weak-memory interpreter, loom-style but
+//! dependency-free, reusing the analyzer's
+//! [`TransitionSystem`] BFS — the same engine as the ring and cache models.
+//!
+//! # The memory interpreter
+//!
+//! TSO-style per-thread FIFO store buffers with an ordering-tagged
+//! extension so the orderings the shipped code declares actually matter:
+//!
+//! * a `SeqCst` store flushes the thread's buffer and writes memory
+//!   directly (total store order);
+//! * a `Release`/`AcqRel` store enters the buffer and may only drain when
+//!   it is the **oldest** entry (no store-store reordering past it);
+//! * a `Relaxed` store enters the buffer and may drain **out of order**,
+//!   bypassing older entries to other locations — the freedom a
+//!   `Release → Relaxed` downgrade hands the compiler and non-TSO hardware;
+//! * every RMW flushes the thread's buffer and acts on memory directly
+//!   (all shipped RMWs are `AcqRel`-or-stronger locked operations);
+//! * loads forward from the thread's own newest buffered store, else read
+//!   memory; a **non-`Acquire`** gating load additionally permits the
+//!   model's explicit payload-read *hoisting* step (load-load reordering,
+//!   the freedom a dropped `Acquire` hands out).
+//!
+//! Buffer drains are explicit transitions, so the explorer covers every
+//! schedule *and* every legal flush timing. Crucially the orderings are
+//! read back from [`paradice_hypervisor::atomic::all_sites`] — the same
+//! constants the code executes and the MO/RC lint checks — so a downgrade
+//! in the shipped site table flips the model here with no second copy to
+//! drift.
+//!
+//! | property        | instance                                              |
+//! |-----------------|-------------------------------------------------------|
+//! | `race-ring`     | 2-slot ring, 3 pushes racing 3 pops: no torn payload read, FIFO identity, plus a value-level crosscheck of the real [`AtomicRing`] |
+//! | `race-doorbell` | one empty→non-empty publication racing a consumer park: no terminal state with the consumer asleep, work published, and no wakeup pending |
+//! | `race-shards`   | writer retiring snapshots past the cap racing a reader's enter/scan/exit: the reader never scans a reclaimed snapshot |
+//!
+//! Disproofs surface as `VP005` diagnostics and replayable fixtures; the
+//! seeded ordering mutants (`aring-publish-relaxed`,
+//! `aring-consume-no-acquire`, `doorbell-check-before-publish`,
+//! `shard-retire-unfenced`) are this checker's own regression suite.
+//! Bounds are exhaustive for these instances (every run asserts
+//! `!truncated`); DESIGN.md §14 records the model and its limits.
+
+use paradice_analyzer::dataflow::reach::{explore, Bounds, TransitionSystem};
+use paradice_analyzer::lint::{DiagCode, Diagnostic};
+use paradice_analyzer::race::MemOrder;
+use paradice_hypervisor::{AtomicRing, ARING_CAPACITY};
+
+use crate::fixture::Fixture;
+use crate::report::{Mutant, PropertyReport};
+
+/// Looks up the ordering the shipped code declares (and executes) for one
+/// access of one atomic site. Site names are unique across the aggregated
+/// tables, so `(site, access)` identifies the constant.
+fn shipped_ordering(site: &str, access: &str) -> MemOrder {
+    for spec in paradice_hypervisor::atomic::all_sites() {
+        if spec.name == site {
+            if let Some(found) = spec.accesses.iter().find(|a| a.name == access) {
+                return found.ordering;
+            }
+        }
+    }
+    panic!("no declared atomic access {site}#{access}");
+}
+
+// --- The store-buffer memory interpreter. ---
+
+const THREADS: usize = 2;
+
+/// One buffered (not yet globally visible) store.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Entry {
+    loc: usize,
+    val: u32,
+    /// `Relaxed` stores may drain out of order; `Release` ones may not.
+    relaxed: bool,
+}
+
+/// Shared memory plus one FIFO store buffer per thread.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Mem {
+    shared: Vec<u32>,
+    buffers: [Vec<Entry>; THREADS],
+}
+
+impl Mem {
+    fn new(shared: Vec<u32>) -> Mem {
+        Mem {
+            shared,
+            buffers: [Vec::new(), Vec::new()],
+        }
+    }
+
+    /// A store at `order`: `SeqCst` drains and writes through; anything
+    /// weaker is buffered, tagged with whether it may later bypass.
+    fn store(&mut self, t: usize, loc: usize, val: u32, order: MemOrder) {
+        if order == MemOrder::SeqCst {
+            self.flush(t);
+            self.shared[loc] = val;
+        } else {
+            self.buffers[t].push(Entry {
+                loc,
+                val,
+                relaxed: order == MemOrder::Relaxed,
+            });
+        }
+    }
+
+    /// A load: forwards from the thread's own newest buffered store to
+    /// `loc`, else reads shared memory. (Remote buffers are invisible —
+    /// that is the whole point of the model.)
+    fn load(&self, t: usize, loc: usize) -> u32 {
+        self.buffers[t]
+            .iter()
+            .rev()
+            .find(|e| e.loc == loc)
+            .map(|e| e.val)
+            .unwrap_or(self.shared[loc])
+    }
+
+    /// An RMW: models a locked operation — drains the thread's buffer and
+    /// acts on shared memory directly. Returns the previous value.
+    fn rmw(&mut self, t: usize, loc: usize, f: impl FnOnce(u32) -> u32) -> u32 {
+        self.flush(t);
+        let old = self.shared[loc];
+        self.shared[loc] = f(old);
+        old
+    }
+
+    fn flush(&mut self, t: usize) {
+        for entry in self.buffers[t].drain(..) {
+            self.shared[entry.loc] = entry.val;
+        }
+    }
+
+    /// Buffer indices eligible to drain next for thread `t`: the oldest
+    /// entry always; a `Relaxed` entry also out of order, provided no
+    /// older entry targets the same location (same-location coherence).
+    fn drain_candidates(&self, t: usize) -> Vec<usize> {
+        let buf = &self.buffers[t];
+        (0..buf.len())
+            .filter(|&i| {
+                i == 0 || (buf[i].relaxed && buf[..i].iter().all(|e| e.loc != buf[i].loc))
+            })
+            .collect()
+    }
+
+    fn drain_one(&mut self, t: usize, i: usize) {
+        let entry = self.buffers[t].remove(i);
+        self.shared[entry.loc] = entry.val;
+    }
+
+    fn drained(&self) -> bool {
+        self.buffers.iter().all(Vec::is_empty)
+    }
+}
+
+/// The drain transitions every model shares: one successor per eligible
+/// buffer entry per thread.
+fn drain_successors<S>(mem: &Mem, rebuild: impl Fn(Mem) -> S) -> Vec<(String, S)> {
+    const NAMES: [&str; THREADS] = ["P", "C"];
+    let mut out = Vec::new();
+    for (t, name) in NAMES.iter().enumerate() {
+        for i in mem.drain_candidates(t) {
+            let mut next = mem.clone();
+            next.drain_one(t, i);
+            out.push((format!("drain:{name}:{i}"), rebuild(next)));
+        }
+    }
+    out
+}
+
+/// Generic fixture-replay over any of the race models: applies the trace
+/// labels, skipping ones not enabled under this configuration (a mutant
+/// trace replayed on the clean model loses its bad steps and completes).
+fn replay_system<M: TransitionSystem>(model: &M, trace: &[String]) -> Result<(), String> {
+    let mut state = model
+        .initial()
+        .into_iter()
+        .next()
+        .expect("race models have one initial state");
+    for label in trace {
+        match model
+            .successors(&state)
+            .into_iter()
+            .find(|(l, _)| l == label)
+        {
+            Some((_, next)) => state = next,
+            None => continue, // disabled under this configuration; tolerant
+        }
+        model.invariant(&state)?;
+    }
+    Ok(())
+}
+
+/// Shared disproof/proof plumbing: explores `model`, renders the verdict.
+fn check_system<M: TransitionSystem>(
+    name: &'static str,
+    description: &'static str,
+    module: &'static str,
+    model: &M,
+    mutant: Option<Mutant>,
+) -> PropertyReport {
+    let bounds = Bounds {
+        max_states: 2_000_000,
+        max_depth: 96,
+    };
+    let run = explore(model, bounds);
+    if run.truncated {
+        // Never expected (the instances are tiny); refuse to call it proved.
+        let finding = Diagnostic::new(
+            DiagCode::Vp005,
+            module,
+            None,
+            format!("{name}: exploration truncated — bounds too small for the instance"),
+        );
+        return PropertyReport::disproved(
+            name,
+            description,
+            run.states_visited,
+            run.transitions,
+            vec![finding],
+            None,
+        );
+    }
+    match run.violation {
+        None => PropertyReport::proved(name, description, run.states_visited, run.transitions),
+        Some(violation) => {
+            let finding = Diagnostic::new(
+                DiagCode::Vp005,
+                module,
+                None,
+                format!("{} (after {:?})", violation.reason, violation.trace),
+            );
+            let mut fixture = Fixture::new(name, mutant.map(Mutant::name), &violation.reason);
+            fixture.push_data("interp", "tso-store-buffer");
+            fixture.push_data("threads", THREADS.to_string());
+            fixture.trace = violation.trace;
+            PropertyReport::disproved(
+                name,
+                description,
+                run.states_visited,
+                run.transitions,
+                vec![finding],
+                Some(fixture),
+            )
+        }
+    }
+}
+
+// --- race-ring: torn reads and FIFO identity on the atomic ring. ---
+
+/// The orderings the ring model runs under, read from the shipped site
+/// table ([`shipped_ordering`]) and perturbed by the ordering mutants.
+#[derive(Debug, Clone, Copy)]
+struct RingOrders {
+    publish: MemOrder,
+    consume: MemOrder,
+    recycle: MemOrder,
+    payload_write: MemOrder,
+    payload_read: MemOrder,
+}
+
+impl RingOrders {
+    fn shipped(mutant: Option<Mutant>) -> RingOrders {
+        let mut orders = RingOrders {
+            publish: shipped_ordering("slot_seq", "publish"),
+            consume: shipped_ordering("slot_seq", "consume"),
+            recycle: shipped_ordering("slot_seq", "recycle"),
+            payload_write: shipped_ordering("slot_len", "write"),
+            payload_read: shipped_ordering("slot_len", "read"),
+        };
+        match mutant {
+            Some(Mutant::AringPublishRelaxed) => orders.publish = MemOrder::Relaxed,
+            Some(Mutant::AringConsumeNoAcquire) => orders.consume = MemOrder::Relaxed,
+            _ => {}
+        }
+        orders
+    }
+}
+
+/// Model ring capacity (2 slots) and pushes explored (3, so one slot is
+/// recycled and re-published mid-trace — the full Vyukov turn cycle).
+const RING_SLOTS: u32 = 2;
+const RING_PUSHES: u32 = 3;
+
+/// Memory layout: `SEQ[slot]` at `slot`, payload `DATA[slot]` at
+/// `2 + slot`. Initial `SEQ[i] = i` exactly like [`AtomicRing::new`].
+fn seq_loc(k: u32) -> usize {
+    (k % RING_SLOTS) as usize
+}
+fn data_loc(k: u32) -> usize {
+    (RING_SLOTS + k % RING_SLOTS) as usize
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct RaceRingState {
+    mem: Mem,
+    /// Producer: 0 = claim, 1 = write payload, 2 = publish.
+    p_pc: u8,
+    p_k: u32,
+    /// Consumer: 0 = gate, 1 = read payload, 2 = recycle.
+    c_pc: u8,
+    c_k: u32,
+    /// A payload value read *before* the gate (load-load hoisting, only
+    /// offered when the gate load is weaker than `Acquire`).
+    hoisted: Option<u32>,
+    error: Option<String>,
+}
+
+struct RaceRingModel {
+    orders: RingOrders,
+}
+
+impl RaceRingModel {
+    fn new(orders: RingOrders) -> RaceRingModel {
+        RaceRingModel { orders }
+    }
+
+    fn program_successors(&self, s: &RaceRingState) -> Vec<(String, RaceRingState)> {
+        let mut out = Vec::new();
+        // Producer (thread 0), mirroring AtomicRing::try_push for push p_k:
+        // claim when SEQ[slot] == k, write payload, publish SEQ[slot] = k+1.
+        if s.p_k < RING_PUSHES {
+            match s.p_pc {
+                0 => {
+                    if s.mem.load(0, seq_loc(s.p_k)) == s.p_k {
+                        let mut n = s.clone();
+                        n.p_pc = 1;
+                        out.push(("P:claim".into(), n));
+                    } // else: slot not recycled yet — the producer spins
+                }
+                1 => {
+                    let mut n = s.clone();
+                    n.mem
+                        .store(0, data_loc(s.p_k), s.p_k + 1, self.orders.payload_write);
+                    n.p_pc = 2;
+                    out.push(("P:write-data".into(), n));
+                }
+                _ => {
+                    let mut n = s.clone();
+                    n.mem.store(0, seq_loc(s.p_k), s.p_k + 1, self.orders.publish);
+                    n.p_pc = 0;
+                    n.p_k += 1;
+                    out.push(("P:publish".into(), n));
+                }
+            }
+        }
+        // Consumer (thread 1), mirroring AtomicRing::try_pop for pop c_k:
+        // gate on SEQ[slot] == k+1, read payload, recycle SEQ[slot] = k+2.
+        if s.c_k < RING_PUSHES {
+            match s.c_pc {
+                0 => {
+                    // Hoisting: a gate weaker than Acquire lets the payload
+                    // read behind it be satisfied early.
+                    if !self.orders.consume.at_least_acquire() && s.hoisted.is_none() {
+                        let mut n = s.clone();
+                        n.hoisted = Some(n.mem.load(1, data_loc(s.c_k)));
+                        out.push(("C:hoist".into(), n));
+                    }
+                    if s.mem.load(1, seq_loc(s.c_k)) == s.c_k + 1 {
+                        let mut n = s.clone();
+                        n.c_pc = 1;
+                        out.push(("C:gate".into(), n));
+                    } // else: nothing published yet — the consumer spins
+                }
+                1 => {
+                    let mut n = s.clone();
+                    // Loads are in-order in TSO; the payload read's own
+                    // ordering adds nothing beyond the hoisting choice the
+                    // gate's (lack of) Acquire already decided.
+                    let _ = self.orders.payload_read;
+                    let val = match n.hoisted.take() {
+                        Some(stale) => stale,
+                        None => n.mem.load(1, data_loc(s.c_k)),
+                    };
+                    if val == s.c_k + 1 {
+                        n.c_pc = 2;
+                    } else {
+                        n.error = Some(format!(
+                            "torn slot read: pop {} observed payload {val}, expected {} \
+                             (the gate passed without the data it protects)",
+                            s.c_k,
+                            s.c_k + 1,
+                        ));
+                    }
+                    out.push(("C:read-data".into(), n));
+                }
+                _ => {
+                    let mut n = s.clone();
+                    n.mem
+                        .store(1, seq_loc(s.c_k), s.c_k + RING_SLOTS, self.orders.recycle);
+                    n.c_pc = 0;
+                    n.c_k += 1;
+                    out.push(("C:recycle".into(), n));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl TransitionSystem for RaceRingModel {
+    type State = RaceRingState;
+
+    fn initial(&self) -> Vec<RaceRingState> {
+        // SEQ[i] = i (slots free in turn order), payload zeroed.
+        vec![RaceRingState {
+            mem: Mem::new(vec![0, 1, 0, 0]),
+            p_pc: 0,
+            p_k: 0,
+            c_pc: 0,
+            c_k: 0,
+            hoisted: None,
+            error: None,
+        }]
+    }
+
+    fn successors(&self, state: &RaceRingState) -> Vec<(String, RaceRingState)> {
+        if state.error.is_some() {
+            return Vec::new(); // violations are sinks
+        }
+        let mut out = self.program_successors(state);
+        out.extend(drain_successors(&state.mem, |mem| {
+            let mut next = state.clone();
+            next.mem = mem;
+            next
+        }));
+        let done = state.p_k == RING_PUSHES && state.c_k == RING_PUSHES;
+        if out.is_empty() && !(done && state.mem.drained()) {
+            let mut next = state.clone();
+            next.error = Some(format!(
+                "deadlock: producer at push {} pc {}, consumer at pop {} pc {}, \
+                 nothing enabled",
+                state.p_k, state.p_pc, state.c_k, state.c_pc,
+            ));
+            out.push(("stuck".into(), next));
+        }
+        out
+    }
+
+    fn invariant(&self, state: &RaceRingState) -> Result<(), String> {
+        match &state.error {
+            Some(error) => Err(error.clone()),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Single-threaded value-level crosscheck: drives the real [`AtomicRing`]
+/// through every push/pop sequence of length 8 against a shadow FIFO, so
+/// the interleaving model cannot silently drift from the code it vouches
+/// for. Returns the number of operations checked.
+fn crosscheck_real_ring() -> Result<usize, String> {
+    let steps = 8u32;
+    let mut ops = 0usize;
+    for sequence in 0u32..(1 << steps) {
+        let ring = AtomicRing::new();
+        let mut shadow: std::collections::VecDeque<Vec<u8>> = std::collections::VecDeque::new();
+        let mut stamp = 0u8;
+        for bit in 0..steps {
+            ops += 1;
+            if sequence >> bit & 1 == 0 {
+                stamp = stamp.wrapping_add(1);
+                let frame = vec![stamp, bit as u8, 0x5a];
+                let expect_room = shadow.len() < ARING_CAPACITY;
+                let expect_edge = shadow.is_empty();
+                match ring.try_push(&frame) {
+                    Ok(edge) => {
+                        if !expect_room {
+                            return Err("real ring admitted a push past capacity".into());
+                        }
+                        if edge != expect_edge {
+                            return Err(format!(
+                                "real ring doorbell edge {edge} on a {} ring",
+                                if expect_edge { "sleeping" } else { "busy" },
+                            ));
+                        }
+                        shadow.push_back(frame);
+                    }
+                    Err(err) => {
+                        if expect_room {
+                            return Err(format!("real ring refused a push with room: {err}"));
+                        }
+                    }
+                }
+            } else {
+                match (ring.try_pop(), shadow.pop_front()) {
+                    (Some(frame), Some(expect)) => {
+                        if frame != expect {
+                            return Err(format!(
+                                "real ring broke FIFO payload identity: got {frame:?}, \
+                                 expected {expect:?}"
+                            ));
+                        }
+                    }
+                    (Some(frame), None) => {
+                        return Err(format!("real ring popped {frame:?} from an empty ring"));
+                    }
+                    (None, Some(expect)) => {
+                        return Err(format!("real ring refused to pop committed {expect:?}"));
+                    }
+                    (None, None) => {}
+                }
+            }
+            if ring.len() != shadow.len() {
+                return Err(format!(
+                    "real ring len {} != shadow len {}",
+                    ring.len(),
+                    shadow.len(),
+                ));
+            }
+        }
+    }
+    Ok(ops)
+}
+
+/// `race-ring`: every schedule (including buffer-drain timings) of 3
+/// pushes racing 3 pops through the 2-slot model instance, with the
+/// orderings the shipped `aring` site table declares; plus the value-level
+/// crosscheck of the real [`AtomicRing`].
+pub fn check_ring(mutant: Option<Mutant>) -> PropertyReport {
+    const DESC: &str = "atomic ring under every 2-thread schedule and store-buffer drain \
+         timing: no torn payload read, FIFO identity, full slot-recycle turn \
+         (orderings read from the shipped aring site table; real-ring crosscheck)";
+    let model = RaceRingModel::new(RingOrders::shipped(mutant));
+    let mut report = check_system("race-ring", DESC, "hypervisor::aring", &model, mutant);
+    if report.proved {
+        match crosscheck_real_ring() {
+            Ok(ops) => report.transitions += ops,
+            Err(reason) => {
+                let finding = Diagnostic::new(
+                    DiagCode::Vp004,
+                    "hypervisor::aring",
+                    None,
+                    format!("race-ring model/code drift: {reason}"),
+                );
+                report = PropertyReport::disproved(
+                    report.name,
+                    report.description,
+                    report.states,
+                    report.transitions,
+                    vec![finding],
+                    None,
+                );
+            }
+        }
+    }
+    report
+}
+
+// --- race-doorbell: lost wakeups on the park/unpark protocol. ---
+
+/// Doorbell-model orderings, read from the shipped site table. The
+/// consumer's drain and the park-token exchange are RMWs (always flushing)
+/// so only the flag stores/loads carry orderings here.
+#[derive(Debug, Clone, Copy)]
+struct DoorbellOrders {
+    /// The producer's non-empty publication (the ring's `slot_seq` publish).
+    publish: MemOrder,
+    /// The consumer's readiness check (the ring's occupancy load).
+    occupancy: MemOrder,
+    /// `rung` store on the ring side.
+    ring: MemOrder,
+    /// `parked` load on the ring side.
+    check: MemOrder,
+    /// `parked` store before sleeping.
+    park: MemOrder,
+    /// `parked` store after waking.
+    clear: MemOrder,
+}
+
+impl DoorbellOrders {
+    fn shipped() -> DoorbellOrders {
+        DoorbellOrders {
+            publish: shipped_ordering("slot_seq", "publish"),
+            occupancy: shipped_ordering("tail", "occupancy"),
+            ring: shipped_ordering("rung", "ring"),
+            check: shipped_ordering("parked", "unpark-check"),
+            park: shipped_ordering("parked", "park"),
+            clear: shipped_ordering("parked", "clear"),
+        }
+    }
+}
+
+/// Locations: 0 = ring-non-empty flag (publication proxy), 1 = `rung`,
+/// 2 = `parked`, 3 = the park token (`std::thread` unpark permit).
+const RINGNE: usize = 0;
+const RUNG: usize = 1;
+const PARKED: usize = 2;
+const TOKEN: usize = 3;
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct RaceDoorbellState {
+    mem: Mem,
+    /// Producer: 0 publish, 1 ring, 2 check, 3 unpark, 4 done.
+    p_pc: u8,
+    /// Consumer: 0 drain, 1 ready, 2 announce-park, 3 recheck,
+    /// 4 ready-recheck, 5 park, 6 parked (asleep), 7 clear, 8 done.
+    c_pc: u8,
+    error: Option<String>,
+}
+
+struct RaceDoorbellModel {
+    orders: DoorbellOrders,
+    /// Whether the consumer rechecks the doorbell *after* announcing
+    /// `parked` (the shipped protocol). [`Mutant::DoorbellCheckBeforePublish`]
+    /// clears this: all checking happens before the announcement, so a ring
+    /// landing in between is missed.
+    recheck_after_announce: bool,
+}
+
+impl RaceDoorbellModel {
+    fn new(orders: DoorbellOrders, mutant: Option<Mutant>) -> RaceDoorbellModel {
+        RaceDoorbellModel {
+            orders,
+            recheck_after_announce: mutant != Some(Mutant::DoorbellCheckBeforePublish),
+        }
+    }
+
+    fn program_successors(&self, s: &RaceDoorbellState) -> Vec<(String, RaceDoorbellState)> {
+        let mut out = Vec::new();
+        // Producer: publish work, ring the bell, unpark if the consumer
+        // announced itself parked (Doorbell::ring).
+        match s.p_pc {
+            0 => {
+                let mut n = s.clone();
+                n.mem.store(0, RINGNE, 1, self.orders.publish);
+                n.p_pc = 1;
+                out.push(("P:publish".into(), n));
+            }
+            1 => {
+                let mut n = s.clone();
+                n.mem.store(0, RUNG, 1, self.orders.ring);
+                n.p_pc = 2;
+                out.push(("P:ring".into(), n));
+            }
+            2 => {
+                let mut n = s.clone();
+                n.p_pc = if n.mem.load(0, PARKED) == 1 { 3 } else { 4 };
+                let _ = self.orders.check; // load ordering: no hoisting here
+                out.push(("P:check-parked".into(), n));
+            }
+            3 => {
+                let mut n = s.clone();
+                // The unpark syscall: deposits the token, always visible.
+                n.mem.store(0, TOKEN, 1, MemOrder::SeqCst);
+                n.p_pc = 4;
+                out.push(("P:unpark".into(), n));
+            }
+            _ => {}
+        }
+        // Consumer: Doorbell::wait — drain the bell, check readiness,
+        // announce parked, recheck, sleep on the token.
+        match s.c_pc {
+            0 => {
+                let mut n = s.clone();
+                let old = n.mem.rmw(1, RUNG, |_| 0);
+                n.c_pc = if old == 1 { 8 } else { 1 };
+                out.push(("C:drain".into(), n));
+            }
+            1 => {
+                let mut n = s.clone();
+                let _ = self.orders.occupancy;
+                n.c_pc = if n.mem.load(1, RINGNE) == 1 { 8 } else { 2 };
+                out.push(("C:ready".into(), n));
+            }
+            2 => {
+                let mut n = s.clone();
+                n.mem.store(1, PARKED, 1, self.orders.park);
+                n.c_pc = if self.recheck_after_announce { 3 } else { 5 };
+                out.push(("C:announce-park".into(), n));
+            }
+            3 => {
+                let mut n = s.clone();
+                let old = n.mem.rmw(1, RUNG, |_| 0);
+                n.c_pc = if old == 1 { 7 } else { 4 };
+                out.push(("C:recheck".into(), n));
+            }
+            4 => {
+                let mut n = s.clone();
+                n.c_pc = if n.mem.load(1, RINGNE) == 1 { 7 } else { 5 };
+                out.push(("C:ready-recheck".into(), n));
+            }
+            5 => {
+                let mut n = s.clone();
+                // park(): consumes a pending token and returns, else sleeps.
+                let got = n.mem.rmw(1, TOKEN, |_| 0);
+                n.c_pc = if got == 1 {
+                    if self.recheck_after_announce {
+                        3
+                    } else {
+                        8
+                    }
+                } else {
+                    6
+                };
+                out.push(("C:park".into(), n));
+            }
+            // Asleep: only an unpark token wakes us (no spurious wakeups
+            // — the shipped park_timeout is defense in depth, and
+            // modeling it would mask exactly the bug we hunt).
+            6 if s.mem.shared[TOKEN] == 1 => {
+                let mut n = s.clone();
+                n.mem.rmw(1, TOKEN, |_| 0);
+                n.c_pc = if self.recheck_after_announce { 3 } else { 8 };
+                out.push(("C:wake".into(), n));
+            }
+            7 => {
+                let mut n = s.clone();
+                n.mem.store(1, PARKED, 0, self.orders.clear);
+                n.c_pc = 8;
+                out.push(("C:clear-park".into(), n));
+            }
+            _ => {}
+        }
+        out
+    }
+}
+
+impl TransitionSystem for RaceDoorbellModel {
+    type State = RaceDoorbellState;
+
+    fn initial(&self) -> Vec<RaceDoorbellState> {
+        vec![RaceDoorbellState {
+            mem: Mem::new(vec![0; 4]),
+            p_pc: 0,
+            c_pc: 0,
+            error: None,
+        }]
+    }
+
+    fn successors(&self, state: &RaceDoorbellState) -> Vec<(String, RaceDoorbellState)> {
+        if state.error.is_some() {
+            return Vec::new();
+        }
+        let mut out = self.program_successors(state);
+        out.extend(drain_successors(&state.mem, |mem| {
+            let mut next = state.clone();
+            next.mem = mem;
+            next
+        }));
+        let done = state.p_pc == 4 && state.c_pc == 8;
+        if out.is_empty() && !(done && state.mem.drained()) {
+            let mut next = state.clone();
+            next.error = Some(
+                "lost wakeup: consumer parked forever with the ring published \
+                 non-empty and no unpark token pending"
+                    .to_owned(),
+            );
+            out.push(("lost-wakeup".into(), next));
+        }
+        out
+    }
+
+    fn invariant(&self, state: &RaceDoorbellState) -> Result<(), String> {
+        match &state.error {
+            Some(error) => Err(error.clone()),
+            None => Ok(()),
+        }
+    }
+}
+
+/// `race-doorbell`: one empty→non-empty publication racing one consumer
+/// descent into park, under every schedule and drain timing. Proved iff no
+/// terminal state leaves the consumer asleep with work published and no
+/// token pending.
+pub fn check_doorbell(mutant: Option<Mutant>) -> PropertyReport {
+    const DESC: &str = "park/unpark doorbell under every 2-thread schedule: no lost wakeup on \
+         the empty→non-empty edge (orderings read from the shipped site \
+         table; the pure protocol, park_timeout masking disabled)";
+    let model = RaceDoorbellModel::new(DoorbellOrders::shipped(), mutant);
+    check_system("race-doorbell", DESC, "hypervisor::aring", &model, mutant)
+}
+
+// --- race-shards: use-after-free on retired snapshot reclamation. ---
+
+/// Shards-model knobs: the gate ordering comes from the shipped table;
+/// [`Mutant::ShardRetireUnfenced`] removes the gate entirely (free without
+/// waiting for `in_flight == 0`).
+#[derive(Debug, Clone, Copy)]
+struct ShardConfig {
+    gated: bool,
+}
+
+impl ShardConfig {
+    fn shipped(mutant: Option<Mutant>) -> ShardConfig {
+        // Touch the orderings so a site-table rename breaks loudly here
+        // rather than silently decoupling model from code.
+        let _ = (
+            shipped_ordering("current", "publish-swap"),
+            shipped_ordering("current", "reader-load"),
+            shipped_ordering("in_flight", "enter"),
+            shipped_ordering("in_flight", "exit"),
+            shipped_ordering("in_flight", "writer-check"),
+        );
+        ShardConfig {
+            gated: mutant != Some(Mutant::ShardRetireUnfenced),
+        }
+    }
+}
+
+/// Locations: 0 = `current` snapshot pointer (ids 0, 1, 2), 1 = `in_flight`.
+const PTR: usize = 0;
+const INFLIGHT: usize = 1;
+
+/// Snapshots retired by the writer's two mutations (model `RETIRED_CAP`
+/// is 1, so the second retirement overflows and reclaims both).
+const RETIRED_IDS: u32 = 2;
+const READER_ITERS: u8 = 2;
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct RaceShardState {
+    mem: Mem,
+    /// Writer: 0 publish-1, 1 publish-2, 2 gate, 3 free, 4 done.
+    w_pc: u8,
+    /// Reader: 0 enter, 1 load, 2 scan, 3 exit, 4 done.
+    r_pc: u8,
+    r_iter: u8,
+    /// Snapshot id the reader holds between load and scan.
+    held: u32,
+    /// Set once the writer reclaimed the retired snapshots {0, 1}.
+    freed: bool,
+    error: Option<String>,
+}
+
+struct RaceShardModel {
+    config: ShardConfig,
+}
+
+impl RaceShardModel {
+    fn new(config: ShardConfig) -> RaceShardModel {
+        RaceShardModel { config }
+    }
+
+    fn program_successors(&self, s: &RaceShardState) -> Vec<(String, RaceShardState)> {
+        let mut out = Vec::new();
+        // Writer (thread 0): two COW mutations; the second overflows the
+        // (model) retired cap, so the writer reclaims — after observing
+        // in_flight == 0 in the shipped protocol, immediately under the
+        // mutant.
+        match s.w_pc {
+            0 => {
+                let mut n = s.clone();
+                n.mem.rmw(0, PTR, |_| 1); // publish-swap: locked, writes through
+                n.w_pc = 1;
+                out.push(("W:publish-1".into(), n));
+            }
+            1 => {
+                let mut n = s.clone();
+                n.mem.rmw(0, PTR, |_| 2);
+                n.w_pc = if self.config.gated { 2 } else { 3 };
+                out.push(("W:publish-2".into(), n));
+            }
+            // writer-check: spins until no reader is inside the gate.
+            2 if s.mem.load(0, INFLIGHT) == 0 => {
+                let mut n = s.clone();
+                n.w_pc = 3;
+                out.push(("W:gate-clear".into(), n));
+            }
+            3 => {
+                let mut n = s.clone();
+                n.freed = true;
+                n.w_pc = 4;
+                out.push(("W:free-retired".into(), n));
+            }
+            _ => {}
+        }
+        // Reader (thread 1): ShardedGrantTable::with_snapshot — enter the
+        // gate, load the pointer, scan, exit. Twice, so a post-reclaim
+        // iteration is also covered.
+        if s.r_iter < READER_ITERS {
+            match s.r_pc {
+                0 => {
+                    let mut n = s.clone();
+                    n.mem.rmw(1, INFLIGHT, |v| v + 1);
+                    n.r_pc = 1;
+                    out.push(("R:enter".into(), n));
+                }
+                1 => {
+                    let mut n = s.clone();
+                    n.held = n.mem.load(1, PTR);
+                    n.r_pc = 2;
+                    out.push(("R:load-snapshot".into(), n));
+                }
+                2 => {
+                    let mut n = s.clone();
+                    if s.freed && s.held < RETIRED_IDS {
+                        n.error = Some(format!(
+                            "use-after-free: reader scanned snapshot {} after the writer \
+                             reclaimed the retired list",
+                            s.held,
+                        ));
+                    } else {
+                        n.r_pc = 3;
+                    }
+                    out.push(("R:scan".into(), n));
+                }
+                _ => {
+                    let mut n = s.clone();
+                    n.mem.rmw(1, INFLIGHT, |v| v - 1);
+                    n.r_pc = 0;
+                    n.r_iter += 1;
+                    out.push(("R:exit".into(), n));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl TransitionSystem for RaceShardModel {
+    type State = RaceShardState;
+
+    fn initial(&self) -> Vec<RaceShardState> {
+        vec![RaceShardState {
+            mem: Mem::new(vec![0, 0]),
+            w_pc: 0,
+            r_pc: 0,
+            r_iter: 0,
+            held: 0,
+            freed: false,
+            error: None,
+        }]
+    }
+
+    fn successors(&self, state: &RaceShardState) -> Vec<(String, RaceShardState)> {
+        if state.error.is_some() {
+            return Vec::new();
+        }
+        let mut out = self.program_successors(state);
+        out.extend(drain_successors(&state.mem, |mem| {
+            let mut next = state.clone();
+            next.mem = mem;
+            next
+        }));
+        let done = state.w_pc == 4 && state.r_iter == READER_ITERS;
+        if out.is_empty() && !(done && state.mem.drained()) {
+            let mut next = state.clone();
+            next.error = Some(format!(
+                "deadlock: writer pc {} blocked with reader at iter {} pc {}",
+                state.w_pc, state.r_iter, state.r_pc,
+            ));
+            out.push(("stuck".into(), next));
+        }
+        out
+    }
+
+    fn invariant(&self, state: &RaceShardState) -> Result<(), String> {
+        match &state.error {
+            Some(error) => Err(error.clone()),
+            None => Ok(()),
+        }
+    }
+}
+
+/// `race-shards`: a writer retiring snapshots past the cap racing a
+/// reader's enter/load/scan/exit, under every schedule. Proved iff no
+/// reader ever scans a reclaimed snapshot.
+pub fn check_shards(mutant: Option<Mutant>) -> PropertyReport {
+    const DESC: &str = "sharded grant-table snapshot reclamation under every 2-thread \
+         schedule: a reader inside the in_flight gate never scans a \
+         reclaimed snapshot (writer frees only after observing in_flight == 0)";
+    let model = RaceShardModel::new(ShardConfig::shipped(mutant));
+    check_system("race-shards", DESC, "hypervisor::shards", &model, mutant)
+}
+
+/// Replays a race fixture: re-runs the recorded trace through the model
+/// configured by `mutant`.
+///
+/// # Errors
+///
+/// `Err(reason)` when the recorded violation reproduces (expected when
+/// `mutant` matches the fixture's `mutant=` line).
+pub fn replay(fixture: &Fixture, mutant: Option<Mutant>) -> Result<(), String> {
+    match fixture.property.as_str() {
+        "race-ring" => replay_system(&RaceRingModel::new(RingOrders::shipped(mutant)), &fixture.trace),
+        "race-doorbell" => replay_system(
+            &RaceDoorbellModel::new(DoorbellOrders::shipped(), mutant),
+            &fixture.trace,
+        ),
+        "race-shards" => replay_system(
+            &RaceShardModel::new(ShardConfig::shipped(mutant)),
+            &fixture.trace,
+        ),
+        other => Err(format!("unknown race property {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_three_race_properties_prove_on_the_shipped_orderings() {
+        for report in [check_ring(None), check_doorbell(None), check_shards(None)] {
+            assert!(
+                report.proved,
+                "{} disproved on shipped orderings: {:?}",
+                report.name, report.findings,
+            );
+            assert!(report.states > 50, "{} explored too little", report.name);
+        }
+    }
+
+    #[test]
+    fn each_ordering_mutant_is_disproved_with_a_replayable_fixture() {
+        type Check = fn(Option<Mutant>) -> PropertyReport;
+        let cases: [(Mutant, Check); 4] = [
+            (Mutant::AringPublishRelaxed, check_ring),
+            (Mutant::AringConsumeNoAcquire, check_ring),
+            (Mutant::DoorbellCheckBeforePublish, check_doorbell),
+            (Mutant::ShardRetireUnfenced, check_shards),
+        ];
+        for (mutant, check) in cases {
+            let report = check(Some(mutant));
+            assert!(!report.proved, "{} survived {:?}", mutant.name(), report.name);
+            let fixture = report.counterexample.expect("fixture emitted");
+            assert!(
+                replay(&fixture, None).is_ok(),
+                "{}: trace must be harmless on the shipped orderings",
+                mutant.name(),
+            );
+            assert!(
+                replay(&fixture, Some(mutant)).is_err(),
+                "{}: trace must reproduce under the mutant",
+                mutant.name(),
+            );
+        }
+    }
+
+    #[test]
+    fn relaxed_publish_counterexample_is_the_canonical_reorder() {
+        // BFS yields a shortest trace: the seq store drains past the
+        // payload store and the consumer reads the torn slot.
+        let report = check_ring(Some(Mutant::AringPublishRelaxed));
+        let fixture = report.counterexample.expect("fixture");
+        assert!(fixture.trace.len() <= 6, "{:?}", fixture.trace);
+        assert!(fixture.trace.iter().any(|l| l == "C:read-data"));
+    }
+
+    /// The latent bug this PR fixed: under the pre-upgrade Release/Acquire
+    /// doorbell the store-buffer model finds the classic Dekker lost
+    /// wakeup — the producer's rung store sits buffered past its parked
+    /// check while the consumer's parked announcement does the symmetric
+    /// thing. The shipped table is SeqCst exactly because of this trace.
+    #[test]
+    fn release_acquire_doorbell_loses_a_wakeup() {
+        let mut orders = DoorbellOrders::shipped();
+        orders.ring = MemOrder::Release;
+        orders.check = MemOrder::Acquire;
+        orders.park = MemOrder::Release;
+        orders.clear = MemOrder::Release;
+        let model = RaceDoorbellModel::new(orders, None);
+        let run = explore(
+            &model,
+            Bounds {
+                max_states: 2_000_000,
+                max_depth: 96,
+            },
+        );
+        let violation = run.violation.expect("R/A doorbell must lose a wakeup");
+        assert!(violation.reason.contains("lost wakeup"), "{}", violation.reason);
+    }
+
+    #[test]
+    fn interpreter_models_store_buffer_reordering() {
+        // A relaxed store may bypass an older buffered store to another
+        // location; a release store may not.
+        let mut mem = Mem::new(vec![0, 0]);
+        mem.store(0, 0, 7, MemOrder::Release);
+        mem.store(0, 1, 9, MemOrder::Relaxed);
+        assert_eq!(mem.drain_candidates(0), vec![0, 1]);
+        let mut mem = Mem::new(vec![0, 0]);
+        mem.store(0, 0, 7, MemOrder::Relaxed);
+        mem.store(0, 1, 9, MemOrder::Release);
+        assert_eq!(mem.drain_candidates(0), vec![0]);
+        // Same-location entries never reorder (coherence).
+        let mut mem = Mem::new(vec![0]);
+        mem.store(0, 0, 1, MemOrder::Relaxed);
+        mem.store(0, 0, 2, MemOrder::Relaxed);
+        assert_eq!(mem.drain_candidates(0), vec![0]);
+        // Forwarding: the thread sees its own newest store; others do not.
+        assert_eq!(mem.load(0, 0), 2);
+        assert_eq!(mem.load(1, 0), 0);
+        // SeqCst writes through and flushes.
+        mem.store(0, 0, 3, MemOrder::SeqCst);
+        assert!(mem.drained());
+        assert_eq!(mem.shared[0], 3);
+    }
+
+    #[test]
+    fn crosscheck_covers_the_real_ring() {
+        let ops = crosscheck_real_ring().expect("real ring agrees with the model");
+        assert_eq!(ops, 256 * 8);
+    }
+}

@@ -33,11 +33,27 @@ pub enum Mutant {
     /// that "forgets" the grant hypercall check. The adversarial
     /// containment sweep must catch the first moved buffer.
     GrantBypass,
+    /// The atomic ring's slot-sequence publication store downgraded
+    /// `Release → Relaxed`: the payload store may drain after it, and a
+    /// consumer that passes the gate reads a torn slot.
+    AringPublishRelaxed,
+    /// The consumer's slot-sequence gate load downgraded
+    /// `Acquire → Relaxed`: the payload read behind the gate may be
+    /// hoisted before it and satisfied with stale data.
+    AringConsumeNoAcquire,
+    /// The doorbell consumer checks the bell *before* announcing itself
+    /// parked instead of after: a ring landing between the check and the
+    /// announcement is missed and the consumer sleeps on published work.
+    DoorbellCheckBeforePublish,
+    /// The sharded grant table's writer reclaims retired snapshots
+    /// without waiting for `in_flight == 0`: a reader between its gate
+    /// enter and its scan dereferences freed memory.
+    ShardRetireUnfenced,
 }
 
 impl Mutant {
     /// Every seeded mutant, for `--list` and the check.sh gate.
-    pub const ALL: [Mutant; 8] = [
+    pub const ALL: [Mutant; 12] = [
         Mutant::RingWindowOffByOne,
         Mutant::GrantCoverOffByOne,
         Mutant::CacheEvictInflight,
@@ -46,6 +62,10 @@ impl Mutant {
         Mutant::CodecDoubleRead,
         Mutant::CodecIrDrift,
         Mutant::GrantBypass,
+        Mutant::AringPublishRelaxed,
+        Mutant::AringConsumeNoAcquire,
+        Mutant::DoorbellCheckBeforePublish,
+        Mutant::ShardRetireUnfenced,
     ];
 
     /// The CLI/fixture name.
@@ -59,6 +79,10 @@ impl Mutant {
             Mutant::CodecDoubleRead => "codec-double-read",
             Mutant::CodecIrDrift => "codec-ir-drift",
             Mutant::GrantBypass => "grant-bypass",
+            Mutant::AringPublishRelaxed => "aring-publish-relaxed",
+            Mutant::AringConsumeNoAcquire => "aring-consume-no-acquire",
+            Mutant::DoorbellCheckBeforePublish => "doorbell-check-before-publish",
+            Mutant::ShardRetireUnfenced => "shard-retire-unfenced",
         }
     }
 

@@ -14,6 +14,17 @@ cargo test -q
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
+echo "==> instrumented-atomics sweep gate (no raw std::sync::atomic outside the shim)"
+# Every atomic in the hypervisor must go through hypervisor::atomic so the
+# MO/RC lint and the interleaving checker see the same ordering constants
+# the code executes. Only the shim itself may name std::sync::atomic.
+if grep -rn "std::sync::atomic" crates/hypervisor/src --include='*.rs' \
+    | grep -v "^crates/hypervisor/src/atomic.rs"; then
+    echo "ERROR: raw std::sync::atomic use outside crates/hypervisor/src/atomic.rs" >&2
+    echo "       route it through the hypervisor::atomic instrumented shim" >&2
+    exit 1
+fi
+
 echo "==> paradice-lint (static driver-IR suite; nonzero on errors)"
 cargo run -q --release -p paradice-bench --bin paradice-lint
 
@@ -53,6 +64,13 @@ if cargo run -q --release -p paradice-verify --bin paradice-verify -- \
     exit 1
 fi
 
+echo "==> paradice-verify --mutant (seeded ordering bug MUST be disproved)"
+if cargo run -q --release -p paradice-verify --bin paradice-verify -- \
+    --all --mutant aring-publish-relaxed >/dev/null 2>&1; then
+    echo "ERROR: seeded mutant aring-publish-relaxed was not disproved" >&2
+    exit 1
+fi
+
 echo "==> cargo kani (optional deeper proofs; skipped when kani is absent)"
 if command -v cargo-kani >/dev/null 2>&1; then
     cargo kani -p paradice-hypervisor -p paradice-cvd
@@ -60,6 +78,34 @@ else
     echo "NOTICE: cargo-kani not installed; skipping the Kani harnesses" \
          "(the paradice-verify stage above remains the required gate)"
 fi
+
+echo "==> cargo miri (optional UB/race interpreter; skipped when miri is absent)"
+if cargo miri --version >/dev/null 2>&1; then
+    # The stress loops assert wall-clock budgets that miri's slowdown would
+    # trip, so the interpreted run covers the shim and the protocol tests
+    # and skips the timed stress/churn/wakeup loops.
+    cargo miri test -p paradice-hypervisor -- atomic:: aring:: shards:: \
+        --skip wakeup --skip churn --skip stress --skip concurrent
+else
+    echo "NOTICE: cargo miri not installed; skipping the interpreted run" \
+         "(the race-ring/doorbell/shards proofs above remain the required gate)"
+fi
+
+echo "==> thread sanitizer (optional; needs nightly rustc with -Zsanitizer)"
+if rustc --version | grep -q nightly; then
+    RUSTFLAGS="-Zsanitizer=thread" cargo test -q -p paradice-hypervisor --tests
+else
+    echo "NOTICE: stable rustc has no -Zsanitizer=thread; skipping TSan" \
+         "(the race-ring/doorbell/shards proofs above remain the required gate)"
+fi
+
+echo "==> race checker smoke (interleaving proofs + mutant sweep + MO/RC coverage)"
+cargo run -q --release -p paradice-bench --bin experiments -- --race --smoke
+grep -q '"all_green":true' BENCH_race.json || {
+    echo "ERROR: BENCH_race.json is not all_green" >&2
+    cat BENCH_race.json >&2
+    exit 1
+}
 
 echo "==> trace-replay gate (record reference workload, replay it)"
 TRACE="$(mktemp)"
