@@ -12,7 +12,7 @@
 //!
 //! [`Engine`]: paradice_hypervisor::Engine
 
-use paradice_cvd::exec::{CvdEngine, VirtualEngine, WallEngine};
+use paradice_cvd::exec::{CvdEngine, VirtualEngine, WallEngine, EXEC_GUEST};
 use paradice_cvd::proto::{WireOp, WireRequest, WireResponse};
 use paradice_faults::SplitMix64;
 use paradice_hypervisor::{EngineError, EngineKind, GrantRef, MemOpGrant, MemOpRequest};
@@ -321,7 +321,7 @@ pub fn run(
     if bypass {
         let universal = exec
             .grants()
-            .declare(vec![
+            .declare(EXEC_GUEST, vec![
                 MemOpGrant::CopyToGuest {
                     addr: GuestVirtAddr::new(0),
                     len: u64::MAX,
@@ -339,7 +339,7 @@ pub fn run(
         for entry in &entries {
             let legit = exec
                 .grants()
-                .declare(entry.decls.clone())
+                .declare(EXEC_GUEST, entry.decls.clone())
                 .expect("declare corpus windows");
             refs.push((legit, entry.decls.clone()));
         }

@@ -22,7 +22,10 @@
 //! `BENCH_adversary.json`
 //! (the generative adversary's campaigns/sec and containment matrix,
 //! also written by a bare `--adversary` run; `--smoke` applies here
-//! too). `--trace` records the reference workload with paradice-trace
+//! too), and `BENCH_scale.json` (the multi-tenant scale-out bench:
+//! 1–1000 guests of mixed workloads on both substrates plus the
+//! flood-fairness scenario, also written by a bare `--scale` run;
+//! `--smoke` trims to 100 guests for the CI gate). `--trace` records the reference workload with paradice-trace
 //! enabled and dumps the span events as JSONL — feed the file to
 //! `paradice-lint --replay` for recorded-trace conformance checking.
 
@@ -149,6 +152,16 @@ fn main() {
         match std::fs::write(&path, paradice_bench::adversaryreport::render_json(&bench)) {
             Ok(()) => println!("adversary campaign numbers written to {}\n", path.display()),
             Err(e) => eprintln!("warning: could not write BENCH_adversary.json: {e}"),
+        }
+    }
+    if want("--scale") {
+        let smoke = args.iter().any(|a| a == "--smoke");
+        let run = paradice_bench::scale::run(smoke);
+        print!("{}", paradice_bench::scale::render_text(&run));
+        let path = repo_root().join("BENCH_scale.json");
+        match std::fs::write(&path, paradice_bench::scale::render_json(&run)) {
+            Ok(()) => println!("scale-out numbers written to {}\n", path.display()),
+            Err(e) => eprintln!("warning: could not write BENCH_scale.json: {e}"),
         }
     }
     if want("--fastpath") {

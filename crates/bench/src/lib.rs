@@ -25,6 +25,10 @@
 //! * [`wallclock`] — the one real-time experiment (`--wallclock`): the
 //!   threaded wall-clock substrate vs. its deterministic virtual twin,
 //!   dumped to `BENCH_wallclock.json`.
+//! * [`scale`] — the multi-tenant scale-out bench (`--scale`): 1–1000
+//!   guests of mixed workloads through the multi-guest engines on both
+//!   substrates, plus the flood-fairness scenario, dumped to
+//!   `BENCH_scale.json`.
 //!
 //! Run everything with `cargo run -p paradice-bench --bin experiments`.
 
@@ -36,6 +40,7 @@ pub mod fastpath;
 pub mod faults;
 pub mod racereport;
 pub mod report;
+pub mod scale;
 pub mod tracing;
 pub mod verifyreport;
 pub mod wallclock;

@@ -30,6 +30,7 @@ use paradice_hypervisor::{ChannelError, GrantRef, SharedHypervisor, VmId};
 use paradice_mem::GuestVirtAddr;
 use paradice_trace::SpanId;
 
+use crate::fairq::{FairSched, SchedPolicy};
 use crate::memops::{BatchedMemOps, HypercallMemOps, MemEngine};
 use crate::proto::{CvdChannel, WireOp, WireRequest, WireResponse, WireSignal};
 use crate::sharing::{SharingPolicy, VirtualTerminals};
@@ -59,15 +60,21 @@ struct DeviceSlot {
 
 struct GuestState {
     channel: Rc<RefCell<CvdChannel>>,
-    queue: VecDeque<WireRequest>,
+    /// Queued requests with their global arrival stamps (per-guest FIFO;
+    /// the fair-share drain interleaves *across* guests only).
+    queue: VecDeque<(u64, WireRequest)>,
     cap: usize,
+    /// This guest's open files: per-guest handle tables (ISSUE 10), so a
+    /// neighbor's open/close churn never touches another guest's lookup
+    /// path. Handle ids stay globally unique (devfs allocates them).
+    opens: BTreeMap<u64, OpenState>,
 }
 
-/// Per-open-file bookkeeping.
+/// Per-open-file bookkeeping. Lives in the owning guest's table, so the
+/// owner is the table itself rather than a field.
 #[derive(Debug, Clone, Copy)]
 struct OpenState {
     device: DeviceId,
-    guest: VmId,
     flags: paradice_devfs::OpenFlags,
 }
 
@@ -78,8 +85,12 @@ pub struct Backend {
     devfs: DevFs,
     devices: BTreeMap<u32, DeviceSlot>,
     guests: BTreeMap<u32, GuestState>,
-    opens: BTreeMap<u64, OpenState>,
     task_origin: BTreeMap<u64, VmId>,
+    /// The cross-guest drain discipline (fair-share by default) and its
+    /// per-guest consumed-service-time accounting.
+    sched: FairSched,
+    /// Global arrival counter stamping queued requests.
+    arrivals: u64,
     terminals: Option<Rc<RefCell<VirtualTerminals>>>,
     /// When paused, requests queue without executing (lets tests exercise
     /// the DoS cap; in the live system the queue only backs up when the
@@ -120,8 +131,9 @@ impl Backend {
             devfs: DevFs::new(),
             devices: BTreeMap::new(),
             guests: BTreeMap::new(),
-            opens: BTreeMap::new(),
             task_origin: BTreeMap::new(),
+            sched: FairSched::default(),
+            arrivals: 0,
             terminals: None,
             paused: false,
             ops_executed: 0,
@@ -189,6 +201,7 @@ impl Backend {
                 channel,
                 queue: VecDeque::new(),
                 cap,
+                opens: BTreeMap::new(),
             },
         );
     }
@@ -204,6 +217,23 @@ impl Backend {
             .get_mut(&guest.0)
             .map(|state| state.cap = cap)
             .ok_or(Errno::Einval)
+    }
+
+    /// Switches the cross-guest drain discipline (fair-share is the
+    /// default; FIFO is the ablation's toggle-back knob). Resets the
+    /// consumed-time accounting.
+    pub fn set_sched_policy(&mut self, policy: SchedPolicy) {
+        self.sched = FairSched::new(policy);
+    }
+
+    /// The active cross-guest drain discipline.
+    pub fn sched_policy(&self) -> SchedPolicy {
+        self.sched.policy()
+    }
+
+    /// Service time charged to `guest` by the drain scheduler (virtual ns).
+    pub fn consumed_ns(&self, guest: VmId) -> u64 {
+        self.sched.consumed(guest.0)
     }
 
     /// Records which guest a task belongs to (set when the machine spawns a
@@ -240,12 +270,12 @@ impl Backend {
     /// frontends; device registrations survive (the machine swaps in the
     /// freshly instantiated driver objects).
     pub fn reset_for_recovery(&mut self) {
-        let handles: Vec<u64> = self.opens.keys().copied().collect();
-        for handle in handles {
-            let _ = self.devfs.close(FileHandleId(handle));
-        }
-        self.opens.clear();
         for state in self.guests.values_mut() {
+            let handles: Vec<u64> = state.opens.keys().copied().collect();
+            for handle in handles {
+                let _ = self.devfs.close(FileHandleId(handle));
+            }
+            state.opens.clear();
             state.queue.clear();
         }
         self.paused = false;
@@ -334,7 +364,9 @@ impl Backend {
                 .record_audit(AuditEvent::WaitQueueOverflow { guest, depth });
             return Ok(());
         }
-        state.queue.push_back(request);
+        let stamp = self.arrivals;
+        self.arrivals += 1;
+        state.queue.push_back((stamp, request));
         if !self.paused {
             if let Some(response) = self.execute_next(guest) {
                 let state = self.guests.get_mut(&guest.0).expect("attached above");
@@ -394,8 +426,34 @@ impl Backend {
         responses
     }
 
+    /// Resumes a paused backend, draining *every* guest's backlog under
+    /// the active scheduling discipline: fair-share picks the backlogged
+    /// guest with least consumed service time per step (a light guest's
+    /// ops overtake a heavy neighbor's backlog); FIFO drains in global
+    /// arrival order. Each guest's own requests stay in FIFO order either
+    /// way. Returns `(guest, response)` in service order.
+    pub fn resume_all(&mut self) -> Vec<(VmId, WireResponse)> {
+        self.paused = false;
+        let mut responses = Vec::new();
+        loop {
+            let backlogged = self
+                .guests
+                .iter()
+                .filter(|(_, state)| !state.queue.is_empty())
+                .map(|(id, state)| (*id, state.queue.front().expect("non-empty").0));
+            let Some(guest) = self.sched.pick(backlogged) else {
+                break;
+            };
+            if let Some(response) = self.execute_next(VmId(guest)) {
+                responses.push((VmId(guest), response));
+            }
+        }
+        responses
+    }
+
     fn execute_next(&mut self, guest: VmId) -> Option<WireResponse> {
-        let request = self.guests.get_mut(&guest.0)?.queue.pop_front()?;
+        let (_, request) = self.guests.get_mut(&guest.0)?.queue.pop_front()?;
+        let started_ns = self.hv.borrow().clock().now_ns();
         self.hv.borrow().clock().advance(
             self.hv.borrow().cost().backend_dispatch_ns,
         );
@@ -403,26 +461,34 @@ impl Backend {
         // hypercall the driver performs for this request lands in the span
         // the frontend stamped on the wire (as do injected faults).
         self.hv.borrow_mut().set_current_span(SpanId(request.span));
-        if let Some(kind) = self.consult_fault_plan(&request) {
-            match self.inject_dispatch_fault(kind, guest, &request) {
-                InjectOutcome::Response(response) => {
-                    self.hv.borrow_mut().set_current_span(SpanId::NONE);
-                    return Some(response);
+        let outcome = 'serve: {
+            if let Some(kind) = self.consult_fault_plan(&request) {
+                match self.inject_dispatch_fault(kind, guest, &request) {
+                    InjectOutcome::Response(response) => break 'serve Some(response),
+                    InjectOutcome::NoResponse => break 'serve None,
+                    InjectOutcome::Proceed => {}
                 }
-                InjectOutcome::NoResponse => {
-                    self.hv.borrow_mut().set_current_span(SpanId::NONE);
-                    return None;
-                }
-                InjectOutcome::Proceed => {}
             }
-        }
-        self.ops_executed += 1;
-        let response = match self.dispatch(guest, request) {
-            Ok(response) => response,
-            Err(errno) => WireResponse::Err(errno),
+            self.ops_executed += 1;
+            Some(match self.dispatch(guest, request) {
+                Ok(response) => response,
+                Err(errno) => WireResponse::Err(errno),
+            })
         };
         self.hv.borrow_mut().set_current_span(SpanId::NONE);
-        Some(response)
+        // Charge the serving guest whatever virtual time its operation
+        // actually consumed (dispatch overhead plus every hypercall the
+        // driver made) — the fair-share discipline's input. Faulted
+        // dispatches charge too: injected work is still work.
+        let service_ns = self
+            .hv
+            .borrow()
+            .clock()
+            .now_ns()
+            .saturating_sub(started_ns)
+            .max(1);
+        self.sched.charge(guest.0, service_ns);
+        outcome
     }
 
     /// Asks the armed plan (if any) whether a fault fires on this dispatch.
@@ -511,23 +577,38 @@ impl Backend {
                     let _ = self.devfs.close(handle);
                     return Err(errno);
                 }
-                self.opens.insert(
-                    handle.0,
-                    OpenState {
-                        device,
-                        guest,
-                        flags: *flags,
-                    },
-                );
+                self.guests
+                    .get_mut(&guest.0)
+                    .ok_or(Errno::Einval)?
+                    .opens
+                    .insert(
+                        handle.0,
+                        OpenState {
+                            device,
+                            flags: *flags,
+                        },
+                    );
                 Ok(WireResponse::Value(handle.0 as i64))
             }
             op => {
                 let handle = FileHandleId(request.handle);
-                let open = *self.opens.get(&request.handle).ok_or(Errno::Ebadf)?;
-                if open.guest != guest {
-                    // A guest may only drive its own open files.
-                    return Err(Errno::Eperm);
-                }
+                // Per-guest handle tables: the fast path touches only the
+                // calling guest's table. A miss falls to the error path,
+                // which distinguishes a neighbor's handle (EPERM — a guest
+                // may only drive its own open files) from a handle nobody
+                // holds (EBADF); neighbors pay that scan only when already
+                // faulting.
+                let own = self
+                    .guests
+                    .get(&guest.0)
+                    .and_then(|state| state.opens.get(&request.handle))
+                    .copied();
+                let Some(open) = own else {
+                    let foreign = self.guests.iter().any(|(id, state)| {
+                        *id != guest.0 && state.opens.contains_key(&request.handle)
+                    });
+                    return Err(if foreign { Errno::Eperm } else { Errno::Ebadf });
+                };
                 let slot = self.devices.get(&open.device.0).ok_or(Errno::Enodev)?;
                 let ctx = OpenContext {
                     handle,
@@ -616,7 +697,9 @@ impl Backend {
                     WireOp::Release => {
                         let result = slot.ops.borrow_mut().release(ctx);
                         let _ = self.devfs.close(handle);
-                        self.opens.remove(&request.handle);
+                        if let Some(state) = self.guests.get_mut(&guest.0) {
+                            state.opens.remove(&request.handle);
+                        }
                         result.map(|()| WireResponse::Value(0))
                     }
                     WireOp::Open { .. } => unreachable!("handled above"),
@@ -675,9 +758,12 @@ impl Backend {
         forwarded
     }
 
-    /// Resolves the device behind a backend handle (machine plumbing).
+    /// Resolves the device behind a backend handle (machine plumbing):
+    /// scans the per-guest tables, since handle ids are globally unique.
     pub fn device_of_handle(&self, handle: u64) -> Option<DeviceId> {
-        self.opens.get(&handle).map(|open| open.device)
+        self.guests
+            .values()
+            .find_map(|state| state.opens.get(&handle).map(|open| open.device))
     }
 
     /// The kernel environment of a device (machine plumbing for device

@@ -34,6 +34,11 @@ use crate::proto::WireOp;
 /// and declares cold.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct GrantCacheKey {
+    /// Owning guest: cached declarations live in a per-guest grant shard
+    /// (ISSUE 10), so the key is guest-qualified — one guest's cache
+    /// entries can never be confused with (or evicted by key-collision
+    /// against) a neighbor's identical op shape.
+    pub guest: u32,
     /// Backend file handle the shape belongs to.
     pub handle: u64,
     /// Op discriminant: 0 = read, 1 = write, 2 = ioctl.
@@ -47,7 +52,12 @@ pub struct GrantCacheKey {
 impl GrantCacheKey {
     /// The cache key for `op` with grant set `grants`, or `None` when the
     /// shape is not cacheable.
-    pub fn for_op(handle: u64, op: &WireOp, grants: &[MemOpGrant]) -> Option<GrantCacheKey> {
+    pub fn for_op(
+        guest: u32,
+        handle: u64,
+        op: &WireOp,
+        grants: &[MemOpGrant],
+    ) -> Option<GrantCacheKey> {
         let (tag, cmd) = match op {
             WireOp::Read { .. } => (0u8, 0u32),
             WireOp::Write { .. } => (1, 0),
@@ -55,6 +65,7 @@ impl GrantCacheKey {
             _ => return None,
         };
         Some(GrantCacheKey {
+            guest,
             handle,
             op: tag,
             cmd,
@@ -186,6 +197,7 @@ mod tests {
 
     fn key(handle: u64, addr: u64) -> GrantCacheKey {
         GrantCacheKey::for_op(
+            1,
             handle,
             &WireOp::Read {
                 addr: GuestVirtAddr::new(addr),
@@ -197,6 +209,25 @@ mod tests {
             }],
         )
         .expect("read is cacheable")
+    }
+
+    #[test]
+    fn identical_shapes_of_different_guests_are_distinct_keys() {
+        let op = WireOp::Read {
+            addr: GuestVirtAddr::new(0x1000),
+            len: 16,
+        };
+        let grants = [MemOpGrant::CopyToGuest {
+            addr: GuestVirtAddr::new(0x1000),
+            len: 16,
+        }];
+        let mine = GrantCacheKey::for_op(1, 7, &op, &grants).expect("cacheable");
+        let theirs = GrantCacheKey::for_op(2, 7, &op, &grants).expect("cacheable");
+        assert_ne!(mine, theirs, "guest id must qualify the key");
+        let mut cache = GrantCache::new(4);
+        cache.insert(mine.clone(), GrantRef(7), |_| false);
+        assert_eq!(cache.lookup(&theirs), None, "no cross-guest hits");
+        assert_eq!(cache.lookup(&mine), Some(GrantRef(7)));
     }
 
     #[test]

@@ -34,6 +34,12 @@ use crate::proto::{WireOp, WireRequest, WireResponse};
 /// Ring depth both engines pipeline at (the fast path's depth-8 ring).
 pub const EXEC_RING_DEPTH: usize = 8;
 
+/// The guest id the single-guest engines run as. The grant table is
+/// guest-qualified (per-guest shards since ISSUE 10); a frame's guest
+/// identity comes from the channel it arrived on, never from the wire —
+/// the multi-guest engines in [`crate::multi`] route per-guest rings.
+pub const EXEC_GUEST: u32 = 1;
+
 /// A deterministic device model serving decoded wire requests.
 ///
 /// `serve` returns the response *and* the memory operations the driver
@@ -97,7 +103,8 @@ fn trace_grant(grant: &MemOpGrant) -> TraceGrant {
 /// A blocked operation (no grant attached, or the grant does not cover
 /// it) turns the response into `EFAULT` — the hypervisor refused the
 /// hypercall, so the driver's operation failed.
-fn dispatch(
+pub(crate) fn dispatch(
+    guest: u32,
     frame: &[u8],
     service: &mut dyn DeviceService,
     grants: &ShardedGrantTable,
@@ -111,7 +118,7 @@ fn dispatch(
     let mut blocked = false;
     for memop in &memops {
         let ok = match request.grant {
-            Some(grant) => grants.validate(grant, memop).is_ok(),
+            Some(grant) => grants.validate(guest, grant, memop).is_ok(),
             None => false,
         };
         blocked |= !ok;
@@ -183,6 +190,7 @@ impl VirtualEngine {
         match self.channel.take_request() {
             Ok(frame) => {
                 let response = dispatch(
+                    EXEC_GUEST,
                     &frame,
                     self.service.as_mut(),
                     &self.grants,
@@ -304,6 +312,7 @@ impl WallEngine {
                     loop {
                         if let Some(frame) = req_ring.try_pop() {
                             let response = dispatch(
+                                EXEC_GUEST,
                                 &frame,
                                 &mut service,
                                 &grants,
@@ -537,7 +546,7 @@ pub fn run_workload(
             .pop_front()
             .expect("completion without a pending span");
         if let Some(grant) = grant {
-            engine.grants().revoke(grant);
+            engine.grants().revoke(EXEC_GUEST, grant);
         }
         let now = engine.clock().now_ns();
         let (ok, value) = match WireResponse::decode(&frame) {
@@ -571,7 +580,7 @@ pub fn run_workload(
             Some(
                 engine
                     .grants()
-                    .declare(item.grants.clone())
+                    .declare(EXEC_GUEST, item.grants.clone())
                     .expect("workload stays under grant capacity"),
             )
         };

@@ -837,7 +837,7 @@ impl Frontend {
         enabled: bool,
     ) -> Result<(Option<GrantRef>, bool), Errno> {
         if self.fastpath {
-            if let Some(key) = GrantCacheKey::for_op(handle, op, &ops) {
+            if let Some(key) = GrantCacheKey::for_op(self.guest.0, handle, op, &ops) {
                 if let Some(grant) = self.grant_cache.lookup(&key) {
                     self.stats.grant_cache_hits += 1;
                     if enabled {

@@ -22,6 +22,13 @@
 //! * [`backend`] — the driver-VM side: per-guest wait queues capped at 100
 //!   operations (DoS guard, §5.1), thread marking, driver dispatch, and
 //!   asynchronous-notification forwarding.
+//! * [`fairq`] — the device-class-agnostic fair-share queue discipline
+//!   (the default since ISSUE 10): least-consumed-service-time pick with
+//!   arrival tie-break, shared by the GPU scheduler, the backend drain,
+//!   and the multi-guest engines.
+//! * [`multi`] — multi-guest execution substrates: per-guest ring
+//!   channels through the engine seam, per-guest wait-queue caps, and
+//!   fair-share backend service on both virtual and wall time.
 //! * [`info`] — device info modules and the virtual PCI bus (§5.1).
 //! * [`sharing`] — device-sharing policies: foreground/background graphics,
 //!   concurrent GPGPU, foreground-only input, exclusive camera/netmap
@@ -30,7 +37,9 @@
 pub mod backend;
 pub mod cache;
 pub mod exec;
+pub mod fairq;
 pub mod frontend;
+pub mod multi;
 pub mod info;
 pub mod memops;
 pub mod proto;
@@ -42,7 +51,11 @@ pub use exec::{
     run_workload, CvdEngine, DeviceService, ExecRun, ScriptedService, VirtualEngine, WallEngine,
     WorkloadOp, EXEC_RING_DEPTH,
 };
+pub use fairq::{FairSched, SchedPolicy};
 pub use frontend::{Frontend, IoctlKnowledge, OsPersonality};
+pub use multi::{
+    build_multi, Completion, MultiEngine, MultiVirtualEngine, MultiWallEngine, MULTI_QUEUE_CAP,
+};
 pub use info::{DeviceInfoModule, VirtualPciBus};
 pub use memops::HypercallMemOps;
 pub use proto::{WireOp, WireRequest, WireResponse};

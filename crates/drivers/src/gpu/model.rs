@@ -58,12 +58,20 @@ impl IrqReason {
 /// support to the device driver"). [`GpuSched::Fifo`] is the stock driver's
 /// behaviour; [`GpuSched::FairShare`] is that fix: queued-but-unstarted
 /// work is ordered by least-consumed engine time per guest.
+///
+/// Fair share is the *default* since ISSUE 10 promoted it from ablation
+/// knob to the shipped discipline (it matches `paradice_cvd::fairq`, the
+/// backend's cross-guest drain). The ablation now toggles *back* to FIFO
+/// to reproduce the §8 starvation baseline. With a single submitting
+/// guest the two are identical (least-consumed over one owner degrades to
+/// submission order), so the flip is invisible off the contended path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum GpuSched {
-    /// Global submission order (stock driver).
-    #[default]
+    /// Global submission order (stock driver; the ablation baseline).
     Fifo,
-    /// Weighted-fair queueing across submitting guests (the §8 extension).
+    /// Weighted-fair queueing across submitting guests (the §8 extension;
+    /// the default).
+    #[default]
     FairShare,
 }
 
@@ -176,7 +184,7 @@ impl RadeonGpu {
             fence_issued: 0,
             jobs: VecDeque::new(),
             fence_completed: 0,
-            sched: GpuSched::Fifo,
+            sched: GpuSched::default(),
             irq_status_page: None,
             irq_write_index: 0,
             vsync_enabled: false,
@@ -702,10 +710,18 @@ mod sched_tests {
     }
 
     #[test]
+    fn fair_share_is_the_default_policy() {
+        assert_eq!(GpuSched::default(), GpuSched::FairShare);
+        assert_eq!(gpu().sched(), GpuSched::FairShare);
+    }
+
+    #[test]
     fn fifo_starves_the_light_guest() {
-        // Stock behaviour (§8's limitation): guest A floods 10×10 ms jobs;
-        // guest B's 1 ms job, submitted just after, waits for all of them.
+        // Stock behaviour (§8's limitation), now the ablation's explicit
+        // toggle-back: guest A floods 10×10 ms jobs; guest B's 1 ms job,
+        // submitted just after, waits for all of them.
         let mut gpu = gpu();
+        gpu.set_sched(GpuSched::Fifo);
         gpu.env.set_current_guest(Some(VmId(1)));
         for _ in 0..10 {
             gpu.submit(render(10_000_000)).unwrap();

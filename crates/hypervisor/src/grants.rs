@@ -169,6 +169,15 @@ pub enum GrantError {
     },
     /// The table page is full (fixed capacity, one shared page).
     TableFull,
+    /// The reference names another guest's shard (multi-tenant tables
+    /// qualify every reference with its owning guest; spending a foreign
+    /// reference is refused before the owner's shard is even touched).
+    ForeignGuest {
+        /// The offending reference.
+        grant: GrantRef,
+        /// The guest that tried to spend it.
+        caller: u32,
+    },
 }
 
 impl fmt::Display for GrantError {
@@ -179,6 +188,9 @@ impl fmt::Display for GrantError {
                 write!(f, "memory operation not covered by {grant}")
             }
             GrantError::TableFull => f.write_str("grant table full"),
+            GrantError::ForeignGuest { grant, caller } => {
+                write!(f, "grant reference {grant} belongs to another guest (caller {caller})")
+            }
         }
     }
 }
@@ -200,7 +212,7 @@ pub const GRANT_TABLE_CAPACITY: usize = 128;
 /// making per-hypercall validation `O(log n)` instead of the old linear
 /// scan over every declared operation.
 #[derive(Debug, Default, Clone)]
-struct RangeIndex {
+pub(crate) struct RangeIndex {
     /// Range starts, ascending.
     starts: Vec<u64>,
     /// `prefix_max_end[i]` = max end over `starts[0..=i]`'s ranges.
@@ -234,8 +246,10 @@ impl RangeIndex {
 }
 
 /// The per-declaration validation index, built once at declare time.
+/// Shared with [`crate::shards`]: each per-guest shard snapshot holds the
+/// same per-kind sorted range indexes the virtual-time table uses.
 #[derive(Debug, Default)]
-struct GrantEntry {
+pub(crate) struct GrantEntry {
     /// The declarations as declared (kept for audits and tests).
     ops: Vec<MemOpGrant>,
     copy_from: RangeIndex,
@@ -248,7 +262,7 @@ struct GrantEntry {
 }
 
 impl GrantEntry {
-    fn build(ops: Vec<MemOpGrant>) -> GrantEntry {
+    pub(crate) fn build(ops: Vec<MemOpGrant>) -> GrantEntry {
         let mut copy_from = Vec::new();
         let mut copy_to = Vec::new();
         let mut unmap = Vec::new();
@@ -287,7 +301,7 @@ impl GrantEntry {
         }
     }
 
-    fn covers(&self, request: &MemOpRequest) -> bool {
+    pub(crate) fn covers(&self, request: &MemOpRequest) -> bool {
         match *request {
             MemOpRequest::CopyFromGuest { addr, len } => {
                 self.copy_from.covers(addr.raw(), len)

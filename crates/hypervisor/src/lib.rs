@@ -64,7 +64,7 @@ pub use audit::{AuditEvent, AuditLog, BlockedBy};
 pub use channel::{Channel, ChannelError, ChannelStats, TransportMode, WireCodec};
 pub use clock::{ms, us, Clock, ClockSource, CostModel, SimClock, WallClock};
 pub use engine::{Engine, EngineError, EngineKind};
-pub use shards::{ShardedGrantTable, GRANT_SHARDS, RETIRED_CAP};
+pub use shards::{ShardedGrantTable, GUEST_SLOTS, MAX_GUESTS, RETIRED_CAP, SEQ_BITS};
 pub use grants::{GrantError, GrantRef, GrantTable, MemOpGrant, MemOpRequest, GRANT_TABLE_CAPACITY};
 pub use hv::{BatchMemOp, BatchMemOpResult, DmaPort, HvError, Hypervisor};
 pub use regions::RegionManager;

@@ -1,4 +1,4 @@
-//! The grant table behind a sharded, lock-free-read structure.
+//! The multi-tenant grant table: per-guest shards with lock-free reads.
 //!
 //! [`GrantTable`](crate::grants::GrantTable) is the virtual-time table:
 //! single-threaded, stepped under `RefCell` borrows. On the wall-clock
@@ -8,12 +8,40 @@
 //! exactly as the paper's hypercall validation does (§4.1), and a mutex
 //! there would serialize the two sides the engine exists to overlap.
 //!
-//! Design: declarations are sharded by grant-reference low bits. Each
-//! shard publishes an immutable snapshot of its live declarations through
-//! an `AtomicPtr`; readers announce themselves on a per-shard `in_flight`
-//! gate, load the pointer once, and scan — no lock, no waiting. Writers
-//! (declare/revoke) take the shard's writer mutex, build the next
-//! snapshot copy-on-write, swap the pointer, and *retire* the old
+//! # Per-guest sharding
+//!
+//! Declarations are sharded by *guest* first. Every [`GrantRef`] is
+//! qualified with its owning guest in the reference's high bits
+//! ([`GUEST_BITS`]); the low [`SEQ_BITS`] are a per-guest monotonic
+//! sequence. Two consequences, both load-bearing for multi-tenancy:
+//!
+//! * **Isolation of contention.** One guest's grant churn mutates only its
+//!   own shard (own snapshot pointer, own writer mutex, own `next_seq` and
+//!   `outstanding` counters), so a noisy neighbor never contends on
+//!   another guest's validation fast path. This is the shared-metadata
+//!   separation Kedia & Bansal identify as the scale separator.
+//! * **Attribution before access.** A reference forged to name another
+//!   guest's shard fails the guest-bits comparison in [`validate`]
+//!   (`GrantError::ForeignGuest`) before the owner's shard is even
+//!   touched — cross-guest probing cannot generate load on the victim.
+//!
+//! Each per-guest snapshot stores, per declaration, the same per-kind
+//! sorted range index the virtual-time table builds
+//! ([`GrantEntry`](crate::grants::GrantEntry)): validation is a binary
+//! search over references plus an `O(log n)` coverage check, entries
+//! shared by `Arc` so copy-on-write republication never rebuilds them.
+//!
+//! Capacity is accounted per guest ([`GRANT_TABLE_CAPACITY`] outstanding
+//! declarations each — the paper's one shared table page *per guest pair*,
+//! §5.1), so a guest flooding declarations exhausts only its own table.
+//!
+//! # Read/write protocol (unchanged from the race-checked design)
+//!
+//! Each shard publishes an immutable snapshot of its live declarations
+//! through an `AtomicPtr`; readers announce themselves on a per-shard
+//! `in_flight` gate, load the pointer once, and scan — no lock, no
+//! waiting. Writers (declare/revoke) take the shard's writer mutex, build
+//! the next snapshot copy-on-write, swap the pointer, and *retire* the old
 //! snapshot into the shard.
 //!
 //! # Bounded reclamation (DESIGN.md §14)
@@ -41,18 +69,37 @@
 //! Readers stay wait-free (two uncontended-in-the-common-case RMWs per
 //! validate); the writer blocks only on overflow, amortized over
 //! [`RETIRED_CAP`] mutations. The per-shard bound makes total retired
-//! memory `O(GRANT_SHARDS * RETIRED_CAP)` instead of `O(mutations)`.
+//! memory `O(guests * RETIRED_CAP)` instead of `O(mutations)`. The
+//! per-guest protocol instances all execute the orderings declared once
+//! in [`ATOMIC_SITES`] — one logical site, many instances — so the MO/RC
+//! lint and the `race-shards` interleaving model cover every guest's
+//! shard with the same proof.
 
 use std::fmt;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::atomic::{
     Access, AccessKind, AtomicPtr, AtomicU32, AtomicUsize, Edge, MemOrder, Role, SiteSpec,
 };
-use crate::grants::{GrantError, GrantRef, MemOpGrant, MemOpRequest, GRANT_TABLE_CAPACITY};
+use crate::grants::{
+    GrantEntry, GrantError, GrantRef, MemOpGrant, MemOpRequest, GRANT_TABLE_CAPACITY,
+};
 
-/// Number of shards. Power of two so the shard of a reference is a mask.
-pub const GRANT_SHARDS: usize = 8;
+/// High bits of a [`GrantRef`] carrying the owning guest id.
+pub const GUEST_BITS: u32 = 12;
+/// Low bits of a [`GrantRef`] carrying the per-guest sequence number.
+pub const SEQ_BITS: u32 = 32 - GUEST_BITS;
+/// Exclusive upper bound on guest ids a reference can carry (4096).
+pub const MAX_GUESTS: u32 = 1 << GUEST_BITS;
+/// Mask extracting the per-guest sequence from a reference.
+pub const SEQ_MASK: u32 = (1 << SEQ_BITS) - 1;
+
+/// Default number of per-guest shard slots when the guest population is
+/// not known up front ([`ShardedGrantTable::new`]). Guests hash onto
+/// slots by id modulo the slot count; size the table with
+/// [`ShardedGrantTable::with_guests`] to give every guest an exclusive
+/// shard (the scale bench does, at 1–1000 guests).
+pub const GUEST_SLOTS: usize = 64;
 
 /// Per-shard cap on retired snapshots before the writer reclaims them.
 pub const RETIRED_CAP: usize = 32;
@@ -126,7 +173,10 @@ static OUTSTANDING_SITE: SiteSpec = SiteSpec {
 
 /// This module's declared atomic-site table, aggregated by
 /// [`crate::atomic::all_sites`] for the MO/RC lint passes and the
-/// `paradice-verify` interleaving checker.
+/// `paradice-verify` interleaving checker. The per-guest refactor added
+/// no new sites: the guest shards are *instances* of the same four
+/// logical sites (the counters moved from one global instance to one per
+/// guest, executing the identical declared orderings).
 pub static ATOMIC_SITES: [&SiteSpec; 4] = [
     &PTR_SITE,
     &INFLIGHT_SITE,
@@ -134,9 +184,15 @@ pub static ATOMIC_SITES: [&SiteSpec; 4] = [
     &OUTSTANDING_SITE,
 ];
 
-/// One shard's published state: the live declarations homed here.
-type Snapshot = Vec<(GrantRef, Vec<MemOpGrant>)>;
+/// One shard's published state: the live declarations homed here, sorted
+/// by reference for binary-search lookup. Entries are `Arc`-shared so a
+/// copy-on-write republication clones `(ref, ptr)` pairs, never the
+/// per-kind range indexes behind them.
+type Snapshot = Vec<(GrantRef, Arc<GrantEntry>)>;
 
+/// One guest's shard: snapshot, reclamation gate, writer mutex, and the
+/// guest-local reference/capacity counters. Nothing in here is shared
+/// with any other guest.
 struct Shard {
     /// The current snapshot. Readers: one gate enter + one pointer load.
     current: AtomicPtr<Snapshot>,
@@ -150,6 +206,11 @@ struct Shard {
     /// retired — moving the `Vec` headers out would free them.
     #[allow(clippy::vec_box)]
     writer: Mutex<Vec<Box<Snapshot>>>,
+    /// Per-guest monotonic sequence (the low [`SEQ_BITS`] of issued refs).
+    next_seq: AtomicU32,
+    /// Per-guest outstanding declarations, capped at
+    /// [`GRANT_TABLE_CAPACITY`].
+    outstanding: AtomicUsize,
 }
 
 /// Decrements the reader gate even if the scan closure panics — a stuck
@@ -168,6 +229,8 @@ impl Shard {
             current: AtomicPtr::new(Box::into_raw(Box::new(Snapshot::new()))),
             in_flight: AtomicUsize::new(0),
             writer: Mutex::new(Vec::new()),
+            next_seq: AtomicU32::new(0),
+            outstanding: AtomicUsize::new(0),
         }
     }
 
@@ -224,67 +287,113 @@ impl Shard {
     }
 }
 
-/// A grant table whose validation path is wait-free for readers and safe
-/// to share across the wall-clock engine's threads (`Sync` by
-/// construction: atomics plus a writer-side mutex).
+/// A multi-tenant grant table: per-guest shards, wait-free validation,
+/// safe to share across the wall-clock engine's threads (`Sync` by
+/// construction: atomics plus per-shard writer mutexes).
 pub struct ShardedGrantTable {
-    shards: [Shard; GRANT_SHARDS],
-    next_ref: AtomicU32,
-    outstanding: AtomicUsize,
+    shards: Vec<Shard>,
 }
 
 impl ShardedGrantTable {
-    /// An empty table.
+    /// An empty table with [`GUEST_SLOTS`] per-guest slots.
     pub fn new() -> Self {
+        Self::with_guests(GUEST_SLOTS)
+    }
+
+    /// An empty table sized for `guests` distinct guest ids, each with an
+    /// exclusive shard. Guest ids hash onto slots modulo the (power of
+    /// two, at least one) slot count, so sizing at or above the actual
+    /// population guarantees zero cross-guest sharing.
+    pub fn with_guests(guests: usize) -> Self {
+        let slots = guests.clamp(1, MAX_GUESTS as usize).next_power_of_two();
         ShardedGrantTable {
-            shards: std::array::from_fn(|_| Shard::new()),
-            next_ref: AtomicU32::new(0),
-            outstanding: AtomicUsize::new(0),
+            shards: (0..slots).map(|_| Shard::new()).collect(),
         }
     }
 
-    fn shard_of(&self, grant: GrantRef) -> &Shard {
-        &self.shards[(grant.0 as usize) & (GRANT_SHARDS - 1)]
+    /// The guest id a reference is qualified with.
+    pub fn guest_of(grant: GrantRef) -> u32 {
+        grant.0 >> SEQ_BITS
     }
 
-    /// Declares the legitimate operations of one file operation.
-    /// Semantics mirror [`GrantTable::declare`](crate::grants::GrantTable::declare):
-    /// fixed total capacity, monotonically increasing references.
+    /// Composes a guest-qualified reference (test/adversary helper; the
+    /// table itself allocates via [`declare`](Self::declare)).
+    pub fn compose_ref(guest: u32, seq: u32) -> GrantRef {
+        debug_assert!(guest < MAX_GUESTS && seq <= SEQ_MASK);
+        GrantRef((guest << SEQ_BITS) | (seq & SEQ_MASK))
+    }
+
+    fn shard_of(&self, guest: u32) -> &Shard {
+        &self.shards[(guest as usize) & (self.shards.len() - 1)]
+    }
+
+    /// Declares the legitimate operations of one file operation on behalf
+    /// of `guest`. Semantics mirror
+    /// [`GrantTable::declare`](crate::grants::GrantTable::declare) scoped
+    /// to one guest: per-guest capacity, per-guest monotonically
+    /// increasing references (the guest id rides in the reference's high
+    /// bits).
+    ///
+    /// `guest` must be below [`MAX_GUESTS`] — ids are host-assigned, so a
+    /// larger one is a programming error, not hostile input.
     ///
     /// # Errors
     ///
     /// [`GrantError::TableFull`] at [`GRANT_TABLE_CAPACITY`] outstanding
-    /// declarations.
-    pub fn declare(&self, ops: Vec<MemOpGrant>) -> Result<GrantRef, GrantError> {
+    /// declarations *for this guest* (neighbors are unaffected), or when
+    /// the guest's [`SEQ_BITS`]-wide reference space is exhausted
+    /// (references never restart, so stale references can never alias).
+    pub fn declare(&self, guest: u32, ops: Vec<MemOpGrant>) -> Result<GrantRef, GrantError> {
+        assert!(guest < MAX_GUESTS, "guest id {guest} exceeds MAX_GUESTS");
+        let shard = self.shard_of(guest);
         // Optimistic reservation; raced declares both fitting under the
         // capacity is fine, overshoot is corrected below.
-        if self.outstanding.fetch_add(1, &OUTSTANDING_RESERVE) >= GRANT_TABLE_CAPACITY {
-            self.outstanding.fetch_sub(1, &OUTSTANDING_RELEASE);
+        if shard.outstanding.fetch_add(1, &OUTSTANDING_RESERVE) >= GRANT_TABLE_CAPACITY {
+            shard.outstanding.fetch_sub(1, &OUTSTANDING_RELEASE);
             return Err(GrantError::TableFull);
         }
-        let reference = GrantRef(self.next_ref.fetch_add(1, &NEXT_REF_ALLOCATE));
-        self.shard_of(reference)
-            .mutate(|snapshot| snapshot.push((reference, ops)));
+        let seq = shard.next_seq.fetch_add(1, &NEXT_REF_ALLOCATE);
+        if seq > SEQ_MASK {
+            // Reference space exhausted: fail closed rather than alias.
+            shard.outstanding.fetch_sub(1, &OUTSTANDING_RELEASE);
+            return Err(GrantError::TableFull);
+        }
+        let reference = Self::compose_ref(guest, seq);
+        let entry = Arc::new(GrantEntry::build(ops));
+        // Per-guest sequences are monotonic, so the new reference sorts
+        // after everything live: push keeps the snapshot sorted.
+        shard.mutate(|snapshot| snapshot.push((reference, entry)));
         Ok(reference)
     }
 
     /// Validates `request` against the declarations of `grant` without
-    /// taking any lock — the engine's per-op hot path.
+    /// taking any lock — the engine's per-op hot path. A reference whose
+    /// guest bits disagree with `guest` is refused before the owning
+    /// shard is touched.
     ///
     /// # Errors
     ///
-    /// [`GrantError::UnknownRef`] or [`GrantError::NotCovered`].
-    pub fn validate(&self, grant: GrantRef, request: &MemOpRequest) -> Result<(), GrantError> {
-        self.shard_of(grant).with_snapshot(|snapshot| {
-            match snapshot.iter().find(|(r, _)| *r == grant) {
-                Some((_, ops)) => {
-                    if ops.iter().any(|g| g.covers(request)) {
+    /// [`GrantError::ForeignGuest`], [`GrantError::UnknownRef`] or
+    /// [`GrantError::NotCovered`].
+    pub fn validate(
+        &self,
+        guest: u32,
+        grant: GrantRef,
+        request: &MemOpRequest,
+    ) -> Result<(), GrantError> {
+        if Self::guest_of(grant) != guest {
+            return Err(GrantError::ForeignGuest { grant, caller: guest });
+        }
+        self.shard_of(guest).with_snapshot(|snapshot| {
+            match snapshot.binary_search_by_key(&grant, |(r, _)| *r) {
+                Ok(index) => {
+                    if snapshot[index].1.covers(request) {
                         Ok(())
                     } else {
                         Err(GrantError::NotCovered { grant })
                     }
                 }
-                None => Err(GrantError::UnknownRef { grant }),
+                Err(_) => Err(GrantError::UnknownRef { grant }),
             }
         })
     }
@@ -297,26 +406,48 @@ impl ShardedGrantTable {
     /// `(index, error)` for the first uncovered request.
     pub fn validate_batch(
         &self,
+        guest: u32,
         grant: GrantRef,
         requests: &[MemOpRequest],
     ) -> Result<(), (usize, GrantError)> {
         for (index, request) in requests.iter().enumerate() {
-            self.validate(grant, request).map_err(|err| (index, err))?;
+            self.validate(guest, grant, request).map_err(|err| (index, err))?;
         }
         Ok(())
     }
 
-    /// Revokes a declaration; `true` if the reference was live.
-    pub fn revoke(&self, grant: GrantRef) -> bool {
-        let removed = self.shard_of(grant).mutate(|snapshot| {
+    /// Revokes a declaration; `true` if the reference was live. Foreign
+    /// references (guest bits ≠ `guest`) are inert, exactly like revoking
+    /// a reference that was never issued.
+    pub fn revoke(&self, guest: u32, grant: GrantRef) -> bool {
+        if Self::guest_of(grant) != guest {
+            return false;
+        }
+        let shard = self.shard_of(guest);
+        let removed = shard.mutate(|snapshot| {
             let before = snapshot.len();
             snapshot.retain(|(r, _)| *r != grant);
             before != snapshot.len()
         });
         if removed {
-            self.outstanding.fetch_sub(1, &OUTSTANDING_RELEASE);
+            shard.outstanding.fetch_sub(1, &OUTSTANDING_RELEASE);
         }
         removed
+    }
+
+    /// Revokes everything one guest declared (guest teardown / flood
+    /// containment) without touching any neighbor's shard. Returns the
+    /// number of declarations revoked; the guest's reference numbering
+    /// continues so stale references can never alias new ones.
+    pub fn revoke_guest(&self, guest: u32) -> usize {
+        let shard = self.shard_of(guest);
+        let revoked = shard.mutate(|snapshot| {
+            let before = snapshot.len();
+            snapshot.retain(|(r, _)| Self::guest_of(*r) != guest);
+            before - snapshot.len()
+        });
+        shard.outstanding.fetch_sub(revoked, &OUTSTANDING_RELEASE);
+        revoked
     }
 
     /// Revokes everything (driver-VM failure containment). Returns the
@@ -325,15 +456,32 @@ impl ShardedGrantTable {
     pub fn revoke_all(&self) -> usize {
         let mut revoked = 0;
         for shard in &self.shards {
-            revoked += shard.mutate(|snapshot| std::mem::take(snapshot).len());
+            let cleared = shard.mutate(|snapshot| std::mem::take(snapshot).len());
+            shard.outstanding.fetch_sub(cleared, &OUTSTANDING_RELEASE);
+            revoked += cleared;
         }
-        self.outstanding.fetch_sub(revoked, &OUTSTANDING_RELEASE);
         revoked
     }
 
-    /// Outstanding declarations (racy snapshot, exact when quiescent).
+    /// Outstanding declarations across all guests (racy snapshot, exact
+    /// when quiescent).
     pub fn outstanding(&self) -> usize {
-        self.outstanding.load(&OUTSTANDING_OBSERVE)
+        self.shards
+            .iter()
+            .map(|s| s.outstanding.load(&OUTSTANDING_OBSERVE))
+            .sum()
+    }
+
+    /// Outstanding declarations of one guest (racy snapshot, exact when
+    /// quiescent). With exact sizing this is exactly the guest's count;
+    /// with hashed slots it covers the slot's residents.
+    pub fn outstanding_of(&self, guest: u32) -> usize {
+        self.shard_of(guest).outstanding.load(&OUTSTANDING_OBSERVE)
+    }
+
+    /// Number of per-guest shard slots.
+    pub fn slots(&self) -> usize {
+        self.shards.len()
     }
 
     /// Retired snapshots currently held alive for in-flight readers —
@@ -370,7 +518,7 @@ impl Drop for ShardedGrantTable {
 impl fmt::Debug for ShardedGrantTable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ShardedGrantTable")
-            .field("shards", &GRANT_SHARDS)
+            .field("slots", &self.shards.len())
             .field("outstanding", &self.outstanding())
             .field("retired_snapshots", &self.retired_snapshots())
             .finish()
@@ -381,7 +529,6 @@ impl fmt::Debug for ShardedGrantTable {
 mod tests {
     use super::*;
     use paradice_mem::GuestVirtAddr;
-    use std::sync::Arc;
 
     fn va(x: u64) -> GuestVirtAddr {
         GuestVirtAddr::new(x)
@@ -398,18 +545,18 @@ mod tests {
     #[test]
     fn declare_validate_revoke_matches_the_flat_table() {
         let table = ShardedGrantTable::new();
-        let grant = table.declare(vec![read_grant(0x1000, 64)]).expect("declare");
+        let grant = table.declare(1, vec![read_grant(0x1000, 64)]).expect("declare");
         assert_eq!(table.outstanding(), 1);
-        table.validate(grant, &read_req(0x1000, 64)).expect("covered");
-        table.validate(grant, &read_req(0x1020, 32)).expect("sub-range");
+        table.validate(1, grant, &read_req(0x1000, 64)).expect("covered");
+        table.validate(1, grant, &read_req(0x1020, 32)).expect("sub-range");
         assert_eq!(
-            table.validate(grant, &read_req(0x1000, 65)),
+            table.validate(1, grant, &read_req(0x1000, 65)),
             Err(GrantError::NotCovered { grant })
         );
-        assert!(table.revoke(grant));
-        assert!(!table.revoke(grant), "double revoke is inert");
+        assert!(table.revoke(1, grant));
+        assert!(!table.revoke(1, grant), "double revoke is inert");
         assert_eq!(
-            table.validate(grant, &read_req(0x1000, 64)),
+            table.validate(1, grant, &read_req(0x1000, 64)),
             Err(GrantError::UnknownRef { grant })
         );
         assert_eq!(table.outstanding(), 0);
@@ -418,40 +565,94 @@ mod tests {
     #[test]
     fn batch_validation_is_all_or_nothing() {
         let table = ShardedGrantTable::new();
-        let grant = table.declare(vec![read_grant(0x1000, 64)]).expect("declare");
+        let grant = table.declare(1, vec![read_grant(0x1000, 64)]).expect("declare");
         table
-            .validate_batch(grant, &[read_req(0x1000, 8), read_req(0x1008, 8)])
+            .validate_batch(1, grant, &[read_req(0x1000, 8), read_req(0x1008, 8)])
             .expect("both covered");
         let err = table
-            .validate_batch(grant, &[read_req(0x1000, 8), read_req(0x2000, 8)])
+            .validate_batch(1, grant, &[read_req(0x1000, 8), read_req(0x2000, 8)])
             .expect_err("second not covered");
         assert_eq!(err, (1, GrantError::NotCovered { grant }));
     }
 
     #[test]
-    fn capacity_is_enforced_and_released() {
-        let table = ShardedGrantTable::new();
+    fn capacity_is_per_guest() {
+        let table = ShardedGrantTable::with_guests(4);
         let refs: Vec<_> = (0..GRANT_TABLE_CAPACITY)
-            .map(|i| table.declare(vec![read_grant(i as u64 * 0x1000, 16)]).expect("fits"))
+            .map(|i| {
+                table
+                    .declare(1, vec![read_grant(i as u64 * 0x1000, 16)])
+                    .expect("fits")
+            })
             .collect();
         assert_eq!(
-            table.declare(vec![read_grant(0, 1)]),
+            table.declare(1, vec![read_grant(0, 1)]),
             Err(GrantError::TableFull)
         );
-        assert!(table.revoke(refs[7]));
-        table.declare(vec![read_grant(0, 1)]).expect("slot freed");
+        // A flooding neighbor exhausts only its own table: guest 2 still
+        // has its full capacity.
+        table.declare(2, vec![read_grant(0, 1)]).expect("neighbor unaffected");
+        assert!(table.revoke(1, refs[7]));
+        table.declare(1, vec![read_grant(0, 1)]).expect("slot freed");
+    }
+
+    #[test]
+    fn cross_guest_references_are_foreign_before_the_shard_is_touched() {
+        let table = ShardedGrantTable::with_guests(4);
+        let owner_ref = table.declare(2, vec![read_grant(0x1000, 64)]).expect("declare");
+        // Guest 1 spends guest 2's (perfectly valid) reference: refused
+        // with attribution, not UnknownRef.
+        assert_eq!(
+            table.validate(1, owner_ref, &read_req(0x1000, 8)),
+            Err(GrantError::ForeignGuest { grant: owner_ref, caller: 1 })
+        );
+        // A forged reference naming guest 2's shard from guest 1 is
+        // equally foreign; and revoke is inert.
+        let forged = ShardedGrantTable::compose_ref(2, 0);
+        assert_eq!(
+            table.validate(1, forged, &read_req(0x1000, 8)),
+            Err(GrantError::ForeignGuest { grant: forged, caller: 1 })
+        );
+        assert!(!table.revoke(1, forged));
+        // The owner is untouched throughout.
+        table.validate(2, owner_ref, &read_req(0x1000, 8)).expect("owner fine");
+        assert_eq!(table.outstanding_of(2), 1);
+    }
+
+    #[test]
+    fn guest_ids_ride_in_the_reference_high_bits() {
+        let table = ShardedGrantTable::with_guests(1024);
+        for guest in [0u32, 1, 63, 64, 999] {
+            let r = table.declare(guest, vec![read_grant(0, 8)]).expect("declare");
+            assert_eq!(ShardedGrantTable::guest_of(r), guest);
+        }
+    }
+
+    #[test]
+    fn revoke_guest_clears_only_that_guest() {
+        let table = ShardedGrantTable::with_guests(8);
+        for i in 0..5u64 {
+            table.declare(1, vec![read_grant(i * 0x100, 8)]).expect("declare");
+        }
+        let neighbor = table.declare(2, vec![read_grant(0x9000, 8)]).expect("declare");
+        assert_eq!(table.revoke_guest(1), 5);
+        assert_eq!(table.outstanding_of(1), 0);
+        table.validate(2, neighbor, &read_req(0x9000, 8)).expect("neighbor live");
+        assert_eq!(table.outstanding(), 1);
     }
 
     #[test]
     fn revoke_all_empties_every_shard_without_reusing_refs() {
         let table = ShardedGrantTable::new();
-        let first = table.declare(vec![read_grant(0, 8)]).expect("declare");
+        let first = table.declare(1, vec![read_grant(0, 8)]).expect("declare");
         for i in 1..20u64 {
-            table.declare(vec![read_grant(i * 0x100, 8)]).expect("declare");
+            table
+                .declare(1 + (i as u32 % 3), vec![read_grant(i * 0x100, 8)])
+                .expect("declare");
         }
         assert_eq!(table.revoke_all(), 20);
         assert_eq!(table.outstanding(), 0);
-        let fresh = table.declare(vec![read_grant(0, 8)]).expect("declare");
+        let fresh = table.declare(1, vec![read_grant(0, 8)]).expect("declare");
         assert!(fresh.0 > first.0, "references never restart");
     }
 
@@ -459,34 +660,34 @@ mod tests {
     fn retired_snapshots_track_mutations() {
         let table = ShardedGrantTable::new();
         assert_eq!(table.retired_snapshots(), 0);
-        let grant = table.declare(vec![read_grant(0, 8)]).expect("declare");
+        let grant = table.declare(1, vec![read_grant(0, 8)]).expect("declare");
         assert_eq!(table.retired_snapshots(), 1);
-        table.revoke(grant);
+        table.revoke(1, grant);
         assert_eq!(table.retired_snapshots(), 2);
     }
 
     /// ISSUE 9 satellite: the retired list used to grow with every
     /// mutation until table drop; it is now reclaimed past
-    /// [`RETIRED_CAP`] per shard.
+    /// [`RETIRED_CAP`] per shard — and since ISSUE 10 a single guest's
+    /// churn is confined to a single shard's bound.
     #[test]
     fn retired_snapshots_are_bounded_under_churn() {
         let table = ShardedGrantTable::new();
         for i in 0..10_000u64 {
-            let g = table.declare(vec![read_grant(i * 0x10, 8)]).expect("declare");
-            assert!(table.revoke(g));
+            let g = table.declare(1, vec![read_grant(i * 0x10, 8)]).expect("declare");
+            assert!(table.revoke(1, g));
             assert!(
-                table.retired_snapshots() <= GRANT_SHARDS * RETIRED_CAP,
-                "retired list escaped the bound at mutation {i}"
+                table.retired_snapshots() <= RETIRED_CAP + 1,
+                "retired list escaped the single-shard bound at mutation {i}"
             );
         }
-        assert!(table.retired_snapshots() <= GRANT_SHARDS * RETIRED_CAP);
     }
 
     #[test]
     fn concurrent_readers_never_block_or_misjudge() {
-        let table = Arc::new(ShardedGrantTable::new());
+        let table = Arc::new(ShardedGrantTable::with_guests(8));
         let stable = table
-            .declare(vec![read_grant(0x9000, 4096)])
+            .declare(1, vec![read_grant(0x9000, 4096)])
             .expect("declare");
         let mut readers = Vec::new();
         for _ in 0..4 {
@@ -494,9 +695,10 @@ mod tests {
             readers.push(std::thread::spawn(move || {
                 for i in 0..20_000u64 {
                     // The stable grant must always validate, regardless of
-                    // the churn the writer thread is causing.
+                    // the churn the writer thread is causing — here the
+                    // churn even lives in the same guest's shard.
                     table
-                        .validate(stable, &read_req(0x9000 + (i % 4000), 16))
+                        .validate(1, stable, &read_req(0x9000 + (i % 4000), 16))
                         .expect("stable grant always covered");
                 }
             }));
@@ -506,14 +708,14 @@ mod tests {
             std::thread::spawn(move || {
                 for i in 0..2_000u64 {
                     let g = table
-                        .declare(vec![read_grant(i * 0x10, 8)])
+                        .declare(1, vec![read_grant(i * 0x10, 8)])
                         .expect("churn declare");
-                    assert!(table.revoke(g));
+                    assert!(table.revoke(1, g));
                     // The reclamation bound must hold *during* the churn,
                     // with readers pinning snapshots the whole time.
                     if i.is_multiple_of(128) {
                         assert!(
-                            table.retired_snapshots() <= GRANT_SHARDS * RETIRED_CAP,
+                            table.retired_snapshots() <= 8 * RETIRED_CAP,
                             "retired list escaped the bound mid-churn"
                         );
                     }
@@ -526,8 +728,32 @@ mod tests {
         writer.join().expect("writer");
         assert_eq!(table.outstanding(), 1);
         assert!(
-            table.retired_snapshots() <= GRANT_SHARDS * RETIRED_CAP,
+            table.retired_snapshots() <= 8 * RETIRED_CAP,
             "retired list escaped the bound after churn"
         );
+    }
+
+    /// A heavy neighbor's churn must not grow the victim's shard
+    /// metadata: with exact sizing the two guests share nothing.
+    #[test]
+    fn neighbor_churn_leaves_the_victim_shard_untouched() {
+        let table = Arc::new(ShardedGrantTable::with_guests(2));
+        let victim = table.declare(0, vec![read_grant(0x4000, 64)]).expect("declare");
+        let churner = {
+            let table = Arc::clone(&table);
+            std::thread::spawn(move || {
+                for i in 0..5_000u64 {
+                    let g = table.declare(1, vec![read_grant(i * 8, 8)]).expect("declare");
+                    table.revoke(1, g);
+                }
+            })
+        };
+        for i in 0..20_000u64 {
+            table
+                .validate(0, victim, &read_req(0x4000 + (i % 60), 4))
+                .expect("victim validate never disturbed");
+        }
+        churner.join().expect("churner");
+        assert_eq!(table.outstanding_of(0), 1);
     }
 }

@@ -125,6 +125,7 @@ fn shape_key(shape: u8) -> GrantCacheKey {
     let addr = GuestVirtAddr::new(u64::from(shape) * 0x1000);
     GrantCacheKey::for_op(
         1,
+        1,
         &WireOp::Read { addr, len: 16 },
         &[MemOpGrant::CopyToGuest { addr, len: 16 }],
     )

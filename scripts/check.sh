@@ -168,6 +168,51 @@ if [ "$WALL_PPS" -lt 10000 ]; then
     exit 1
 fi
 
+echo "==> multi-tenant scale smoke (100 guests, fair-share flood bounds)"
+# Smoke sizing stands up 1/10/100 guests of mixed workloads on both
+# substrates plus the 1-light-vs-99-heavy flood. Gates: 100 guests must
+# stand up; the light guest's p99 under flood must stay below the
+# committed bound (10 ms virtual — deterministic; 100 ms wall — loose for
+# loaded CI boxes); aggregate throughput at 100 guests must retain a
+# committed fraction of the device-bound 1-guest rate (the device
+# serializes, so 1-guest x N is not the ideal): >=250/1000 virtual,
+# >=100/1000 wall.
+cargo run -q --release -p paradice-bench --bin experiments -- --scale --smoke
+scale_metric() {
+    grep "\"$1\"" BENCH_scale.json \
+        | sed -n "s/.*\"$1\": *\([0-9][0-9]*\).*/\1/p"
+}
+SCALE_GUESTS="$(scale_metric max_guests)"
+SCALE_VLIGHT="$(scale_metric virtual_light_p99_under_flood_ns)"
+SCALE_WLIGHT="$(scale_metric wall_light_p99_under_flood_ns)"
+SCALE_VFRAC="$(scale_metric virtual_throughput_fraction_x1000_at_100)"
+SCALE_WFRAC="$(scale_metric wall_throughput_fraction_x1000_at_100)"
+if [ -z "$SCALE_GUESTS" ] || [ -z "$SCALE_VLIGHT" ] || [ -z "$SCALE_WLIGHT" ] \
+    || [ -z "$SCALE_VFRAC" ] || [ -z "$SCALE_WFRAC" ]; then
+    echo "ERROR: BENCH_scale.json lacks the scale gate metrics" >&2
+    exit 1
+fi
+if [ "$SCALE_GUESTS" -lt 100 ]; then
+    echo "ERROR: scale smoke stood up only ${SCALE_GUESTS} guests (< 100)" >&2
+    exit 1
+fi
+if [ "$SCALE_VLIGHT" -ge 10000000 ]; then
+    echo "ERROR: virtual light-guest p99 under flood ${SCALE_VLIGHT}ns >= 10ms" >&2
+    exit 1
+fi
+if [ "$SCALE_WLIGHT" -ge 100000000 ]; then
+    echo "ERROR: wall light-guest p99 under flood ${SCALE_WLIGHT}ns >= 100ms" >&2
+    exit 1
+fi
+if [ "$SCALE_VFRAC" -lt 250 ]; then
+    echo "ERROR: virtual aggregate throughput at 100 guests is ${SCALE_VFRAC}/1000 of the 1-guest rate (< 250)" >&2
+    exit 1
+fi
+if [ "$SCALE_WFRAC" -lt 100 ]; then
+    echo "ERROR: wall aggregate throughput at 100 guests is ${SCALE_WFRAC}/1000 of the 1-guest rate (< 100)" >&2
+    exit 1
+fi
+
 echo "==> adversary campaign smoke (fixed seeds, both substrates; zero breaches)"
 # ~2000 adversarial steps total: 100 steps x 5 families x 2 substrates x
 # 2 seeds. The virtual cells are bit-deterministic per seed; the gate is
