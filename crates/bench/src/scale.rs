@@ -91,9 +91,11 @@ pub struct FloodPoint {
     /// Heavy-neighbor operations completed meanwhile (they must progress:
     /// fair share never starves the flood either).
     pub heavy_ops: u64,
-    /// Backpressured heavy submissions (cap hits). Must be non-zero — the
-    /// flood is only a flood if it runs into the cap — and every one is a
-    /// clean EAGAIN, never a drop.
+    /// Heavy submissions the engine refused with
+    /// [`EngineError::Backpressure`] (counted only when `submit` itself
+    /// returned it — never inferred from frontend bookkeeping). Must be
+    /// non-zero — the flood is only a flood if it runs into the cap —
+    /// and every one is a clean EAGAIN, never a drop.
     pub backpressured: u64,
 }
 
@@ -339,15 +341,14 @@ pub fn flood_point(kind: EngineKind, guests: usize, light_ops: usize) -> FloodPo
     let mut heavy_done = 0u64;
     let mut backpressured = 0u64;
     for index in 0..light_ops {
-        // Keep every heavy neighbor's queue at its cap; each round runs
-        // into backpressure once the pipe is primed (that's the
-        // documented flood behaviour: clean EAGAIN, nothing dropped).
+        // Keep every heavy neighbor's queue at its cap: submit until the
+        // *engine* refuses. Each round ends on a real
+        // `EngineError::Backpressure` from the submit path — the counter
+        // never credits a frontend bookkeeping shortcut, so the flood
+        // provably exercises the documented overflow behaviour (clean
+        // EAGAIN, nothing dropped) on every top-up round.
         for guest in 1..guests {
             loop {
-                if pending[guest].len() >= MULTI_QUEUE_CAP {
-                    backpressured += 1;
-                    break;
-                }
                 let (op, grant_ops) = mixed_op(guest as u32, 1 + heavy_seq[guest] * 3);
                 let grant = engine
                     .grants()

@@ -304,8 +304,16 @@ impl MultiWallEngine {
                 .spawn(move || {
                     req_bell.register();
                     // Backend-thread-local scheduling state: consumed
-                    // service time per guest plus backlog-arrival stamps
-                    // (stamped when a ring transitions empty→non-empty).
+                    // service time per guest plus backlog-arrival stamps.
+                    // A guest is stamped when its ring transitions
+                    // empty→non-empty and re-stamped after every served
+                    // op while it stays backlogged, so the stamp tracks
+                    // when the *current head* became head. The backend
+                    // cannot observe per-op arrival times, so wall-side
+                    // FIFO is a head-age approximation of the virtual
+                    // engine's exact per-op arrival order (under the
+                    // default fair-share policy stamps are only the
+                    // tie-break).
                     let mut sched = FairSched::new(policy);
                     let mut arrivals: Vec<Option<u64>> = vec![None; rings.len()];
                     let mut next_stamp = 0u64;
@@ -354,6 +362,13 @@ impl MultiWallEngine {
                             }
                             if req_ring.is_empty() {
                                 arrivals[guest as usize] = None;
+                            } else {
+                                // Fresh stamp for the new head: without
+                                // it a long-backlogged ring would keep
+                                // its first-enqueue stamp and starve
+                                // younger queues under SchedPolicy::Fifo.
+                                arrivals[guest as usize] = Some(next_stamp);
+                                next_stamp += 1;
                             }
                             continue;
                         }

@@ -146,7 +146,9 @@ static INFLIGHT_SITE: SiteSpec = SiteSpec {
 
 static NEXT_REF_ALLOCATE: Access =
     Access::new("allocate", AccessKind::Rmw, MemOrder::AcqRel, Edge::Reservation);
-static NEXT_REF_ACCESSES: [&Access; 1] = [&NEXT_REF_ALLOCATE];
+static NEXT_REF_OBSERVE: Access =
+    Access::new("observe", AccessKind::Load, MemOrder::Acquire, Edge::Observe);
+static NEXT_REF_ACCESSES: [&Access; 2] = [&NEXT_REF_ALLOCATE, &NEXT_REF_OBSERVE];
 static NEXT_REF_SITE: SiteSpec = SiteSpec {
     module: "hypervisor::shards",
     name: "next_ref",
@@ -352,17 +354,37 @@ impl ShardedGrantTable {
             shard.outstanding.fetch_sub(1, &OUTSTANDING_RELEASE);
             return Err(GrantError::TableFull);
         }
-        let seq = shard.next_seq.fetch_add(1, &NEXT_REF_ALLOCATE);
-        if seq > SEQ_MASK {
-            // Reference space exhausted: fail closed rather than alias.
-            shard.outstanding.fetch_sub(1, &OUTSTANDING_RELEASE);
-            return Err(GrantError::TableFull);
-        }
+        // Sequence allocation pins at SEQ_MASK + 1: once the guest's
+        // reference space is spent the shard fails closed *forever*. An
+        // unbounded fetch_add would wrap past 2^32 and land back under
+        // SEQ_MASK, re-issuing references a stale holder may still name.
+        let seq = loop {
+            let current = shard.next_seq.load(&NEXT_REF_OBSERVE);
+            if current > SEQ_MASK {
+                // Reference space exhausted: fail closed rather than alias.
+                shard.outstanding.fetch_sub(1, &OUTSTANDING_RELEASE);
+                return Err(GrantError::TableFull);
+            }
+            if shard
+                .next_seq
+                .compare_exchange(current, current + 1, &NEXT_REF_ALLOCATE)
+                .is_ok()
+            {
+                break current;
+            }
+        };
         let reference = Self::compose_ref(guest, seq);
         let entry = Arc::new(GrantEntry::build(ops));
-        // Per-guest sequences are monotonic, so the new reference sorts
-        // after everything live: push keeps the snapshot sorted.
-        shard.mutate(|snapshot| snapshot.push((reference, entry)));
+        // Sorted insert, not push: concurrent declares can reach the
+        // writer mutex out of sequence order, and with hashed slots two
+        // resident guests' disjoint reference ranges interleave — the
+        // binary search in validate() needs the snapshot sorted either way.
+        shard.mutate(|snapshot| {
+            let position = snapshot
+                .binary_search_by_key(&reference, |(r, _)| *r)
+                .unwrap_or_else(|p| p);
+            snapshot.insert(position, (reference, entry));
+        });
         Ok(reference)
     }
 
@@ -482,6 +504,29 @@ impl ShardedGrantTable {
     /// Number of per-guest shard slots.
     pub fn slots(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Test hook: jumps one guest's sequence allocator (exhaustion tests
+    /// would otherwise need 2^[`SEQ_BITS`] declares to reach the edge).
+    #[cfg(test)]
+    fn set_next_seq(&self, guest: u32, seq: u32) {
+        let shard = self.shard_of(guest);
+        loop {
+            let current = shard.next_seq.load(&NEXT_REF_OBSERVE);
+            if shard
+                .next_seq
+                .compare_exchange(current, seq, &NEXT_REF_ALLOCATE)
+                .is_ok()
+            {
+                break;
+            }
+        }
+    }
+
+    /// Test hook: one guest's current sequence-allocator value.
+    #[cfg(test)]
+    fn next_seq(&self, guest: u32) -> u32 {
+        self.shard_of(guest).next_seq.load(&NEXT_REF_OBSERVE)
     }
 
     /// Retired snapshots currently held alive for in-flight readers —
@@ -654,6 +699,94 @@ mod tests {
         assert_eq!(table.outstanding(), 0);
         let fresh = table.declare(1, vec![read_grant(0, 8)]).expect("declare");
         assert!(fresh.0 > first.0, "references never restart");
+    }
+
+    /// With hashed slots ([`ShardedGrantTable::new`], 64 slots) guests
+    /// 65 and 1 share slot 1 and interleave disjoint reference ranges; a
+    /// push-maintained snapshot would deterministically unsort and the
+    /// binary search in validate() would miss live grants.
+    #[test]
+    fn hashed_slot_collisions_keep_validation_sound() {
+        let table = ShardedGrantTable::new();
+        assert_eq!(table.slots(), GUEST_SLOTS);
+        // Higher-numbered guest declares first: its references are
+        // numerically larger, so a later lower-guest push would land
+        // out of order.
+        let high = table.declare(65, vec![read_grant(0x1000, 64)]).expect("declare");
+        let low = table.declare(1, vec![read_grant(0x2000, 64)]).expect("declare");
+        let mut interleaved = Vec::new();
+        for i in 0..8u64 {
+            let guest = if i % 2 == 0 { 65 } else { 1 };
+            let addr = 0x3000 + i * 0x100;
+            let r = table.declare(guest, vec![read_grant(addr, 32)]).expect("declare");
+            interleaved.push((guest, r, addr));
+        }
+        table.validate(65, high, &read_req(0x1000, 64)).expect("high guest live");
+        table.validate(1, low, &read_req(0x2000, 64)).expect("low guest live");
+        for (guest, r, addr) in &interleaved {
+            table
+                .validate(*guest, *r, &read_req(*addr, 32))
+                .expect("interleaved grant live");
+        }
+        // Revocation in the shared slot leaves the co-resident intact.
+        assert!(table.revoke(1, low));
+        table.validate(65, high, &read_req(0x1000, 64)).expect("co-resident survives");
+    }
+
+    /// Sequence allocation is not serialized by the writer mutex, so
+    /// same-shard declares can reach the snapshot out of sequence order;
+    /// every issued reference must still binary-search to its entry.
+    #[test]
+    fn concurrent_same_shard_declares_stay_searchable() {
+        let table = Arc::new(ShardedGrantTable::with_guests(4));
+        let mut workers = Vec::new();
+        for t in 0..4u64 {
+            let table = Arc::clone(&table);
+            workers.push(std::thread::spawn(move || {
+                (0..24u64)
+                    .map(|i| {
+                        let addr = (t * 24 + i) * 0x100;
+                        let r = table.declare(1, vec![read_grant(addr, 16)]).expect("declare");
+                        (r, addr)
+                    })
+                    .collect::<Vec<_>>()
+            }));
+        }
+        let mut issued = Vec::new();
+        for worker in workers {
+            issued.extend(worker.join().expect("worker"));
+        }
+        assert_eq!(issued.len(), 96);
+        for (r, addr) in issued {
+            table
+                .validate(1, r, &read_req(addr, 16))
+                .expect("every issued reference resolves");
+        }
+        assert_eq!(table.outstanding_of(1), 96);
+    }
+
+    /// After the per-guest reference space is spent the allocator pins at
+    /// `SEQ_MASK + 1` instead of counting on toward a u32 wrap that would
+    /// eventually re-issue references a stale holder may still name.
+    #[test]
+    fn sequence_exhaustion_pins_closed_without_aliasing() {
+        let table = ShardedGrantTable::with_guests(4);
+        table.set_next_seq(1, SEQ_MASK - 1);
+        let penultimate = table.declare(1, vec![read_grant(0x1000, 8)]).expect("declare");
+        let last = table.declare(1, vec![read_grant(0x2000, 8)]).expect("last reference");
+        assert_eq!(last.0 & SEQ_MASK, SEQ_MASK);
+        for _ in 0..64 {
+            assert_eq!(
+                table.declare(1, vec![read_grant(0x3000, 8)]),
+                Err(GrantError::TableFull),
+                "exhausted shard must fail closed"
+            );
+        }
+        assert_eq!(table.next_seq(1), SEQ_MASK + 1, "allocator pinned, not wrapping");
+        // Live references keep validating; neighbors are unaffected.
+        table.validate(1, penultimate, &read_req(0x1000, 8)).expect("live");
+        table.validate(1, last, &read_req(0x2000, 8)).expect("live");
+        table.declare(2, vec![read_grant(0, 8)]).expect("neighbor unaffected");
     }
 
     #[test]
